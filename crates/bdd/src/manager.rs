@@ -1,0 +1,424 @@
+//! The BDD manager: node arena, unique table, and variable registry.
+
+use std::collections::HashMap;
+
+use crate::node::{Bdd, Node, Var, TERMINAL_LEVEL};
+
+/// Owner of all BDD nodes.
+///
+/// The manager interns nodes in a unique table so that structurally equal
+/// functions share one handle (canonicity), and memoizes the results of
+/// Boolean operations. All operations that combine BDDs are methods on the
+/// manager and take handles by value.
+///
+/// Memory is append-only: nodes are never freed during the manager's
+/// lifetime. The exact-delay search in `tbf-core` polls
+/// [`node_count`](Self::node_count) between operations to bound growth.
+///
+/// # Example
+///
+/// ```
+/// use tbf_bdd::BddManager;
+/// let mut m = BddManager::new();
+/// let x = m.new_named_var("x");
+/// let y = m.new_named_var("y");
+/// let f = {
+///     let (vx, vy) = (m.var(x), m.var(y));
+///     m.and(vx, vy)
+/// };
+/// assert_eq!(m.var_name(x), "x");
+/// assert!(m.eval(f, &[true, true]));
+/// assert!(!m.eval(f, &[true, false]));
+/// ```
+pub struct BddManager {
+    pub(crate) nodes: Vec<Node>,
+    unique: HashMap<Node, Bdd>,
+    pub(crate) ite_cache: HashMap<(Bdd, Bdd, Bdd), Bdd>,
+    pub(crate) not_cache: HashMap<Bdd, Bdd>,
+    pub(crate) quant_cache: HashMap<(Bdd, u32, bool), Bdd>,
+    pub(crate) compose_cache: HashMap<(Bdd, u32, Bdd), Bdd>,
+    var_names: Vec<String>,
+}
+
+impl BddManager {
+    /// Creates an empty manager with no variables.
+    pub fn new() -> Self {
+        let terminal = |_: u32| Node {
+            level: TERMINAL_LEVEL,
+            lo: Bdd::FALSE,
+            hi: Bdd::TRUE,
+        };
+        BddManager {
+            // Index 0 = FALSE, index 1 = TRUE. Their payloads are sentinels
+            // and never interned in the unique table.
+            nodes: vec![terminal(0), terminal(1)],
+            unique: HashMap::new(),
+            ite_cache: HashMap::new(),
+            not_cache: HashMap::new(),
+            quant_cache: HashMap::new(),
+            compose_cache: HashMap::new(),
+            var_names: Vec::new(),
+        }
+    }
+
+    /// Declares a fresh variable at the end of the current order.
+    pub fn new_var(&mut self) -> Var {
+        let idx = self.var_names.len() as u32;
+        self.var_names.push(format!("v{idx}"));
+        Var(idx)
+    }
+
+    /// Declares a fresh variable with a debugging name.
+    pub fn new_named_var(&mut self, name: &str) -> Var {
+        let v = self.new_var();
+        self.var_names[v.index()] = name.to_owned();
+        v
+    }
+
+    /// The name given to `v` at creation (or a generated `v<N>` default).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` was not created by this manager.
+    pub fn var_name(&self, v: Var) -> &str {
+        &self.var_names[v.index()]
+    }
+
+    /// Number of declared variables.
+    pub fn var_count(&self) -> usize {
+        self.var_names.len()
+    }
+
+    /// Total number of nodes allocated so far (including both terminals).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The function that is true exactly when `v` is true.
+    pub fn var(&mut self, v: Var) -> Bdd {
+        self.mk(v.0, Bdd::FALSE, Bdd::TRUE)
+    }
+
+    /// The function that is true exactly when `v` is false.
+    pub fn nvar(&mut self, v: Var) -> Bdd {
+        self.mk(v.0, Bdd::TRUE, Bdd::FALSE)
+    }
+
+    /// A literal: `var(v)` if `positive`, else `nvar(v)`.
+    pub fn literal(&mut self, v: Var, positive: bool) -> Bdd {
+        if positive {
+            self.var(v)
+        } else {
+            self.nvar(v)
+        }
+    }
+
+    /// The constant function for `value`.
+    pub fn constant(&self, value: bool) -> Bdd {
+        if value {
+            Bdd::TRUE
+        } else {
+            Bdd::FALSE
+        }
+    }
+
+    /// Interns a node, enforcing the no-redundant-test and sharing rules.
+    pub(crate) fn mk(&mut self, level: u32, lo: Bdd, hi: Bdd) -> Bdd {
+        if lo == hi {
+            return lo;
+        }
+        let node = Node { level, lo, hi };
+        if let Some(&b) = self.unique.get(&node) {
+            return b;
+        }
+        let id = Bdd(u32::try_from(self.nodes.len()).expect("BDD node index overflow"));
+        self.nodes.push(node);
+        self.unique.insert(node, id);
+        id
+    }
+
+    #[inline]
+    pub(crate) fn node(&self, b: Bdd) -> Node {
+        self.nodes[b.index()]
+    }
+
+    /// The level (variable order position) of the root of `b`, or `None`
+    /// for constants.
+    pub fn root_var(&self, b: Bdd) -> Option<Var> {
+        if b.is_const() {
+            None
+        } else {
+            Some(Var(self.node(b).level))
+        }
+    }
+
+    /// The two cofactors `(f|v=0, f|v=1)` with respect to the *root*
+    /// variable of `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is a constant.
+    pub fn root_cofactors(&self, b: Bdd) -> (Bdd, Bdd) {
+        assert!(!b.is_const(), "constants have no cofactors");
+        let n = self.node(b);
+        (n.lo, n.hi)
+    }
+
+    /// Evaluates `b` under a full assignment indexed by variable position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment is shorter than some variable tested in `b`.
+    pub fn eval(&self, b: Bdd, assignment: &[bool]) -> bool {
+        let mut cur = b;
+        while !cur.is_const() {
+            let n = self.node(cur);
+            cur = if assignment[n.level as usize] { n.hi } else { n.lo };
+        }
+        cur.is_true()
+    }
+
+    /// Number of satisfying assignments over `n_vars` variables.
+    ///
+    /// Counted as `f64` so it stays useful beyond 64 variables (at reduced
+    /// precision).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` tests a variable with index `>= n_vars`.
+    pub fn sat_count(&self, b: Bdd, n_vars: usize) -> f64 {
+        if b.is_false() {
+            return 0.0;
+        }
+        if b.is_true() {
+            return 2f64.powi(n_vars as i32);
+        }
+        assert!(
+            self.max_tested_level(b) < n_vars,
+            "sat_count: BDD tests a variable outside 0..n_vars"
+        );
+        // Level-aware recursion: `go(b, level)` counts assignments of the
+        // variables at positions `level..n_vars` that satisfy `b`.
+        fn go(
+            m: &BddManager,
+            b: Bdd,
+            level: usize,
+            n_vars: usize,
+            memo: &mut HashMap<(Bdd, usize), f64>,
+        ) -> f64 {
+            if b.is_false() {
+                return 0.0;
+            }
+            if b.is_true() {
+                return 2f64.powi((n_vars - level) as i32);
+            }
+            if let Some(&c) = memo.get(&(b, level)) {
+                return c;
+            }
+            let n = m.node(b);
+            let skipped = n.level as usize - level;
+            let lo = go(m, n.lo, n.level as usize + 1, n_vars, memo);
+            let hi = go(m, n.hi, n.level as usize + 1, n_vars, memo);
+            let c = 2f64.powi(skipped as i32) * (lo + hi);
+            memo.insert((b, level), c);
+            c
+        }
+        let mut memo: HashMap<(Bdd, usize), f64> = HashMap::new();
+        go(self, b, 0, n_vars, &mut memo)
+    }
+
+    /// Largest variable level tested anywhere in `b`, or 0 for constants.
+    fn max_tested_level(&self, b: Bdd) -> usize {
+        let mut stack = vec![b];
+        let mut seen = std::collections::HashSet::new();
+        let mut max = 0usize;
+        while let Some(x) = stack.pop() {
+            if x.is_const() || !seen.insert(x) {
+                continue;
+            }
+            let n = self.node(x);
+            max = max.max(n.level as usize);
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        max
+    }
+
+    /// The set of variables tested in `b`, in ascending order.
+    pub fn support(&self, b: Bdd) -> Vec<Var> {
+        let mut stack = vec![b];
+        let mut seen = std::collections::HashSet::new();
+        let mut vars = std::collections::BTreeSet::new();
+        while let Some(x) = stack.pop() {
+            if x.is_const() || !seen.insert(x) {
+                continue;
+            }
+            let n = self.node(x);
+            vars.insert(n.level);
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        vars.into_iter().map(Var).collect()
+    }
+
+    /// Number of (shared) nodes reachable from `b`, terminals excluded.
+    pub fn size(&self, b: Bdd) -> usize {
+        let mut stack = vec![b];
+        let mut seen = std::collections::HashSet::new();
+        let mut count = 0usize;
+        while let Some(x) = stack.pop() {
+            if x.is_const() || !seen.insert(x) {
+                continue;
+            }
+            count += 1;
+            let n = self.node(x);
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        count
+    }
+
+    /// Total entries across the operation caches (memory pressure gauge).
+    pub fn op_cache_len(&self) -> usize {
+        self.ite_cache.len()
+            + self.not_cache.len()
+            + self.quant_cache.len()
+            + self.compose_cache.len()
+    }
+
+    /// Clears all operation caches (unique table is kept, canonicity is
+    /// unaffected). Useful to bound memory between delay-search intervals.
+    pub fn clear_op_caches(&mut self) {
+        self.ite_cache.clear();
+        self.not_cache.clear();
+        self.quant_cache.clear();
+        self.compose_cache.clear();
+    }
+}
+
+impl Default for BddManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for BddManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BddManager")
+            .field("vars", &self.var_names.len())
+            .field("nodes", &self.nodes.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_manager_has_two_terminal_nodes() {
+        let m = BddManager::new();
+        assert_eq!(m.node_count(), 2);
+        assert_eq!(m.var_count(), 0);
+    }
+
+    #[test]
+    fn var_nodes_are_shared() {
+        let mut m = BddManager::new();
+        let x = m.new_var();
+        let a = m.var(x);
+        let b = m.var(x);
+        assert_eq!(a, b);
+        assert_eq!(m.node_count(), 3);
+    }
+
+    #[test]
+    fn named_vars_report_names() {
+        let mut m = BddManager::new();
+        let x = m.new_named_var("clk");
+        let y = m.new_var();
+        assert_eq!(m.var_name(x), "clk");
+        assert_eq!(m.var_name(y), "v1");
+    }
+
+    #[test]
+    fn eval_follows_assignment() {
+        let mut m = BddManager::new();
+        let x = m.new_var();
+        let y = m.new_var();
+        let (vx, vy) = (m.var(x), m.var(y));
+        let f = m.and(vx, vy);
+        assert!(m.eval(f, &[true, true]));
+        assert!(!m.eval(f, &[true, false]));
+        assert!(!m.eval(f, &[false, true]));
+    }
+
+    #[test]
+    fn sat_count_matches_truth_table() {
+        let mut m = BddManager::new();
+        let x = m.new_var();
+        let y = m.new_var();
+        let z = m.new_var();
+        let (vx, vy, vz) = (m.var(x), m.var(y), m.var(z));
+        let xy = m.and(vx, vy);
+        let f = m.or(xy, vz); // 5 of 8 assignments
+        assert_eq!(m.sat_count(f, 3), 5.0);
+        assert_eq!(m.sat_count(Bdd::TRUE, 3), 8.0);
+        assert_eq!(m.sat_count(Bdd::FALSE, 3), 0.0);
+    }
+
+    #[test]
+    fn sat_count_with_gap_levels() {
+        let mut m = BddManager::new();
+        let _a = m.new_var();
+        let b = m.new_var();
+        let _c = m.new_var();
+        let f = m.var(b); // vars a, c free
+        assert_eq!(m.sat_count(f, 3), 4.0);
+    }
+
+    #[test]
+    fn support_and_size() {
+        let mut m = BddManager::new();
+        let x = m.new_var();
+        let y = m.new_var();
+        let z = m.new_var();
+        let (vx, vz) = (m.var(x), m.var(z));
+        let f = m.or(vx, vz);
+        assert_eq!(m.support(f), vec![x, z]);
+        assert!(!m.support(f).contains(&y));
+        assert_eq!(m.size(f), 2);
+        assert_eq!(m.size(Bdd::TRUE), 0);
+    }
+
+    #[test]
+    fn root_accessors() {
+        let mut m = BddManager::new();
+        let x = m.new_var();
+        let f = m.var(x);
+        assert_eq!(m.root_var(f), Some(x));
+        assert_eq!(m.root_var(Bdd::TRUE), None);
+        let (lo, hi) = m.root_cofactors(f);
+        assert_eq!(lo, Bdd::FALSE);
+        assert_eq!(hi, Bdd::TRUE);
+    }
+
+    #[test]
+    #[should_panic(expected = "constants have no cofactors")]
+    fn root_cofactors_of_constant_panics() {
+        let m = BddManager::new();
+        let _ = m.root_cofactors(Bdd::TRUE);
+    }
+
+    #[test]
+    fn clear_op_caches_preserves_results() {
+        let mut m = BddManager::new();
+        let x = m.new_var();
+        let y = m.new_var();
+        let (vx, vy) = (m.var(x), m.var(y));
+        let f1 = m.xor(vx, vy);
+        m.clear_op_caches();
+        let f2 = m.xor(vx, vy);
+        assert_eq!(f1, f2);
+    }
+}

@@ -1,0 +1,129 @@
+//! Handle types for BDD nodes and variables.
+
+use std::fmt;
+
+/// A handle to a BDD node owned by a [`BddManager`](crate::BddManager).
+///
+/// Handles are plain indices: cheap to copy, hash and compare. Two handles
+/// from the *same* manager are equal if and only if they denote the same
+/// Boolean function (ROBDDs are canonical). Mixing handles across managers
+/// is a logic error; the manager panics on out-of-range indices.
+///
+/// # Example
+///
+/// ```
+/// use tbf_bdd::BddManager;
+/// let mut m = BddManager::new();
+/// let x = m.new_var();
+/// let f = m.var(x);
+/// let g = m.var(x);
+/// assert_eq!(f, g); // canonical
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bdd(pub(crate) u32);
+
+impl Bdd {
+    /// The constant-false function.
+    pub const FALSE: Bdd = Bdd(0);
+    /// The constant-true function.
+    pub const TRUE: Bdd = Bdd(1);
+
+    /// Returns `true` if this handle is the constant-false function.
+    #[inline]
+    pub fn is_false(self) -> bool {
+        self == Bdd::FALSE
+    }
+
+    /// Returns `true` if this handle is the constant-true function.
+    #[inline]
+    pub fn is_true(self) -> bool {
+        self == Bdd::TRUE
+    }
+
+    /// Returns `true` if this handle is one of the two constants.
+    #[inline]
+    pub fn is_const(self) -> bool {
+        self.0 < 2
+    }
+
+    /// The raw index of this node inside its manager.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Bdd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Bdd::FALSE => write!(f, "Bdd(FALSE)"),
+            Bdd::TRUE => write!(f, "Bdd(TRUE)"),
+            Bdd(i) => write!(f, "Bdd({i})"),
+        }
+    }
+}
+
+/// A BDD variable.
+///
+/// Variables are ordered by creation: the first
+/// [`new_var`](crate::BddManager::new_var) is tested closest to the root.
+/// The ordering is fixed for the lifetime of the manager.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    /// Zero-based position of this variable in the manager's order.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Var({})", self.0)
+    }
+}
+
+/// Internal node representation: `(level, lo, hi)` with `lo` taken when the
+/// level's variable is 0. Terminals live at indices 0/1 with a sentinel
+/// level so that every internal node sorts strictly above them.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct Node {
+    pub level: u32,
+    pub lo: Bdd,
+    pub hi: Bdd,
+}
+
+/// Sentinel level for the two terminal nodes (larger than any variable).
+pub(crate) const TERMINAL_LEVEL: u32 = u32::MAX;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_distinct_and_const() {
+        assert!(Bdd::FALSE.is_false());
+        assert!(Bdd::TRUE.is_true());
+        assert!(Bdd::FALSE.is_const());
+        assert!(Bdd::TRUE.is_const());
+        assert_ne!(Bdd::FALSE, Bdd::TRUE);
+        assert!(!Bdd::TRUE.is_false());
+        assert!(!Bdd::FALSE.is_true());
+    }
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(format!("{:?}", Bdd::FALSE), "Bdd(FALSE)");
+        assert_eq!(format!("{:?}", Bdd::TRUE), "Bdd(TRUE)");
+        assert_eq!(format!("{:?}", Bdd(7)), "Bdd(7)");
+        assert_eq!(format!("{:?}", Var(3)), "Var(3)");
+    }
+
+    #[test]
+    fn var_index_roundtrip() {
+        assert_eq!(Var(11).index(), 11);
+        assert_eq!(Bdd(11).index(), 11);
+    }
+}

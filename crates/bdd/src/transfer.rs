@@ -1,0 +1,270 @@
+//! Cross-manager function transfer — the reordering primitive.
+//!
+//! ROBDD size is notoriously order-sensitive (an adder carry is linear
+//! under interleaved operands and exponential under separated ones).
+//! [`transfer`] rebuilds a function in a *destination* manager whose
+//! variables may be laid out in a completely different order, by
+//! recursive cofactoring along the destination order. Combined with a
+//! candidate-order search this provides rebuild-style reordering without
+//! mutating the (append-only) source manager.
+
+use std::collections::HashMap;
+
+use crate::limit::NodeLimitExceeded;
+use crate::manager::BddManager;
+use crate::node::{Bdd, Var};
+
+/// Rebuilds `f` (owned by `src`) inside `dst`, renaming variables via
+/// `var_map` (`var_map[src_var.index()]` = destination variable).
+///
+/// Complexity is output-sensitive: roughly the product of the source size
+/// and the number of destination levels actually in the support, with
+/// memoization on `(source node, destination level)`. The destination
+/// manager aborts cleanly past `limit` nodes.
+///
+/// # Errors
+///
+/// Returns [`NodeLimitExceeded`] if `dst` outgrows `limit`.
+///
+/// # Panics
+///
+/// Panics if `var_map` does not cover every variable in `f`'s support.
+///
+/// # Example
+///
+/// ```
+/// use tbf_bdd::{BddManager, transfer};
+///
+/// // f = (a ∧ b) ∨ c under order a, b, c…
+/// let mut src = BddManager::new();
+/// let (a, b, c) = (src.new_var(), src.new_var(), src.new_var());
+/// let (va, vb, vc) = (src.var(a), src.var(b), src.var(c));
+/// let ab = src.and(va, vb);
+/// let f = src.or(ab, vc);
+///
+/// // …rebuilt under the reversed order c, b, a.
+/// let mut dst = BddManager::new();
+/// let (c2, b2, a2) = (dst.new_var(), dst.new_var(), dst.new_var());
+/// let g = transfer(&mut src, f, &mut dst, &[a2, b2, c2], 1_000_000)?;
+/// // Same function, new order: check all assignments.
+/// for bits in 0..8u8 {
+///     let s = [bits & 1 != 0, bits & 2 != 0, bits & 4 != 0];
+///     // dst order is (c, b, a): positions 0,1,2 = c2,b2,a2.
+///     let d = [s[2], s[1], s[0]];
+///     assert_eq!(src.eval(f, &s), dst.eval(g, &d));
+/// }
+/// # Ok::<(), tbf_bdd::NodeLimitExceeded>(())
+/// ```
+pub fn transfer(
+    src: &mut BddManager,
+    f: Bdd,
+    dst: &mut BddManager,
+    var_map: &[Var],
+    limit: usize,
+) -> Result<Bdd, NodeLimitExceeded> {
+    // Destination levels in ascending order, with their source variable.
+    let mut dst_levels: Vec<(Var, Var)> = Vec::new(); // (dst var, src var)
+    for (src_idx, &dv) in var_map.iter().enumerate() {
+        dst_levels.push((dv, Var(src_idx as u32)));
+    }
+    dst_levels.sort_by_key(|&(dv, _)| dv);
+
+    let support = src.support(f);
+    for v in &support {
+        assert!(
+            v.index() < var_map.len(),
+            "var_map misses source variable {v:?}"
+        );
+    }
+
+    let mut memo: HashMap<(Bdd, usize), Bdd> = HashMap::new();
+    // Recurse along the destination order: at position `pos`, branch on
+    // dst_levels[pos] by cofactoring the source function on the matching
+    // source variable.
+    fn go(
+        src: &mut BddManager,
+        f: Bdd,
+        dst: &mut BddManager,
+        levels: &[(Var, Var)],
+        pos: usize,
+        limit: usize,
+        memo: &mut HashMap<(Bdd, usize), Bdd>,
+    ) -> Result<Bdd, NodeLimitExceeded> {
+        if f.is_const() {
+            return Ok(f);
+        }
+        debug_assert!(pos < levels.len(), "support covered by var_map");
+        if let Some(&r) = memo.get(&(f, pos)) {
+            return Ok(r);
+        }
+        let (dst_var, src_var) = levels[pos];
+        // Skip variables outside the (remaining) support cheaply: the
+        // root test below is sound because restrict is the identity when
+        // the variable is absent.
+        let f1 = src.restrict(f, src_var, true);
+        let f0 = src.restrict(f, src_var, false);
+        let r = if f0 == f1 {
+            go(src, f, dst, levels, pos + 1, limit, memo)?
+        } else {
+            let hi = go(src, f1, dst, levels, pos + 1, limit, memo)?;
+            let lo = go(src, f0, dst, levels, pos + 1, limit, memo)?;
+            let sel = dst.var(dst_var);
+            dst.try_ite(sel, hi, lo, limit)?
+        };
+        memo.insert((f, pos), r);
+        Ok(r)
+    }
+    go(src, f, dst, &dst_levels, 0, limit, &mut memo)
+}
+
+/// Greedy order search: evaluates `candidates` (permutations of the
+/// source variables, given as `var_map`-shaped index vectors) and returns
+/// the one minimizing the total transferred size of `roots`, along with
+/// that size. Candidates that blow `limit` are skipped.
+///
+/// # Panics
+///
+/// Panics if `candidates` is empty.
+pub fn best_order(
+    src: &mut BddManager,
+    roots: &[Bdd],
+    candidates: &[Vec<usize>],
+    limit: usize,
+) -> (Vec<usize>, usize) {
+    assert!(!candidates.is_empty(), "need at least one candidate order");
+    let mut best: Option<(Vec<usize>, usize)> = None;
+    for cand in candidates {
+        let mut dst = BddManager::new();
+        // Destination variable `position` for source index i is the rank
+        // of i in `cand`.
+        let mut dst_vars = vec![Var(0); cand.len()];
+        for &src_idx in cand {
+            dst_vars[src_idx] = dst.new_var();
+        }
+        let mut total = 0usize;
+        let mut ok = true;
+        for &r in roots {
+            match transfer(src, r, &mut dst, &dst_vars, limit) {
+                Ok(moved) => total += dst.size(moved),
+                Err(_) => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok && best.as_ref().is_none_or(|(_, b)| total < *b) {
+            best = Some((cand.clone(), total));
+        }
+    }
+    best.unwrap_or_else(|| ((0..src.var_count()).collect(), usize::MAX))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Adder carry over separated operands: exponential this way,
+    /// linear interleaved.
+    fn separated_carry(m: &mut BddManager, bits: usize) -> (Bdd, usize) {
+        let avars: Vec<Var> = (0..bits).map(|_| m.new_var()).collect();
+        let bvars: Vec<Var> = (0..bits).map(|_| m.new_var()).collect();
+        let mut carry = Bdd::FALSE;
+        for i in 0..bits {
+            let (va, vb) = (m.var(avars[i]), m.var(bvars[i]));
+            let ab = m.and(va, vb);
+            let axb = m.or(va, vb);
+            let t = m.and(axb, carry);
+            carry = m.or(ab, t);
+        }
+        let size = m.size(carry);
+        (carry, size)
+    }
+
+    #[test]
+    fn transfer_preserves_semantics() {
+        let mut src = BddManager::new();
+        let (f, _) = separated_carry(&mut src, 3);
+        // Interleave: a0 b0 a1 b1 a2 b2 (src order: a0 a1 a2 b0 b1 b2).
+        let mut dst = BddManager::new();
+        let order = [0usize, 3, 1, 4, 2, 5]; // src indices in dst order
+        let mut dst_vars = vec![Var(0); 6];
+        for &src_idx in &order {
+            dst_vars[src_idx] = dst.new_var();
+        }
+        let g = transfer(&mut src, f, &mut dst, &dst_vars, 1_000_000).unwrap();
+        for bits in 0..64u32 {
+            let s: Vec<bool> = (0..6).map(|i| (bits >> i) & 1 == 1).collect();
+            let mut d = vec![false; 6];
+            for (src_idx, var) in dst_vars.iter().enumerate() {
+                d[var.index()] = s[src_idx];
+            }
+            assert_eq!(src.eval(f, &s), dst.eval(g, &d), "bits {bits:#b}");
+        }
+    }
+
+    #[test]
+    fn interleaving_shrinks_the_carry() {
+        let mut src = BddManager::new();
+        let bits = 7;
+        let (f, separated_size) = separated_carry(&mut src, bits);
+        let mut dst = BddManager::new();
+        let mut dst_vars = vec![Var(0); 2 * bits];
+        // Interleaved destination order a0 b0 a1 b1 …
+        for i in 0..bits {
+            dst_vars[i] = {
+                let v = dst.new_var();
+                let w = dst.new_var();
+                dst_vars[bits + i] = w;
+                v
+            };
+        }
+        let g = transfer(&mut src, f, &mut dst, &dst_vars, 10_000_000).unwrap();
+        let interleaved_size = dst.size(g);
+        assert!(
+            interleaved_size * 4 < separated_size,
+            "interleaved {interleaved_size} vs separated {separated_size}"
+        );
+    }
+
+    #[test]
+    fn transfer_respects_limit() {
+        let mut src = BddManager::new();
+        let (f, _) = separated_carry(&mut src, 8);
+        let mut dst = BddManager::new();
+        let dst_vars: Vec<Var> = (0..16).map(|_| dst.new_var()).collect();
+        let err = transfer(&mut src, f, &mut dst, &dst_vars, 8);
+        assert!(matches!(err, Err(NodeLimitExceeded { limit: 8 })));
+    }
+
+    #[test]
+    fn constants_transfer_trivially() {
+        let mut src = BddManager::new();
+        let mut dst = BddManager::new();
+        assert_eq!(
+            transfer(&mut src, Bdd::TRUE, &mut dst, &[], 10).unwrap(),
+            Bdd::TRUE
+        );
+        assert_eq!(
+            transfer(&mut src, Bdd::FALSE, &mut dst, &[], 10).unwrap(),
+            Bdd::FALSE
+        );
+    }
+
+    #[test]
+    fn best_order_prefers_interleaving() {
+        let mut src = BddManager::new();
+        let bits = 5;
+        let (f, _) = separated_carry(&mut src, bits);
+        let separated: Vec<usize> = (0..2 * bits).collect();
+        let interleaved: Vec<usize> =
+            (0..bits).flat_map(|i| [i, bits + i]).collect();
+        let (winner, size) = best_order(
+            &mut src,
+            &[f],
+            &[separated, interleaved.clone()],
+            10_000_000,
+        );
+        assert_eq!(winner, interleaved);
+        assert!(size > 0);
+    }
+}

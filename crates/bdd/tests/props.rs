@@ -1,0 +1,181 @@
+//! Property-based tests: BDDs vs. a brute-force truth-table oracle on
+//! randomly generated Boolean expressions.
+
+use proptest::prelude::*;
+use tbf_bdd::{Bdd, BddManager, Var};
+
+/// A small expression AST used as the oracle.
+#[derive(Clone, Debug)]
+enum Expr {
+    Var(usize),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    fn eval(&self, a: &[bool]) -> bool {
+        match self {
+            Expr::Var(i) => a[*i],
+            Expr::Not(e) => !e.eval(a),
+            Expr::And(l, r) => l.eval(a) && r.eval(a),
+            Expr::Or(l, r) => l.eval(a) || r.eval(a),
+            Expr::Xor(l, r) => l.eval(a) ^ r.eval(a),
+        }
+    }
+
+    fn build(&self, m: &mut BddManager, vars: &[Var]) -> Bdd {
+        match self {
+            Expr::Var(i) => m.var(vars[*i]),
+            Expr::Not(e) => {
+                let b = e.build(m, vars);
+                m.not(b)
+            }
+            Expr::And(l, r) => {
+                let (bl, br) = (l.build(m, vars), r.build(m, vars));
+                m.and(bl, br)
+            }
+            Expr::Or(l, r) => {
+                let (bl, br) = (l.build(m, vars), r.build(m, vars));
+                m.or(bl, br)
+            }
+            Expr::Xor(l, r) => {
+                let (bl, br) = (l.build(m, vars), r.build(m, vars));
+                m.xor(bl, br)
+            }
+        }
+    }
+}
+
+const N_VARS: usize = 6;
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = (0..N_VARS).prop_map(Expr::Var);
+    leaf.prop_recursive(5, 64, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(l, r)| Expr::And(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(l, r)| Expr::Or(Box::new(l), Box::new(r))),
+            (inner.clone(), inner).prop_map(|(l, r)| Expr::Xor(Box::new(l), Box::new(r))),
+        ]
+    })
+}
+
+fn setup() -> (BddManager, Vec<Var>) {
+    let mut m = BddManager::new();
+    let vars = (0..N_VARS).map(|_| m.new_var()).collect();
+    (m, vars)
+}
+
+fn assignments() -> impl Iterator<Item = Vec<bool>> {
+    (0..(1u32 << N_VARS)).map(|i| (0..N_VARS).map(|j| (i >> j) & 1 == 1).collect())
+}
+
+proptest! {
+    #[test]
+    fn bdd_matches_expression_semantics(e in arb_expr()) {
+        let (mut m, vars) = setup();
+        let f = e.build(&mut m, &vars);
+        for a in assignments() {
+            prop_assert_eq!(m.eval(f, &a), e.eval(&a));
+        }
+    }
+
+    #[test]
+    fn canonicity_equal_functions_get_equal_handles(e1 in arb_expr(), e2 in arb_expr()) {
+        let (mut m, vars) = setup();
+        let f1 = e1.build(&mut m, &vars);
+        let f2 = e2.build(&mut m, &vars);
+        let semantically_equal = assignments().all(|a| e1.eval(&a) == e2.eval(&a));
+        prop_assert_eq!(f1 == f2, semantically_equal);
+    }
+
+    #[test]
+    fn xor_detects_inequality(e1 in arb_expr(), e2 in arb_expr()) {
+        // The core delay algorithm's equality test: f(t) ≠ f(∞) iff the
+        // XOR BDD is non-false, and every cube of it is a witness.
+        let (mut m, vars) = setup();
+        let f1 = e1.build(&mut m, &vars);
+        let f2 = e2.build(&mut m, &vars);
+        let diff = m.xor(f1, f2);
+        let semantically_equal = assignments().all(|a| e1.eval(&a) == e2.eval(&a));
+        prop_assert_eq!(diff.is_false(), semantically_equal);
+        for cube in m.cubes(diff) {
+            let a = m.cube_to_assignment(&cube, N_VARS);
+            prop_assert_ne!(e1.eval(&a), e2.eval(&a));
+        }
+    }
+
+    #[test]
+    fn sat_count_matches_truth_table(e in arb_expr()) {
+        let (mut m, vars) = setup();
+        let f = e.build(&mut m, &vars);
+        let expected = assignments().filter(|a| e.eval(a)).count() as f64;
+        prop_assert_eq!(m.sat_count(f, N_VARS), expected);
+    }
+
+    #[test]
+    fn quantification_semantics(e in arb_expr(), v in 0..N_VARS) {
+        let (mut m, vars) = setup();
+        let f = e.build(&mut m, &vars);
+        let ex = m.exists(f, vars[v]);
+        let fa = m.forall(f, vars[v]);
+        for a in assignments() {
+            let mut a1 = a.clone();
+            a1[v] = true;
+            let mut a0 = a.clone();
+            a0[v] = false;
+            let (e1, e0) = (e.eval(&a1), e.eval(&a0));
+            prop_assert_eq!(m.eval(ex, &a), e1 || e0);
+            prop_assert_eq!(m.eval(fa, &a), e1 && e0);
+        }
+    }
+
+    #[test]
+    fn compose_semantics(e in arb_expr(), g in arb_expr(), v in 0..N_VARS) {
+        let (mut m, vars) = setup();
+        let f = e.build(&mut m, &vars);
+        let gb = g.build(&mut m, &vars);
+        let h = m.compose(f, vars[v], gb);
+        for a in assignments() {
+            let mut subst = a.clone();
+            subst[v] = g.eval(&a);
+            prop_assert_eq!(m.eval(h, &a), e.eval(&subst));
+        }
+    }
+
+    #[test]
+    fn support_is_sound(e in arb_expr()) {
+        // Variables outside the support never affect the function value.
+        let (mut m, vars) = setup();
+        let f = e.build(&mut m, &vars);
+        let support = m.support(f);
+        for v in 0..N_VARS {
+            if support.contains(&vars[v]) {
+                continue;
+            }
+            for a in assignments() {
+                let mut flipped = a.clone();
+                flipped[v] = !flipped[v];
+                prop_assert_eq!(m.eval(f, &a), m.eval(f, &flipped));
+            }
+        }
+    }
+
+    #[test]
+    fn cubes_partition_onset(e in arb_expr()) {
+        let (mut m, vars) = setup();
+        let f = e.build(&mut m, &vars);
+        let cubes: Vec<_> = m.cubes(f).collect();
+        for a in assignments() {
+            let covering = cubes
+                .iter()
+                .filter(|c| c.literals().iter().all(|&(v, p)| a[v.index()] == p))
+                .count();
+            prop_assert_eq!(covering, usize::from(e.eval(&a)));
+        }
+    }
+}

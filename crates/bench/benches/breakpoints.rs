@@ -1,0 +1,68 @@
+//! Criterion bench: the breakpoint search and straddling-path
+//! enumeration primitives that drive the descending-`t` loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use tbf_logic::generators::adders::carry_bypass;
+use tbf_logic::generators::random::random_dag;
+use tbf_logic::generators::unit_ninety_percent;
+use tbf_logic::paths::{next_breakpoint, straddling_paths};
+use tbf_logic::Time;
+
+fn bench_next_breakpoint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("next_breakpoint");
+    for gates in [100usize, 300, 1000] {
+        let n = random_dag(16, gates, 4, 7);
+        let out = n.outputs()[0].1;
+        group.bench_with_input(BenchmarkId::from_parameter(gates), &n, |b, n| {
+            b.iter(|| next_breakpoint(black_box(n), out, Time::MAX))
+        });
+    }
+    group.finish();
+}
+
+fn bench_breakpoint_chain(c: &mut Criterion) {
+    // Walking the whole descending chain exercises the memoized DP at
+    // many residuals.
+    let n = carry_bypass(4, 4, unit_ninety_percent());
+    let out = n
+        .outputs()
+        .iter()
+        .find(|(name, _)| name == "cout")
+        .expect("bypass adder has a carry out")
+        .1;
+    c.bench_function("breakpoint_chain/bypass4x4_cout", |b| {
+        b.iter(|| {
+            let mut count = 0usize;
+            let mut cur = Time::MAX;
+            while let Some(next) = next_breakpoint(black_box(&n), out, cur) {
+                cur = next;
+                count += 1;
+            }
+            count
+        })
+    });
+}
+
+fn bench_straddling(c: &mut Criterion) {
+    let n = carry_bypass(4, 4, unit_ninety_percent());
+    let out = n
+        .outputs()
+        .iter()
+        .find(|(name, _)| name == "cout")
+        .expect("bypass adder has a carry out")
+        .1;
+    let top = next_breakpoint(&n, out, Time::MAX).expect("has paths");
+    c.bench_function("straddling_paths/bypass4x4_at_top", |b| {
+        b.iter(|| straddling_paths(black_box(&n), out, top, 100_000).unwrap().len())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_next_breakpoint,
+    bench_breakpoint_chain,
+    bench_straddling
+);
+criterion_main!(benches);

@@ -1,0 +1,204 @@
+//! Regenerates every worked example / figure of the paper with a
+//! paper-value vs measured-value column — the per-figure index of
+//! `EXPERIMENTS.md`.
+//!
+//! ```sh
+//! cargo run -p tbf-bench --release --bin examples_table
+//! ```
+
+use tbf_core::{floating_delay, sequences_delay, two_vector_delay, DelayOptions, TbfExpr};
+use tbf_logic::generators::adders::paper_bypass_adder;
+use tbf_logic::generators::figures::{
+    figure1_three_paths, figure4_example3, figure5_example4, figure6_glitch,
+};
+use tbf_logic::paths::all_paths;
+use tbf_logic::{DelayBounds, Time};
+use tbf_lp::{PathLp, PathLpOutcome};
+
+struct Check {
+    id: &'static str,
+    what: &'static str,
+    paper: String,
+    measured: String,
+}
+
+impl Check {
+    fn ok(&self) -> bool {
+        self.paper == self.measured
+    }
+}
+
+fn main() {
+    let opts = DelayOptions::default();
+    let mut checks: Vec<Check> = Vec::new();
+
+    // Example 1 (Figure 1): falling-transition sensitization of P1 is
+    // topologically infeasible.
+    {
+        let n = figure1_three_paths();
+        let p1 = n.node(n.find("p1").unwrap()).delay();
+        let mut lp = PathLp::new(&[
+            (p1.min.scaled(), p1.max.scaled()),
+            (Time::from_int(1).scaled(), Time::from_int(2).scaled()),
+            (Time::from_int(1).scaled(), Time::from_int(2).scaled()),
+        ]);
+        lp.t_greater_than(&[1]);
+        lp.t_less_than(&[2]);
+        lp.set_t_window(p1.min.scaled(), p1.max.scaled());
+        let outcome = match lp.solve() {
+            PathLpOutcome::Infeasible => "infeasible",
+            PathLpOutcome::Feasible { .. } => "feasible",
+        };
+        checks.push(Check {
+            id: "Ex.1/Fig.1",
+            what: "P1 falling sensitization",
+            paper: "infeasible".into(),
+            measured: outcome.into(),
+        });
+    }
+
+    // Example 2 (Figure 2): the TBF a(t−1) ⊕ b(t+1) on step inputs
+    // (a rises at 0, b rises at 3) produces a pulse on [1, 2).
+    {
+        let f = TbfExpr::var(0, -Time::from_int(1)).xor(TbfExpr::var(1, Time::from_int(1)));
+        let wave = |i: usize, t: Time| {
+            if i == 0 {
+                t >= Time::ZERO
+            } else {
+                t >= Time::from_int(3)
+            }
+        };
+        let measured = format!(
+            "{}{}{}",
+            u8::from(f.eval_at(Time::from_units(0.5), &wave)),
+            u8::from(f.eval_at(Time::from_units(1.5), &wave)),
+            u8::from(f.eval_at(Time::from_units(2.5), &wave)),
+        );
+        checks.push(Check {
+            id: "Ex.2/Fig.2",
+            what: "TBF waveform at t = 0.5/1.5/2.5",
+            paper: "010".into(),
+            measured,
+        });
+    }
+
+    // Figure 3: a rise-3/fall-2 buffer shrinks a width-5 pulse to 4.
+    {
+        let stage = TbfExpr::rise_fall_buffer(0, Time::from_int(3), Time::from_int(2));
+        let wave = |_: usize, t: Time| t >= Time::ZERO && t < Time::from_int(5);
+        // Output high on [3, 7): measure its width on the grid.
+        let mut width = 0i64;
+        for k in 0..120 {
+            let t = Time::from_units(k as f64 * 0.1);
+            if stage.eval_at(t, &wave) {
+                width += 1;
+            }
+        }
+        checks.push(Check {
+            id: "Fig.3",
+            what: "pulse width after rise-3/fall-2 buffer",
+            paper: "4".into(),
+            measured: format!("{}", width as f64 / 10.0),
+        });
+    }
+
+    // Example 3 (Figure 4): exact 2-vector delay = 4.
+    {
+        let r = two_vector_delay(&figure4_example3(), &opts).unwrap();
+        checks.push(Check {
+            id: "Ex.3/Fig.4",
+            what: "exact 2-vector delay",
+            paper: "4".into(),
+            measured: r.delay.to_string(),
+        });
+    }
+
+    // Example 4 (Figure 5): path groups at t = 2.8.
+    {
+        let n = figure5_example4();
+        let out = n.find("g5").unwrap();
+        let t28 = Time::from_units(2.8);
+        let paths = all_paths(&n, out, 100).unwrap();
+        let neg = paths.iter().filter(|p| p.length_min(&n) >= t28).count();
+        let dd = paths.iter().filter(|p| p.straddles(&n, t28)).count();
+        let pos = paths.len() - neg - dd;
+        checks.push(Check {
+            id: "Ex.4/Fig.5",
+            what: "path groups (neg/dd/pos) at t=2.8",
+            paper: "1/2/2".into(),
+            measured: format!("{neg}/{dd}/{pos}"),
+        });
+    }
+
+    // Example 5 (Figure 6): fixed delays → D(ω⁻) = 0, floating = 2.
+    {
+        let fixed = figure6_glitch();
+        let seq = sequences_delay(&fixed, &opts).unwrap().delay;
+        let fl = floating_delay(&fixed, &opts).unwrap().delay;
+        checks.push(Check {
+            id: "Ex.5/Fig.6",
+            what: "fixed delays: D(ω⁻) / floating",
+            paper: "0 / 2".into(),
+            measured: format!("{seq} / {fl}"),
+        });
+        let variable = fixed.map_delays(|d| DelayBounds::new(d.max - Time::EPSILON, d.max));
+        let seq_v = sequences_delay(&variable, &opts).unwrap().delay;
+        checks.push(Check {
+            id: "Thm.2",
+            what: "variable delays: D(ω⁻) = floating",
+            paper: "2".into(),
+            measured: seq_v.to_string(),
+        });
+    }
+
+    // §11 (Figures 7–9): bypass adder L = 40, exact = 24.
+    {
+        let n = paper_bypass_adder();
+        let r = two_vector_delay(&n, &opts).unwrap();
+        checks.push(Check {
+            id: "§11/Fig.7",
+            what: "bypass adder topological",
+            paper: "40".into(),
+            measured: r.topological.to_string(),
+        });
+        checks.push(Check {
+            id: "§11/Fig.9",
+            what: "bypass adder exact 2-vector",
+            paper: "24".into(),
+            measured: r.delay.to_string(),
+        });
+    }
+
+    // Theorem 5: threshold f* = 24/40 = 0.6.
+    {
+        let n = paper_bypass_adder();
+        let f = tbf_core::lower_bounds::precision_threshold(&n, &opts).unwrap();
+        checks.push(Check {
+            id: "Thm.5",
+            what: "precision threshold f*",
+            paper: "0.6".into(),
+            measured: format!("{f:.1}"),
+        });
+    }
+
+    println!(
+        "{:<12} {:<38} {:>12} {:>12} {:>5}",
+        "artifact", "quantity", "paper", "measured", "match"
+    );
+    println!("{}", "-".repeat(84));
+    let mut all_ok = true;
+    for c in &checks {
+        all_ok &= c.ok();
+        println!(
+            "{:<12} {:<38} {:>12} {:>12} {:>5}",
+            c.id,
+            c.what,
+            c.paper,
+            c.measured,
+            if c.ok() { "yes" } else { "NO" }
+        );
+    }
+    println!("{}", "-".repeat(84));
+    println!("{}", if all_ok { "all paper values reproduced" } else { "MISMATCHES FOUND" });
+    std::process::exit(i32::from(!all_ok));
+}

@@ -1,0 +1,78 @@
+//! Regenerates the §10 analysis: the Theorem 5 precision sweep (2-vector
+//! delay vs the lower-bound fraction `f`) and the Theorem 3 invariance of
+//! the sequences delay — for the paper's adder and a scaled-up bypass
+//! adder.
+//!
+//! ```sh
+//! cargo run -p tbf-bench --release --bin lower_bounds
+//! ```
+
+use tbf_core::lower_bounds::{precision_sweep, precision_threshold};
+use tbf_core::{sequences_delay, DelayOptions};
+use tbf_logic::generators::adders::{carry_bypass, paper_bypass_adder};
+use tbf_logic::generators::unit_ninety_percent;
+use tbf_logic::{DelayBounds, Netlist};
+
+fn sweep(name: &str, n: &Netlist, opts: &DelayOptions) {
+    let f_star = match precision_threshold(n, opts) {
+        Ok(f) => f,
+        Err(e) => {
+            println!("\n{name}: threshold not computable ({e})");
+            return;
+        }
+    };
+    println!(
+        "\n{name}: L = {}, threshold f* = {f_star:.3}",
+        n.topological_delay()
+    );
+    println!("{:>6} {:>10}", "f", "D(2)");
+    match precision_sweep(n, 11, opts) {
+        Ok(points) => {
+            for p in points {
+                let marker = if p.fraction() < f_star { " (plateau)" } else { "" };
+                println!("{:>6.2} {:>10}{marker}", p.fraction(), p.delay.to_string());
+            }
+        }
+        Err(e) => println!("  sweep capped: {e}"),
+    }
+}
+
+fn invariance(name: &str, n: &Netlist, opts: &DelayOptions) {
+    print!("{name}: D(ω⁻) at f ∈ {{0, .3, .6, .9}} = ");
+    let mut vals = Vec::new();
+    for f in [0.0, 0.3, 0.6, 0.9] {
+        let scaled = n.map_delays(|d| DelayBounds::scaled_min(d.max, f));
+        match sequences_delay(&scaled, opts) {
+            Ok(r) => vals.push(r.delay),
+            Err(e) => {
+                println!("capped ({e})");
+                return;
+            }
+        }
+    }
+    let strs: Vec<String> = vals.iter().map(|t| t.to_string()).collect();
+    let invariant = vals.windows(2).all(|w| w[0] == w[1]);
+    println!(
+        "{} → {}",
+        strs.join(", "),
+        if invariant { "invariant (Theorem 3 holds)" } else { "VARIES (violation!)" }
+    );
+}
+
+fn main() {
+    let opts = DelayOptions {
+        max_bdd_nodes: 16_000_000,
+        ..DelayOptions::default()
+    };
+    println!("=== Theorem 5: 2-vector delay vs manufacturing precision ===");
+    sweep("paper §11 adder", &paper_bypass_adder(), &opts);
+    sweep(
+        "bypass 4x4",
+        &carry_bypass(4, 4, unit_ninety_percent()),
+        &opts,
+    );
+
+    println!("\n=== Theorem 3: sequences delay is invariant in dmin ===");
+    invariance("paper §11 adder", &paper_bypass_adder(), &opts);
+    invariance("bypass 4x4", &carry_bypass(4, 4, unit_ninety_percent()), &opts);
+}

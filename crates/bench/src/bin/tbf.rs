@@ -1,0 +1,249 @@
+//! `tbf` — command-line exact delay analysis for `.bench` / `.blif`
+//! netlists.
+//!
+//! ```text
+//! Usage: tbf [OPTIONS] <NETLIST>
+//!
+//!   <NETLIST>              path to an ISCAS-85 .bench or a BLIF file
+//!
+//! Options:
+//!   --model <M>            two-vector | sequences | floating | all  [default: all]
+//!   --delays <D>           unit | mcnc                              [default: mcnc]
+//!   --dmin-ratio <F>       overwrite every dmin with F·dmax (0 ≤ F ≤ 1)
+//!   --max-paths <N>        delay-dependent path cap
+//!   --max-bdd <N>          BDD node cap
+//!   --replay               simulate the 2-vector witness and report the
+//!                          observed last transition
+//!   --per-output           print the per-output breakdown
+//! ```
+
+use std::process::ExitCode;
+
+use tbf_core::{
+    floating_delay, sequences_delay, topological_delay, two_vector_delay, DelayOptions,
+    DelayReport,
+};
+use tbf_logic::parsers::bench::parse_bench;
+use tbf_logic::parsers::blif::parse_blif;
+use tbf_logic::parsers::{mcnc_like_delays, unit_delays};
+use tbf_logic::{DelayBounds, Netlist};
+use tbf_sim::{simulate, Stimulus};
+
+struct Args {
+    netlist: String,
+    model: String,
+    delays: String,
+    dmin_ratio: Option<f64>,
+    max_paths: Option<usize>,
+    max_bdd: Option<usize>,
+    replay: bool,
+    per_output: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        netlist: String::new(),
+        model: "all".into(),
+        delays: "mcnc".into(),
+        dmin_ratio: None,
+        max_paths: None,
+        max_bdd: None,
+        replay: false,
+        per_output: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .ok_or_else(|| format!("missing value for {flag}"))
+        };
+        match a.as_str() {
+            "--model" => args.model = value("--model")?,
+            "--delays" => args.delays = value("--delays")?,
+            "--dmin-ratio" => {
+                let f: f64 = value("--dmin-ratio")?
+                    .parse()
+                    .map_err(|e| format!("--dmin-ratio: {e}"))?;
+                if !(0.0..=1.0).contains(&f) {
+                    return Err(format!("--dmin-ratio must be within [0, 1], got {f}"));
+                }
+                args.dmin_ratio = Some(f);
+            }
+            "--max-paths" => {
+                args.max_paths = Some(
+                    value("--max-paths")?
+                        .parse()
+                        .map_err(|e| format!("--max-paths: {e}"))?,
+                )
+            }
+            "--max-bdd" => {
+                args.max_bdd = Some(
+                    value("--max-bdd")?
+                        .parse()
+                        .map_err(|e| format!("--max-bdd: {e}"))?,
+                )
+            }
+            "--replay" => args.replay = true,
+            "--per-output" => args.per_output = true,
+            "--help" | "-h" => return Err("help".into()),
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            other => {
+                if args.netlist.is_empty() {
+                    args.netlist = other.to_owned();
+                } else {
+                    return Err(format!("unexpected argument {other}"));
+                }
+            }
+        }
+    }
+    if args.netlist.is_empty() {
+        return Err("missing netlist path".into());
+    }
+    Ok(args)
+}
+
+fn usage() {
+    eprintln!(
+        "usage: tbf [--model two-vector|sequences|floating|all] \
+         [--delays unit|mcnc] [--dmin-ratio F] [--max-paths N] [--max-bdd N] \
+         [--replay] [--per-output] <netlist.bench|netlist.blif>"
+    );
+}
+
+fn load(args: &Args) -> Result<Netlist, String> {
+    let text = std::fs::read_to_string(&args.netlist)
+        .map_err(|e| format!("{}: {e}", args.netlist))?;
+    let delay_fn = match args.delays.as_str() {
+        "unit" => unit_delays as fn(_, _) -> _,
+        "mcnc" => mcnc_like_delays as fn(_, _) -> _,
+        other => return Err(format!("unknown delay model `{other}`")),
+    };
+    let netlist = if args.netlist.ends_with(".blif") {
+        parse_blif(&text, delay_fn)
+    } else {
+        parse_bench(&text, delay_fn)
+    }
+    .map_err(|e| format!("{}: {e}", args.netlist))?;
+    Ok(match args.dmin_ratio {
+        Some(f) => netlist.map_delays(|d| DelayBounds::scaled_min(d.max, f)),
+        None => netlist,
+    })
+}
+
+fn print_report(label: &str, report: &DelayReport, per_output: bool) {
+    println!(
+        "{label:<12} {:>10}   ({} breakpoints, {} resolvents, {} LPs, peak {} BDD nodes)",
+        report.delay.to_string(),
+        report.stats.breakpoints_visited,
+        report.stats.resolvents,
+        report.stats.lps_solved,
+        report.stats.peak_bdd_nodes
+    );
+    if per_output {
+        for o in &report.outputs {
+            println!(
+                "    {:<24} {:>10}{}  (topological {})",
+                o.name,
+                o.delay.to_string(),
+                if o.exact { "" } else { " (bound)" },
+                o.topological
+            );
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            if e != "help" {
+                eprintln!("error: {e}");
+            }
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    let netlist = match load(&args) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut options = DelayOptions::default();
+    if let Some(p) = args.max_paths {
+        options.max_straddling_paths = p;
+    }
+    if let Some(b) = args.max_bdd {
+        options.max_bdd_nodes = b;
+    }
+
+    println!(
+        "{}: {} gates, {} inputs, {} outputs",
+        args.netlist,
+        netlist.gate_count(),
+        netlist.inputs().len(),
+        netlist.outputs().len()
+    );
+    println!("{:<12} {:>10}", "topological", topological_delay(&netlist).to_string());
+
+    let want = |m: &str| args.model == m || args.model == "all";
+    let mut failures = 0;
+    if want("two-vector") {
+        match two_vector_delay(&netlist, &options) {
+            Ok(r) => {
+                print_report("two-vector", &r, args.per_output);
+                if args.replay {
+                    match &r.witness {
+                        Some(w) => {
+                            let stim = Stimulus::vector_pair(&w.before, &w.after);
+                            let sim = simulate(&netlist, &w.delays, &stim.waveforms(&netlist));
+                            let out = netlist
+                                .outputs()
+                                .iter()
+                                .find(|(name, _)| *name == w.output)
+                                .expect("witness names an output")
+                                .1;
+                            println!(
+                                "    witness replay on `{}`: last transition at {}",
+                                w.output,
+                                sim.waveform(out)
+                                    .last_transition()
+                                    .map(|t| t.to_string())
+                                    .unwrap_or_else(|| "never".into())
+                            );
+                        }
+                        None => println!("    no witness (delay 0)"),
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("two-vector: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if want("sequences") {
+        match sequences_delay(&netlist, &options) {
+            Ok(r) => print_report("sequences", &r, args.per_output),
+            Err(e) => {
+                eprintln!("sequences: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if want("floating") {
+        match floating_delay(&netlist, &options) {
+            Ok(r) => print_report("floating", &r, args.per_output),
+            Err(e) => {
+                eprintln!("floating: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

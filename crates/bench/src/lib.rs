@@ -1,0 +1,124 @@
+//! # tbf-bench — Benchmark harness for the TBF delay suite
+//!
+//! Regenerates every table and figure of the paper's evaluation:
+//!
+//! * `cargo run -p tbf-bench --release --bin table1` — the §12 table
+//!   (per-benchmark topological vs exact delays and runtimes),
+//! * `cargo run -p tbf-bench --release --bin examples_table` — the worked
+//!   examples (Figures 1–9) with paper-vs-measured values,
+//! * `cargo run -p tbf-bench --release --bin lower_bounds` — the §10 /
+//!   Theorem 5 precision sweep and the Theorem 3 invariance check,
+//! * `cargo bench -p tbf-bench` — Criterion microbenches for the engine
+//!   stages (breakpoint search, TBF construction, BDD ops, LPs).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+use tbf_core::{DelayError, DelayOptions, DelayReport};
+use tbf_logic::Netlist;
+
+/// One row of the §12-style table.
+#[derive(Clone, Debug)]
+pub struct TableRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Gate count (inputs excluded).
+    pub gates: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Topological (STA) delay.
+    pub topological: tbf_logic::Time,
+    /// Exact 2-vector delay, or the error that capped it.
+    pub two_vector: Result<tbf_logic::Time, DelayError>,
+    /// Exact sequences (floating) delay, or the error that capped it.
+    pub sequences: Result<tbf_logic::Time, DelayError>,
+    /// Wall-clock milliseconds for the 2-vector computation.
+    pub two_vector_ms: f64,
+    /// Wall-clock milliseconds for the sequences computation.
+    pub sequences_ms: f64,
+}
+
+/// Runs both exact engines on a circuit with timing.
+pub fn run_row(name: &str, netlist: &Netlist, options: &DelayOptions) -> TableRow {
+    let start = Instant::now();
+    let two_vector = tbf_core::two_vector_delay(netlist, options).map(|r: DelayReport| r.delay);
+    let two_vector_ms = start.elapsed().as_secs_f64() * 1e3;
+    let start = Instant::now();
+    let sequences = tbf_core::sequences_delay(netlist, options).map(|r| r.delay);
+    let sequences_ms = start.elapsed().as_secs_f64() * 1e3;
+    TableRow {
+        name: name.to_owned(),
+        gates: netlist.gate_count(),
+        outputs: netlist.outputs().len(),
+        topological: netlist.topological_delay(),
+        two_vector,
+        sequences,
+        two_vector_ms,
+        sequences_ms,
+    }
+}
+
+/// Formats a delay-or-error cell.
+pub fn cell(value: &Result<tbf_logic::Time, DelayError>) -> String {
+    match value {
+        Ok(t) => t.to_string(),
+        Err(e) => match e.bounds() {
+            Some((lo, hi)) => format!("[{lo},{hi}]*"),
+            None => "err".into(),
+        },
+    }
+}
+
+/// Prints the table header used by the binaries.
+pub fn print_header() {
+    println!(
+        "{:<12} {:>6} {:>4} {:>12} {:>10} {:>10} {:>10} {:>10}",
+        "circuit", "gates", "PO", "topological", "D(2)", "ms", "D(ω⁻)", "ms"
+    );
+    println!("{}", "-".repeat(82));
+}
+
+/// Prints one table row.
+pub fn print_row(r: &TableRow) {
+    println!(
+        "{:<12} {:>6} {:>4} {:>12} {:>10} {:>10.1} {:>10} {:>10.1}",
+        r.name,
+        r.gates,
+        r.outputs,
+        r.topological.to_string(),
+        cell(&r.two_vector),
+        r.two_vector_ms,
+        cell(&r.sequences),
+        r.sequences_ms,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbf_logic::parsers::bench::c17;
+    use tbf_logic::parsers::mcnc_like_delays;
+
+    #[test]
+    fn run_row_times_both_engines() {
+        let n = c17(mcnc_like_delays);
+        let row = run_row("c17", &n, &DelayOptions::default());
+        assert_eq!(row.gates, 6);
+        assert!(row.two_vector.is_ok());
+        assert!(row.sequences.is_ok());
+        assert!(row.two_vector_ms >= 0.0);
+        assert_eq!(cell(&row.two_vector), row.two_vector.unwrap().to_string());
+    }
+
+    #[test]
+    fn cell_formats_errors_with_bounds() {
+        let e = DelayError::TooManyPaths {
+            limit: 1,
+            at_breakpoint: tbf_logic::Time::from_int(5),
+            bounds: (tbf_logic::Time::ZERO, tbf_logic::Time::from_int(5)),
+        };
+        assert_eq!(cell(&Err(e)), "[0,5]*");
+    }
+}

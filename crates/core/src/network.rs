@@ -1,0 +1,798 @@
+//! Implicit TBF-network construction (paper §7.1–§7.2).
+//!
+//! At a query point `t = b⁻` the circuit's Timed Boolean Function is
+//! materialized as a BDD by a reverse walk from the output that carries
+//! the accumulated suffix-delay interval:
+//!
+//! * once every completion of the current partial path is **positive**
+//!   (`suffixᵐᵃˣ + arrivalᵐᵃˣ(n) < b`), the whole sub-cone collapses to
+//!   the node's static function over the `x(0⁺)` variables,
+//! * once every completion is **negative**
+//!   (`suffixᵐⁱⁿ + arrivalᵐⁱⁿ(n) ≥ b`), it collapses to the static
+//!   function over the `x(0⁻)` variables,
+//! * only **delay-dependent** (straddling) partial paths are expanded, and
+//!   each straddling TBF variable `x(t−k)` becomes the resolvent
+//!   expression `s·x(0⁺) + s̄·x(0⁻)` of §7.2.
+//!
+//! Two paths carry the *same* TBF variable — and must share a resolvent —
+//! exactly when their delay sums are identical as functions of the gate
+//! delay variables: same multiset of variable-delay gates and equal
+//! fixed-delay contribution. This refinement is what makes Example 5
+//! (Figure 6, fixed delays) come out exact: both paths denote `x(t−2)`,
+//! the conjunction `x(t−2)·x̄(t−2)` is identically 0, and the delay by
+//! sequences of vectors is 0 while the floating delay is 2.
+//!
+//! # Variable ordering and manager lifecycle
+//!
+//! Variables are laid out for small BDDs: primary inputs in **fanin-DFS
+//! order** from the outputs (the classical netlist ordering heuristic),
+//! each input's `x(0⁺)`, `x(0⁻)` and a reserved block of
+//! resolvent/fresh-variable **slots adjacent** to it. Keeping a resolvent
+//! next to the input it selects is what keeps XOR-rich circuits (parity
+//! trees, adders) polynomial: the difference function factors into
+//! contiguous-support blocks instead of remembering one bit per input
+//! across the whole order.
+//!
+//! One [`Engine`] per netlist holds the manager and the two static
+//! evaluations; queries at successive breakpoints reuse them. The manager
+//! is compacted (rebuilt, statics re-derived) when dead nodes from past
+//! queries accumulate, and the slot blocks grow geometrically if a
+//! breakpoint needs more simultaneous variables per input than reserved.
+
+use std::collections::{HashMap, HashSet};
+
+use tbf_bdd::{Bdd, BddManager, Var};
+use tbf_logic::{Netlist, NodeId, Time};
+
+use crate::options::DelayOptions;
+use crate::static_fn::{build_statics, gate_bdd};
+
+/// Abort reasons local to the network build; the engines attach bounds
+/// and convert to [`DelayError`](crate::DelayError).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum BuildAbort {
+    TooManyPaths { limit: usize },
+    BddTooLarge { limit: usize },
+}
+
+/// One resolvent: the Boolean selector of a delay-dependent TBF variable
+/// together with the gate set whose delay sum it compares `t` against.
+#[derive(Clone, Debug)]
+pub(crate) struct Resolvent {
+    pub var: Var,
+    /// All gates on (one representative of) the path; the LP constraint
+    /// is `t ≷ Σ_{g∈gates} d_g`.
+    pub gates: Vec<NodeId>,
+}
+
+/// Identity of a TBF variable `x(t−k)`: the input plus the delay sum `k`
+/// *as a function* (variable-gate multiset + fixed contribution).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct TbfVarKey {
+    input_pos: usize,
+    variable_gates: Vec<NodeId>,
+    fixed_sum: Time,
+}
+
+/// Splits a suffix path into its TBF-variable key parts. `input_pos` is
+/// `usize::MAX` for interior memo keys.
+fn var_key(netlist: &Netlist, input_pos: usize, suffix: &[NodeId]) -> TbfVarKey {
+    let mut variable_gates: Vec<NodeId> = Vec::new();
+    let mut fixed_sum = Time::ZERO;
+    for &g in suffix {
+        let d = netlist.node(g).delay();
+        if d.is_variable() {
+            variable_gates.push(g);
+        } else {
+            fixed_sum += d.max;
+        }
+    }
+    variable_gates.sort_unstable();
+    TbfVarKey {
+        input_pos,
+        variable_gates,
+        fixed_sum,
+    }
+}
+
+/// Primary-input positions in depth-first fanin order from the outputs —
+/// the standard static variable-ordering heuristic for netlist BDDs.
+fn dfs_input_order(netlist: &Netlist) -> Vec<usize> {
+    let mut order = Vec::with_capacity(netlist.inputs().len());
+    let mut seen = vec![false; netlist.len()];
+    let mut stack: Vec<NodeId> = netlist.outputs().iter().rev().map(|&(_, o)| o).collect();
+    while let Some(n) = stack.pop() {
+        if seen[n.index()] {
+            continue;
+        }
+        seen[n.index()] = true;
+        if let Some(pos) = netlist.input_position(n) {
+            order.push(pos);
+            continue;
+        }
+        for &f in netlist.node(n).fanins().iter().rev() {
+            stack.push(f);
+        }
+    }
+    // Inputs not in any output cone go last.
+    let mut placed = vec![false; netlist.inputs().len()];
+    for &p in &order {
+        placed[p] = true;
+    }
+    for (pos, done) in placed.iter().enumerate() {
+        if !done {
+            order.push(pos);
+        }
+    }
+    order
+}
+
+/// Hard cap on recursion steps per build — a backstop against circuits
+/// whose delay-dependent region is combinatorially explosive even after
+/// memoization.
+const MAX_BUILD_CALLS: usize = 5_000_000;
+
+/// Classification rule: which leaf references need their own variable.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// 2-vector: straddling leaves (`smin < b ≤ smax`) get resolvents.
+    TwoVector,
+    /// ω⁻: unsettled leaves (`b ≤ smax`) get fresh variables.
+    Sequences,
+}
+
+/// Per-netlist arrival data shared by all queries.
+pub(crate) struct Timing {
+    pub pmax: Vec<Time>,
+    pub pminmin: Vec<Time>,
+    pub input_order: Vec<usize>,
+}
+
+impl Timing {
+    pub fn new(netlist: &Netlist) -> Timing {
+        Timing {
+            pmax: netlist.arrivals(false, true),
+            pminmin: netlist.arrivals(true, false),
+            input_order: dfs_input_order(netlist),
+        }
+    }
+}
+
+/// The result of one 2-vector query.
+#[derive(Debug)]
+pub(crate) struct QueryOut {
+    /// The TBF at `t = b⁻` over `(x⁺, x⁻, s)`.
+    pub f: Bdd,
+    pub resolvents: Vec<Resolvent>,
+}
+
+/// Persistent symbolic engine: manager, statics and variable slots,
+/// reused across breakpoints and outputs of one netlist.
+pub(crate) struct Engine<'a> {
+    netlist: &'a Netlist,
+    pub timing: Timing,
+    max_paths: usize,
+    max_bdd: usize,
+    /// Reserved auxiliary (resolvent / fresh) variables per input.
+    slots: usize,
+    pub manager: BddManager,
+    after_leaf: Vec<Bdd>,
+    before_leaf: Vec<Bdd>,
+    slot_vars: Vec<Vec<Var>>,
+    static_after: Vec<Bdd>,
+    static_before: Vec<Bdd>,
+    /// All `x⁺`/`x⁻` variables (for the ∃-projection onto resolvents).
+    pub input_vars: Vec<Var>,
+    statics_baseline: usize,
+    /// Whether any gate has fixed delay. When every gate delay is
+    /// variable, two distinct suffixes can never share a k-function
+    /// (equal variable-gate multisets in a DAG force equal paths), so
+    /// interior memoization can never hit and is skipped.
+    memo_useful: bool,
+}
+
+impl<'a> Engine<'a> {
+    pub fn new(netlist: &'a Netlist, options: &DelayOptions) -> Result<Engine<'a>, BuildAbort> {
+        let mut engine = Engine {
+            netlist,
+            timing: Timing::new(netlist),
+            max_paths: options.max_straddling_paths,
+            max_bdd: options.max_bdd_nodes,
+            slots: 4,
+            manager: BddManager::new(),
+            after_leaf: Vec::new(),
+            before_leaf: Vec::new(),
+            slot_vars: Vec::new(),
+            static_after: Vec::new(),
+            static_before: Vec::new(),
+            input_vars: Vec::new(),
+            statics_baseline: 0,
+            memo_useful: netlist.nodes().any(|(_, n)| {
+                !n.kind().is_input() && !n.kind().is_constant() && !n.delay().is_variable()
+            }),
+        };
+        engine.layout()?;
+        Ok(engine)
+    }
+
+    /// (Re)creates the manager: interleaved variables, then both statics.
+    fn layout(&mut self) -> Result<(), BuildAbort> {
+        let n_inputs = self.netlist.inputs().len();
+        let mut manager = BddManager::new();
+        let mut after_leaf = vec![Bdd::FALSE; n_inputs];
+        let mut before_leaf = vec![Bdd::FALSE; n_inputs];
+        let mut slot_vars = vec![Vec::new(); n_inputs];
+        let mut input_vars = Vec::with_capacity(2 * n_inputs);
+        for &pos in &self.timing.input_order {
+            let name = self.netlist.node(self.netlist.inputs()[pos]).name().to_owned();
+            let va = manager.new_named_var(&format!("{name}+"));
+            let vb = manager.new_named_var(&format!("{name}-"));
+            input_vars.push(va);
+            input_vars.push(vb);
+            after_leaf[pos] = manager.var(va);
+            before_leaf[pos] = manager.var(vb);
+            slot_vars[pos] = (0..self.slots)
+                .map(|j| manager.new_named_var(&format!("s_{name}_{j}")))
+                .collect();
+        }
+        let overflow = |_limit| BuildAbort::BddTooLarge {
+            limit: self.max_bdd,
+        };
+        let static_after =
+            build_statics(&mut manager, self.netlist, &after_leaf, self.max_bdd)
+                .map_err(overflow)?;
+        let static_before =
+            build_statics(&mut manager, self.netlist, &before_leaf, self.max_bdd)
+                .map_err(overflow)?;
+        self.statics_baseline = manager.node_count();
+        self.manager = manager;
+        self.after_leaf = after_leaf;
+        self.before_leaf = before_leaf;
+        self.slot_vars = slot_vars;
+        self.static_after = static_after;
+        self.static_before = static_before;
+        self.input_vars = input_vars;
+        Ok(())
+    }
+
+    /// Drops dead nodes accumulated by past queries once they pile up
+    /// beyond a fixed headroom over the statics baseline. Cheap queries
+    /// never trigger it.
+    pub fn maybe_compact(&mut self) -> Result<(), BuildAbort> {
+        const HEADROOM: usize = 2_000_000;
+        if self.manager.node_count() > self.statics_baseline + HEADROOM {
+            self.layout()?;
+        } else {
+            self.manager.clear_op_caches();
+        }
+        Ok(())
+    }
+
+    /// `f(∞)` of an output (over the `x⁺` variables).
+    pub fn static_out(&self, output: NodeId) -> Bdd {
+        self.static_after[output.index()]
+    }
+
+    /// The BDD variable of input `pos`'s `x(0⁺)` (`after = true`) or
+    /// `x(0⁻)` leaf.
+    pub fn leaf_var(&self, pos: usize, after: bool) -> Var {
+        let leaf = if after {
+            self.after_leaf[pos]
+        } else {
+            self.before_leaf[pos]
+        };
+        self.manager
+            .root_var(leaf)
+            .expect("input leaves are single variables")
+    }
+
+    /// Grows the per-input slot blocks and rebuilds the layout.
+    fn grow_slots(&mut self, needed: usize) -> Result<(), BuildAbort> {
+        while self.slots < needed {
+            self.slots *= 2;
+        }
+        self.layout()
+    }
+
+    /// Pass 1: discover the distinct TBF-variable keys of a query.
+    fn collect_keys(
+        &self,
+        output: NodeId,
+        b: Time,
+        mode: Mode,
+    ) -> Result<Vec<(TbfVarKey, Vec<NodeId>)>, BuildAbort> {
+        struct KeyCollect<'n> {
+            netlist: &'n Netlist,
+            pmax: &'n [Time],
+            pminmin: &'n [Time],
+            b: Time,
+            mode: Mode,
+            max_paths: usize,
+            memo_useful: bool,
+            suffix: Vec<NodeId>,
+            seen: HashSet<(NodeId, TbfVarKey)>,
+            keys: HashMap<TbfVarKey, Vec<NodeId>>,
+            calls: usize,
+        }
+        impl KeyCollect<'_> {
+            fn run(&mut self, n: NodeId, smin: Time, smax: Time) -> Result<(), BuildAbort> {
+                let i = n.index();
+                if smax + self.pmax[i] < self.b {
+                    return Ok(()); // fully positive: no new variables
+                }
+                if self.mode == Mode::TwoVector && smin + self.pminmin[i] >= self.b {
+                    return Ok(()); // fully negative
+                }
+                self.calls += 1;
+                if self.calls > MAX_BUILD_CALLS {
+                    return Err(BuildAbort::TooManyPaths {
+                        limit: self.max_paths,
+                    });
+                }
+                let node = self.netlist.node(n);
+                if node.kind().is_constant() {
+                    return Ok(());
+                }
+                if let Some(pos) = self.netlist.input_position(n) {
+                    let key = var_key(self.netlist, pos, &self.suffix);
+                    if !self.keys.contains_key(&key) {
+                        if self.keys.len() >= self.max_paths {
+                            return Err(BuildAbort::TooManyPaths {
+                                limit: self.max_paths,
+                            });
+                        }
+                        self.keys.insert(key, self.suffix.clone());
+                    }
+                    return Ok(());
+                }
+                if self.memo_useful {
+                    let memo_key = (n, var_key(self.netlist, usize::MAX, &self.suffix));
+                    if !self.seen.insert(memo_key) {
+                        return Ok(());
+                    }
+                }
+                let d = node.delay();
+                let fanins: Vec<NodeId> = node.fanins().to_vec();
+                self.suffix.push(n);
+                for f in fanins {
+                    self.run(f, smin + d.min, smax + d.max)?;
+                }
+                self.suffix.pop();
+                Ok(())
+            }
+        }
+        let mut kc = KeyCollect {
+            netlist: self.netlist,
+            pmax: &self.timing.pmax,
+            pminmin: &self.timing.pminmin,
+            b,
+            mode,
+            max_paths: self.max_paths,
+            memo_useful: self.memo_useful,
+            suffix: Vec::new(),
+            seen: HashSet::new(),
+            keys: HashMap::new(),
+            calls: 0,
+        };
+        kc.run(output, Time::ZERO, Time::ZERO)?;
+        let mut entries: Vec<(TbfVarKey, Vec<NodeId>)> = kc.keys.into_iter().collect();
+        // Deterministic slot assignment.
+        entries.sort_by(|a, b| {
+            (a.0.input_pos, a.0.fixed_sum, &a.0.variable_gates).cmp(&(
+                b.0.input_pos,
+                b.0.fixed_sum,
+                &b.0.variable_gates,
+            ))
+        });
+        Ok(entries)
+    }
+
+    /// Assigns each key a slot variable of its input, growing slots when a
+    /// breakpoint needs more than reserved.
+    fn assign_slots(
+        &mut self,
+        entries: &[(TbfVarKey, Vec<NodeId>)],
+    ) -> Result<HashMap<TbfVarKey, Var>, BuildAbort> {
+        let mut per_input_count: HashMap<usize, usize> = HashMap::new();
+        for (key, _) in entries {
+            *per_input_count.entry(key.input_pos).or_insert(0) += 1;
+        }
+        if let Some(&max_needed) = per_input_count.values().max() {
+            if max_needed > self.slots {
+                self.grow_slots(max_needed)?;
+            }
+        }
+        let mut next_slot: HashMap<usize, usize> = HashMap::new();
+        let mut assignment = HashMap::with_capacity(entries.len());
+        for (key, _) in entries {
+            let slot = next_slot.entry(key.input_pos).or_insert(0);
+            assignment.insert(key.clone(), self.slot_vars[key.input_pos][*slot]);
+            *slot += 1;
+        }
+        Ok(assignment)
+    }
+
+    /// Builds the 2-vector TBF query of `output` at `t = b⁻`.
+    pub fn two_vector_query(&mut self, output: NodeId, b: Time) -> Result<QueryOut, BuildAbort> {
+        let entries = self.collect_keys(output, b, Mode::TwoVector)?;
+        let vars = self.assign_slots(&entries)?;
+        let resolvents: Vec<Resolvent> = entries
+            .iter()
+            .map(|(key, gates)| Resolvent {
+                var: vars[key],
+                gates: gates.clone(),
+            })
+            .collect();
+        let leaf_of_key: HashMap<TbfVarKey, Bdd> = entries
+            .iter()
+            .map(|(key, _)| {
+                let s = self.manager.var(vars[key]);
+                let after = self.after_leaf[key.input_pos];
+                let before = self.before_leaf[key.input_pos];
+                (key.clone(), self.manager.ite(s, after, before))
+            })
+            .collect();
+        let f = self.build(output, b, Mode::TwoVector, leaf_of_key)?;
+        Ok(QueryOut { f, resolvents })
+    }
+
+    /// Builds the sequences-of-vectors TBF of `output` at `t = b⁻` (paper
+    /// §9.4): settled variables read `x(0⁺)`, unsettled ones become fresh
+    /// Boolean variables — one per distinct TBF variable, adjacent to
+    /// their input in the order.
+    pub fn sequences_query(&mut self, output: NodeId, b: Time) -> Result<Bdd, BuildAbort> {
+        let entries = self.collect_keys(output, b, Mode::Sequences)?;
+        let vars = self.assign_slots(&entries)?;
+        let leaf_of_key: HashMap<TbfVarKey, Bdd> = entries
+            .iter()
+            .map(|(key, _)| (key.clone(), self.manager.var(vars[key])))
+            .collect();
+        self.build(output, b, Mode::Sequences, leaf_of_key)
+    }
+
+    /// Pass 2: the BDD-building recursion, shared between the two modes.
+    fn build(
+        &mut self,
+        output: NodeId,
+        b: Time,
+        mode: Mode,
+        leaf_of_key: HashMap<TbfVarKey, Bdd>,
+    ) -> Result<Bdd, BuildAbort> {
+        struct TbfBuild<'n> {
+            netlist: &'n Netlist,
+            pmax: &'n [Time],
+            pminmin: &'n [Time],
+            b: Time,
+            mode: Mode,
+            max_paths: usize,
+            max_bdd: usize,
+            memo_useful: bool,
+            static_after: &'n [Bdd],
+            static_before: &'n [Bdd],
+            leaf_of_key: HashMap<TbfVarKey, Bdd>,
+            suffix: Vec<NodeId>,
+            memo: HashMap<(NodeId, TbfVarKey), Bdd>,
+            calls: usize,
+        }
+        impl TbfBuild<'_> {
+            fn go(
+                &mut self,
+                manager: &mut BddManager,
+                n: NodeId,
+                smin: Time,
+                smax: Time,
+            ) -> Result<Bdd, BuildAbort> {
+                let i = n.index();
+                // Collapse rules: compare the extremal total path lengths
+                // of every completion through `n` against the query point.
+                if smax + self.pmax[i] < self.b {
+                    return Ok(self.static_after[i]);
+                }
+                if self.mode == Mode::TwoVector && smin + self.pminmin[i] >= self.b {
+                    return Ok(self.static_before[i]);
+                }
+                if manager.node_count() > self.max_bdd {
+                    return Err(BuildAbort::BddTooLarge {
+                        limit: self.max_bdd,
+                    });
+                }
+                if manager.op_cache_len() > (self.max_bdd / 4).max(1_000_000) {
+                    // Op caches can dominate memory on long builds; the
+                    // unique table (canonicity) is untouched.
+                    manager.clear_op_caches();
+                }
+                self.calls += 1;
+                if self.calls > MAX_BUILD_CALLS {
+                    return Err(BuildAbort::TooManyPaths {
+                        limit: self.max_paths,
+                    });
+                }
+                let node = self.netlist.node(n);
+                if node.kind().is_constant() {
+                    // Constants never transition; both statics coincide.
+                    return Ok(self.static_after[i]);
+                }
+                if let Some(pos) = self.netlist.input_position(n) {
+                    // Neither collapse fired: this path needs its variable
+                    // (straddling resolvent or unsettled fresh variable),
+                    // discovered by pass 1.
+                    let key = var_key(self.netlist, pos, &self.suffix);
+                    return Ok(*self
+                        .leaf_of_key
+                        .get(&key)
+                        .expect("pass 1 discovered every leaf key"));
+                }
+                // Interior gate: recurse into fanins with the gate's delay
+                // added to the suffix interval. Memoize on the suffix's
+                // k-function — suffixes with equal variable-gate multisets
+                // and fixed sums induce identical sub-TBFs (and share
+                // resolvents consistently).
+                let memo_key = if self.memo_useful {
+                    let k = (n, var_key(self.netlist, usize::MAX, &self.suffix));
+                    if let Some(&cached) = self.memo.get(&k) {
+                        return Ok(cached);
+                    }
+                    Some(k)
+                } else {
+                    None
+                };
+                let d = node.delay();
+                let fanins: Vec<NodeId> = node.fanins().to_vec();
+                let kind = node.kind();
+                self.suffix.push(n);
+                let mut fanin_bdds = Vec::with_capacity(fanins.len());
+                for f in fanins {
+                    let b = self.go(manager, f, smin + d.min, smax + d.max)?;
+                    fanin_bdds.push(b);
+                }
+                self.suffix.pop();
+                let result = gate_bdd(manager, kind, &fanin_bdds, self.max_bdd)
+                    .map_err(|e| BuildAbort::BddTooLarge { limit: e.limit })?;
+                if let Some(k) = memo_key {
+                    self.memo.insert(k, result);
+                }
+                Ok(result)
+            }
+        }
+        let mut builder = TbfBuild {
+            netlist: self.netlist,
+            pmax: &self.timing.pmax,
+            pminmin: &self.timing.pminmin,
+            b,
+            mode,
+            max_paths: self.max_paths,
+            max_bdd: self.max_bdd,
+            memo_useful: self.memo_useful,
+            static_after: &self.static_after,
+            static_before: &self.static_before,
+            leaf_of_key,
+            suffix: Vec::new(),
+            memo: HashMap::new(),
+            calls: 0,
+        };
+        builder.go(&mut self.manager, output, Time::ZERO, Time::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbf_logic::generators::figures::{figure4_example3, figure5_example4, figure6_glitch};
+    use tbf_logic::{DelayBounds, GateKind};
+
+    fn t(x: i64) -> Time {
+        Time::from_int(x)
+    }
+
+    fn engine(n: &Netlist) -> Engine<'_> {
+        Engine::new(n, &DelayOptions::default()).expect("small circuit")
+    }
+
+    #[test]
+    fn figure4_tbf_at_4_has_one_resolvent_per_variable() {
+        // At t = 4⁻ the two 2-gate paths straddle; they denote the TBF
+        // variables a(t−d1−d2) and b(t−d1−d2) — distinct inputs, so two
+        // resolvents. The 1-gate path a(t−d2) has kmax 2 < 4 → positive.
+        let n = figure4_example3();
+        let out = n.find("g2").unwrap();
+        let mut e = engine(&n);
+        let q = e.two_vector_query(out, t(4)).expect("small circuit");
+        assert_eq!(q.resolvents.len(), 2);
+        assert_ne!(q.f, e.static_out(out));
+        for r in &q.resolvents {
+            assert_eq!(r.gates.len(), 2);
+        }
+    }
+
+    #[test]
+    fn figure4_tbf_at_2_more_paths_straddle() {
+        let n = figure4_example3();
+        let out = n.find("g2").unwrap();
+        let mut e = engine(&n);
+        let q = e.two_vector_query(out, t(2)).expect("small circuit");
+        // Paths: a→g2 (k ∈ [1,2], straddles 2), a/b→g1→g2 (k ∈ [2,4],
+        // kmin = 2 not < 2 → negative).
+        assert_eq!(q.resolvents.len(), 1);
+        assert_eq!(q.resolvents[0].gates.len(), 1);
+    }
+
+    #[test]
+    fn figure5_classification_matches_example4() {
+        // At t = 2.8: one path negative, two straddling, two positive —
+        // so exactly two resolvents (distinct TBF variables).
+        let n = figure5_example4();
+        let out = n.find("g5").unwrap();
+        let mut e = engine(&n);
+        let q = e
+            .two_vector_query(out, Time::from_units(2.8))
+            .expect("small circuit");
+        assert_eq!(q.resolvents.len(), 2);
+    }
+
+    #[test]
+    fn figure6_fixed_delays_share_the_tbf_variable() {
+        // Both paths have fixed length 2: a single TBF variable a(t−2),
+        // and the sequences TBF collapses to the constant 0 = static.
+        let n = figure6_glitch();
+        let out = n.find("g").unwrap();
+        let mut e = engine(&n);
+        let f = e.sequences_query(out, t(2)).expect("small circuit");
+        assert_eq!(f, e.static_out(out));
+        assert!(f.is_false());
+    }
+
+    #[test]
+    fn figure6_variable_delays_get_distinct_variables() {
+        let n =
+            figure6_glitch().map_delays(|d| DelayBounds::new(d.max - Time::EPSILON, d.max));
+        let out = n.find("g").unwrap();
+        let mut e = engine(&n);
+        let f = e.sequences_query(out, t(2)).expect("small circuit");
+        assert_ne!(f, e.static_out(out));
+    }
+
+    #[test]
+    fn collapse_makes_settled_cones_static() {
+        // A deep chain queried far above its length collapses instantly.
+        let mut b = Netlist::builder();
+        let mut cur = b.input("x");
+        for i in 0..50 {
+            cur = b
+                .gate(
+                    GateKind::Not,
+                    &format!("g{i}"),
+                    vec![cur],
+                    DelayBounds::new(t(1), t(2)),
+                )
+                .unwrap();
+        }
+        b.output("f", cur);
+        let n = b.finish().unwrap();
+        let out = n.find("g49").unwrap();
+        let mut e = engine(&n);
+        // Query at b = 200 > kmax = 100: everything positive.
+        let q = e.two_vector_query(out, t(200)).expect("collapses");
+        assert_eq!(q.resolvents.len(), 0);
+        assert_eq!(q.f, e.static_out(out));
+        // Query at b = 40 < kmin = 50: everything negative — the TBF is
+        // the static function of the x⁻ variables, ≠ static over x⁺.
+        let q = e.two_vector_query(out, t(40)).expect("collapses");
+        assert_eq!(q.resolvents.len(), 0);
+        assert_ne!(q.f, e.static_out(out));
+    }
+
+    #[test]
+    fn path_cap_aborts() {
+        // A wide AND of variable-delay buffers at a straddling query.
+        let mut b = Netlist::builder();
+        let x = b.input("x");
+        let mut bufs = Vec::new();
+        for i in 0..8 {
+            bufs.push(
+                b.gate(
+                    GateKind::Buf,
+                    &format!("b{i}"),
+                    vec![x],
+                    DelayBounds::new(t(1), t(3)),
+                )
+                .unwrap(),
+            );
+        }
+        let g = b
+            .gate(GateKind::And, "g", bufs, DelayBounds::new(t(1), t(1)))
+            .unwrap();
+        b.output("f", g);
+        let n = b.finish().unwrap();
+        let out = n.find("g").unwrap();
+        let opts = DelayOptions {
+            max_straddling_paths: 4,
+            ..DelayOptions::default()
+        };
+        let mut e = Engine::new(&n, &opts).expect("small circuit");
+        let err = e.two_vector_query(out, t(3)).unwrap_err();
+        assert_eq!(err, BuildAbort::TooManyPaths { limit: 4 });
+    }
+
+    #[test]
+    fn slots_grow_on_demand() {
+        // 10 parallel buffers from ONE input: 10 resolvents on the same
+        // input — more than the initial slot reservation.
+        let mut b = Netlist::builder();
+        let x = b.input("x");
+        let mut bufs = Vec::new();
+        for i in 0..10 {
+            bufs.push(
+                b.gate(
+                    GateKind::Buf,
+                    &format!("b{i}"),
+                    vec![x],
+                    DelayBounds::new(t(1), t(3)),
+                )
+                .unwrap(),
+            );
+        }
+        let g = b
+            .gate(GateKind::Xor, "g", bufs, DelayBounds::fixed(t(1)))
+            .unwrap();
+        b.output("f", g);
+        let n = b.finish().unwrap();
+        let out = n.find("g").unwrap();
+        let mut e = engine(&n);
+        let q = e.two_vector_query(out, t(3)).expect("slots grow");
+        assert_eq!(q.resolvents.len(), 10);
+    }
+
+    #[test]
+    fn compaction_preserves_results() {
+        let n = figure4_example3();
+        let out = n.find("g2").unwrap();
+        let mut e = engine(&n);
+        let q1 = e.two_vector_query(out, t(4)).expect("ok");
+        let r1 = q1.resolvents.len();
+        // Force a relayout and re-query: same structure.
+        e.layout().expect("relayout");
+        let q2 = e.two_vector_query(out, t(4)).expect("ok");
+        assert_eq!(r1, q2.resolvents.len());
+        assert_ne!(q2.f, e.static_out(out));
+        e.maybe_compact().expect("compaction ok");
+    }
+
+    #[test]
+    fn resolvents_sit_next_to_their_inputs_in_the_order() {
+        let n = figure4_example3();
+        let out = n.find("g2").unwrap();
+        let mut e = engine(&n);
+        let q = e.two_vector_query(out, t(4)).expect("small circuit");
+        for r in &q.resolvents {
+            let name = e.manager.var_name(r.var).to_owned();
+            assert!(name.starts_with("s_"), "{name}");
+        }
+        // Layout: (a+, a-, 4 slots, b+, b-, 4 slots) = 12 variables.
+        assert_eq!(e.manager.var_count(), 12);
+        // The a-resolvent must be ordered before b's input variables.
+        let a_res = q
+            .resolvents
+            .iter()
+            .find(|r| e.manager.var_name(r.var).starts_with("s_a"))
+            .expect("a has a resolvent");
+        let b_plus = e.input_vars[2]; // b+ is third created
+        assert!(a_res.var < b_plus, "a's resolvent should precede b+");
+    }
+
+    #[test]
+    fn dfs_order_interleaves_adder_operands() {
+        use tbf_logic::generators::adders::ripple_carry;
+        let n = ripple_carry(4, DelayBounds::fixed(t(1)));
+        let order = dfs_input_order(&n);
+        let names: Vec<&str> = order
+            .iter()
+            .map(|&p| n.node(n.inputs()[p]).name())
+            .collect();
+        let pos_a0 = names.iter().position(|&s| s == "a0").unwrap();
+        let pos_b0 = names.iter().position(|&s| s == "b0").unwrap();
+        assert!(
+            pos_a0.abs_diff(pos_b0) <= 2,
+            "a0/b0 should be near-adjacent, got {names:?}"
+        );
+    }
+}

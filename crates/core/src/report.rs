@@ -1,0 +1,167 @@
+//! Result types for the delay engines.
+
+use std::fmt;
+
+use tbf_logic::Time;
+
+/// A sensitizing scenario realizing (or approaching within one
+/// fixed-point unit of) the exact 2-vector delay: the input vector pair
+/// and an in-bounds delay assignment extracted from the winning cube's
+/// linear program.
+///
+/// Feed it to `tbf_sim::simulate` to watch the last output transition
+/// land at the computed delay.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DelayWitness {
+    /// Name of the output whose transition realizes the circuit delay.
+    pub output: String,
+    /// Input vector applied since `t = −∞`, in primary-input order.
+    pub before: Vec<bool>,
+    /// Input vector applied at `t = 0`.
+    pub after: Vec<bool>,
+    /// Per-node delay assignment (indexed like the netlist's nodes).
+    pub delays: Vec<Time>,
+}
+
+/// Per-output delay result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OutputDelay {
+    /// The primary output's name.
+    pub name: String,
+    /// Its delay: exact when [`exact`](Self::exact) is true, otherwise a
+    /// sound upper bound (the output's cone hit a resource cap).
+    pub delay: Time,
+    /// The output's topological delay, for the exact-vs-topological gap.
+    pub topological: Time,
+    /// Whether `delay` is exact (capped cones report a bound instead;
+    /// the circuit-level result is still exact whenever some exact
+    /// output dominates every bounded one).
+    pub exact: bool,
+}
+
+/// Search-effort counters, reported for the paper's CPU-time-style table
+/// columns and for regression tracking.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Breakpoints (`Kᵢᵐᵃˣ` values) examined across all outputs.
+    pub breakpoints_visited: usize,
+    /// Delay-dependent paths expanded (resolvents created).
+    pub resolvents: usize,
+    /// Linear programs solved.
+    pub lps_solved: usize,
+    /// Peak BDD node count.
+    pub peak_bdd_nodes: usize,
+}
+
+/// The result of an exact delay computation.
+///
+/// The circuit delay of Definition 1 is the maximum over outputs of the
+/// per-output last-transition time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DelayReport {
+    /// The circuit's exact delay.
+    pub delay: Time,
+    /// The circuit's topological delay (baseline).
+    pub topological: Time,
+    /// Per-output breakdown.
+    pub outputs: Vec<OutputDelay>,
+    /// A sensitizing scenario for the circuit delay (2-vector engine
+    /// only; `None` when the delay is 0 or the engine was ω⁻).
+    pub witness: Option<DelayWitness>,
+    /// Effort counters.
+    pub stats: SearchStats,
+}
+
+impl DelayReport {
+    /// The gap between the pessimistic topological estimate and the exact
+    /// delay, in time units (0 when every critical path is true).
+    pub fn false_path_slack(&self) -> Time {
+        self.topological - self.delay
+    }
+
+    /// The delay of a named output, if present.
+    pub fn output_delay(&self, name: &str) -> Option<Time> {
+        self.outputs
+            .iter()
+            .find(|o| o.name == name)
+            .map(|o| o.delay)
+    }
+}
+
+impl fmt::Display for DelayReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "exact delay {} (topological {}, slack {})",
+            self.delay,
+            self.topological,
+            self.false_path_slack()
+        )?;
+        for o in &self.outputs {
+            writeln!(
+                f,
+                "  {}: {}{} (topological {})",
+                o.name,
+                if o.exact { "" } else { "≤ " },
+                o.delay,
+                o.topological
+            )?;
+        }
+        write!(
+            f,
+            "  [{} breakpoints, {} resolvents, {} LPs, {} peak BDD nodes]",
+            self.stats.breakpoints_visited,
+            self.stats.resolvents,
+            self.stats.lps_solved,
+            self.stats.peak_bdd_nodes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(x: i64) -> Time {
+        Time::from_int(x)
+    }
+
+    #[test]
+    fn slack_and_lookup() {
+        let r = DelayReport {
+            delay: t(24),
+            topological: t(40),
+            outputs: vec![OutputDelay {
+                name: "cout".into(),
+                delay: t(24),
+                topological: t(40),
+                exact: true,
+            }],
+            witness: None,
+            stats: SearchStats::default(),
+        };
+        assert_eq!(r.false_path_slack(), t(16));
+        assert_eq!(r.output_delay("cout"), Some(t(24)));
+        assert_eq!(r.output_delay("nope"), None);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let r = DelayReport {
+            delay: t(3),
+            topological: t(5),
+            outputs: vec![],
+            witness: None,
+            stats: SearchStats {
+                breakpoints_visited: 2,
+                resolvents: 1,
+                lps_solved: 4,
+                peak_bdd_nodes: 100,
+            },
+        };
+        let s = r.to_string();
+        assert!(s.contains("exact delay 3"));
+        assert!(s.contains("topological 5"));
+        assert!(s.contains("4 LPs"));
+    }
+}

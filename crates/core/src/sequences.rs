@@ -1,0 +1,314 @@
+//! The exact delay-by-sequences-of-vectors engine (paper §8–§9).
+
+use tbf_logic::paths::next_breakpoint;
+use tbf_logic::{Netlist, NodeId, Time};
+
+use crate::error::DelayError;
+use crate::network::{BuildAbort, Engine};
+use crate::options::DelayOptions;
+use crate::report::{DelayReport, OutputDelay, SearchStats};
+
+/// Computes the exact delay by sequences of vectors
+/// `D(C, [dᵐⁱⁿ,dᵐᵃˣ], ω⁻)`: the latest possible arrival time of the last
+/// output transition when an arbitrary train of input vectors ends with a
+/// final vector at `t = 0`.
+///
+/// This is the paper's §9.4 algorithm: descend through the breakpoints
+/// `{Kᵢᵐᵃˣ}`; at each query point replace settled TBF variables
+/// (`kᵐᵃˣ < b`) by `x(0⁺)` and unsettled ones by fresh free Boolean
+/// variables (distinct per distinct TBF variable, per the §9.1 worst-case
+/// delay assignment); the first breakpoint where the TBF differs from the
+/// static function is the exact delay. No linear programming is needed,
+/// and by Theorem 3 the result is invariant under the gate-delay lower
+/// bounds.
+///
+/// For circuits in which every gate has variable delay and no two paths
+/// share a gate set, this equals the **floating** and **viability**
+/// delays (Theorems 1–2); see [`floating_delay`].
+///
+/// # Errors
+///
+/// Returns a [`DelayError`] carrying sound bounds when a resource cap is
+/// exceeded.
+///
+/// # Example
+///
+/// ```
+/// use tbf_core::{sequences_delay, DelayOptions};
+/// use tbf_logic::generators::figures::figure6_glitch;
+/// use tbf_logic::{DelayBounds, Time};
+///
+/// // Figure 6 with fixed delays: the output never moves — delay 0 —
+/// // while the floating delay (unbounded model) would be 2.
+/// let fixed = figure6_glitch();
+/// let r = sequences_delay(&fixed, &DelayOptions::default())?;
+/// assert_eq!(r.delay, Time::ZERO);
+///
+/// // With variable delays the sequences delay rises to the floating
+/// // delay (Theorem 2).
+/// let variable = fixed.map_delays(|d| DelayBounds::new(d.max - Time::EPSILON, d.max));
+/// let r = sequences_delay(&variable, &DelayOptions::default())?;
+/// assert_eq!(r.delay, Time::from_int(2));
+/// # Ok::<(), tbf_core::DelayError>(())
+/// ```
+pub fn sequences_delay(
+    netlist: &Netlist,
+    options: &DelayOptions,
+) -> Result<DelayReport, DelayError> {
+    let mut engine = Engine::new(netlist, options)
+        .map_err(|e| abort_to_error(e, netlist.topological_delay()))?;
+    let deadline = options.time_budget.map(|b| std::time::Instant::now() + b);
+    let mut stats = SearchStats::default();
+    let mut outputs = Vec::new();
+    let mut first_error: Option<DelayError> = None;
+    for (name, out_id) in netlist.outputs() {
+        match output_delay(netlist, &mut engine, *out_id, options, deadline, &mut stats) {
+            Ok(delay) => outputs.push(OutputDelay {
+                name: name.clone(),
+                delay,
+                topological: netlist.topological_delay_of(*out_id),
+                exact: true,
+            }),
+            Err(e) => {
+                // Keep the capped cone's sound upper bound and continue —
+                // a dominating exact output keeps the circuit-level
+                // result exact.
+                let (_, hi) = e
+                    .bounds()
+                    .unwrap_or((Time::ZERO, netlist.topological_delay_of(*out_id)));
+                first_error.get_or_insert(e);
+                outputs.push(OutputDelay {
+                    name: name.clone(),
+                    delay: hi,
+                    topological: netlist.topological_delay_of(*out_id),
+                    exact: false,
+                });
+            }
+        }
+    }
+    let exact_max = outputs
+        .iter()
+        .filter(|o| o.exact)
+        .map(|o| o.delay)
+        .max()
+        .unwrap_or(Time::ZERO);
+    let bound_max = outputs
+        .iter()
+        .filter(|o| !o.exact)
+        .map(|o| o.delay)
+        .max();
+    match (bound_max, first_error) {
+        (Some(bound), Some(e)) if bound > exact_max => {
+            Err(e.with_bounds(exact_max, bound))
+        }
+        _ => Ok(DelayReport {
+            delay: exact_max,
+            topological: netlist.topological_delay(),
+            outputs,
+            witness: None,
+            stats,
+        }),
+    }
+}
+
+/// The floating delay of the circuit under the unbounded gate delay model
+/// `[0, dᵐᵃˣ]`.
+///
+/// By Theorem 3 the sequences delay is invariant in the lower bounds, and
+/// by Theorems 1–2 and 4 it coincides with the floating and viability
+/// delays whenever gate delays are genuinely variable — so this simply
+/// relaxes every gate to `[0, dᵐᵃˣ]` (making every delay variable) and
+/// runs [`sequences_delay`].
+///
+/// # Errors
+///
+/// As for [`sequences_delay`].
+pub fn floating_delay(
+    netlist: &Netlist,
+    options: &DelayOptions,
+) -> Result<DelayReport, DelayError> {
+    let relaxed = netlist.map_delays(|d| tbf_logic::DelayBounds::unbounded(d.max));
+    sequences_delay(&relaxed, options)
+}
+
+fn output_delay(
+    netlist: &Netlist,
+    engine: &mut Engine<'_>,
+    output: NodeId,
+    options: &DelayOptions,
+    deadline: Option<std::time::Instant>,
+    stats: &mut SearchStats,
+) -> Result<Time, DelayError> {
+    let mut b_opt = next_breakpoint(netlist, output, Time::MAX);
+    let mut visited = 0usize;
+    while let Some(b) = b_opt {
+        visited += 1;
+        stats.breakpoints_visited += 1;
+        if let Some(d) = deadline {
+            let now = std::time::Instant::now();
+            if now > d {
+                let budget = options.time_budget.unwrap_or_default();
+                return Err(DelayError::TimedOut {
+                    elapsed_ms: budget.as_millis() as u64,
+                    at_breakpoint: b,
+                    bounds: (Time::ZERO, b),
+                });
+            }
+        }
+        if visited > options.max_breakpoints {
+            return Err(DelayError::TooManyCubes {
+                limit: options.max_breakpoints,
+                at_breakpoint: b,
+                bounds: (Time::ZERO, b),
+            });
+        }
+        let f = engine
+            .sequences_query(output, b)
+            .map_err(|e| abort_to_error(e, b))?;
+        stats.peak_bdd_nodes = stats.peak_bdd_nodes.max(engine.manager.node_count());
+        let differs = f != engine.static_out(output);
+        engine.maybe_compact().map_err(|e| abort_to_error(e, b))?;
+        if differs {
+            // A transition exists arbitrarily close below b (§9.3): the
+            // exact delay (supremum) is b.
+            return Ok(b);
+        }
+        b_opt = next_breakpoint(netlist, output, b);
+    }
+    Ok(Time::ZERO)
+}
+
+fn abort_to_error(abort: BuildAbort, b: Time) -> DelayError {
+    match abort {
+        BuildAbort::TooManyPaths { limit } => DelayError::TooManyPaths {
+            limit,
+            at_breakpoint: b,
+            bounds: (Time::ZERO, b),
+        },
+        BuildAbort::BddTooLarge { limit } => DelayError::BddTooLarge {
+            limit,
+            at_breakpoint: b,
+            bounds: (Time::ZERO, b),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::two_vector::two_vector_delay;
+    use tbf_logic::generators::adders::paper_bypass_adder;
+    use tbf_logic::generators::figures::{figure4_example3, figure6_glitch};
+    use tbf_logic::generators::trees::parity_tree;
+    use tbf_logic::{DelayBounds, GateKind};
+
+    fn t(x: i64) -> Time {
+        Time::from_int(x)
+    }
+
+    fn opts() -> DelayOptions {
+        DelayOptions::default()
+    }
+
+    #[test]
+    fn figure6_fixed_vs_variable() {
+        // The paper's Example 5 head-to-head.
+        let fixed = figure6_glitch();
+        assert_eq!(sequences_delay(&fixed, &opts()).unwrap().delay, Time::ZERO);
+        let variable =
+            fixed.map_delays(|d| DelayBounds::new(d.max - Time::EPSILON, d.max));
+        assert_eq!(sequences_delay(&variable, &opts()).unwrap().delay, t(2));
+        // Floating delay is 2 in both cases (Theorem 4: invariant across
+        // gate delay models).
+        assert_eq!(floating_delay(&fixed, &opts()).unwrap().delay, t(2));
+        assert_eq!(floating_delay(&variable, &opts()).unwrap().delay, t(2));
+    }
+
+    #[test]
+    fn sequences_dominates_two_vector() {
+        // ω⁻ includes vector pairs, so D(ω⁻) ≥ D(2).
+        for n in [
+            figure4_example3(),
+            paper_bypass_adder(),
+            parity_tree(6, DelayBounds::new(Time::from_units(0.9), t(1))),
+        ] {
+            let seq = sequences_delay(&n, &opts()).unwrap().delay;
+            let two = two_vector_delay(&n, &opts()).unwrap().delay;
+            assert!(seq >= two, "sequences {seq} < 2-vector {two}");
+        }
+    }
+
+    #[test]
+    fn lower_bound_invariance_theorem3() {
+        // D(C,[dmin,dmax],ω⁻) must not depend on dmin (for dmin < dmax).
+        let base = paper_bypass_adder();
+        let d_of = |f: f64| {
+            let n = base.map_delays(|d| DelayBounds::scaled_min(d.max, f));
+            sequences_delay(&n, &opts()).unwrap().delay
+        };
+        let at_0 = d_of(0.0);
+        let at_half = d_of(0.5);
+        let at_90 = d_of(0.9);
+        assert_eq!(at_0, at_half);
+        assert_eq!(at_half, at_90);
+    }
+
+    #[test]
+    fn bypass_adder_floating_delay() {
+        // The floating delay of the §11 adder also sees the false path:
+        // under single-vector floating-mode sensitization the ripple path
+        // still cannot propagate the last transition past the bypass.
+        let r = floating_delay(&paper_bypass_adder(), &opts()).unwrap();
+        assert!(r.delay <= r.topological);
+        let two = two_vector_delay(&paper_bypass_adder(), &opts())
+            .unwrap()
+            .delay;
+        assert!(r.delay >= two);
+    }
+
+    #[test]
+    fn parity_tree_sequences_equals_topological() {
+        let n = parity_tree(8, DelayBounds::new(Time::from_units(0.9), t(1)));
+        let r = sequences_delay(&n, &opts()).unwrap();
+        assert_eq!(r.delay, r.topological);
+    }
+
+    #[test]
+    fn chain_delay_is_sum_of_max() {
+        let mut b = Netlist::builder();
+        let mut cur = b.input("x");
+        for i in 0..5 {
+            cur = b
+                .gate(
+                    GateKind::Not,
+                    &format!("g{i}"),
+                    vec![cur],
+                    DelayBounds::new(t(1), t(2)),
+                )
+                .unwrap();
+        }
+        b.output("f", cur);
+        let n = b.finish().unwrap();
+        let r = sequences_delay(&n, &opts()).unwrap();
+        assert_eq!(r.delay, t(10));
+    }
+
+    #[test]
+    fn multi_output_reports_per_output() {
+        let mut b = Netlist::builder();
+        let x = b.input("x");
+        let f1 = b
+            .gate(GateKind::Buf, "f1", vec![x], DelayBounds::new(t(1), t(2)))
+            .unwrap();
+        let f2 = b
+            .gate(GateKind::Not, "f2", vec![f1], DelayBounds::new(t(1), t(3)))
+            .unwrap();
+        b.output("a", f1);
+        b.output("b", f2);
+        let n = b.finish().unwrap();
+        let r = sequences_delay(&n, &opts()).unwrap();
+        assert_eq!(r.output_delay("a"), Some(t(2)));
+        assert_eq!(r.output_delay("b"), Some(t(5)));
+        assert_eq!(r.delay, t(5));
+    }
+}

@@ -1,0 +1,314 @@
+//! The explicit Timed Boolean Function algebra of paper §4.
+//!
+//! A [`TbfExpr`] is a Boolean expression whose leaves are *timed
+//! variables* `xᵢ(t + offset)` — Definition 2's recursive closure of the
+//! identity function under product and sum (plus negation and XOR for
+//! convenience). Evaluating a TBF at a time against concrete input
+//! waveforms reproduces the circuit-behaviour calculations of Example 2
+//! and the gate models of §4.1.
+
+use tbf_logic::{Netlist, Time};
+
+/// A Timed Boolean Function over `n` inputs.
+///
+/// # Example
+///
+/// Example 2 of the paper: `f(a,b)(t) = a(t−1) ⊕ b(t+1)`.
+///
+/// ```
+/// use tbf_core::TbfExpr;
+/// use tbf_logic::Time;
+///
+/// let f = TbfExpr::var(0, Time::from_int(-1)).xor(TbfExpr::var(1, Time::from_int(1)));
+/// // a = step rising at 0; b = step rising at 2.
+/// let a = |t: Time| t >= Time::ZERO;
+/// let b = |t: Time| t >= Time::from_int(2);
+/// let wave = |i: usize, t: Time| if i == 0 { a(t) } else { b(t) };
+/// // At t = 0.5: a(-0.5) = 0, b(1.5) = 0 → 0.
+/// assert!(!f.eval_at(Time::from_units(0.5), &wave));
+/// // At t = 1.5: a(0.5) = 1, b(2.5) = 1 → 0.
+/// assert!(!f.eval_at(Time::from_units(1.5), &wave));
+/// // At t = 1.0: a(0) = 1, b(2) = 1 → 0; at t = 1.0⁻…
+/// // At t = 1.2: a(0.2)=1, b(2.2)=1 → 0. At t = 1.0-0.5: see above.
+/// assert!(f.eval_at(Time::from_int(1), &|i, t| if i == 0 { t >= Time::ZERO } else { false }));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TbfExpr {
+    /// A timed variable `x_index(t + offset)`.
+    Var {
+        /// Input index.
+        index: usize,
+        /// Time offset added to the evaluation time (gate delays give
+        /// negative offsets, e.g. `x(t − τ)` has `offset = −τ`).
+        offset: Time,
+    },
+    /// Logical negation.
+    Not(Box<TbfExpr>),
+    /// Product (conjunction).
+    And(Box<TbfExpr>, Box<TbfExpr>),
+    /// Sum (disjunction).
+    Or(Box<TbfExpr>, Box<TbfExpr>),
+    /// Exclusive or.
+    Xor(Box<TbfExpr>, Box<TbfExpr>),
+    /// A Boolean constant.
+    Const(bool),
+}
+
+impl TbfExpr {
+    /// The timed variable `x_index(t + offset)`.
+    pub fn var(index: usize, offset: Time) -> TbfExpr {
+        TbfExpr::Var { index, offset }
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> TbfExpr {
+        TbfExpr::Not(Box::new(self))
+    }
+
+    /// Conjunction.
+    pub fn and(self, rhs: TbfExpr) -> TbfExpr {
+        TbfExpr::And(Box::new(self), Box::new(rhs))
+    }
+
+    /// Disjunction.
+    pub fn or(self, rhs: TbfExpr) -> TbfExpr {
+        TbfExpr::Or(Box::new(self), Box::new(rhs))
+    }
+
+    /// Exclusive or.
+    pub fn xor(self, rhs: TbfExpr) -> TbfExpr {
+        TbfExpr::Xor(Box::new(self), Box::new(rhs))
+    }
+
+    /// Evaluates the TBF at time `t` against an input-waveform oracle
+    /// `wave(input_index, time) → value`.
+    pub fn eval_at(&self, t: Time, wave: &impl Fn(usize, Time) -> bool) -> bool {
+        match self {
+            TbfExpr::Var { index, offset } => wave(*index, t + *offset),
+            TbfExpr::Not(e) => !e.eval_at(t, wave),
+            TbfExpr::And(l, r) => l.eval_at(t, wave) && r.eval_at(t, wave),
+            TbfExpr::Or(l, r) => l.eval_at(t, wave) || r.eval_at(t, wave),
+            TbfExpr::Xor(l, r) => l.eval_at(t, wave) ^ r.eval_at(t, wave),
+            TbfExpr::Const(v) => *v,
+        }
+    }
+
+    /// The §4.1 model of a buffer with distinct rising/falling delays:
+    /// `x(t−τᵣ)·x(t−τ_f)` when `τᵣ > τ_f`, `x(t−τᵣ)+x(t−τ_f)` when
+    /// `τᵣ < τ_f`, and plain `x(t−τ)` when equal.
+    pub fn rise_fall_buffer(index: usize, rise: Time, fall: Time) -> TbfExpr {
+        let slow = TbfExpr::var(index, -rise);
+        let fast = TbfExpr::var(index, -fall);
+        match rise.cmp(&fall) {
+            std::cmp::Ordering::Greater => slow.and(fast),
+            std::cmp::Ordering::Less => slow.or(fast),
+            std::cmp::Ordering::Equal => slow,
+        }
+    }
+
+    /// Derives the TBF of a netlist node by composition (paper §4.1),
+    /// assigning every gate its **maximum** delay — a fixed-delay TBF
+    /// suitable for waveform calculations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range for the netlist.
+    pub fn of_netlist_node(netlist: &Netlist, node: tbf_logic::NodeId) -> TbfExpr {
+        fn go(netlist: &Netlist, node: tbf_logic::NodeId, shift: Time) -> TbfExpr {
+            let n = netlist.node(node);
+            if let Some(pos) = netlist.input_position(node) {
+                return TbfExpr::var(pos, shift);
+            }
+            use tbf_logic::GateKind as G;
+            if matches!(n.kind(), G::Const0 | G::Const1) {
+                return TbfExpr::Const(n.kind() == G::Const1);
+            }
+            let shift = shift - n.delay().max;
+            let kids: Vec<TbfExpr> = n
+                .fanins()
+                .iter()
+                .map(|&f| go(netlist, f, shift))
+                .collect();
+            let fold =
+                |op: fn(TbfExpr, TbfExpr) -> TbfExpr, kids: &[TbfExpr]| -> TbfExpr {
+                    let mut it = kids.iter().cloned();
+                    let first = it.next().expect("gates have fanins");
+                    it.fold(first, op)
+                };
+            match n.kind() {
+                G::And => fold(TbfExpr::and, &kids),
+                G::Or => fold(TbfExpr::or, &kids),
+                G::Nand => fold(TbfExpr::and, &kids).not(),
+                G::Nor => fold(TbfExpr::or, &kids).not(),
+                G::Xor => fold(TbfExpr::xor, &kids),
+                G::Xnor => fold(TbfExpr::xor, &kids).not(),
+                G::Not => kids[0].clone().not(),
+                G::Buf => kids[0].clone(),
+                G::Maj => {
+                    let (a, b, c) = (kids[0].clone(), kids[1].clone(), kids[2].clone());
+                    a.clone()
+                        .and(b.clone())
+                        .or(a.and(c.clone()))
+                        .or(b.and(c))
+                }
+                G::Mux => {
+                    let (s, d0, d1) = (kids[0].clone(), kids[1].clone(), kids[2].clone());
+                    s.clone().not().and(d0).or(s.and(d1))
+                }
+                G::Input | G::Const0 | G::Const1 => unreachable!("handled above"),
+            }
+        }
+        go(netlist, node, Time::ZERO)
+    }
+
+    /// All distinct `(index, offset)` timed variables in the expression.
+    pub fn support(&self) -> Vec<(usize, Time)> {
+        let mut out = Vec::new();
+        fn go(e: &TbfExpr, out: &mut Vec<(usize, Time)>) {
+            match e {
+                TbfExpr::Var { index, offset } => {
+                    if !out.contains(&(*index, *offset)) {
+                        out.push((*index, *offset));
+                    }
+                }
+                TbfExpr::Not(x) => go(x, out),
+                TbfExpr::And(l, r) | TbfExpr::Or(l, r) | TbfExpr::Xor(l, r) => {
+                    go(l, out);
+                    go(r, out);
+                }
+                TbfExpr::Const(_) => {}
+            }
+        }
+        go(self, &mut out);
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbf_logic::generators::figures::figure4_example3;
+    use tbf_logic::{DelayBounds, GateKind, Netlist};
+
+    fn t(x: i64) -> Time {
+        Time::from_int(x)
+    }
+
+    /// Step waveform rising at `at`.
+    fn step(at: Time) -> impl Fn(Time) -> bool {
+        move |time| time >= at
+    }
+
+    #[test]
+    fn example2_waveform_algebra() {
+        // f(a,b)(t) = a(t−1) ⊕ b(t+1).
+        let f = TbfExpr::var(0, -t(1)).xor(TbfExpr::var(1, t(1)));
+        let a = step(Time::ZERO); // a rises at 0
+        let b = step(t(3)); // b rises at 3
+        let wave = |i: usize, time: Time| if i == 0 { a(time) } else { b(time) };
+        // a(t−1) rises at t=1; b(t+1) rises at t=2: XOR is a pulse [1,2).
+        assert!(!f.eval_at(Time::from_units(0.5), &wave));
+        assert!(f.eval_at(Time::from_units(1.5), &wave));
+        assert!(!f.eval_at(Time::from_units(2.5), &wave));
+    }
+
+    #[test]
+    fn rise_fall_buffer_models() {
+        // τr = 2 > τf = 1: AND form — a pulse shrinks.
+        let f = TbfExpr::rise_fall_buffer(0, t(2), t(1));
+        // Input: pulse high on [0, 10).
+        let wave = |_: usize, time: Time| time >= Time::ZERO && time < t(10);
+        // Output rises at 2 (slow), falls at 11 (fast+10): high [2, 11).
+        assert!(!f.eval_at(Time::from_units(1.5), &wave));
+        assert!(f.eval_at(Time::from_units(2.5), &wave));
+        assert!(f.eval_at(Time::from_units(10.5), &wave));
+        assert!(!f.eval_at(Time::from_units(11.5), &wave));
+        // τr < τf: OR form.
+        let g = TbfExpr::rise_fall_buffer(0, t(1), t(2));
+        assert!(g.eval_at(Time::from_units(1.5), &wave));
+        // Equal: plain variable.
+        assert_eq!(
+            TbfExpr::rise_fall_buffer(0, t(3), t(3)),
+            TbfExpr::var(0, -t(3))
+        );
+    }
+
+    #[test]
+    fn pulse_shrinkage_through_chain() {
+        // Two rise-2/fall-1 buffers in series shrink a width-3 pulse by 1
+        // per stage: compose manually.
+        let stage1 = TbfExpr::rise_fall_buffer(0, t(2), t(1));
+        // Compose stage2 over stage1 by evaluating stage1 at shifted t.
+        let wave_in = |_: usize, time: Time| time >= Time::ZERO && time < t(3);
+        let stage2_out = |time: Time| {
+            let w1 = |_i: usize, tt: Time| stage1.eval_at(tt, &wave_in);
+            TbfExpr::rise_fall_buffer(0, t(2), t(1)).eval_at(time, &w1)
+        };
+        // Stage 1: high [2, 4) (width 2). Stage 2: high [4, 5) (width 1).
+        assert!(stage2_out(Time::from_units(4.5)));
+        assert!(!stage2_out(Time::from_units(3.5)));
+        assert!(!stage2_out(Time::from_units(5.5)));
+    }
+
+    #[test]
+    fn netlist_tbf_matches_static_eval_when_settled() {
+        let n = figure4_example3();
+        let out = n.find("g2").unwrap();
+        let f = TbfExpr::of_netlist_node(&n, out);
+        // Far in the future everything is settled: TBF = static function.
+        for a in [false, true] {
+            for b in [false, true] {
+                let wave = |i: usize, _tt: Time| if i == 0 { a } else { b };
+                assert_eq!(
+                    f.eval_at(t(1000), &wave),
+                    n.evaluate_outputs(&[a, b])[0]
+                );
+            }
+        }
+        // Its support carries the path delay offsets −d2 and −(d1+d2)
+        // at maximum delays: −2 and −4.
+        let sup = f.support();
+        assert!(sup.contains(&(0, -t(2))));
+        assert!(sup.contains(&(0, -t(4))));
+        assert!(sup.contains(&(1, -t(4))));
+    }
+
+    #[test]
+    fn netlist_tbf_shows_transient_difference() {
+        // Figure 4 with the pair (a,b): (1,1)→(0,1) at t=0: statically f
+        // drops to 0, but the AND path keeps f high until t = 4.
+        let n = figure4_example3();
+        let out = n.find("g2").unwrap();
+        let f = TbfExpr::of_netlist_node(&n, out);
+        let wave = |i: usize, time: Time| {
+            if i == 0 {
+                time < Time::ZERO // a falls at 0
+            } else {
+                true // b constant 1
+            }
+        };
+        assert!(f.eval_at(Time::from_units(3.5), &wave), "old value lingers");
+        assert!(!f.eval_at(Time::from_units(4.5), &wave), "settled");
+    }
+
+    #[test]
+    fn constants_and_support() {
+        let c = TbfExpr::Const(true);
+        assert!(c.eval_at(t(0), &|_, _| false));
+        assert!(c.support().is_empty());
+        let mut b = Netlist::builder();
+        let _x = b.input("x");
+        let k = b
+            .gate(GateKind::Const1, "k", vec![], DelayBounds::ZERO)
+            .unwrap();
+        let g = b
+            .gate(GateKind::Not, "g", vec![k], DelayBounds::fixed(t(1)))
+            .unwrap();
+        b.output("f", g);
+        let n = b.finish().unwrap();
+        let f = TbfExpr::of_netlist_node(&n, g);
+        assert!(!f.eval_at(t(99), &|_, _| false));
+    }
+}

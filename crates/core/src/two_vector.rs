@@ -1,0 +1,572 @@
+//! The exact 2-vector (transition) delay engine (paper §6–§7.3).
+
+use std::collections::HashMap;
+
+use tbf_logic::paths::next_breakpoint;
+use tbf_logic::{Netlist, NodeId, Time};
+use tbf_lp::{PathLp, PathLpOutcome};
+
+use crate::error::DelayError;
+use crate::network::{BuildAbort, Engine, QueryOut};
+use crate::options::DelayOptions;
+use crate::report::{DelayReport, DelayWitness, OutputDelay, SearchStats};
+
+/// Computes the exact 2-vector delay `D(C, [dᵐⁱⁿ,dᵐᵃˣ], 2)`: the latest
+/// possible arrival time of the last output transition when an arbitrary
+/// vector pair switches at `t = 0`, over all in-bounds gate delay
+/// assignments.
+///
+/// This is the paper's §7.3 algorithm: descend through the breakpoints
+/// `{Kᵢᵐᵃˣ}`; at each query point `t = b⁻` build the TBF as a BDD with
+/// resolvents standing in for the delay-dependent variables, compare
+/// against the static function `f(∞)`, and check each difference cube's
+/// induced linear program for feasibility, maximizing `t`. The first
+/// breakpoint interval with a feasible cube yields the exact delay.
+///
+/// # Errors
+///
+/// Returns a [`DelayError`] carrying sound `(lower, upper)` bounds when a
+/// resource cap of [`DelayOptions`] is exceeded.
+///
+/// # Example
+///
+/// ```
+/// use tbf_core::{two_vector_delay, DelayOptions};
+/// use tbf_logic::generators::figures::figure4_example3;
+/// use tbf_logic::Time;
+///
+/// // Example 3 of the paper: delay = 4.
+/// let report = two_vector_delay(&figure4_example3(), &DelayOptions::default())?;
+/// assert_eq!(report.delay, Time::from_int(4));
+/// # Ok::<(), tbf_core::DelayError>(())
+/// ```
+pub fn two_vector_delay(
+    netlist: &Netlist,
+    options: &DelayOptions,
+) -> Result<DelayReport, DelayError> {
+    let mut engine = Engine::new(netlist, options)
+        .map_err(|e| abort_to_error(e, netlist.topological_delay()))?;
+    let deadline = options.time_budget.map(|b| std::time::Instant::now() + b);
+    let mut stats = SearchStats::default();
+    let mut outputs = Vec::new();
+    let mut witness: Option<DelayWitness> = None;
+    let mut witness_delay = Time::MIN;
+    let mut first_error: Option<DelayError> = None;
+    for (name, out_id) in netlist.outputs() {
+        match output_delay(netlist, &mut engine, *out_id, options, deadline, &mut stats) {
+            Ok((delay, w)) => {
+                if delay > witness_delay {
+                    if let Some((before, after, delays)) = w {
+                        witness = Some(DelayWitness {
+                            output: name.clone(),
+                            before,
+                            after,
+                            delays,
+                        });
+                        witness_delay = delay;
+                    }
+                }
+                outputs.push(OutputDelay {
+                    name: name.clone(),
+                    delay,
+                    topological: netlist.topological_delay_of(*out_id),
+                    exact: true,
+                });
+            }
+            Err(e) => {
+                // This cone hit a cap: keep its sound upper bound and move
+                // on — if another output dominates it, the circuit-level
+                // delay is still exact.
+                let (_, hi) = e
+                    .bounds()
+                    .unwrap_or((Time::ZERO, netlist.topological_delay_of(*out_id)));
+                first_error.get_or_insert(e);
+                outputs.push(OutputDelay {
+                    name: name.clone(),
+                    delay: hi,
+                    topological: netlist.topological_delay_of(*out_id),
+                    exact: false,
+                });
+            }
+        }
+    }
+    let exact_max = outputs
+        .iter()
+        .filter(|o| o.exact)
+        .map(|o| o.delay)
+        .max()
+        .unwrap_or(Time::ZERO);
+    let bound_max = outputs
+        .iter()
+        .filter(|o| !o.exact)
+        .map(|o| o.delay)
+        .max();
+    match (bound_max, first_error) {
+        (Some(bound), Some(e)) if bound > exact_max => {
+            // Some capped cone could dominate: only bounds are sound.
+            Err(e.with_bounds(exact_max, bound))
+        }
+        _ => Ok(DelayReport {
+            delay: exact_max,
+            topological: netlist.topological_delay(),
+            outputs,
+            witness,
+            stats,
+        }),
+    }
+}
+
+/// Raw witness parts: (before vector, after vector, per-node delays).
+type WitnessParts = (Vec<bool>, Vec<bool>, Vec<Time>);
+
+fn output_delay(
+    netlist: &Netlist,
+    engine: &mut Engine<'_>,
+    output: NodeId,
+    options: &DelayOptions,
+    deadline: Option<std::time::Instant>,
+    stats: &mut SearchStats,
+) -> Result<(Time, Option<WitnessParts>), DelayError> {
+    let mut b_opt = next_breakpoint(netlist, output, Time::MAX);
+    let mut visited = 0usize;
+    while let Some(b) = b_opt {
+        visited += 1;
+        stats.breakpoints_visited += 1;
+        if let Some(d) = deadline {
+            let now = std::time::Instant::now();
+            if now > d {
+                let budget = options.time_budget.unwrap_or_default();
+                return Err(DelayError::TimedOut {
+                    elapsed_ms: budget.as_millis() as u64,
+                    at_breakpoint: b,
+                    bounds: (Time::ZERO, b),
+                });
+            }
+        }
+        if visited > options.max_breakpoints {
+            return Err(DelayError::TooManyCubes {
+                limit: options.max_breakpoints,
+                at_breakpoint: b,
+                bounds: (Time::ZERO, b),
+            });
+        }
+        let lower_bp = next_breakpoint(netlist, output, b);
+        let window_lo = lower_bp.unwrap_or(Time::ZERO);
+
+        let query = engine
+            .two_vector_query(output, b)
+            .map_err(|e| abort_to_error(e, b))?;
+        stats.resolvents += query.resolvents.len();
+        stats.peak_bdd_nodes = stats.peak_bdd_nodes.max(engine.manager.node_count());
+
+        let found = check_interval(
+            netlist, engine, output, &query, window_lo, b, options, deadline, stats,
+        )?;
+        if let Some((t, w)) = found {
+            return Ok((t, Some(w)));
+        }
+        engine.maybe_compact().map_err(|e| abort_to_error(e, b))?;
+        b_opt = lower_bp;
+    }
+    // No interval ever differed: the output cannot transition at all.
+    Ok((Time::ZERO, None))
+}
+
+/// Checks one breakpoint interval `(window_lo, b]`; returns the exact
+/// delay if the last output transition can fall inside it.
+#[allow(clippy::too_many_arguments)]
+fn check_interval(
+    netlist: &Netlist,
+    engine: &mut Engine<'_>,
+    output: NodeId,
+    query: &QueryOut,
+    window_lo: Time,
+    b: Time,
+    options: &DelayOptions,
+    deadline: Option<std::time::Instant>,
+    stats: &mut SearchStats,
+) -> Result<Option<(Time, WitnessParts)>, DelayError> {
+    let static_out = engine.static_out(output);
+    let too_large = |e: tbf_bdd::NodeLimitExceeded| DelayError::BddTooLarge {
+        limit: e.limit,
+        at_breakpoint: b,
+        bounds: (Time::ZERO, b),
+    };
+    let xor = engine
+        .manager
+        .try_xor(query.f, static_out, options.max_bdd_nodes)
+        .map_err(too_large)?;
+    if xor.is_false() {
+        return Ok(None);
+    }
+    // Project onto the resolvent variables: the input values only need to
+    // exist (inputs are arbitrary), so quantify them out and enumerate
+    // resolution cubes only (§7.2's implicit enumeration).
+    let input_vars = engine.input_vars.clone();
+    let projected = engine
+        .manager
+        .try_exists_all(xor, &input_vars, options.max_bdd_nodes)
+        .map_err(too_large)?;
+    debug_assert!(!projected.is_false(), "∃ of a non-false BDD");
+    stats.peak_bdd_nodes = stats.peak_bdd_nodes.max(engine.manager.node_count());
+
+    // Dense LP variable space: every gate on any resolvent path.
+    let mut gate_index: HashMap<NodeId, usize> = HashMap::new();
+    let mut bounds: Vec<(i64, i64)> = Vec::new();
+    for r in &query.resolvents {
+        for &g in &r.gates {
+            gate_index.entry(g).or_insert_with(|| {
+                let d = netlist.node(g).delay();
+                bounds.push((d.min.scaled(), d.max.scaled()));
+                bounds.len() - 1
+            });
+        }
+    }
+    let paths: Vec<Vec<usize>> = query
+        .resolvents
+        .iter()
+        .map(|r| r.gates.iter().map(|g| gate_index[g]).collect())
+        .collect();
+
+    // Materialize the cubes first: witness extraction below needs the
+    // manager mutably. The cap bounds the allocation.
+    let mut cubes = Vec::new();
+    for cube in engine.manager.cubes(projected) {
+        if cubes.len() >= options.max_cubes {
+            return Err(DelayError::TooManyCubes {
+                limit: options.max_cubes,
+                at_breakpoint: b,
+                bounds: (Time::ZERO, b),
+            });
+        }
+        cubes.push(cube);
+    }
+    let mut best: Option<(Time, WitnessParts)> = None;
+    for (cube_idx, cube) in cubes.iter().enumerate() {
+        // LP chains can dominate a breakpoint; honor the budget here too.
+        if cube_idx % 64 == 0 {
+            if let Some(d) = deadline {
+                if std::time::Instant::now() > d {
+                    return Err(DelayError::TimedOut {
+                        elapsed_ms: options.time_budget.unwrap_or_default().as_millis() as u64,
+                        at_breakpoint: b,
+                        bounds: (best.as_ref().map(|(t, _)| *t).unwrap_or(Time::ZERO), b),
+                    });
+                }
+            }
+        }
+        let mut lp = PathLp::new(&bounds);
+        lp.set_t_window(window_lo.scaled(), b.scaled());
+        for (r, gates) in query.resolvents.iter().zip(&paths) {
+            match cube.phase(r.var) {
+                Some(true) => lp.t_greater_than(gates),
+                Some(false) => lp.t_less_than(gates),
+                None => {}
+            }
+        }
+        stats.lps_solved += 1;
+        if let PathLpOutcome::Feasible { t_sup, delays } = lp.solve() {
+            let t = Time::from_scaled(t_sup);
+            // Only transitions strictly inside the interval count; at or
+            // below the window floor the valuation classification no
+            // longer matches and the cube re-appears (correctly
+            // re-classified) in a lower interval.
+            if t > window_lo && best.as_ref().is_none_or(|(cur, _)| t > *cur) {
+                let parts = extract_witness(
+                    netlist, engine, query, xor, &lp, &gate_index, &paths, t_sup, &delays,
+                );
+                let done = t == b;
+                best = Some((t, parts));
+                if done {
+                    break; // cannot improve within this interval
+                }
+            }
+        }
+    }
+    Ok(best)
+}
+
+/// Derives a concrete sensitizing scenario for a winning cube.
+///
+/// The delay assignment comes from a strictly interior LP point near the
+/// supremum, so every resolvent has a definite arrived/not-arrived value;
+/// restricting the XOR BDD by that *total* valuation leaves a function of
+/// the input variables whose any satisfying assignment genuinely realizes
+/// the late transition (an input picked against a partial valuation could
+/// silently depend on resolvent outcomes the delays contradict).
+#[allow(clippy::too_many_arguments)]
+fn extract_witness(
+    netlist: &Netlist,
+    engine: &mut Engine<'_>,
+    query: &QueryOut,
+    xor: tbf_bdd::Bdd,
+    lp: &PathLp,
+    gate_index: &HashMap<NodeId, usize>,
+    paths: &[Vec<usize>],
+    t_sup: i64,
+    sup_delays: &[i64],
+) -> WitnessParts {
+    // Prefer an interior point one grid unit below the supremum; fall
+    // back to the supremum vertex when the interior solve fails (the
+    // scenario then sits on a valuation boundary and replays a hair
+    // early, which the caller documents).
+    let (t_w, d_w) = lp
+        .solve_interior(t_sup - 1)
+        .unwrap_or((t_sup, sup_delays.to_vec()));
+    // Total resolvent valuation induced by (t_w, d_w).
+    let mut g = xor;
+    for (r, gates) in query.resolvents.iter().zip(paths) {
+        let sum: i64 = gates.iter().map(|&gi| d_w[gi]).sum();
+        let arrived = t_w > sum;
+        g = engine.manager.restrict(g, r.var, arrived);
+    }
+    if g.is_false() {
+        // Grid rounding pushed the point onto a boundary; retreat to the
+        // partial (cube-only) restriction — still a valid input pair for
+        // a nearby delay assignment.
+        g = xor;
+    }
+    let sat = engine
+        .manager
+        .any_sat_cube(g)
+        .expect("xor is non-false in this interval");
+    let n_in = netlist.inputs().len();
+    let mut before = vec![false; n_in];
+    let mut after = vec![false; n_in];
+    for pos in 0..n_in {
+        if let Some(v) = sat.phase(engine.leaf_var(pos, true)) {
+            after[pos] = v;
+        }
+        if let Some(v) = sat.phase(engine.leaf_var(pos, false)) {
+            before[pos] = v;
+        }
+    }
+    let mut delays: Vec<Time> = netlist.nodes().map(|(_, node)| node.delay().max).collect();
+    for (&node, &idx) in gate_index {
+        delays[node.index()] = Time::from_scaled(d_w[idx]);
+    }
+    (before, after, delays)
+}
+
+fn abort_to_error(abort: BuildAbort, b: Time) -> DelayError {
+    match abort {
+        BuildAbort::TooManyPaths { limit } => DelayError::TooManyPaths {
+            limit,
+            at_breakpoint: b,
+            bounds: (Time::ZERO, b),
+        },
+        BuildAbort::BddTooLarge { limit } => DelayError::BddTooLarge {
+            limit,
+            at_breakpoint: b,
+            bounds: (Time::ZERO, b),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbf_logic::generators::adders::paper_bypass_adder;
+    use tbf_logic::generators::figures::{figure1_three_paths, figure4_example3};
+    use tbf_logic::generators::trees::parity_tree;
+    use tbf_logic::{DelayBounds, GateKind};
+
+    fn t(x: i64) -> Time {
+        Time::from_int(x)
+    }
+
+    fn opts() -> DelayOptions {
+        DelayOptions::default()
+    }
+
+    #[test]
+    fn single_buffer_fixed() {
+        let mut b = Netlist::builder();
+        let x = b.input("x");
+        let g = b
+            .gate(GateKind::Buf, "g", vec![x], DelayBounds::fixed(t(5)))
+            .unwrap();
+        b.output("f", g);
+        let n = b.finish().unwrap();
+        let r = two_vector_delay(&n, &opts()).unwrap();
+        assert_eq!(r.delay, t(5));
+        assert_eq!(r.topological, t(5));
+        assert_eq!(r.false_path_slack(), Time::ZERO);
+    }
+
+    #[test]
+    fn single_buffer_bounded() {
+        let mut b = Netlist::builder();
+        let x = b.input("x");
+        let g = b
+            .gate(
+                GateKind::Buf,
+                "g",
+                vec![x],
+                DelayBounds::new(t(3), t(5)),
+            )
+            .unwrap();
+        b.output("f", g);
+        let n = b.finish().unwrap();
+        let r = two_vector_delay(&n, &opts()).unwrap();
+        assert_eq!(r.delay, t(5));
+    }
+
+    #[test]
+    fn example3_delay_is_4() {
+        let r = two_vector_delay(&figure4_example3(), &opts()).unwrap();
+        assert_eq!(r.delay, t(4));
+        assert_eq!(r.topological, t(4));
+    }
+
+    #[test]
+    fn bypass_adder_delay_is_24() {
+        let r = two_vector_delay(&paper_bypass_adder(), &opts()).unwrap();
+        assert_eq!(r.topological, t(40));
+        assert_eq!(r.delay, t(24), "the ripple-through path is false");
+        assert_eq!(r.false_path_slack(), t(16));
+    }
+
+    #[test]
+    fn parity_tree_has_no_false_paths() {
+        let n = parity_tree(8, DelayBounds::new(Time::from_units(0.9), t(1)));
+        let r = two_vector_delay(&n, &opts()).unwrap();
+        assert_eq!(r.delay, r.topological);
+        assert_eq!(r.delay, t(3));
+    }
+
+    #[test]
+    fn figure1_reports_shorter_exact_delay_for_sensitizable_paths() {
+        // The AND output: longest path is P1 (buffer [4,5] + AND 0).
+        // P1's last transition is realizable (e.g. x2/x3 held
+        // non-controlling), so the exact delay equals the topological 5.
+        let r = two_vector_delay(&figure1_three_paths(), &opts()).unwrap();
+        assert_eq!(r.topological, t(5));
+        assert_eq!(r.delay, t(5));
+    }
+
+    #[test]
+    fn constant_output_never_transitions() {
+        let mut b = Netlist::builder();
+        let x = b.input("x");
+        let inv = b
+            .gate(GateKind::Not, "inv", vec![x], DelayBounds::fixed(t(1)))
+            .unwrap();
+        let g = b
+            .gate(
+                GateKind::And,
+                "g",
+                vec![x, inv],
+                DelayBounds::fixed(t(1)),
+            )
+            .unwrap();
+        b.output("f", g);
+        let n = b.finish().unwrap();
+        // x·x̄ = 0 statically; with fixed equal path delays the output
+        // can still glitch? Paths: x→g [1,1] and x→inv→g [2,2]: different
+        // lengths → a real glitch exists; last transition at 2.
+        let r = two_vector_delay(&n, &opts()).unwrap();
+        assert_eq!(r.delay, t(2));
+    }
+
+    #[test]
+    fn truly_dead_output_has_zero_delay() {
+        let mut b = Netlist::builder();
+        let x = b.input("x");
+        let c = b
+            .gate(GateKind::Const0, "c", vec![], DelayBounds::ZERO)
+            .unwrap();
+        let g = b
+            .gate(
+                GateKind::And,
+                "g",
+                vec![x, c],
+                DelayBounds::fixed(t(3)),
+            )
+            .unwrap();
+        b.output("f", g);
+        let n = b.finish().unwrap();
+        let r = two_vector_delay(&n, &opts()).unwrap();
+        assert_eq!(r.delay, Time::ZERO);
+    }
+
+    #[test]
+    fn multi_output_takes_the_max() {
+        let mut b = Netlist::builder();
+        let x = b.input("x");
+        let fast = b
+            .gate(GateKind::Buf, "fast", vec![x], DelayBounds::fixed(t(2)))
+            .unwrap();
+        let slow = b
+            .gate(GateKind::Not, "slow", vec![x], DelayBounds::fixed(t(7)))
+            .unwrap();
+        b.output("a", fast);
+        b.output("b", slow);
+        let n = b.finish().unwrap();
+        let r = two_vector_delay(&n, &opts()).unwrap();
+        assert_eq!(r.delay, t(7));
+        assert_eq!(r.output_delay("a"), Some(t(2)));
+        assert_eq!(r.output_delay("b"), Some(t(7)));
+    }
+
+    #[test]
+    fn zero_time_budget_times_out_with_bounds() {
+        let opts = DelayOptions {
+            time_budget: Some(std::time::Duration::ZERO),
+            ..DelayOptions::default()
+        };
+        let err = two_vector_delay(&paper_bypass_adder(), &opts).unwrap_err();
+        match err {
+            DelayError::TimedOut { bounds, .. } => {
+                assert!(bounds.0 <= bounds.1);
+                assert!(bounds.1 <= t(40));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generous_time_budget_changes_nothing() {
+        let opts = DelayOptions {
+            time_budget: Some(std::time::Duration::from_secs(600)),
+            ..DelayOptions::default()
+        };
+        let r = two_vector_delay(&paper_bypass_adder(), &opts).unwrap();
+        assert_eq!(r.delay, t(24));
+    }
+
+    #[test]
+    fn path_cap_produces_typed_error_with_bounds() {
+        let mut b = Netlist::builder();
+        let x = b.input("x");
+        let mut bufs = Vec::new();
+        for i in 0..10 {
+            bufs.push(
+                b.gate(
+                    GateKind::Buf,
+                    &format!("b{i}"),
+                    vec![x],
+                    DelayBounds::new(t(1), t(3)),
+                )
+                .unwrap(),
+            );
+        }
+        let g = b
+            .gate(GateKind::Xor, "g", bufs, DelayBounds::fixed(t(1)))
+            .unwrap();
+        b.output("f", g);
+        let n = b.finish().unwrap();
+        let tight = DelayOptions {
+            max_straddling_paths: 3,
+            ..DelayOptions::default()
+        };
+        let err = two_vector_delay(&n, &tight).unwrap_err();
+        match err {
+            DelayError::TooManyPaths { limit, bounds, .. } => {
+                assert_eq!(limit, 3);
+                assert!(bounds.1 <= t(4));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Property tests for the exact delay engines against a brute-force
+//! simulation oracle.
+//!
+//! The decisive case is **fixed** gate delays: the delay assignment is
+//! then unique, so exhaustively simulating every input vector pair gives
+//! the true 2-vector delay — and the engine must match it *exactly*, not
+//! just bound it.
+
+use proptest::prelude::*;
+
+use tbf_core::oracle::floating_delay_oracle;
+use tbf_core::{floating_delay, sequences_delay, two_vector_delay, DelayOptions};
+use tbf_logic::{DelayBounds, GateKind, Netlist, Time};
+use tbf_sim::{max_delays, sample_delays, simulate, Stimulus};
+
+/// A recipe for a small random netlist.
+#[derive(Clone, Debug)]
+struct Recipe {
+    n_inputs: usize,
+    gates: Vec<(u8, Vec<usize>, i64, i64)>, // kind, fanin refs, dmin, dmax
+}
+
+fn arb_recipe(fixed: bool) -> impl Strategy<Value = Recipe> {
+    (2usize..5).prop_flat_map(move |n_inputs| {
+        let gate = (
+            0u8..6,
+            proptest::collection::vec(0usize..64, 1..4),
+            1i64..5,
+            0i64..3,
+        );
+        proptest::collection::vec(gate, 1..9).prop_map(move |raw| {
+            let gates = raw
+                .into_iter()
+                .map(|(k, fanins, dmin, spread)| {
+                    let dmax = dmin + if fixed { 0 } else { spread };
+                    (k, fanins, dmin, dmax)
+                })
+                .collect();
+            Recipe { n_inputs, gates }
+        })
+    })
+}
+
+fn build(recipe: &Recipe) -> Netlist {
+    let mut b = Netlist::builder();
+    let mut pool: Vec<_> = (0..recipe.n_inputs)
+        .map(|i| b.input(&format!("x{i}")))
+        .collect();
+    for (g, (kind_raw, fanin_refs, dmin, dmax)) in recipe.gates.iter().enumerate() {
+        let kind = match kind_raw % 6 {
+            0 => GateKind::And,
+            1 => GateKind::Or,
+            2 => GateKind::Nand,
+            3 => GateKind::Nor,
+            4 => GateKind::Xor,
+            _ => GateKind::Not,
+        };
+        let mut fanins: Vec<_> = fanin_refs
+            .iter()
+            .map(|&r| pool[r % pool.len()])
+            .collect();
+        // Duplicate pins to one node create two paths with the same gate
+        // set — the case Theorem 2 excludes. Keep paths distinct.
+        fanins.sort_unstable();
+        fanins.dedup();
+        if kind == GateKind::Not {
+            fanins.truncate(1);
+        }
+        let delay = DelayBounds::new(Time::from_int(*dmin), Time::from_int(*dmax));
+        let id = b
+            .gate(kind, &format!("g{g}"), fanins, delay)
+            .expect("generated names are unique");
+        pool.push(id);
+    }
+    // The last gate is the single output: one cone keeps the oracle cheap.
+    b.output("f", *pool.last().expect("non-empty"));
+    b.finish().expect("an output was declared")
+}
+
+/// Brute-force 2-vector oracle for fixed delays: max simulated last
+/// transition over all (before, after) vector pairs.
+fn oracle_fixed(n: &Netlist) -> Time {
+    let k = n.inputs().len();
+    let delays = max_delays(n); // fixed: min == max
+    let mut best = Time::ZERO;
+    for pair in 0..(1u32 << (2 * k)) {
+        let before: Vec<bool> = (0..k).map(|i| (pair >> i) & 1 == 1).collect();
+        let after: Vec<bool> = (0..k).map(|i| (pair >> (k + i)) & 1 == 1).collect();
+        let stim = Stimulus::vector_pair(&before, &after);
+        let r = simulate(n, &delays, &stim.waveforms(n));
+        if let Some(t) = r.last_output_transition(n) {
+            best = best.max(t);
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Fixed delays: the engine result IS the brute-force maximum.
+    #[test]
+    fn fixed_delay_two_vector_is_exact(recipe in arb_recipe(true)) {
+        let n = build(&recipe);
+        let exact = two_vector_delay(&n, &DelayOptions::default())
+            .expect("small circuit fits the caps")
+            .delay;
+        let oracle = oracle_fixed(&n);
+        prop_assert_eq!(exact, oracle, "engine {} vs oracle {}", exact, oracle);
+    }
+
+    /// Bounded delays: sampled simulation never beats the engine, and the
+    /// engine never beats topology.
+    #[test]
+    fn bounded_delay_engine_is_sound(recipe in arb_recipe(false), seed in 0u64..1_000) {
+        let n = build(&recipe);
+        let report = two_vector_delay(&n, &DelayOptions::default())
+            .expect("small circuit fits the caps");
+        prop_assert!(report.delay <= report.topological);
+        // 32 sampled delay assignments × 16 sampled vector pairs.
+        let k = n.inputs().len();
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..32 {
+            let delays = sample_delays(&n, &mut next);
+            for _ in 0..16 {
+                let bits = next();
+                let before: Vec<bool> = (0..k).map(|i| (bits >> i) & 1 == 1).collect();
+                let after: Vec<bool> = (0..k).map(|i| (bits >> (k + i)) & 1 == 1).collect();
+                let stim = Stimulus::vector_pair(&before, &after);
+                let r = simulate(&n, &delays, &stim.waveforms(&n));
+                if let Some(t) = r.last_output_transition(&n) {
+                    prop_assert!(
+                        t <= report.delay,
+                        "simulated {} beats exact {}",
+                        t,
+                        report.delay
+                    );
+                }
+            }
+        }
+    }
+
+    /// Model ordering D(2) ≤ D(ω⁻) ≤ topological on random circuits.
+    #[test]
+    fn model_ordering_holds(recipe in arb_recipe(false)) {
+        let n = build(&recipe);
+        let opts = DelayOptions::default();
+        let two = two_vector_delay(&n, &opts).expect("fits caps").delay;
+        let seq = sequences_delay(&n, &opts).expect("fits caps").delay;
+        prop_assert!(two <= seq, "D(2)={} > D(ω⁻)={}", two, seq);
+        prop_assert!(seq <= n.topological_delay());
+    }
+
+    /// The symbolic floating-delay engine against the brute-force
+    /// ternary-simulation oracle — two completely different algorithms
+    /// must agree exactly.
+    #[test]
+    fn floating_engine_matches_ternary_oracle(recipe in arb_recipe(false)) {
+        let n = build(&recipe);
+        let engine = floating_delay(&n, &DelayOptions::default())
+            .expect("fits caps")
+            .delay;
+        let oracle = floating_delay_oracle(&n);
+        prop_assert_eq!(engine, oracle, "engine {} vs oracle {}", engine, oracle);
+    }
+
+    /// Theorem 3 on random circuits: D(ω⁻) ignores the lower bounds as
+    /// long as delays stay variable.
+    #[test]
+    fn theorem3_on_random_circuits(recipe in arb_recipe(false)) {
+        let n = build(&recipe);
+        // Force genuinely variable delays (dmin strictly below dmax).
+        let variable = n.map_delays(|d| {
+            DelayBounds::new(Time::ZERO.max(d.max - Time::from_int(1)), d.max)
+        });
+        let opts = DelayOptions::default();
+        let base = sequences_delay(&variable, &opts).expect("fits caps").delay;
+        let relaxed = variable.map_delays(|d| DelayBounds::unbounded(d.max));
+        let relaxed_delay = sequences_delay(&relaxed, &opts).expect("fits caps").delay;
+        prop_assert_eq!(base, relaxed_delay);
+    }
+}

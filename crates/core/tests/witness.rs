@@ -1,0 +1,105 @@
+//! The extracted sensitizing witness must actually drive the circuit:
+//! simulating it reproduces the computed exact delay on the paper's
+//! circuits and never exceeds it anywhere.
+
+use tbf_core::{two_vector_delay, DelayOptions};
+use tbf_logic::generators::adders::{carry_bypass, paper_bypass_adder, ripple_carry};
+use tbf_logic::generators::figures::figure4_example3;
+use tbf_logic::generators::trees::parity_tree;
+use tbf_logic::generators::unit_ninety_percent;
+use tbf_logic::{Netlist, Time};
+use tbf_sim::{simulate, Stimulus};
+
+fn opts() -> DelayOptions {
+    DelayOptions::default()
+}
+
+/// Simulates the witness and returns the last transition of the witness
+/// output.
+fn replay(n: &Netlist, report: &tbf_core::DelayReport) -> Option<Time> {
+    let w = report.witness.as_ref().expect("nonzero delay has a witness");
+    let stim = Stimulus::vector_pair(&w.before, &w.after);
+    let r = simulate(n, &w.delays, &stim.waveforms(n));
+    let out = n
+        .outputs()
+        .iter()
+        .find(|(name, _)| *name == w.output)
+        .expect("witness names a real output")
+        .1;
+    r.waveform(out).last_transition()
+}
+
+#[test]
+fn witness_attains_the_bound_on_figure4() {
+    let n = figure4_example3();
+    let report = two_vector_delay(&n, &opts()).unwrap();
+    assert_eq!(replay(&n, &report), Some(report.delay));
+}
+
+#[test]
+fn witness_attains_the_bound_on_the_bypass_adder() {
+    let n = paper_bypass_adder();
+    let report = two_vector_delay(&n, &opts()).unwrap();
+    assert_eq!(report.delay, Time::from_int(24));
+    assert_eq!(replay(&n, &report), Some(Time::from_int(24)));
+}
+
+#[test]
+fn witness_attains_the_bound_on_suite_circuits() {
+    let d = unit_ninety_percent();
+    for (name, n) in [
+        ("rca4", ripple_carry(4, d)),
+        ("bypass2x2", carry_bypass(2, 2, d)),
+        ("parity8", parity_tree(8, d)),
+    ] {
+        let report = two_vector_delay(&n, &opts()).unwrap();
+        let observed = replay(&n, &report);
+        assert_eq!(
+            observed,
+            Some(report.delay),
+            "{name}: witness replay missed the bound"
+        );
+    }
+}
+
+#[test]
+fn witness_delays_respect_bounds() {
+    let n = paper_bypass_adder();
+    let report = two_vector_delay(&n, &opts()).unwrap();
+    let w = report.witness.unwrap();
+    assert_eq!(w.delays.len(), n.len());
+    for (id, node) in n.nodes() {
+        let d = w.delays[id.index()];
+        assert!(
+            node.delay().min <= d && d <= node.delay().max,
+            "node {} delay {d} outside {}",
+            node.name(),
+            node.delay()
+        );
+    }
+    assert_eq!(w.before.len(), n.inputs().len());
+    assert_eq!(w.after.len(), n.inputs().len());
+}
+
+#[test]
+fn zero_delay_circuits_have_no_witness() {
+    use tbf_logic::{DelayBounds, GateKind};
+    let mut b = Netlist::builder();
+    let x = b.input("x");
+    let c = b
+        .gate(GateKind::Const0, "c", vec![], DelayBounds::ZERO)
+        .unwrap();
+    let g = b
+        .gate(
+            GateKind::And,
+            "g",
+            vec![x, c],
+            DelayBounds::fixed(Time::from_int(3)),
+        )
+        .unwrap();
+    b.output("f", g);
+    let n = b.finish().unwrap();
+    let report = two_vector_delay(&n, &opts()).unwrap();
+    assert_eq!(report.delay, Time::ZERO);
+    assert!(report.witness.is_none());
+}

@@ -1,0 +1,314 @@
+//! Fixed-point time arithmetic and gate delay bounds.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+/// Fixed-point sub-units per time unit (a resolution of 10⁻⁴ units).
+///
+/// All delay data in the workspace lives on this grid so that breakpoint
+/// deduplication, interval comparison and LP feasibility stay exact —
+/// floating-point drift cannot perturb the descending-breakpoint search of
+/// the delay algorithms.
+pub const TIME_SCALE: i64 = 10_000;
+
+/// A point in time or a duration, stored as `i64` fixed-point at
+/// [`TIME_SCALE`] sub-units per unit.
+///
+/// # Example
+///
+/// ```
+/// use tbf_logic::Time;
+/// let a = Time::from_int(3);
+/// let b = Time::from_units(0.5);
+/// assert_eq!((a + b).to_units(), 3.5);
+/// assert!(a > b);
+/// assert_eq!(a - a, Time::ZERO);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(i64);
+
+impl Time {
+    /// Zero time.
+    pub const ZERO: Time = Time(0);
+    /// The largest representable time (useful as an "infinity" sentinel).
+    pub const MAX: Time = Time(i64::MAX);
+    /// The smallest representable time.
+    pub const MIN: Time = Time(i64::MIN);
+
+    /// An integer number of time units.
+    pub const fn from_int(units: i64) -> Time {
+        Time(units * TIME_SCALE)
+    }
+
+    /// A raw fixed-point value ([`TIME_SCALE`] sub-units per unit).
+    pub const fn from_scaled(scaled: i64) -> Time {
+        Time(scaled)
+    }
+
+    /// A fractional number of units, rounded to the fixed-point grid.
+    pub fn from_units(units: f64) -> Time {
+        Time((units * TIME_SCALE as f64).round() as i64)
+    }
+
+    /// The raw fixed-point value.
+    pub const fn scaled(self) -> i64 {
+        self.0
+    }
+
+    /// The value in time units as `f64` (reporting only).
+    pub fn to_units(self) -> f64 {
+        self.0 as f64 / TIME_SCALE as f64
+    }
+
+    /// True if exactly zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The smallest representable positive step (one fixed-point unit).
+    ///
+    /// Used as the `ε` of the paper's `t = b⁻` evaluations.
+    pub const EPSILON: Time = Time(1);
+
+    /// Saturating addition (for "infinity" sentinels).
+    pub fn saturating_add(self, rhs: Time) -> Time {
+        Time(self.0.saturating_add(rhs.0))
+    }
+
+    /// Minimum of two times.
+    pub fn min(self, other: Time) -> Time {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Maximum of two times.
+    pub fn max(self, other: Time) -> Time {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0.checked_add(rhs.0).expect("time overflow"))
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0.checked_sub(rhs.0).expect("time underflow"))
+    }
+}
+
+impl Neg for Time {
+    type Output = Time;
+    fn neg(self) -> Time {
+        Time(-self.0)
+    }
+}
+
+impl AddAssign for Time {
+    fn add_assign(&mut self, rhs: Time) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Time {
+    fn sub_assign(&mut self, rhs: Time) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<i64> for Time {
+    type Output = Time;
+    fn mul(self, rhs: i64) -> Time {
+        Time(self.0.checked_mul(rhs).expect("time overflow"))
+    }
+}
+
+impl Sum for Time {
+    fn sum<I: Iterator<Item = Time>>(iter: I) -> Time {
+        iter.fold(Time::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Time({})", self.to_units())
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 % TIME_SCALE == 0 {
+            write!(f, "{}", self.0 / TIME_SCALE)
+        } else {
+            write!(f, "{}", self.to_units())
+        }
+    }
+}
+
+/// The bounded gate delay model of the paper: a gate's delay may take any
+/// value in `[min, max]`.
+///
+/// Fixed delays are expressed as `min == max`, the unbounded model as
+/// `min == 0`.
+///
+/// # Example
+///
+/// ```
+/// use tbf_logic::{DelayBounds, Time};
+/// let d = DelayBounds::new(Time::from_units(0.9), Time::from_int(1));
+/// assert!(d.is_variable());
+/// let fixed = DelayBounds::fixed(Time::from_int(2));
+/// assert!(!fixed.is_variable());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct DelayBounds {
+    /// Minimum delay.
+    pub min: Time,
+    /// Maximum delay.
+    pub max: Time,
+}
+
+impl DelayBounds {
+    /// Zero delay (used for primary inputs).
+    pub const ZERO: DelayBounds = DelayBounds {
+        min: Time::ZERO,
+        max: Time::ZERO,
+    };
+
+    /// Creates `[min, max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max` or `min < 0`.
+    pub fn new(min: Time, max: Time) -> DelayBounds {
+        assert!(
+            Time::ZERO <= min && min <= max,
+            "invalid delay bounds [{min}, {max}]"
+        );
+        DelayBounds { min, max }
+    }
+
+    /// A fixed delay `[d, d]`.
+    pub fn fixed(d: Time) -> DelayBounds {
+        DelayBounds::new(d, d)
+    }
+
+    /// The unbounded model `[0, max]` of the floating/viability setting.
+    pub fn unbounded(max: Time) -> DelayBounds {
+        DelayBounds::new(Time::ZERO, max)
+    }
+
+    /// `[f·max, max]` — the manufacturing-precision model of paper §10
+    /// (`f` clamped to `[0, 1]`).
+    pub fn scaled_min(max: Time, f: f64) -> DelayBounds {
+        let f = f.clamp(0.0, 1.0);
+        let min = Time::from_scaled(((max.scaled() as f64) * f).round() as i64);
+        DelayBounds::new(min.min(max), max)
+    }
+
+    /// True if the gate has genuinely variable delay (`min < max`), the
+    /// premise of Theorems 1–2.
+    pub fn is_variable(self) -> bool {
+        self.min < self.max
+    }
+}
+
+impl fmt::Display for DelayBounds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_point_roundtrip() {
+        assert_eq!(Time::from_int(3).scaled(), 3 * TIME_SCALE);
+        assert_eq!(Time::from_units(0.5).to_units(), 0.5);
+        assert_eq!(Time::from_scaled(1), Time::EPSILON);
+        assert_eq!(Time::from_units(0.00005).scaled(), 1); // rounds to grid
+    }
+
+    #[test]
+    fn arithmetic_and_ordering() {
+        let a = Time::from_int(2);
+        let b = Time::from_int(3);
+        assert_eq!(a + b, Time::from_int(5));
+        assert_eq!(b - a, Time::from_int(1));
+        assert_eq!(-a, Time::from_int(-2));
+        assert_eq!(a * 4, Time::from_int(8));
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, Time::from_int(5));
+        c -= a;
+        assert_eq!(c, b);
+        let total: Time = [a, b, a].into_iter().sum();
+        assert_eq!(total, Time::from_int(7));
+    }
+
+    #[test]
+    fn saturating_add_handles_sentinels() {
+        assert_eq!(Time::MAX.saturating_add(Time::from_int(1)), Time::MAX);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Time::from_int(7).to_string(), "7");
+        assert_eq!(Time::from_units(2.5).to_string(), "2.5");
+        assert_eq!(
+            DelayBounds::new(Time::from_int(1), Time::from_int(2)).to_string(),
+            "[1, 2]"
+        );
+    }
+
+    #[test]
+    fn delay_bounds_constructors() {
+        let d = DelayBounds::fixed(Time::from_int(5));
+        assert_eq!(d.min, d.max);
+        assert!(!d.is_variable());
+        let u = DelayBounds::unbounded(Time::from_int(5));
+        assert_eq!(u.min, Time::ZERO);
+        assert!(u.is_variable());
+        let s = DelayBounds::scaled_min(Time::from_int(10), 0.9);
+        assert_eq!(s.min, Time::from_int(9));
+        assert_eq!(s.max, Time::from_int(10));
+        // Clamping.
+        assert_eq!(
+            DelayBounds::scaled_min(Time::from_int(10), 2.0).min,
+            Time::from_int(10)
+        );
+        assert_eq!(
+            DelayBounds::scaled_min(Time::from_int(10), -1.0).min,
+            Time::ZERO
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid delay bounds")]
+    fn inverted_bounds_panic() {
+        let _ = DelayBounds::new(Time::from_int(2), Time::from_int(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "time overflow")]
+    fn overflow_panics() {
+        let _ = Time::MAX + Time::EPSILON;
+    }
+}

@@ -1,0 +1,258 @@
+//! Gate kinds and their Boolean semantics.
+
+use std::fmt;
+
+/// The kind of a netlist node.
+///
+/// All standard-cell primitives used by the ISCAS-85 benchmarks are
+/// covered; `And`/`Or`/`Nand`/`Nor`/`Xor`/`Xnor` are n-ary (n ≥ 1),
+/// `Not`/`Buf` are unary, constants are nullary.
+///
+/// # Example
+///
+/// ```
+/// use tbf_logic::GateKind;
+/// assert_eq!(GateKind::Nand.eval(&[true, true]), false);
+/// assert_eq!(GateKind::Xor.eval(&[true, false, true]), false); // parity
+/// assert_eq!(GateKind::And.controlling_value(), Some(false));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum GateKind {
+    /// A primary input (no fanins, no delay).
+    Input,
+    /// N-ary conjunction.
+    And,
+    /// N-ary disjunction.
+    Or,
+    /// N-ary negated conjunction.
+    Nand,
+    /// N-ary negated disjunction.
+    Nor,
+    /// N-ary parity (odd number of true inputs).
+    Xor,
+    /// N-ary negated parity.
+    Xnor,
+    /// Inverter.
+    Not,
+    /// Non-inverting buffer.
+    Buf,
+    /// 3-input majority (the full-adder carry function `ab + ac + bc`).
+    Maj,
+    /// 2:1 multiplexer with pin order `(s, d0, d1)`: `s̄·d0 + s·d1`.
+    Mux,
+    /// Constant false.
+    Const0,
+    /// Constant true.
+    Const1,
+}
+
+impl GateKind {
+    /// Evaluates the gate on concrete input values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of inputs is invalid for the kind (see
+    /// [`valid_arity`](Self::valid_arity)).
+    pub fn eval(self, inputs: &[bool]) -> bool {
+        assert!(
+            self.valid_arity(inputs.len()),
+            "{self} cannot take {} inputs",
+            inputs.len()
+        );
+        match self {
+            GateKind::Input => unreachable!("inputs are not evaluated"),
+            GateKind::And => inputs.iter().all(|&b| b),
+            GateKind::Or => inputs.iter().any(|&b| b),
+            GateKind::Nand => !inputs.iter().all(|&b| b),
+            GateKind::Nor => !inputs.iter().any(|&b| b),
+            GateKind::Xor => inputs.iter().filter(|&&b| b).count() % 2 == 1,
+            GateKind::Xnor => inputs.iter().filter(|&&b| b).count() % 2 == 0,
+            GateKind::Not => !inputs[0],
+            GateKind::Buf => inputs[0],
+            GateKind::Maj => {
+                let ones = inputs.iter().filter(|&&b| b).count();
+                ones >= 2
+            }
+            GateKind::Mux => {
+                if inputs[0] {
+                    inputs[2]
+                } else {
+                    inputs[1]
+                }
+            }
+            GateKind::Const0 => false,
+            GateKind::Const1 => true,
+        }
+    }
+
+    /// True if a node of this kind may have `n` fanins.
+    pub fn valid_arity(self, n: usize) -> bool {
+        match self {
+            GateKind::Input | GateKind::Const0 | GateKind::Const1 => n == 0,
+            GateKind::Not | GateKind::Buf => n == 1,
+            GateKind::Maj | GateKind::Mux => n == 3,
+            GateKind::And
+            | GateKind::Or
+            | GateKind::Nand
+            | GateKind::Nor
+            | GateKind::Xor
+            | GateKind::Xnor => n >= 1,
+        }
+    }
+
+    /// The controlling input value of the gate, if it has one (a value
+    /// that determines the output regardless of the other inputs).
+    ///
+    /// `And`/`Nand` → `false`; `Or`/`Nor` → `true`; parity gates, buffers
+    /// and inverters have none.
+    pub fn controlling_value(self) -> Option<bool> {
+        match self {
+            GateKind::And | GateKind::Nand => Some(false),
+            GateKind::Or | GateKind::Nor => Some(true),
+            _ => None,
+        }
+    }
+
+    /// True if the gate inverts (its output with all-non-controlling
+    /// single input toggles against that input): `Not`, `Nand`, `Nor`,
+    /// `Xnor`.
+    pub fn is_inverting(self) -> bool {
+        matches!(
+            self,
+            GateKind::Not | GateKind::Nand | GateKind::Nor | GateKind::Xnor
+        )
+    }
+
+    /// True for `Input`.
+    pub fn is_input(self) -> bool {
+        self == GateKind::Input
+    }
+
+    /// True for the two constant kinds.
+    pub fn is_constant(self) -> bool {
+        matches!(self, GateKind::Const0 | GateKind::Const1)
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            GateKind::Input => "INPUT",
+            GateKind::And => "AND",
+            GateKind::Or => "OR",
+            GateKind::Nand => "NAND",
+            GateKind::Nor => "NOR",
+            GateKind::Xor => "XOR",
+            GateKind::Xnor => "XNOR",
+            GateKind::Not => "NOT",
+            GateKind::Buf => "BUF",
+            GateKind::Maj => "MAJ",
+            GateKind::Mux => "MUX",
+            GateKind::Const0 => "CONST0",
+            GateKind::Const1 => "CONST1",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truth_tables_binary() {
+        let cases = [
+            (GateKind::And, [false, false, false, true]),
+            (GateKind::Or, [false, true, true, true]),
+            (GateKind::Nand, [true, true, true, false]),
+            (GateKind::Nor, [true, false, false, false]),
+            (GateKind::Xor, [false, true, true, false]),
+            (GateKind::Xnor, [true, false, false, true]),
+        ];
+        for (kind, expect) in cases {
+            for (i, &e) in expect.iter().enumerate() {
+                let a = [(i & 1) != 0, (i & 2) != 0];
+                assert_eq!(kind.eval(&a), e, "{kind} on {a:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn nary_gates() {
+        assert!(GateKind::And.eval(&[true, true, true]));
+        assert!(!GateKind::And.eval(&[true, false, true]));
+        assert!(GateKind::Or.eval(&[false, false, true]));
+        assert!(GateKind::Xor.eval(&[true, true, true])); // odd parity
+        assert!(!GateKind::Xnor.eval(&[true, true, true]));
+        assert!(GateKind::And.eval(&[true])); // unary degenerate
+    }
+
+    #[test]
+    fn maj_and_mux() {
+        // Majority truth table.
+        for i in 0..8u8 {
+            let a = [(i & 1) != 0, (i & 2) != 0, (i & 4) != 0];
+            let ones = a.iter().filter(|&&b| b).count();
+            assert_eq!(GateKind::Maj.eval(&a), ones >= 2, "{a:?}");
+        }
+        // Mux: (s, d0, d1).
+        assert!(!GateKind::Mux.eval(&[false, false, true]));
+        assert!(GateKind::Mux.eval(&[false, true, false]));
+        assert!(GateKind::Mux.eval(&[true, false, true]));
+        assert!(!GateKind::Mux.eval(&[true, true, false]));
+        assert!(GateKind::Maj.valid_arity(3));
+        assert!(!GateKind::Maj.valid_arity(2));
+        assert!(!GateKind::Mux.valid_arity(4));
+        assert_eq!(GateKind::Maj.controlling_value(), None);
+        assert_eq!(GateKind::Mux.to_string(), "MUX");
+    }
+
+    #[test]
+    fn unary_and_const() {
+        assert!(GateKind::Not.eval(&[false]));
+        assert!(GateKind::Buf.eval(&[true]));
+        assert!(!GateKind::Const0.eval(&[]));
+        assert!(GateKind::Const1.eval(&[]));
+    }
+
+    #[test]
+    fn arity_validation() {
+        assert!(GateKind::Not.valid_arity(1));
+        assert!(!GateKind::Not.valid_arity(2));
+        assert!(!GateKind::And.valid_arity(0));
+        assert!(GateKind::And.valid_arity(9));
+        assert!(GateKind::Input.valid_arity(0));
+        assert!(!GateKind::Input.valid_arity(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot take")]
+    fn bad_arity_panics() {
+        let _ = GateKind::Not.eval(&[true, false]);
+    }
+
+    #[test]
+    fn controlling_values() {
+        assert_eq!(GateKind::And.controlling_value(), Some(false));
+        assert_eq!(GateKind::Nand.controlling_value(), Some(false));
+        assert_eq!(GateKind::Or.controlling_value(), Some(true));
+        assert_eq!(GateKind::Nor.controlling_value(), Some(true));
+        assert_eq!(GateKind::Xor.controlling_value(), None);
+        assert_eq!(GateKind::Buf.controlling_value(), None);
+    }
+
+    #[test]
+    fn classification_helpers() {
+        assert!(GateKind::Nand.is_inverting());
+        assert!(!GateKind::And.is_inverting());
+        assert!(GateKind::Input.is_input());
+        assert!(GateKind::Const1.is_constant());
+        assert!(!GateKind::Buf.is_constant());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(GateKind::Nand.to_string(), "NAND");
+        assert_eq!(GateKind::Input.to_string(), "INPUT");
+    }
+}

@@ -1,0 +1,361 @@
+//! Adder generators: ripple-carry, carry-bypass and carry-select.
+//!
+//! Carry-bypass (a.k.a. carry-skip) adders are the canonical false-path
+//! circuits — the paper's own §11 worked example is a 4-bit ripple-bypass
+//! adder — so they carry the evaluation's "exact ≪ topological" shape.
+
+use crate::delay::{DelayBounds, Time};
+use crate::gate::GateKind;
+use crate::netlist::{Netlist, NodeId};
+
+/// An `bits`-bit ripple-carry adder (sum and carry-out outputs), every
+/// gate with the same delay bounds.
+///
+/// # Panics
+///
+/// Panics if `bits == 0`.
+///
+/// # Example
+///
+/// ```
+/// use tbf_logic::generators::adders::ripple_carry;
+/// use tbf_logic::{DelayBounds, Time};
+///
+/// let n = ripple_carry(4, DelayBounds::fixed(Time::from_int(1)));
+/// // 2·4 operand bits + carry-in, 4 sum bits + carry-out.
+/// assert_eq!(n.inputs().len(), 9);
+/// assert_eq!(n.outputs().len(), 5);
+/// ```
+pub fn ripple_carry(bits: usize, delay: DelayBounds) -> Netlist {
+    assert!(bits > 0, "adder needs at least one bit");
+    let mut b = Netlist::builder();
+    let a_in: Vec<NodeId> = (0..bits).map(|i| b.input(&format!("a{i}"))).collect();
+    let b_in: Vec<NodeId> = (0..bits).map(|i| b.input(&format!("b{i}"))).collect();
+    let mut carry = b.input("cin");
+    for i in 0..bits {
+        let p = b
+            .gate(GateKind::Xor, &format!("p{i}"), vec![a_in[i], b_in[i]], delay)
+            .expect("generator names are unique");
+        let s = b
+            .gate(GateKind::Xor, &format!("s{i}"), vec![p, carry], delay)
+            .expect("generator names are unique");
+        b.output(&format!("sum{i}"), s);
+        carry = b
+            .gate(
+                GateKind::Maj,
+                &format!("c{}", i + 1),
+                vec![a_in[i], b_in[i], carry],
+                delay,
+            )
+            .expect("generator names are unique");
+    }
+    b.output("cout", carry);
+    b.finish().expect("generator emits outputs")
+}
+
+/// A carry-bypass adder: `blocks` blocks of `block_bits` bits, each with
+/// a ripple chain and a propagate-AND controlled bypass mux. Uniform
+/// delay bounds on every gate.
+///
+/// The block-crossing "ripple all the way" paths are false whenever every
+/// propagate signal in a block is true (the mux then selects the bypass),
+/// which is exactly the §11 effect scaled up.
+///
+/// # Panics
+///
+/// Panics if `block_bits == 0` or `blocks == 0`.
+pub fn carry_bypass(block_bits: usize, blocks: usize, delay: DelayBounds) -> Netlist {
+    assert!(block_bits > 0 && blocks > 0, "empty bypass adder");
+    let bits = block_bits * blocks;
+    let mut b = Netlist::builder();
+    let a_in: Vec<NodeId> = (0..bits).map(|i| b.input(&format!("a{i}"))).collect();
+    let b_in: Vec<NodeId> = (0..bits).map(|i| b.input(&format!("b{i}"))).collect();
+    let mut block_cin = b.input("cin");
+    for blk in 0..blocks {
+        let mut carry = block_cin;
+        let mut props = Vec::with_capacity(block_bits);
+        for j in 0..block_bits {
+            let i = blk * block_bits + j;
+            let p = b
+                .gate(GateKind::Xor, &format!("p{i}"), vec![a_in[i], b_in[i]], delay)
+                .expect("generator names are unique");
+            props.push(p);
+            let s = b
+                .gate(GateKind::Xor, &format!("s{i}"), vec![p, carry], delay)
+                .expect("generator names are unique");
+            b.output(&format!("sum{i}"), s);
+            carry = b
+                .gate(
+                    GateKind::Maj,
+                    &format!("c{blk}_{j}"),
+                    vec![a_in[i], b_in[i], carry],
+                    delay,
+                )
+                .expect("generator names are unique");
+        }
+        let bypass = b
+            .gate(GateKind::And, &format!("bp{blk}"), props, delay)
+            .expect("generator names are unique");
+        block_cin = b
+            .gate(
+                GateKind::Mux,
+                &format!("bc{blk}"),
+                vec![bypass, carry, block_cin],
+                delay,
+            )
+            .expect("generator names are unique");
+    }
+    b.output("cout", block_cin);
+    b.finish().expect("generator emits outputs")
+}
+
+/// A carry-select adder: each block computes both carry phases and a mux
+/// picks the real one; sums are selected per-bit.
+///
+/// # Panics
+///
+/// Panics if `block_bits == 0` or `blocks == 0`.
+pub fn carry_select(block_bits: usize, blocks: usize, delay: DelayBounds) -> Netlist {
+    assert!(block_bits > 0 && blocks > 0, "empty select adder");
+    let bits = block_bits * blocks;
+    let mut b = Netlist::builder();
+    let a_in: Vec<NodeId> = (0..bits).map(|i| b.input(&format!("a{i}"))).collect();
+    let b_in: Vec<NodeId> = (0..bits).map(|i| b.input(&format!("b{i}"))).collect();
+    let mut block_cin = b.input("cin");
+    for blk in 0..blocks {
+        let mut carry0 = b
+            .gate(GateKind::Const0, &format!("z{blk}"), vec![], DelayBounds::ZERO)
+            .expect("generator names are unique");
+        let mut carry1 = b
+            .gate(GateKind::Const1, &format!("o{blk}"), vec![], DelayBounds::ZERO)
+            .expect("generator names are unique");
+        for j in 0..block_bits {
+            let i = blk * block_bits + j;
+            let p = b
+                .gate(GateKind::Xor, &format!("p{i}"), vec![a_in[i], b_in[i]], delay)
+                .expect("generator names are unique");
+            let s0 = b
+                .gate(GateKind::Xor, &format!("s0_{i}"), vec![p, carry0], delay)
+                .expect("generator names are unique");
+            let s1 = b
+                .gate(GateKind::Xor, &format!("s1_{i}"), vec![p, carry1], delay)
+                .expect("generator names are unique");
+            let s = b
+                .gate(
+                    GateKind::Mux,
+                    &format!("s{i}"),
+                    vec![block_cin, s0, s1],
+                    delay,
+                )
+                .expect("generator names are unique");
+            b.output(&format!("sum{i}"), s);
+            carry0 = b
+                .gate(
+                    GateKind::Maj,
+                    &format!("c0_{blk}_{j}"),
+                    vec![a_in[i], b_in[i], carry0],
+                    delay,
+                )
+                .expect("generator names are unique");
+            carry1 = b
+                .gate(
+                    GateKind::Maj,
+                    &format!("c1_{blk}_{j}"),
+                    vec![a_in[i], b_in[i], carry1],
+                    delay,
+                )
+                .expect("generator names are unique");
+        }
+        block_cin = b
+            .gate(
+                GateKind::Mux,
+                &format!("bc{blk}"),
+                vec![block_cin, carry0, carry1],
+                delay,
+            )
+            .expect("generator names are unique");
+    }
+    b.output("cout", block_cin);
+    b.finish().expect("generator emits outputs")
+}
+
+/// The exact 4-bit ripple-bypass adder of the paper's §11 (Figure 7):
+/// carry-in buffer `g0 ∈ [2,20]` (modeling the previous stage), four
+/// majority carry stages `g1..g4 ∈ [2,4]`, propagate XORs and bypass AND
+/// `∈ [2,4]`, and the final bypass mux `g5 ∈ [2,4]`. Only the carry
+/// output is exposed (the paper ignores the sum bits).
+///
+/// Its longest topological path is `c0→g0→g1→g2→g3→g4→g5` of length
+/// **40**; its exact 2-vector carry delay is **24** (the ripple-through
+/// path is false).
+pub fn paper_bypass_adder() -> Netlist {
+    let d = |lo: i64, hi: i64| DelayBounds::new(Time::from_int(lo), Time::from_int(hi));
+    let mut b = Netlist::builder();
+    let c0 = b.input("c0");
+    let a_in: Vec<NodeId> = (1..=4).map(|i| b.input(&format!("a{i}"))).collect();
+    let b_in: Vec<NodeId> = (1..=4).map(|i| b.input(&format!("b{i}"))).collect();
+    let g0 = b
+        .gate(GateKind::Buf, "g0", vec![c0], d(2, 20))
+        .expect("generator names are unique");
+    let mut carry = g0;
+    let mut props = Vec::new();
+    for i in 0..4 {
+        let p = b
+            .gate(
+                GateKind::Xor,
+                &format!("p{}", i + 1),
+                vec![a_in[i], b_in[i]],
+                d(2, 4),
+            )
+            .expect("generator names are unique");
+        props.push(p);
+        carry = b
+            .gate(
+                GateKind::Maj,
+                &format!("g{}", i + 1),
+                vec![a_in[i], b_in[i], carry],
+                d(2, 4),
+            )
+            .expect("generator names are unique");
+    }
+    let bypass = b
+        .gate(GateKind::And, "bp", props, d(2, 4))
+        .expect("generator names are unique");
+    let g5 = b
+        .gate(GateKind::Mux, "g5", vec![bypass, carry, g0], d(2, 4))
+        .expect("generator names are unique");
+    b.output("cout", g5);
+    b.finish().expect("generator emits outputs")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d1() -> DelayBounds {
+        DelayBounds::fixed(Time::from_int(1))
+    }
+
+    /// Oracle: add via u64 arithmetic.
+    fn check_adder(n: &Netlist, bits: usize, a: u64, bv: u64, cin: bool) {
+        let mut assignment = Vec::new();
+        // Input order: a0..a(bits-1), b0..b(bits-1), cin — matches builders.
+        for i in 0..bits {
+            assignment.push((a >> i) & 1 == 1);
+        }
+        for i in 0..bits {
+            assignment.push((bv >> i) & 1 == 1);
+        }
+        assignment.push(cin);
+        let outs = n.evaluate_outputs(&assignment);
+        let total = a + bv + u64::from(cin);
+        // Outputs: sum0..sum(bits-1), cout (declaration order).
+        for (i, &s) in outs[..bits].iter().enumerate() {
+            assert_eq!(s, (total >> i) & 1 == 1, "sum bit {i} of {a}+{bv}+{cin}");
+        }
+        assert_eq!(
+            outs[bits],
+            (total >> bits) & 1 == 1,
+            "carry of {a}+{bv}+{cin}"
+        );
+    }
+
+    #[test]
+    fn ripple_carry_adds_correctly() {
+        let n = ripple_carry(4, d1());
+        for a in 0..16 {
+            for bv in 0..16 {
+                check_adder(&n, 4, a, bv, false);
+                check_adder(&n, 4, a, bv, true);
+            }
+        }
+    }
+
+    #[test]
+    fn carry_bypass_adds_correctly() {
+        let n = carry_bypass(2, 2, d1());
+        for a in 0..16 {
+            for bv in 0..16 {
+                check_adder(&n, 4, a, bv, false);
+                check_adder(&n, 4, a, bv, true);
+            }
+        }
+    }
+
+    #[test]
+    fn carry_select_adds_correctly() {
+        let n = carry_select(2, 2, d1());
+        for a in 0..16 {
+            for bv in 0..16 {
+                check_adder(&n, 4, a, bv, false);
+                check_adder(&n, 4, a, bv, true);
+            }
+        }
+    }
+
+    #[test]
+    fn sizes_scale() {
+        let small = carry_bypass(2, 2, d1());
+        let large = carry_bypass(4, 8, d1());
+        assert!(large.gate_count() > 3 * small.gate_count());
+        assert_eq!(large.inputs().len(), 2 * 32 + 1);
+    }
+
+    #[test]
+    fn paper_adder_topological_delay_is_40() {
+        let n = paper_bypass_adder();
+        assert_eq!(n.topological_delay(), Time::from_int(40));
+        assert_eq!(n.outputs().len(), 1);
+        assert_eq!(n.inputs().len(), 9);
+    }
+
+    #[test]
+    fn paper_adder_carry_function() {
+        // The carry-out must equal the arithmetic carry of a 4-bit add.
+        let n = paper_bypass_adder();
+        // Input order: c0, a1..a4, b1..b4.
+        for c0 in [false, true] {
+            for a in 0..16u64 {
+                for bv in 0..16u64 {
+                    let mut assignment = vec![c0];
+                    for i in 0..4 {
+                        assignment.push((a >> i) & 1 == 1);
+                    }
+                    for i in 0..4 {
+                        assignment.push((bv >> i) & 1 == 1);
+                    }
+                    let expect = (a + bv + u64::from(c0)) >> 4 & 1 == 1;
+                    assert_eq!(
+                        n.evaluate_outputs(&assignment),
+                        vec![expect],
+                        "carry of {a}+{bv}+{c0}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bypass_mux_kills_ripple_path_statically() {
+        // When every propagate is true the mux selects the bypass leg, so
+        // the chain value is logically irrelevant: carry-out = carry-in.
+        let n = paper_bypass_adder();
+        // a = 0101, b = 1010 → all p_i = 1.
+        let mut assignment = vec![true];
+        for i in 0..4 {
+            assignment.push(i % 2 == 0);
+        }
+        for i in 0..4 {
+            assignment.push(i % 2 == 1);
+        }
+        assert_eq!(n.evaluate_outputs(&assignment), vec![true]);
+        assignment[0] = false;
+        assert_eq!(n.evaluate_outputs(&assignment), vec![false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn zero_bits_panics() {
+        let _ = ripple_carry(0, d1());
+    }
+}

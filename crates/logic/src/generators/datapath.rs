@@ -1,0 +1,319 @@
+//! Datapath generators: array multiplier, decoder and barrel shifter.
+//!
+//! The array multiplier is the structure of ISCAS-85's C6288 — the one
+//! benchmark the paper's evaluation *could not complete* ("all ISCAS
+//! benchmark circuits (except C6188 \[sic\])"): its reconvergent
+//! carry-save mesh has astronomically many near-critical paths. Small
+//! instances are exactly analyzable here; larger ones reproduce the
+//! paper's exclusion honestly via the typed resource-cap errors.
+
+use crate::delay::DelayBounds;
+use crate::gate::GateKind;
+use crate::netlist::{Netlist, NodeId};
+
+/// An `n × n` carry-save array multiplier (the C6288 structure):
+/// AND-gate partial products, rows of full adders, ripple final row.
+/// Product outputs `p0..p(2n-1)`. Uniform delay bounds on every gate.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Example
+///
+/// ```
+/// use tbf_logic::generators::datapath::array_multiplier;
+/// use tbf_logic::{DelayBounds, Time};
+/// let m = array_multiplier(3, DelayBounds::fixed(Time::from_int(1)));
+/// assert_eq!(m.inputs().len(), 6);
+/// assert_eq!(m.outputs().len(), 6);
+/// ```
+pub fn array_multiplier(n: usize, delay: DelayBounds) -> Netlist {
+    assert!(n > 0, "multiplier needs at least one bit");
+    let mut b = Netlist::builder();
+    let a: Vec<NodeId> = (0..n).map(|i| b.input(&format!("a{i}"))).collect();
+    let y: Vec<NodeId> = (0..n).map(|i| b.input(&format!("b{i}"))).collect();
+
+    // Partial products pp[i][j] = a_i · b_j.
+    let mut pp: Vec<Vec<NodeId>> = Vec::with_capacity(n);
+    for (i, &ai) in a.iter().enumerate() {
+        let mut row = Vec::with_capacity(n);
+        for (j, &yj) in y.iter().enumerate() {
+            row.push(
+                b.gate(GateKind::And, &format!("pp{i}_{j}"), vec![ai, yj], delay)
+                    .expect("generator names are unique"),
+            );
+        }
+        pp.push(row);
+    }
+
+    // Carry-save reduction, row by row: row r sums pp[.][r] into the
+    // running partial sums. sums[k] holds the current bit of weight k.
+    let full_adder = |b: &mut crate::netlist::NetlistBuilder,
+                          name: &str,
+                          x: NodeId,
+                          yv: NodeId,
+                          z: NodeId|
+     -> (NodeId, NodeId) {
+        let x1 = b
+            .gate(GateKind::Xor, &format!("{name}_x1"), vec![x, yv], delay)
+            .expect("generator names are unique");
+        let s = b
+            .gate(GateKind::Xor, &format!("{name}_s"), vec![x1, z], delay)
+            .expect("generator names are unique");
+        let c = b
+            .gate(GateKind::Maj, &format!("{name}_c"), vec![x, yv, z], delay)
+            .expect("generator names are unique");
+        (s, c)
+    };
+    let half_adder = |b: &mut crate::netlist::NetlistBuilder,
+                          name: &str,
+                          x: NodeId,
+                          yv: NodeId|
+     -> (NodeId, NodeId) {
+        let s = b
+            .gate(GateKind::Xor, &format!("{name}_s"), vec![x, yv], delay)
+            .expect("generator names are unique");
+        let c = b
+            .gate(GateKind::And, &format!("{name}_c"), vec![x, yv], delay)
+            .expect("generator names are unique");
+        (s, c)
+    };
+
+    // sums[k]: the bit of weight k accumulated so far. One extra slot
+    // holds the structurally-present (logically always-zero) carry out of
+    // the top full adder.
+    let mut sums: Vec<Option<NodeId>> = vec![None; 2 * n + 1];
+    let mut carries: Vec<(usize, NodeId)> = Vec::new(); // (weight, node)
+    for (i, row) in pp.iter().enumerate() {
+        for (j, &node) in row.iter().enumerate() {
+            carries.push((i + j, node));
+        }
+    }
+    // Repeatedly compress: at each weight, combine pending bits with
+    // half/full adders until one bit remains per weight.
+    let mut stage = 0usize;
+    loop {
+        let mut pending: Vec<Vec<NodeId>> = vec![Vec::new(); 2 * n + 1];
+        for (w, node) in carries.drain(..) {
+            // Bits at weight ≥ 2n are provably zero (the product fits in
+            // 2n bits); their generating gates stay in the netlist (as in
+            // the real C6288) but are not propagated further.
+            if w <= 2 * n {
+                pending[w].push(node);
+            }
+        }
+        for (w, s) in sums.iter().enumerate() {
+            if let Some(node) = s {
+                pending[w].push(*node);
+            }
+        }
+        sums = vec![None; 2 * n + 1];
+        let mut any_multi = false;
+        for w in 0..=2 * n {
+            let bits = &mut pending[w];
+            match bits.len() {
+                0 => {}
+                1 => sums[w] = Some(bits[0]),
+                2 => {
+                    let (s, c) =
+                        half_adder(&mut b, &format!("ha{stage}_{w}"), bits[0], bits[1]);
+                    sums[w] = Some(s);
+                    carries.push((w + 1, c));
+                    any_multi = true;
+                }
+                _ => {
+                    let (s, c) = full_adder(
+                        &mut b,
+                        &format!("fa{stage}_{w}"),
+                        bits[0],
+                        bits[1],
+                        bits[2],
+                    );
+                    sums[w] = Some(s);
+                    carries.push((w + 1, c));
+                    for &extra in &bits[3..] {
+                        carries.push((w, extra));
+                    }
+                    any_multi = true;
+                }
+            }
+            stage += 1;
+        }
+        if !any_multi && carries.is_empty() {
+            break;
+        }
+    }
+    for (w, s) in sums.iter().take(2 * n).enumerate() {
+        match s {
+            Some(node) => b.output(&format!("p{w}"), *node),
+            None => {
+                let zero = b
+                    .gate(
+                        GateKind::Const0,
+                        &format!("zero{w}"),
+                        vec![],
+                        DelayBounds::ZERO,
+                    )
+                    .expect("generator names are unique");
+                b.output(&format!("p{w}"), zero);
+            }
+        }
+    }
+    b.finish().expect("generator emits outputs")
+}
+
+/// An `n`-to-`2^n` one-hot decoder with an AND per output line.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `n > 16`.
+pub fn decoder(n: usize, delay: DelayBounds) -> Netlist {
+    assert!(n > 0 && n <= 16, "decoder size out of range");
+    let mut b = Netlist::builder();
+    let sel: Vec<NodeId> = (0..n).map(|i| b.input(&format!("s{i}"))).collect();
+    let nsel: Vec<NodeId> = (0..n)
+        .map(|i| {
+            b.gate(GateKind::Not, &format!("ns{i}"), vec![sel[i]], delay)
+                .expect("generator names are unique")
+        })
+        .collect();
+    for line in 0..(1usize << n) {
+        let fanins: Vec<NodeId> = (0..n)
+            .map(|i| if (line >> i) & 1 == 1 { sel[i] } else { nsel[i] })
+            .collect();
+        let g = b
+            .gate(GateKind::And, &format!("d{line}"), fanins, delay)
+            .expect("generator names are unique");
+        b.output(&format!("y{line}"), g);
+    }
+    b.finish().expect("generator emits outputs")
+}
+
+/// A logarithmic barrel shifter: `2^k`-bit word rotated left by a
+/// `k`-bit amount, built from `k` mux layers.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > 6`.
+pub fn barrel_shifter(k: usize, delay: DelayBounds) -> Netlist {
+    assert!(k > 0 && k <= 6, "shifter size out of range");
+    let width = 1usize << k;
+    let mut b = Netlist::builder();
+    let sh: Vec<NodeId> = (0..k).map(|i| b.input(&format!("sh{i}"))).collect();
+    let mut word: Vec<NodeId> = (0..width).map(|i| b.input(&format!("d{i}"))).collect();
+    for (layer, &s) in sh.iter().enumerate() {
+        let dist = 1usize << layer;
+        let mut next = Vec::with_capacity(width);
+        for i in 0..width {
+            let rotated = word[(i + width - dist) % width];
+            next.push(
+                b.gate(
+                    GateKind::Mux,
+                    &format!("m{layer}_{i}"),
+                    vec![s, word[i], rotated],
+                    delay,
+                )
+                .expect("generator names are unique"),
+            );
+        }
+        word = next;
+    }
+    for (i, &w) in word.iter().enumerate() {
+        b.output(&format!("y{i}"), w);
+    }
+    b.finish().expect("generator emits outputs")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delay::Time;
+
+    fn d1() -> DelayBounds {
+        DelayBounds::fixed(Time::from_int(1))
+    }
+
+    fn eval_word(n: &Netlist, inputs: &[bool]) -> u64 {
+        n.evaluate_outputs(inputs)
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
+    }
+
+    #[test]
+    fn multiplier_multiplies() {
+        for n in [1usize, 2, 3, 4] {
+            let m = array_multiplier(n, d1());
+            for a in 0..(1u64 << n) {
+                for b in 0..(1u64 << n) {
+                    let mut inputs = Vec::new();
+                    for i in 0..n {
+                        inputs.push((a >> i) & 1 == 1);
+                    }
+                    for i in 0..n {
+                        inputs.push((b >> i) & 1 == 1);
+                    }
+                    assert_eq!(
+                        eval_word(&m, &inputs),
+                        a * b,
+                        "{n}-bit: {a} × {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multiplier_path_count_explodes() {
+        // The C6288 effect: path counts grow out of control fast.
+        let m3 = array_multiplier(3, d1());
+        let m6 = array_multiplier(6, d1());
+        let (p3, p6) = (m3.total_path_count(), m6.total_path_count());
+        assert!(p6 > 20 * p3, "m3 has {p3} paths, m6 only {p6}");
+    }
+
+    #[test]
+    fn decoder_is_one_hot() {
+        let n = decoder(3, d1());
+        for line in 0..8usize {
+            let inputs: Vec<bool> = (0..3).map(|i| (line >> i) & 1 == 1).collect();
+            let outs = n.evaluate_outputs(&inputs);
+            for (i, &o) in outs.iter().enumerate() {
+                assert_eq!(o, i == line, "line {line}, output {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn barrel_shifter_rotates() {
+        let k = 3;
+        let width = 8usize;
+        let n = barrel_shifter(k, d1());
+        for amount in 0..width {
+            for word in [0b0000_0001u64, 0b1010_0110, 0b1111_0000] {
+                let mut inputs = Vec::new();
+                for i in 0..k {
+                    inputs.push((amount >> i) & 1 == 1);
+                }
+                for i in 0..width {
+                    inputs.push((word >> i) & 1 == 1);
+                }
+                let expect = ((word << amount) | (word >> (width - amount)))
+                    & ((1u64 << width) - 1);
+                let expect = if amount == 0 { word } else { expect };
+                assert_eq!(
+                    eval_word(&n, &inputs),
+                    expect,
+                    "rotate {word:#b} by {amount}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn zero_multiplier_panics() {
+        let _ = array_multiplier(0, d1());
+    }
+}

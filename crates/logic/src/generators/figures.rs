@@ -1,0 +1,193 @@
+//! The exact circuits of the paper's figures, with the figure's delay
+//! annotations, for one-to-one reproduction of the worked examples.
+
+use crate::delay::{DelayBounds, Time};
+use crate::gate::GateKind;
+use crate::netlist::Netlist;
+
+pub use crate::generators::adders::paper_bypass_adder as figure7_bypass_adder;
+
+fn d(lo: i64, hi: i64) -> DelayBounds {
+    DelayBounds::new(Time::from_int(lo), Time::from_int(hi))
+}
+
+/// Figure 1 / Example 1: three reconvergent paths into an AND gate.
+///
+/// `P1` is a buffer with bounds `[4,5]`, `P2` an inverter `[1,2]`, `P3`
+/// a buffer `[1,2]`; the AND output is the single PO. Sensitizing `P1`
+/// for a falling input transition needs `|P3| > |P1|` and `|P2| < |P1|`,
+/// which the bounds make *topologically infeasible* — the example
+/// motivating the realizability (LP) step of exact delay computation.
+///
+/// Inputs in order: `x1` (P1), `x2` (P2), `x3` (P3).
+pub fn figure1_three_paths() -> Netlist {
+    let mut b = Netlist::builder();
+    let x1 = b.input("x1");
+    let x2 = b.input("x2");
+    let x3 = b.input("x3");
+    let p1 = b
+        .gate(GateKind::Buf, "p1", vec![x1], d(4, 5))
+        .expect("figure names are unique");
+    let p2 = b
+        .gate(GateKind::Not, "p2", vec![x2], d(1, 2))
+        .expect("figure names are unique");
+    let p3 = b
+        .gate(GateKind::Buf, "p3", vec![x3], d(1, 2))
+        .expect("figure names are unique");
+    let g = b
+        .gate(GateKind::And, "g", vec![p1, p2, p3], DelayBounds::ZERO)
+        .expect("figure names are unique");
+    b.output("f", g);
+    b.finish().expect("figure has an output")
+}
+
+/// Figure 4 / Example 3: `f = a + a·b` through two gates with delays in
+/// `[1,2]`.
+///
+/// The TBF is `f(t) = a(t−d₂) + a(t−d₁−d₂)·b(t−d₁−d₂)`; the mixed
+/// Boolean LP of the example has maximum `t = 4`, which is also the
+/// topological length — the exact 2-vector delay is **4**.
+///
+/// Inputs in order: `a`, `b`. Gate `g1` is the AND (delay `d₁`), `g2`
+/// the OR (delay `d₂`).
+pub fn figure4_example3() -> Netlist {
+    let mut b = Netlist::builder();
+    let a = b.input("a");
+    let bb = b.input("b");
+    let g1 = b
+        .gate(GateKind::And, "g1", vec![a, bb], d(1, 2))
+        .expect("figure names are unique");
+    let g2 = b
+        .gate(GateKind::Or, "g2", vec![a, g1], d(1, 2))
+        .expect("figure names are unique");
+    b.output("f", g2);
+    b.finish().expect("figure has an output")
+}
+
+/// Figure 5 / Example 4: the five-gate network whose TBF network at
+/// `t = 2.8` splits paths into positive / negative / delay-dependent
+/// groups. Every gate has delay `[0.9, 1.0]`.
+///
+/// Paths (by gate sets): `A–g1–g2–g3–g5` (min 3.6 → negative at 2.8),
+/// `A–g1–g2–g5` and `B–g2–g3–g5` (straddle 2.8 → delay-dependent),
+/// `B–g2–g5`, `B–g4–g5` (max ≤ 2 → positive).
+pub fn figure5_example4() -> Netlist {
+    let dd = DelayBounds::new(Time::from_units(0.9), Time::from_int(1));
+    let mut b = Netlist::builder();
+    let a = b.input("A");
+    let bb = b.input("B");
+    let g1 = b
+        .gate(GateKind::Buf, "g1", vec![a], dd)
+        .expect("figure names are unique");
+    let g2 = b
+        .gate(GateKind::And, "g2", vec![g1, bb], dd)
+        .expect("figure names are unique");
+    let g3 = b
+        .gate(GateKind::Not, "g3", vec![g2], dd)
+        .expect("figure names are unique");
+    let g4 = b
+        .gate(GateKind::Buf, "g4", vec![bb], dd)
+        .expect("figure names are unique");
+    let g5 = b
+        .gate(GateKind::Or, "g5", vec![g2, g3, g4], dd)
+        .expect("figure names are unique");
+    b.output("f", g5);
+    b.finish().expect("figure has an output")
+}
+
+/// Figure 6 / Example 5: buffer and inverter feeding an AND — nodes `b`
+/// and `c` always settle to opposite values, so the static output is 0.
+///
+/// With **fixed** unit delays the output never moves (delay by sequences
+/// of vectors = 0) while the floating delay is 2; with variable delays
+/// the two coincide (Theorem 2). Built here with fixed delays; use
+/// [`Netlist::map_delays`] to relax them.
+pub fn figure6_glitch() -> Netlist {
+    let fixed = DelayBounds::fixed(Time::from_int(1));
+    let mut b = Netlist::builder();
+    let x = b.input("a");
+    let buf = b
+        .gate(GateKind::Buf, "b", vec![x], fixed)
+        .expect("figure names are unique");
+    let inv = b
+        .gate(GateKind::Not, "c", vec![x], fixed)
+        .expect("figure names are unique");
+    let g = b
+        .gate(GateKind::And, "g", vec![buf, inv], fixed)
+        .expect("figure names are unique");
+    b.output("f", g);
+    b.finish().expect("figure has an output")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paths::all_paths;
+
+    #[test]
+    fn figure1_shape() {
+        let n = figure1_three_paths();
+        assert_eq!(n.inputs().len(), 3);
+        assert_eq!(n.gate_count(), 4);
+        // f = x1 · !x2 · x3 statically.
+        assert_eq!(n.evaluate_outputs(&[true, false, true]), vec![true]);
+        assert_eq!(n.evaluate_outputs(&[true, true, true]), vec![false]);
+        // Bounds make |P3| > |P1| impossible: max(P3)=2 < min(P1)=4.
+        let p1 = n.find("p1").unwrap();
+        let p3 = n.find("p3").unwrap();
+        assert!(n.node(p3).delay().max < n.node(p1).delay().min);
+    }
+
+    #[test]
+    fn figure4_statics() {
+        let n = figure4_example3();
+        // f = a + a·b = a.
+        for a in [false, true] {
+            for bb in [false, true] {
+                assert_eq!(n.evaluate_outputs(&[a, bb]), vec![a]);
+            }
+        }
+        assert_eq!(n.topological_delay(), Time::from_int(4));
+    }
+
+    #[test]
+    fn figure5_path_classification_at_2_8() {
+        let n = figure5_example4();
+        let out = n.find("g5").unwrap();
+        let t28 = Time::from_units(2.8);
+        let paths = all_paths(&n, out, 100).unwrap();
+        assert_eq!(paths.len(), 5);
+        let mut negative = 0;
+        let mut straddle = 0;
+        let mut positive = 0;
+        for p in &paths {
+            if p.length_min(&n) >= t28 {
+                negative += 1;
+            } else if p.length_max(&n) < t28 {
+                positive += 1;
+            } else {
+                straddle += 1;
+            }
+        }
+        assert_eq!(negative, 1, "A–g1–g2–g3–g5 (min 3.6)");
+        assert_eq!(straddle, 2, "A–g1–g2–g5 and B–g2–g3–g5");
+        assert_eq!(positive, 2, "B–g2–g5 and B–g4–g5");
+    }
+
+    #[test]
+    fn figure6_static_zero() {
+        let n = figure6_glitch();
+        assert_eq!(n.evaluate_outputs(&[false]), vec![false]);
+        assert_eq!(n.evaluate_outputs(&[true]), vec![false]);
+        assert_eq!(n.topological_delay(), Time::from_int(2));
+        // Gates are fixed-delay as built.
+        let g = n.find("g").unwrap();
+        assert!(!n.node(g).delay().is_variable());
+    }
+
+    #[test]
+    fn figure7_reexport() {
+        let n = figure7_bypass_adder();
+        assert_eq!(n.topological_delay(), Time::from_int(40));
+    }
+}

@@ -1,0 +1,84 @@
+//! Deterministic circuit generators.
+//!
+//! The paper's evaluation ran on ISCAS-85 netlists mapped through SIS with
+//! MCNC-library delays. Those proprietary mapped netlists are replaced
+//! here (see `DESIGN.md`) by:
+//!
+//! * the genuine embedded [`c17`](crate::parsers::bench::c17()) benchmark,
+//! * [`adders`] — ripple-carry, carry-bypass (the paper's own §11
+//!   example class, the canonical false-path family) and carry-select,
+//! * [`trees`] — parity/AND/OR/mux trees and comparators (no false
+//!   paths; the control group),
+//! * [`random`] — seeded random DAGs,
+//! * [`figures`] — the exact circuits of the paper's Figures 1–7.
+//!
+//! [`benchmark_suite`] bundles an ISCAS-scale mix for the §12 table.
+
+pub mod adders;
+pub mod datapath;
+pub mod figures;
+pub mod random;
+pub mod trees;
+
+use crate::delay::{DelayBounds, Time};
+use crate::netlist::Netlist;
+use crate::parsers::bench::c17;
+use crate::parsers::mcnc_like_delays;
+
+/// Uniform `[0.9·d, d]` bounds with `d = 1` unit — the paper's §12 setup
+/// on a unit-delay library.
+pub fn unit_ninety_percent() -> DelayBounds {
+    DelayBounds::scaled_min(Time::from_int(1), 0.9)
+}
+
+/// The benchmark mix used to regenerate the paper's §12 table: name and
+/// circuit, smallest first. All circuits use MCNC-like delays with
+/// `dᵐⁱⁿ = 0.9·dᵐᵃˣ`.
+pub fn benchmark_suite() -> Vec<(String, Netlist)> {
+    let d = unit_ninety_percent();
+    vec![
+        ("c17".into(), c17(mcnc_like_delays)),
+        ("rca8".into(), adders::ripple_carry(8, d)),
+        ("rca16".into(), adders::ripple_carry(16, d)),
+        ("bypass4x4".into(), adders::carry_bypass(4, 4, d)),
+        ("bypass4x8".into(), adders::carry_bypass(4, 8, d)),
+        ("select4x4".into(), adders::carry_select(4, 4, d)),
+        ("parity16".into(), trees::parity_tree(16, d)),
+        ("parity64".into(), trees::parity_tree(64, d)),
+        ("muxtree5".into(), trees::mux_tree(5, d)),
+        ("cmp16".into(), trees::comparator(16, d)),
+        ("mult4".into(), datapath::array_multiplier(4, d)),
+        ("shifter4".into(), datapath::barrel_shifter(4, d)),
+        ("decoder5".into(), datapath::decoder(5, d)),
+        ("rand100".into(), random::random_dag(10, 100, 3, 0xDA93)),
+        ("rand250".into(), random::random_dag(12, 250, 3, 0x1CAF)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_builds_and_is_nontrivial() {
+        let suite = benchmark_suite();
+        assert!(suite.len() >= 10);
+        for (name, n) in &suite {
+            assert!(n.gate_count() > 0, "{name} is empty");
+            assert!(!n.outputs().is_empty(), "{name} has no outputs");
+            assert!(
+                n.topological_delay() > Time::ZERO,
+                "{name} has zero delay"
+            );
+        }
+    }
+
+    #[test]
+    fn suite_names_are_unique() {
+        let suite = benchmark_suite();
+        let mut names: Vec<_> = suite.iter().map(|(n, _)| n.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), suite.len());
+    }
+}

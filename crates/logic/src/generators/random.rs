@@ -1,0 +1,190 @@
+//! Seeded random DAG circuits.
+//!
+//! Uses an internal SplitMix64 so generated benchmarks are bit-stable
+//! across platforms and independent of external RNG crates.
+
+use crate::delay::{DelayBounds, Time};
+use crate::gate::GateKind;
+use crate::netlist::{Netlist, NodeId};
+
+/// Deterministic 64-bit SplitMix generator.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "empty range");
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// Uniform boolean.
+    pub fn coin(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+/// A random combinational DAG with `n_inputs` inputs and `n_gates` gates
+/// of fanin up to `max_fanin`, reproducible from `seed`.
+///
+/// Gate kinds are drawn from the simple-cell mix (AND/OR/NAND/NOR/XOR/
+/// NOT), delays from a two-speed spread (`dᵐᵃˣ ∈ {1, 2}` units) with
+/// `dᵐⁱⁿ = 0.9·dᵐᵃˣ` — coarse enough that the breakpoint set `{Kᵢᵐᵃˣ}`
+/// stays on the unit grid instead of exploding combinatorially. Every
+/// gate with no fanout is promoted to a primary output, so the DAG is
+/// fully observable.
+///
+/// # Panics
+///
+/// Panics if `n_inputs == 0`, `n_gates == 0` or `max_fanin < 2`.
+pub fn random_dag(n_inputs: usize, n_gates: usize, max_fanin: usize, seed: u64) -> Netlist {
+    assert!(n_inputs > 0 && n_gates > 0, "empty circuit");
+    assert!(max_fanin >= 2, "need fanin of at least 2");
+    let mut rng = SplitMix64::new(seed);
+    let mut b = Netlist::builder();
+    let mut pool: Vec<NodeId> = (0..n_inputs).map(|i| b.input(&format!("x{i}"))).collect();
+    let kinds = [
+        GateKind::And,
+        GateKind::Or,
+        GateKind::Nand,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Not,
+    ];
+    let delays: Vec<DelayBounds> = [1.0, 2.0]
+        .iter()
+        .map(|&u| DelayBounds::scaled_min(Time::from_units(u), 0.9))
+        .collect();
+    // Track which nodes ever appear as a fanin so sinks can be promoted
+    // to primary outputs afterwards.
+    let mut has_fanout = vec![false; n_inputs + n_gates];
+    for g in 0..n_gates {
+        let kind = kinds[rng.below(kinds.len())];
+        let fanin_count = if kind == GateKind::Not {
+            1
+        } else {
+            2 + rng.below(max_fanin - 1)
+        };
+        // Bias toward recent nodes to get depth (and reconvergence).
+        let mut fanins = Vec::with_capacity(fanin_count);
+        for _ in 0..fanin_count {
+            let idx = if rng.coin() && pool.len() > n_inputs {
+                pool.len() - 1 - rng.below((pool.len() - n_inputs).min(8))
+            } else {
+                rng.below(pool.len())
+            };
+            has_fanout[pool[idx].index()] = true;
+            fanins.push(pool[idx]);
+        }
+        let delay = delays[rng.below(delays.len())];
+        let id = b
+            .gate(kind, &format!("g{g}"), fanins, delay)
+            .expect("generator names are unique");
+        pool.push(id);
+    }
+    // Every fanout-free gate becomes an output, keeping the whole DAG
+    // observable.
+    for &id in pool.iter().skip(n_inputs) {
+        if !has_fanout[id.index()] {
+            b.output(&format!("o{}", id.index()), id);
+        }
+    }
+    b.finish().expect("the last gate is always fanout-free")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..1000 {
+            assert!(rng.below(13) < 13);
+        }
+    }
+
+    #[test]
+    fn random_dag_is_reproducible() {
+        let a = random_dag(8, 50, 4, 0xBEEF);
+        let b = random_dag(8, 50, 4, 0xBEEF);
+        assert_eq!(a.len(), b.len());
+        for ((_, na), (_, nb)) in a.nodes().zip(b.nodes()) {
+            assert_eq!(na.name(), nb.name());
+            assert_eq!(na.kind(), nb.kind());
+            assert_eq!(na.fanins(), nb.fanins());
+            assert_eq!(na.delay(), nb.delay());
+        }
+        let c = random_dag(8, 50, 4, 0xBEEE);
+        let differs = a
+            .nodes()
+            .zip(c.nodes())
+            .any(|((_, x), (_, y))| x.kind() != y.kind() || x.fanins() != y.fanins());
+        assert!(differs, "different seeds should differ");
+    }
+
+    #[test]
+    fn random_dag_shape() {
+        let n = random_dag(8, 100, 4, 1);
+        assert_eq!(n.inputs().len(), 8);
+        assert_eq!(n.gate_count(), 100);
+        assert!(!n.outputs().is_empty());
+        // All sinks are outputs.
+        for (id, node) in n.nodes() {
+            if !node.kind().is_input() && n.fanouts(id).is_empty() {
+                assert!(
+                    n.outputs().iter().any(|(_, o)| *o == id),
+                    "sink {} not an output",
+                    node.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_dag_evaluates() {
+        let n = random_dag(6, 40, 3, 99);
+        let zeros = vec![false; 6];
+        let ones = vec![true; 6];
+        // Just exercise evaluation end-to-end.
+        assert_eq!(n.evaluate_outputs(&zeros).len(), n.outputs().len());
+        assert_eq!(n.evaluate_outputs(&ones).len(), n.outputs().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "need fanin")]
+    fn tiny_fanin_panics() {
+        let _ = random_dag(4, 4, 1, 0);
+    }
+}

@@ -1,0 +1,238 @@
+//! Tree-structured circuits: parity, AND/OR reductions, mux trees and
+//! comparators. Trees have no reconvergent false paths, so their exact
+//! delay equals their topological delay — the control group of the
+//! evaluation.
+
+use crate::delay::DelayBounds;
+use crate::gate::GateKind;
+use crate::netlist::{Netlist, NodeId};
+
+fn reduce_tree(
+    b: &mut crate::netlist::NetlistBuilder,
+    kind: GateKind,
+    mut layer: Vec<NodeId>,
+    delay: DelayBounds,
+    prefix: &str,
+) -> NodeId {
+    assert!(!layer.is_empty(), "cannot reduce an empty layer");
+    let mut level = 0usize;
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for (i, pair) in layer.chunks(2).enumerate() {
+            match pair {
+                [only] => next.push(*only),
+                [l, r] => next.push(
+                    b.gate(
+                        kind,
+                        &format!("{prefix}_l{level}_{i}"),
+                        vec![*l, *r],
+                        delay,
+                    )
+                    .expect("generator names are unique"),
+                ),
+                _ => unreachable!("chunks(2)"),
+            }
+        }
+        layer = next;
+        level += 1;
+    }
+    layer[0]
+}
+
+/// A balanced XOR (parity) tree over `n` inputs.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Example
+///
+/// ```
+/// use tbf_logic::generators::trees::parity_tree;
+/// use tbf_logic::{DelayBounds, Time};
+/// let n = parity_tree(8, DelayBounds::fixed(Time::from_int(1)));
+/// assert_eq!(n.gate_count(), 7);
+/// assert_eq!(n.topological_delay(), Time::from_int(3));
+/// ```
+pub fn parity_tree(n: usize, delay: DelayBounds) -> Netlist {
+    tree_of(GateKind::Xor, n, delay)
+}
+
+/// A balanced AND tree over `n` inputs.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn and_tree(n: usize, delay: DelayBounds) -> Netlist {
+    tree_of(GateKind::And, n, delay)
+}
+
+/// A balanced OR tree over `n` inputs.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn or_tree(n: usize, delay: DelayBounds) -> Netlist {
+    tree_of(GateKind::Or, n, delay)
+}
+
+fn tree_of(kind: GateKind, n: usize, delay: DelayBounds) -> Netlist {
+    assert!(n > 0, "tree needs at least one input");
+    let mut b = Netlist::builder();
+    let leaves: Vec<NodeId> = (0..n).map(|i| b.input(&format!("x{i}"))).collect();
+    let root = reduce_tree(&mut b, kind, leaves, delay, "t");
+    b.output("y", root);
+    b.finish().expect("generator emits outputs")
+}
+
+/// A complete mux tree of the given `depth`: `2^depth` data inputs
+/// selected by `depth` select lines — a `2^depth`-way multiplexer.
+///
+/// # Panics
+///
+/// Panics if `depth == 0`.
+pub fn mux_tree(depth: usize, delay: DelayBounds) -> Netlist {
+    assert!(depth > 0, "mux tree needs depth ≥ 1");
+    let mut b = Netlist::builder();
+    let selects: Vec<NodeId> = (0..depth).map(|i| b.input(&format!("s{i}"))).collect();
+    let mut layer: Vec<NodeId> = (0..1usize << depth)
+        .map(|i| b.input(&format!("d{i}")))
+        .collect();
+    for (lvl, &s) in selects.iter().enumerate() {
+        let mut next = Vec::with_capacity(layer.len() / 2);
+        for (i, pair) in layer.chunks(2).enumerate() {
+            let [d0, d1] = pair else { unreachable!("power of two") };
+            next.push(
+                b.gate(
+                    GateKind::Mux,
+                    &format!("m{lvl}_{i}"),
+                    vec![s, *d0, *d1],
+                    delay,
+                )
+                .expect("generator names are unique"),
+            );
+        }
+        layer = next;
+    }
+    b.output("y", layer[0]);
+    b.finish().expect("generator emits outputs")
+}
+
+/// A `bits`-wide equality comparator: XNOR per bit, AND reduction.
+///
+/// # Panics
+///
+/// Panics if `bits == 0`.
+pub fn comparator(bits: usize, delay: DelayBounds) -> Netlist {
+    assert!(bits > 0, "comparator needs at least one bit");
+    let mut b = Netlist::builder();
+    let a_in: Vec<NodeId> = (0..bits).map(|i| b.input(&format!("a{i}"))).collect();
+    let b_in: Vec<NodeId> = (0..bits).map(|i| b.input(&format!("b{i}"))).collect();
+    let eqs: Vec<NodeId> = (0..bits)
+        .map(|i| {
+            b.gate(
+                GateKind::Xnor,
+                &format!("eq{i}"),
+                vec![a_in[i], b_in[i]],
+                delay,
+            )
+            .expect("generator names are unique")
+        })
+        .collect();
+    let root = reduce_tree(&mut b, GateKind::And, eqs, delay, "and");
+    b.output("eq", root);
+    b.finish().expect("generator emits outputs")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delay::Time;
+
+    fn d1() -> DelayBounds {
+        DelayBounds::fixed(Time::from_int(1))
+    }
+
+    #[test]
+    fn parity_matches_popcount() {
+        let n = parity_tree(5, d1());
+        for i in 0..32u32 {
+            let a: Vec<bool> = (0..5).map(|j| (i >> j) & 1 == 1).collect();
+            assert_eq!(
+                n.evaluate_outputs(&a),
+                vec![i.count_ones() % 2 == 1],
+                "{a:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn and_or_trees() {
+        let na = and_tree(7, d1());
+        let no = or_tree(7, d1());
+        assert_eq!(na.evaluate_outputs(&[true; 7]), vec![true]);
+        let mut one_low = [true; 7];
+        one_low[3] = false;
+        assert_eq!(na.evaluate_outputs(&one_low), vec![false]);
+        assert_eq!(no.evaluate_outputs(&[false; 7]), vec![false]);
+        let mut one_high = [false; 7];
+        one_high[6] = true;
+        assert_eq!(no.evaluate_outputs(&one_high), vec![true]);
+    }
+
+    #[test]
+    fn tree_depth_is_logarithmic() {
+        let n = parity_tree(64, d1());
+        assert_eq!(n.topological_delay(), Time::from_int(6));
+        assert_eq!(n.gate_count(), 63);
+        // Ragged width still works.
+        let n = parity_tree(9, d1());
+        assert_eq!(n.gate_count(), 8);
+        assert_eq!(n.topological_delay(), Time::from_int(4));
+    }
+
+    #[test]
+    fn mux_tree_selects() {
+        let depth = 3;
+        let n = mux_tree(depth, d1());
+        // Inputs: s0..s2, d0..d7.
+        for sel in 0..8usize {
+            for data in 0..256u32 {
+                let mut a = Vec::new();
+                for j in 0..depth {
+                    a.push((sel >> j) & 1 == 1);
+                }
+                for j in 0..8 {
+                    a.push((data >> j) & 1 == 1);
+                }
+                // Level 0 muxes on s0 pick within pairs, level 1 on s1, ...
+                // → data index whose bit j is sel bit j.
+                let expect = (data >> sel) & 1 == 1;
+                assert_eq!(n.evaluate_outputs(&a), vec![expect], "sel={sel}");
+            }
+        }
+    }
+
+    #[test]
+    fn comparator_detects_equality() {
+        let n = comparator(4, d1());
+        for a in 0..16u32 {
+            for b in 0..16u32 {
+                let mut inputs = Vec::new();
+                for j in 0..4 {
+                    inputs.push((a >> j) & 1 == 1);
+                }
+                for j in 0..4 {
+                    inputs.push((b >> j) & 1 == 1);
+                }
+                assert_eq!(n.evaluate_outputs(&inputs), vec![a == b]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one input")]
+    fn empty_tree_panics() {
+        let _ = parity_tree(0, d1());
+    }
+}

@@ -1,0 +1,53 @@
+//! # tbf-logic — Gate-level netlists for exact timing analysis
+//!
+//! The circuit substrate for the Timed-Boolean-Function delay algorithms
+//! (Lam/Brayton/Sangiovanni-Vincentelli, UCB/ERL M93/6): combinational
+//! gate-level netlists with per-gate bounded delays
+//! `[dᵐⁱⁿ, dᵐᵃˣ]`, plus everything needed to feed the evaluation section
+//! of the paper:
+//!
+//! * [`Netlist`] / [`NetlistBuilder`] — immutable DAG of gates with
+//!   fixed-point [`Time`] delay bounds,
+//! * topology queries ([`Netlist::arrivals`], [`Netlist::suffixes`],
+//!   [`Netlist::topological_delay`], path counting),
+//! * an ISCAS-85 [`.bench` parser](parsers::bench) and a
+//!   [BLIF subset parser](parsers::blif),
+//! * deterministic [generators] for the paper's figure circuits, ripple /
+//!   carry-bypass / carry-skip adders, tree circuits and random DAGs,
+//! * the rise/fall [expansion](rise_fall) of paper §4.1 (Figure 3).
+//!
+//! # Example
+//!
+//! ```
+//! use tbf_logic::{GateKind, Netlist, DelayBounds, Time};
+//!
+//! // Figure 4 of the paper: two gates with delays in [1,2].
+//! let mut b = Netlist::builder();
+//! let a = b.input("a");
+//! let bb = b.input("b");
+//! let d12 = DelayBounds::new(Time::from_int(1), Time::from_int(2));
+//! let g1 = b.gate(GateKind::And, "g1", vec![a, bb], d12)?;
+//! let g2 = b.gate(GateKind::Or, "g2", vec![a, g1], d12)?;
+//! b.output("f", g2);
+//! let n = b.finish()?;
+//! assert_eq!(n.topological_delay(), Time::from_int(4));
+//! # Ok::<(), tbf_logic::NetlistError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod delay;
+mod gate;
+mod netlist;
+mod topo;
+
+pub mod generators;
+pub mod parsers;
+pub mod paths;
+pub mod rise_fall;
+pub mod transform;
+
+pub use delay::{DelayBounds, Time, TIME_SCALE};
+pub use gate::GateKind;
+pub use netlist::{Netlist, NetlistBuilder, NetlistError, Node, NodeId};

@@ -1,0 +1,496 @@
+//! ISCAS-85 `.bench` parser.
+//!
+//! The format used by the benchmark circuits of the paper's evaluation:
+//!
+//! ```text
+//! # c17
+//! INPUT(1)
+//! OUTPUT(22)
+//! 10 = NAND(1, 3)
+//! 22 = NAND(10, 16)
+//! ```
+//!
+//! Definitions may appear in any order; the parser resolves forward
+//! references and rejects combinational cycles. Sequential elements
+//! (`DFF`) are rejected — the paper treats purely combinational logic.
+
+use std::collections::HashMap;
+
+use crate::delay::DelayBounds;
+use crate::gate::GateKind;
+use crate::netlist::{Netlist, NetlistError, NodeId};
+
+/// Parses `.bench` text into a [`Netlist`], assigning each gate delay
+/// bounds via `delay_fn(kind, fanin_count)`.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] for malformed lines, unknown gate
+/// types, `DFF`s, cycles or dangling references, and the builder's own
+/// errors for arity/name problems.
+///
+/// # Example
+///
+/// ```
+/// use tbf_logic::parsers::{bench::parse_bench, unit_delays};
+///
+/// let src = "
+/// INPUT(a)
+/// INPUT(b)
+/// OUTPUT(y)
+/// y = NAND(a, b)
+/// ";
+/// let n = parse_bench(src, unit_delays)?;
+/// assert_eq!(n.inputs().len(), 2);
+/// assert_eq!(n.gate_count(), 1);
+/// assert_eq!(n.evaluate_outputs(&[true, true]), vec![false]);
+/// # Ok::<(), tbf_logic::NetlistError>(())
+/// ```
+pub fn parse_bench(
+    text: &str,
+    mut delay_fn: impl FnMut(GateKind, usize) -> DelayBounds,
+) -> Result<Netlist, NetlistError> {
+    struct Def {
+        kind: GateKind,
+        fanins: Vec<String>,
+        line: usize,
+    }
+    let mut inputs: Vec<(String, usize)> = Vec::new();
+    let mut outputs: Vec<(String, usize)> = Vec::new();
+    let mut defs: HashMap<String, Def> = HashMap::new();
+    let mut order: Vec<String> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |message: String| NetlistError::Parse {
+            line: lineno,
+            message,
+        };
+        if let Some(rest) = strip_directive(line, "INPUT") {
+            inputs.push((rest?, lineno));
+        } else if let Some(rest) = strip_directive(line, "OUTPUT") {
+            outputs.push((rest?, lineno));
+        } else if let Some((lhs, rhs)) = line.split_once('=') {
+            let name = lhs.trim().to_owned();
+            let rhs = rhs.trim();
+            let open = rhs
+                .find('(')
+                .ok_or_else(|| err(format!("expected GATE(...) after `=`, got `{rhs}`")))?;
+            if !rhs.ends_with(')') {
+                return Err(err(format!("missing `)` in `{rhs}`")));
+            }
+            let kind_str = rhs[..open].trim().to_ascii_uppercase();
+            let kind = match kind_str.as_str() {
+                "AND" => GateKind::And,
+                "OR" => GateKind::Or,
+                "NAND" => GateKind::Nand,
+                "NOR" => GateKind::Nor,
+                "XOR" => GateKind::Xor,
+                "XNOR" => GateKind::Xnor,
+                "NOT" | "INV" => GateKind::Not,
+                "BUF" | "BUFF" => GateKind::Buf,
+                "MAJ" => GateKind::Maj,
+                "MUX" => GateKind::Mux,
+                "DFF" => {
+                    return Err(err("sequential element DFF not supported".into()));
+                }
+                other => return Err(err(format!("unknown gate type `{other}`"))),
+            };
+            let fanins: Vec<String> = rhs[open + 1..rhs.len() - 1]
+                .split(',')
+                .map(|s| s.trim().to_owned())
+                .filter(|s| !s.is_empty())
+                .collect();
+            if defs.contains_key(&name) {
+                return Err(NetlistError::DuplicateName(name));
+            }
+            defs.insert(
+                name.clone(),
+                Def {
+                    kind,
+                    fanins,
+                    line: lineno,
+                },
+            );
+            order.push(name);
+        } else {
+            return Err(err(format!("unrecognized line `{line}`")));
+        }
+    }
+
+    // Resolve in dependency order with an explicit DFS (handles forward
+    // references and reports cycles).
+    let mut builder = Netlist::builder();
+    let mut resolved: HashMap<String, NodeId> = HashMap::new();
+    for (name, line) in &inputs {
+        let id = builder.try_input(name).map_err(|e| match e {
+            NetlistError::DuplicateName(n) => NetlistError::Parse {
+                line: *line,
+                message: format!("duplicate INPUT `{n}`"),
+            },
+            other => other,
+        })?;
+        resolved.insert(name.clone(), id);
+    }
+
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        Visiting,
+        Done,
+    }
+    let mut marks: HashMap<String, Mark> = HashMap::new();
+    // Iterative DFS: (name, next_fanin_to_process).
+    for root in &order {
+        if marks.get(root) == Some(&Mark::Done) {
+            continue;
+        }
+        let mut stack: Vec<(String, usize)> = vec![(root.clone(), 0)];
+        while let Some((name, idx)) = stack.pop() {
+            if resolved.contains_key(&name) {
+                continue;
+            }
+            let def = defs.get(&name).ok_or_else(|| NetlistError::UnknownNode(name.clone()))?;
+            if idx == 0 {
+                if marks.get(&name) == Some(&Mark::Visiting) {
+                    return Err(NetlistError::Parse {
+                        line: def.line,
+                        message: format!("combinational cycle through `{name}`"),
+                    });
+                }
+                marks.insert(name.clone(), Mark::Visiting);
+            }
+            if let Some(fanin) = def.fanins.get(idx) {
+                let fanin = fanin.clone();
+                stack.push((name, idx + 1));
+                if !resolved.contains_key(&fanin) {
+                    if marks.get(&fanin) == Some(&Mark::Visiting) {
+                        let line = defs.get(&fanin).map(|d| d.line).unwrap_or(def.line);
+                        return Err(NetlistError::Parse {
+                            line,
+                            message: format!("combinational cycle through `{fanin}`"),
+                        });
+                    }
+                    stack.push((fanin, 0));
+                }
+            } else {
+                // All fanins resolved: emit the gate.
+                let fanin_ids: Vec<NodeId> = def
+                    .fanins
+                    .iter()
+                    .map(|f| {
+                        resolved
+                            .get(f)
+                            .copied()
+                            .ok_or_else(|| NetlistError::UnknownNode(f.clone()))
+                    })
+                    .collect::<Result<_, _>>()?;
+                let delay = delay_fn(def.kind, fanin_ids.len());
+                let id = builder.gate(def.kind, &name, fanin_ids, delay)?;
+                resolved.insert(name.clone(), id);
+                marks.insert(name, Mark::Done);
+            }
+        }
+    }
+
+    for (name, _line) in &outputs {
+        let id = resolved
+            .get(name)
+            .copied()
+            .ok_or_else(|| NetlistError::UnknownNode(name.clone()))?;
+        builder.output(name, id);
+    }
+    builder.finish()
+}
+
+fn strip_directive(line: &str, keyword: &str) -> Option<Result<String, NetlistError>> {
+    let upper = line.to_ascii_uppercase();
+    if !upper.starts_with(keyword) {
+        return None;
+    }
+    let rest = line[keyword.len()..].trim();
+    if let Some(inner) = rest.strip_prefix('(').and_then(|r| r.strip_suffix(')')) {
+        Some(Ok(inner.trim().to_owned()))
+    } else {
+        Some(Err(NetlistError::Parse {
+            line: 0,
+            message: format!("malformed {keyword} directive: `{line}`"),
+        }))
+    }
+}
+
+/// Serializes a netlist back to `.bench` text.
+///
+/// Gate kinds map to the standard `.bench` mnemonics (plus the `MAJ` and
+/// `MUX` extensions this parser reads back); constants are not
+/// representable in `.bench` and are rejected.
+///
+/// Delay bounds are *not* part of the format — reparse with a delay
+/// assignment callback to restore them.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::BadArity`] if the netlist contains a constant
+/// node (no `.bench` encoding exists).
+///
+/// # Example
+///
+/// ```
+/// use tbf_logic::parsers::bench::{parse_bench, write_bench};
+/// use tbf_logic::parsers::unit_delays;
+///
+/// let src = "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n";
+/// let n = parse_bench(src, unit_delays)?;
+/// let round = parse_bench(&write_bench(&n)?, unit_delays)?;
+/// assert_eq!(round.evaluate_outputs(&[true]), vec![false]);
+/// # Ok::<(), tbf_logic::NetlistError>(())
+/// ```
+pub fn write_bench(netlist: &Netlist) -> Result<String, NetlistError> {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for &id in netlist.inputs() {
+        let _ = writeln!(out, "INPUT({})", netlist.node(id).name());
+    }
+    // An output whose name differs from its driving node's name gets an
+    // alias buffer so the reparse resolves it.
+    let mut aliases = Vec::new();
+    for (name, id) in netlist.outputs() {
+        let _ = writeln!(out, "OUTPUT({name})");
+        if netlist.node(*id).name() != name {
+            aliases.push((name.clone(), netlist.node(*id).name().to_owned()));
+        }
+    }
+    for (alias, driver) in &aliases {
+        let _ = writeln!(out, "{alias} = BUFF({driver})");
+    }
+    for (id, node) in netlist.nodes() {
+        let mnemonic = match node.kind() {
+            GateKind::Input => continue,
+            GateKind::And => "AND",
+            GateKind::Or => "OR",
+            GateKind::Nand => "NAND",
+            GateKind::Nor => "NOR",
+            GateKind::Xor => "XOR",
+            GateKind::Xnor => "XNOR",
+            GateKind::Not => "NOT",
+            GateKind::Buf => "BUFF",
+            GateKind::Maj => "MAJ",
+            GateKind::Mux => "MUX",
+            kind @ (GateKind::Const0 | GateKind::Const1) => {
+                return Err(NetlistError::BadArity {
+                    name: node.name().to_owned(),
+                    kind,
+                    arity: 0,
+                })
+            }
+        };
+        let fanins: Vec<&str> = node
+            .fanins()
+            .iter()
+            .map(|f| netlist.node(*f).name())
+            .collect();
+        let _ = writeln!(out, "{} = {mnemonic}({})", node.name(), fanins.join(", "));
+        let _ = id;
+    }
+    // Outputs that alias an input directly are representable (OUTPUT of
+    // an INPUT name), so nothing more to do.
+    Ok(out)
+}
+
+/// The genuine ISCAS-85 `c17` benchmark (6 NAND gates), embedded for
+/// out-of-the-box use.
+pub const C17_BENCH: &str = "\
+# c17 — ISCAS-85 benchmark
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+";
+
+/// Parses the embedded [`C17_BENCH`] with the given delay assignment.
+///
+/// # Panics
+///
+/// Never — the embedded text is valid; errors from user delay callbacks
+/// cannot occur (the callback is infallible).
+pub fn c17(delay_fn: impl FnMut(GateKind, usize) -> DelayBounds) -> Netlist {
+    parse_bench(C17_BENCH, delay_fn).expect("embedded c17 is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parsers::unit_delays;
+    use crate::{Netlist, Time};
+
+    #[test]
+    fn parses_c17() {
+        let n = c17(unit_delays);
+        assert_eq!(n.inputs().len(), 5);
+        assert_eq!(n.outputs().len(), 2);
+        assert_eq!(n.gate_count(), 6);
+        assert_eq!(n.topological_delay(), Time::from_int(3));
+        // Spot-check function: inputs (1,2,3,6,7) all true.
+        // 10 = !(1·3) = 0; 11 = !(3·6) = 0; 16 = !(2·11) = 1;
+        // 19 = !(11·7) = 1; 22 = !(10·16) = 1; 23 = !(16·19) = 0.
+        assert_eq!(
+            n.evaluate_outputs(&[true; 5]),
+            vec![true, false]
+        );
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let src = "
+OUTPUT(y)
+y = AND(g, a)
+g = NOT(a)
+INPUT(a)
+";
+        let n = parse_bench(src, unit_delays).unwrap();
+        assert_eq!(n.gate_count(), 2);
+        // y = !a · a = 0 always.
+        assert_eq!(n.evaluate_outputs(&[true]), vec![false]);
+        assert_eq!(n.evaluate_outputs(&[false]), vec![false]);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let src = "
+# header comment
+
+INPUT(a)  # trailing comment
+OUTPUT(y)
+y = BUFF(a)
+";
+        let n = parse_bench(src, unit_delays).unwrap();
+        assert_eq!(n.gate_count(), 1);
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let src = "
+INPUT(a)
+OUTPUT(y)
+y = AND(a, z)
+z = NOT(y)
+";
+        let err = parse_bench(src, unit_delays).unwrap_err();
+        assert!(err.to_string().contains("cycle"), "{err}");
+    }
+
+    #[test]
+    fn dff_rejected() {
+        let src = "
+INPUT(a)
+OUTPUT(q)
+q = DFF(a)
+";
+        let err = parse_bench(src, unit_delays).unwrap_err();
+        assert!(err.to_string().contains("DFF"), "{err}");
+    }
+
+    #[test]
+    fn unknown_gate_rejected() {
+        let err = parse_bench("INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n", unit_delays).unwrap_err();
+        assert!(err.to_string().contains("FROB"), "{err}");
+    }
+
+    #[test]
+    fn dangling_output_rejected() {
+        let err = parse_bench("INPUT(a)\nOUTPUT(nope)\n", unit_delays).unwrap_err();
+        assert_eq!(err, NetlistError::UnknownNode("nope".into()));
+    }
+
+    #[test]
+    fn dangling_fanin_rejected() {
+        let err = parse_bench("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n", unit_delays)
+            .unwrap_err();
+        assert!(matches!(err, NetlistError::UnknownNode(n) if n == "ghost"));
+    }
+
+    #[test]
+    fn duplicate_definition_rejected() {
+        let src = "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUFF(a)\n";
+        let err = parse_bench(src, unit_delays).unwrap_err();
+        assert_eq!(err, NetlistError::DuplicateName("y".into()));
+    }
+
+    #[test]
+    fn malformed_lines_report_position() {
+        let err = parse_bench("INPUT(a)\ngibberish here\n", unit_delays).unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 2, .. }), "{err}");
+        let err2 = parse_bench("INPUT(a)\nOUTPUT(y)\ny = AND(a\n", unit_delays).unwrap_err();
+        assert!(err2.to_string().contains("missing"), "{err2}");
+    }
+
+    #[test]
+    fn write_bench_round_trips_c17() {
+        let n = c17(unit_delays);
+        let text = write_bench(&n).unwrap();
+        let round = parse_bench(&text, unit_delays).unwrap();
+        assert_eq!(round.gate_count(), n.gate_count());
+        assert_eq!(round.inputs().len(), n.inputs().len());
+        for bits in 0..32u32 {
+            let a: Vec<bool> = (0..5).map(|i| (bits >> i) & 1 == 1).collect();
+            assert_eq!(round.evaluate_outputs(&a), n.evaluate_outputs(&a));
+        }
+    }
+
+    #[test]
+    fn write_bench_round_trips_generators() {
+        use crate::generators::adders::paper_bypass_adder;
+        let n = paper_bypass_adder();
+        let text = write_bench(&n).unwrap();
+        let round = parse_bench(&text, unit_delays).unwrap();
+        // One extra buffer aliases the `cout` output to its driver `g5`.
+        assert_eq!(round.gate_count(), n.gate_count() + 1);
+        for bits in 0..512u32 {
+            let a: Vec<bool> = (0..9).map(|i| (bits >> i) & 1 == 1).collect();
+            assert_eq!(round.evaluate_outputs(&a), n.evaluate_outputs(&a));
+        }
+    }
+
+    #[test]
+    fn write_bench_rejects_constants() {
+        let mut b = Netlist::builder();
+        let _x = b.input("x");
+        let c = b
+            .gate(
+                GateKind::Const1,
+                "one",
+                vec![],
+                crate::DelayBounds::ZERO,
+            )
+            .unwrap();
+        b.output("y", c);
+        let n = b.finish().unwrap();
+        assert!(write_bench(&n).is_err());
+    }
+
+    #[test]
+    fn delay_fn_receives_kind_and_arity() {
+        let mut seen = Vec::new();
+        let _ = parse_bench(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n",
+            |kind, arity| {
+                seen.push((kind, arity));
+                unit_delays(kind, arity)
+            },
+        )
+        .unwrap();
+        assert_eq!(seen, vec![(GateKind::Nand, 2)]);
+    }
+}

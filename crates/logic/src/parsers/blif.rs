@@ -1,0 +1,654 @@
+//! A combinational BLIF subset parser.
+//!
+//! Supports the output of a SIS-style mapping flow: `.model`, `.inputs`,
+//! `.outputs`, single-output `.names` cover tables and `.end`. Each cover
+//! is synthesized as a two-level NOT/AND/OR network; latches and
+//! subcircuits are rejected (the paper treats combinational logic).
+//!
+//! ```text
+//! .model example
+//! .inputs a b c
+//! .outputs f
+//! .names a b c f
+//! 11- 1
+//! --1 1
+//! .end
+//! ```
+
+use std::collections::HashMap;
+
+use crate::delay::DelayBounds;
+use crate::gate::GateKind;
+use crate::netlist::{Netlist, NetlistError, NodeId};
+
+struct Cover {
+    inputs: Vec<String>,
+    rows: Vec<(Vec<Option<bool>>, bool)>,
+    line: usize,
+}
+
+/// Parses BLIF text into a [`Netlist`], assigning the derived gates delay
+/// bounds via `delay_fn(kind, fanin_count)`.
+///
+/// Cover tables mix on-set (`... 1`) and off-set (`... 0`) rows; a table
+/// must be single-phase (all rows the same output value), which is what
+/// SIS emits.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] for unsupported constructs (latches,
+/// subcircuits, multi-phase covers), malformed rows, cycles and dangling
+/// references.
+///
+/// # Example
+///
+/// ```
+/// use tbf_logic::parsers::{blif::parse_blif, unit_delays};
+///
+/// let src = "
+/// .model mux
+/// .inputs s a b
+/// .outputs f
+/// .names s a b f
+/// 01- 1
+/// 1-1 1
+/// .end
+/// ";
+/// let n = parse_blif(src, unit_delays)?;
+/// assert_eq!(n.evaluate_outputs(&[false, true, false]), vec![true]);
+/// assert_eq!(n.evaluate_outputs(&[true, true, false]), vec![false]);
+/// # Ok::<(), tbf_logic::NetlistError>(())
+/// ```
+pub fn parse_blif(
+    text: &str,
+    mut delay_fn: impl FnMut(GateKind, usize) -> DelayBounds,
+) -> Result<Netlist, NetlistError> {
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut covers: HashMap<String, Cover> = HashMap::new();
+    let mut order: Vec<String> = Vec::new();
+
+    // Logical lines (backslash continuation), keeping 1-based numbers.
+    let mut logical: Vec<(usize, String)> = Vec::new();
+    let mut pending: Option<(usize, String)> = None;
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim_end();
+        let (start, mut acc) = pending.take().unwrap_or((i + 1, String::new()));
+        if let Some(stripped) = line.strip_suffix('\\') {
+            acc.push_str(stripped);
+            acc.push(' ');
+            pending = Some((start, acc));
+        } else {
+            acc.push_str(line);
+            logical.push((start, acc));
+        }
+    }
+    if let Some((start, acc)) = pending {
+        logical.push((start, acc));
+    }
+
+    let mut idx = 0usize;
+    while idx < logical.len() {
+        let (lineno, line) = (&logical[idx].0, logical[idx].1.trim().to_owned());
+        let lineno = *lineno;
+        idx += 1;
+        if line.is_empty() {
+            continue;
+        }
+        let err = |message: String| NetlistError::Parse {
+            line: lineno,
+            message,
+        };
+        let mut tokens = line.split_whitespace();
+        let head = tokens.next().unwrap_or_default();
+        match head {
+            ".model" => {}
+            ".inputs" => inputs.extend(tokens.map(str::to_owned)),
+            ".outputs" => outputs.extend(tokens.map(str::to_owned)),
+            ".names" => {
+                let mut signals: Vec<String> = tokens.map(str::to_owned).collect();
+                let target = signals
+                    .pop()
+                    .ok_or_else(|| err(".names with no signals".into()))?;
+                let n_in = signals.len();
+                let mut rows = Vec::new();
+                while idx < logical.len() {
+                    let (rl, row) = (logical[idx].0, logical[idx].1.trim().to_owned());
+                    if row.is_empty() || row.starts_with('.') {
+                        break;
+                    }
+                    idx += 1;
+                    let parts: Vec<&str> = row.split_whitespace().collect();
+                    let (pattern, value) = match (n_in, parts.as_slice()) {
+                        (0, [v]) => ("", *v),
+                        (_, [p, v]) => (*p, *v),
+                        _ => {
+                            return Err(NetlistError::Parse {
+                                line: rl,
+                                message: format!("malformed cover row `{row}`"),
+                            })
+                        }
+                    };
+                    if pattern.len() != n_in {
+                        return Err(NetlistError::Parse {
+                            line: rl,
+                            message: format!(
+                                "cover row has {} literals, expected {n_in}",
+                                pattern.len()
+                            ),
+                        });
+                    }
+                    let lits: Vec<Option<bool>> = pattern
+                        .chars()
+                        .map(|c| match c {
+                            '0' => Ok(Some(false)),
+                            '1' => Ok(Some(true)),
+                            '-' => Ok(None),
+                            other => Err(NetlistError::Parse {
+                                line: rl,
+                                message: format!("bad literal `{other}`"),
+                            }),
+                        })
+                        .collect::<Result<_, _>>()?;
+                    let out = match value {
+                        "1" => true,
+                        "0" => false,
+                        other => {
+                            return Err(NetlistError::Parse {
+                                line: rl,
+                                message: format!("bad output value `{other}`"),
+                            })
+                        }
+                    };
+                    rows.push((lits, out));
+                }
+                if covers.contains_key(&target) {
+                    return Err(NetlistError::DuplicateName(target));
+                }
+                covers.insert(
+                    target.clone(),
+                    Cover {
+                        inputs: signals,
+                        rows,
+                        line: lineno,
+                    },
+                );
+                order.push(target);
+            }
+            ".end" => break,
+            ".latch" | ".subckt" | ".gate" | ".mlatch" => {
+                return Err(err(format!("unsupported BLIF construct `{head}`")));
+            }
+            other => return Err(err(format!("unrecognized directive `{other}`"))),
+        }
+    }
+
+    // Synthesize covers in dependency order.
+    let mut builder = Netlist::builder();
+    let mut resolved: HashMap<String, NodeId> = HashMap::new();
+    for name in &inputs {
+        let id = builder.try_input(name)?;
+        resolved.insert(name.clone(), id);
+    }
+    // Kahn-style resolution loop (covers are usually few; quadratic is fine
+    // and keeps cycle detection trivial).
+    let mut remaining = order.clone();
+    while !remaining.is_empty() {
+        let ready = remaining.iter().position(|name| {
+            covers[name]
+                .inputs
+                .iter()
+                .all(|i| resolved.contains_key(i))
+        });
+        match ready {
+            Some(p) => {
+                let name = remaining.remove(p);
+                let id = synth_cover(&mut builder, &name, &covers[&name], &resolved, &mut delay_fn)?;
+                resolved.insert(name, id);
+            }
+            None => {
+                // Nothing progressed: cycle or dangling reference.
+                let name = &remaining[0];
+                let cover = &covers[name];
+                let missing = cover
+                    .inputs
+                    .iter()
+                    .find(|i| !resolved.contains_key(*i) && !covers.contains_key(*i));
+                return Err(match missing {
+                    Some(m) => NetlistError::UnknownNode(m.clone()),
+                    None => NetlistError::Parse {
+                        line: cover.line,
+                        message: format!("combinational cycle through `{name}`"),
+                    },
+                });
+            }
+        }
+    }
+
+    for name in &outputs {
+        let id = resolved
+            .get(name)
+            .copied()
+            .ok_or_else(|| NetlistError::UnknownNode(name.clone()))?;
+        builder.output(name, id);
+    }
+    builder.finish()
+}
+
+fn synth_cover(
+    builder: &mut crate::netlist::NetlistBuilder,
+    name: &str,
+    cover: &Cover,
+    resolved: &HashMap<String, NodeId>,
+    delay_fn: &mut impl FnMut(GateKind, usize) -> DelayBounds,
+) -> Result<NodeId, NetlistError> {
+    // Constant covers.
+    if cover.rows.is_empty() {
+        return builder.gate(GateKind::Const0, name, vec![], DelayBounds::ZERO);
+    }
+    let phase = cover.rows[0].1;
+    if cover.rows.iter().any(|(_, p)| *p != phase) {
+        return Err(NetlistError::Parse {
+            line: cover.line,
+            message: format!("mixed-phase cover for `{name}`"),
+        });
+    }
+    if cover.inputs.is_empty() {
+        let kind = if phase {
+            GateKind::Const1
+        } else {
+            GateKind::Const0
+        };
+        return builder.gate(kind, name, vec![], DelayBounds::ZERO);
+    }
+
+    // Build one product per row, OR them, invert for off-set covers.
+    let mut products = Vec::new();
+    for (r, (lits, _)) in cover.rows.iter().enumerate() {
+        let mut terms = Vec::new();
+        for (i, lit) in lits.iter().enumerate() {
+            let src = resolved[&cover.inputs[i]];
+            match lit {
+                None => {}
+                Some(true) => terms.push(src),
+                Some(false) => {
+                    let inv_name = format!("{name}__r{r}_n{i}");
+                    let inv = match builder.find(&inv_name) {
+                        Some(id) => id,
+                        None => builder.gate(
+                            GateKind::Not,
+                            &inv_name,
+                            vec![src],
+                            delay_fn(GateKind::Not, 1),
+                        )?,
+                    };
+                    terms.push(inv);
+                }
+            }
+        }
+        let product = match terms.len() {
+            0 => builder.gate(
+                GateKind::Const1,
+                &format!("{name}__r{r}"),
+                vec![],
+                DelayBounds::ZERO,
+            )?,
+            1 => terms[0],
+            n => builder.gate(
+                GateKind::And,
+                &format!("{name}__r{r}"),
+                terms,
+                delay_fn(GateKind::And, n),
+            )?,
+        };
+        products.push(product);
+    }
+    let sum = match products.len() {
+        1 => products[0],
+        n => builder.gate(
+            GateKind::Or,
+            &format!("{name}__sum"),
+            products,
+            delay_fn(GateKind::Or, n),
+        )?,
+    };
+    if phase {
+        // Name the node: if `sum` already is a reused node (single product
+        // single literal), add a zero-delay buffer carrying the name.
+        builder.gate(GateKind::Buf, name, vec![sum], DelayBounds::ZERO)
+    } else {
+        builder.gate(GateKind::Not, name, vec![sum], delay_fn(GateKind::Not, 1))
+    }
+}
+
+/// Serializes a netlist to combinational BLIF.
+///
+/// Every gate becomes a single-output `.names` cover; `MAJ`/`MUX` expand
+/// to their sum-of-products covers; constants become constant covers.
+/// Delay bounds are not part of the format.
+///
+/// # Example
+///
+/// ```
+/// use tbf_logic::parsers::blif::{parse_blif, write_blif};
+/// use tbf_logic::parsers::unit_delays;
+///
+/// let src = ".model m\n.inputs a b\n.outputs f\n.names a b f\n11 1\n.end\n";
+/// let n = parse_blif(src, unit_delays)?;
+/// let round = parse_blif(&write_blif(&n, "m"), unit_delays)?;
+/// assert_eq!(round.evaluate_outputs(&[true, true]), vec![true]);
+/// # Ok::<(), tbf_logic::NetlistError>(())
+/// ```
+pub fn write_blif(netlist: &Netlist, model: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, ".model {model}");
+    let input_names: Vec<&str> = netlist
+        .inputs()
+        .iter()
+        .map(|&i| netlist.node(i).name())
+        .collect();
+    let _ = writeln!(out, ".inputs {}", input_names.join(" "));
+    let output_names: Vec<&str> = netlist.outputs().iter().map(|(n, _)| n.as_str()).collect();
+    let _ = writeln!(out, ".outputs {}", output_names.join(" "));
+
+    let emit_cover = |out: &mut String, fanins: &[&str], target: &str, rows: &[(&str, &str)]| {
+        let _ = writeln!(out, ".names {} {target}", fanins.join(" "));
+        for (pattern, value) in rows {
+            if pattern.is_empty() {
+                let _ = writeln!(out, "{value}");
+            } else {
+                let _ = writeln!(out, "{pattern} {value}");
+            }
+        }
+    };
+
+    for (_, node) in netlist.nodes() {
+        let kind = node.kind();
+        if kind.is_input() {
+            continue;
+        }
+        let fanins: Vec<&str> = node
+            .fanins()
+            .iter()
+            .map(|f| netlist.node(*f).name())
+            .collect();
+        let name = node.name();
+        let n = fanins.len();
+        let all_ones = "1".repeat(n);
+        match kind {
+            GateKind::Input => unreachable!("skipped above"),
+            GateKind::Const0 => emit_cover(&mut out, &[], name, &[]),
+            GateKind::Const1 => emit_cover(&mut out, &[], name, &[("", "1")]),
+            GateKind::Buf => emit_cover(&mut out, &fanins, name, &[("1", "1")]),
+            GateKind::Not => emit_cover(&mut out, &fanins, name, &[("0", "1")]),
+            GateKind::And => emit_cover(&mut out, &fanins, name, &[(&all_ones, "1")]),
+            GateKind::Nand => emit_cover(&mut out, &fanins, name, &[(&all_ones, "0")]),
+            GateKind::Or | GateKind::Nor => {
+                let value = if kind == GateKind::Or { "1" } else { "0" };
+                let rows: Vec<String> = (0..n)
+                    .map(|i| {
+                        let mut p = vec!['-'; n];
+                        p[i] = '1';
+                        p.into_iter().collect()
+                    })
+                    .collect();
+                let refs: Vec<(&str, &str)> =
+                    rows.iter().map(|p| (p.as_str(), value)).collect();
+                emit_cover(&mut out, &fanins, name, &refs);
+            }
+            GateKind::Xor | GateKind::Xnor => {
+                // Odd-parity (or even-parity) minterms, explicit.
+                let want_odd = kind == GateKind::Xor;
+                let rows: Vec<String> = (0..(1usize << n))
+                    .filter(|m| (m.count_ones() as usize % 2 == 1) == want_odd)
+                    .map(|m| {
+                        (0..n)
+                            .map(|i| if (m >> i) & 1 == 1 { '1' } else { '0' })
+                            .collect()
+                    })
+                    .collect();
+                let refs: Vec<(&str, &str)> =
+                    rows.iter().map(|p| (p.as_str(), "1")).collect();
+                emit_cover(&mut out, &fanins, name, &refs);
+            }
+            GateKind::Maj => emit_cover(
+                &mut out,
+                &fanins,
+                name,
+                &[("11-", "1"), ("1-1", "1"), ("-11", "1")],
+            ),
+            GateKind::Mux => emit_cover(
+                &mut out,
+                &fanins,
+                name,
+                &[("01-", "1"), ("1-1", "1")],
+            ),
+        }
+    }
+    // Alias covers for outputs whose name differs from the driver's.
+    for (alias, id) in netlist.outputs() {
+        let driver = netlist.node(*id).name();
+        if driver != alias {
+            let _ = writeln!(out, ".names {driver} {alias}\n1 1");
+        }
+    }
+    let _ = writeln!(out, ".end");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parsers::unit_delays;
+
+    #[test]
+    fn parses_two_level_cover() {
+        let src = "
+.model m
+.inputs a b c
+.outputs f
+.names a b c f
+11- 1
+--1 1
+.end
+";
+        let n = parse_blif(src, unit_delays).unwrap();
+        for i in 0..8u8 {
+            let a = [(i & 1) != 0, (i & 2) != 0, (i & 4) != 0];
+            let expect = (a[0] && a[1]) || a[2];
+            assert_eq!(n.evaluate_outputs(&a), vec![expect], "{a:?}");
+        }
+    }
+
+    #[test]
+    fn off_set_cover_inverts() {
+        let src = "
+.model m
+.inputs a b
+.outputs f
+.names a b f
+11 0
+.end
+";
+        let n = parse_blif(src, unit_delays).unwrap();
+        // f = !(a·b) = NAND.
+        assert_eq!(n.evaluate_outputs(&[true, true]), vec![false]);
+        assert_eq!(n.evaluate_outputs(&[true, false]), vec![true]);
+    }
+
+    #[test]
+    fn negative_literals() {
+        let src = "
+.model m
+.inputs a b
+.outputs f
+.names a b f
+01 1
+.end
+";
+        let n = parse_blif(src, unit_delays).unwrap();
+        // f = !a · b.
+        assert_eq!(n.evaluate_outputs(&[false, true]), vec![true]);
+        assert_eq!(n.evaluate_outputs(&[true, true]), vec![false]);
+    }
+
+    #[test]
+    fn constant_covers() {
+        let src = "
+.model m
+.inputs a
+.outputs one zero buf
+.names one
+1
+.names zero
+.names a buf
+1 1
+.end
+";
+        let n = parse_blif(src, unit_delays).unwrap();
+        assert_eq!(n.evaluate_outputs(&[false]), vec![true, false, false]);
+        assert_eq!(n.evaluate_outputs(&[true]), vec![true, false, true]);
+    }
+
+    #[test]
+    fn chained_covers_resolve_in_any_order() {
+        let src = "
+.model m
+.inputs a
+.outputs f
+.names g f
+1 1
+.names a g
+0 1
+.end
+";
+        let n = parse_blif(src, unit_delays).unwrap();
+        // f = g = !a.
+        assert_eq!(n.evaluate_outputs(&[false]), vec![true]);
+        assert_eq!(n.evaluate_outputs(&[true]), vec![false]);
+    }
+
+    #[test]
+    fn continuation_lines() {
+        let src = ".model m\n.inputs a \\\nb\n.outputs f\n.names a b f\n11 1\n.end\n";
+        let n = parse_blif(src, unit_delays).unwrap();
+        assert_eq!(n.inputs().len(), 2);
+        assert_eq!(n.evaluate_outputs(&[true, true]), vec![true]);
+    }
+
+    #[test]
+    fn latch_rejected() {
+        let src = ".model m\n.inputs a\n.outputs q\n.latch a q re clk 0\n.end\n";
+        let err = parse_blif(src, unit_delays).unwrap_err();
+        assert!(err.to_string().contains(".latch"), "{err}");
+    }
+
+    #[test]
+    fn mixed_phase_cover_rejected() {
+        let src = "
+.model m
+.inputs a
+.outputs f
+.names a f
+1 1
+0 0
+.end
+";
+        let err = parse_blif(src, unit_delays).unwrap_err();
+        assert!(err.to_string().contains("mixed-phase"), "{err}");
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let src = "
+.model m
+.inputs a
+.outputs f
+.names g f
+1 1
+.names f g
+1 1
+.end
+";
+        let err = parse_blif(src, unit_delays).unwrap_err();
+        assert!(err.to_string().contains("cycle"), "{err}");
+    }
+
+    #[test]
+    fn dangling_reference_rejected() {
+        let src = "
+.model m
+.inputs a
+.outputs f
+.names ghost f
+1 1
+.end
+";
+        let err = parse_blif(src, unit_delays).unwrap_err();
+        assert!(matches!(err, NetlistError::UnknownNode(n) if n == "ghost"));
+    }
+
+    #[test]
+    fn write_blif_round_trips() {
+        use crate::generators::adders::paper_bypass_adder;
+        let n = paper_bypass_adder();
+        let text = write_blif(&n, "bypass");
+        let round = parse_blif(&text, unit_delays).unwrap();
+        for bits in 0..512u32 {
+            let v: Vec<bool> = (0..9).map(|i| (bits >> i) & 1 == 1).collect();
+            assert_eq!(
+                round.evaluate_outputs(&v),
+                n.evaluate_outputs(&v),
+                "{bits:#b}"
+            );
+        }
+    }
+
+    #[test]
+    fn write_blif_handles_all_kinds() {
+        let mut b = Netlist::builder();
+        let x = b.input("x");
+        let y = b.input("y");
+        let z = b.input("z");
+        let d = crate::DelayBounds::fixed(crate::Time::from_int(1));
+        let gates = [
+            (GateKind::And, vec![x, y]),
+            (GateKind::Or, vec![x, y, z]),
+            (GateKind::Nand, vec![x, y]),
+            (GateKind::Nor, vec![x, z]),
+            (GateKind::Xor, vec![x, y, z]),
+            (GateKind::Xnor, vec![x, y]),
+            (GateKind::Not, vec![x]),
+            (GateKind::Buf, vec![z]),
+            (GateKind::Maj, vec![x, y, z]),
+            (GateKind::Mux, vec![x, y, z]),
+        ];
+        let mut ids = Vec::new();
+        for (i, (k, f)) in gates.iter().enumerate() {
+            ids.push(b.gate(*k, &format!("k{i}"), f.clone(), d).unwrap());
+        }
+        let c0 = b.gate(GateKind::Const0, "c0", vec![], crate::DelayBounds::ZERO).unwrap();
+        let c1 = b.gate(GateKind::Const1, "c1", vec![], crate::DelayBounds::ZERO).unwrap();
+        ids.extend([c0, c1]);
+        for (i, id) in ids.iter().enumerate() {
+            b.output(&format!("o{i}"), *id);
+        }
+        let n = b.finish().unwrap();
+        let round = parse_blif(&write_blif(&n, "kinds"), unit_delays).unwrap();
+        for bits in 0..8u32 {
+            let v: Vec<bool> = (0..3).map(|i| (bits >> i) & 1 == 1).collect();
+            assert_eq!(round.evaluate_outputs(&v), n.evaluate_outputs(&v));
+        }
+    }
+
+    #[test]
+    fn malformed_rows_rejected() {
+        let src = ".model m\n.inputs a b\n.outputs f\n.names a b f\n1 1 1\n.end\n";
+        assert!(parse_blif(src, unit_delays).is_err());
+        let src2 = ".model m\n.inputs a b\n.outputs f\n.names a b f\n1x 1\n.end\n";
+        assert!(parse_blif(src2, unit_delays).is_err());
+        let src3 = ".model m\n.inputs a\n.outputs f\n.names a f\n1 2\n.end\n";
+        assert!(parse_blif(src3, unit_delays).is_err());
+    }
+}

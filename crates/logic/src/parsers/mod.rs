@@ -1,0 +1,63 @@
+//! Netlist file-format parsers.
+//!
+//! * [`bench`](mod@bench) — the ISCAS-85 `.bench` format the paper's evaluation
+//!   circuits ship in; real benchmark files drop in unchanged.
+//! * [`blif`] — a combinational subset of Berkeley's BLIF (the format SIS
+//!   emitted after the paper's technology mapping step).
+//!
+//! Neither format carries delay data, so both parsers take a delay
+//! assignment callback (gate kind + fanin count → [`DelayBounds`]), with
+//! [`unit_delays`] and [`mcnc_like_delays`] provided.
+
+pub mod bench;
+pub mod blif;
+
+use crate::delay::{DelayBounds, Time};
+use crate::gate::GateKind;
+
+/// Every gate gets delay `[1, 1]`.
+pub fn unit_delays(_kind: GateKind, _fanins: usize) -> DelayBounds {
+    DelayBounds::fixed(Time::from_int(1))
+}
+
+/// An MCNC-library-like delay assignment: inverters/buffers are fast,
+/// complex gates scale with fanin, and `dᵐⁱⁿ = 0.9·dᵐᵃˣ` exactly as in
+/// the paper's §12 experiments.
+pub fn mcnc_like_delays(kind: GateKind, fanins: usize) -> DelayBounds {
+    let base = match kind {
+        GateKind::Not | GateKind::Buf => 1.0,
+        GateKind::Nand | GateKind::Nor => 1.2,
+        GateKind::And | GateKind::Or => 1.4,
+        GateKind::Xor | GateKind::Xnor => 1.8,
+        GateKind::Maj | GateKind::Mux => 1.6,
+        GateKind::Input | GateKind::Const0 | GateKind::Const1 => return DelayBounds::ZERO,
+    };
+    let max = Time::from_units(base + 0.2 * fanins.saturating_sub(2) as f64);
+    DelayBounds::scaled_min(max, 0.9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_delays_are_unit() {
+        assert_eq!(
+            unit_delays(GateKind::Nand, 4),
+            DelayBounds::fixed(Time::from_int(1))
+        );
+    }
+
+    #[test]
+    fn mcnc_like_delays_shape() {
+        let inv = mcnc_like_delays(GateKind::Not, 1);
+        let nand4 = mcnc_like_delays(GateKind::Nand, 4);
+        assert!(inv.max < nand4.max, "wider gates are slower");
+        // 90% lower bound.
+        assert_eq!(
+            inv.min.scaled(),
+            ((inv.max.scaled() as f64) * 0.9).round() as i64
+        );
+        assert_eq!(mcnc_like_delays(GateKind::Input, 0), DelayBounds::ZERO);
+    }
+}

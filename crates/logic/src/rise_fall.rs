@@ -1,0 +1,215 @@
+//! Separate rising/falling delay modeling (paper §4.1, Figure 3).
+//!
+//! A buffer whose rising delay `τᵣ` differs from its falling delay `τ_f`
+//! is expressed with plain single-delay gates:
+//!
+//! * `τᵣ > τ_f`:  `y(t) = x(t−τᵣ) · x(t−τ_f)` — an AND of two delayed
+//!   copies (the output rises only when the *later* copy has risen),
+//! * `τᵣ < τ_f`:  `y(t) = x(t−τᵣ) + x(t−τ_f)` — an OR of the copies,
+//! * `τᵣ = τ_f`:  an ordinary buffer.
+//!
+//! A gate with per-input rise/fall delays is modeled by inserting such a
+//! buffer on each input and giving the functional block zero delay. The
+//! construction propagates pulse shrinkage/dilation exactly as the paper
+//! describes: a pulse narrows by `|τᵣ − τ_f|` per stage with `τᵣ > τ_f`.
+
+use crate::delay::{DelayBounds, Time};
+use crate::gate::GateKind;
+use crate::netlist::{NetlistBuilder, NetlistError, NodeId};
+
+/// Inserts the Figure-3 construction for a buffer with distinct rise and
+/// fall delays, returning the output node.
+///
+/// The two delayed copies get *fixed* delays `τᵣ` and `τ_f`; the merging
+/// gate (if any) has zero delay.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from the builder (duplicate `prefix`).
+///
+/// # Example
+///
+/// ```
+/// use tbf_logic::{Netlist, Time};
+/// use tbf_logic::rise_fall::rise_fall_buffer;
+///
+/// let mut b = Netlist::builder();
+/// let x = b.input("x");
+/// let y = rise_fall_buffer(&mut b, x, Time::from_int(2), Time::from_int(1), "rf")?;
+/// b.output("y", y);
+/// let n = b.finish()?;
+/// // Statically the construction is the identity.
+/// assert_eq!(n.evaluate_outputs(&[true]), vec![true]);
+/// assert_eq!(n.evaluate_outputs(&[false]), vec![false]);
+/// # Ok::<(), tbf_logic::NetlistError>(())
+/// ```
+pub fn rise_fall_buffer(
+    builder: &mut NetlistBuilder,
+    from: NodeId,
+    rise: Time,
+    fall: Time,
+    prefix: &str,
+) -> Result<NodeId, NetlistError> {
+    if rise == fall {
+        return builder.gate(
+            GateKind::Buf,
+            prefix,
+            vec![from],
+            DelayBounds::fixed(rise),
+        );
+    }
+    let slow = builder.gate(
+        GateKind::Buf,
+        &format!("{prefix}_r"),
+        vec![from],
+        DelayBounds::fixed(rise),
+    )?;
+    let fast = builder.gate(
+        GateKind::Buf,
+        &format!("{prefix}_f"),
+        vec![from],
+        DelayBounds::fixed(fall),
+    )?;
+    let merge_kind = if rise > fall {
+        GateKind::And
+    } else {
+        GateKind::Or
+    };
+    builder.gate(merge_kind, prefix, vec![slow, fast], DelayBounds::ZERO)
+}
+
+/// Builds a gate whose every input has its own rise/fall delay pair
+/// (Figure 3(b)): each input goes through [`rise_fall_buffer`] and the
+/// functional gate itself has zero delay.
+///
+/// # Errors
+///
+/// Propagates builder errors (arity, duplicate names).
+pub fn gate_with_rise_fall(
+    builder: &mut NetlistBuilder,
+    kind: GateKind,
+    name: &str,
+    inputs: &[(NodeId, Time, Time)],
+) -> Result<NodeId, NetlistError> {
+    let mut buffered = Vec::with_capacity(inputs.len());
+    for (i, &(node, rise, fall)) in inputs.iter().enumerate() {
+        let b = rise_fall_buffer(builder, node, rise, fall, &format!("{name}_in{i}"))?;
+        buffered.push(b);
+    }
+    builder.gate(kind, name, buffered, DelayBounds::ZERO)
+}
+
+/// Builds a chain of `stages` rise/fall buffers (each `rise > fall` by
+/// `shrink` units), the canonical pulse-shrinkage testbench of §4.1.
+///
+/// # Errors
+///
+/// Propagates builder errors.
+pub fn pulse_shrinkage_chain(
+    builder: &mut NetlistBuilder,
+    from: NodeId,
+    stages: usize,
+    base: Time,
+    shrink: Time,
+    prefix: &str,
+) -> Result<NodeId, NetlistError> {
+    let mut cur = from;
+    for s in 0..stages {
+        cur = rise_fall_buffer(
+            builder,
+            cur,
+            base + shrink,
+            base,
+            &format!("{prefix}_s{s}"),
+        )?;
+    }
+    Ok(cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Netlist;
+
+    fn t(x: i64) -> Time {
+        Time::from_int(x)
+    }
+
+    #[test]
+    fn equal_delays_collapse_to_buffer() {
+        let mut b = Netlist::builder();
+        let x = b.input("x");
+        let y = rise_fall_buffer(&mut b, x, t(3), t(3), "rf").unwrap();
+        b.output("y", y);
+        let n = b.finish().unwrap();
+        assert_eq!(n.gate_count(), 1);
+        assert_eq!(n.node(y).kind(), GateKind::Buf);
+        assert_eq!(n.node(y).delay(), DelayBounds::fixed(t(3)));
+    }
+
+    #[test]
+    fn slow_rise_uses_and() {
+        let mut b = Netlist::builder();
+        let x = b.input("x");
+        let y = rise_fall_buffer(&mut b, x, t(2), t(1), "rf").unwrap();
+        b.output("y", y);
+        let n = b.finish().unwrap();
+        assert_eq!(n.node(y).kind(), GateKind::And);
+        // Static identity.
+        assert_eq!(n.evaluate_outputs(&[true]), vec![true]);
+        assert_eq!(n.evaluate_outputs(&[false]), vec![false]);
+        // Topological delay = slower arc.
+        assert_eq!(n.topological_delay(), t(2));
+    }
+
+    #[test]
+    fn slow_fall_uses_or() {
+        let mut b = Netlist::builder();
+        let x = b.input("x");
+        let y = rise_fall_buffer(&mut b, x, t(1), t(4), "rf").unwrap();
+        b.output("y", y);
+        let n = b.finish().unwrap();
+        assert_eq!(n.node(y).kind(), GateKind::Or);
+        assert_eq!(n.evaluate_outputs(&[true]), vec![true]);
+        assert_eq!(n.evaluate_outputs(&[false]), vec![false]);
+        assert_eq!(n.topological_delay(), t(4));
+    }
+
+    #[test]
+    fn paper_or_gate_example() {
+        // Figure 3(b): OR with input 1 (rise 1, fall 2), input 2
+        // (rise 4, fall 3).
+        let mut b = Netlist::builder();
+        let x1 = b.input("x1");
+        let x2 = b.input("x2");
+        let g = gate_with_rise_fall(
+            &mut b,
+            GateKind::Or,
+            "g",
+            &[(x1, t(1), t(2)), (x2, t(4), t(3))],
+        )
+        .unwrap();
+        b.output("y", g);
+        let n = b.finish().unwrap();
+        // Input 1: rise < fall → OR merge; input 2: rise > fall → AND.
+        // Static function is still OR(x1, x2).
+        for i in 0..4u8 {
+            let a = [(i & 1) != 0, (i & 2) != 0];
+            assert_eq!(n.evaluate_outputs(&a), vec![a[0] || a[1]], "{a:?}");
+        }
+        assert_eq!(n.topological_delay(), t(4));
+    }
+
+    #[test]
+    fn shrinkage_chain_static_identity() {
+        let mut b = Netlist::builder();
+        let x = b.input("x");
+        let y = pulse_shrinkage_chain(&mut b, x, 5, t(2), t(1), "c").unwrap();
+        b.output("y", y);
+        let n = b.finish().unwrap();
+        assert_eq!(n.evaluate_outputs(&[true]), vec![true]);
+        assert_eq!(n.evaluate_outputs(&[false]), vec![false]);
+        // Each stage contributes its slower (rising) arc: 5 × 3.
+        assert_eq!(n.topological_delay(), t(15));
+    }
+}

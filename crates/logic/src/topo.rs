@@ -1,0 +1,268 @@
+//! Topological timing queries: arrival bounds, suffix bounds, logic
+//! levels, and the classical (pessimistic) topological delay.
+
+use crate::delay::Time;
+use crate::netlist::{Netlist, NodeId};
+
+impl Netlist {
+    /// Logic level of every node (inputs and constants at level 0, each
+    /// gate one above its deepest fanin).
+    pub fn levels(&self) -> Vec<usize> {
+        let mut levels = vec![0usize; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            levels[i] = node
+                .fanins
+                .iter()
+                .map(|f| levels[f.index()] + 1)
+                .max()
+                .unwrap_or(0);
+        }
+        levels
+    }
+
+    /// Maximum logic depth over all outputs.
+    pub fn depth(&self) -> usize {
+        let levels = self.levels();
+        self.outputs
+            .iter()
+            .map(|(_, id)| levels[id.index()])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Arrival bounds per node: for each node, the extremal sum of gate
+    /// delays over all input-to-node paths, *including the node's own
+    /// delay*.
+    ///
+    /// * `use_min_delay` — sum `dᵐⁱⁿ` instead of `dᵐᵃˣ` along paths.
+    /// * `longest` — take the maximum over paths instead of the minimum.
+    ///
+    /// In the paper's notation, `arrivals(false, true)` at an output is
+    /// `max kᵢᵐᵃˣ` (the topological length `L`) and `arrivals(true, true)`
+    /// is `max kᵢᵐⁱⁿ` (the quantity of Theorem 5).
+    pub fn arrivals(&self, use_min_delay: bool, longest: bool) -> Vec<Time> {
+        let mut arr = vec![Time::ZERO; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            let d = if use_min_delay {
+                node.delay.min
+            } else {
+                node.delay.max
+            };
+            let over_fanins = node.fanins.iter().map(|f| arr[f.index()]);
+            let base = if longest {
+                over_fanins.max()
+            } else {
+                over_fanins.min()
+            };
+            arr[i] = base.unwrap_or(Time::ZERO) + d;
+        }
+        arr
+    }
+
+    /// The classical topological (static, false-path-oblivious) delay:
+    /// the longest input-to-output path using maximum gate delays. This is
+    /// the `L` that seeds the exact-delay search, and the STA baseline the
+    /// paper's evaluation compares against.
+    pub fn topological_delay(&self) -> Time {
+        let arr = self.arrivals(false, true);
+        self.outputs
+            .iter()
+            .map(|(_, id)| arr[id.index()])
+            .max()
+            .unwrap_or(Time::ZERO)
+    }
+
+    /// Topological delay to one output only.
+    pub fn topological_delay_of(&self, output: NodeId) -> Time {
+        self.arrivals(false, true)[output.index()]
+    }
+
+    /// Suffix bounds toward one output: for each node, the extremal sum of
+    /// the delays of the gates *strictly after* the node on node-to-output
+    /// paths; `None` for nodes with no path to `output`.
+    ///
+    /// The total length of a path through node `n` decomposes as
+    /// `arrival(n) + suffix(n)`, the split used by the TBF-network
+    /// construction (paper §7.1) to classify paths against the query time.
+    pub fn suffixes(
+        &self,
+        output: NodeId,
+        use_min_delay: bool,
+        longest: bool,
+    ) -> Vec<Option<Time>> {
+        let mut suf: Vec<Option<Time>> = vec![None; self.nodes.len()];
+        suf[output.index()] = Some(Time::ZERO);
+        for i in (0..self.nodes.len()).rev() {
+            // Propagate from each node to its fanins: a path from fanin f
+            // through node i pays node i's own delay plus i's suffix.
+            let Some(s) = suf[i] else { continue };
+            let node = &self.nodes[i];
+            let d = if use_min_delay {
+                node.delay.min
+            } else {
+                node.delay.max
+            };
+            let through = s + d;
+            for f in &node.fanins {
+                let entry = &mut suf[f.index()];
+                *entry = Some(match *entry {
+                    None => through,
+                    Some(cur) => {
+                        if longest {
+                            cur.max(through)
+                        } else {
+                            cur.min(through)
+                        }
+                    }
+                });
+            }
+        }
+        suf
+    }
+
+    /// Number of distinct input-to-`output` paths (saturating at
+    /// `u128::MAX`).
+    pub fn path_count(&self, output: NodeId) -> u128 {
+        let mut counts = vec![0u128; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            counts[i] = if node.fanins.is_empty() {
+                1
+            } else {
+                node.fanins
+                    .iter()
+                    .fold(0u128, |acc, f| acc.saturating_add(counts[f.index()]))
+            };
+        }
+        counts[output.index()]
+    }
+
+    /// Total path count over all outputs.
+    pub fn total_path_count(&self) -> u128 {
+        self.outputs
+            .iter()
+            .fold(0u128, |acc, (_, id)| acc.saturating_add(self.path_count(*id)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delay::DelayBounds;
+    use crate::gate::GateKind;
+
+    fn d(lo: i64, hi: i64) -> DelayBounds {
+        DelayBounds::new(Time::from_int(lo), Time::from_int(hi))
+    }
+
+    /// A diamond: a → {g1, g2} → g3, with asymmetric delays.
+    fn diamond() -> Netlist {
+        let mut b = Netlist::builder();
+        let a = b.input("a");
+        let g1 = b.gate(GateKind::Buf, "g1", vec![a], d(1, 2)).unwrap();
+        let g2 = b.gate(GateKind::Not, "g2", vec![a], d(3, 5)).unwrap();
+        let g3 = b.gate(GateKind::And, "g3", vec![g1, g2], d(1, 1)).unwrap();
+        b.output("f", g3);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn levels_and_depth() {
+        let n = diamond();
+        let lv = n.levels();
+        assert_eq!(lv[n.find("a").unwrap().index()], 0);
+        assert_eq!(lv[n.find("g1").unwrap().index()], 1);
+        assert_eq!(lv[n.find("g3").unwrap().index()], 2);
+        assert_eq!(n.depth(), 2);
+    }
+
+    #[test]
+    fn arrivals_four_ways() {
+        let n = diamond();
+        let g3 = n.find("g3").unwrap().index();
+        // Two paths: via g1 (max 2+1=3, min 1+1=2), via g2 (max 5+1=6, min 3+1=4).
+        assert_eq!(n.arrivals(false, true)[g3], Time::from_int(6));
+        assert_eq!(n.arrivals(false, false)[g3], Time::from_int(3));
+        assert_eq!(n.arrivals(true, true)[g3], Time::from_int(4));
+        assert_eq!(n.arrivals(true, false)[g3], Time::from_int(2));
+    }
+
+    #[test]
+    fn topological_delay_is_longest_max_path() {
+        let n = diamond();
+        assert_eq!(n.topological_delay(), Time::from_int(6));
+        let g3 = n.find("g3").unwrap();
+        assert_eq!(n.topological_delay_of(g3), Time::from_int(6));
+    }
+
+    #[test]
+    fn suffixes_exclude_own_delay() {
+        let n = diamond();
+        let out = n.find("g3").unwrap();
+        let smax = n.suffixes(out, false, true);
+        let smin = n.suffixes(out, true, false);
+        // From a: via g1 gates after a are {g1, g3}: max 2+1=3; via g2: 5+1=6.
+        assert_eq!(smax[n.find("a").unwrap().index()], Some(Time::from_int(6)));
+        assert_eq!(smin[n.find("a").unwrap().index()], Some(Time::from_int(2)));
+        // From g1: gates after = {g3} only.
+        assert_eq!(smax[n.find("g1").unwrap().index()], Some(Time::from_int(1)));
+        // Output node has zero suffix.
+        assert_eq!(smax[out.index()], Some(Time::ZERO));
+    }
+
+    #[test]
+    fn suffix_none_for_unreachable() {
+        let mut b = Netlist::builder();
+        let a = b.input("a");
+        let x = b.input("x");
+        let g = b.gate(GateKind::Buf, "g", vec![a], d(1, 1)).unwrap();
+        let h = b.gate(GateKind::Buf, "h", vec![x], d(1, 1)).unwrap();
+        b.output("f", g);
+        b.output("f2", h);
+        let n = b.finish().unwrap();
+        let suf = n.suffixes(n.find("g").unwrap(), false, true);
+        assert_eq!(suf[n.find("x").unwrap().index()], None);
+        assert_eq!(suf[n.find("h").unwrap().index()], None);
+        assert!(suf[n.find("a").unwrap().index()].is_some());
+    }
+
+    #[test]
+    fn arrival_plus_suffix_is_total_path_length() {
+        let n = diamond();
+        let out = n.find("g3").unwrap();
+        let arr = n.arrivals(false, true);
+        let suf = n.suffixes(out, false, true);
+        // For the critical path the decomposition at every node on it
+        // equals the topological delay.
+        let g2 = n.find("g2").unwrap().index();
+        assert_eq!(arr[g2] + suf[g2].unwrap(), Time::from_int(6));
+    }
+
+    #[test]
+    fn path_counting() {
+        let n = diamond();
+        let out = n.find("g3").unwrap();
+        assert_eq!(n.path_count(out), 2);
+        assert_eq!(n.total_path_count(), 2);
+    }
+
+    #[test]
+    fn path_count_grows_multiplicatively() {
+        // Chain of k diamonds → 2^k paths.
+        let mut b = Netlist::builder();
+        let mut cur = b.input("a");
+        for i in 0..20 {
+            let g1 = b
+                .gate(GateKind::Buf, &format!("u{i}"), vec![cur], d(1, 1))
+                .unwrap();
+            let g2 = b
+                .gate(GateKind::Not, &format!("v{i}"), vec![cur], d(1, 1))
+                .unwrap();
+            cur = b
+                .gate(GateKind::And, &format!("m{i}"), vec![g1, g2], d(1, 1))
+                .unwrap();
+        }
+        b.output("f", cur);
+        let n = b.finish().unwrap();
+        assert_eq!(n.path_count(n.find("m19").unwrap()), 1 << 20);
+    }
+}

@@ -1,0 +1,177 @@
+//! Property tests for the netlist substrate: timing decompositions,
+//! path queries vs brute force, and parser round-trips on random
+//! circuits.
+
+use proptest::prelude::*;
+
+use tbf_logic::parsers::bench::{parse_bench, write_bench};
+use tbf_logic::parsers::unit_delays;
+use tbf_logic::paths::{all_paths, next_breakpoint, straddling_paths};
+use tbf_logic::transform::{decompose_to_binary, strash, sweep};
+use tbf_logic::{DelayBounds, GateKind, Netlist, Time};
+
+#[derive(Clone, Debug)]
+struct Recipe {
+    n_inputs: usize,
+    gates: Vec<(u8, Vec<usize>, i64, i64)>,
+}
+
+fn arb_recipe() -> impl Strategy<Value = Recipe> {
+    (2usize..5).prop_flat_map(|n_inputs| {
+        let gate = (
+            0u8..8,
+            proptest::collection::vec(0usize..64, 1..4),
+            1i64..6,
+            0i64..4,
+        );
+        proptest::collection::vec(gate, 1..12).prop_map(move |raw| Recipe {
+            n_inputs,
+            gates: raw
+                .into_iter()
+                .map(|(k, f, lo, spread)| (k, f, lo, lo + spread))
+                .collect(),
+        })
+    })
+}
+
+fn build(recipe: &Recipe) -> Netlist {
+    let mut b = Netlist::builder();
+    let mut pool: Vec<_> = (0..recipe.n_inputs)
+        .map(|i| b.input(&format!("x{i}")))
+        .collect();
+    for (g, (kind_raw, fanin_refs, lo, hi)) in recipe.gates.iter().enumerate() {
+        let kind = match kind_raw % 8 {
+            0 => GateKind::And,
+            1 => GateKind::Or,
+            2 => GateKind::Nand,
+            3 => GateKind::Nor,
+            4 => GateKind::Xor,
+            5 => GateKind::Xnor,
+            6 => GateKind::Buf,
+            _ => GateKind::Not,
+        };
+        let mut fanins: Vec<_> = fanin_refs.iter().map(|&r| pool[r % pool.len()]).collect();
+        if matches!(kind, GateKind::Not | GateKind::Buf) {
+            fanins.truncate(1);
+        }
+        let delay = DelayBounds::new(Time::from_int(*lo), Time::from_int(*hi));
+        pool.push(
+            b.gate(kind, &format!("g{g}"), fanins, delay)
+                .expect("unique names"),
+        );
+    }
+    b.output("f", *pool.last().expect("non-empty"));
+    b.finish().expect("one output")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The topological delay equals the maximum explicit path length, and
+    /// arrivals decompose as prefix + suffix along every path.
+    #[test]
+    fn topological_delay_is_max_path_length(recipe in arb_recipe()) {
+        let n = build(&recipe);
+        let out = n.outputs()[0].1;
+        let paths = all_paths(&n, out, 100_000).expect("small circuits");
+        let by_paths = paths
+            .iter()
+            .map(|p| p.length_max(&n))
+            .max()
+            .unwrap_or(Time::ZERO);
+        prop_assert_eq!(n.topological_delay_of(out), by_paths);
+        // Suffix/arrival decomposition at every node of every path.
+        let arr = n.arrivals(false, true);
+        let suf = n.suffixes(out, false, true);
+        for p in paths.iter().take(50) {
+            for &node in p.gates() {
+                let a = arr[node.index()];
+                let s = suf[node.index()].expect("on a path to out");
+                prop_assert!(a + s <= by_paths);
+            }
+        }
+    }
+
+    /// The breakpoint chain enumerates exactly the distinct kmax values,
+    /// descending.
+    #[test]
+    fn breakpoints_match_brute_force(recipe in arb_recipe()) {
+        let n = build(&recipe);
+        let out = n.outputs()[0].1;
+        let mut lens: Vec<Time> = all_paths(&n, out, 100_000)
+            .expect("small circuits")
+            .iter()
+            .map(|p| p.length_max(&n))
+            .collect();
+        lens.sort_unstable();
+        lens.dedup();
+        lens.reverse();
+        let mut cur = Time::MAX;
+        for &expect in &lens {
+            let got = next_breakpoint(&n, out, cur);
+            prop_assert_eq!(got, Some(expect));
+            cur = expect;
+        }
+        prop_assert_eq!(next_breakpoint(&n, out, cur), None);
+    }
+
+    /// Straddling-path enumeration agrees with filtering all paths, at
+    /// every breakpoint.
+    #[test]
+    fn straddling_agrees_with_filter(recipe in arb_recipe()) {
+        let n = build(&recipe);
+        let out = n.outputs()[0].1;
+        let all = all_paths(&n, out, 100_000).expect("small circuits");
+        let mut b = next_breakpoint(&n, out, Time::MAX);
+        while let Some(bp) = b {
+            let fast = straddling_paths(&n, out, bp, 100_000).expect("small");
+            let slow: Vec<_> = all.iter().filter(|p| p.straddles(&n, bp)).collect();
+            prop_assert_eq!(fast.len(), slow.len(), "at {}", bp);
+            b = next_breakpoint(&n, out, bp);
+        }
+    }
+
+    /// write_bench ∘ parse_bench is the identity on functions.
+    #[test]
+    fn bench_round_trip(recipe in arb_recipe()) {
+        let n = build(&recipe);
+        let text = write_bench(&n).expect("no constants generated");
+        let round = parse_bench(&text, unit_delays).expect("own output parses");
+        prop_assert_eq!(round.inputs().len(), n.inputs().len());
+        let k = n.inputs().len();
+        for bits in 0..(1u32 << k) {
+            let v: Vec<bool> = (0..k).map(|i| (bits >> i) & 1 == 1).collect();
+            prop_assert_eq!(round.evaluate_outputs(&v), n.evaluate_outputs(&v));
+        }
+    }
+
+    /// The structural transforms preserve functions and topological
+    /// delay (decompose/strash/sweep).
+    #[test]
+    fn transforms_preserve_function(recipe in arb_recipe()) {
+        let n = build(&recipe);
+        let k = n.inputs().len();
+        for (label, m) in [
+            ("decompose", decompose_to_binary(&n)),
+            ("strash", strash(&n)),
+            ("sweep", sweep(&n)),
+        ] {
+            for bits in 0..(1u32 << k) {
+                let v: Vec<bool> = (0..k).map(|i| (bits >> i) & 1 == 1).collect();
+                prop_assert_eq!(
+                    m.evaluate_outputs(&v),
+                    n.evaluate_outputs(&v),
+                    "{} at {:#b}",
+                    label,
+                    bits
+                );
+            }
+            prop_assert_eq!(
+                m.topological_delay(),
+                n.topological_delay(),
+                "{} changed the topological delay",
+                label
+            );
+        }
+    }
+}

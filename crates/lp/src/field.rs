@@ -1,0 +1,109 @@
+//! The scalar-field abstraction shared by the `f64` and exact-rational
+//! simplex instantiations.
+
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+use crate::rational::Rat;
+
+/// An ordered field usable as the scalar type of the simplex tableau.
+///
+/// Implemented for `f64` (fast, approximate) and [`Rat`] (exact). The
+/// delay algorithms use [`Rat`]; `f64` exists for benchmarking and for
+/// callers with large well-conditioned problems.
+pub trait LpField:
+    Copy
+    + PartialOrd
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + std::fmt::Debug
+{
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Conversion from a machine integer.
+    fn from_i64(n: i64) -> Self;
+    /// True if the value should be treated as zero (tolerance-aware for
+    /// `f64`, exact for [`Rat`]).
+    fn is_zero(self) -> bool;
+    /// True if strictly positive beyond the zero tolerance.
+    fn is_positive(self) -> bool;
+    /// True if strictly negative beyond the zero tolerance.
+    fn is_negative(self) -> bool;
+    /// Nearest `f64`, for reporting.
+    fn to_f64(self) -> f64;
+}
+
+impl LpField for f64 {
+    fn zero() -> f64 {
+        0.0
+    }
+    fn one() -> f64 {
+        1.0
+    }
+    fn from_i64(n: i64) -> f64 {
+        n as f64
+    }
+    fn is_zero(self) -> bool {
+        self.abs() <= 1e-9
+    }
+    fn is_positive(self) -> bool {
+        self > 1e-9
+    }
+    fn is_negative(self) -> bool {
+        self < -1e-9
+    }
+    fn to_f64(self) -> f64 {
+        self
+    }
+}
+
+impl LpField for Rat {
+    fn zero() -> Rat {
+        Rat::ZERO
+    }
+    fn one() -> Rat {
+        Rat::ONE
+    }
+    fn from_i64(n: i64) -> Rat {
+        Rat::from(n)
+    }
+    fn is_zero(self) -> bool {
+        Rat::is_zero(self)
+    }
+    fn is_positive(self) -> bool {
+        Rat::is_positive(self)
+    }
+    fn is_negative(self) -> bool {
+        Rat::is_negative(self)
+    }
+    fn to_f64(self) -> f64 {
+        Rat::to_f64(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_field_tolerances() {
+        assert!(<f64 as LpField>::is_zero(1e-12));
+        assert!(!<f64 as LpField>::is_zero(1e-3));
+        assert!(<f64 as LpField>::is_positive(0.5));
+        assert!(<f64 as LpField>::is_negative(-0.5));
+        assert!(!<f64 as LpField>::is_positive(1e-12));
+    }
+
+    #[test]
+    fn rat_field_is_exact() {
+        let tiny = Rat::new(1, i64::MAX as i128);
+        assert!(!LpField::is_zero(tiny));
+        assert!(LpField::is_positive(tiny));
+        assert!(LpField::is_zero(Rat::ZERO));
+        assert_eq!(<Rat as LpField>::from_i64(-3), Rat::from_int(-3));
+    }
+}

@@ -1,0 +1,54 @@
+//! # tbf-lp — Linear programming for exact delay computation
+//!
+//! The mixed Boolean linear programs of the TBF paper (Lam/Brayton/
+//! Sangiovanni-Vincentelli, UCB/ERL M93/6) reduce, once the Boolean part is
+//! resolved to a cube, to small linear programs of the form
+//!
+//! ```text
+//!   maximize t
+//!   subject to   t < Σ_{i∈U} dᵢ        for each resolvent set to 0
+//!                t > Σ_{i∈L} dᵢ        for each resolvent set to 1
+//!                dᵢᵐⁱⁿ ≤ dᵢ ≤ dᵢᵐᵃˣ
+//! ```
+//!
+//! This crate provides:
+//!
+//! * [`Rat`] — exact rational arithmetic over `i128`, so simplex pivots
+//!   never suffer floating-point drift,
+//! * [`LpProblem`] / [`solve`] — a general two-phase dense simplex over any
+//!   [`LpField`] (both `f64` and [`Rat`]),
+//! * [`PathLp`] — the specialized path-constraint program above, including
+//!   the paper's strict-inequality semantics (the optimum is a supremum
+//!   `t = b⁻`; strict feasibility is certified with an auxiliary ε-LP).
+//!
+//! # Example
+//!
+//! Example 3 of the paper (Figure 4): `max t` with `t > d₂`,
+//! `t < d₁ + d₂`, `dᵢ ∈ [1,2]` has supremum `t = 4`.
+//!
+//! ```
+//! use tbf_lp::{PathLp, PathLpOutcome};
+//!
+//! let mut lp = PathLp::new(&[(1, 2), (1, 2)]); // d1, d2 ∈ [1,2]
+//! lp.t_greater_than(&[1]);    // t > d2
+//! lp.t_less_than(&[0, 1]);    // t < d1 + d2
+//! match lp.solve() {
+//!     PathLpOutcome::Feasible { t_sup, .. } => assert_eq!(t_sup, 4),
+//!     PathLpOutcome::Infeasible => unreachable!(),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod field;
+mod path_lp;
+mod problem;
+mod rational;
+mod simplex;
+
+pub use field::LpField;
+pub use path_lp::{PathLp, PathLpOutcome};
+pub use problem::{Constraint, LpProblem, Relation, VarId};
+pub use rational::Rat;
+pub use simplex::{solve, LpOutcome};

@@ -1,0 +1,426 @@
+//! The specialized linear program induced by a cube of the XOR BDD in the
+//! exact-delay search (paper §5–§7).
+//!
+//! Variables are the arrival time `t` and one delay `dᵢ` per gate, with
+//! box bounds `dᵢ ∈ [dᵢᵐⁱⁿ, dᵢᵐᵃˣ]`. A resolvent literal of phase 1
+//! induces `t > Σ_{i∈π} dᵢ` (the TBF variable took its post-transition
+//! value); phase 0 induces `t < Σ_{i∈π} dᵢ`.
+//!
+//! Strictness is handled per the paper's `t = b⁻` semantics: the reported
+//! optimum is the **supremum** of the open feasible set. The supremum of a
+//! nonempty open polyhedral set equals the maximum over its closure, so we
+//! (1) certify the open set is nonempty with an ε-LP (`maximize ε` with
+//! every strict inequality slackened by `ε`), then (2) maximize `t` over
+//! the closed relaxation. All arithmetic is exact rational.
+
+use crate::problem::{LpProblem, Relation, VarId};
+use crate::rational::Rat;
+use crate::simplex::{solve, LpOutcome};
+
+/// Outcome of a [`PathLp`] solve.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PathLpOutcome {
+    /// The strict system is feasible.
+    Feasible {
+        /// Supremum of `t` over the (open) feasible region, in the same
+        /// fixed-point units as the delay bounds.
+        t_sup: i64,
+        /// A delay assignment attaining the supremum in the closed
+        /// relaxation (witness for reporting; the open system approaches
+        /// it arbitrarily closely).
+        delays: Vec<i64>,
+    },
+    /// No delay assignment satisfies all strict path constraints.
+    Infeasible,
+}
+
+#[derive(Clone, Debug)]
+enum Sense {
+    /// `t < Σ dᵢ` over the gate set.
+    TLess(Vec<usize>),
+    /// `t > Σ dᵢ` over the gate set.
+    TGreater(Vec<usize>),
+}
+
+/// Builder for the paper's mixed-Boolean-LP relaxation at a fixed cube.
+///
+/// Delay bounds and the optional search window are `i64` fixed-point
+/// values (the workspace convention is 10⁻⁴ time units per unit).
+///
+/// # Example
+///
+/// The §11 carry-bypass LP: `max t` with `t < g₀+g₅`,
+/// `t < g₀+g₁+g₂+g₃+g₄+g₅`, `g₀ ∈ [2,20]`, `gᵢ ∈ [2,4]` — the optimum
+/// is 24.
+///
+/// ```
+/// use tbf_lp::{PathLp, PathLpOutcome};
+/// let mut bounds = vec![(2, 20)];
+/// bounds.extend(std::iter::repeat((2, 4)).take(5));
+/// let mut lp = PathLp::new(&bounds);
+/// lp.t_less_than(&[0, 5]);
+/// lp.t_less_than(&[0, 1, 2, 3, 4, 5]);
+/// match lp.solve() {
+///     PathLpOutcome::Feasible { t_sup, .. } => assert_eq!(t_sup, 24),
+///     PathLpOutcome::Infeasible => unreachable!(),
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct PathLp {
+    bounds: Vec<(i64, i64)>,
+    constraints: Vec<Sense>,
+    t_window: Option<(i64, i64)>,
+}
+
+impl PathLp {
+    /// Creates a program over gates with the given `(dmin, dmax)` bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some bound has `dmin > dmax` or `dmin < 0`.
+    pub fn new(bounds: &[(i64, i64)]) -> PathLp {
+        for &(lo, hi) in bounds {
+            assert!(0 <= lo && lo <= hi, "invalid delay bound [{lo}, {hi}]");
+        }
+        PathLp {
+            bounds: bounds.to_vec(),
+            constraints: Vec::new(),
+            t_window: None,
+        }
+    }
+
+    /// Adds the strict constraint `t < Σ_{i∈gates} dᵢ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a gate index is out of range.
+    pub fn t_less_than(&mut self, gates: &[usize]) {
+        self.check(gates);
+        self.constraints.push(Sense::TLess(gates.to_vec()));
+    }
+
+    /// Adds the strict constraint `t > Σ_{i∈gates} dᵢ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a gate index is out of range.
+    pub fn t_greater_than(&mut self, gates: &[usize]) {
+        self.check(gates);
+        self.constraints.push(Sense::TGreater(gates.to_vec()));
+    }
+
+    /// Restricts the search to `lo ≤ t ≤ hi` (the current breakpoint
+    /// interval of the delay search).
+    pub fn set_t_window(&mut self, lo: i64, hi: i64) {
+        self.t_window = Some((lo, hi));
+    }
+
+    fn check(&self, gates: &[usize]) {
+        for &g in gates {
+            assert!(g < self.bounds.len(), "gate index {g} out of range");
+        }
+    }
+
+    fn build(&self, eps_mode: bool) -> (LpProblem<Rat>, VarId, Vec<VarId>, Option<VarId>) {
+        self.build_with_floor(eps_mode, None)
+    }
+
+    fn build_with_floor(
+        &self,
+        eps_mode: bool,
+        t_floor: Option<i64>,
+    ) -> (LpProblem<Rat>, VarId, Vec<VarId>, Option<VarId>) {
+        let mut p: LpProblem<Rat> = LpProblem::new();
+        let (tlo, thi) = self
+            .t_window
+            .map(|(a, b)| (Some(Rat::from(a)), Some(Rat::from(b))))
+            .unwrap_or((Some(Rat::ZERO), None));
+        let tlo = match (tlo, t_floor) {
+            (Some(lo), Some(fl)) => Some(if Rat::from(fl) > lo { Rat::from(fl) } else { lo }),
+            (None, Some(fl)) => Some(Rat::from(fl)),
+            (lo, None) => lo,
+        };
+        let t = p.add_var(tlo, thi);
+        let ds: Vec<VarId> = self
+            .bounds
+            .iter()
+            .map(|&(lo, hi)| p.add_var(Some(Rat::from(lo)), Some(Rat::from(hi))))
+            .collect();
+        let eps = if eps_mode {
+            // ε bounded above so the ε-LP is never unbounded.
+            Some(p.add_var(Some(Rat::ZERO), Some(Rat::ONE)))
+        } else {
+            None
+        };
+        if let Some(e) = eps {
+            p.set_objective(e, Rat::ONE);
+        } else {
+            p.set_objective(t, Rat::ONE);
+        }
+        for c in &self.constraints {
+            let (gates, sign) = match c {
+                Sense::TLess(g) => (g, Rat::ONE),
+                Sense::TGreater(g) => (g, -Rat::ONE),
+            };
+            // sign=+1: t − Σd (+ ε) ≤ 0 ; sign=−1: −t + Σd (+ ε) ≤ 0.
+            let mut terms = vec![(t, sign)];
+            for &g in gates {
+                terms.push((ds[g], -sign));
+            }
+            if let Some(e) = eps {
+                terms.push((e, Rat::ONE));
+            }
+            p.add_constraint(terms, Relation::Le, Rat::ZERO);
+        }
+        (p, t, ds, eps)
+    }
+
+    /// Finds a strictly interior point with `t ≥ t_floor`: every strict
+    /// constraint is satisfied with positive slack (before rounding to
+    /// the fixed-point grid).
+    ///
+    /// Used for witness extraction: the returned `(t, delays)` induces a
+    /// definite arrived/not-arrived valuation for every path constraint,
+    /// consistent with the constraints added so far. Returns `None` when
+    /// no interior point with `t ≥ t_floor` exists.
+    pub fn solve_interior(&self, t_floor: i64) -> Option<(i64, Vec<i64>)> {
+        if let Some((_, hi)) = self.t_window {
+            if t_floor > hi {
+                return None;
+            }
+        }
+        let (p, t, ds, _) = self.build_with_floor(true, Some(t_floor));
+        match solve(&p) {
+            LpOutcome::Optimal { x, value } if value.is_positive() => {
+                let t_val = x[t.index()].floor() as i64;
+                let delays = ds.iter().map(|&d| x[d.index()].floor() as i64).collect();
+                Some((t_val, delays))
+            }
+            _ => None,
+        }
+    }
+
+    /// Solves the program.
+    ///
+    /// Returns [`PathLpOutcome::Infeasible`] when the *strict* system has
+    /// no solution (even if the closed relaxation does), otherwise the
+    /// supremum of `t` and a witness delay assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the supremum is not an integer multiple of the fixed-point
+    /// unit *and* not representable — cannot happen: all data are integers,
+    /// so the optimum of the closed LP is rational with denominator 1 after
+    /// a vertex solution on this constraint structure is rounded; we
+    /// `floor` to the fixed-point grid for safety.
+    pub fn solve(&self) -> PathLpOutcome {
+        // 1. Strict feasibility via the ε-LP.
+        let (p_eps, _, _, _) = self.build(true);
+        match solve(&p_eps) {
+            LpOutcome::Optimal { value, .. } => {
+                if !value.is_positive() {
+                    return PathLpOutcome::Infeasible;
+                }
+            }
+            LpOutcome::Infeasible => return PathLpOutcome::Infeasible,
+            LpOutcome::Unbounded => unreachable!("ε is bounded above"),
+        }
+        // 2. Supremum of t over the closed relaxation.
+        let (p, _t, ds, _) = self.build(false);
+        match solve(&p) {
+            LpOutcome::Optimal { x, value } => {
+                let delays = ds.iter().map(|&d| x[d.index()].floor() as i64).collect();
+                PathLpOutcome::Feasible {
+                    t_sup: value.floor() as i64,
+                    delays,
+                }
+            }
+            LpOutcome::Infeasible => {
+                unreachable!("closed relaxation of a strictly feasible system")
+            }
+            LpOutcome::Unbounded => {
+                // No upper constraint on t and no window: the delay search
+                // always supplies a window, but handle it deterministically.
+                PathLpOutcome::Feasible {
+                    t_sup: i64::MAX,
+                    delays: self.bounds.iter().map(|&(_, hi)| hi).collect(),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example3_from_the_paper() {
+        // Figure 4: t > d2, t < d1 + d2, d ∈ [1,2] → sup t = 4.
+        let mut lp = PathLp::new(&[(1, 2), (1, 2)]);
+        lp.t_greater_than(&[1]);
+        lp.t_less_than(&[0, 1]);
+        match lp.solve() {
+            PathLpOutcome::Feasible { t_sup, delays } => {
+                assert_eq!(t_sup, 4);
+                assert_eq!(delays, vec![2, 2]);
+            }
+            PathLpOutcome::Infeasible => panic!("expected feasible"),
+        }
+    }
+
+    #[test]
+    fn example1_infeasible_sensitization() {
+        // Figure 1: |P3| > |P1| and |P2| < |P1| with P1=buffer [4,5],
+        // P2=inverter [1,2], P3=buffer [1,2]: t identifies |P1|.
+        // t < d_P3 requires t < 2 but t > ... — model directly:
+        // t = |P1| ∈ [4,5]; need |P3| > t and |P2| < t with |P3| ≤ 2:
+        // infeasible.
+        let mut lp = PathLp::new(&[(4, 5), (1, 2), (1, 2)]);
+        lp.t_greater_than(&[0]); // t > |P1| would be >; use window instead
+        lp.t_less_than(&[2]); // t < |P3| ≤ 2, but t > |P1| ≥ 4
+        assert_eq!(lp.solve(), PathLpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn carry_bypass_lp_is_24() {
+        let mut bounds = vec![(2, 20)];
+        bounds.extend(std::iter::repeat_n((2, 4), 5));
+        let mut lp = PathLp::new(&bounds);
+        lp.t_less_than(&[0, 5]);
+        lp.t_less_than(&[0, 1, 2, 3, 4, 5]);
+        match lp.solve() {
+            PathLpOutcome::Feasible { t_sup, .. } => assert_eq!(t_sup, 24),
+            PathLpOutcome::Infeasible => panic!("expected feasible"),
+        }
+    }
+
+    #[test]
+    fn window_caps_the_supremum() {
+        let mut lp = PathLp::new(&[(1, 10)]);
+        lp.t_less_than(&[0]);
+        lp.set_t_window(0, 7);
+        match lp.solve() {
+            PathLpOutcome::Feasible { t_sup, .. } => assert_eq!(t_sup, 7),
+            PathLpOutcome::Infeasible => panic!("expected feasible"),
+        }
+    }
+
+    #[test]
+    fn contradictory_window_is_infeasible() {
+        let mut lp = PathLp::new(&[(1, 2)]);
+        lp.t_greater_than(&[0]); // t > d ≥ 1
+        lp.set_t_window(0, 1); // but t ≤ 1 → strict system empty
+        assert_eq!(lp.solve(), PathLpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn boundary_only_solution_is_infeasible_strictly() {
+        // t > d1 and t < d1: closed relaxation has t = d1 but the strict
+        // system is empty — the ε-LP must reject it.
+        let mut lp = PathLp::new(&[(1, 2)]);
+        lp.t_greater_than(&[0]);
+        lp.t_less_than(&[0]);
+        assert_eq!(lp.solve(), PathLpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn no_constraints_maximizes_window() {
+        let mut lp = PathLp::new(&[(1, 2)]);
+        lp.set_t_window(0, 100);
+        match lp.solve() {
+            PathLpOutcome::Feasible { t_sup, .. } => assert_eq!(t_sup, 100),
+            PathLpOutcome::Infeasible => panic!("expected feasible"),
+        }
+    }
+
+    #[test]
+    fn greater_constraints_force_lower_bound_use() {
+        // t > d1 + d2 with d ∈ [3,5] and window [0, 100]: sup t = 100
+        // (t can exceed the sum freely). With an added t < d3 (d3 ∈ [9,9]):
+        // need d1 + d2 < t < 9 → d1+d2 can sit at 6 < t → sup t = 9.
+        let mut lp = PathLp::new(&[(3, 5), (3, 5), (9, 9)]);
+        lp.t_greater_than(&[0, 1]);
+        lp.t_less_than(&[2]);
+        match lp.solve() {
+            PathLpOutcome::Feasible { t_sup, delays } => {
+                assert_eq!(t_sup, 9);
+                assert_eq!(delays[2], 9);
+            }
+            PathLpOutcome::Infeasible => panic!("expected feasible"),
+        }
+    }
+
+    #[test]
+    fn fixed_delays_can_be_strictly_infeasible() {
+        // d1 = d2 = 4 fixed; require t > d1 and t < d2: empty.
+        let mut lp = PathLp::new(&[(4, 4), (4, 4)]);
+        lp.t_greater_than(&[0]);
+        lp.t_less_than(&[1]);
+        assert_eq!(lp.solve(), PathLpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn variable_delays_make_it_feasible() {
+        // Same but d ∈ [3,4]: t > d1, t < d2 feasible (d1=3, d2=4, t→4⁻).
+        let mut lp = PathLp::new(&[(3, 4), (3, 4)]);
+        lp.t_greater_than(&[0]);
+        lp.t_less_than(&[1]);
+        match lp.solve() {
+            PathLpOutcome::Feasible { t_sup, .. } => assert_eq!(t_sup, 4),
+            PathLpOutcome::Infeasible => panic!("expected feasible"),
+        }
+    }
+
+    #[test]
+    fn interior_point_strictly_satisfies() {
+        // t > d1, t < d2, d ∈ [3,5]: sup t = 5; an interior point at
+        // t ≥ sup−1 must satisfy both constraints strictly.
+        let mut lp = PathLp::new(&[(3, 5), (3, 5)]);
+        lp.t_greater_than(&[0]);
+        lp.t_less_than(&[1]);
+        let PathLpOutcome::Feasible { t_sup, .. } = lp.solve() else {
+            panic!("feasible");
+        };
+        assert_eq!(t_sup, 5);
+        let (t, d) = lp.solve_interior(t_sup - 1).expect("interior exists");
+        assert!(t >= t_sup - 1);
+        assert!(t > d[0], "t={t} must strictly exceed d1={}", d[0]);
+        assert!(t < d[1], "t={t} must be strictly below d2={}", d[1]);
+        assert!((3..=5).contains(&d[0]));
+        assert!((3..=5).contains(&d[1]));
+    }
+
+    #[test]
+    fn interior_point_respects_floor() {
+        let mut lp = PathLp::new(&[(1, 10)]);
+        lp.t_less_than(&[0]);
+        lp.set_t_window(0, 9);
+        // Floor above the window: no interior point.
+        assert!(lp.solve_interior(50).is_none());
+        // Floor inside: fine.
+        let (t, _) = lp.solve_interior(5).expect("interior exists");
+        assert!(t >= 5);
+    }
+
+    #[test]
+    fn boundary_only_system_has_no_interior() {
+        let mut lp = PathLp::new(&[(4, 4)]);
+        lp.t_greater_than(&[0]);
+        lp.t_less_than(&[0]);
+        assert!(lp.solve_interior(0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid delay bound")]
+    fn negative_bounds_panic() {
+        let _ = PathLp::new(&[(-1, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_gate_panics() {
+        let mut lp = PathLp::new(&[(1, 2)]);
+        lp.t_less_than(&[3]);
+    }
+}

@@ -1,0 +1,264 @@
+//! Problem definition: variables with box bounds, linear constraints, and
+//! a linear objective.
+
+use crate::field::LpField;
+
+/// Index of a decision variable inside an [`LpProblem`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// Zero-based position of the variable in the problem.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// The sense of a linear constraint.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Relation {
+    /// `Σ aᵢxᵢ ≤ b`
+    Le,
+    /// `Σ aᵢxᵢ ≥ b`
+    Ge,
+    /// `Σ aᵢxᵢ = b`
+    Eq,
+}
+
+/// A linear constraint `Σ aᵢxᵢ (≤|≥|=) b`.
+#[derive(Clone, Debug)]
+pub struct Constraint<F> {
+    pub(crate) terms: Vec<(VarId, F)>,
+    pub(crate) relation: Relation,
+    pub(crate) rhs: F,
+}
+
+impl<F: LpField> Constraint<F> {
+    /// The linear terms of the constraint.
+    pub fn terms(&self) -> &[(VarId, F)] {
+        &self.terms
+    }
+
+    /// The constraint sense.
+    pub fn relation(&self) -> Relation {
+        self.relation
+    }
+
+    /// The right-hand side.
+    pub fn rhs(&self) -> F {
+        self.rhs
+    }
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct VarDef<F> {
+    pub lower: Option<F>,
+    pub upper: Option<F>,
+    pub objective: F,
+}
+
+/// A maximization problem over box-bounded variables.
+///
+/// # Example
+///
+/// ```
+/// use tbf_lp::{LpProblem, Relation, solve, LpOutcome};
+///
+/// // maximize x + y  s.t.  x + 2y ≤ 4, x ∈ [0,3], y ∈ [0,3]
+/// let mut p: LpProblem<f64> = LpProblem::new();
+/// let x = p.add_var(Some(0.0), Some(3.0));
+/// let y = p.add_var(Some(0.0), Some(3.0));
+/// p.set_objective(x, 1.0);
+/// p.set_objective(y, 1.0);
+/// p.add_constraint(vec![(x, 1.0), (y, 2.0)], Relation::Le, 4.0);
+/// match solve(&p) {
+///     LpOutcome::Optimal { value, .. } => assert!((value - 3.5).abs() < 1e-9),
+///     other => panic!("unexpected outcome {other:?}"),
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct LpProblem<F> {
+    pub(crate) vars: Vec<VarDef<F>>,
+    pub(crate) constraints: Vec<Constraint<F>>,
+}
+
+impl<F: LpField> LpProblem<F> {
+    /// Creates an empty problem.
+    pub fn new() -> Self {
+        LpProblem {
+            vars: Vec::new(),
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Adds a variable with optional lower/upper bounds and zero objective
+    /// coefficient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if both bounds are given with `lower > upper`.
+    pub fn add_var(&mut self, lower: Option<F>, upper: Option<F>) -> VarId {
+        if let (Some(lo), Some(hi)) = (lower, upper) {
+            // PartialOrd-only scalar: `!(lo > hi)` deliberately treats
+            // incomparable (NaN) bounds as valid input for f64 callers.
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            {
+                assert!(!(lo > hi), "variable bounds inverted: {lo:?} > {hi:?}");
+            }
+        }
+        self.vars.push(VarDef {
+            lower,
+            upper,
+            objective: F::zero(),
+        });
+        VarId(self.vars.len() - 1)
+    }
+
+    /// Sets the objective coefficient of `v` (maximization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not belong to this problem.
+    pub fn set_objective(&mut self, v: VarId, coeff: F) {
+        self.vars[v.0].objective = coeff;
+    }
+
+    /// Adds a linear constraint. Duplicate variables in `terms` are summed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a term references a variable not in this problem.
+    pub fn add_constraint(&mut self, terms: Vec<(VarId, F)>, relation: Relation, rhs: F) {
+        for &(v, _) in &terms {
+            assert!(v.0 < self.vars.len(), "constraint references unknown var");
+        }
+        self.constraints.push(Constraint {
+            terms,
+            relation,
+            rhs,
+        });
+    }
+
+    /// Number of variables.
+    pub fn var_count(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of explicit (non-bound) constraints.
+    pub fn constraint_count(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// The constraints added so far.
+    pub fn constraints(&self) -> &[Constraint<F>] {
+        &self.constraints
+    }
+
+    /// Evaluates the objective at a point.
+    pub fn objective_value(&self, x: &[F]) -> F {
+        let mut acc = F::zero();
+        for (def, &xi) in self.vars.iter().zip(x) {
+            acc = acc + def.objective * xi;
+        }
+        acc
+    }
+
+    /// Checks whether `x` satisfies every bound and constraint.
+    pub fn is_feasible(&self, x: &[F]) -> bool {
+        if x.len() != self.vars.len() {
+            return false;
+        }
+        for (def, &xi) in self.vars.iter().zip(x) {
+            if let Some(lo) = def.lower {
+                if (lo - xi).is_positive() {
+                    return false;
+                }
+            }
+            if let Some(hi) = def.upper {
+                if (xi - hi).is_positive() {
+                    return false;
+                }
+            }
+        }
+        for c in &self.constraints {
+            let mut lhs = F::zero();
+            for &(v, a) in &c.terms {
+                lhs = lhs + a * x[v.0];
+            }
+            let slack = c.rhs - lhs;
+            let ok = match c.relation {
+                Relation::Le => !slack.is_negative(),
+                Relation::Ge => !slack.is_positive(),
+                Relation::Eq => slack.is_zero(),
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl<F: LpField> Default for LpProblem<F> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_accessors() {
+        let mut p: LpProblem<f64> = LpProblem::new();
+        let x = p.add_var(Some(0.0), Some(1.0));
+        let y = p.add_var(None, None);
+        p.set_objective(x, 2.0);
+        p.add_constraint(vec![(x, 1.0), (y, -1.0)], Relation::Eq, 0.0);
+        assert_eq!(p.var_count(), 2);
+        assert_eq!(p.constraint_count(), 1);
+        assert_eq!(p.constraints()[0].relation(), Relation::Eq);
+        assert_eq!(p.constraints()[0].rhs(), 0.0);
+        assert_eq!(p.constraints()[0].terms().len(), 2);
+        assert_eq!(x.index(), 0);
+        assert_eq!(y.index(), 1);
+    }
+
+    #[test]
+    fn feasibility_check() {
+        let mut p: LpProblem<f64> = LpProblem::new();
+        let x = p.add_var(Some(0.0), Some(2.0));
+        let y = p.add_var(Some(0.0), None);
+        p.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 3.0);
+        assert!(p.is_feasible(&[1.0, 1.0]));
+        assert!(!p.is_feasible(&[2.5, 0.0])); // violates x ≤ 2
+        assert!(!p.is_feasible(&[2.0, 2.0])); // violates x+y ≤ 3
+        assert!(!p.is_feasible(&[1.0])); // wrong arity
+    }
+
+    #[test]
+    fn objective_value() {
+        let mut p: LpProblem<f64> = LpProblem::new();
+        let x = p.add_var(Some(0.0), None);
+        let y = p.add_var(Some(0.0), None);
+        p.set_objective(x, 3.0);
+        p.set_objective(y, -1.0);
+        assert_eq!(p.objective_value(&[2.0, 4.0]), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds inverted")]
+    fn inverted_bounds_panic() {
+        let mut p: LpProblem<f64> = LpProblem::new();
+        let _ = p.add_var(Some(1.0), Some(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown var")]
+    fn foreign_var_panics() {
+        let mut p: LpProblem<f64> = LpProblem::new();
+        let _x = p.add_var(None, None);
+        p.add_constraint(vec![(VarId(7), 1.0)], Relation::Le, 0.0);
+    }
+}

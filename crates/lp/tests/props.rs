@@ -1,0 +1,183 @@
+//! Property tests: the exact simplex against random sampling oracles and
+//! the `f64` instantiation.
+
+use proptest::prelude::*;
+use tbf_lp::{solve, LpOutcome, LpProblem, PathLp, PathLpOutcome, Rat, Relation};
+
+/// Strategy: a random path LP over `n` gates with integer bounds and a few
+/// random path constraints.
+#[derive(Clone, Debug)]
+struct RandomPathLp {
+    bounds: Vec<(i64, i64)>,
+    less: Vec<Vec<usize>>,
+    greater: Vec<Vec<usize>>,
+    window_hi: i64,
+}
+
+fn arb_path_lp() -> impl Strategy<Value = RandomPathLp> {
+    (2usize..6).prop_flat_map(|n| {
+        let bounds = proptest::collection::vec((1i64..10).prop_map(|lo| (lo, lo + 5)), n);
+        let subset = proptest::collection::vec(0..n, 1..=n)
+            .prop_map(|mut v| {
+                v.sort_unstable();
+                v.dedup();
+                v
+            });
+        let less = proptest::collection::vec(subset.clone(), 0..3);
+        let greater = proptest::collection::vec(subset, 0..3);
+        (bounds, less, greater, 20i64..200).prop_map(|(bounds, less, greater, window_hi)| {
+            RandomPathLp {
+                bounds,
+                less,
+                greater,
+                window_hi,
+            }
+        })
+    })
+}
+
+/// Best feasible `t` for a *fixed* delay assignment, or `None`.
+fn best_t_for(d: &[i64], lp: &RandomPathLp) -> Option<i64> {
+    let sum = |s: &[usize]| -> i64 { s.iter().map(|&i| d[i]).sum() };
+    // t must satisfy: t < Σ_U d for all U; t > Σ_L d for all L; 0 ≤ t ≤ hi.
+    let hi = lp
+        .less
+        .iter()
+        .map(|s| sum(s))
+        .chain(std::iter::once(lp.window_hi + 1))
+        .min()
+        .unwrap(); // t < hi (strict), except window which is ≤
+    let lo = lp.greater.iter().map(|s| sum(s)).max().unwrap_or(-1);
+    // Integer t strictly inside (lo, hi): sup over reals is hi (or window).
+    if lo + 1 < hi {
+        Some((hi - 1).min(lp.window_hi)) // a feasible integer point
+    } else {
+        None
+    }
+}
+
+proptest! {
+    #[test]
+    fn path_lp_upper_bounds_every_sampled_point(spec in arb_path_lp(), seed in 0u64..1000) {
+        let mut lp = PathLp::new(&spec.bounds);
+        for s in &spec.less {
+            lp.t_less_than(s);
+        }
+        for s in &spec.greater {
+            lp.t_greater_than(s);
+        }
+        lp.set_t_window(0, spec.window_hi);
+        let outcome = lp.solve();
+
+        // Pseudo-random corner/interior samples of the delay box.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut best_seen: Option<i64> = None;
+        for _ in 0..64 {
+            let d: Vec<i64> = spec
+                .bounds
+                .iter()
+                .map(|&(lo, hi)| lo + (next() % (hi - lo + 1) as u64) as i64)
+                .collect();
+            if let Some(t) = best_t_for(&d, &spec) {
+                best_seen = Some(best_seen.map_or(t, |b: i64| b.max(t)));
+            }
+        }
+        match (outcome, best_seen) {
+            (PathLpOutcome::Feasible { t_sup, .. }, Some(best)) => {
+                // The exact supremum dominates every sampled feasible t.
+                prop_assert!(t_sup >= best, "t_sup {t_sup} < sampled {best}");
+            }
+            (PathLpOutcome::Infeasible, Some(best)) => {
+                prop_assert!(false, "LP infeasible but sample found t = {best}");
+            }
+            _ => {} // feasible-but-unsampled or both infeasible: fine
+        }
+    }
+
+    #[test]
+    fn f64_and_rational_simplex_agree(
+        c in proptest::collection::vec(-5i64..=5, 3),
+        rows in proptest::collection::vec(
+            (proptest::collection::vec(-4i64..=4, 3), 0i64..20),
+            1..4
+        ),
+    ) {
+        // maximize c·x over x ∈ [0,10]³ with rows a·x ≤ b.
+        let mut pf: LpProblem<f64> = LpProblem::new();
+        let mut pr: LpProblem<Rat> = LpProblem::new();
+        let xf: Vec<_> = (0..3).map(|_| pf.add_var(Some(0.0), Some(10.0))).collect();
+        let xr: Vec<_> = (0..3)
+            .map(|_| pr.add_var(Some(Rat::ZERO), Some(Rat::from_int(10))))
+            .collect();
+        for i in 0..3 {
+            pf.set_objective(xf[i], c[i] as f64);
+            pr.set_objective(xr[i], Rat::from_int(c[i] as i128));
+        }
+        for (a, b) in &rows {
+            pf.add_constraint(
+                a.iter().enumerate().map(|(i, &ai)| (xf[i], ai as f64)).collect(),
+                Relation::Le,
+                *b as f64,
+            );
+            pr.add_constraint(
+                a.iter()
+                    .enumerate()
+                    .map(|(i, &ai)| (xr[i], Rat::from_int(ai as i128)))
+                    .collect(),
+                Relation::Le,
+                Rat::from_int(*b as i128),
+            );
+        }
+        match (solve(&pf), solve(&pr)) {
+            (LpOutcome::Optimal { value: vf, .. }, LpOutcome::Optimal { value: vr, x }) => {
+                prop_assert!((vf - vr.to_f64()).abs() < 1e-6);
+                prop_assert!(pr.is_feasible(&x));
+            }
+            (LpOutcome::Infeasible, LpOutcome::Infeasible) => {}
+            (LpOutcome::Unbounded, LpOutcome::Unbounded) => {}
+            (a, b) => prop_assert!(false, "disagreement: f64 {a:?} vs rational {b:?}"),
+        }
+    }
+
+    #[test]
+    fn optimal_solutions_are_feasible(
+        rows in proptest::collection::vec(
+            (proptest::collection::vec(-4i64..=4, 4), -10i64..20, 0usize..3),
+            1..5
+        ),
+    ) {
+        // Mixed relations over x ∈ [0, 8]⁴, maximize Σx.
+        let mut p: LpProblem<Rat> = LpProblem::new();
+        let xs: Vec<_> = (0..4)
+            .map(|_| p.add_var(Some(Rat::ZERO), Some(Rat::from_int(8))))
+            .collect();
+        for &x in &xs {
+            p.set_objective(x, Rat::ONE);
+        }
+        for (a, b, rel) in &rows {
+            let relation = match rel {
+                0 => Relation::Le,
+                1 => Relation::Ge,
+                _ => Relation::Eq,
+            };
+            p.add_constraint(
+                a.iter()
+                    .enumerate()
+                    .map(|(i, &ai)| (xs[i], Rat::from_int(ai as i128)))
+                    .collect(),
+                relation,
+                Rat::from_int(*b as i128),
+            );
+        }
+        if let LpOutcome::Optimal { x, value } = solve(&p) {
+            prop_assert!(p.is_feasible(&x));
+            prop_assert_eq!(p.objective_value(&x), value);
+        }
+    }
+}

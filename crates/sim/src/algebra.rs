@@ -1,0 +1,158 @@
+//! Waveform algebra: pointwise Boolean combinators and time shifting.
+//!
+//! These mirror the Timed Boolean Function operations of the paper's §4
+//! on concrete signals — `(f · g)(t) = f(t) ∧ g(t)`,
+//! `delayed(f, τ)(t) = f(t − τ)` — so a TBF can be evaluated two
+//! independent ways (symbolically via `tbf-core`'s `TbfExpr`, concretely
+//! here) and cross-checked against event-driven simulation.
+
+use tbf_logic::Time;
+
+use crate::waveform::Waveform;
+
+impl Waveform {
+    /// Pointwise combination of two waveforms.
+    pub fn combine(&self, other: &Waveform, op: impl Fn(bool, bool) -> bool) -> Waveform {
+        let mut out = Waveform::constant(op(self.initial(), other.initial()));
+        let mut ia = 0usize;
+        let mut ib = 0usize;
+        let a = self.transitions();
+        let b = other.transitions();
+        while ia < a.len() || ib < b.len() {
+            let ta = a.get(ia).map(|&(t, _)| t);
+            let tb = b.get(ib).map(|&(t, _)| t);
+            let t = match (ta, tb) {
+                (Some(x), Some(y)) => x.min(y),
+                (Some(x), None) => x,
+                (None, Some(y)) => y,
+                (None, None) => unreachable!("loop condition"),
+            };
+            while ia < a.len() && a[ia].0 == t {
+                ia += 1;
+            }
+            while ib < b.len() && b[ib].0 == t {
+                ib += 1;
+            }
+            out.record(t, op(self.value_at(t), other.value_at(t)));
+        }
+        out
+    }
+
+    /// Pointwise AND.
+    pub fn and(&self, other: &Waveform) -> Waveform {
+        self.combine(other, |a, b| a && b)
+    }
+
+    /// Pointwise OR.
+    pub fn or(&self, other: &Waveform) -> Waveform {
+        self.combine(other, |a, b| a || b)
+    }
+
+    /// Pointwise XOR.
+    pub fn xor(&self, other: &Waveform) -> Waveform {
+        self.combine(other, |a, b| a ^ b)
+    }
+
+    /// Pointwise negation.
+    pub fn negate(&self) -> Waveform {
+        let mut out = Waveform::constant(!self.initial());
+        for &(t, v) in self.transitions() {
+            out.record(t, !v);
+        }
+        out
+    }
+
+    /// The waveform shifted later by `delay`: `out(t) = self(t − delay)`
+    /// (a pure transport-delay gate).
+    pub fn delayed(&self, delay: Time) -> Waveform {
+        let mut out = Waveform::constant(self.initial());
+        for &(t, v) in self.transitions() {
+            out.record(t + delay, v);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(x: i64) -> Time {
+        Time::from_int(x)
+    }
+
+    fn pulse(start: i64, end: i64) -> Waveform {
+        let mut w = Waveform::constant(false);
+        w.add_pulse(t(start), t(end), true);
+        w
+    }
+
+    #[test]
+    fn and_of_overlapping_pulses() {
+        let a = pulse(0, 10);
+        let b = pulse(5, 15);
+        let c = a.and(&b);
+        assert_eq!(c.transitions(), &[(t(5), true), (t(10), false)]);
+    }
+
+    #[test]
+    fn or_of_disjoint_pulses() {
+        let a = pulse(0, 2);
+        let b = pulse(5, 7);
+        let c = a.or(&b);
+        assert_eq!(c.transitions().len(), 4);
+        assert!(c.value_at(t(1)));
+        assert!(!c.value_at(t(3)));
+        assert!(c.value_at(t(6)));
+    }
+
+    #[test]
+    fn xor_cancels_identical_signals() {
+        let a = pulse(2, 9);
+        assert!(a.xor(&a).is_constant());
+        let b = a.negate();
+        let x = a.xor(&b);
+        assert!(x.is_constant());
+        assert!(x.initial());
+    }
+
+    #[test]
+    fn negate_flips_everything() {
+        let a = pulse(1, 4);
+        let n = a.negate();
+        assert!(n.initial());
+        assert!(!n.value_at(t(2)));
+        assert!(n.value_at(t(5)));
+        assert_eq!(n.negate(), a);
+    }
+
+    #[test]
+    fn delay_shifts_transitions() {
+        let a = pulse(0, 3);
+        let d = a.delayed(t(4));
+        assert_eq!(d.transitions(), &[(t(4), true), (t(7), false)]);
+        assert_eq!(a.delayed(Time::ZERO), a);
+    }
+
+    #[test]
+    fn paper_example2_via_algebra() {
+        // f(a,b)(t) = a(t−1) ⊕ b(t+1): a rising step at 0, b rising at 3
+        // → XOR pulse on [1, 2).
+        let a = Waveform::step(false, Time::ZERO, true);
+        let b = Waveform::step(false, t(3), true);
+        let f = a.delayed(t(1)).xor(&b.delayed(-t(1)));
+        assert_eq!(f.transitions(), &[(t(1), true), (t(2), false)]);
+    }
+
+    #[test]
+    fn rise_fall_buffer_as_algebra() {
+        // §4.1: y(t) = x(t−τr)·x(t−τf) with τr = 3 > τf = 2 on a pulse
+        // [0, 5): output high on [3, 7).
+        let x = pulse(0, 5);
+        let y = x.delayed(t(3)).and(&x.delayed(t(2)));
+        assert_eq!(y.transitions(), &[(t(3), true), (t(7), false)]);
+        // τr = 1 < τf = 2: OR widens instead.
+        let y2 = x.delayed(t(1)).or(&x.delayed(t(2)));
+        assert_eq!(y2.transitions(), &[(t(1), true), (t(7), false)]);
+    }
+}

@@ -1,0 +1,302 @@
+//! The event-driven simulation core.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use tbf_logic::{Netlist, NodeId, Time};
+
+use crate::waveform::Waveform;
+
+/// The result of a [`simulate`] run: one waveform per netlist node.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    waveforms: Vec<Waveform>,
+}
+
+impl SimResult {
+    /// The waveform of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not from the simulated netlist.
+    pub fn waveform(&self, id: NodeId) -> &Waveform {
+        &self.waveforms[id.index()]
+    }
+
+    /// All node waveforms, indexed by node.
+    pub fn waveforms(&self) -> &[Waveform] {
+        &self.waveforms
+    }
+
+    /// The latest transition over the primary outputs, or `None` if no
+    /// output ever changes. This is the simulated "arrival time of the
+    /// last output transition" of Definition 1.
+    pub fn last_output_transition(&self, netlist: &Netlist) -> Option<Time> {
+        netlist
+            .outputs()
+            .iter()
+            .filter_map(|&(_, id)| self.waveforms[id.index()].last_transition())
+            .max()
+    }
+
+    /// The settled values of the primary outputs.
+    pub fn final_outputs(&self, netlist: &Netlist) -> Vec<bool> {
+        netlist
+            .outputs()
+            .iter()
+            .map(|&(_, id)| self.waveforms[id.index()].final_value())
+            .collect()
+    }
+}
+
+/// Simulates `netlist` with the concrete per-node `delays` under the
+/// given per-input `waveforms`, with pure transport-delay semantics:
+/// every gate `g` satisfies `out_g(t) = f(inputs(t − d_g))` exactly.
+///
+/// # Panics
+///
+/// Panics if `delays.len() != netlist.len()` or
+/// `inputs.len() != netlist.inputs().len()`.
+///
+/// # Example
+///
+/// ```
+/// use tbf_logic::{GateKind, Netlist, DelayBounds, Time};
+/// use tbf_sim::{simulate, Stimulus, max_delays};
+///
+/// let mut b = Netlist::builder();
+/// let a = b.input("a");
+/// let g = b.gate(GateKind::Not, "g", vec![a], DelayBounds::fixed(Time::from_int(3)))?;
+/// b.output("f", g);
+/// let n = b.finish()?;
+/// let stim = Stimulus::vector_pair(&[false], &[true]);
+/// let r = simulate(&n, &max_delays(&n), &stim.waveforms(&n));
+/// assert_eq!(r.last_output_transition(&n), Some(Time::from_int(3)));
+/// # Ok::<(), tbf_logic::NetlistError>(())
+/// ```
+pub fn simulate(netlist: &Netlist, delays: &[Time], inputs: &[Waveform]) -> SimResult {
+    assert_eq!(delays.len(), netlist.len(), "one delay per node required");
+    assert_eq!(
+        inputs.len(),
+        netlist.inputs().len(),
+        "one waveform per primary input required"
+    );
+
+    // Settle the circuit at t = −∞ under the initial input values.
+    let initial_inputs: Vec<bool> = inputs.iter().map(Waveform::initial).collect();
+    let initial = netlist.evaluate(&initial_inputs);
+    let mut current: Vec<bool> = initial.clone();
+    let mut waveforms: Vec<Waveform> = initial.iter().map(|&v| Waveform::constant(v)).collect();
+
+    // Local index-based topology (avoids NodeId plumbing in the hot loop).
+    let fanouts: Vec<Vec<usize>> = netlist
+        .nodes()
+        .map(|(id, _)| netlist.fanouts(id).iter().map(|f| f.index()).collect())
+        .collect();
+    let fanins: Vec<Vec<usize>> = netlist
+        .nodes()
+        .map(|(_, n)| n.fanins().iter().map(|f| f.index()).collect())
+        .collect();
+    let kinds: Vec<_> = netlist.nodes().map(|(_, n)| n.kind()).collect();
+
+    // Event = (time, sequence, node, value). The sequence number makes the
+    // heap order deterministic and FIFO among simultaneous events, so a
+    // later-scheduled re-evaluation of the same node wins.
+    let mut heap: BinaryHeap<Reverse<(Time, u64, usize, bool)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    for (pos, &input_id) in netlist.inputs().iter().enumerate() {
+        for &(t, v) in inputs[pos].transitions() {
+            heap.push(Reverse((t, seq, input_id.index(), v)));
+            seq += 1;
+        }
+    }
+
+    let mut scratch = Vec::new();
+    while let Some(Reverse((t, _, n, v))) = heap.pop() {
+        if current[n] == v {
+            // Transport semantics: an event that does not change the value
+            // is inert (e.g. a re-evaluation after a same-instant glitch).
+            continue;
+        }
+        current[n] = v;
+        waveforms[n].record(t, v);
+        for &fanout in &fanouts[n] {
+            scratch.clear();
+            scratch.extend(fanins[fanout].iter().map(|&f| current[f]));
+            let out = kinds[fanout].eval(&scratch);
+            heap.push(Reverse((t + delays[fanout], seq, fanout, out)));
+            seq += 1;
+        }
+    }
+
+    SimResult { waveforms }
+}
+
+/// Every node at its maximum delay bound.
+pub fn max_delays(netlist: &Netlist) -> Vec<Time> {
+    netlist.nodes().map(|(_, n)| n.delay().max).collect()
+}
+
+/// Every node at its minimum delay bound.
+pub fn min_delays(netlist: &Netlist) -> Vec<Time> {
+    netlist.nodes().map(|(_, n)| n.delay().min).collect()
+}
+
+/// A delay assignment sampled uniformly (on the fixed-point grid) within
+/// each node's bounds, driven by the caller's random source.
+pub fn sample_delays(netlist: &Netlist, mut rand_u64: impl FnMut() -> u64) -> Vec<Time> {
+    netlist
+        .nodes()
+        .map(|(_, n)| {
+            let lo = n.delay().min.scaled();
+            let hi = n.delay().max.scaled();
+            let span = (hi - lo) as u64 + 1;
+            Time::from_scaled(lo + (rand_u64() % span) as i64)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stimulus::Stimulus;
+    use tbf_logic::{DelayBounds, GateKind};
+
+    fn t(x: i64) -> Time {
+        Time::from_int(x)
+    }
+
+    fn d(x: i64) -> DelayBounds {
+        DelayBounds::fixed(t(x))
+    }
+
+    fn chain3() -> Netlist {
+        let mut b = Netlist::builder();
+        let a = b.input("a");
+        let g1 = b.gate(GateKind::Not, "g1", vec![a], d(1)).unwrap();
+        let g2 = b.gate(GateKind::Not, "g2", vec![g1], d(2)).unwrap();
+        let g3 = b.gate(GateKind::Buf, "g3", vec![g2], d(3)).unwrap();
+        b.output("f", g3);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn transitions_propagate_with_transport_delay() {
+        let n = chain3();
+        let stim = Stimulus::vector_pair(&[false], &[true]);
+        let r = simulate(&n, &max_delays(&n), &stim.waveforms(&n));
+        assert_eq!(r.last_output_transition(&n), Some(t(6)));
+        assert_eq!(r.final_outputs(&n), vec![true]);
+        let g1 = n.find("g1").unwrap();
+        assert_eq!(r.waveform(g1).transitions(), &[(t(1), false)]);
+    }
+
+    #[test]
+    fn settled_circuit_stays_settled() {
+        let n = chain3();
+        let stim = Stimulus::vector_pair(&[true], &[true]);
+        let r = simulate(&n, &max_delays(&n), &stim.waveforms(&n));
+        assert_eq!(r.last_output_transition(&n), None);
+    }
+
+    #[test]
+    fn reconvergent_glitch_appears_with_unequal_delays() {
+        // a → buf(1), a → inv(2), AND: rising a gives a [1,2) glitch at
+        // the AND (after its own delay).
+        let mut b = Netlist::builder();
+        let a = b.input("a");
+        let buf = b.gate(GateKind::Buf, "buf", vec![a], d(1)).unwrap();
+        let inv = b.gate(GateKind::Not, "inv", vec![a], d(2)).unwrap();
+        let g = b.gate(GateKind::And, "g", vec![buf, inv], d(1)).unwrap();
+        b.output("f", g);
+        let n = b.finish().unwrap();
+        let stim = Stimulus::vector_pair(&[false], &[true]);
+        let r = simulate(&n, &max_delays(&n), &stim.waveforms(&n));
+        let out = n.find("g").unwrap();
+        // Glitch: rises at 1+1=2, falls at 2+1=3.
+        assert_eq!(
+            r.waveform(out).transitions(),
+            &[(t(2), true), (t(3), false)]
+        );
+        assert_eq!(r.last_output_transition(&n), Some(t(3)));
+    }
+
+    #[test]
+    fn equal_delays_absorb_the_glitch() {
+        // Same circuit, equal delays: simultaneous events cancel — the
+        // Figure 6 fixed-delay phenomenon.
+        let mut b = Netlist::builder();
+        let a = b.input("a");
+        let buf = b.gate(GateKind::Buf, "buf", vec![a], d(1)).unwrap();
+        let inv = b.gate(GateKind::Not, "inv", vec![a], d(1)).unwrap();
+        let g = b.gate(GateKind::And, "g", vec![buf, inv], d(1)).unwrap();
+        b.output("f", g);
+        let n = b.finish().unwrap();
+        let stim = Stimulus::vector_pair(&[false], &[true]);
+        let r = simulate(&n, &max_delays(&n), &stim.waveforms(&n));
+        assert_eq!(r.last_output_transition(&n), None);
+    }
+
+    #[test]
+    fn pulse_train_input() {
+        let n = chain3();
+        let mut w = Waveform::constant(false);
+        w.add_pulse(t(-10), t(-8), true);
+        w.add_pulse(t(-2), Time::ZERO, true);
+        let r = simulate(&n, &max_delays(&n), &[w]);
+        // Buffered chain passes both pulses; last transition = 0 + 6.
+        assert_eq!(r.last_output_transition(&n), Some(t(6)));
+        let out = n.find("g3").unwrap();
+        assert_eq!(r.waveform(out).transitions().len(), 4);
+    }
+
+    #[test]
+    fn delay_helpers() {
+        let mut b = Netlist::builder();
+        let a = b.input("a");
+        let g = b
+            .gate(
+                GateKind::Buf,
+                "g",
+                vec![a],
+                DelayBounds::new(t(2), t(5)),
+            )
+            .unwrap();
+        b.output("f", g);
+        let n = b.finish().unwrap();
+        assert_eq!(max_delays(&n)[g.index()], t(5));
+        assert_eq!(min_delays(&n)[g.index()], t(2));
+        let mut x = 0u64;
+        let sampled = sample_delays(&n, || {
+            x += 1;
+            x * 7919
+        });
+        assert!(sampled[g.index()] >= t(2) && sampled[g.index()] <= t(5));
+        assert_eq!(sampled[a.index()], Time::ZERO);
+    }
+
+    #[test]
+    fn simultaneous_fanin_changes_are_consistent() {
+        // XOR with both inputs flipping at t = 0 through equal buffers:
+        // output must not change (even parity preserved).
+        let mut b = Netlist::builder();
+        let x = b.input("x");
+        let y = b.input("y");
+        let bx = b.gate(GateKind::Buf, "bx", vec![x], d(1)).unwrap();
+        let by = b.gate(GateKind::Buf, "by", vec![y], d(1)).unwrap();
+        let g = b.gate(GateKind::Xor, "g", vec![bx, by], d(1)).unwrap();
+        b.output("f", g);
+        let n = b.finish().unwrap();
+        let stim = Stimulus::vector_pair(&[false, true], &[true, false]);
+        let r = simulate(&n, &max_delays(&n), &stim.waveforms(&n));
+        assert_eq!(r.last_output_transition(&n), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "one delay per node")]
+    fn wrong_delay_arity_panics() {
+        let n = chain3();
+        let stim = Stimulus::vector_pair(&[false], &[true]);
+        let _ = simulate(&n, &[Time::ZERO], &stim.waveforms(&n));
+    }
+}

@@ -1,0 +1,41 @@
+//! # tbf-sim — Event-driven gate-level timing simulation
+//!
+//! The dynamic-validation substrate for the Timed-Boolean-Function delay
+//! algorithms: simulates a [`tbf_logic::Netlist`] under a *concrete* gate
+//! delay assignment and arbitrary input [`Waveform`]s, with pure
+//! transport-delay semantics (`out(t) = f(in(t − d))`) and optional
+//! inertial filtering.
+//!
+//! The exact-delay theorems are checked against this engine throughout
+//! the workspace: no sampled delay assignment and input pair/sequence may
+//! ever produce a later final output transition than the computed exact
+//! delay, and on small circuits the bound is attained.
+//!
+//! # Example
+//!
+//! ```
+//! use tbf_logic::generators::figures::figure6_glitch;
+//! use tbf_logic::Time;
+//! use tbf_sim::{simulate, max_delays, Stimulus};
+//!
+//! // Figure 6: with fixed delays the AND output never moves.
+//! let n = figure6_glitch();
+//! let stim = Stimulus::vector_pair(&[false], &[true]);
+//! let result = simulate(&n, &max_delays(&n), &stim.waveforms(&n));
+//! assert_eq!(result.last_output_transition(&n), None);
+//! # let _ = Time::ZERO;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod algebra;
+mod engine;
+pub mod montecarlo;
+pub mod periodic;
+mod stimulus;
+mod waveform;
+
+pub use engine::{max_delays, min_delays, sample_delays, simulate, SimResult};
+pub use stimulus::Stimulus;
+pub use waveform::Waveform;

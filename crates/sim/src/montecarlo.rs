@@ -1,0 +1,188 @@
+//! Monte-Carlo delay distributions.
+//!
+//! The paper's Definition 1 allows gate delays specified by *distribution
+//! functions* but analyzes only the interval model ("In this paper we
+//! only discuss the first type"). This module supplies the sampled
+//! counterpart: draw delay assignments and input pairs, simulate, and
+//! summarize the last-transition distribution — the statistical view the
+//! interval model's worst case bounds from above.
+
+use tbf_logic::{Netlist, Time};
+
+use crate::engine::{sample_delays, simulate};
+use crate::stimulus::Stimulus;
+
+/// A sampled distribution of last-output-transition times.
+///
+/// Trials where no output moves are recorded separately in
+/// [`quiet_trials`](Self::quiet_trials) (a "delay" of zero would skew
+/// the statistics).
+#[derive(Clone, Debug)]
+pub struct DelayDistribution {
+    samples: Vec<Time>,
+    quiet_trials: usize,
+}
+
+impl DelayDistribution {
+    /// Samples `trials` random (vector-pair, delay-assignment) scenarios.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials == 0`.
+    pub fn sample(netlist: &Netlist, trials: usize, mut rand_u64: impl FnMut() -> u64) -> Self {
+        assert!(trials > 0, "need at least one trial");
+        let n_in = netlist.inputs().len();
+        let mut samples = Vec::with_capacity(trials);
+        let mut quiet = 0usize;
+        for _ in 0..trials {
+            let before: Vec<bool> = (0..n_in).map(|_| rand_u64() & 1 == 1).collect();
+            let after: Vec<bool> = (0..n_in).map(|_| rand_u64() & 1 == 1).collect();
+            let delays = sample_delays(netlist, &mut rand_u64);
+            let stim = Stimulus::vector_pair(&before, &after);
+            let result = simulate(netlist, &delays, &stim.waveforms(netlist));
+            match result.last_output_transition(netlist) {
+                Some(t) => samples.push(t),
+                None => quiet += 1,
+            }
+        }
+        samples.sort_unstable();
+        DelayDistribution {
+            samples,
+            quiet_trials: quiet,
+        }
+    }
+
+    /// Number of trials in which some output transitioned.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no trial produced a transition.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Trials in which no output transitioned at all.
+    pub fn quiet_trials(&self) -> usize {
+        self.quiet_trials
+    }
+
+    /// The largest observed last-transition time.
+    pub fn max(&self) -> Option<Time> {
+        self.samples.last().copied()
+    }
+
+    /// The `p`-quantile (`0 ≤ p ≤ 1`) of the observed times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]` or no transitions were observed.
+    pub fn quantile(&self, p: f64) -> Time {
+        assert!((0.0..=1.0).contains(&p), "quantile out of range");
+        assert!(!self.samples.is_empty(), "no transitions observed");
+        let idx = ((self.samples.len() - 1) as f64 * p).round() as usize;
+        self.samples[idx]
+    }
+
+    /// Arithmetic mean of the observed times (units).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transitions were observed.
+    pub fn mean(&self) -> f64 {
+        assert!(!self.samples.is_empty(), "no transitions observed");
+        self.samples.iter().map(|t| t.to_units()).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Histogram over `bins` equal-width buckets spanning `[0, max]`;
+    /// returns `(bucket upper edge, count)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or no transitions were observed.
+    pub fn histogram(&self, bins: usize) -> Vec<(Time, usize)> {
+        assert!(bins > 0, "need at least one bin");
+        let max = self.max().expect("no transitions observed");
+        let width = (max.scaled() / bins as i64).max(1);
+        let mut counts = vec![0usize; bins];
+        for &s in &self.samples {
+            let idx = ((s.scaled() - 1).max(0) / width) as usize;
+            counts[idx.min(bins - 1)] += 1;
+        }
+        counts
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| (Time::from_scaled(width * (i as i64 + 1)), c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbf_logic::generators::adders::paper_bypass_adder;
+    use tbf_logic::{DelayBounds, GateKind, Time};
+
+    fn rng(seed: u64) -> impl FnMut() -> u64 {
+        let mut s = seed | 1;
+        move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        }
+    }
+
+    #[test]
+    fn distribution_on_the_bypass_adder() {
+        let n = paper_bypass_adder();
+        let d = DelayDistribution::sample(&n, 400, rng(42));
+        assert!(d.len() + d.quiet_trials() == 400);
+        assert!(!d.is_empty());
+        // The sampled worst case never exceeds the exact bound 24 and the
+        // quantiles are ordered.
+        assert!(d.max().unwrap() <= Time::from_int(24));
+        assert!(d.quantile(0.5) <= d.quantile(0.95));
+        assert!(d.quantile(0.95) <= d.max().unwrap());
+        assert!(d.mean() > 0.0);
+    }
+
+    #[test]
+    fn histogram_counts_everything() {
+        let n = paper_bypass_adder();
+        let d = DelayDistribution::sample(&n, 200, rng(7));
+        let hist = d.histogram(8);
+        assert_eq!(hist.len(), 8);
+        let total: usize = hist.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, d.len());
+        // Edges ascend.
+        assert!(hist.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn fixed_chain_is_deterministic() {
+        let mut b = tbf_logic::Netlist::builder();
+        let x = b.input("x");
+        let g = b
+            .gate(
+                GateKind::Not,
+                "g",
+                vec![x],
+                DelayBounds::fixed(Time::from_int(5)),
+            )
+            .unwrap();
+        b.output("f", g);
+        let n = b.finish().unwrap();
+        let d = DelayDistribution::sample(&n, 100, rng(3));
+        // Trials where x changed transition at exactly 5.
+        assert_eq!(d.max(), Some(Time::from_int(5)));
+        assert_eq!(d.quantile(0.0), Time::from_int(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_panics() {
+        let n = paper_bypass_adder();
+        let _ = DelayDistribution::sample(&n, 0, rng(1));
+    }
+}

@@ -1,0 +1,239 @@
+//! Periodic-input (cycle-time) simulation support — the `P` input family
+//! of the paper's Definition 1.
+//!
+//! In an FSM, the combinational core sees a new vector every clock
+//! period `T` and its outputs must have settled to the static value of
+//! vector `k` before edge `k+1` samples them. [`settles_within`] checks
+//! that property dynamically for one delay assignment and vector train;
+//! [`min_settling_period`] binary-searches the smallest passing period —
+//! a *lower* bound estimate of the cycle time (exact over the sampled
+//! trains and delays only), complementing the sound upper bound
+//! `D(C, ·, ω⁻)` from `tbf-core`.
+
+use tbf_logic::{Netlist, Time};
+
+use crate::engine::simulate;
+use crate::waveform::Waveform;
+
+/// Builds per-input waveforms applying `vectors[k]` at time `k·period`,
+/// holding `initial` beforehand.
+///
+/// # Panics
+///
+/// Panics if a vector's arity differs from `initial.len()` or
+/// `period ≤ 0`.
+pub fn periodic_waveforms(
+    initial: &[bool],
+    vectors: &[Vec<bool>],
+    period: Time,
+) -> Vec<Waveform> {
+    assert!(period > Time::ZERO, "period must be positive");
+    let mut waveforms: Vec<Waveform> = initial
+        .iter()
+        .map(|&v| Waveform::constant(v))
+        .collect();
+    for (k, vector) in vectors.iter().enumerate() {
+        assert_eq!(vector.len(), initial.len(), "vector arity mismatch");
+        let at = period * k as i64;
+        for (w, &v) in waveforms.iter_mut().zip(vector) {
+            w.record(at, v);
+        }
+    }
+    waveforms
+}
+
+/// Checks the FSM sampling property: with `vectors[k]` applied at
+/// `k·period`, every primary output holds the static value of vector `k`
+/// just before edge `k+1` (and the final vector settles within one more
+/// period).
+///
+/// # Panics
+///
+/// Panics on arity mismatches or a non-positive period.
+pub fn settles_within(
+    netlist: &Netlist,
+    delays: &[Time],
+    initial: &[bool],
+    vectors: &[Vec<bool>],
+    period: Time,
+) -> bool {
+    let waveforms = periodic_waveforms(initial, vectors, period);
+    let result = simulate(netlist, delays, &waveforms);
+    for (k, vector) in vectors.iter().enumerate() {
+        let expect = netlist.evaluate_outputs(vector);
+        let sample_at = period * (k as i64 + 1);
+        for (&(_, out), &want) in netlist.outputs().iter().zip(&expect) {
+            if result.waveform(out).value_before(sample_at) != want {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Smallest period (on the fixed-point grid, within `[lo, hi]`) at which
+/// every sampled train/delay combination settles — by bisection over the
+/// period, sampling `trains` random vector trains of length `train_len`
+/// and `delay_samples` in-bounds delay assignments per probe.
+///
+/// A dynamic **lower-bound estimate** of the minimum cycle time: real
+/// worst cases may be missed by sampling (use `tbf-core`'s
+/// `sequences_delay` for the sound upper bound).
+///
+/// # Panics
+///
+/// Panics if `lo > hi` or `lo ≤ 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn min_settling_period(
+    netlist: &Netlist,
+    lo: Time,
+    hi: Time,
+    trains: usize,
+    train_len: usize,
+    delay_samples: usize,
+    mut rand_u64: impl FnMut() -> u64,
+) -> Time {
+    assert!(Time::ZERO < lo && lo <= hi, "bad period window");
+    let n_in = netlist.inputs().len();
+    // Pre-sample the scenario set so every probed period faces the same
+    // adversaries (keeps the predicate monotone in practice).
+    let mut scenarios = Vec::new();
+    for _ in 0..trains {
+        let initial: Vec<bool> = (0..n_in).map(|_| rand_u64() & 1 == 1).collect();
+        let train: Vec<Vec<bool>> = (0..train_len)
+            .map(|_| (0..n_in).map(|_| rand_u64() & 1 == 1).collect())
+            .collect();
+        for _ in 0..delay_samples {
+            let delays = crate::engine::sample_delays(netlist, &mut rand_u64);
+            scenarios.push((initial.clone(), train.clone(), delays));
+        }
+    }
+    let passes = |period: Time| {
+        scenarios
+            .iter()
+            .all(|(initial, train, delays)| {
+                settles_within(netlist, delays, initial, train, period)
+            })
+    };
+    let (mut lo_s, mut hi_s) = (lo.scaled(), hi.scaled());
+    if passes(Time::from_scaled(lo_s)) {
+        return lo;
+    }
+    // Invariant: lo fails, hi passes (hi is clamped to passing; if even
+    // hi fails, return hi as the best known).
+    if !passes(Time::from_scaled(hi_s)) {
+        return hi;
+    }
+    while lo_s + 1 < hi_s {
+        let mid = lo_s + (hi_s - lo_s) / 2;
+        if passes(Time::from_scaled(mid)) {
+            hi_s = mid;
+        } else {
+            lo_s = mid;
+        }
+    }
+    Time::from_scaled(hi_s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::max_delays;
+    use tbf_logic::{DelayBounds, GateKind};
+
+    fn t(x: i64) -> Time {
+        Time::from_int(x)
+    }
+
+    fn chain(total: i64) -> Netlist {
+        let mut b = Netlist::builder();
+        let x = b.input("x");
+        let g = b
+            .gate(
+                GateKind::Not,
+                "g",
+                vec![x],
+                DelayBounds::fixed(t(total)),
+            )
+            .unwrap();
+        b.output("f", g);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn periodic_waveforms_switch_on_schedule() {
+        let ws = periodic_waveforms(
+            &[false],
+            &[vec![true], vec![false], vec![true]],
+            t(5),
+        );
+        assert!(ws[0].value_at(t(1)));
+        assert!(!ws[0].value_at(t(6)));
+        assert!(ws[0].value_at(t(11)));
+    }
+
+    #[test]
+    fn settling_respects_the_delay() {
+        let n = chain(4);
+        let delays = max_delays(&n);
+        let train = vec![vec![true], vec![false], vec![true], vec![false]];
+        // Period 5 > delay 4: settles. Period 3 < 4: output lags a cycle.
+        assert!(settles_within(&n, &delays, &[false], &train, t(5)));
+        assert!(!settles_within(&n, &delays, &[false], &train, t(3)));
+        // Exactly the delay: the transition lands at the edge; sampling
+        // just before it still sees the stale value.
+        assert!(!settles_within(&n, &delays, &[false], &train, t(4)));
+        assert!(settles_within(
+            &n,
+            &delays,
+            &[false],
+            &train,
+            t(4) + Time::EPSILON
+        ));
+    }
+
+    #[test]
+    fn min_period_brackets_the_delay() {
+        let n = chain(4);
+        let mut s = 1u64;
+        let mut rng = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let p = min_settling_period(&n, t(1), t(10), 8, 4, 2, &mut rng);
+        // The inverter chain needs just over 4 units.
+        assert!(p > t(4) && p <= t(5), "got {p}");
+    }
+
+    #[test]
+    fn constant_output_settles_at_any_period() {
+        let mut b = Netlist::builder();
+        let x = b.input("x");
+        let nx = b
+            .gate(GateKind::Not, "nx", vec![x], DelayBounds::fixed(t(1)))
+            .unwrap();
+        let g = b
+            .gate(GateKind::And, "g", vec![x, nx], DelayBounds::fixed(t(1)))
+            .unwrap();
+        b.output("f", g);
+        let n = b.finish().unwrap();
+        // x·x̄ = 0: glitches exist but the sampled value just before each
+        // edge is the settled 0 whenever period > 2.
+        let train = vec![vec![true], vec![false], vec![true]];
+        assert!(settles_within(
+            &n,
+            &max_delays(&n),
+            &[false],
+            &train,
+            t(3)
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_panics() {
+        let _ = periodic_waveforms(&[false], &[vec![true]], Time::ZERO);
+    }
+}

@@ -1,0 +1,157 @@
+//! Input stimulus construction for the paper's input families.
+
+use tbf_logic::{Netlist, Time};
+
+use crate::waveform::Waveform;
+
+/// Builds per-input waveforms for the input families of Definition 1:
+/// vector pairs (`2`) and vector sequences applied at `t ≤ 0` (`ω⁻`).
+///
+/// # Example
+///
+/// ```
+/// use tbf_sim::Stimulus;
+/// use tbf_logic::Time;
+///
+/// let stim = Stimulus::vector_sequence(
+///     &[false, false],
+///     vec![
+///         (Time::from_int(-5), vec![true, false]),
+///         (Time::ZERO, vec![true, true]),
+///     ],
+/// );
+/// assert_eq!(stim.arity(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Stimulus {
+    waveforms: Vec<Waveform>,
+}
+
+impl Stimulus {
+    /// The 2-vector family: `before` applied since `t = −∞`, `after`
+    /// applied simultaneously at `t = 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors differ in length.
+    pub fn vector_pair(before: &[bool], after: &[bool]) -> Stimulus {
+        assert_eq!(before.len(), after.len(), "vector arity mismatch");
+        Stimulus {
+            waveforms: before
+                .iter()
+                .zip(after)
+                .map(|(&b, &a)| Waveform::step(b, Time::ZERO, a))
+                .collect(),
+        }
+    }
+
+    /// The ω⁻ family: an initial vector held since `t = −∞`, then a
+    /// sequence of vectors at the given (ascending, ≤ 0) times; the last
+    /// is conventionally at `t = 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if arities mismatch, times descend, or a time is positive.
+    pub fn vector_sequence(initial: &[bool], sequence: Vec<(Time, Vec<bool>)>) -> Stimulus {
+        let mut waveforms: Vec<Waveform> = initial
+            .iter()
+            .map(|&v| Waveform::constant(v))
+            .collect();
+        let mut prev = Time::MIN;
+        for (t, vec) in sequence {
+            assert!(t >= prev, "sequence times must ascend");
+            assert!(t <= Time::ZERO, "ω⁻ vectors are applied at t ≤ 0");
+            assert_eq!(vec.len(), waveforms.len(), "vector arity mismatch");
+            prev = t;
+            for (w, &v) in waveforms.iter_mut().zip(&vec) {
+                w.record(t, v);
+            }
+        }
+        Stimulus { waveforms }
+    }
+
+    /// A stimulus from explicit per-input waveforms (pulse trains etc.).
+    pub fn from_waveforms(waveforms: Vec<Waveform>) -> Stimulus {
+        Stimulus { waveforms }
+    }
+
+    /// Number of inputs driven.
+    pub fn arity(&self) -> usize {
+        self.waveforms.len()
+    }
+
+    /// The per-input waveforms, checked against a netlist's input count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stimulus arity differs from `netlist.inputs().len()`.
+    pub fn waveforms(&self, netlist: &Netlist) -> Vec<Waveform> {
+        assert_eq!(
+            self.arity(),
+            netlist.inputs().len(),
+            "stimulus arity {} != netlist inputs {}",
+            self.arity(),
+            netlist.inputs().len()
+        );
+        self.waveforms.clone()
+    }
+
+    /// The per-input waveforms without a netlist check.
+    pub fn into_waveforms(self) -> Vec<Waveform> {
+        self.waveforms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_pair_steps_at_zero() {
+        let s = Stimulus::vector_pair(&[false, true], &[true, true]);
+        let ws = s.into_waveforms();
+        assert_eq!(ws[0], Waveform::step(false, Time::ZERO, true));
+        assert!(ws[1].is_constant());
+    }
+
+    #[test]
+    fn vector_sequence_builds_trains() {
+        let s = Stimulus::vector_sequence(
+            &[false],
+            vec![
+                (Time::from_int(-4), vec![true]),
+                (Time::from_int(-2), vec![false]),
+                (Time::ZERO, vec![true]),
+            ],
+        );
+        let w = &s.into_waveforms()[0];
+        assert_eq!(w.transitions().len(), 3);
+        assert!(w.value_at(Time::from_int(-3)));
+        assert!(!w.value_at(Time::from_int(-1)));
+        assert!(w.value_at(Time::ZERO));
+    }
+
+    #[test]
+    #[should_panic(expected = "ascend")]
+    fn descending_times_panic() {
+        let _ = Stimulus::vector_sequence(
+            &[false],
+            vec![
+                (Time::ZERO, vec![true]),
+                (Time::from_int(-1), vec![false]),
+            ],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "t ≤ 0")]
+    fn positive_times_panic() {
+        let _ = Stimulus::vector_sequence(&[false], vec![(Time::from_int(1), vec![true])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_mismatch_panics() {
+        let _ = Stimulus::vector_pair(&[false], &[true, true]);
+    }
+}

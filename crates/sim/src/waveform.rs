@@ -1,0 +1,284 @@
+//! Piecewise-constant Boolean waveforms.
+
+use tbf_logic::Time;
+
+/// A Boolean signal over time: an initial value (held since `t = −∞`) and
+/// a sorted list of value-changing transitions.
+///
+/// The value *at* a transition instant is the new value (right-continuous
+/// convention); [`value_before`](Self::value_before) gives the `t⁻`
+/// limit used by the paper's `f(b⁻)` evaluations.
+///
+/// # Example
+///
+/// ```
+/// use tbf_sim::Waveform;
+/// use tbf_logic::Time;
+///
+/// let mut w = Waveform::constant(false);
+/// w.record(Time::from_int(2), true);
+/// w.record(Time::from_int(5), false);
+/// assert!(!w.value_at(Time::from_int(1)));
+/// assert!(w.value_at(Time::from_int(2)));
+/// assert!(w.value_before(Time::from_int(5)));
+/// assert!(!w.value_at(Time::from_int(5)));
+/// assert_eq!(w.last_transition(), Some(Time::from_int(5)));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Waveform {
+    initial: bool,
+    transitions: Vec<(Time, bool)>,
+}
+
+impl Waveform {
+    /// A constant signal.
+    pub fn constant(value: bool) -> Waveform {
+        Waveform {
+            initial: value,
+            transitions: Vec::new(),
+        }
+    }
+
+    /// A step: `before` until `at`, `after` from `at` on. No transition
+    /// is stored when `before == after`.
+    pub fn step(before: bool, at: Time, after: bool) -> Waveform {
+        let mut w = Waveform::constant(before);
+        w.record(at, after);
+        w
+    }
+
+    /// A waveform from explicit transitions (unsorted input accepted;
+    /// redundant entries dropped).
+    pub fn from_transitions(initial: bool, mut transitions: Vec<(Time, bool)>) -> Waveform {
+        transitions.sort_by_key(|&(t, _)| t);
+        let mut w = Waveform::constant(initial);
+        for (t, v) in transitions {
+            w.record(t, v);
+        }
+        w
+    }
+
+    /// The value held since `t = −∞`.
+    pub fn initial(&self) -> bool {
+        self.initial
+    }
+
+    /// The value-changing transitions, ascending in time.
+    pub fn transitions(&self) -> &[(Time, bool)] {
+        &self.transitions
+    }
+
+    /// The signal value at `t` (right-continuous).
+    pub fn value_at(&self, t: Time) -> bool {
+        match self.transitions.partition_point(|&(tt, _)| tt <= t) {
+            0 => self.initial,
+            k => self.transitions[k - 1].1,
+        }
+    }
+
+    /// The signal value just before `t` (the `t⁻` limit).
+    pub fn value_before(&self, t: Time) -> bool {
+        match self.transitions.partition_point(|&(tt, _)| tt < t) {
+            0 => self.initial,
+            k => self.transitions[k - 1].1,
+        }
+    }
+
+    /// The final (settled) value.
+    pub fn final_value(&self) -> bool {
+        self.transitions.last().map_or(self.initial, |&(_, v)| v)
+    }
+
+    /// The time of the last transition, or `None` for a constant signal.
+    pub fn last_transition(&self) -> Option<Time> {
+        self.transitions.last().map(|&(t, _)| t)
+    }
+
+    /// Appends or merges a transition at `t` to value `v`.
+    ///
+    /// Same-instant updates overwrite each other (simultaneous events
+    /// collapse); updates that do not change the signal are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is earlier than an already recorded transition —
+    /// the simulator always records in event order.
+    pub fn record(&mut self, t: Time, v: bool) {
+        if let Some(&(last_t, _)) = self.transitions.last() {
+            assert!(t >= last_t, "record out of order: {t:?} after {last_t:?}");
+            if t == last_t {
+                // Replace the simultaneous transition, then drop it if it
+                // became a no-op.
+                self.transitions.pop();
+                let prev = self.final_value();
+                if v != prev {
+                    self.transitions.push((t, v));
+                }
+                return;
+            }
+        }
+        if v != self.final_value() {
+            self.transitions.push((t, v));
+        }
+    }
+
+    /// Adds a pulse of the given `value` spanning `[start, end)` on top of
+    /// the waveform's *final* segment. Intended for building stimulus
+    /// trains; `start` must not precede the last existing transition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start >= end` or the pulse overlaps recorded history.
+    pub fn add_pulse(&mut self, start: Time, end: Time, value: bool) {
+        assert!(start < end, "empty pulse");
+        let restore = self.final_value();
+        self.record(start, value);
+        self.record(end, restore);
+    }
+
+    /// Removes pulses strictly narrower than `width` (inertial-delay
+    /// filtering, applied repeatedly to a fixed point). The initial and
+    /// final values are preserved.
+    pub fn filter_inertial(&self, width: Time) -> Waveform {
+        let mut cur = self.clone();
+        loop {
+            let mut out = Waveform::constant(cur.initial);
+            let mut changed = false;
+            let ts = cur.transitions.clone();
+            let mut i = 0;
+            while i < ts.len() {
+                let (t, v) = ts[i];
+                if let Some(&(t2, _)) = ts.get(i + 1) {
+                    if t2 - t < width {
+                        // Pulse [t, t2) narrower than the inertia: drop
+                        // both edges.
+                        changed = true;
+                        i += 2;
+                        continue;
+                    }
+                }
+                out.record(t, v);
+                i += 1;
+            }
+            if !changed {
+                return out;
+            }
+            cur = out;
+        }
+    }
+
+    /// True if the waveform never changes.
+    pub fn is_constant(&self) -> bool {
+        self.transitions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(x: i64) -> Time {
+        Time::from_int(x)
+    }
+
+    #[test]
+    fn constant_waveform() {
+        let w = Waveform::constant(true);
+        assert!(w.value_at(t(-100)));
+        assert!(w.value_at(t(100)));
+        assert!(w.is_constant());
+        assert_eq!(w.last_transition(), None);
+        assert!(w.final_value());
+    }
+
+    #[test]
+    fn step_semantics() {
+        let w = Waveform::step(false, Time::ZERO, true);
+        assert!(!w.value_at(t(-1)));
+        assert!(w.value_at(Time::ZERO)); // right-continuous
+        assert!(!w.value_before(Time::ZERO));
+        assert!(w.value_at(t(1)));
+        assert_eq!(w.last_transition(), Some(Time::ZERO));
+        // Degenerate step.
+        let w2 = Waveform::step(true, Time::ZERO, true);
+        assert!(w2.is_constant());
+    }
+
+    #[test]
+    fn record_drops_noops_and_merges_simultaneous() {
+        let mut w = Waveform::constant(false);
+        w.record(t(1), false); // no-op
+        assert!(w.is_constant());
+        w.record(t(2), true);
+        w.record(t(2), false); // cancels the simultaneous transition
+        assert!(w.is_constant());
+        w.record(t(3), true);
+        w.record(t(3), true); // same-instant same-value
+        assert_eq!(w.transitions(), &[(t(3), true)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn out_of_order_record_panics() {
+        let mut w = Waveform::constant(false);
+        w.record(t(5), true);
+        w.record(t(4), false);
+    }
+
+    #[test]
+    fn from_transitions_sorts_and_normalizes() {
+        let w = Waveform::from_transitions(
+            false,
+            vec![(t(5), false), (t(1), true), (t(3), true)],
+        );
+        // (3, true) is a no-op after (1, true).
+        assert_eq!(w.transitions(), &[(t(1), true), (t(5), false)]);
+    }
+
+    #[test]
+    fn pulses() {
+        let mut w = Waveform::constant(false);
+        w.add_pulse(t(2), t(3), true);
+        w.add_pulse(t(10), t(11), true);
+        assert!(!w.value_at(t(1)));
+        assert!(w.value_at(t(2)));
+        assert!(!w.value_at(t(3)));
+        assert!(w.value_at(t(10)));
+        assert_eq!(w.last_transition(), Some(t(11)));
+        assert!(!w.final_value());
+    }
+
+    #[test]
+    fn inertial_filter_removes_narrow_pulses() {
+        let mut w = Waveform::constant(false);
+        w.add_pulse(t(2), t(3), true); // width 1
+        w.add_pulse(t(10), t(15), true); // width 5
+        let f = w.filter_inertial(t(2));
+        assert_eq!(f.transitions(), &[(t(10), true), (t(15), false)]);
+        // Width-5 pulse survives a width-5 filter (strictly narrower only).
+        let f2 = w.filter_inertial(t(5));
+        assert_eq!(f2.transitions(), &[(t(10), true), (t(15), false)]);
+        let f3 = w.filter_inertial(t(6));
+        assert!(f3.is_constant());
+    }
+
+    #[test]
+    fn inertial_filter_cascades() {
+        // Removing a narrow pulse can merge segments into another narrow
+        // pulse; the filter iterates to a fixed point.
+        let w = Waveform::from_transitions(
+            false,
+            vec![
+                (t(0), true),
+                (t(10), false), // wide high [0,10)
+                (t(11), true),  // narrow low [10,11)
+                (t(12), false), // narrow high [11,12)
+            ],
+        );
+        let f = w.filter_inertial(t(2));
+        // Narrow [10,11) low pulse dropped → high from 0 to 12 → the
+        // trailing [11,12) pulse merges; fixed point: high [0, 12).
+        assert!(!f.final_value());
+        assert_eq!(f.transitions().first(), Some(&(t(0), true)));
+    }
+}

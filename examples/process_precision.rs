@@ -1,0 +1,44 @@
+//! Manufacturing-precision analysis (paper §10, Theorem 5): sweep the
+//! lower-bound fraction `f = dmin/dmax` and watch the exact 2-vector
+//! delay plateau below the threshold `f* = D(C,[0,dmax],2)/L`.
+//!
+//! ```sh
+//! cargo run --example process_precision
+//! ```
+
+use tbf_suite::core::lower_bounds::{precision_sweep, precision_threshold};
+use tbf_suite::core::DelayOptions;
+use tbf_suite::logic::generators::adders::paper_bypass_adder;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let adder = paper_bypass_adder();
+    let opts = DelayOptions::default();
+
+    let f_star = precision_threshold(&adder, &opts)?;
+    println!("circuit: paper §11 bypass adder (L = {})", adder.topological_delay());
+    println!("Theorem 5 threshold f* = D(C,[0,dmax],2)/L = {f_star:.3}\n");
+
+    println!("{:>6}  {:>8}   note", "f", "D(2)");
+    let sweep = precision_sweep(&adder, 11, &opts)?;
+    let plateau = sweep[0].delay;
+    for p in &sweep {
+        let f = p.fraction();
+        let note = if f < f_star {
+            "plateau (lower bounds irrelevant below f*)"
+        } else if p.delay == plateau {
+            "still at the unbounded-model delay"
+        } else {
+            "lower bounds now bite"
+        };
+        let bar = "█".repeat((p.delay.to_units() / 2.0).round() as usize);
+        println!("{f:>6.2}  {:>8}   {bar} {note}", p.delay.to_string());
+    }
+
+    println!();
+    println!(
+        "interpretation (paper §10): a process that cannot achieve\n\
+         f > {f_star:.2} gains nothing in 2-vector delay from extra precision —\n\
+         a cheaper, less precise process fabricates equally fast parts."
+    );
+    Ok(())
+}

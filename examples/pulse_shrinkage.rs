@@ -1,0 +1,74 @@
+//! Pulse shrinkage through unequal rise/fall delays (paper §4.1,
+//! Figure 3), observed three ways: TBF algebra, netlist expansion +
+//! event-driven simulation, and inertial filtering.
+//!
+//! ```sh
+//! cargo run --example pulse_shrinkage
+//! ```
+
+use tbf_suite::core::TbfExpr;
+use tbf_suite::logic::rise_fall::pulse_shrinkage_chain;
+use tbf_suite::logic::{Netlist, Time};
+use tbf_suite::sim::{max_delays, simulate, Waveform};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let t = Time::from_int;
+
+    // A chain of 4 buffers, each with rise delay 3 and fall delay 2:
+    // every stage shrinks a high pulse by 1 unit.
+    let mut b = Netlist::builder();
+    let x = b.input("x");
+    let out = pulse_shrinkage_chain(&mut b, x, 4, t(2), t(1), "chain")?;
+    b.output("y", out);
+    let n = b.finish()?;
+
+    println!("chain: 4 stages, rise 3 / fall 2 (shrinks 1 unit per stage)\n");
+
+    // Drive pulses of decreasing width through the chain.
+    for width in [8, 6, 5, 4, 3] {
+        let mut w = Waveform::constant(false);
+        w.add_pulse(Time::ZERO, t(width), true);
+        let r = simulate(&n, &max_delays(&n), &[w]);
+        let y = r.waveform(out);
+        let desc = if y.is_constant() {
+            "pulse swallowed".to_string()
+        } else {
+            let first = y.transitions().first().map(|&(tt, _)| tt);
+            let last = y.last_transition();
+            format!(
+                "output pulse [{}, {}) width {}",
+                first.map(|v| v.to_string()).unwrap_or_default(),
+                last.map(|v| v.to_string()).unwrap_or_default(),
+                match (first, last) {
+                    (Some(a), Some(b)) => (b - a).to_string(),
+                    _ => "?".into(),
+                }
+            )
+        };
+        println!("input pulse width {width:>2}: {desc}");
+    }
+
+    // The same phenomenon straight from the §4.1 TBF model.
+    println!("\nTBF check (one stage, rise 3 / fall 2): y(t) = x(t−3)·x(t−2)");
+    let stage = TbfExpr::rise_fall_buffer(0, t(3), t(2));
+    let wave = |_: usize, time: Time| time >= Time::ZERO && time < t(5);
+    let probe = [2.5, 3.5, 6.5, 7.5];
+    for p in probe {
+        println!(
+            "  y({p}) = {}",
+            stage.eval_at(Time::from_units(p), &wave) as u8
+        );
+    }
+
+    // Inertial filtering removes what the transport model keeps.
+    println!("\ninertial filter on the stage-1 output (inertia 2):");
+    let mut w = Waveform::constant(false);
+    w.add_pulse(Time::ZERO, t(3), true);
+    let r = simulate(&n, &max_delays(&n), &[w]);
+    let stage1 = n.find("chain_s1").unwrap();
+    let raw = r.waveform(stage1);
+    let filtered = raw.filter_inertial(t(2));
+    println!("  transport: {:?}", raw.transitions());
+    println!("  inertial : {:?}", filtered.transitions());
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Quickstart: parse a circuit, compute its three delays, and compare.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use tbf_suite::core::{
+    floating_delay, sequences_delay, topological_delay, two_vector_delay, DelayOptions,
+};
+use tbf_suite::logic::parsers::bench::parse_bench;
+use tbf_suite::logic::parsers::mcnc_like_delays;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Any ISCAS-85 .bench netlist drops in here; this is the genuine c17.
+    let src = "
+# c17 — ISCAS-85 benchmark
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+";
+    // MCNC-like delays with dmin = 0.9·dmax, as in the paper's §12 runs.
+    let netlist = parse_bench(src, mcnc_like_delays)?;
+    println!(
+        "c17: {} gates, {} inputs, {} outputs",
+        netlist.gate_count(),
+        netlist.inputs().len(),
+        netlist.outputs().len()
+    );
+
+    let opts = DelayOptions::default();
+    let topo = topological_delay(&netlist);
+    let two = two_vector_delay(&netlist, &opts)?;
+    let seq = sequences_delay(&netlist, &opts)?;
+    let float = floating_delay(&netlist, &opts)?;
+
+    println!("topological (STA) delay : {topo}");
+    println!("exact 2-vector delay    : {}", two.delay);
+    println!("exact ω⁻ (sequences)    : {}", seq.delay);
+    println!("floating delay          : {}", float.delay);
+    println!();
+    println!("per-output 2-vector delays:");
+    for o in &two.outputs {
+        println!("  {}: {} (topological {})", o.name, o.delay, o.topological);
+    }
+    println!();
+    println!(
+        "search effort: {} breakpoints, {} resolvents, {} LPs",
+        two.stats.breakpoints_visited, two.stats.resolvents, two.stats.lps_solved
+    );
+    Ok(())
+}

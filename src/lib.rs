@@ -1,0 +1,24 @@
+//! # tbf-suite — Exact circuit delay computation with Timed Boolean Functions
+//!
+//! Facade crate for the workspace reproducing *"Circuit Delay Models and
+//! Their Exact Computation Using Timed Boolean Functions"* (Lam, Brayton,
+//! Sangiovanni-Vincentelli, UCB/ERL M93/6, 1993).
+//!
+//! Re-exports the component crates:
+//!
+//! * [`bdd`] — ROBDD package,
+//! * [`logic`] — gate-level netlists, parsers, and circuit generators,
+//! * [`lp`] — exact-rational simplex and path-constraint LPs,
+//! * [`sim`] — event-driven timing simulation,
+//! * [`core`] — the Timed Boolean Function delay algorithms.
+//!
+//! See the `examples/` directory for runnable end-to-end scenarios and
+//! `EXPERIMENTS.md` for the paper-reproduction index.
+
+#![forbid(unsafe_code)]
+
+pub use tbf_bdd as bdd;
+pub use tbf_core as core;
+pub use tbf_logic as logic;
+pub use tbf_lp as lp;
+pub use tbf_sim as sim;

@@ -1,0 +1,146 @@
+//! Suite-level invariants on ISCAS-style benchmark circuits (the §12
+//! substitution set, at sizes that stay fast in debug builds — the full
+//! table runs via `cargo run -p tbf-bench --release --bin table1`).
+
+use tbf_suite::core::{sequences_delay, two_vector_delay, DelayOptions};
+use tbf_suite::logic::generators::adders::{carry_bypass, carry_select, ripple_carry};
+use tbf_suite::logic::generators::random::random_dag;
+use tbf_suite::logic::generators::trees::{comparator, mux_tree, parity_tree};
+use tbf_suite::logic::generators::unit_ninety_percent;
+use tbf_suite::logic::parsers::bench::c17;
+use tbf_suite::logic::parsers::mcnc_like_delays;
+use tbf_suite::logic::{Netlist, Time};
+
+fn suite() -> Vec<(&'static str, Netlist)> {
+    let d = unit_ninety_percent();
+    vec![
+        ("c17", c17(mcnc_like_delays)),
+        ("rca8", ripple_carry(8, d)),
+        ("bypass4x2", carry_bypass(4, 2, d)),
+        ("select2x2", carry_select(2, 2, d)),
+        ("parity16", parity_tree(16, d)),
+        ("muxtree3", mux_tree(3, d)),
+        ("cmp8", comparator(8, d)),
+    ]
+}
+
+#[test]
+fn exact_delays_bounded_by_topology() {
+    let opts = DelayOptions::default();
+    for (name, n) in suite() {
+        let two = two_vector_delay(&n, &opts)
+            .unwrap_or_else(|e| panic!("{name}: {e}"))
+            .delay;
+        let seq = sequences_delay(&n, &opts)
+            .unwrap_or_else(|e| panic!("{name}: {e}"))
+            .delay;
+        let topo = n.topological_delay();
+        assert!(two <= seq, "{name}: D(2)={two} > D(ω⁻)={seq}");
+        assert!(seq <= topo, "{name}: D(ω⁻)={seq} > L={topo}");
+        assert!(two > Time::ZERO, "{name}: every suite circuit can switch");
+    }
+}
+
+#[test]
+fn random_dags_give_exact_answers_or_sound_bounds() {
+    // Path-dense random DAGs may legitimately hit the resource caps (the
+    // paper's own evaluation could not complete C6288); the contract is
+    // a typed error carrying sound bounds, never a wrong "exact" value.
+    let opts = DelayOptions::default();
+    let n = random_dag(8, 60, 3, 0xC0FFEE);
+    let topo = n.topological_delay();
+    match two_vector_delay(&n, &opts) {
+        Ok(r) => {
+            assert!(r.delay <= topo);
+            assert!(r.delay > Time::ZERO);
+        }
+        Err(e) => {
+            let (lo, hi) = e.bounds().expect("cap errors carry bounds");
+            assert!(lo <= hi, "bounds inverted: [{lo}, {hi}]");
+            assert!(hi <= topo, "upper bound {hi} above topological {topo}");
+        }
+    }
+}
+
+#[test]
+fn trees_have_no_false_paths() {
+    let opts = DelayOptions::default();
+    let d = unit_ninety_percent();
+    for (name, n) in [
+        ("parity16", parity_tree(16, d)),
+        ("muxtree3", mux_tree(3, d)),
+        ("cmp8", comparator(8, d)),
+    ] {
+        let r = two_vector_delay(&n, &opts).unwrap();
+        assert_eq!(
+            r.delay, r.topological,
+            "{name}: trees must have zero false-path slack"
+        );
+    }
+}
+
+#[test]
+fn bypass_adders_have_false_paths() {
+    // The evaluation's headline shape: bypass/select adders lose a big
+    // fraction of the topological delay once false paths are discharged.
+    let opts = DelayOptions::default();
+    let d = unit_ninety_percent();
+    for blocks in [2usize, 3] {
+        let n = carry_bypass(4, blocks, d);
+        let r = two_vector_delay(&n, &opts).unwrap();
+        assert!(
+            r.delay < r.topological,
+            "bypass 4x{blocks}: expected false-path slack, got none"
+        );
+    }
+    // Slack grows with block count: each extra block adds a bypassable
+    // ripple segment.
+    let s2 = {
+        let r = two_vector_delay(&carry_bypass(4, 2, d), &opts).unwrap();
+        r.false_path_slack()
+    };
+    let s3 = {
+        let r = two_vector_delay(&carry_bypass(4, 3, d), &opts).unwrap();
+        r.false_path_slack()
+    };
+    assert!(s3 > s2, "slack should grow with blocks: {s2} vs {s3}");
+}
+
+#[test]
+fn ripple_carry_critical_path_is_true() {
+    // A plain ripple adder has no bypass: the carry chain is sensitizable
+    // and the exact delay equals the topological one.
+    let opts = DelayOptions::default();
+    let n = ripple_carry(8, unit_ninety_percent());
+    let r = two_vector_delay(&n, &opts).unwrap();
+    assert_eq!(r.delay, r.topological);
+}
+
+#[test]
+fn c17_exact_delays() {
+    let opts = DelayOptions::default();
+    let n = c17(mcnc_like_delays);
+    let r = two_vector_delay(&n, &opts).unwrap();
+    // Three NAND levels of MCNC-like 1.2-unit gates: L = 3.6; c17's
+    // paths are all sensitizable.
+    assert_eq!(r.topological, Time::from_units(3.6));
+    assert_eq!(r.delay, r.topological);
+}
+
+#[test]
+fn per_output_reports_are_complete() {
+    let opts = DelayOptions::default();
+    for (name, n) in suite() {
+        let r = two_vector_delay(&n, &opts).unwrap();
+        assert_eq!(
+            r.outputs.len(),
+            n.outputs().len(),
+            "{name}: one entry per output"
+        );
+        let max = r.outputs.iter().map(|o| o.delay).max().unwrap();
+        assert_eq!(r.delay, max, "{name}: circuit delay is the max over outputs");
+        for o in &r.outputs {
+            assert!(o.delay <= o.topological, "{name}/{}", o.name);
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! End-to-end reproduction of every worked example in the paper
+//! (UCB/ERL M93/6), run through the public API of the facade crate.
+
+use tbf_suite::core::{
+    floating_delay, lower_bounds, sequences_delay, topological_delay, two_vector_delay,
+    DelayOptions, TbfExpr,
+};
+use tbf_suite::logic::generators::adders::paper_bypass_adder;
+use tbf_suite::logic::generators::figures::{
+    figure1_three_paths, figure4_example3, figure5_example4, figure6_glitch,
+};
+use tbf_suite::logic::paths::all_paths;
+use tbf_suite::logic::{DelayBounds, Time};
+
+fn t(x: i64) -> Time {
+    Time::from_int(x)
+}
+
+fn opts() -> DelayOptions {
+    DelayOptions::default()
+}
+
+/// §3 / Example 1 (Figure 1): the sensitization of P1 for a falling
+/// transition induces |P3| > |P1| ∧ |P2| < |P1|, infeasible for the
+/// figure's bounds — realizability must be checked with an LP.
+#[test]
+fn example1_falling_sensitization_is_infeasible() {
+    use tbf_suite::lp::{PathLp, PathLpOutcome};
+    let n = figure1_three_paths();
+    let p1 = n.find("p1").unwrap();
+    let p2 = n.find("p2").unwrap();
+    let p3 = n.find("p3").unwrap();
+    // LP variables: the three first-stage gates (the AND has zero delay).
+    let bounds: Vec<(i64, i64)> = [p1, p2, p3]
+        .iter()
+        .map(|&g| {
+            let d = n.node(g).delay();
+            (d.min.scaled(), d.max.scaled())
+        })
+        .collect();
+    // t identifies the arrival along P1: t > |P2| and t < |P3| with
+    // t within [|P1|min, |P1|max] — encode |P1| = t via window.
+    let mut lp = PathLp::new(&bounds);
+    lp.t_greater_than(&[1]); // |P2| < t
+    lp.t_less_than(&[2]); // t < |P3|
+    lp.set_t_window(
+        n.node(p1).delay().min.scaled(),
+        n.node(p1).delay().max.scaled(),
+    );
+    assert_eq!(lp.solve(), PathLpOutcome::Infeasible);
+}
+
+/// §4 / Example 2 (Figure 2): the TBF `a(t−1) ⊕ b(t+1)` applied to
+/// concrete waveforms.
+#[test]
+fn example2_tbf_waveform() {
+    let f = TbfExpr::var(0, -t(1)).xor(TbfExpr::var(1, t(1)));
+    // a: rising step at 0; b: pulse on [1, 4).
+    let wave = |i: usize, time: Time| {
+        if i == 0 {
+            time >= Time::ZERO
+        } else {
+            time >= t(1) && time < t(4)
+        }
+    };
+    // a(t−1) high from 1; b(t+1) high on [0, 3).
+    assert!(f.eval_at(Time::from_units(0.5), &wave)); // 0 ⊕ 1
+    assert!(!f.eval_at(Time::from_units(1.5), &wave)); // 1 ⊕ 1
+    assert!(f.eval_at(Time::from_units(3.5), &wave)); // 1 ⊕ 0
+}
+
+/// §5 / Example 3 (Figure 4): the mixed Boolean LP semantics; the exact
+/// 2-vector delay is 4 (equal to the topological length here).
+#[test]
+fn example3_delay_is_4() {
+    let n = figure4_example3();
+    let r = two_vector_delay(&n, &opts()).unwrap();
+    assert_eq!(r.delay, t(4));
+    assert_eq!(topological_delay(&n), t(4));
+}
+
+/// §7.1 / Example 4 (Figure 5): the path groups of the TBF network at
+/// t = 2.8 (positive / negative / delay-dependent).
+#[test]
+fn example4_tbf_network_partition() {
+    let n = figure5_example4();
+    let out = n.find("g5").unwrap();
+    let t28 = Time::from_units(2.8);
+    let paths = all_paths(&n, out, 100).unwrap();
+    let negative: Vec<_> = paths
+        .iter()
+        .filter(|p| p.length_min(&n) >= t28)
+        .collect();
+    let straddling: Vec<_> = paths.iter().filter(|p| p.straddles(&n, t28)).collect();
+    assert_eq!(paths.len(), 5);
+    assert_eq!(negative.len(), 1);
+    assert_eq!(straddling.len(), 2);
+    // The negative path is the 4-gate one through g1-g2-g3-g5.
+    assert_eq!(negative[0].gates().len(), 4);
+}
+
+/// §8 / Example 5 (Figure 6): with fixed delays the sequences delay is 0
+/// while the floating delay is 2; with variable delays they agree
+/// (Theorems 1–2); the floating delay is invariant across gate delay
+/// models (Theorem 4).
+#[test]
+fn example5_fixed_vs_variable_delays() {
+    let fixed = figure6_glitch();
+    assert_eq!(sequences_delay(&fixed, &opts()).unwrap().delay, Time::ZERO);
+    assert_eq!(floating_delay(&fixed, &opts()).unwrap().delay, t(2));
+
+    let variable = fixed.map_delays(|d| DelayBounds::new(d.max - Time::EPSILON, d.max));
+    assert_eq!(sequences_delay(&variable, &opts()).unwrap().delay, t(2));
+    assert_eq!(floating_delay(&variable, &opts()).unwrap().delay, t(2));
+}
+
+/// §11 (Figures 7–9): the 4-bit ripple-bypass adder. Topological length
+/// 40; exact 2-vector carry delay 24.
+#[test]
+fn section11_bypass_adder() {
+    let n = paper_bypass_adder();
+    assert_eq!(topological_delay(&n), t(40));
+    let r = two_vector_delay(&n, &opts()).unwrap();
+    assert_eq!(r.delay, t(24));
+    // §11 walks exactly two intervals: [24,40] then [20,24].
+    assert!(r.stats.breakpoints_visited >= 2);
+    assert!(r.stats.lps_solved >= 1);
+}
+
+/// §9 / Theorem 3: the sequences delay is invariant under every lower
+/// bound (computed, not just asserted, across a spread of dmin choices).
+#[test]
+fn theorem3_lower_bound_invariance() {
+    let base = paper_bypass_adder();
+    let mut delays = Vec::new();
+    for f in [0.0, 0.25, 0.5, 0.75, 0.95] {
+        let n = base.map_delays(|d| DelayBounds::scaled_min(d.max, f));
+        delays.push(sequences_delay(&n, &opts()).unwrap().delay);
+    }
+    assert!(
+        delays.windows(2).all(|w| w[0] == w[1]),
+        "sequences delay varied with dmin: {delays:?}"
+    );
+}
+
+/// §10 / Theorem 5: below the precision threshold
+/// `f* = D(C,[0,dmax],2)/L` the 2-vector delay is constant.
+#[test]
+fn theorem5_precision_threshold() {
+    let n = paper_bypass_adder();
+    let f_star = lower_bounds::precision_threshold(&n, &opts()).unwrap();
+    assert!((f_star - 0.6).abs() < 1e-9, "f* = 24/40 = 0.6, got {f_star}");
+    let sweep = lower_bounds::precision_sweep(&n, 11, &opts()).unwrap();
+    let base = sweep[0].delay;
+    for p in &sweep {
+        if (p.fraction()) < f_star {
+            assert_eq!(p.delay, base, "plateau broken at f = {}", p.fraction());
+        }
+        assert!(p.delay <= n.topological_delay());
+        assert!(p.delay >= base);
+    }
+    // At f → 1 (fixed worst-case delays) the false path is still false:
+    // the delay stays 24 even at f = 1 for this circuit (the bypass
+    // covers the ripple path logically, not just temporally).
+    let at_one = sweep.last().unwrap().delay;
+    assert!(at_one >= base);
+}
+
+/// The three delay models order as the theory requires on every figure
+/// circuit: `D(2) ≤ D(ω⁻) ≤ floating ≤ topological`.
+#[test]
+fn delay_model_ordering() {
+    for n in [
+        figure1_three_paths(),
+        figure4_example3(),
+        figure5_example4(),
+        figure6_glitch(),
+        paper_bypass_adder(),
+    ] {
+        let two = two_vector_delay(&n, &opts()).unwrap().delay;
+        let seq = sequences_delay(&n, &opts()).unwrap().delay;
+        let float = floating_delay(&n, &opts()).unwrap().delay;
+        let topo = topological_delay(&n);
+        assert!(two <= seq, "D(2)={two} > D(ω⁻)={seq}");
+        assert!(seq <= float, "D(ω⁻)={seq} > floating={float}");
+        assert!(float <= topo, "floating={float} > topological={topo}");
+    }
+}

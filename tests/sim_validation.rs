@@ -1,0 +1,192 @@
+//! Dynamic cross-validation: the event-driven simulator must never
+//! observe a later last-output-transition than the exact delays computed
+//! symbolically, and on small circuits the bound must be attained.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use tbf_suite::core::{sequences_delay, two_vector_delay, DelayOptions};
+use tbf_suite::logic::generators::adders::paper_bypass_adder;
+use tbf_suite::logic::generators::figures::{figure4_example3, figure6_glitch};
+use tbf_suite::logic::generators::trees::parity_tree;
+use tbf_suite::logic::generators::random::random_dag;
+use tbf_suite::logic::{DelayBounds, Netlist, Time};
+use tbf_suite::sim::{sample_delays, simulate, Stimulus, Waveform};
+
+fn opts() -> DelayOptions {
+    DelayOptions::default()
+}
+
+/// Monte-Carlo 2-vector check: random vector pairs × random delay
+/// assignments never beat the exact bound; report the best observed.
+fn mc_two_vector(netlist: &Netlist, trials: usize, seed: u64) -> Option<Time> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_in = netlist.inputs().len();
+    let mut best: Option<Time> = None;
+    for _ in 0..trials {
+        let before: Vec<bool> = (0..n_in).map(|_| rng.gen()).collect();
+        let after: Vec<bool> = (0..n_in).map(|_| rng.gen()).collect();
+        let delays = sample_delays(netlist, || rng.gen());
+        let stim = Stimulus::vector_pair(&before, &after);
+        let r = simulate(netlist, &delays, &stim.waveforms(netlist));
+        if let Some(t) = r.last_output_transition(netlist) {
+            best = Some(best.map_or(t, |b: Time| b.max(t)));
+        }
+    }
+    best
+}
+
+/// Monte-Carlo ω⁻ check with random pulse trains ending at t = 0.
+fn mc_sequences(netlist: &Netlist, trials: usize, seed: u64) -> Option<Time> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_in = netlist.inputs().len();
+    let mut best: Option<Time> = None;
+    for _ in 0..trials {
+        let mut waveforms = Vec::with_capacity(n_in);
+        for _ in 0..n_in {
+            let mut w = Waveform::constant(rng.gen());
+            // A few random transitions at t ≤ 0.
+            let k = rng.gen_range(0..5);
+            let mut times: Vec<i64> = (0..k)
+                .map(|_| -rng.gen_range(0..200_000i64))
+                .collect();
+            times.sort_unstable();
+            times.dedup();
+            for tt in times {
+                let v: bool = rng.gen();
+                w.record(Time::from_scaled(tt), v);
+            }
+            waveforms.push(w);
+        }
+        let delays = sample_delays(netlist, || rng.gen());
+        let r = simulate(netlist, &delays, &waveforms);
+        if let Some(t) = r.last_output_transition(netlist) {
+            best = Some(best.map_or(t, |b: Time| b.max(t)));
+        }
+    }
+    best
+}
+
+#[test]
+fn simulation_never_exceeds_two_vector_bound() {
+    for (name, n) in [
+        ("fig4", figure4_example3()),
+        ("fig6", figure6_glitch()),
+        ("bypass", paper_bypass_adder()),
+        (
+            "parity",
+            parity_tree(6, DelayBounds::new(Time::from_units(0.9), Time::from_int(1))),
+        ),
+        ("rand", random_dag(6, 30, 3, 0x5EED)),
+    ] {
+        let exact = two_vector_delay(&n, &opts()).unwrap().delay;
+        if let Some(observed) = mc_two_vector(&n, 300, 42) {
+            assert!(
+                observed <= exact,
+                "{name}: simulated {observed} beats exact 2-vector bound {exact}"
+            );
+        }
+    }
+}
+
+#[test]
+fn simulation_never_exceeds_sequences_bound() {
+    for (name, n) in [
+        ("fig4", figure4_example3()),
+        ("fig6", figure6_glitch()),
+        ("bypass", paper_bypass_adder()),
+        ("rand", random_dag(6, 30, 3, 0xFACE)),
+    ] {
+        let exact = sequences_delay(&n, &opts()).unwrap().delay;
+        if let Some(observed) = mc_sequences(&n, 300, 7) {
+            assert!(
+                observed <= exact,
+                "{name}: simulated {observed} beats exact ω⁻ bound {exact}"
+            );
+        }
+    }
+}
+
+#[test]
+fn two_vector_bound_is_attained_on_figure4() {
+    // Exhaustive over vector pairs, delays at the witness corner: the
+    // exact bound 4 must be *achieved* (d1 = d2 = 2, a falls, b high).
+    let n = figure4_example3();
+    let exact = two_vector_delay(&n, &opts()).unwrap().delay;
+    let mut best: Option<Time> = None;
+    for pair in 0..16u8 {
+        let before = [(pair & 1) != 0, (pair & 2) != 0];
+        let after = [(pair & 4) != 0, (pair & 8) != 0];
+        // Corner delay assignments: each gate at min or max.
+        for corner in 0..4u8 {
+            let delays: Vec<Time> = n
+                .nodes()
+                .map(|(id, node)| {
+                    let bit = (corner >> (id.index() % 2)) & 1 == 1;
+                    if bit {
+                        node.delay().max
+                    } else {
+                        node.delay().min
+                    }
+                })
+                .collect();
+            let stim = Stimulus::vector_pair(&before, &after);
+            let r = simulate(&n, &delays, &stim.waveforms(&n));
+            if let Some(t) = r.last_output_transition(&n) {
+                best = Some(best.map_or(t, |b: Time| b.max(t)));
+            }
+        }
+    }
+    assert_eq!(best, Some(exact), "bound not attained");
+}
+
+#[test]
+fn bypass_adder_bound_attained_by_witness() {
+    // The §11 witness: all propagates high (a=0101, b=1010), carry-in
+    // rises, g0 at its max 20, mux at max 4 → output transitions at 24.
+    let n = paper_bypass_adder();
+    let exact = two_vector_delay(&n, &opts()).unwrap().delay;
+    assert_eq!(exact, Time::from_int(24));
+
+    let mut delays: Vec<Time> = n.nodes().map(|(_, node)| node.delay().max).collect();
+    // Keep every gate at max: the bypass path c0→g0→g5 is 24 long.
+    let _ = &mut delays;
+    // Inputs: c0 0→1, aᵢ/bᵢ constant with all pᵢ = 1.
+    let mut before = vec![false];
+    let mut after = vec![true];
+    for i in 0..4 {
+        let a = i % 2 == 0;
+        before.push(a);
+        after.push(a);
+    }
+    for i in 0..4 {
+        let b = i % 2 == 1;
+        before.push(b);
+        after.push(b);
+    }
+    let stim = Stimulus::vector_pair(&before, &after);
+    let r = simulate(&n, &delays, &stim.waveforms(&n));
+    assert_eq!(
+        r.last_output_transition(&n),
+        Some(Time::from_int(24)),
+        "witness input must drive the output at exactly the exact delay"
+    );
+}
+
+#[test]
+fn topological_bound_never_exceeded_dynamically() {
+    // Sanity net under the exact bounds: simulation ≤ topological too.
+    let n = paper_bypass_adder();
+    let topo = n.topological_delay();
+    if let Some(obs) = mc_two_vector(&n, 500, 99) {
+        assert!(obs <= topo);
+    }
+}
+
+#[test]
+fn figure6_fixed_delays_never_glitch_dynamically() {
+    // The sequences delay of 0 is corroborated by simulation: no pulse
+    // train can make the fixed-delay AND output move.
+    let n = figure6_glitch();
+    assert_eq!(mc_sequences(&n, 500, 1234), None);
+}

@@ -1,0 +1,153 @@
+//! Three-way semantic cross-check of the TBF formalism (paper §4): on
+//! fixed-delay circuits, the symbolic TBF, the waveform algebra, and the
+//! event-driven simulator must produce identical signals.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use tbf_suite::core::TbfExpr;
+use tbf_suite::logic::generators::random::random_dag;
+use tbf_suite::logic::{GateKind, Netlist, NodeId, Time};
+use tbf_suite::sim::{max_delays, simulate, Waveform};
+
+/// Composes the output waveform through the waveform algebra, gate by
+/// gate (transport delays at each node's maximum = its fixed delay).
+fn algebra_waveforms(netlist: &Netlist, inputs: &[Waveform]) -> Vec<Waveform> {
+    let mut out: Vec<Waveform> = Vec::with_capacity(netlist.len());
+    let mut pos = 0usize;
+    for (_, node) in netlist.nodes() {
+        let w = match node.kind() {
+            GateKind::Input => {
+                let w = inputs[pos].clone();
+                pos += 1;
+                w
+            }
+            GateKind::Const0 => Waveform::constant(false),
+            GateKind::Const1 => Waveform::constant(true),
+            kind => {
+                let fanins: Vec<&Waveform> =
+                    node.fanins().iter().map(|f| &out[f.index()]).collect();
+                let combined = match kind {
+                    GateKind::And => fanins
+                        .iter()
+                        .skip(1)
+                        .fold(fanins[0].clone(), |acc, w| acc.and(w)),
+                    GateKind::Or => fanins
+                        .iter()
+                        .skip(1)
+                        .fold(fanins[0].clone(), |acc, w| acc.or(w)),
+                    GateKind::Nand => fanins
+                        .iter()
+                        .skip(1)
+                        .fold(fanins[0].clone(), |acc, w| acc.and(w))
+                        .negate(),
+                    GateKind::Nor => fanins
+                        .iter()
+                        .skip(1)
+                        .fold(fanins[0].clone(), |acc, w| acc.or(w))
+                        .negate(),
+                    GateKind::Xor => fanins
+                        .iter()
+                        .skip(1)
+                        .fold(fanins[0].clone(), |acc, w| acc.xor(w)),
+                    GateKind::Xnor => fanins
+                        .iter()
+                        .skip(1)
+                        .fold(fanins[0].clone(), |acc, w| acc.xor(w))
+                        .negate(),
+                    GateKind::Not => fanins[0].negate(),
+                    GateKind::Buf => fanins[0].clone(),
+                    GateKind::Maj => {
+                        let ab = fanins[0].and(fanins[1]);
+                        let ac = fanins[0].and(fanins[2]);
+                        let bc = fanins[1].and(fanins[2]);
+                        ab.or(&ac).or(&bc)
+                    }
+                    GateKind::Mux => {
+                        let sel = fanins[0];
+                        let d0 = sel.negate().and(fanins[1]);
+                        let d1 = sel.and(fanins[2]);
+                        d0.or(&d1)
+                    }
+                    GateKind::Input | GateKind::Const0 | GateKind::Const1 => {
+                        unreachable!("handled above")
+                    }
+                };
+                combined.delayed(node.delay().max)
+            }
+        };
+        out.push(w);
+    }
+    out
+}
+
+fn random_train(rng: &mut StdRng) -> Waveform {
+    let mut w = Waveform::constant(rng.gen());
+    let mut times: Vec<i64> = (0..rng.gen_range(0..6))
+        .map(|_| rng.gen_range(-40_000i64..200_000))
+        .collect();
+    times.sort_unstable();
+    times.dedup();
+    for t in times {
+        let v: bool = rng.gen();
+        w.record(Time::from_scaled(t), v);
+    }
+    w
+}
+
+fn check_circuit(netlist: &Netlist, output: NodeId, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let fixed = netlist.map_delays(|d| tbf_suite::logic::DelayBounds::fixed(d.max));
+    let inputs: Vec<Waveform> = (0..fixed.inputs().len())
+        .map(|_| random_train(&mut rng))
+        .collect();
+
+    // 1. Event-driven simulation.
+    let sim = simulate(&fixed, &max_delays(&fixed), &inputs);
+    // 2. Waveform algebra.
+    let algebra = algebra_waveforms(&fixed, &inputs);
+    // 3. Symbolic TBF.
+    let tbf = TbfExpr::of_netlist_node(&fixed, output);
+    let wave_oracle = |i: usize, t: Time| inputs[i].value_at(t);
+
+    // Sample densely around every transition of either signal.
+    let mut sample_points: Vec<Time> = vec![Time::from_int(-10), Time::from_int(50)];
+    for w in [&sim.waveform(output), &&algebra[output.index()]] {
+        for &(t, _) in w.transitions() {
+            sample_points.push(t - Time::EPSILON);
+            sample_points.push(t);
+            sample_points.push(t + Time::EPSILON);
+        }
+    }
+    for &t in &sample_points {
+        let by_sim = sim.waveform(output).value_at(t);
+        let by_algebra = algebra[output.index()].value_at(t);
+        let by_tbf = tbf.eval_at(t, &wave_oracle);
+        assert_eq!(by_sim, by_algebra, "sim vs algebra at {t} (seed {seed})");
+        assert_eq!(by_sim, by_tbf, "sim vs TBF at {t} (seed {seed})");
+    }
+}
+
+#[test]
+fn three_semantics_agree_on_random_circuits() {
+    for seed in 0..24u64 {
+        let n = random_dag(4, 12, 3, seed.wrapping_mul(0x9E37).wrapping_add(3));
+        for &(_, out) in n.outputs() {
+            check_circuit(&n, out, seed);
+        }
+    }
+}
+
+#[test]
+fn three_semantics_agree_on_paper_circuits() {
+    use tbf_suite::logic::generators::adders::paper_bypass_adder;
+    use tbf_suite::logic::generators::figures::{figure4_example3, figure6_glitch};
+    for (i, n) in [figure4_example3(), figure6_glitch(), paper_bypass_adder()]
+        .iter()
+        .enumerate()
+    {
+        for &(_, out) in n.outputs() {
+            check_circuit(n, out, 1000 + i as u64);
+        }
+    }
+}
