@@ -24,10 +24,7 @@ impl Cube {
 
     /// The phase of `v` in this cube, or `None` if unconstrained.
     pub fn phase(&self, v: Var) -> Option<bool> {
-        self.literals
-            .iter()
-            .find(|(w, _)| *w == v)
-            .map(|&(_, p)| p)
+        self.literals.iter().find(|(w, _)| *w == v).map(|&(_, p)| p)
     }
 
     /// Number of constrained variables.
@@ -163,11 +160,7 @@ mod tests {
             let in_f = m.eval(f, &a);
             let covering = cubes
                 .iter()
-                .filter(|c| {
-                    c.literals()
-                        .iter()
-                        .all(|&(v, phase)| a[v.index()] == phase)
-                })
+                .filter(|c| c.literals().iter().all(|&(v, phase)| a[v.index()] == phase))
                 .count();
             assert_eq!(covering, usize::from(in_f), "assignment {a:?}");
         }

@@ -46,7 +46,7 @@ mod ops;
 mod transfer;
 
 pub use cube::{Cube, Cubes};
-pub use limit::NodeLimitExceeded;
+pub use limit::{NodeLimitExceeded, OpAbort, OpBudget};
 pub use manager::BddManager;
 pub use node::{Bdd, Var};
 pub use transfer::{best_order, transfer};

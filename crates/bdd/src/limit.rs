@@ -1,5 +1,6 @@
-//! Node-limit support: fallible operation variants that abort cleanly
-//! when the manager grows past a configured cap.
+//! Node-limit and cancellation support: fallible operation variants that
+//! abort cleanly when the manager grows past a configured cap or a
+//! cooperative cancel signal fires.
 //!
 //! A single `xor` or quantification between large BDDs can allocate an
 //! unbounded number of nodes *inside* one call — external polling of
@@ -8,6 +9,13 @@
 //! return [`NodeLimitExceeded`]; the manager stays fully consistent
 //! (unique table and caches only ever hold canonical entries), so the
 //! caller can clear caches, compact, or give up with typed bounds.
+//!
+//! The `try_*_b` variants additionally poll an [`OpBudget`]'s cancel
+//! callback at the same allocation granularity, so a deadline or
+//! user-initiated cancellation interrupts a long-running operation
+//! *mid-flight* rather than after it completes.  Rate-limiting of any
+//! expensive check (e.g. reading the clock) belongs inside the callback;
+//! the manager calls it unconditionally.
 
 use std::fmt;
 
@@ -29,17 +37,112 @@ impl fmt::Display for NodeLimitExceeded {
 
 impl std::error::Error for NodeLimitExceeded {}
 
+/// Why a budgeted (`try_*_b`) operation stopped early.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpAbort {
+    /// The node cap was hit (see [`NodeLimitExceeded`]).
+    NodeLimit(NodeLimitExceeded),
+    /// The budget's cancel callback reported cancellation.
+    Cancelled,
+}
+
+impl fmt::Display for OpAbort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpAbort::NodeLimit(e) => e.fmt(f),
+            OpAbort::Cancelled => write!(f, "BDD operation cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for OpAbort {}
+
+impl From<NodeLimitExceeded> for OpAbort {
+    fn from(e: NodeLimitExceeded) -> Self {
+        OpAbort::NodeLimit(e)
+    }
+}
+
+/// A per-operation resource budget: a node cap plus an optional
+/// cooperative cancel callback, both polled at node-allocation
+/// granularity inside the `try_*_b` operations.
+///
+/// The callback returns `true` to request cancellation.  It is invoked
+/// on every allocation attempt, so it must be cheap — callers that need
+/// an expensive check (deadlines reading the clock, atomics shared
+/// across threads) should rate-limit inside the callback.
+#[derive(Clone, Copy)]
+pub struct OpBudget<'a> {
+    /// Maximum node count before the operation aborts.
+    pub max_nodes: usize,
+    /// Optional cancellation probe; `true` means "stop now".
+    pub cancel: Option<&'a dyn Fn() -> bool>,
+}
+
+impl fmt::Debug for OpBudget<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OpBudget")
+            .field("max_nodes", &self.max_nodes)
+            .field("cancel", &self.cancel.map(|_| "<fn>"))
+            .finish()
+    }
+}
+
+impl OpBudget<'static> {
+    /// A budget with only a node cap and no cancellation.
+    #[must_use]
+    pub fn nodes_only(max_nodes: usize) -> Self {
+        OpBudget {
+            max_nodes,
+            cancel: None,
+        }
+    }
+}
+
+impl<'a> OpBudget<'a> {
+    /// A budget with a node cap and a cancel probe.
+    #[must_use]
+    pub fn with_cancel(max_nodes: usize, cancel: &'a dyn Fn() -> bool) -> Self {
+        OpBudget {
+            max_nodes,
+            cancel: Some(cancel),
+        }
+    }
+
+    fn check(&self, node_count: usize) -> Result<(), OpAbort> {
+        if let Some(cancel) = self.cancel {
+            if cancel() {
+                return Err(OpAbort::Cancelled);
+            }
+        }
+        if node_count > self.max_nodes {
+            return Err(OpAbort::NodeLimit(NodeLimitExceeded {
+                limit: self.max_nodes,
+            }));
+        }
+        Ok(())
+    }
+}
+
+/// Maps an abort from a cancel-free budget back to the legacy error
+/// type.  `Cancelled` cannot occur without a callback; fold it into the
+/// node-limit error defensively rather than panicking.
+fn abort_to_limit(a: OpAbort, limit: usize) -> NodeLimitExceeded {
+    match a {
+        OpAbort::NodeLimit(e) => e,
+        OpAbort::Cancelled => NodeLimitExceeded { limit },
+    }
+}
+
 impl BddManager {
-    fn mk_limited(
+    fn mk_budgeted(
         &mut self,
         level: u32,
         lo: Bdd,
         hi: Bdd,
-        limit: usize,
-    ) -> Result<Bdd, NodeLimitExceeded> {
-        if self.node_count() > limit {
-            return Err(NodeLimitExceeded { limit });
-        }
+        budget: &OpBudget<'_>,
+    ) -> Result<Bdd, OpAbort> {
+        budget.check(self.node_count())?;
         Ok(self.mk(level, lo, hi))
     }
 
@@ -50,6 +153,17 @@ impl BddManager {
     /// Returns [`NodeLimitExceeded`] when the cap is hit; the manager is
     /// left consistent and usable.
     pub fn try_not(&mut self, f: Bdd, limit: usize) -> Result<Bdd, NodeLimitExceeded> {
+        self.try_not_b(f, &OpBudget::nodes_only(limit))
+            .map_err(|a| abort_to_limit(a, limit))
+    }
+
+    /// Negation under a full [`OpBudget`] (node cap + cancellation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OpAbort`] when the cap is hit or cancellation fires;
+    /// the manager is left consistent and usable.
+    pub fn try_not_b(&mut self, f: Bdd, budget: &OpBudget<'_>) -> Result<Bdd, OpAbort> {
         if f.is_false() {
             return Ok(Bdd::TRUE);
         }
@@ -60,9 +174,9 @@ impl BddManager {
             return Ok(r);
         }
         let n = self.node(f);
-        let lo = self.try_not(n.lo, limit)?;
-        let hi = self.try_not(n.hi, limit)?;
-        let r = self.mk_limited(n.level, lo, hi, limit)?;
+        let lo = self.try_not_b(n.lo, budget)?;
+        let hi = self.try_not_b(n.hi, budget)?;
+        let r = self.mk_budgeted(n.level, lo, hi, budget)?;
         self.not_cache.insert(f, r);
         Ok(r)
     }
@@ -79,6 +193,22 @@ impl BddManager {
         h: Bdd,
         limit: usize,
     ) -> Result<Bdd, NodeLimitExceeded> {
+        self.try_ite_b(f, g, h, &OpBudget::nodes_only(limit))
+            .map_err(|a| abort_to_limit(a, limit))
+    }
+
+    /// If-then-else under a full [`OpBudget`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OpAbort`] when the cap is hit or cancellation fires.
+    pub fn try_ite_b(
+        &mut self,
+        f: Bdd,
+        g: Bdd,
+        h: Bdd,
+        budget: &OpBudget<'_>,
+    ) -> Result<Bdd, OpAbort> {
         if f.is_true() {
             return Ok(g);
         }
@@ -92,7 +222,7 @@ impl BddManager {
             return Ok(f);
         }
         if g.is_false() && h.is_true() {
-            return self.try_not(f, limit);
+            return self.try_not_b(f, budget);
         }
         let key = (f, g, h);
         if let Some(&r) = self.ite_cache.get(&key) {
@@ -121,9 +251,9 @@ impl BddManager {
         let (f0, f1) = (cof(self, f, false), cof(self, f, true));
         let (g0, g1) = (cof(self, g, false), cof(self, g, true));
         let (h0, h1) = (cof(self, h, false), cof(self, h, true));
-        let lo = self.try_ite(f0, g0, h0, limit)?;
-        let hi = self.try_ite(f1, g1, h1, limit)?;
-        let r = self.mk_limited(top, lo, hi, limit)?;
+        let lo = self.try_ite_b(f0, g0, h0, budget)?;
+        let hi = self.try_ite_b(f1, g1, h1, budget)?;
+        let r = self.mk_budgeted(top, lo, hi, budget)?;
         self.ite_cache.insert(key, r);
         Ok(r)
     }
@@ -134,8 +264,18 @@ impl BddManager {
     ///
     /// Returns [`NodeLimitExceeded`] when the cap is hit.
     pub fn try_xor(&mut self, f: Bdd, g: Bdd, limit: usize) -> Result<Bdd, NodeLimitExceeded> {
-        let ng = self.try_not(g, limit)?;
-        self.try_ite(f, ng, g, limit)
+        self.try_xor_b(f, g, &OpBudget::nodes_only(limit))
+            .map_err(|a| abort_to_limit(a, limit))
+    }
+
+    /// XOR under a full [`OpBudget`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OpAbort`] when the cap is hit or cancellation fires.
+    pub fn try_xor_b(&mut self, f: Bdd, g: Bdd, budget: &OpBudget<'_>) -> Result<Bdd, OpAbort> {
+        let ng = self.try_not_b(g, budget)?;
+        self.try_ite_b(f, ng, g, budget)
     }
 
     /// Conjunction that aborts once the manager exceeds `limit` nodes.
@@ -144,7 +284,17 @@ impl BddManager {
     ///
     /// Returns [`NodeLimitExceeded`] when the cap is hit.
     pub fn try_and(&mut self, f: Bdd, g: Bdd, limit: usize) -> Result<Bdd, NodeLimitExceeded> {
-        self.try_ite(f, g, Bdd::FALSE, limit)
+        self.try_and_b(f, g, &OpBudget::nodes_only(limit))
+            .map_err(|a| abort_to_limit(a, limit))
+    }
+
+    /// Conjunction under a full [`OpBudget`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OpAbort`] when the cap is hit or cancellation fires.
+    pub fn try_and_b(&mut self, f: Bdd, g: Bdd, budget: &OpBudget<'_>) -> Result<Bdd, OpAbort> {
+        self.try_ite_b(f, g, Bdd::FALSE, budget)
     }
 
     /// Disjunction that aborts once the manager exceeds `limit` nodes.
@@ -153,7 +303,17 @@ impl BddManager {
     ///
     /// Returns [`NodeLimitExceeded`] when the cap is hit.
     pub fn try_or(&mut self, f: Bdd, g: Bdd, limit: usize) -> Result<Bdd, NodeLimitExceeded> {
-        self.try_ite(f, Bdd::TRUE, g, limit)
+        self.try_or_b(f, g, &OpBudget::nodes_only(limit))
+            .map_err(|a| abort_to_limit(a, limit))
+    }
+
+    /// Disjunction under a full [`OpBudget`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OpAbort`] when the cap is hit or cancellation fires.
+    pub fn try_or_b(&mut self, f: Bdd, g: Bdd, budget: &OpBudget<'_>) -> Result<Bdd, OpAbort> {
+        self.try_ite_b(f, Bdd::TRUE, g, budget)
     }
 
     /// Existential quantification that aborts once the manager exceeds
@@ -162,12 +322,17 @@ impl BddManager {
     /// # Errors
     ///
     /// Returns [`NodeLimitExceeded`] when the cap is hit.
-    pub fn try_exists(
-        &mut self,
-        f: Bdd,
-        v: Var,
-        limit: usize,
-    ) -> Result<Bdd, NodeLimitExceeded> {
+    pub fn try_exists(&mut self, f: Bdd, v: Var, limit: usize) -> Result<Bdd, NodeLimitExceeded> {
+        self.try_exists_b(f, v, &OpBudget::nodes_only(limit))
+            .map_err(|a| abort_to_limit(a, limit))
+    }
+
+    /// Existential quantification under a full [`OpBudget`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OpAbort`] when the cap is hit or cancellation fires.
+    pub fn try_exists_b(&mut self, f: Bdd, v: Var, budget: &OpBudget<'_>) -> Result<Bdd, OpAbort> {
         if f.is_const() {
             return Ok(f);
         }
@@ -180,11 +345,11 @@ impl BddManager {
             return Ok(r);
         }
         let r = if n.level == v.0 {
-            self.try_or(n.lo, n.hi, limit)?
+            self.try_or_b(n.lo, n.hi, budget)?
         } else {
-            let lo = self.try_exists(n.lo, v, limit)?;
-            let hi = self.try_exists(n.hi, v, limit)?;
-            self.mk_limited(n.level, lo, hi, limit)?
+            let lo = self.try_exists_b(n.lo, v, budget)?;
+            let hi = self.try_exists_b(n.hi, v, budget)?;
+            self.mk_budgeted(n.level, lo, hi, budget)?
         };
         self.quant_cache.insert(key, r);
         Ok(r)
@@ -203,12 +368,29 @@ impl BddManager {
         vs: &[Var],
         limit: usize,
     ) -> Result<Bdd, NodeLimitExceeded> {
+        self.try_exists_all_b(f, vs, &OpBudget::nodes_only(limit))
+            .map_err(|a| abort_to_limit(a, limit))
+    }
+
+    /// Multi-variable existential quantification under a full
+    /// [`OpBudget`], with the same cache-pressure relief as
+    /// [`try_exists_all`](BddManager::try_exists_all).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OpAbort`] when the cap is hit or cancellation fires.
+    pub fn try_exists_all_b(
+        &mut self,
+        f: Bdd,
+        vs: &[Var],
+        budget: &OpBudget<'_>,
+    ) -> Result<Bdd, OpAbort> {
         let mut acc = f;
         for &v in vs {
-            acc = self.try_exists(acc, v, limit)?;
+            acc = self.try_exists_b(acc, v, budget)?;
             // Cache entries cost more than nodes; clear well before the
             // caches could rival the node-table budget.
-            if self.op_cache_len() > (limit / 4).max(1_000_000) {
+            if self.op_cache_len() > (budget.max_nodes / 4).max(1_000_000) {
                 self.clear_op_caches();
             }
         }
@@ -219,6 +401,7 @@ impl BddManager {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::cell::Cell;
 
     /// A function whose BDD is exponential under the chosen (bad)
     /// interleaving: Σ xᵢ·y_{σ(i)} with the x's first and y's last.
@@ -299,5 +482,59 @@ mod tests {
             a[y.index()] = true;
             a
         }));
+    }
+
+    #[test]
+    fn cancel_interrupts_mid_operation() {
+        // The probe fires after a handful of allocations — well before a
+        // fresh XOR over two disjoint carry chains could finish — so the
+        // abort must happen *inside* the op, not after it.
+        let mut m = BddManager::new();
+        let (f, _) = hard_function(&mut m, 8);
+        let (g, _) = hard_function(&mut m, 8);
+        m.clear_op_caches();
+        let calls = Cell::new(0usize);
+        let probe = || {
+            calls.set(calls.get() + 1);
+            calls.get() > 5
+        };
+        let budget = OpBudget::with_cancel(usize::MAX, &probe);
+        let r = m.try_xor_b(f, g, &budget);
+        assert_eq!(r, Err(OpAbort::Cancelled));
+        assert!(calls.get() >= 6, "probe was polled {} times", calls.get());
+
+        // The manager stays usable.
+        let x = m.new_var();
+        let vx = m.var(x);
+        let nx = m.not(vx);
+        assert!(m.xor(vx, nx).is_true());
+    }
+
+    #[test]
+    fn cancel_never_fires_when_probe_is_false() {
+        let mut m = BddManager::new();
+        let x = m.new_var();
+        let y = m.new_var();
+        let (vx, vy) = (m.var(x), m.var(y));
+        let probe = || false;
+        let budget = OpBudget::with_cancel(1_000_000, &probe);
+        let a = m.try_xor_b(vx, vy, &budget).unwrap();
+        assert_eq!(a, m.xor(vx, vy));
+    }
+
+    #[test]
+    fn budgeted_node_limit_matches_legacy() {
+        let mut m = BddManager::new();
+        let (f, ys) = hard_function(&mut m, 8);
+        let cap = m.node_count() + 2;
+        let legacy = m.try_exists_all(f, &ys, cap);
+        let mut m2 = BddManager::new();
+        let (f2, ys2) = hard_function(&mut m2, 8);
+        let budgeted = m2.try_exists_all_b(f2, &ys2, &OpBudget::nodes_only(cap));
+        match (legacy, budgeted) {
+            (Err(e), Err(OpAbort::NodeLimit(e2))) => assert_eq!(e.limit, e2.limit),
+            (Ok(a), Ok(b)) => assert_eq!(a, b),
+            (a, b) => panic!("divergence: {a:?} vs {b:?}"),
+        }
     }
 }

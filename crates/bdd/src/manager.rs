@@ -173,7 +173,11 @@ impl BddManager {
         let mut cur = b;
         while !cur.is_const() {
             let n = self.node(cur);
-            cur = if assignment[n.level as usize] { n.hi } else { n.lo };
+            cur = if assignment[n.level as usize] {
+                n.hi
+            } else {
+                n.lo
+            };
         }
         cur.is_true()
     }

@@ -256,8 +256,7 @@ mod tests {
         let bits = 5;
         let (f, _) = separated_carry(&mut src, bits);
         let separated: Vec<usize> = (0..2 * bits).collect();
-        let interleaved: Vec<usize> =
-            (0..bits).flat_map(|i| [i, bits + i]).collect();
+        let interleaved: Vec<usize> = (0..bits).flat_map(|i| [i, bits + i]).collect();
         let (winner, size) = best_order(
             &mut src,
             &[f],

@@ -1,8 +1,29 @@
 //! Property-based tests: BDDs vs. a brute-force truth-table oracle on
 //! randomly generated Boolean expressions.
+//!
+//! Cases are generated from a deterministic in-repo SplitMix64 stream so
+//! the suite is hermetic (no external PRNG/property-test crates) and
+//! bit-stable across platforms.
 
-use proptest::prelude::*;
 use tbf_bdd::{Bdd, BddManager, Var};
+
+/// Deterministic SplitMix64 (mirrors `tbf_logic::generators::random`,
+/// inlined here because `tbf-bdd` sits below `tbf-logic`).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next() % bound as u64) as usize
+    }
+}
 
 /// A small expression AST used as the oracle.
 #[derive(Clone, Debug)]
@@ -49,19 +70,28 @@ impl Expr {
 }
 
 const N_VARS: usize = 6;
+const CASES: u64 = 128;
 
-fn arb_expr() -> impl Strategy<Value = Expr> {
-    let leaf = (0..N_VARS).prop_map(Expr::Var);
-    leaf.prop_recursive(5, 64, 2, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(l, r)| Expr::And(Box::new(l), Box::new(r))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(l, r)| Expr::Or(Box::new(l), Box::new(r))),
-            (inner.clone(), inner).prop_map(|(l, r)| Expr::Xor(Box::new(l), Box::new(r))),
-        ]
-    })
+/// Random expression of bounded depth.
+fn gen_expr(rng: &mut Rng, depth: usize) -> Expr {
+    if depth == 0 || rng.below(4) == 0 {
+        return Expr::Var(rng.below(N_VARS));
+    }
+    match rng.below(4) {
+        0 => Expr::Not(Box::new(gen_expr(rng, depth - 1))),
+        1 => Expr::And(
+            Box::new(gen_expr(rng, depth - 1)),
+            Box::new(gen_expr(rng, depth - 1)),
+        ),
+        2 => Expr::Or(
+            Box::new(gen_expr(rng, depth - 1)),
+            Box::new(gen_expr(rng, depth - 1)),
+        ),
+        _ => Expr::Xor(
+            Box::new(gen_expr(rng, depth - 1)),
+            Box::new(gen_expr(rng, depth - 1)),
+        ),
+    }
 }
 
 fn setup() -> (BddManager, Vec<Var>) {
@@ -74,51 +104,72 @@ fn assignments() -> impl Iterator<Item = Vec<bool>> {
     (0..(1u32 << N_VARS)).map(|i| (0..N_VARS).map(|j| (i >> j) & 1 == 1).collect())
 }
 
-proptest! {
-    #[test]
-    fn bdd_matches_expression_semantics(e in arb_expr()) {
+#[test]
+fn bdd_matches_expression_semantics() {
+    for case in 0..CASES {
+        let mut rng = Rng(case);
+        let e = gen_expr(&mut rng, 5);
         let (mut m, vars) = setup();
         let f = e.build(&mut m, &vars);
         for a in assignments() {
-            prop_assert_eq!(m.eval(f, &a), e.eval(&a));
+            assert_eq!(m.eval(f, &a), e.eval(&a), "case {case}: {e:?}");
         }
     }
+}
 
-    #[test]
-    fn canonicity_equal_functions_get_equal_handles(e1 in arb_expr(), e2 in arb_expr()) {
+#[test]
+fn canonicity_equal_functions_get_equal_handles() {
+    for case in 0..CASES {
+        let mut rng = Rng(case.wrapping_mul(0x5851F42D4C957F2D));
+        let e1 = gen_expr(&mut rng, 5);
+        let e2 = gen_expr(&mut rng, 5);
         let (mut m, vars) = setup();
         let f1 = e1.build(&mut m, &vars);
         let f2 = e2.build(&mut m, &vars);
         let semantically_equal = assignments().all(|a| e1.eval(&a) == e2.eval(&a));
-        prop_assert_eq!(f1 == f2, semantically_equal);
+        assert_eq!(f1 == f2, semantically_equal, "case {case}");
     }
+}
 
-    #[test]
-    fn xor_detects_inequality(e1 in arb_expr(), e2 in arb_expr()) {
-        // The core delay algorithm's equality test: f(t) ≠ f(∞) iff the
-        // XOR BDD is non-false, and every cube of it is a witness.
+#[test]
+fn xor_detects_inequality() {
+    // The core delay algorithm's equality test: f(t) ≠ f(∞) iff the
+    // XOR BDD is non-false, and every cube of it is a witness.
+    for case in 0..CASES {
+        let mut rng = Rng(case.wrapping_add(0xDEAD));
+        let e1 = gen_expr(&mut rng, 5);
+        let e2 = gen_expr(&mut rng, 5);
         let (mut m, vars) = setup();
         let f1 = e1.build(&mut m, &vars);
         let f2 = e2.build(&mut m, &vars);
         let diff = m.xor(f1, f2);
         let semantically_equal = assignments().all(|a| e1.eval(&a) == e2.eval(&a));
-        prop_assert_eq!(diff.is_false(), semantically_equal);
+        assert_eq!(diff.is_false(), semantically_equal, "case {case}");
         for cube in m.cubes(diff) {
             let a = m.cube_to_assignment(&cube, N_VARS);
-            prop_assert_ne!(e1.eval(&a), e2.eval(&a));
+            assert_ne!(e1.eval(&a), e2.eval(&a), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn sat_count_matches_truth_table(e in arb_expr()) {
+#[test]
+fn sat_count_matches_truth_table() {
+    for case in 0..CASES {
+        let mut rng = Rng(case.wrapping_add(0xC0FFEE));
+        let e = gen_expr(&mut rng, 5);
         let (mut m, vars) = setup();
         let f = e.build(&mut m, &vars);
         let expected = assignments().filter(|a| e.eval(a)).count() as f64;
-        prop_assert_eq!(m.sat_count(f, N_VARS), expected);
+        assert_eq!(m.sat_count(f, N_VARS), expected, "case {case}");
     }
+}
 
-    #[test]
-    fn quantification_semantics(e in arb_expr(), v in 0..N_VARS) {
+#[test]
+fn quantification_semantics() {
+    for case in 0..CASES {
+        let mut rng = Rng(case.wrapping_add(0xBEEF00));
+        let e = gen_expr(&mut rng, 5);
+        let v = rng.below(N_VARS);
         let (mut m, vars) = setup();
         let f = e.build(&mut m, &vars);
         let ex = m.exists(f, vars[v]);
@@ -129,13 +180,19 @@ proptest! {
             let mut a0 = a.clone();
             a0[v] = false;
             let (e1, e0) = (e.eval(&a1), e.eval(&a0));
-            prop_assert_eq!(m.eval(ex, &a), e1 || e0);
-            prop_assert_eq!(m.eval(fa, &a), e1 && e0);
+            assert_eq!(m.eval(ex, &a), e1 || e0, "case {case}");
+            assert_eq!(m.eval(fa, &a), e1 && e0, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn compose_semantics(e in arb_expr(), g in arb_expr(), v in 0..N_VARS) {
+#[test]
+fn compose_semantics() {
+    for case in 0..CASES {
+        let mut rng = Rng(case.wrapping_add(0xABCD));
+        let e = gen_expr(&mut rng, 4);
+        let g = gen_expr(&mut rng, 4);
+        let v = rng.below(N_VARS);
         let (mut m, vars) = setup();
         let f = e.build(&mut m, &vars);
         let gb = g.build(&mut m, &vars);
@@ -143,13 +200,17 @@ proptest! {
         for a in assignments() {
             let mut subst = a.clone();
             subst[v] = g.eval(&a);
-            prop_assert_eq!(m.eval(h, &a), e.eval(&subst));
+            assert_eq!(m.eval(h, &a), e.eval(&subst), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn support_is_sound(e in arb_expr()) {
-        // Variables outside the support never affect the function value.
+#[test]
+fn support_is_sound() {
+    // Variables outside the support never affect the function value.
+    for case in 0..CASES {
+        let mut rng = Rng(case.wrapping_add(0x51CA5));
+        let e = gen_expr(&mut rng, 5);
         let (mut m, vars) = setup();
         let f = e.build(&mut m, &vars);
         let support = m.support(f);
@@ -160,13 +221,17 @@ proptest! {
             for a in assignments() {
                 let mut flipped = a.clone();
                 flipped[v] = !flipped[v];
-                prop_assert_eq!(m.eval(f, &a), m.eval(f, &flipped));
+                assert_eq!(m.eval(f, &a), m.eval(f, &flipped), "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn cubes_partition_onset(e in arb_expr()) {
+#[test]
+fn cubes_partition_onset() {
+    for case in 0..CASES {
+        let mut rng = Rng(case.wrapping_add(0xF00D));
+        let e = gen_expr(&mut rng, 5);
         let (mut m, vars) = setup();
         let f = e.build(&mut m, &vars);
         let cubes: Vec<_> = m.cubes(f).collect();
@@ -175,7 +240,7 @@ proptest! {
                 .iter()
                 .filter(|c| c.literals().iter().all(|&(v, p)| a[v.index()] == p))
                 .count();
-            prop_assert_eq!(covering, usize::from(e.eval(&a)));
+            assert_eq!(covering, usize::from(e.eval(&a)), "case {case}");
         }
     }
 }

@@ -7,9 +7,7 @@
 //! 3. **LP arithmetic**: exact-rational simplex vs. `f64` simplex on the
 //!    induced path LPs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-
+use tbf_bench::harness::{bench, section};
 use tbf_logic::generators::adders::carry_bypass;
 use tbf_logic::generators::unit_ninety_percent;
 use tbf_logic::paths::{all_paths, next_breakpoint, straddling_paths};
@@ -24,123 +22,98 @@ fn cout_of(n: &tbf_logic::Netlist) -> tbf_logic::NodeId {
         .1
 }
 
-fn ablation_breakpoints(c: &mut Criterion) {
+fn main() {
     // 4x3 keeps the naive variant finishable (path counts are modest).
     let n = carry_bypass(4, 3, unit_ninety_percent());
     let out = cout_of(&n);
-    let mut group = c.benchmark_group("ablation/next_breakpoint");
-    group.bench_function("pruned_memoized", |b| {
-        b.iter(|| {
-            let top = next_breakpoint(black_box(&n), out, Time::MAX).unwrap();
-            next_breakpoint(black_box(&n), out, top)
-        })
-    });
-    group.bench_function("naive_full_enumeration", |b| {
-        b.iter(|| {
-            let mut lens: Vec<Time> = all_paths(black_box(&n), out, 1_000_000)
-                .unwrap()
-                .iter()
-                .map(|p| p.length_max(&n))
-                .collect();
-            lens.sort_unstable();
-            lens.dedup();
-            lens.pop(); // drop the top; the next-to-top is the answer
-            lens.last().copied()
-        })
-    });
-    group.finish();
-}
 
-fn ablation_straddling(c: &mut Criterion) {
-    let n = carry_bypass(4, 3, unit_ninety_percent());
-    let out = cout_of(&n);
+    section("ablation: next_breakpoint");
+    bench("ablation/next_breakpoint/pruned_memoized", || {
+        let top = next_breakpoint(&n, out, Time::MAX).unwrap();
+        next_breakpoint(&n, out, top)
+    });
+    bench("ablation/next_breakpoint/naive_full_enumeration", || {
+        let mut lens: Vec<Time> = all_paths(&n, out, 1_000_000)
+            .unwrap()
+            .iter()
+            .map(|p| p.length_max(&n))
+            .collect();
+        lens.sort_unstable();
+        lens.dedup();
+        lens.pop(); // drop the top; the next-to-top is the answer
+        lens.last().copied()
+    });
+
+    section("ablation: straddling_paths");
     let top = next_breakpoint(&n, out, Time::MAX).unwrap();
-    let mut group = c.benchmark_group("ablation/straddling_paths");
-    group.bench_function("pruned_dfs", |b| {
-        b.iter(|| straddling_paths(black_box(&n), out, top, 1_000_000).unwrap().len())
+    bench("ablation/straddling_paths/pruned_dfs", || {
+        straddling_paths(&n, out, top, 1_000_000).unwrap().len()
     });
-    group.bench_function("filter_all_paths", |b| {
-        b.iter(|| {
-            all_paths(black_box(&n), out, 1_000_000)
-                .unwrap()
-                .iter()
-                .filter(|p| p.straddles(&n, top))
-                .count()
-        })
+    bench("ablation/straddling_paths/filter_all_paths", || {
+        all_paths(&n, out, 1_000_000)
+            .unwrap()
+            .iter()
+            .filter(|p| p.straddles(&n, top))
+            .count()
     });
-    group.finish();
-}
 
-fn ablation_lp_arithmetic(c: &mut Criterion) {
+    section("ablation: LP arithmetic");
     // The §11 LP in both arithmetics.
     let bounds: Vec<(i64, i64)> = std::iter::once((2i64, 20i64))
         .chain(std::iter::repeat_n((2i64, 4i64), 5))
         .collect();
-    let mut group = c.benchmark_group("ablation/lp_arithmetic");
-    group.bench_function("exact_rational", |b| {
-        b.iter(|| {
-            let mut lp = PathLp::new(black_box(&bounds));
-            lp.t_less_than(&[0, 5]);
-            lp.t_less_than(&[0, 1, 2, 3, 4, 5]);
-            match lp.solve() {
-                PathLpOutcome::Feasible { t_sup, .. } => t_sup,
-                PathLpOutcome::Infeasible => unreachable!(),
-            }
-        })
+    bench("ablation/lp_arithmetic/exact_rational", || {
+        let mut lp = PathLp::new(&bounds);
+        lp.t_less_than(&[0, 5]);
+        lp.t_less_than(&[0, 1, 2, 3, 4, 5]);
+        match lp.solve() {
+            PathLpOutcome::Feasible { t_sup, .. } => t_sup,
+            PathLpOutcome::Infeasible => unreachable!(),
+        }
     });
-    group.bench_function("f64", |b| {
-        b.iter(|| {
-            let mut p: LpProblem<f64> = LpProblem::new();
-            let t = p.add_var(Some(0.0), None);
-            let ds: Vec<_> = black_box(&bounds)
-                .iter()
-                .map(|&(lo, hi)| p.add_var(Some(lo as f64), Some(hi as f64)))
-                .collect();
-            p.set_objective(t, 1.0);
-            for gates in [&[0usize, 5][..], &[0, 1, 2, 3, 4, 5][..]] {
-                let mut terms = vec![(t, 1.0)];
-                for &g in gates {
-                    terms.push((ds[g], -1.0));
-                }
-                p.add_constraint(terms, Relation::Le, 0.0);
+    bench("ablation/lp_arithmetic/f64", || {
+        let mut p: LpProblem<f64> = LpProblem::new();
+        let t = p.add_var(Some(0.0), None);
+        let ds: Vec<_> = bounds
+            .iter()
+            .map(|&(lo, hi)| p.add_var(Some(lo as f64), Some(hi as f64)))
+            .collect();
+        p.set_objective(t, 1.0);
+        for gates in [&[0usize, 5][..], &[0, 1, 2, 3, 4, 5][..]] {
+            let mut terms = vec![(t, 1.0)];
+            for &g in gates {
+                terms.push((ds[g], -1.0));
             }
-            match solve(&p) {
-                LpOutcome::Optimal { value, .. } => value,
-                other => panic!("unexpected {other:?}"),
-            }
-        })
+            p.add_constraint(terms, Relation::Le, 0.0);
+        }
+        match solve(&p) {
+            LpOutcome::Optimal { value, .. } => value,
+            other => panic!("unexpected {other:?}"),
+        }
     });
-    group.bench_function("rational_general_simplex", |b| {
-        b.iter(|| {
-            let mut p: LpProblem<Rat> = LpProblem::new();
-            let t = p.add_var(Some(Rat::ZERO), None);
-            let ds: Vec<_> = black_box(&bounds)
-                .iter()
-                .map(|&(lo, hi)| {
-                    p.add_var(Some(Rat::from_int(lo as i128)), Some(Rat::from_int(hi as i128)))
-                })
-                .collect();
-            p.set_objective(t, Rat::ONE);
-            for gates in [&[0usize, 5][..], &[0, 1, 2, 3, 4, 5][..]] {
-                let mut terms = vec![(t, Rat::ONE)];
-                for &g in gates {
-                    terms.push((ds[g], -Rat::ONE));
-                }
-                p.add_constraint(terms, Relation::Le, Rat::ZERO);
+    bench("ablation/lp_arithmetic/rational_general_simplex", || {
+        let mut p: LpProblem<Rat> = LpProblem::new();
+        let t = p.add_var(Some(Rat::ZERO), None);
+        let ds: Vec<_> = bounds
+            .iter()
+            .map(|&(lo, hi)| {
+                p.add_var(
+                    Some(Rat::from_int(lo as i128)),
+                    Some(Rat::from_int(hi as i128)),
+                )
+            })
+            .collect();
+        p.set_objective(t, Rat::ONE);
+        for gates in [&[0usize, 5][..], &[0, 1, 2, 3, 4, 5][..]] {
+            let mut terms = vec![(t, Rat::ONE)];
+            for &g in gates {
+                terms.push((ds[g], -Rat::ONE));
             }
-            match solve(&p) {
-                LpOutcome::Optimal { value, .. } => value,
-                other => panic!("unexpected {other:?}"),
-            }
-        })
+            p.add_constraint(terms, Relation::Le, Rat::ZERO);
+        }
+        match solve(&p) {
+            LpOutcome::Optimal { value, .. } => value,
+            other => panic!("unexpected {other:?}"),
+        }
     });
-    group.finish();
 }
-
-criterion_group!(
-    benches,
-    ablation_breakpoints,
-    ablation_straddling,
-    ablation_lp_arithmetic
-);
-criterion_main!(benches);

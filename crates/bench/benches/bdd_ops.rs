@@ -1,11 +1,9 @@
-//! Criterion bench: the BDD substrate under the workloads the delay
-//! engines impose (static-function builds, XOR difference, quantified
+//! Microbench: the BDD substrate under the workloads the delay engines
+//! impose (static-function builds, XOR difference, quantified
 //! projection).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
-
 use tbf_bdd::{Bdd, BddManager};
+use tbf_bench::harness::{bench, section};
 
 /// Builds the n-bit adder carry chain over interleaved variables — the
 /// canonical linear-sized BDD workload.
@@ -23,50 +21,37 @@ fn adder_carry(m: &mut BddManager, bits: usize) -> Bdd {
     carry
 }
 
-fn bench_build(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bdd/adder_carry_build");
+fn main() {
+    section("adder carry build");
     for bits in [8usize, 16, 32, 64] {
-        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, &bits| {
-            b.iter(|| {
-                let mut m = BddManager::new();
-                let f = adder_carry(&mut m, black_box(bits));
-                (f, m.node_count())
-            })
+        bench(&format!("bdd/adder_carry_build/{bits}"), || {
+            let mut m = BddManager::new();
+            let f = adder_carry(&mut m, bits);
+            (f, m.node_count())
         });
     }
-    group.finish();
-}
 
-fn bench_xor_and_project(c: &mut Criterion) {
-    c.bench_function("bdd/xor_detect_difference", |b| {
-        b.iter(|| {
-            let mut m = BddManager::new();
-            let f = adder_carry(&mut m, 16);
-            // A second chain over fresh variables: a genuinely different
-            // function, like TBF-vs-static comparisons.
-            let g = adder_carry(&mut m, 16);
-            let x = m.xor(f, g);
-            x.is_false()
-        })
+    section("xor / projection / cubes");
+    bench("bdd/xor_detect_difference", || {
+        let mut m = BddManager::new();
+        let f = adder_carry(&mut m, 16);
+        // A second chain over fresh variables: a genuinely different
+        // function, like TBF-vs-static comparisons.
+        let g = adder_carry(&mut m, 16);
+        let x = m.xor(f, g);
+        x.is_false()
     });
-    c.bench_function("bdd/exists_projection", |b| {
-        b.iter(|| {
-            let mut m = BddManager::new();
-            let f = adder_carry(&mut m, 12);
-            let support = m.support(f);
-            let half: Vec<_> = support.iter().copied().step_by(2).collect();
-            let projected = m.exists_all(f, &half);
-            m.size(projected)
-        })
+    bench("bdd/exists_projection", || {
+        let mut m = BddManager::new();
+        let f = adder_carry(&mut m, 12);
+        let support = m.support(f);
+        let half: Vec<_> = support.iter().copied().step_by(2).collect();
+        let projected = m.exists_all(f, &half);
+        m.size(projected)
     });
-    c.bench_function("bdd/cube_enumeration", |b| {
-        b.iter(|| {
-            let mut m = BddManager::new();
-            let f = adder_carry(&mut m, 10);
-            m.cubes(f).count()
-        })
+    bench("bdd/cube_enumeration", || {
+        let mut m = BddManager::new();
+        let f = adder_carry(&mut m, 10);
+        m.cubes(f).count()
     });
 }
-
-criterion_group!(benches, bench_build, bench_xor_and_project);
-criterion_main!(benches);

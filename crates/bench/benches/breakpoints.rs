@@ -1,28 +1,23 @@
-//! Criterion bench: the breakpoint search and straddling-path
-//! enumeration primitives that drive the descending-`t` loop.
+//! Microbench: the breakpoint search and straddling-path enumeration
+//! primitives that drive the descending-`t` loop.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
-
+use tbf_bench::harness::{bench, section};
 use tbf_logic::generators::adders::carry_bypass;
 use tbf_logic::generators::random::random_dag;
 use tbf_logic::generators::unit_ninety_percent;
 use tbf_logic::paths::{next_breakpoint, straddling_paths};
 use tbf_logic::Time;
 
-fn bench_next_breakpoint(c: &mut Criterion) {
-    let mut group = c.benchmark_group("next_breakpoint");
+fn main() {
+    section("next_breakpoint on random DAGs");
     for gates in [100usize, 300, 1000] {
         let n = random_dag(16, gates, 4, 7);
         let out = n.outputs()[0].1;
-        group.bench_with_input(BenchmarkId::from_parameter(gates), &n, |b, n| {
-            b.iter(|| next_breakpoint(black_box(n), out, Time::MAX))
+        bench(&format!("next_breakpoint/{gates}"), || {
+            next_breakpoint(&n, out, Time::MAX)
         });
     }
-    group.finish();
-}
 
-fn bench_breakpoint_chain(c: &mut Criterion) {
     // Walking the whole descending chain exercises the memoized DP at
     // many residuals.
     let n = carry_bypass(4, 4, unit_ninety_percent());
@@ -32,37 +27,19 @@ fn bench_breakpoint_chain(c: &mut Criterion) {
         .find(|(name, _)| name == "cout")
         .expect("bypass adder has a carry out")
         .1;
-    c.bench_function("breakpoint_chain/bypass4x4_cout", |b| {
-        b.iter(|| {
-            let mut count = 0usize;
-            let mut cur = Time::MAX;
-            while let Some(next) = next_breakpoint(black_box(&n), out, cur) {
-                cur = next;
-                count += 1;
-            }
-            count
-        })
-    });
-}
 
-fn bench_straddling(c: &mut Criterion) {
-    let n = carry_bypass(4, 4, unit_ninety_percent());
-    let out = n
-        .outputs()
-        .iter()
-        .find(|(name, _)| name == "cout")
-        .expect("bypass adder has a carry out")
-        .1;
+    section("breakpoint chain + straddling");
+    bench("breakpoint_chain/bypass4x4_cout", || {
+        let mut count = 0usize;
+        let mut cur = Time::MAX;
+        while let Some(next) = next_breakpoint(&n, out, cur) {
+            cur = next;
+            count += 1;
+        }
+        count
+    });
     let top = next_breakpoint(&n, out, Time::MAX).expect("has paths");
-    c.bench_function("straddling_paths/bypass4x4_at_top", |b| {
-        b.iter(|| straddling_paths(black_box(&n), out, top, 100_000).unwrap().len())
+    bench("straddling_paths/bypass4x4_at_top", || {
+        straddling_paths(&n, out, top, 100_000).unwrap().len()
     });
 }
-
-criterion_group!(
-    benches,
-    bench_next_breakpoint,
-    bench_breakpoint_chain,
-    bench_straddling
-);
-criterion_main!(benches);

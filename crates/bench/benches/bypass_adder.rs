@@ -1,10 +1,8 @@
-//! Criterion bench: the paper's §11 bypass adder pipeline, stage by
-//! stage, plus the scaling series over block counts — tracks where the
+//! Microbench: the paper's §11 bypass adder pipeline, stage by stage,
+//! plus the scaling series over block counts — tracks where the
 //! exact-delay time goes (breakpoints vs TBF build vs LP).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
-
+use tbf_bench::harness::{bench, section};
 use tbf_core::{two_vector_delay, DelayOptions};
 use tbf_logic::generators::adders::{carry_bypass, paper_bypass_adder};
 use tbf_logic::generators::unit_ninety_percent;
@@ -12,46 +10,38 @@ use tbf_logic::paths::{next_breakpoint, straddling_paths};
 use tbf_logic::Time;
 use tbf_lp::{PathLp, PathLpOutcome};
 
-fn bench_paper_adder(c: &mut Criterion) {
+fn main() {
     let n = paper_bypass_adder();
     let opts = DelayOptions::default();
-    c.bench_function("bypass/full_exact_delay", |b| {
-        b.iter(|| two_vector_delay(black_box(&n), &opts).unwrap().delay)
+
+    section("paper bypass adder");
+    bench("bypass/full_exact_delay", || {
+        two_vector_delay(&n, &opts).unwrap().delay
     });
     let out = n.outputs()[0].1;
-    c.bench_function("bypass/next_breakpoint", |b| {
-        b.iter(|| next_breakpoint(black_box(&n), out, Time::MAX))
+    bench("bypass/next_breakpoint", || {
+        next_breakpoint(&n, out, Time::MAX)
     });
-    c.bench_function("bypass/straddling_paths_at_24", |b| {
-        b.iter(|| straddling_paths(black_box(&n), out, Time::from_int(24), 1000).unwrap())
+    bench("bypass/straddling_paths_at_24", || {
+        straddling_paths(&n, out, Time::from_int(24), 1000).unwrap()
     });
-    c.bench_function("bypass/induced_lp", |b| {
-        b.iter(|| {
-            let mut bounds = vec![(2i64, 20i64)];
-            bounds.extend(std::iter::repeat_n((2i64, 4i64), 5));
-            let mut lp = PathLp::new(&bounds);
-            lp.t_less_than(&[0, 5]);
-            lp.t_less_than(&[0, 1, 2, 3, 4, 5]);
-            match lp.solve() {
-                PathLpOutcome::Feasible { t_sup, .. } => t_sup,
-                PathLpOutcome::Infeasible => unreachable!(),
-            }
-        })
+    bench("bypass/induced_lp", || {
+        let mut bounds = vec![(2i64, 20i64)];
+        bounds.extend(std::iter::repeat_n((2i64, 4i64), 5));
+        let mut lp = PathLp::new(&bounds);
+        lp.t_less_than(&[0, 5]);
+        lp.t_less_than(&[0, 1, 2, 3, 4, 5]);
+        match lp.solve() {
+            PathLpOutcome::Feasible { t_sup, .. } => t_sup,
+            PathLpOutcome::Infeasible => unreachable!(),
+        }
     });
-}
 
-fn bench_scaling(c: &mut Criterion) {
-    let opts = DelayOptions::default();
-    let mut group = c.benchmark_group("bypass/scaling_blocks");
-    group.sample_size(10);
+    section("scaling over bypass blocks");
     for blocks in [1usize, 2, 3, 4] {
         let n = carry_bypass(4, blocks, unit_ninety_percent());
-        group.bench_with_input(BenchmarkId::from_parameter(blocks), &n, |b, n| {
-            b.iter(|| two_vector_delay(black_box(n), &opts).unwrap().delay)
+        bench(&format!("bypass/scaling_blocks/{blocks}"), || {
+            two_vector_delay(&n, &opts).unwrap().delay
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_paper_adder, bench_scaling);
-criterion_main!(benches);

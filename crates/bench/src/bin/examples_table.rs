@@ -199,6 +199,13 @@ fn main() {
         );
     }
     println!("{}", "-".repeat(84));
-    println!("{}", if all_ok { "all paper values reproduced" } else { "MISMATCHES FOUND" });
+    println!(
+        "{}",
+        if all_ok {
+            "all paper values reproduced"
+        } else {
+            "MISMATCHES FOUND"
+        }
+    );
     std::process::exit(i32::from(!all_ok));
 }

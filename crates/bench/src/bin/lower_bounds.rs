@@ -29,7 +29,11 @@ fn sweep(name: &str, n: &Netlist, opts: &DelayOptions) {
     match precision_sweep(n, 11, opts) {
         Ok(points) => {
             for p in points {
-                let marker = if p.fraction() < f_star { " (plateau)" } else { "" };
+                let marker = if p.fraction() < f_star {
+                    " (plateau)"
+                } else {
+                    ""
+                };
                 println!("{:>6.2} {:>10}{marker}", p.fraction(), p.delay.to_string());
             }
         }
@@ -55,7 +59,11 @@ fn invariance(name: &str, n: &Netlist, opts: &DelayOptions) {
     println!(
         "{} → {}",
         strs.join(", "),
-        if invariant { "invariant (Theorem 3 holds)" } else { "VARIES (violation!)" }
+        if invariant {
+            "invariant (Theorem 3 holds)"
+        } else {
+            "VARIES (violation!)"
+        }
     );
 }
 
@@ -74,5 +82,9 @@ fn main() {
 
     println!("\n=== Theorem 3: sequences delay is invariant in dmin ===");
     invariance("paper §11 adder", &paper_bypass_adder(), &opts);
-    invariance("bypass 4x4", &carry_bypass(4, 4, unit_ninety_percent()), &opts);
+    invariance(
+        "bypass 4x4",
+        &carry_bypass(4, 4, unit_ninety_percent()),
+        &opts,
+    );
 }

@@ -7,21 +7,29 @@
 //!   <NETLIST>              path to an ISCAS-85 .bench or a BLIF file
 //!
 //! Options:
-//!   --model <M>            two-vector | sequences | floating | all  [default: all]
+//!   --model <M>            two-vector | sequences | floating | anytime | all
+//!                                                                   [default: all]
 //!   --delays <D>           unit | mcnc                              [default: mcnc]
 //!   --dmin-ratio <F>       overwrite every dmin with F·dmax (0 ≤ F ≤ 1)
 //!   --max-paths <N>        delay-dependent path cap
 //!   --max-bdd <N>          BDD node cap
+//!   --time-budget <MS>     wall-clock budget in milliseconds; exceeding it
+//!                          degrades results to sound bounds (anytime mode)
 //!   --replay               simulate the 2-vector witness and report the
 //!                          observed last transition
 //!   --per-output           print the per-output breakdown
 //! ```
+//!
+//! The `anytime` model runs the graceful-degradation driver
+//! ([`tbf_core::analyze`]): it never fails — outputs that blow a cap,
+//! the deadline, or even panic the engine are reported with sound
+//! `[lower, upper]` bounds and the cause of the degradation.
 
 use std::process::ExitCode;
 
 use tbf_core::{
-    floating_delay, sequences_delay, topological_delay, two_vector_delay, DelayOptions,
-    DelayReport,
+    analyze, floating_delay, sequences_delay, topological_delay, two_vector_delay, AnalysisPolicy,
+    DelayOptions, DelayReport, OutputStatus,
 };
 use tbf_logic::parsers::bench::parse_bench;
 use tbf_logic::parsers::blif::parse_blif;
@@ -36,6 +44,7 @@ struct Args {
     dmin_ratio: Option<f64>,
     max_paths: Option<usize>,
     max_bdd: Option<usize>,
+    time_budget_ms: Option<u64>,
     replay: bool,
     per_output: bool,
 }
@@ -48,15 +57,13 @@ fn parse_args() -> Result<Args, String> {
         dmin_ratio: None,
         max_paths: None,
         max_bdd: None,
+        time_budget_ms: None,
         replay: false,
         per_output: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
-        let mut value = |flag: &str| {
-            it.next()
-                .ok_or_else(|| format!("missing value for {flag}"))
-        };
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("missing value for {flag}"));
         match a.as_str() {
             "--model" => args.model = value("--model")?,
             "--delays" => args.delays = value("--delays")?,
@@ -83,6 +90,13 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--max-bdd: {e}"))?,
                 )
             }
+            "--time-budget" => {
+                args.time_budget_ms = Some(
+                    value("--time-budget")?
+                        .parse()
+                        .map_err(|e| format!("--time-budget: {e}"))?,
+                )
+            }
             "--replay" => args.replay = true,
             "--per-output" => args.per_output = true,
             "--help" | "-h" => return Err("help".into()),
@@ -104,15 +118,16 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() {
     eprintln!(
-        "usage: tbf [--model two-vector|sequences|floating|all] \
+        "usage: tbf [--model two-vector|sequences|floating|anytime|all] \
          [--delays unit|mcnc] [--dmin-ratio F] [--max-paths N] [--max-bdd N] \
-         [--replay] [--per-output] <netlist.bench|netlist.blif>"
+         [--time-budget MS] [--replay] [--per-output] \
+         <netlist.bench|netlist.blif>"
     );
 }
 
 fn load(args: &Args) -> Result<Netlist, String> {
-    let text = std::fs::read_to_string(&args.netlist)
-        .map_err(|e| format!("{}: {e}", args.netlist))?;
+    let text =
+        std::fs::read_to_string(&args.netlist).map_err(|e| format!("{}: {e}", args.netlist))?;
     let delay_fn = match args.delays.as_str() {
         "unit" => unit_delays as fn(_, _) -> _,
         "mcnc" => mcnc_like_delays as fn(_, _) -> _,
@@ -141,15 +156,30 @@ fn print_report(label: &str, report: &DelayReport, per_output: bool) {
     );
     if per_output {
         for o in &report.outputs {
-            println!(
-                "    {:<24} {:>10}{}  (topological {})",
-                o.name,
-                o.delay.to_string(),
-                if o.exact { "" } else { " (bound)" },
-                o.topological
-            );
+            print_output_line(o);
         }
     }
+}
+
+fn print_output_line(o: &tbf_core::OutputDelay) {
+    let note = match o.status {
+        OutputStatus::Exact => String::new(),
+        OutputStatus::Bounded {
+            lower,
+            upper,
+            cause,
+        } => {
+            format!(" (within [{lower}, {upper}]: {cause})")
+        }
+        OutputStatus::Fallback { cause } => format!(" (topological bound: {cause})"),
+    };
+    println!(
+        "    {:<24} {:>10}{}  (topological {})",
+        o.name,
+        o.delay.to_string(),
+        note,
+        o.topological
+    );
 }
 
 fn main() -> ExitCode {
@@ -177,6 +207,9 @@ fn main() -> ExitCode {
     if let Some(b) = args.max_bdd {
         options.max_bdd_nodes = b;
     }
+    if let Some(ms) = args.time_budget_ms {
+        options.time_budget = Some(std::time::Duration::from_millis(ms));
+    }
 
     println!(
         "{}: {} gates, {} inputs, {} outputs",
@@ -185,7 +218,11 @@ fn main() -> ExitCode {
         netlist.inputs().len(),
         netlist.outputs().len()
     );
-    println!("{:<12} {:>10}", "topological", topological_delay(&netlist).to_string());
+    println!(
+        "{:<12} {:>10}",
+        "topological",
+        topological_delay(&netlist).to_string()
+    );
 
     let want = |m: &str| args.model == m || args.model == "all";
     let mut failures = 0;
@@ -238,6 +275,26 @@ fn main() -> ExitCode {
             Err(e) => {
                 eprintln!("floating: {e}");
                 failures += 1;
+            }
+        }
+    }
+    if args.model == "anytime" {
+        let policy = AnalysisPolicy::with_options(options.clone());
+        let r = analyze(&netlist, &policy);
+        match r.exact {
+            Some(d) => println!("{:<12} {:>10}   (exact)", "anytime", d.to_string()),
+            None => println!(
+                "{:<12} [{}, {}]   (bounds; {} retries, {} fallbacks)",
+                "anytime",
+                r.lower,
+                r.upper,
+                r.stats.retries,
+                r.stats.sequences_fallbacks + r.stats.topological_fallbacks
+            ),
+        }
+        if args.per_output {
+            for o in &r.outputs {
+                print_output_line(o);
             }
         }
     }

@@ -1,0 +1,77 @@
+//! A minimal, dependency-free micro-benchmark harness.
+//!
+//! The workspace builds hermetically (no Criterion), so the `[[bench]]`
+//! targets are plain `main()` binaries driven by this module: warm-up,
+//! automatic iteration-count calibration against a fixed wall-clock
+//! budget, and a median-of-samples report.  Run them with
+//! `cargo bench` (each target sets `harness = false`).
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Wall-clock budget per sample batch.
+const SAMPLE_BUDGET: Duration = Duration::from_millis(60);
+/// Number of sampled batches per benchmark (the median is reported).
+const SAMPLES: usize = 5;
+/// Cap on iterations per batch, so ultra-cheap bodies still terminate
+/// calibration quickly.
+const MAX_ITERS: u128 = 10_000;
+
+/// Times `f`, printing `name` with the median per-iteration latency.
+///
+/// The closure's result is passed through [`black_box`] so the optimizer
+/// cannot delete the measured work.
+pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    // Warm-up + calibration: one timed call sizes the batches.
+    let t0 = Instant::now();
+    black_box(f());
+    let once = t0.elapsed().max(Duration::from_nanos(1));
+    let iters = (SAMPLE_BUDGET.as_nanos() / once.as_nanos()).clamp(1, MAX_ITERS) as usize;
+
+    let mut per_iter_ns: Vec<u128> = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        per_iter_ns.push(start.elapsed().as_nanos() / iters as u128);
+    }
+    per_iter_ns.sort_unstable();
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    println!(
+        "{name:<44} {:>14}  ({SAMPLES} samples x {iters} iters)",
+        format_ns(median)
+    );
+}
+
+/// Pretty-prints a nanosecond latency with an adaptive unit.
+fn format_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s/iter", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms/iter", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us/iter", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns/iter")
+    }
+}
+
+/// Prints a section header for a group of related benchmarks.
+pub fn section(title: &str) {
+    println!("\n== {title} ==");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_formats() {
+        bench("harness/self_test", || 21 * 2);
+        assert_eq!(format_ns(12), "12 ns/iter");
+        assert_eq!(format_ns(1_500), "1.500 us/iter");
+        assert_eq!(format_ns(2_500_000), "2.500 ms/iter");
+        assert_eq!(format_ns(3_000_000_000), "3.000 s/iter");
+    }
+}

@@ -8,11 +8,14 @@
 //!   examples (Figures 1–9) with paper-vs-measured values,
 //! * `cargo run -p tbf-bench --release --bin lower_bounds` — the §10 /
 //!   Theorem 5 precision sweep and the Theorem 3 invariance check,
-//! * `cargo bench -p tbf-bench` — Criterion microbenches for the engine
-//!   stages (breakpoint search, TBF construction, BDD ops, LPs).
+//! * `cargo bench -p tbf-bench` — dependency-free microbenches (see
+//!   [`harness`]) for the engine stages (breakpoint search, TBF
+//!   construction, BDD ops, LPs).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod harness;
 
 use std::time::Instant;
 

@@ -1,0 +1,313 @@
+//! Shared analysis budget: resource caps, a wall-clock deadline, and a
+//! cooperative cancellation token, polled at allocation granularity
+//! inside the BDD operations.
+//!
+//! One [`AnalysisBudget`] is threaded through a whole analysis — the
+//! engine, the breakpoint loops, the cube/LP loops and (via a cancel
+//! probe) every budgeted BDD operation. The caps are interior-mutable so
+//! the degradation ladder can [`escalate`](AnalysisBudget::escalate)
+//! them between retry rungs without rebuilding the budget, and the
+//! deadline/token state is *sticky*: once an interrupt fires, every
+//! subsequent poll reports it until the analysis unwinds.
+
+use std::cell::Cell;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tbf_logic::Time;
+
+use crate::error::DelayError;
+use crate::options::DelayOptions;
+
+/// Poll granularity for the wall clock: reading `Instant::now()` on
+/// every BDD allocation would dominate small operations, so only every
+/// `CLOCK_STRIDE`-th poll consults the clock. The cancel token (an
+/// atomic load) is checked on every poll.
+const CLOCK_STRIDE: u64 = 32;
+
+/// A cloneable, thread-safe cooperative cancellation handle.
+///
+/// Hand a clone to another thread (or a ctrl-C handler) and call
+/// [`cancel`](CancelToken::cancel); every analysis polling a budget
+/// carrying this token stops at the next allocation-granularity check
+/// and degrades its in-flight cones instead of erroring.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation has been requested.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// What cut an analysis short (distinct from resource caps, which are
+/// per-cone and carry their own error variants).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Interrupt {
+    /// The wall-clock deadline derived from
+    /// [`DelayOptions::time_budget`] passed.
+    Deadline,
+    /// A [`CancelToken`] fired.
+    Cancelled,
+}
+
+/// The shared per-analysis budget.
+///
+/// Created from [`DelayOptions`] (whose caps become live views onto this
+/// budget for the duration of the analysis); consumed by the engines and
+/// the [`analyze`](crate::analyze) driver.
+#[derive(Debug)]
+pub struct AnalysisBudget {
+    max_paths: Cell<usize>,
+    max_bdd_nodes: Cell<usize>,
+    max_cubes: Cell<usize>,
+    max_breakpoints: Cell<usize>,
+    started: Instant,
+    time_budget: Option<Duration>,
+    deadline: Option<Instant>,
+    token: Option<CancelToken>,
+    polls: Cell<u64>,
+    tripped: Cell<Option<Interrupt>>,
+}
+
+impl AnalysisBudget {
+    /// Builds a budget from the option caps; the deadline clock starts
+    /// *now*.
+    #[must_use]
+    pub fn from_options(options: &DelayOptions) -> Self {
+        let started = Instant::now();
+        AnalysisBudget {
+            max_paths: Cell::new(options.max_straddling_paths),
+            max_bdd_nodes: Cell::new(options.max_bdd_nodes),
+            max_cubes: Cell::new(options.max_cubes),
+            max_breakpoints: Cell::new(options.max_breakpoints),
+            started,
+            time_budget: options.time_budget,
+            deadline: options.time_budget.map(|b| started + b),
+            token: None,
+            polls: Cell::new(0),
+            tripped: Cell::new(None),
+        }
+    }
+
+    /// Attaches a cancellation token (builder style).
+    #[must_use]
+    pub fn with_token(mut self, token: CancelToken) -> Self {
+        self.token = Some(token);
+        self
+    }
+
+    /// Wraps the budget for shared ownership between a driver and the
+    /// engines it builds.
+    #[must_use]
+    pub fn shared(self) -> Rc<Self> {
+        Rc::new(self)
+    }
+
+    /// Current straddling-path cap.
+    pub fn max_paths(&self) -> usize {
+        self.max_paths.get()
+    }
+
+    /// Current BDD node cap.
+    pub fn max_bdd_nodes(&self) -> usize {
+        self.max_bdd_nodes.get()
+    }
+
+    /// Current difference-cube cap.
+    pub fn max_cubes(&self) -> usize {
+        self.max_cubes.get()
+    }
+
+    /// Current breakpoint cap.
+    pub fn max_breakpoints(&self) -> usize {
+        self.max_breakpoints.get()
+    }
+
+    /// Multiplies every resource cap by `factor` (saturating). The
+    /// deadline and token are untouched: escalation buys space, not
+    /// time.
+    pub fn escalate(&self, factor: usize) {
+        self.max_paths
+            .set(self.max_paths.get().saturating_mul(factor));
+        self.max_bdd_nodes
+            .set(self.max_bdd_nodes.get().saturating_mul(factor));
+        self.max_cubes
+            .set(self.max_cubes.get().saturating_mul(factor));
+        self.max_breakpoints
+            .set(self.max_breakpoints.get().saturating_mul(factor));
+    }
+
+    /// Restores the caps to the given options' values (undoing
+    /// escalation before the next cone).
+    pub fn restore_caps(&self, options: &DelayOptions) {
+        self.max_paths.set(options.max_straddling_paths);
+        self.max_bdd_nodes.set(options.max_bdd_nodes);
+        self.max_cubes.set(options.max_cubes);
+        self.max_breakpoints.set(options.max_breakpoints);
+    }
+
+    /// Milliseconds since the budget was created.
+    pub fn elapsed_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    /// The configured time budget, if any.
+    pub fn time_budget(&self) -> Option<Duration> {
+        self.time_budget
+    }
+
+    /// Rate-limited interrupt poll: the token is checked every call, the
+    /// clock every [`CLOCK_STRIDE`]-th call (and on the very first).
+    /// Sticky — once tripped, always tripped.
+    pub(crate) fn poll(&self) -> Option<Interrupt> {
+        if let Some(t) = self.tripped.get() {
+            return Some(t);
+        }
+        if let Some(token) = &self.token {
+            if token.is_cancelled() {
+                self.tripped.set(Some(Interrupt::Cancelled));
+                return self.tripped.get();
+            }
+        }
+        let n = self.polls.get();
+        self.polls.set(n.wrapping_add(1));
+        if n.is_multiple_of(CLOCK_STRIDE) {
+            if let Some(d) = self.deadline {
+                if Instant::now() > d {
+                    self.tripped.set(Some(Interrupt::Deadline));
+                }
+            }
+        }
+        self.tripped.get()
+    }
+
+    /// Non-rate-limited check (used at rung boundaries, where a stale
+    /// answer would waste a whole ladder step).
+    pub(crate) fn check_now(&self) -> Option<Interrupt> {
+        if let Some(t) = self.tripped.get() {
+            return Some(t);
+        }
+        if let Some(token) = &self.token {
+            if token.is_cancelled() {
+                self.tripped.set(Some(Interrupt::Cancelled));
+            }
+        }
+        if self.tripped.get().is_none() {
+            if let Some(d) = self.deadline {
+                if Instant::now() > d {
+                    self.tripped.set(Some(Interrupt::Deadline));
+                }
+            }
+        }
+        self.tripped.get()
+    }
+
+    /// `true` when the analysis should stop — the shape the BDD layer's
+    /// cancel probe wants.
+    pub(crate) fn interrupted(&self) -> bool {
+        self.poll().is_some()
+    }
+
+    /// The interrupt recorded so far, without probing clock or token.
+    pub(crate) fn cause(&self) -> Option<Interrupt> {
+        self.tripped.get()
+    }
+
+    /// The typed error for the recorded interrupt — `Cancelled` when the
+    /// token fired, `TimedOut` otherwise (an unrecorded cause can only
+    /// mean the deadline was observed inside a BDD probe whose sticky
+    /// state has since been read).
+    pub(crate) fn interrupt_error(&self, at_breakpoint: Time, bounds: (Time, Time)) -> DelayError {
+        match self.cause() {
+            Some(Interrupt::Cancelled) => DelayError::Cancelled {
+                at_breakpoint,
+                bounds,
+            },
+            _ => DelayError::TimedOut {
+                elapsed_ms: self.elapsed_ms(),
+                at_breakpoint,
+                bounds,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caps_mirror_options_and_escalate() {
+        let opts = DelayOptions {
+            max_straddling_paths: 10,
+            max_bdd_nodes: 100,
+            max_cubes: 7,
+            max_breakpoints: 3,
+            ..DelayOptions::default()
+        };
+        let b = AnalysisBudget::from_options(&opts);
+        assert_eq!(b.max_paths(), 10);
+        assert_eq!(b.max_bdd_nodes(), 100);
+        b.escalate(4);
+        assert_eq!(b.max_paths(), 40);
+        assert_eq!(b.max_cubes(), 28);
+        assert_eq!(b.max_breakpoints(), 12);
+        b.restore_caps(&opts);
+        assert_eq!(b.max_paths(), 10);
+        // Escalation saturates instead of overflowing.
+        let huge = AnalysisBudget::from_options(&DelayOptions::default());
+        huge.max_breakpoints.set(usize::MAX);
+        huge.escalate(1000);
+        assert_eq!(huge.max_breakpoints(), usize::MAX);
+    }
+
+    #[test]
+    fn token_trips_poll_and_sticks() {
+        let token = CancelToken::new();
+        let b = AnalysisBudget::from_options(&DelayOptions::default()).with_token(token.clone());
+        assert_eq!(b.poll(), None);
+        token.cancel();
+        assert!(token.is_cancelled());
+        assert_eq!(b.poll(), Some(Interrupt::Cancelled));
+        // Sticky.
+        assert_eq!(b.poll(), Some(Interrupt::Cancelled));
+        assert_eq!(b.cause(), Some(Interrupt::Cancelled));
+    }
+
+    #[test]
+    fn zero_deadline_trips_first_poll() {
+        let opts = DelayOptions {
+            time_budget: Some(Duration::ZERO),
+            ..DelayOptions::default()
+        };
+        let b = AnalysisBudget::from_options(&opts);
+        // The very first poll consults the clock.
+        assert_eq!(b.poll(), Some(Interrupt::Deadline));
+        assert!(b.interrupted());
+    }
+
+    #[test]
+    fn no_budget_never_trips() {
+        let b = AnalysisBudget::from_options(&DelayOptions::default());
+        for _ in 0..1000 {
+            assert_eq!(b.poll(), None);
+        }
+        assert_eq!(b.check_now(), None);
+    }
+}

@@ -1,0 +1,596 @@
+//! The anytime analysis driver: a per-cone degradation ladder that always
+//! produces sound delay bounds, whatever resource caps, deadlines,
+//! cancellations or engine panics occur along the way.
+//!
+//! [`analyze`] runs every output cone down a ladder of rungs:
+//!
+//! 1. **Exact** 2-vector analysis under the configured caps.
+//! 2. **Retry** with escalated caps after a manager reset, up to
+//!    [`AnalysisPolicy::max_retries`] times (resource caps only — a spent
+//!    deadline cannot be escalated away).
+//! 3. **Sequences upper bound**: the ω⁻ delay dominates the 2-vector
+//!    delay (more switching freedom can only delay the last transition)
+//!    and needs no cube enumeration or LP, so it often fits in caps the
+//!    exact search blew.
+//! 4. **Topological bound**: always available, maximally pessimistic.
+//!
+//! Each cone runs under `catch_unwind`: an engine panic is counted,
+//! isolated to its cone (which degrades to rung 4 with cause
+//! [`DegradeCause::EnginePanic`]), and the shared manager is rebuilt so
+//! later cones see consistent state. The circuit-level result is never an
+//! error: well-formed netlists always get a [`CircuitReport`] whose
+//! `[lower, upper]` interval soundly contains the exact delay.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::rc::Rc;
+
+use tbf_logic::{Netlist, NodeId, Time};
+
+use crate::budget::{AnalysisBudget, CancelToken};
+use crate::error::DelayError;
+use crate::fault::{self, Site};
+use crate::network::Engine;
+use crate::options::DelayOptions;
+use crate::report::{DegradeCause, DelayWitness, OutputDelay, OutputStatus, SearchStats};
+use crate::two_vector::WitnessParts;
+
+/// How [`analyze`] trades exactness for robustness.
+#[derive(Clone, Debug)]
+pub struct AnalysisPolicy {
+    /// Resource caps and time budget for the underlying engines.
+    pub options: DelayOptions,
+    /// How many times a cone that hit a resource cap is retried with
+    /// escalated caps (after a manager reset).
+    pub max_retries: usize,
+    /// Cap multiplier applied per retry.
+    pub escalation_factor: usize,
+    /// Whether to attempt the sequences-delay upper bound (rung 3) before
+    /// falling back to the topological bound.
+    pub sequences_fallback: bool,
+    /// Whether to isolate engine panics per cone. Disable to let panics
+    /// propagate (useful when debugging the engines themselves).
+    pub catch_panics: bool,
+}
+
+impl Default for AnalysisPolicy {
+    fn default() -> Self {
+        AnalysisPolicy {
+            options: DelayOptions::default(),
+            max_retries: 1,
+            escalation_factor: 4,
+            sequences_fallback: true,
+            catch_panics: true,
+        }
+    }
+}
+
+impl AnalysisPolicy {
+    /// A policy wrapping the given engine options with default ladder
+    /// behavior.
+    #[must_use]
+    pub fn with_options(options: DelayOptions) -> Self {
+        AnalysisPolicy {
+            options,
+            ..AnalysisPolicy::default()
+        }
+    }
+}
+
+/// The anytime analysis result: sound circuit-level delay bounds plus the
+/// per-output breakdown of how each cone fared on the ladder.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CircuitReport {
+    /// Sound lower bound on the circuit's 2-vector delay.
+    pub lower: Time,
+    /// Sound upper bound on the circuit's 2-vector delay.
+    pub upper: Time,
+    /// The exact delay, when every potentially-dominating cone resolved
+    /// exactly (`lower == upper`).
+    pub exact: Option<Time>,
+    /// The circuit's topological delay (baseline).
+    pub topological: Time,
+    /// Per-output results with their ladder status.
+    pub outputs: Vec<OutputDelay>,
+    /// A sensitizing scenario for the largest exactly-resolved cone.
+    pub witness: Option<DelayWitness>,
+    /// Effort and degradation counters.
+    pub stats: SearchStats,
+}
+
+impl CircuitReport {
+    /// Whether every output resolved exactly (no degradation anywhere).
+    pub fn all_exact(&self) -> bool {
+        self.outputs.iter().all(OutputDelay::is_exact)
+    }
+}
+
+impl std::fmt::Display for CircuitReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.exact {
+            Some(d) => writeln!(f, "exact delay {} (topological {})", d, self.topological)?,
+            None => writeln!(
+                f,
+                "delay within [{}, {}] (topological {})",
+                self.lower, self.upper, self.topological
+            )?,
+        }
+        for o in &self.outputs {
+            match o.status {
+                OutputStatus::Exact => {
+                    writeln!(
+                        f,
+                        "  {}: {} (topological {})",
+                        o.name, o.delay, o.topological
+                    )?;
+                }
+                OutputStatus::Bounded {
+                    lower,
+                    upper,
+                    cause,
+                } => {
+                    writeln!(
+                        f,
+                        "  {}: within [{lower}, {upper}] ({cause}; topological {})",
+                        o.name, o.topological
+                    )?;
+                }
+                OutputStatus::Fallback { cause } => {
+                    writeln!(
+                        f,
+                        "  {}: ≤ {} ({cause}; topological bound)",
+                        o.name, o.delay
+                    )?;
+                }
+            }
+        }
+        write!(
+            f,
+            "  [{} breakpoints, {} LPs, {} retries, {} seq fallbacks, {} topo fallbacks, \
+             {} panics caught]",
+            self.stats.breakpoints_visited,
+            self.stats.lps_solved,
+            self.stats.retries,
+            self.stats.sequences_fallbacks,
+            self.stats.topological_fallbacks,
+            self.stats.panics_caught
+        )
+    }
+}
+
+/// Analyzes the circuit with graceful degradation: never fails, always
+/// returns sound `[lower, upper]` bounds on the exact 2-vector delay.
+///
+/// See the [module docs](self) for the ladder. Per-output statuses
+/// report exactly where each cone landed.
+///
+/// # Example
+///
+/// ```
+/// use tbf_core::{analyze, AnalysisPolicy};
+/// use tbf_logic::generators::adders::paper_bypass_adder;
+/// use tbf_logic::Time;
+///
+/// let report = analyze(&paper_bypass_adder(), &AnalysisPolicy::default());
+/// assert_eq!(report.exact, Some(Time::from_int(24)));
+/// assert!(report.all_exact());
+/// ```
+#[must_use]
+pub fn analyze(netlist: &Netlist, policy: &AnalysisPolicy) -> CircuitReport {
+    analyze_budgeted(
+        netlist,
+        policy,
+        AnalysisBudget::from_options(&policy.options).shared(),
+    )
+}
+
+/// [`analyze`] with a cooperative [`CancelToken`]: cancel from another
+/// thread and in-flight cones degrade to sound bounds at the next
+/// allocation-granularity poll.
+#[must_use]
+pub fn analyze_with_token(
+    netlist: &Netlist,
+    policy: &AnalysisPolicy,
+    token: CancelToken,
+) -> CircuitReport {
+    analyze_budgeted(
+        netlist,
+        policy,
+        AnalysisBudget::from_options(&policy.options)
+            .with_token(token)
+            .shared(),
+    )
+}
+
+/// How one ladder rung ended.
+enum Attempt<T> {
+    Done(T),
+    Error(DelayError),
+    Panicked,
+}
+
+/// Runs `f` (a rung of one cone), isolating panics when asked. A panic
+/// invalidates the engine — it is dropped for rebuild by the next rung.
+fn run_rung<'a, T>(
+    engine: &mut Option<Engine<'a>>,
+    catch_panics: bool,
+    f: impl FnOnce(&mut Engine<'a>) -> Result<T, DelayError>,
+) -> Attempt<T> {
+    let Some(eng) = engine.as_mut() else {
+        return Attempt::Panicked; // caller ensures presence; treat as dead engine
+    };
+    let result = if catch_panics {
+        catch_unwind(AssertUnwindSafe(|| f(eng)))
+    } else {
+        Ok(f(eng))
+    };
+    match result {
+        Ok(Ok(v)) => Attempt::Done(v),
+        Ok(Err(e)) => Attempt::Error(e),
+        Err(_) => {
+            // The manager may hold torn state; force a rebuild.
+            *engine = None;
+            Attempt::Panicked
+        }
+    }
+}
+
+/// Ensures the engine exists, rebuilding it after a panic or reset.
+/// Returns the build error when construction itself exceeds the budget.
+fn ensure_engine<'a>(
+    netlist: &'a Netlist,
+    budget: &Rc<AnalysisBudget>,
+    engine: &mut Option<Engine<'a>>,
+) -> Result<(), DelayError> {
+    if engine.is_none() {
+        match Engine::new(netlist, budget.clone()) {
+            Ok(e) => *engine = Some(e),
+            Err(a) => return Err(a.into_error(netlist.topological_delay(), budget)),
+        }
+    }
+    Ok(())
+}
+
+fn analyze_budgeted(
+    netlist: &Netlist,
+    policy: &AnalysisPolicy,
+    budget: Rc<AnalysisBudget>,
+) -> CircuitReport {
+    let mut stats = SearchStats::default();
+    let mut outputs: Vec<OutputDelay> = Vec::new();
+    let mut witness: Option<DelayWitness> = None;
+    let mut witness_delay = Time::MIN;
+    let mut engine: Option<Engine<'_>> = None;
+
+    for (name, out_id) in netlist.outputs() {
+        budget.restore_caps(&policy.options);
+        let entry = analyze_cone(
+            netlist,
+            policy,
+            &budget,
+            &mut engine,
+            name,
+            *out_id,
+            &mut stats,
+            &mut witness,
+            &mut witness_delay,
+        );
+        outputs.push(entry);
+    }
+
+    let lower = outputs
+        .iter()
+        .map(|o| o.bounds().0)
+        .max()
+        .unwrap_or(Time::ZERO);
+    let upper = outputs
+        .iter()
+        .map(|o| o.bounds().1)
+        .max()
+        .unwrap_or(Time::ZERO);
+    CircuitReport {
+        lower,
+        upper,
+        exact: (lower == upper).then_some(upper),
+        topological: netlist.topological_delay(),
+        outputs,
+        witness,
+        stats,
+    }
+}
+
+/// Runs one output cone down the full ladder; always returns an entry.
+#[allow(clippy::too_many_arguments)]
+fn analyze_cone<'a>(
+    netlist: &'a Netlist,
+    policy: &AnalysisPolicy,
+    budget: &Rc<AnalysisBudget>,
+    engine: &mut Option<Engine<'a>>,
+    name: &str,
+    out_id: NodeId,
+    stats: &mut SearchStats,
+    witness: &mut Option<DelayWitness>,
+    witness_delay: &mut Time,
+) -> OutputDelay {
+    let topological = netlist.topological_delay_of(out_id);
+    let mut lower = Time::ZERO;
+    let mut upper = topological;
+    let mut cause;
+    let mut panicked = false;
+    let mut have_error_bound = false;
+
+    // Rungs 1–2: exact search, retried with escalated caps.
+    let mut attempts = 0usize;
+    loop {
+        if let Err(e) = ensure_engine(netlist, budget, engine) {
+            cause = DegradeCause::from_error(&e).unwrap_or(DegradeCause::InternalInvariant);
+            if let Some((lo, hi)) = e.bounds() {
+                lower = lower.max(lo);
+                upper = upper.min(hi);
+                have_error_bound = true;
+            }
+            break;
+        }
+        let attempt: Attempt<(Time, Option<WitnessParts>)> =
+            run_rung(engine, policy.catch_panics, |eng| {
+                if fault::trip(Site::ConeStart) {
+                    panic!("injected engine panic (fault site ConeStart)");
+                }
+                crate::two_vector::cone_delay(netlist, eng, out_id, stats)
+            });
+        match attempt {
+            Attempt::Done((delay, w)) => {
+                if delay > *witness_delay {
+                    if let Some((before, after, delays)) = w {
+                        *witness = Some(DelayWitness {
+                            output: name.to_owned(),
+                            before,
+                            after,
+                            delays,
+                        });
+                        *witness_delay = delay;
+                    }
+                }
+                return OutputDelay {
+                    name: name.to_owned(),
+                    delay,
+                    topological,
+                    status: OutputStatus::Exact,
+                };
+            }
+            Attempt::Panicked => {
+                stats.panics_caught += 1;
+                cause = DegradeCause::EnginePanic;
+                panicked = true;
+                break;
+            }
+            Attempt::Error(e) => {
+                cause = DegradeCause::from_error(&e).unwrap_or(DegradeCause::InternalInvariant);
+                if let Some((lo, hi)) = e.bounds() {
+                    lower = lower.max(lo);
+                    upper = upper.min(hi);
+                    have_error_bound = true;
+                }
+                let retryable = matches!(
+                    cause,
+                    DegradeCause::TooManyPaths
+                        | DegradeCause::BddTooLarge
+                        | DegradeCause::TooManyCubes
+                );
+                if retryable && attempts < policy.max_retries {
+                    attempts += 1;
+                    stats.retries += 1;
+                    budget.escalate(policy.escalation_factor);
+                    // Reset drops dead nodes and rebuilds statics under
+                    // the new caps; a failed reset forces a fresh engine.
+                    if let Some(eng) = engine.as_mut() {
+                        if eng.reset().is_err() {
+                            *engine = None;
+                        }
+                    }
+                    continue;
+                }
+                break;
+            }
+        }
+    }
+
+    // Rung 3: sequences upper bound. Skipped after a panic (a panicking
+    // engine degrades straight to the topological bound), when disabled,
+    // and once the budget is interrupted (it would fail identically at
+    // its first poll).
+    if policy.sequences_fallback
+        && !panicked
+        && budget.cause().is_none()
+        && ensure_engine(netlist, budget, engine).is_ok()
+    {
+        let attempt: Attempt<Time> = run_rung(engine, policy.catch_panics, |eng| {
+            crate::sequences::cone_delay(netlist, eng, out_id, stats)
+        });
+        match attempt {
+            Attempt::Done(seq) => {
+                stats.sequences_fallbacks += 1;
+                let seq_upper = upper.min(seq);
+                return OutputDelay {
+                    name: name.to_owned(),
+                    delay: seq_upper,
+                    topological,
+                    status: OutputStatus::Bounded {
+                        lower,
+                        upper: seq_upper,
+                        cause,
+                    },
+                };
+            }
+            Attempt::Panicked => {
+                stats.panics_caught += 1;
+            }
+            Attempt::Error(_) => {}
+        }
+    }
+
+    // Rung 4: bounds from the failed search if it established any, else
+    // the bare topological fallback.
+    if have_error_bound && (upper < topological || lower > Time::ZERO) {
+        OutputDelay {
+            name: name.to_owned(),
+            delay: upper,
+            topological,
+            status: OutputStatus::Bounded {
+                lower,
+                upper,
+                cause,
+            },
+        }
+    } else {
+        stats.topological_fallbacks += 1;
+        OutputDelay {
+            name: name.to_owned(),
+            delay: topological,
+            topological,
+            status: OutputStatus::Fallback { cause },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbf_logic::generators::adders::paper_bypass_adder;
+    use tbf_logic::generators::figures::{figure1_three_paths, figure4_example3};
+    use tbf_logic::{DelayBounds, GateKind};
+
+    fn t(x: i64) -> Time {
+        Time::from_int(x)
+    }
+
+    #[test]
+    fn paper_examples_resolve_exactly() {
+        let p = AnalysisPolicy::default();
+        let r = analyze(&figure4_example3(), &p);
+        assert_eq!(r.exact, Some(t(4)));
+        let r = analyze(&figure1_three_paths(), &p);
+        assert_eq!(r.exact, Some(t(5)));
+        let r = analyze(&paper_bypass_adder(), &p);
+        assert_eq!(r.exact, Some(t(24)));
+        assert!(r.all_exact());
+        assert_eq!(r.stats.retries, 0);
+        assert_eq!(r.stats.panics_caught, 0);
+    }
+
+    #[test]
+    fn retry_with_escalated_caps_recovers_exactness() {
+        // 10 parallel variable-delay buffers into an XOR: 10 straddling
+        // paths. Cap 3 fails; one 4× escalation lifts it to 12 ≥ 10.
+        let mut b = Netlist::builder();
+        let x = b.input("x");
+        let mut bufs = Vec::new();
+        for i in 0..10 {
+            bufs.push(
+                b.gate(
+                    GateKind::Buf,
+                    &format!("b{i}"),
+                    vec![x],
+                    DelayBounds::new(t(1), t(3)),
+                )
+                .unwrap(),
+            );
+        }
+        let g = b
+            .gate(GateKind::Xor, "g", bufs, DelayBounds::fixed(t(1)))
+            .unwrap();
+        b.output("f", g);
+        let n = b.finish().unwrap();
+        let policy = AnalysisPolicy::with_options(DelayOptions {
+            max_straddling_paths: 3,
+            ..DelayOptions::default()
+        });
+        let r = analyze(&n, &policy);
+        assert!(r.stats.retries >= 1, "escalation should have happened");
+        assert!(r.all_exact(), "escalated caps fit: {r}");
+        assert_eq!(r.exact, Some(t(4)));
+    }
+
+    #[test]
+    fn exhausted_retries_degrade_with_sound_bounds() {
+        // Same circuit, but retries can't reach 10 paths: caps 1 → 2.
+        let mut b = Netlist::builder();
+        let x = b.input("x");
+        let mut bufs = Vec::new();
+        for i in 0..10 {
+            bufs.push(
+                b.gate(
+                    GateKind::Buf,
+                    &format!("b{i}"),
+                    vec![x],
+                    DelayBounds::new(t(1), t(3)),
+                )
+                .unwrap(),
+            );
+        }
+        let g = b
+            .gate(GateKind::Xor, "g", bufs, DelayBounds::fixed(t(1)))
+            .unwrap();
+        b.output("f", g);
+        let n = b.finish().unwrap();
+        let policy = AnalysisPolicy {
+            options: DelayOptions {
+                max_straddling_paths: 1,
+                ..DelayOptions::default()
+            },
+            escalation_factor: 2,
+            ..AnalysisPolicy::default()
+        };
+        let r = analyze(&n, &policy);
+        assert!(!r.all_exact());
+        // The exact delay is 4; whatever ladder rung produced the answer,
+        // the bounds must contain it.
+        assert!(r.lower <= t(4) && t(4) <= r.upper, "{r}");
+        assert!(r.stats.retries >= 1);
+    }
+
+    #[test]
+    fn zero_time_budget_still_reports_bounds() {
+        let policy = AnalysisPolicy::with_options(DelayOptions {
+            time_budget: Some(std::time::Duration::ZERO),
+            ..DelayOptions::default()
+        });
+        let r = analyze(&paper_bypass_adder(), &policy);
+        assert!(!r.all_exact());
+        assert!(r.lower <= t(24) && t(24) <= r.upper, "{r}");
+        assert_eq!(r.topological, t(40));
+        for o in &r.outputs {
+            match o.status {
+                OutputStatus::Bounded { cause, .. } | OutputStatus::Fallback { cause } => {
+                    assert_eq!(cause, DegradeCause::TimedOut);
+                }
+                OutputStatus::Exact => panic!("zero budget cannot be exact"),
+            }
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_token_degrades_every_cone() {
+        let token = CancelToken::new();
+        token.cancel();
+        let r = analyze_with_token(&paper_bypass_adder(), &AnalysisPolicy::default(), token);
+        assert!(!r.all_exact());
+        assert!(r.upper <= t(40));
+        assert!(r.lower <= t(24) && t(24) <= r.upper);
+        for o in &r.outputs {
+            match o.status {
+                OutputStatus::Bounded { cause, .. } | OutputStatus::Fallback { cause } => {
+                    assert_eq!(cause, DegradeCause::Cancelled);
+                }
+                OutputStatus::Exact => panic!("cancelled analysis cannot be exact"),
+            }
+        }
+    }
+
+    #[test]
+    fn display_shows_status_lines() {
+        let r = analyze(&paper_bypass_adder(), &AnalysisPolicy::default());
+        let s = r.to_string();
+        assert!(s.contains("exact delay 24"), "{s}");
+        assert!(s.contains("topological 40"), "{s}");
+    }
+}

@@ -53,6 +53,24 @@ pub enum DelayError {
         /// Sound bounds on the delay established so far.
         bounds: (Time, Time),
     },
+    /// A [`CancelToken`](crate::CancelToken) fired mid-analysis.
+    Cancelled {
+        /// The breakpoint being examined when cancellation was observed.
+        at_breakpoint: Time,
+        /// Sound bounds on the delay established so far.
+        bounds: (Time, Time),
+    },
+    /// An internal invariant failed. Never expected on well-formed
+    /// netlists; surfaced as a typed error (instead of a panic) so one
+    /// bad cone cannot take down a whole-circuit analysis.
+    Internal {
+        /// What was violated.
+        detail: &'static str,
+        /// The breakpoint being examined when the invariant failed.
+        at_breakpoint: Time,
+        /// Sound bounds on the delay established so far.
+        bounds: (Time, Time),
+    },
     /// A netlist error surfaced during analysis (e.g. no outputs).
     Netlist(tbf_logic::NetlistError),
 }
@@ -66,7 +84,9 @@ impl DelayError {
             DelayError::TooManyPaths { bounds, .. }
             | DelayError::BddTooLarge { bounds, .. }
             | DelayError::TooManyCubes { bounds, .. }
-            | DelayError::TimedOut { bounds, .. } => *bounds = (lo, hi),
+            | DelayError::TimedOut { bounds, .. }
+            | DelayError::Cancelled { bounds, .. }
+            | DelayError::Internal { bounds, .. } => *bounds = (lo, hi),
             DelayError::Netlist(_) => {}
         }
         self
@@ -79,7 +99,9 @@ impl DelayError {
             DelayError::TooManyPaths { bounds, .. }
             | DelayError::BddTooLarge { bounds, .. }
             | DelayError::TooManyCubes { bounds, .. }
-            | DelayError::TimedOut { bounds, .. } => Some(*bounds),
+            | DelayError::TimedOut { bounds, .. }
+            | DelayError::Cancelled { bounds, .. }
+            | DelayError::Internal { bounds, .. } => Some(*bounds),
             DelayError::Netlist(_) => None,
         }
     }
@@ -128,6 +150,25 @@ impl fmt::Display for DelayError {
                  delay is within [{}, {}]",
                 bounds.0, bounds.1
             ),
+            DelayError::Cancelled {
+                at_breakpoint,
+                bounds,
+            } => write!(
+                f,
+                "analysis cancelled at breakpoint {at_breakpoint}; \
+                 delay is within [{}, {}]",
+                bounds.0, bounds.1
+            ),
+            DelayError::Internal {
+                detail,
+                at_breakpoint,
+                bounds,
+            } => write!(
+                f,
+                "internal invariant violated ({detail}) at breakpoint {at_breakpoint}; \
+                 delay is within [{}, {}]",
+                bounds.0, bounds.1
+            ),
             DelayError::Netlist(e) => write!(f, "netlist error: {e}"),
         }
     }
@@ -163,6 +204,23 @@ mod tests {
         assert!(s.contains("10"));
         assert!(s.contains("[3, 5]"));
         assert_eq!(e.bounds(), Some((Time::from_int(3), Time::from_int(5))));
+    }
+
+    #[test]
+    fn cancelled_and_internal_carry_bounds() {
+        let c = DelayError::Cancelled {
+            at_breakpoint: Time::from_int(7),
+            bounds: (Time::ZERO, Time::from_int(7)),
+        };
+        assert!(c.to_string().contains("cancelled"));
+        assert_eq!(c.bounds(), Some((Time::ZERO, Time::from_int(7))));
+        let i = DelayError::Internal {
+            detail: "xor non-false",
+            at_breakpoint: Time::from_int(3),
+            bounds: (Time::ZERO, Time::from_int(3)),
+        };
+        assert!(i.to_string().contains("xor non-false"));
+        assert!(i.bounds().is_some());
     }
 
     #[test]

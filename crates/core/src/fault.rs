@@ -1,0 +1,201 @@
+//! Deterministic fault injection for exercising the degradation ladder.
+//!
+//! Compiled to no-ops unless the `fault-injection` cargo feature is on:
+//! the release engines pay nothing for the harness. With the feature
+//! enabled, tests arm a thread-local [`FaultPlan`] naming *injection
+//! sites* ([`Site`]) and hit counts; the engines consult
+//! [`trip`] at those sites and fail exactly where the plan says, letting
+//! tests walk every error variant and every ladder rung without
+//! constructing pathological circuits.
+//!
+//! Plans are per-thread and scoped: [`with_plan`] arms the plan, runs
+//! the closure, and disarms on exit (including on panic), so one test
+//! cannot leak faults into another.
+
+/// A named injection point inside the analysis pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Site {
+    /// Inside a budgeted BDD operation (forces `BddTooLarge`).
+    BddOp,
+    /// During straddling-path discovery (forces `TooManyPaths`).
+    PathCollect,
+    /// During difference-cube enumeration (forces `TooManyCubes`).
+    CubeEnum,
+    /// At the top of a breakpoint iteration (forces deadline expiry —
+    /// `TimedOut`).
+    Breakpoint,
+    /// At the start of an output cone (panics, for exercising panic
+    /// isolation).
+    ConeStart,
+    /// Before the interior LP solve in witness extraction (forces the
+    /// documented supremum-vertex fallback).
+    LpInterior,
+    /// Before the XOR satisfiability read in witness extraction (forces
+    /// the internal-invariant error path).
+    XorSat,
+}
+
+#[cfg(feature = "fault-injection")]
+mod imp {
+    use super::Site;
+    use std::cell::RefCell;
+
+    /// One armed fault: fires on the `after`-th hit of its site
+    /// (0 = first hit), then disarms.
+    #[derive(Clone, Copy, Debug)]
+    struct Armed {
+        site: Site,
+        after: usize,
+        hits: usize,
+        fired: bool,
+    }
+
+    thread_local! {
+        static PLAN: RefCell<Vec<Armed>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// A deterministic set of faults to arm for the duration of a
+    /// [`with_plan`](super::with_plan) scope.
+    #[derive(Clone, Debug, Default)]
+    pub struct FaultPlan {
+        armed: Vec<(Site, usize)>,
+    }
+
+    impl FaultPlan {
+        /// An empty plan (no faults).
+        #[must_use]
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Arms `site` to fire once, on its `after`-th hit (0-based).
+        #[must_use]
+        pub fn once_at(mut self, site: Site, after: usize) -> Self {
+            self.armed.push((site, after));
+            self
+        }
+
+        /// Arms `site` to fire on its first hit.
+        #[must_use]
+        pub fn once(self, site: Site) -> Self {
+            self.once_at(site, 0)
+        }
+    }
+
+    /// RAII guard restoring the previous plan when a scope ends.
+    struct PlanGuard {
+        previous: Vec<Armed>,
+    }
+
+    impl Drop for PlanGuard {
+        fn drop(&mut self) {
+            PLAN.with(|p| *p.borrow_mut() = std::mem::take(&mut self.previous));
+        }
+    }
+
+    /// Runs `f` with `plan` armed on this thread; the previous plan is
+    /// restored on exit, even if `f` panics.
+    pub fn with_plan<R>(plan: FaultPlan, f: impl FnOnce() -> R) -> R {
+        let armed: Vec<Armed> = plan
+            .armed
+            .into_iter()
+            .map(|(site, after)| Armed {
+                site,
+                after,
+                hits: 0,
+                fired: false,
+            })
+            .collect();
+        let guard = PlanGuard {
+            previous: PLAN.with(|p| std::mem::replace(&mut *p.borrow_mut(), armed)),
+        };
+        let r = f();
+        drop(guard);
+        r
+    }
+
+    /// Records a hit at `site`; returns `true` exactly when an armed
+    /// fault fires here.
+    pub(crate) fn trip(site: Site) -> bool {
+        PLAN.with(|p| {
+            let mut plan = p.borrow_mut();
+            for a in plan.iter_mut() {
+                if a.site != site || a.fired {
+                    continue;
+                }
+                let hit = a.hits;
+                a.hits += 1;
+                if hit == a.after {
+                    a.fired = true;
+                    return true;
+                }
+            }
+            false
+        })
+    }
+}
+
+#[cfg(feature = "fault-injection")]
+pub use imp::{with_plan, FaultPlan};
+
+#[cfg(feature = "fault-injection")]
+pub(crate) use imp::trip;
+
+/// No-op [`trip`] when fault injection is compiled out: always `false`,
+/// trivially inlined — zero cost at every call site.
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub(crate) fn trip(_site: Site) -> bool {
+    false
+}
+
+#[cfg(all(test, feature = "fault-injection"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_once_at_the_requested_hit() {
+        with_plan(FaultPlan::new().once_at(Site::Breakpoint, 2), || {
+            assert!(!trip(Site::Breakpoint)); // hit 0
+            assert!(!trip(Site::Breakpoint)); // hit 1
+            assert!(trip(Site::Breakpoint)); // hit 2 fires
+            assert!(!trip(Site::Breakpoint)); // disarmed
+            assert!(!trip(Site::BddOp)); // other sites unaffected
+        });
+    }
+
+    #[test]
+    fn plan_is_scoped_and_panic_safe() {
+        let result = std::panic::catch_unwind(|| {
+            with_plan(FaultPlan::new().once(Site::ConeStart), || {
+                panic!("boom");
+            })
+        });
+        assert!(result.is_err());
+        // The plan armed inside the scope must be gone.
+        assert!(!trip(Site::ConeStart));
+    }
+
+    #[test]
+    fn multiple_sites_fire_independently() {
+        with_plan(
+            FaultPlan::new().once(Site::BddOp).once(Site::CubeEnum),
+            || {
+                assert!(trip(Site::BddOp));
+                assert!(trip(Site::CubeEnum));
+                assert!(!trip(Site::BddOp));
+            },
+        );
+    }
+}
+
+#[cfg(all(test, not(feature = "fault-injection")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trip_is_always_false() {
+        assert!(!trip(Site::BddOp));
+        assert!(!trip(Site::ConeStart));
+    }
+}

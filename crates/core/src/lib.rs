@@ -24,7 +24,14 @@
 //!   bounds affect the 2-vector delay, with the `f* = D(C,[0,dᵐᵃˣ],2)/L`
 //!   threshold,
 //! * [`TbfExpr`] — the explicit TBF algebra of §4 (timed variables,
-//!   Boolean connectives, waveform evaluation).
+//!   Boolean connectives, waveform evaluation),
+//! * [`analyze`] — the **anytime driver**: a graceful-degradation ladder
+//!   (exact → escalated retry → sequences upper bound → topological
+//!   bound) with cooperative cancellation ([`CancelToken`]), wall-clock
+//!   deadlines checked at BDD-allocation granularity, and per-cone panic
+//!   isolation. It never errors on a well-formed netlist: every output
+//!   gets sound `[lower, upper]` delay bounds and a
+//!   [`OutputStatus`] saying which ladder rung produced them.
 //!
 //! # Example
 //!
@@ -46,7 +53,13 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library code must degrade through typed `DelayError`s, never panic:
+// `.unwrap()` is banned outside tests (`.expect()` remains for documented
+// invariants, each carrying its justification string).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+mod budget;
+mod driver;
 mod error;
 mod network;
 mod options;
@@ -54,14 +67,17 @@ mod report;
 mod static_fn;
 mod tbf;
 
+pub mod fault;
 pub mod lower_bounds;
 pub mod oracle;
 mod sequences;
 mod two_vector;
 
+pub use budget::{AnalysisBudget, CancelToken};
+pub use driver::{analyze, analyze_with_token, AnalysisPolicy, CircuitReport};
 pub use error::DelayError;
 pub use options::DelayOptions;
-pub use report::{DelayReport, DelayWitness, OutputDelay, SearchStats};
+pub use report::{DegradeCause, DelayReport, DelayWitness, OutputDelay, OutputStatus, SearchStats};
 pub use sequences::{floating_delay, sequences_delay};
 pub use tbf::TbfExpr;
 pub use two_vector::two_vector_delay;

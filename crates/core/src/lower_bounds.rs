@@ -152,10 +152,7 @@ mod tests {
     fn trees_have_threshold_one() {
         // No false paths: D(C,[0,dmax],2) = L, so f* = 1 — lower bounds
         // never matter.
-        let n = parity_tree(
-            8,
-            DelayBounds::new(Time::from_units(0.9), t(1)),
-        );
+        let n = parity_tree(8, DelayBounds::new(Time::from_units(0.9), t(1)));
         let f_star = precision_threshold(&n, &opts()).unwrap();
         assert!((f_star - 1.0).abs() < 1e-9);
         let sweep = precision_sweep(&n, 3, &opts()).unwrap();

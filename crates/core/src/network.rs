@@ -38,21 +38,69 @@
 //! is compacted (rebuilt, statics re-derived) when dead nodes from past
 //! queries accumulate, and the slot blocks grow geometrically if a
 //! breakpoint needs more simultaneous variables per input than reserved.
+//!
+//! # Budgets and interruption
+//!
+//! Every engine holds an [`AnalysisBudget`]; its caps are read live (the
+//! degradation ladder escalates them between retries without rebuilding
+//! the engine) and its deadline/cancel state is polled at every recursion
+//! step *and* — via a cancel probe handed to the budgeted BDD operations —
+//! at node-allocation granularity inside each BDD call, so even one huge
+//! XOR cannot overshoot a deadline by more than a cache-stride of
+//! allocations.
 
 use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
 
-use tbf_bdd::{Bdd, BddManager, Var};
+use tbf_bdd::{Bdd, BddManager, OpAbort, OpBudget, Var};
 use tbf_logic::{Netlist, NodeId, Time};
 
-use crate::options::DelayOptions;
+use crate::budget::AnalysisBudget;
+use crate::error::DelayError;
+use crate::fault::{self, Site};
 use crate::static_fn::{build_statics, gate_bdd};
 
 /// Abort reasons local to the network build; the engines attach bounds
 /// and convert to [`DelayError`](crate::DelayError).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub(crate) enum BuildAbort {
-    TooManyPaths { limit: usize },
-    BddTooLarge { limit: usize },
+    TooManyPaths {
+        limit: usize,
+    },
+    BddTooLarge {
+        limit: usize,
+    },
+    /// The budget's deadline or cancellation token fired mid-build. The
+    /// engines consult [`AnalysisBudget::cause`] to pick the error.
+    Interrupted,
+}
+
+impl BuildAbort {
+    /// Folds a budgeted BDD-operation abort into a build abort.
+    pub(crate) fn from_op(a: OpAbort) -> BuildAbort {
+        match a {
+            OpAbort::NodeLimit(e) => BuildAbort::BddTooLarge { limit: e.limit },
+            OpAbort::Cancelled => BuildAbort::Interrupted,
+        }
+    }
+
+    /// Converts to the engine-level error at breakpoint `b`, with the
+    /// conservative per-cone bounds `(0, b)`.
+    pub(crate) fn into_error(self, b: Time, budget: &AnalysisBudget) -> DelayError {
+        match self {
+            BuildAbort::TooManyPaths { limit } => DelayError::TooManyPaths {
+                limit,
+                at_breakpoint: b,
+                bounds: (Time::ZERO, b),
+            },
+            BuildAbort::BddTooLarge { limit } => DelayError::BddTooLarge {
+                limit,
+                at_breakpoint: b,
+                bounds: (Time::ZERO, b),
+            },
+            BuildAbort::Interrupted => budget.interrupt_error(b, (Time::ZERO, b)),
+        }
+    }
 }
 
 /// One resolvent: the Boolean selector of a delay-dependent TBF variable
@@ -171,8 +219,8 @@ pub(crate) struct QueryOut {
 pub(crate) struct Engine<'a> {
     netlist: &'a Netlist,
     pub timing: Timing,
-    max_paths: usize,
-    max_bdd: usize,
+    /// The analysis-wide budget: live caps + deadline/cancel state.
+    pub budget: Rc<AnalysisBudget>,
     /// Reserved auxiliary (resolvent / fresh) variables per input.
     slots: usize,
     pub manager: BddManager,
@@ -192,12 +240,11 @@ pub(crate) struct Engine<'a> {
 }
 
 impl<'a> Engine<'a> {
-    pub fn new(netlist: &'a Netlist, options: &DelayOptions) -> Result<Engine<'a>, BuildAbort> {
+    pub fn new(netlist: &'a Netlist, budget: Rc<AnalysisBudget>) -> Result<Engine<'a>, BuildAbort> {
         let mut engine = Engine {
             netlist,
             timing: Timing::new(netlist),
-            max_paths: options.max_straddling_paths,
-            max_bdd: options.max_bdd_nodes,
+            budget,
             slots: 4,
             manager: BddManager::new(),
             after_leaf: Vec::new(),
@@ -224,7 +271,11 @@ impl<'a> Engine<'a> {
         let mut slot_vars = vec![Vec::new(); n_inputs];
         let mut input_vars = Vec::with_capacity(2 * n_inputs);
         for &pos in &self.timing.input_order {
-            let name = self.netlist.node(self.netlist.inputs()[pos]).name().to_owned();
+            let name = self
+                .netlist
+                .node(self.netlist.inputs()[pos])
+                .name()
+                .to_owned();
             let va = manager.new_named_var(&format!("{name}+"));
             let vb = manager.new_named_var(&format!("{name}-"));
             input_vars.push(va);
@@ -235,15 +286,13 @@ impl<'a> Engine<'a> {
                 .map(|j| manager.new_named_var(&format!("s_{name}_{j}")))
                 .collect();
         }
-        let overflow = |_limit| BuildAbort::BddTooLarge {
-            limit: self.max_bdd,
-        };
-        let static_after =
-            build_statics(&mut manager, self.netlist, &after_leaf, self.max_bdd)
-                .map_err(overflow)?;
-        let static_before =
-            build_statics(&mut manager, self.netlist, &before_leaf, self.max_bdd)
-                .map_err(overflow)?;
+        let bud = self.budget.clone();
+        let probe = move || bud.interrupted();
+        let op_budget = OpBudget::with_cancel(self.budget.max_bdd_nodes(), &probe);
+        let static_after = build_statics(&mut manager, self.netlist, &after_leaf, &op_budget)
+            .map_err(BuildAbort::from_op)?;
+        let static_before = build_statics(&mut manager, self.netlist, &before_leaf, &op_budget)
+            .map_err(BuildAbort::from_op)?;
         self.statics_baseline = manager.node_count();
         self.manager = manager;
         self.after_leaf = after_leaf;
@@ -266,6 +315,13 @@ impl<'a> Engine<'a> {
             self.manager.clear_op_caches();
         }
         Ok(())
+    }
+
+    /// Rebuilds the manager from scratch (post-panic recovery, ladder
+    /// retries): every cached BDD handle is dropped and the statics are
+    /// re-derived under the current caps.
+    pub fn reset(&mut self) -> Result<(), BuildAbort> {
+        self.layout()
     }
 
     /// `f(∞)` of an output (over the `x⁺` variables).
@@ -308,6 +364,7 @@ impl<'a> Engine<'a> {
             b: Time,
             mode: Mode,
             max_paths: usize,
+            budget: &'n AnalysisBudget,
             memo_useful: bool,
             suffix: Vec<NodeId>,
             seen: HashSet<(NodeId, TbfVarKey)>,
@@ -325,6 +382,14 @@ impl<'a> Engine<'a> {
                 }
                 self.calls += 1;
                 if self.calls > MAX_BUILD_CALLS {
+                    return Err(BuildAbort::TooManyPaths {
+                        limit: self.max_paths,
+                    });
+                }
+                if self.budget.poll().is_some() {
+                    return Err(BuildAbort::Interrupted);
+                }
+                if fault::trip(Site::PathCollect) {
                     return Err(BuildAbort::TooManyPaths {
                         limit: self.max_paths,
                     });
@@ -367,7 +432,8 @@ impl<'a> Engine<'a> {
             pminmin: &self.timing.pminmin,
             b,
             mode,
-            max_paths: self.max_paths,
+            max_paths: self.budget.max_paths(),
+            budget: &self.budget,
             memo_useful: self.memo_useful,
             suffix: Vec::new(),
             seen: HashSet::new(),
@@ -466,6 +532,7 @@ impl<'a> Engine<'a> {
             mode: Mode,
             max_paths: usize,
             max_bdd: usize,
+            budget: Rc<AnalysisBudget>,
             memo_useful: bool,
             static_after: &'n [Bdd],
             static_before: &'n [Bdd],
@@ -507,6 +574,9 @@ impl<'a> Engine<'a> {
                         limit: self.max_paths,
                     });
                 }
+                if self.budget.poll().is_some() {
+                    return Err(BuildAbort::Interrupted);
+                }
                 let node = self.netlist.node(n);
                 if node.kind().is_constant() {
                     // Constants never transition; both statics coincide.
@@ -546,8 +616,16 @@ impl<'a> Engine<'a> {
                     fanin_bdds.push(b);
                 }
                 self.suffix.pop();
-                let result = gate_bdd(manager, kind, &fanin_bdds, self.max_bdd)
-                    .map_err(|e| BuildAbort::BddTooLarge { limit: e.limit })?;
+                if fault::trip(Site::BddOp) {
+                    return Err(BuildAbort::BddTooLarge {
+                        limit: self.max_bdd,
+                    });
+                }
+                let bud = self.budget.clone();
+                let probe = move || bud.interrupted();
+                let op_budget = OpBudget::with_cancel(self.max_bdd, &probe);
+                let result = gate_bdd(manager, kind, &fanin_bdds, &op_budget)
+                    .map_err(BuildAbort::from_op)?;
                 if let Some(k) = memo_key {
                     self.memo.insert(k, result);
                 }
@@ -560,8 +638,9 @@ impl<'a> Engine<'a> {
             pminmin: &self.timing.pminmin,
             b,
             mode,
-            max_paths: self.max_paths,
-            max_bdd: self.max_bdd,
+            max_paths: self.budget.max_paths(),
+            max_bdd: self.budget.max_bdd_nodes(),
+            budget: self.budget.clone(),
             memo_useful: self.memo_useful,
             static_after: &self.static_after,
             static_before: &self.static_before,
@@ -577,6 +656,7 @@ impl<'a> Engine<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::options::DelayOptions;
     use tbf_logic::generators::figures::{figure4_example3, figure5_example4, figure6_glitch};
     use tbf_logic::{DelayBounds, GateKind};
 
@@ -585,7 +665,11 @@ mod tests {
     }
 
     fn engine(n: &Netlist) -> Engine<'_> {
-        Engine::new(n, &DelayOptions::default()).expect("small circuit")
+        Engine::new(
+            n,
+            AnalysisBudget::from_options(&DelayOptions::default()).shared(),
+        )
+        .expect("small circuit")
     }
 
     #[test]
@@ -643,8 +727,7 @@ mod tests {
 
     #[test]
     fn figure6_variable_delays_get_distinct_variables() {
-        let n =
-            figure6_glitch().map_delays(|d| DelayBounds::new(d.max - Time::EPSILON, d.max));
+        let n = figure6_glitch().map_delays(|d| DelayBounds::new(d.max - Time::EPSILON, d.max));
         let out = n.find("g").unwrap();
         let mut e = engine(&n);
         let f = e.sequences_query(out, t(2)).expect("small circuit");
@@ -708,9 +791,60 @@ mod tests {
             max_straddling_paths: 4,
             ..DelayOptions::default()
         };
-        let mut e = Engine::new(&n, &opts).expect("small circuit");
+        let mut e =
+            Engine::new(&n, AnalysisBudget::from_options(&opts).shared()).expect("small circuit");
         let err = e.two_vector_query(out, t(3)).unwrap_err();
         assert_eq!(err, BuildAbort::TooManyPaths { limit: 4 });
+    }
+
+    #[test]
+    fn escalated_caps_are_read_live() {
+        // Same circuit as `path_cap_aborts`: escalating the shared budget
+        // (no engine rebuild) must lift the cap for the next query.
+        let mut b = Netlist::builder();
+        let x = b.input("x");
+        let mut bufs = Vec::new();
+        for i in 0..8 {
+            bufs.push(
+                b.gate(
+                    GateKind::Buf,
+                    &format!("b{i}"),
+                    vec![x],
+                    DelayBounds::new(t(1), t(3)),
+                )
+                .unwrap(),
+            );
+        }
+        let g = b
+            .gate(GateKind::And, "g", bufs, DelayBounds::new(t(1), t(1)))
+            .unwrap();
+        b.output("f", g);
+        let n = b.finish().unwrap();
+        let out = n.find("g").unwrap();
+        let opts = DelayOptions {
+            max_straddling_paths: 4,
+            ..DelayOptions::default()
+        };
+        let budget = AnalysisBudget::from_options(&opts).shared();
+        let mut e = Engine::new(&n, budget.clone()).expect("small circuit");
+        assert!(e.two_vector_query(out, t(3)).is_err());
+        budget.escalate(4);
+        assert!(e.two_vector_query(out, t(3)).is_ok());
+    }
+
+    #[test]
+    fn cancelled_budget_interrupts_query() {
+        use crate::budget::CancelToken;
+        let n = figure4_example3();
+        let out = n.find("g2").unwrap();
+        let token = CancelToken::new();
+        let budget = AnalysisBudget::from_options(&DelayOptions::default())
+            .with_token(token.clone())
+            .shared();
+        let mut e = Engine::new(&n, budget).expect("small circuit");
+        token.cancel();
+        let err = e.two_vector_query(out, t(4)).unwrap_err();
+        assert_eq!(err, BuildAbort::Interrupted);
     }
 
     #[test]

@@ -70,9 +70,6 @@ mod tests {
             ..DelayOptions::default()
         };
         assert_eq!(o.max_cubes, 7);
-        assert_eq!(
-            o.max_bdd_nodes,
-            DelayOptions::default().max_bdd_nodes
-        );
+        assert_eq!(o.max_bdd_nodes, DelayOptions::default().max_bdd_nodes);
     }
 }

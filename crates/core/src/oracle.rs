@@ -73,9 +73,7 @@ fn eval_ternary(kind: GateKind, inputs: &[Ternary], groups: &[usize]) -> Ternary
                     Ternary::True => true,
                     Ternary::False => false,
                     Ternary::Unknown => {
-                        let j = unknown_groups
-                            .binary_search(&g)
-                            .expect("group is unknown");
+                        let j = unknown_groups.binary_search(&g).expect("group is unknown");
                         (mask >> j) & 1 == 1
                     }
                 })
@@ -109,8 +107,7 @@ fn settle_times(netlist: &Netlist, vector: &[bool]) -> Vec<Time> {
                 // constant-output gates with no settled fanin — cannot
                 // happen for nontrivial kinds, but harmless).
                 let fanins = node.fanins();
-                let mut taus: Vec<Time> =
-                    fanins.iter().map(|f| settle[f.index()]).collect();
+                let mut taus: Vec<Time> = fanins.iter().map(|f| settle[f.index()]).collect();
                 taus.sort_unstable();
                 taus.dedup();
                 let groups: Vec<usize> = fanins.iter().map(|f| f.index()).collect();
@@ -191,13 +188,19 @@ mod tests {
         assert_eq!(eval_ternary(GateKind::Not, &[Unknown], &[0]), Unknown);
         assert_eq!(eval_ternary(GateKind::Not, &[False], &[0]), True);
         // MAJ determined by two agreeing knowns.
-        assert_eq!(eval_ternary(GateKind::Maj, &[True, True, Unknown], &g3), True);
+        assert_eq!(
+            eval_ternary(GateKind::Maj, &[True, True, Unknown], &g3),
+            True
+        );
         assert_eq!(
             eval_ternary(GateKind::Maj, &[True, False, Unknown], &g3),
             Unknown
         );
         // MUX with both data equal is determined despite unknown select.
-        assert_eq!(eval_ternary(GateKind::Mux, &[Unknown, True, True], &g3), True);
+        assert_eq!(
+            eval_ternary(GateKind::Mux, &[Unknown, True, True], &g3),
+            True
+        );
         assert_eq!(
             eval_ternary(GateKind::Mux, &[Unknown, True, False], &g3),
             Unknown
@@ -241,10 +244,20 @@ mod tests {
         let x = b.input("x");
         let y = b.input("y");
         let slow = b
-            .gate(GateKind::Buf, "slow", vec![x], DelayBounds::unbounded(t(10)))
+            .gate(
+                GateKind::Buf,
+                "slow",
+                vec![x],
+                DelayBounds::unbounded(t(10)),
+            )
             .unwrap();
         let g = b
-            .gate(GateKind::And, "g", vec![slow, y], DelayBounds::unbounded(t(1)))
+            .gate(
+                GateKind::And,
+                "g",
+                vec![slow, y],
+                DelayBounds::unbounded(t(1)),
+            )
             .unwrap();
         b.output("f", g);
         let n = b.finish().unwrap();

@@ -4,6 +4,8 @@ use std::fmt;
 
 use tbf_logic::Time;
 
+use crate::error::DelayError;
+
 /// A sensitizing scenario realizing (or approaching within one
 /// fixed-point unit of) the exact 2-vector delay: the input vector pair
 /// and an in-bounds delay assignment extracted from the winning cube's
@@ -23,20 +25,117 @@ pub struct DelayWitness {
     pub delays: Vec<Time>,
 }
 
+/// Why a cone's result was degraded below exactness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DegradeCause {
+    /// More delay-dependent paths than the straddling-path cap.
+    TooManyPaths,
+    /// The BDD manager outgrew its node cap.
+    BddTooLarge,
+    /// The XOR difference produced more cubes than the cube cap.
+    TooManyCubes,
+    /// The wall-clock budget ran out.
+    TimedOut,
+    /// A cancellation token fired.
+    Cancelled,
+    /// An internal invariant failed (typed, not a panic).
+    InternalInvariant,
+    /// The engine panicked inside this cone; the panic was isolated and
+    /// the cone degraded.
+    EnginePanic,
+}
+
+impl DegradeCause {
+    /// Classifies a [`DelayError`] into the cause it degrades with.
+    /// `None` for netlist errors, which are caller mistakes rather than
+    /// resource exhaustion.
+    pub fn from_error(e: &DelayError) -> Option<DegradeCause> {
+        Some(match e {
+            DelayError::TooManyPaths { .. } => DegradeCause::TooManyPaths,
+            DelayError::BddTooLarge { .. } => DegradeCause::BddTooLarge,
+            DelayError::TooManyCubes { .. } => DegradeCause::TooManyCubes,
+            DelayError::TimedOut { .. } => DegradeCause::TimedOut,
+            DelayError::Cancelled { .. } => DegradeCause::Cancelled,
+            DelayError::Internal { .. } => DegradeCause::InternalInvariant,
+            DelayError::Netlist(_) => return None,
+        })
+    }
+}
+
+impl fmt::Display for DegradeCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Render the `Debug` name in spaced lowercase
+        // (`TooManyPaths` → `too many paths`).
+        let name = format!("{self:?}");
+        let mut out = String::with_capacity(name.len() + 4);
+        for (i, c) in name.chars().enumerate() {
+            if c.is_uppercase() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                out.extend(c.to_lowercase());
+            } else {
+                out.push(c);
+            }
+        }
+        f.write_str(&out)
+    }
+}
+
+/// How trustworthy a per-output `delay` figure is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OutputStatus {
+    /// `delay` is the exact delay of this output's cone.
+    Exact,
+    /// Exactness was abandoned but sound bounds survived: the true
+    /// delay lies in `[lower, upper]`, and `delay` equals `upper`.
+    Bounded {
+        /// Sound lower bound on the cone's delay.
+        lower: Time,
+        /// Sound upper bound on the cone's delay.
+        upper: Time,
+        /// Why the ladder stopped short of exactness.
+        cause: DegradeCause,
+    },
+    /// Every analytic rung failed; `delay` is the cone's topological
+    /// bound (always sound, maximally pessimistic).
+    Fallback {
+        /// Why the ladder fell through to the topological bound.
+        cause: DegradeCause,
+    },
+}
+
 /// Per-output delay result.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct OutputDelay {
     /// The primary output's name.
     pub name: String,
-    /// Its delay: exact when [`exact`](Self::exact) is true, otherwise a
-    /// sound upper bound (the output's cone hit a resource cap).
+    /// Its delay: exact when [`status`](Self::status) is
+    /// [`OutputStatus::Exact`], otherwise a sound upper bound.
     pub delay: Time,
     /// The output's topological delay, for the exact-vs-topological gap.
     pub topological: Time,
-    /// Whether `delay` is exact (capped cones report a bound instead;
-    /// the circuit-level result is still exact whenever some exact
-    /// output dominates every bounded one).
-    pub exact: bool,
+    /// How the `delay` figure was obtained (exact, bounded, or
+    /// topological fallback).
+    pub status: OutputStatus,
+}
+
+impl OutputDelay {
+    /// Whether `delay` is exact for this output.
+    pub fn is_exact(&self) -> bool {
+        matches!(self.status, OutputStatus::Exact)
+    }
+
+    /// The sound `(lower, upper)` bounds this entry certifies. Exact
+    /// entries collapse to `(delay, delay)`; fallback entries to
+    /// `(0, topological)`.
+    pub fn bounds(&self) -> (Time, Time) {
+        match self.status {
+            OutputStatus::Exact => (self.delay, self.delay),
+            OutputStatus::Bounded { lower, upper, .. } => (lower, upper),
+            OutputStatus::Fallback { .. } => (Time::ZERO, self.topological),
+        }
+    }
 }
 
 /// Search-effort counters, reported for the paper's CPU-time-style table
@@ -51,6 +150,14 @@ pub struct SearchStats {
     pub lps_solved: usize,
     /// Peak BDD node count.
     pub peak_bdd_nodes: usize,
+    /// Ladder retries (cap escalation + engine reset) attempted.
+    pub retries: usize,
+    /// Cones that fell back to the sequences-delay upper bound.
+    pub sequences_fallbacks: usize,
+    /// Cones that fell all the way through to the topological bound.
+    pub topological_fallbacks: usize,
+    /// Engine panics caught and isolated by the driver.
+    pub panics_caught: usize,
 }
 
 /// The result of an exact delay computation.
@@ -102,7 +209,7 @@ impl fmt::Display for DelayReport {
                 f,
                 "  {}: {}{} (topological {})",
                 o.name,
-                if o.exact { "" } else { "≤ " },
+                if o.is_exact() { "" } else { "≤ " },
                 o.delay,
                 o.topological
             )?;
@@ -135,7 +242,7 @@ mod tests {
                 name: "cout".into(),
                 delay: t(24),
                 topological: t(40),
-                exact: true,
+                status: OutputStatus::Exact,
             }],
             witness: None,
             stats: SearchStats::default(),
@@ -157,11 +264,62 @@ mod tests {
                 resolvents: 1,
                 lps_solved: 4,
                 peak_bdd_nodes: 100,
+                ..SearchStats::default()
             },
         };
         let s = r.to_string();
         assert!(s.contains("exact delay 3"));
         assert!(s.contains("topological 5"));
         assert!(s.contains("4 LPs"));
+    }
+
+    #[test]
+    fn status_bounds_and_exactness() {
+        let exact = OutputDelay {
+            name: "a".into(),
+            delay: t(4),
+            topological: t(6),
+            status: OutputStatus::Exact,
+        };
+        assert!(exact.is_exact());
+        assert_eq!(exact.bounds(), (t(4), t(4)));
+
+        let bounded = OutputDelay {
+            name: "b".into(),
+            delay: t(6),
+            topological: t(8),
+            status: OutputStatus::Bounded {
+                lower: t(2),
+                upper: t(6),
+                cause: DegradeCause::TooManyPaths,
+            },
+        };
+        assert!(!bounded.is_exact());
+        assert_eq!(bounded.bounds(), (t(2), t(6)));
+
+        let fallback = OutputDelay {
+            name: "c".into(),
+            delay: t(8),
+            topological: t(8),
+            status: OutputStatus::Fallback {
+                cause: DegradeCause::EnginePanic,
+            },
+        };
+        assert!(!fallback.is_exact());
+        assert_eq!(fallback.bounds(), (Time::ZERO, t(8)));
+    }
+
+    #[test]
+    fn degrade_cause_classification() {
+        let e = DelayError::TimedOut {
+            elapsed_ms: 10,
+            at_breakpoint: t(5),
+            bounds: (Time::ZERO, t(5)),
+        };
+        assert_eq!(DegradeCause::from_error(&e), Some(DegradeCause::TimedOut));
+        let n: DelayError = tbf_logic::NetlistError::NoOutputs.into();
+        assert_eq!(DegradeCause::from_error(&n), None);
+        assert_eq!(DegradeCause::EnginePanic.to_string(), "engine panic");
+        assert_eq!(DegradeCause::TooManyPaths.to_string(), "too many paths");
     }
 }

@@ -1,12 +1,17 @@
 //! The exact delay-by-sequences-of-vectors engine (paper §8–§9).
 
+use std::rc::Rc;
+
 use tbf_logic::paths::next_breakpoint;
 use tbf_logic::{Netlist, NodeId, Time};
 
+use crate::budget::AnalysisBudget;
 use crate::error::DelayError;
-use crate::network::{BuildAbort, Engine};
+use crate::fault::{self, Site};
+use crate::network::Engine;
 use crate::options::DelayOptions;
-use crate::report::{DelayReport, OutputDelay, SearchStats};
+use crate::report::{DelayReport, OutputDelay, OutputStatus, SearchStats};
+use crate::two_vector::{degraded_output, finish_report};
 
 /// Computes the exact delay by sequences of vectors
 /// `D(C, [dᵐⁱⁿ,dᵐᵃˣ], ω⁻)`: the latest possible arrival time of the last
@@ -55,60 +60,40 @@ pub fn sequences_delay(
     netlist: &Netlist,
     options: &DelayOptions,
 ) -> Result<DelayReport, DelayError> {
-    let mut engine = Engine::new(netlist, options)
-        .map_err(|e| abort_to_error(e, netlist.topological_delay()))?;
-    let deadline = options.time_budget.map(|b| std::time::Instant::now() + b);
+    sequences_delay_budgeted(netlist, AnalysisBudget::from_options(options).shared())
+}
+
+/// [`sequences_delay`] against a caller-supplied budget.
+pub(crate) fn sequences_delay_budgeted(
+    netlist: &Netlist,
+    budget: Rc<AnalysisBudget>,
+) -> Result<DelayReport, DelayError> {
+    let mut engine = Engine::new(netlist, budget.clone())
+        .map_err(|e| e.into_error(netlist.topological_delay(), &budget))?;
     let mut stats = SearchStats::default();
     let mut outputs = Vec::new();
     let mut first_error: Option<DelayError> = None;
     for (name, out_id) in netlist.outputs() {
-        match output_delay(netlist, &mut engine, *out_id, options, deadline, &mut stats) {
+        match cone_delay(netlist, &mut engine, *out_id, &mut stats) {
             Ok(delay) => outputs.push(OutputDelay {
                 name: name.clone(),
                 delay,
                 topological: netlist.topological_delay_of(*out_id),
-                exact: true,
+                status: OutputStatus::Exact,
             }),
             Err(e) => {
                 // Keep the capped cone's sound upper bound and continue —
                 // a dominating exact output keeps the circuit-level
                 // result exact.
-                let (_, hi) = e
-                    .bounds()
-                    .unwrap_or((Time::ZERO, netlist.topological_delay_of(*out_id)));
+                let Some(entry) = degraded_output(netlist, name, *out_id, &e) else {
+                    return Err(e);
+                };
                 first_error.get_or_insert(e);
-                outputs.push(OutputDelay {
-                    name: name.clone(),
-                    delay: hi,
-                    topological: netlist.topological_delay_of(*out_id),
-                    exact: false,
-                });
+                outputs.push(entry);
             }
         }
     }
-    let exact_max = outputs
-        .iter()
-        .filter(|o| o.exact)
-        .map(|o| o.delay)
-        .max()
-        .unwrap_or(Time::ZERO);
-    let bound_max = outputs
-        .iter()
-        .filter(|o| !o.exact)
-        .map(|o| o.delay)
-        .max();
-    match (bound_max, first_error) {
-        (Some(bound), Some(e)) if bound > exact_max => {
-            Err(e.with_bounds(exact_max, bound))
-        }
-        _ => Ok(DelayReport {
-            delay: exact_max,
-            topological: netlist.topological_delay(),
-            outputs,
-            witness: None,
-            stats,
-        }),
-    }
+    finish_report(netlist, outputs, None, stats, first_error)
 }
 
 /// The floating delay of the circuit under the unbounded gate delay model
@@ -131,12 +116,14 @@ pub fn floating_delay(
     sequences_delay(&relaxed, options)
 }
 
-fn output_delay(
+/// The sequences delay of a single output cone, under the engine's
+/// budget. The [`analyze`](crate::analyze) driver uses it as the sound
+/// upper-bound rung of the degradation ladder (ω⁻ dominates the 2-vector
+/// delay).
+pub(crate) fn cone_delay(
     netlist: &Netlist,
     engine: &mut Engine<'_>,
     output: NodeId,
-    options: &DelayOptions,
-    deadline: Option<std::time::Instant>,
     stats: &mut SearchStats,
 ) -> Result<Time, DelayError> {
     let mut b_opt = next_breakpoint(netlist, output, Time::MAX);
@@ -144,30 +131,24 @@ fn output_delay(
     while let Some(b) = b_opt {
         visited += 1;
         stats.breakpoints_visited += 1;
-        if let Some(d) = deadline {
-            let now = std::time::Instant::now();
-            if now > d {
-                let budget = options.time_budget.unwrap_or_default();
-                return Err(DelayError::TimedOut {
-                    elapsed_ms: budget.as_millis() as u64,
-                    at_breakpoint: b,
-                    bounds: (Time::ZERO, b),
-                });
-            }
+        if engine.budget.check_now().is_some() || fault::trip(Site::Breakpoint) {
+            return Err(engine.budget.interrupt_error(b, (Time::ZERO, b)));
         }
-        if visited > options.max_breakpoints {
+        if visited > engine.budget.max_breakpoints() {
             return Err(DelayError::TooManyCubes {
-                limit: options.max_breakpoints,
+                limit: engine.budget.max_breakpoints(),
                 at_breakpoint: b,
                 bounds: (Time::ZERO, b),
             });
         }
         let f = engine
             .sequences_query(output, b)
-            .map_err(|e| abort_to_error(e, b))?;
+            .map_err(|e| e.into_error(b, &engine.budget))?;
         stats.peak_bdd_nodes = stats.peak_bdd_nodes.max(engine.manager.node_count());
         let differs = f != engine.static_out(output);
-        engine.maybe_compact().map_err(|e| abort_to_error(e, b))?;
+        engine
+            .maybe_compact()
+            .map_err(|e| e.into_error(b, &engine.budget))?;
         if differs {
             // A transition exists arbitrarily close below b (§9.3): the
             // exact delay (supremum) is b.
@@ -176,21 +157,6 @@ fn output_delay(
         b_opt = next_breakpoint(netlist, output, b);
     }
     Ok(Time::ZERO)
-}
-
-fn abort_to_error(abort: BuildAbort, b: Time) -> DelayError {
-    match abort {
-        BuildAbort::TooManyPaths { limit } => DelayError::TooManyPaths {
-            limit,
-            at_breakpoint: b,
-            bounds: (Time::ZERO, b),
-        },
-        BuildAbort::BddTooLarge { limit } => DelayError::BddTooLarge {
-            limit,
-            at_breakpoint: b,
-            bounds: (Time::ZERO, b),
-        },
-    }
 }
 
 #[cfg(test)]
@@ -215,8 +181,7 @@ mod tests {
         // The paper's Example 5 head-to-head.
         let fixed = figure6_glitch();
         assert_eq!(sequences_delay(&fixed, &opts()).unwrap().delay, Time::ZERO);
-        let variable =
-            fixed.map_delays(|d| DelayBounds::new(d.max - Time::EPSILON, d.max));
+        let variable = fixed.map_delays(|d| DelayBounds::new(d.max - Time::EPSILON, d.max));
         assert_eq!(sequences_delay(&variable, &opts()).unwrap().delay, t(2));
         // Floating delay is 2 in both cases (Theorem 4: invariant across
         // gate delay models).

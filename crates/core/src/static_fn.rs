@@ -1,34 +1,35 @@
 //! Static (settled, `t = ∞`) circuit functions as BDDs.
 
-use tbf_bdd::{Bdd, BddManager, NodeLimitExceeded};
+use tbf_bdd::{Bdd, BddManager, OpAbort, OpBudget};
 use tbf_logic::{GateKind, Netlist};
 
 /// Builds the BDD of a single gate from its fanin BDDs, aborting cleanly
-/// if the manager outgrows `limit` nodes mid-operation.
+/// if the manager outgrows the budget's node cap or its cancel probe
+/// fires mid-operation.
 pub(crate) fn gate_bdd(
     manager: &mut BddManager,
     kind: GateKind,
     fanins: &[Bdd],
-    limit: usize,
-) -> Result<Bdd, NodeLimitExceeded> {
-    let and_all = |m: &mut BddManager, fs: &[Bdd]| -> Result<Bdd, NodeLimitExceeded> {
+    budget: &OpBudget<'_>,
+) -> Result<Bdd, OpAbort> {
+    let and_all = |m: &mut BddManager, fs: &[Bdd]| -> Result<Bdd, OpAbort> {
         let mut acc = Bdd::TRUE;
         for &f in fs {
-            acc = m.try_and(acc, f, limit)?;
+            acc = m.try_and_b(acc, f, budget)?;
         }
         Ok(acc)
     };
-    let or_all = |m: &mut BddManager, fs: &[Bdd]| -> Result<Bdd, NodeLimitExceeded> {
+    let or_all = |m: &mut BddManager, fs: &[Bdd]| -> Result<Bdd, OpAbort> {
         let mut acc = Bdd::FALSE;
         for &f in fs {
-            acc = m.try_or(acc, f, limit)?;
+            acc = m.try_or_b(acc, f, budget)?;
         }
         Ok(acc)
     };
-    let xor_all = |m: &mut BddManager, fs: &[Bdd]| -> Result<Bdd, NodeLimitExceeded> {
+    let xor_all = |m: &mut BddManager, fs: &[Bdd]| -> Result<Bdd, OpAbort> {
         let mut acc = Bdd::FALSE;
         for &f in fs {
-            acc = m.try_xor(acc, f, limit)?;
+            acc = m.try_xor_b(acc, f, budget)?;
         }
         Ok(acc)
     };
@@ -38,27 +39,27 @@ pub(crate) fn gate_bdd(
         GateKind::Or => or_all(manager, fanins)?,
         GateKind::Nand => {
             let a = and_all(manager, fanins)?;
-            manager.try_not(a, limit)?
+            manager.try_not_b(a, budget)?
         }
         GateKind::Nor => {
             let a = or_all(manager, fanins)?;
-            manager.try_not(a, limit)?
+            manager.try_not_b(a, budget)?
         }
         GateKind::Xor => xor_all(manager, fanins)?,
         GateKind::Xnor => {
             let x = xor_all(manager, fanins)?;
-            manager.try_not(x, limit)?
+            manager.try_not_b(x, budget)?
         }
-        GateKind::Not => manager.try_not(fanins[0], limit)?,
+        GateKind::Not => manager.try_not_b(fanins[0], budget)?,
         GateKind::Buf => fanins[0],
         GateKind::Maj => {
-            let ab = manager.try_and(fanins[0], fanins[1], limit)?;
-            let ac = manager.try_and(fanins[0], fanins[2], limit)?;
-            let bc = manager.try_and(fanins[1], fanins[2], limit)?;
-            let t = manager.try_or(ab, ac, limit)?;
-            manager.try_or(t, bc, limit)?
+            let ab = manager.try_and_b(fanins[0], fanins[1], budget)?;
+            let ac = manager.try_and_b(fanins[0], fanins[2], budget)?;
+            let bc = manager.try_and_b(fanins[1], fanins[2], budget)?;
+            let t = manager.try_or_b(ab, ac, budget)?;
+            manager.try_or_b(t, bc, budget)?
         }
-        GateKind::Mux => manager.try_ite(fanins[0], fanins[2], fanins[1], limit)?,
+        GateKind::Mux => manager.try_ite_b(fanins[0], fanins[2], fanins[1], budget)?,
         GateKind::Const0 => Bdd::FALSE,
         GateKind::Const1 => Bdd::TRUE,
     })
@@ -66,7 +67,7 @@ pub(crate) fn gate_bdd(
 
 /// Builds the static function of every node over the given per-input leaf
 /// BDDs (one per primary input, in input order), aborting if the manager
-/// grows past `max_nodes`.
+/// outgrows the budget or its cancel probe fires.
 ///
 /// Called twice per analysis: once over the `x(0⁺)` variables (this is
 /// `f(∞)`) and once over the `x(0⁻)` variables (the all-negative collapse
@@ -75,8 +76,8 @@ pub(crate) fn build_statics(
     manager: &mut BddManager,
     netlist: &Netlist,
     leaves: &[Bdd],
-    max_nodes: usize,
-) -> Result<Vec<Bdd>, usize> {
+    budget: &OpBudget<'_>,
+) -> Result<Vec<Bdd>, OpAbort> {
     assert_eq!(leaves.len(), netlist.inputs().len());
     let mut out: Vec<Bdd> = Vec::with_capacity(netlist.len());
     let mut input_pos = 0usize;
@@ -87,7 +88,7 @@ pub(crate) fn build_statics(
             b
         } else {
             let fanins: Vec<Bdd> = node.fanins().iter().map(|f| out[f.index()]).collect();
-            gate_bdd(manager, node.kind(), &fanins, max_nodes).map_err(|e| e.limit)?
+            gate_bdd(manager, node.kind(), &fanins, budget)?
         };
         out.push(b);
     }
@@ -101,6 +102,10 @@ mod tests {
 
     fn d1() -> DelayBounds {
         DelayBounds::fixed(Time::from_int(1))
+    }
+
+    fn generous() -> OpBudget<'static> {
+        OpBudget::nodes_only(1_000_000)
     }
 
     #[test]
@@ -123,7 +128,7 @@ mod tests {
                 m.var(v)
             })
             .collect();
-        let statics = build_statics(&mut m, &n, &vars, 1_000_000).unwrap();
+        let statics = build_statics(&mut m, &n, &vars, &generous()).unwrap();
         let out = n.find("g3").unwrap();
         for i in 0..8u8 {
             let assignment = [(i & 1) != 0, (i & 2) != 0, (i & 4) != 0];
@@ -180,7 +185,7 @@ mod tests {
                 m.var(v)
             })
             .collect();
-        let statics = build_statics(&mut m, &n, &vars, 1_000_000).unwrap();
+        let statics = build_statics(&mut m, &n, &vars, &generous()).unwrap();
         for i in 0..8u8 {
             let assignment = [(i & 1) != 0, (i & 2) != 0, (i & 4) != 0];
             let eval = n.evaluate(&assignment);
@@ -196,5 +201,26 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn cancelled_probe_aborts_static_build() {
+        let mut b = Netlist::builder();
+        let x = b.input("x");
+        let y = b.input("y");
+        let g = b.gate(GateKind::Xor, "g", vec![x, y], d1()).unwrap();
+        b.output("f", g);
+        let n = b.finish().unwrap();
+        let mut m = BddManager::new();
+        let vars: Vec<Bdd> = (0..2)
+            .map(|_| {
+                let v = m.new_var();
+                m.var(v)
+            })
+            .collect();
+        let probe = || true;
+        let budget = OpBudget::with_cancel(1_000_000, &probe);
+        let r = build_statics(&mut m, &n, &vars, &budget);
+        assert_eq!(r, Err(OpAbort::Cancelled));
     }
 }

@@ -125,17 +125,12 @@ impl TbfExpr {
                 return TbfExpr::Const(n.kind() == G::Const1);
             }
             let shift = shift - n.delay().max;
-            let kids: Vec<TbfExpr> = n
-                .fanins()
-                .iter()
-                .map(|&f| go(netlist, f, shift))
-                .collect();
-            let fold =
-                |op: fn(TbfExpr, TbfExpr) -> TbfExpr, kids: &[TbfExpr]| -> TbfExpr {
-                    let mut it = kids.iter().cloned();
-                    let first = it.next().expect("gates have fanins");
-                    it.fold(first, op)
-                };
+            let kids: Vec<TbfExpr> = n.fanins().iter().map(|&f| go(netlist, f, shift)).collect();
+            let fold = |op: fn(TbfExpr, TbfExpr) -> TbfExpr, kids: &[TbfExpr]| -> TbfExpr {
+                let mut it = kids.iter().cloned();
+                let first = it.next().expect("gates have fanins");
+                it.fold(first, op)
+            };
             match n.kind() {
                 G::And => fold(TbfExpr::and, &kids),
                 G::Or => fold(TbfExpr::or, &kids),
@@ -147,10 +142,7 @@ impl TbfExpr {
                 G::Buf => kids[0].clone(),
                 G::Maj => {
                     let (a, b, c) = (kids[0].clone(), kids[1].clone(), kids[2].clone());
-                    a.clone()
-                        .and(b.clone())
-                        .or(a.and(c.clone()))
-                        .or(b.and(c))
+                    a.clone().and(b.clone()).or(a.and(c.clone())).or(b.and(c))
                 }
                 G::Mux => {
                     let (s, d0, d1) = (kids[0].clone(), kids[1].clone(), kids[2].clone());
@@ -261,10 +253,7 @@ mod tests {
         for a in [false, true] {
             for b in [false, true] {
                 let wave = |i: usize, _tt: Time| if i == 0 { a } else { b };
-                assert_eq!(
-                    f.eval_at(t(1000), &wave),
-                    n.evaluate_outputs(&[a, b])[0]
-                );
+                assert_eq!(f.eval_at(t(1000), &wave), n.evaluate_outputs(&[a, b])[0]);
             }
         }
         // Its support carries the path delay offsets −d2 and −(d1+d2)

@@ -1,15 +1,19 @@
 //! The exact 2-vector (transition) delay engine (paper §6–§7.3).
 
 use std::collections::HashMap;
+use std::rc::Rc;
 
+use tbf_bdd::{OpAbort, OpBudget};
 use tbf_logic::paths::next_breakpoint;
 use tbf_logic::{Netlist, NodeId, Time};
 use tbf_lp::{PathLp, PathLpOutcome};
 
+use crate::budget::AnalysisBudget;
 use crate::error::DelayError;
-use crate::network::{BuildAbort, Engine, QueryOut};
+use crate::fault::{self, Site};
+use crate::network::{Engine, QueryOut};
 use crate::options::DelayOptions;
-use crate::report::{DelayReport, DelayWitness, OutputDelay, SearchStats};
+use crate::report::{DelayReport, DelayWitness, OutputDelay, OutputStatus, SearchStats};
 
 /// Computes the exact 2-vector delay `D(C, [dᵐⁱⁿ,dᵐᵃˣ], 2)`: the latest
 /// possible arrival time of the last output transition when an arbitrary
@@ -22,6 +26,9 @@ use crate::report::{DelayReport, DelayWitness, OutputDelay, SearchStats};
 /// against the static function `f(∞)`, and check each difference cube's
 /// induced linear program for feasibility, maximizing `t`. The first
 /// breakpoint interval with a feasible cube yields the exact delay.
+///
+/// For never-erroring whole-circuit analysis with graceful degradation,
+/// see [`analyze`](crate::analyze).
 ///
 /// # Errors
 ///
@@ -44,16 +51,24 @@ pub fn two_vector_delay(
     netlist: &Netlist,
     options: &DelayOptions,
 ) -> Result<DelayReport, DelayError> {
-    let mut engine = Engine::new(netlist, options)
-        .map_err(|e| abort_to_error(e, netlist.topological_delay()))?;
-    let deadline = options.time_budget.map(|b| std::time::Instant::now() + b);
+    two_vector_delay_budgeted(netlist, AnalysisBudget::from_options(options).shared())
+}
+
+/// [`two_vector_delay`] against a caller-supplied (possibly shared,
+/// possibly cancellable) budget.
+pub(crate) fn two_vector_delay_budgeted(
+    netlist: &Netlist,
+    budget: Rc<AnalysisBudget>,
+) -> Result<DelayReport, DelayError> {
+    let mut engine = Engine::new(netlist, budget.clone())
+        .map_err(|e| e.into_error(netlist.topological_delay(), &budget))?;
     let mut stats = SearchStats::default();
     let mut outputs = Vec::new();
     let mut witness: Option<DelayWitness> = None;
     let mut witness_delay = Time::MIN;
     let mut first_error: Option<DelayError> = None;
     for (name, out_id) in netlist.outputs() {
-        match output_delay(netlist, &mut engine, *out_id, options, deadline, &mut stats) {
+        match cone_delay(netlist, &mut engine, *out_id, &mut stats) {
             Ok((delay, w)) => {
                 if delay > witness_delay {
                     if let Some((before, after, delays)) = w {
@@ -70,35 +85,67 @@ pub fn two_vector_delay(
                     name: name.clone(),
                     delay,
                     topological: netlist.topological_delay_of(*out_id),
-                    exact: true,
+                    status: OutputStatus::Exact,
                 });
             }
             Err(e) => {
                 // This cone hit a cap: keep its sound upper bound and move
                 // on — if another output dominates it, the circuit-level
                 // delay is still exact.
-                let (_, hi) = e
-                    .bounds()
-                    .unwrap_or((Time::ZERO, netlist.topological_delay_of(*out_id)));
+                let Some(entry) = degraded_output(netlist, name, *out_id, &e) else {
+                    return Err(e); // netlist errors are not degradable
+                };
                 first_error.get_or_insert(e);
-                outputs.push(OutputDelay {
-                    name: name.clone(),
-                    delay: hi,
-                    topological: netlist.topological_delay_of(*out_id),
-                    exact: false,
-                });
+                outputs.push(entry);
             }
         }
     }
+    finish_report(netlist, outputs, witness, stats, first_error)
+}
+
+/// The capped cone's [`OutputDelay`] entry (its delay is the sound upper
+/// bound carried by the error); `None` for non-degradable errors.
+pub(crate) fn degraded_output(
+    netlist: &Netlist,
+    name: &str,
+    out_id: NodeId,
+    e: &DelayError,
+) -> Option<OutputDelay> {
+    let cause = crate::report::DegradeCause::from_error(e)?;
+    let topological = netlist.topological_delay_of(out_id);
+    let (lo, hi) = e.bounds().unwrap_or((Time::ZERO, topological));
+    let hi = hi.min(topological);
+    Some(OutputDelay {
+        name: name.to_owned(),
+        delay: hi,
+        topological,
+        status: OutputStatus::Bounded {
+            lower: lo,
+            upper: hi,
+            cause,
+        },
+    })
+}
+
+/// Aggregates per-output results into the circuit report, erroring (with
+/// widened bounds) only when a non-exact cone could dominate the exact
+/// maximum.
+pub(crate) fn finish_report(
+    netlist: &Netlist,
+    outputs: Vec<OutputDelay>,
+    witness: Option<DelayWitness>,
+    stats: SearchStats,
+    first_error: Option<DelayError>,
+) -> Result<DelayReport, DelayError> {
     let exact_max = outputs
         .iter()
-        .filter(|o| o.exact)
+        .filter(|o| o.is_exact())
         .map(|o| o.delay)
         .max()
         .unwrap_or(Time::ZERO);
     let bound_max = outputs
         .iter()
-        .filter(|o| !o.exact)
+        .filter(|o| !o.is_exact())
         .map(|o| o.delay)
         .max();
     match (bound_max, first_error) {
@@ -117,14 +164,15 @@ pub fn two_vector_delay(
 }
 
 /// Raw witness parts: (before vector, after vector, per-node delays).
-type WitnessParts = (Vec<bool>, Vec<bool>, Vec<Time>);
+pub(crate) type WitnessParts = (Vec<bool>, Vec<bool>, Vec<Time>);
 
-fn output_delay(
+/// The exact 2-vector delay of a single output cone, under the engine's
+/// budget. Exposed to the [`analyze`](crate::analyze) driver so the
+/// degradation ladder can retry and degrade per cone.
+pub(crate) fn cone_delay(
     netlist: &Netlist,
     engine: &mut Engine<'_>,
     output: NodeId,
-    options: &DelayOptions,
-    deadline: Option<std::time::Instant>,
     stats: &mut SearchStats,
 ) -> Result<(Time, Option<WitnessParts>), DelayError> {
     let mut b_opt = next_breakpoint(netlist, output, Time::MAX);
@@ -132,20 +180,12 @@ fn output_delay(
     while let Some(b) = b_opt {
         visited += 1;
         stats.breakpoints_visited += 1;
-        if let Some(d) = deadline {
-            let now = std::time::Instant::now();
-            if now > d {
-                let budget = options.time_budget.unwrap_or_default();
-                return Err(DelayError::TimedOut {
-                    elapsed_ms: budget.as_millis() as u64,
-                    at_breakpoint: b,
-                    bounds: (Time::ZERO, b),
-                });
-            }
+        if engine.budget.check_now().is_some() || fault::trip(Site::Breakpoint) {
+            return Err(engine.budget.interrupt_error(b, (Time::ZERO, b)));
         }
-        if visited > options.max_breakpoints {
+        if visited > engine.budget.max_breakpoints() {
             return Err(DelayError::TooManyCubes {
-                limit: options.max_breakpoints,
+                limit: engine.budget.max_breakpoints(),
                 at_breakpoint: b,
                 bounds: (Time::ZERO, b),
             });
@@ -155,17 +195,17 @@ fn output_delay(
 
         let query = engine
             .two_vector_query(output, b)
-            .map_err(|e| abort_to_error(e, b))?;
+            .map_err(|e| e.into_error(b, &engine.budget))?;
         stats.resolvents += query.resolvents.len();
         stats.peak_bdd_nodes = stats.peak_bdd_nodes.max(engine.manager.node_count());
 
-        let found = check_interval(
-            netlist, engine, output, &query, window_lo, b, options, deadline, stats,
-        )?;
+        let found = check_interval(netlist, engine, output, &query, window_lo, b, stats)?;
         if let Some((t, w)) = found {
             return Ok((t, Some(w)));
         }
-        engine.maybe_compact().map_err(|e| abort_to_error(e, b))?;
+        engine
+            .maybe_compact()
+            .map_err(|e| e.into_error(b, &engine.budget))?;
         b_opt = lower_bp;
     }
     // No interval ever differed: the output cannot transition at all.
@@ -174,7 +214,6 @@ fn output_delay(
 
 /// Checks one breakpoint interval `(window_lo, b]`; returns the exact
 /// delay if the last output transition can fall inside it.
-#[allow(clippy::too_many_arguments)]
 fn check_interval(
     netlist: &Netlist,
     engine: &mut Engine<'_>,
@@ -182,20 +221,25 @@ fn check_interval(
     query: &QueryOut,
     window_lo: Time,
     b: Time,
-    options: &DelayOptions,
-    deadline: Option<std::time::Instant>,
     stats: &mut SearchStats,
 ) -> Result<Option<(Time, WitnessParts)>, DelayError> {
     let static_out = engine.static_out(output);
-    let too_large = |e: tbf_bdd::NodeLimitExceeded| DelayError::BddTooLarge {
-        limit: e.limit,
-        at_breakpoint: b,
-        bounds: (Time::ZERO, b),
+    let budget = engine.budget.clone();
+    let abort = |a: OpAbort| match a {
+        OpAbort::NodeLimit(e) => DelayError::BddTooLarge {
+            limit: e.limit,
+            at_breakpoint: b,
+            bounds: (Time::ZERO, b),
+        },
+        OpAbort::Cancelled => budget.interrupt_error(b, (Time::ZERO, b)),
     };
+    let bud = engine.budget.clone();
+    let probe = move || bud.interrupted();
+    let op_budget = OpBudget::with_cancel(engine.budget.max_bdd_nodes(), &probe);
     let xor = engine
         .manager
-        .try_xor(query.f, static_out, options.max_bdd_nodes)
-        .map_err(too_large)?;
+        .try_xor_b(query.f, static_out, &op_budget)
+        .map_err(abort)?;
     if xor.is_false() {
         return Ok(None);
     }
@@ -205,8 +249,8 @@ fn check_interval(
     let input_vars = engine.input_vars.clone();
     let projected = engine
         .manager
-        .try_exists_all(xor, &input_vars, options.max_bdd_nodes)
-        .map_err(too_large)?;
+        .try_exists_all_b(xor, &input_vars, &op_budget)
+        .map_err(abort)?;
     debug_assert!(!projected.is_false(), "∃ of a non-false BDD");
     stats.peak_bdd_nodes = stats.peak_bdd_nodes.max(engine.manager.node_count());
 
@@ -232,9 +276,9 @@ fn check_interval(
     // manager mutably. The cap bounds the allocation.
     let mut cubes = Vec::new();
     for cube in engine.manager.cubes(projected) {
-        if cubes.len() >= options.max_cubes {
+        if cubes.len() >= engine.budget.max_cubes() || fault::trip(Site::CubeEnum) {
             return Err(DelayError::TooManyCubes {
-                limit: options.max_cubes,
+                limit: engine.budget.max_cubes(),
                 at_breakpoint: b,
                 bounds: (Time::ZERO, b),
             });
@@ -244,16 +288,9 @@ fn check_interval(
     let mut best: Option<(Time, WitnessParts)> = None;
     for (cube_idx, cube) in cubes.iter().enumerate() {
         // LP chains can dominate a breakpoint; honor the budget here too.
-        if cube_idx % 64 == 0 {
-            if let Some(d) = deadline {
-                if std::time::Instant::now() > d {
-                    return Err(DelayError::TimedOut {
-                        elapsed_ms: options.time_budget.unwrap_or_default().as_millis() as u64,
-                        at_breakpoint: b,
-                        bounds: (best.as_ref().map(|(t, _)| *t).unwrap_or(Time::ZERO), b),
-                    });
-                }
-            }
+        if cube_idx % 64 == 0 && engine.budget.check_now().is_some() {
+            let lo = best.as_ref().map(|(t, _)| *t).unwrap_or(Time::ZERO);
+            return Err(engine.budget.interrupt_error(b, (lo, b)));
         }
         let mut lp = PathLp::new(&bounds);
         lp.set_t_window(window_lo.scaled(), b.scaled());
@@ -273,8 +310,17 @@ fn check_interval(
             // re-classified) in a lower interval.
             if t > window_lo && best.as_ref().is_none_or(|(cur, _)| t > *cur) {
                 let parts = extract_witness(
-                    netlist, engine, query, xor, &lp, &gate_index, &paths, t_sup, &delays,
-                );
+                    netlist,
+                    engine,
+                    query,
+                    xor,
+                    &lp,
+                    &gate_index,
+                    &paths,
+                    b,
+                    t_sup,
+                    &delays,
+                )?;
                 let done = t == b;
                 best = Some((t, parts));
                 if done {
@@ -303,16 +349,20 @@ fn extract_witness(
     lp: &PathLp,
     gate_index: &HashMap<NodeId, usize>,
     paths: &[Vec<usize>],
+    b: Time,
     t_sup: i64,
     sup_delays: &[i64],
-) -> WitnessParts {
+) -> Result<WitnessParts, DelayError> {
     // Prefer an interior point one grid unit below the supremum; fall
     // back to the supremum vertex when the interior solve fails (the
     // scenario then sits on a valuation boundary and replays a hair
     // early, which the caller documents).
-    let (t_w, d_w) = lp
-        .solve_interior(t_sup - 1)
-        .unwrap_or((t_sup, sup_delays.to_vec()));
+    let interior = if fault::trip(Site::LpInterior) {
+        None
+    } else {
+        lp.solve_interior(t_sup - 1)
+    };
+    let (t_w, d_w) = interior.unwrap_or((t_sup, sup_delays.to_vec()));
     // Total resolvent valuation induced by (t_w, d_w).
     let mut g = xor;
     for (r, gates) in query.resolvents.iter().zip(paths) {
@@ -326,10 +376,14 @@ fn extract_witness(
         // a nearby delay assignment.
         g = xor;
     }
-    let sat = engine
-        .manager
-        .any_sat_cube(g)
-        .expect("xor is non-false in this interval");
+    if fault::trip(Site::XorSat) {
+        g = tbf_bdd::Bdd::FALSE;
+    }
+    let sat = engine.manager.any_sat_cube(g).ok_or(DelayError::Internal {
+        detail: "witness extraction: xor BDD unsatisfiable in a feasible interval",
+        at_breakpoint: b,
+        bounds: (Time::ZERO, b),
+    })?;
     let n_in = netlist.inputs().len();
     let mut before = vec![false; n_in];
     let mut after = vec![false; n_in];
@@ -345,22 +399,7 @@ fn extract_witness(
     for (&node, &idx) in gate_index {
         delays[node.index()] = Time::from_scaled(d_w[idx]);
     }
-    (before, after, delays)
-}
-
-fn abort_to_error(abort: BuildAbort, b: Time) -> DelayError {
-    match abort {
-        BuildAbort::TooManyPaths { limit } => DelayError::TooManyPaths {
-            limit,
-            at_breakpoint: b,
-            bounds: (Time::ZERO, b),
-        },
-        BuildAbort::BddTooLarge { limit } => DelayError::BddTooLarge {
-            limit,
-            at_breakpoint: b,
-            bounds: (Time::ZERO, b),
-        },
-    }
+    Ok((before, after, delays))
 }
 
 #[cfg(test)]
@@ -399,12 +438,7 @@ mod tests {
         let mut b = Netlist::builder();
         let x = b.input("x");
         let g = b
-            .gate(
-                GateKind::Buf,
-                "g",
-                vec![x],
-                DelayBounds::new(t(3), t(5)),
-            )
+            .gate(GateKind::Buf, "g", vec![x], DelayBounds::new(t(3), t(5)))
             .unwrap();
         b.output("f", g);
         let n = b.finish().unwrap();
@@ -453,12 +487,7 @@ mod tests {
             .gate(GateKind::Not, "inv", vec![x], DelayBounds::fixed(t(1)))
             .unwrap();
         let g = b
-            .gate(
-                GateKind::And,
-                "g",
-                vec![x, inv],
-                DelayBounds::fixed(t(1)),
-            )
+            .gate(GateKind::And, "g", vec![x, inv], DelayBounds::fixed(t(1)))
             .unwrap();
         b.output("f", g);
         let n = b.finish().unwrap();
@@ -477,12 +506,7 @@ mod tests {
             .gate(GateKind::Const0, "c", vec![], DelayBounds::ZERO)
             .unwrap();
         let g = b
-            .gate(
-                GateKind::And,
-                "g",
-                vec![x, c],
-                DelayBounds::fixed(t(3)),
-            )
+            .gate(GateKind::And, "g", vec![x, c], DelayBounds::fixed(t(3)))
             .unwrap();
         b.output("f", g);
         let n = b.finish().unwrap();
@@ -533,6 +557,21 @@ mod tests {
         };
         let r = two_vector_delay(&paper_bypass_adder(), &opts).unwrap();
         assert_eq!(r.delay, t(24));
+    }
+
+    #[test]
+    fn cancelled_token_yields_cancelled_error() {
+        use crate::budget::CancelToken;
+        let token = CancelToken::new();
+        token.cancel();
+        let budget = AnalysisBudget::from_options(&opts())
+            .with_token(token)
+            .shared();
+        let err = two_vector_delay_budgeted(&paper_bypass_adder(), budget).unwrap_err();
+        assert!(
+            matches!(err, DelayError::Cancelled { .. }),
+            "unexpected {err:?}"
+        );
     }
 
     #[test]

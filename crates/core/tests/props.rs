@@ -5,11 +5,14 @@
 //! then unique, so exhaustively simulating every input vector pair gives
 //! the true 2-vector delay — and the engine must match it *exactly*, not
 //! just bound it.
-
-use proptest::prelude::*;
+//!
+//! Cases are drawn from the in-repo SplitMix64 stream (hermetic — no
+//! external property-test crates); each test runs a fixed number of
+//! seeded cases plus the regression recipes shrunk from past failures.
 
 use tbf_core::oracle::floating_delay_oracle;
 use tbf_core::{floating_delay, sequences_delay, two_vector_delay, DelayOptions};
+use tbf_logic::generators::random::SplitMix64;
 use tbf_logic::{DelayBounds, GateKind, Netlist, Time};
 use tbf_sim::{max_delays, sample_delays, simulate, Stimulus};
 
@@ -20,25 +23,35 @@ struct Recipe {
     gates: Vec<(u8, Vec<usize>, i64, i64)>, // kind, fanin refs, dmin, dmax
 }
 
-fn arb_recipe(fixed: bool) -> impl Strategy<Value = Recipe> {
-    (2usize..5).prop_flat_map(move |n_inputs| {
-        let gate = (
-            0u8..6,
-            proptest::collection::vec(0usize..64, 1..4),
-            1i64..5,
-            0i64..3,
-        );
-        proptest::collection::vec(gate, 1..9).prop_map(move |raw| {
-            let gates = raw
-                .into_iter()
-                .map(|(k, fanins, dmin, spread)| {
-                    let dmax = dmin + if fixed { 0 } else { spread };
-                    (k, fanins, dmin, dmax)
-                })
-                .collect();
-            Recipe { n_inputs, gates }
+fn gen_recipe(rng: &mut SplitMix64, fixed: bool) -> Recipe {
+    let n_inputs = 2 + rng.below(3);
+    let n_gates = 1 + rng.below(8);
+    let gates = (0..n_gates)
+        .map(|_| {
+            let kind = (rng.below(6)) as u8;
+            let n_fanins = 1 + rng.below(3);
+            let fanins = (0..n_fanins).map(|_| rng.below(64)).collect();
+            let dmin = 1 + rng.below(4) as i64;
+            let spread = if fixed { 0 } else { rng.below(3) as i64 };
+            (kind, fanins, dmin, dmin + spread)
         })
-    })
+        .collect();
+    Recipe { n_inputs, gates }
+}
+
+/// A regression case distilled from a previously-failing generated
+/// circuit (reconvergent XOR over a buffer chain).
+fn regression_recipes() -> Vec<Recipe> {
+    vec![Recipe {
+        n_inputs: 2,
+        gates: vec![
+            (0, vec![0], 1, 1),
+            (0, vec![0], 1, 1),
+            (0, vec![0], 1, 1),
+            (0, vec![0], 1, 1),
+            (4, vec![56, 32], 1, 1),
+        ],
+    }]
 }
 
 fn build(recipe: &Recipe) -> Netlist {
@@ -55,10 +68,7 @@ fn build(recipe: &Recipe) -> Netlist {
             4 => GateKind::Xor,
             _ => GateKind::Not,
         };
-        let mut fanins: Vec<_> = fanin_refs
-            .iter()
-            .map(|&r| pool[r % pool.len()])
-            .collect();
+        let mut fanins: Vec<_> = fanin_refs.iter().map(|&r| pool[r % pool.len()]).collect();
         // Duplicate pins to one node create two paths with the same gate
         // set — the case Theorem 2 excludes. Keep paths distinct.
         fanins.sort_unstable();
@@ -95,31 +105,43 @@ fn oracle_fixed(n: &Netlist) -> Time {
     best
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn cases(fixed: bool, salt: u64, count: u64) -> impl Iterator<Item = Recipe> {
+    regression_recipes()
+        .into_iter()
+        .chain((0..count).map(move |i| {
+            let mut rng = SplitMix64::new(i.wrapping_mul(0x9E3779B9).wrapping_add(salt));
+            gen_recipe(&mut rng, fixed)
+        }))
+}
 
-    /// Fixed delays: the engine result IS the brute-force maximum.
-    #[test]
-    fn fixed_delay_two_vector_is_exact(recipe in arb_recipe(true)) {
+/// Fixed delays: the engine result IS the brute-force maximum.
+#[test]
+fn fixed_delay_two_vector_is_exact() {
+    for recipe in cases(true, 0xF1A5, 64) {
         let n = build(&recipe);
         let exact = two_vector_delay(&n, &DelayOptions::default())
             .expect("small circuit fits the caps")
             .delay;
         let oracle = oracle_fixed(&n);
-        prop_assert_eq!(exact, oracle, "engine {} vs oracle {}", exact, oracle);
+        assert_eq!(
+            exact, oracle,
+            "engine {exact} vs oracle {oracle}: {recipe:?}"
+        );
     }
+}
 
-    /// Bounded delays: sampled simulation never beats the engine, and the
-    /// engine never beats topology.
-    #[test]
-    fn bounded_delay_engine_is_sound(recipe in arb_recipe(false), seed in 0u64..1_000) {
+/// Bounded delays: sampled simulation never beats the engine, and the
+/// engine never beats topology.
+#[test]
+fn bounded_delay_engine_is_sound() {
+    for (case, recipe) in cases(false, 0x50FD, 64).enumerate() {
         let n = build(&recipe);
-        let report = two_vector_delay(&n, &DelayOptions::default())
-            .expect("small circuit fits the caps");
-        prop_assert!(report.delay <= report.topological);
+        let report =
+            two_vector_delay(&n, &DelayOptions::default()).expect("small circuit fits the caps");
+        assert!(report.delay <= report.topological);
         // 32 sampled delay assignments × 16 sampled vector pairs.
         let k = n.inputs().len();
-        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut state = (case as u64).wrapping_mul(0x9E3779B97F4A7C15) | 1;
         let mut next = move || {
             state ^= state << 13;
             state ^= state >> 7;
@@ -135,54 +157,61 @@ proptest! {
                 let stim = Stimulus::vector_pair(&before, &after);
                 let r = simulate(&n, &delays, &stim.waveforms(&n));
                 if let Some(t) = r.last_output_transition(&n) {
-                    prop_assert!(
+                    assert!(
                         t <= report.delay,
-                        "simulated {} beats exact {}",
-                        t,
+                        "simulated {t} beats exact {}: {recipe:?}",
                         report.delay
                     );
                 }
             }
         }
     }
+}
 
-    /// Model ordering D(2) ≤ D(ω⁻) ≤ topological on random circuits.
-    #[test]
-    fn model_ordering_holds(recipe in arb_recipe(false)) {
+/// Model ordering D(2) ≤ D(ω⁻) ≤ topological on random circuits.
+#[test]
+fn model_ordering_holds() {
+    for recipe in cases(false, 0x0DE8, 64) {
         let n = build(&recipe);
         let opts = DelayOptions::default();
         let two = two_vector_delay(&n, &opts).expect("fits caps").delay;
         let seq = sequences_delay(&n, &opts).expect("fits caps").delay;
-        prop_assert!(two <= seq, "D(2)={} > D(ω⁻)={}", two, seq);
-        prop_assert!(seq <= n.topological_delay());
+        assert!(two <= seq, "D(2)={two} > D(ω⁻)={seq}: {recipe:?}");
+        assert!(seq <= n.topological_delay());
     }
+}
 
-    /// The symbolic floating-delay engine against the brute-force
-    /// ternary-simulation oracle — two completely different algorithms
-    /// must agree exactly.
-    #[test]
-    fn floating_engine_matches_ternary_oracle(recipe in arb_recipe(false)) {
+/// The symbolic floating-delay engine against the brute-force
+/// ternary-simulation oracle — two completely different algorithms
+/// must agree exactly.
+#[test]
+fn floating_engine_matches_ternary_oracle() {
+    for recipe in cases(false, 0xF10A, 64) {
         let n = build(&recipe);
         let engine = floating_delay(&n, &DelayOptions::default())
             .expect("fits caps")
             .delay;
         let oracle = floating_delay_oracle(&n);
-        prop_assert_eq!(engine, oracle, "engine {} vs oracle {}", engine, oracle);
+        assert_eq!(
+            engine, oracle,
+            "engine {engine} vs oracle {oracle}: {recipe:?}"
+        );
     }
+}
 
-    /// Theorem 3 on random circuits: D(ω⁻) ignores the lower bounds as
-    /// long as delays stay variable.
-    #[test]
-    fn theorem3_on_random_circuits(recipe in arb_recipe(false)) {
+/// Theorem 3 on random circuits: D(ω⁻) ignores the lower bounds as
+/// long as delays stay variable.
+#[test]
+fn theorem3_on_random_circuits() {
+    for recipe in cases(false, 0x7E03, 64) {
         let n = build(&recipe);
         // Force genuinely variable delays (dmin strictly below dmax).
-        let variable = n.map_delays(|d| {
-            DelayBounds::new(Time::ZERO.max(d.max - Time::from_int(1)), d.max)
-        });
+        let variable =
+            n.map_delays(|d| DelayBounds::new(Time::ZERO.max(d.max - Time::from_int(1)), d.max));
         let opts = DelayOptions::default();
         let base = sequences_delay(&variable, &opts).expect("fits caps").delay;
         let relaxed = variable.map_delays(|d| DelayBounds::unbounded(d.max));
         let relaxed_delay = sequences_delay(&relaxed, &opts).expect("fits caps").delay;
-        prop_assert_eq!(base, relaxed_delay);
+        assert_eq!(base, relaxed_delay, "{recipe:?}");
     }
 }

@@ -17,7 +17,10 @@ fn opts() -> DelayOptions {
 /// Simulates the witness and returns the last transition of the witness
 /// output.
 fn replay(n: &Netlist, report: &tbf_core::DelayReport) -> Option<Time> {
-    let w = report.witness.as_ref().expect("nonzero delay has a witness");
+    let w = report
+        .witness
+        .as_ref()
+        .expect("nonzero delay has a witness");
     let stim = Stimulus::vector_pair(&w.before, &w.after);
     let r = simulate(n, &w.delays, &stim.waveforms(n));
     let out = n

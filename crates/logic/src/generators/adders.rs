@@ -34,7 +34,12 @@ pub fn ripple_carry(bits: usize, delay: DelayBounds) -> Netlist {
     let mut carry = b.input("cin");
     for i in 0..bits {
         let p = b
-            .gate(GateKind::Xor, &format!("p{i}"), vec![a_in[i], b_in[i]], delay)
+            .gate(
+                GateKind::Xor,
+                &format!("p{i}"),
+                vec![a_in[i], b_in[i]],
+                delay,
+            )
             .expect("generator names are unique");
         let s = b
             .gate(GateKind::Xor, &format!("s{i}"), vec![p, carry], delay)
@@ -77,7 +82,12 @@ pub fn carry_bypass(block_bits: usize, blocks: usize, delay: DelayBounds) -> Net
         for j in 0..block_bits {
             let i = blk * block_bits + j;
             let p = b
-                .gate(GateKind::Xor, &format!("p{i}"), vec![a_in[i], b_in[i]], delay)
+                .gate(
+                    GateKind::Xor,
+                    &format!("p{i}"),
+                    vec![a_in[i], b_in[i]],
+                    delay,
+                )
                 .expect("generator names are unique");
             props.push(p);
             let s = b
@@ -124,15 +134,30 @@ pub fn carry_select(block_bits: usize, blocks: usize, delay: DelayBounds) -> Net
     let mut block_cin = b.input("cin");
     for blk in 0..blocks {
         let mut carry0 = b
-            .gate(GateKind::Const0, &format!("z{blk}"), vec![], DelayBounds::ZERO)
+            .gate(
+                GateKind::Const0,
+                &format!("z{blk}"),
+                vec![],
+                DelayBounds::ZERO,
+            )
             .expect("generator names are unique");
         let mut carry1 = b
-            .gate(GateKind::Const1, &format!("o{blk}"), vec![], DelayBounds::ZERO)
+            .gate(
+                GateKind::Const1,
+                &format!("o{blk}"),
+                vec![],
+                DelayBounds::ZERO,
+            )
             .expect("generator names are unique");
         for j in 0..block_bits {
             let i = blk * block_bits + j;
             let p = b
-                .gate(GateKind::Xor, &format!("p{i}"), vec![a_in[i], b_in[i]], delay)
+                .gate(
+                    GateKind::Xor,
+                    &format!("p{i}"),
+                    vec![a_in[i], b_in[i]],
+                    delay,
+                )
                 .expect("generator names are unique");
             let s0 = b
                 .gate(GateKind::Xor, &format!("s0_{i}"), vec![p, carry0], delay)

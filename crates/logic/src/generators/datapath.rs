@@ -50,10 +50,10 @@ pub fn array_multiplier(n: usize, delay: DelayBounds) -> Netlist {
     // Carry-save reduction, row by row: row r sums pp[.][r] into the
     // running partial sums. sums[k] holds the current bit of weight k.
     let full_adder = |b: &mut crate::netlist::NetlistBuilder,
-                          name: &str,
-                          x: NodeId,
-                          yv: NodeId,
-                          z: NodeId|
+                      name: &str,
+                      x: NodeId,
+                      yv: NodeId,
+                      z: NodeId|
      -> (NodeId, NodeId) {
         let x1 = b
             .gate(GateKind::Xor, &format!("{name}_x1"), vec![x, yv], delay)
@@ -67,9 +67,9 @@ pub fn array_multiplier(n: usize, delay: DelayBounds) -> Netlist {
         (s, c)
     };
     let half_adder = |b: &mut crate::netlist::NetlistBuilder,
-                          name: &str,
-                          x: NodeId,
-                          yv: NodeId|
+                      name: &str,
+                      x: NodeId,
+                      yv: NodeId|
      -> (NodeId, NodeId) {
         let s = b
             .gate(GateKind::Xor, &format!("{name}_s"), vec![x, yv], delay)
@@ -116,20 +116,14 @@ pub fn array_multiplier(n: usize, delay: DelayBounds) -> Netlist {
                 0 => {}
                 1 => sums[w] = Some(bits[0]),
                 2 => {
-                    let (s, c) =
-                        half_adder(&mut b, &format!("ha{stage}_{w}"), bits[0], bits[1]);
+                    let (s, c) = half_adder(&mut b, &format!("ha{stage}_{w}"), bits[0], bits[1]);
                     sums[w] = Some(s);
                     carries.push((w + 1, c));
                     any_multi = true;
                 }
                 _ => {
-                    let (s, c) = full_adder(
-                        &mut b,
-                        &format!("fa{stage}_{w}"),
-                        bits[0],
-                        bits[1],
-                        bits[2],
-                    );
+                    let (s, c) =
+                        full_adder(&mut b, &format!("fa{stage}_{w}"), bits[0], bits[1], bits[2]);
                     sums[w] = Some(s);
                     carries.push((w + 1, c));
                     for &extra in &bits[3..] {
@@ -180,7 +174,13 @@ pub fn decoder(n: usize, delay: DelayBounds) -> Netlist {
         .collect();
     for line in 0..(1usize << n) {
         let fanins: Vec<NodeId> = (0..n)
-            .map(|i| if (line >> i) & 1 == 1 { sel[i] } else { nsel[i] })
+            .map(|i| {
+                if (line >> i) & 1 == 1 {
+                    sel[i]
+                } else {
+                    nsel[i]
+                }
+            })
             .collect();
         let g = b
             .gate(GateKind::And, &format!("d{line}"), fanins, delay)
@@ -254,11 +254,7 @@ mod tests {
                     for i in 0..n {
                         inputs.push((b >> i) & 1 == 1);
                     }
-                    assert_eq!(
-                        eval_word(&m, &inputs),
-                        a * b,
-                        "{n}-bit: {a} × {b}"
-                    );
+                    assert_eq!(eval_word(&m, &inputs), a * b, "{n}-bit: {a} × {b}");
                 }
             }
         }
@@ -299,8 +295,8 @@ mod tests {
                 for i in 0..width {
                     inputs.push((word >> i) & 1 == 1);
                 }
-                let expect = ((word << amount) | (word >> (width - amount)))
-                    & ((1u64 << width) - 1);
+                let expect =
+                    ((word << amount) | (word >> (width - amount))) & ((1u64 << width) - 1);
                 let expect = if amount == 0 { word } else { expect };
                 assert_eq!(
                     eval_word(&n, &inputs),

@@ -66,10 +66,7 @@ mod tests {
         for (name, n) in &suite {
             assert!(n.gate_count() > 0, "{name} is empty");
             assert!(!n.outputs().is_empty(), "{name} has no outputs");
-            assert!(
-                n.topological_delay() > Time::ZERO,
-                "{name} has zero delay"
-            );
+            assert!(n.topological_delay() > Time::ZERO, "{name} has zero delay");
         }
     }
 

@@ -22,13 +22,8 @@ fn reduce_tree(
             match pair {
                 [only] => next.push(*only),
                 [l, r] => next.push(
-                    b.gate(
-                        kind,
-                        &format!("{prefix}_l{level}_{i}"),
-                        vec![*l, *r],
-                        delay,
-                    )
-                    .expect("generator names are unique"),
+                    b.gate(kind, &format!("{prefix}_l{level}_{i}"), vec![*l, *r], delay)
+                        .expect("generator names are unique"),
                 ),
                 _ => unreachable!("chunks(2)"),
             }
@@ -101,7 +96,9 @@ pub fn mux_tree(depth: usize, delay: DelayBounds) -> Netlist {
     for (lvl, &s) in selects.iter().enumerate() {
         let mut next = Vec::with_capacity(layer.len() / 2);
         for (i, pair) in layer.chunks(2).enumerate() {
-            let [d0, d1] = pair else { unreachable!("power of two") };
+            let [d0, d1] = pair else {
+                unreachable!("power of two")
+            };
             next.push(
                 b.gate(
                     GateKind::Mux,

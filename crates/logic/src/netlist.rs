@@ -444,9 +444,7 @@ mod tests {
     fn bad_arity_rejected() {
         let mut b = Netlist::builder();
         let a = b.input("a");
-        let err = b
-            .gate(GateKind::Not, "n", vec![a, a], d(1, 1))
-            .unwrap_err();
+        let err = b.gate(GateKind::Not, "n", vec![a, a], d(1, 1)).unwrap_err();
         assert!(matches!(err, NetlistError::BadArity { arity: 2, .. }));
         let err2 = b.gate(GateKind::Input, "i", vec![], d(1, 1)).unwrap_err();
         assert!(matches!(err2, NetlistError::BadArity { .. }));

@@ -153,7 +153,9 @@ pub fn parse_bench(
             if resolved.contains_key(&name) {
                 continue;
             }
-            let def = defs.get(&name).ok_or_else(|| NetlistError::UnknownNode(name.clone()))?;
+            let def = defs
+                .get(&name)
+                .ok_or_else(|| NetlistError::UnknownNode(name.clone()))?;
             if idx == 0 {
                 if marks.get(&name) == Some(&Mark::Visiting) {
                     return Err(NetlistError::Parse {
@@ -345,10 +347,7 @@ mod tests {
         // Spot-check function: inputs (1,2,3,6,7) all true.
         // 10 = !(1·3) = 0; 11 = !(3·6) = 0; 16 = !(2·11) = 1;
         // 19 = !(11·7) = 1; 22 = !(10·16) = 1; 23 = !(16·19) = 0.
-        assert_eq!(
-            n.evaluate_outputs(&[true; 5]),
-            vec![true, false]
-        );
+        assert_eq!(n.evaluate_outputs(&[true; 5]), vec![true, false]);
     }
 
     #[test]
@@ -416,8 +415,7 @@ q = DFF(a)
 
     #[test]
     fn dangling_fanin_rejected() {
-        let err = parse_bench("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n", unit_delays)
-            .unwrap_err();
+        let err = parse_bench("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n", unit_delays).unwrap_err();
         assert!(matches!(err, NetlistError::UnknownNode(n) if n == "ghost"));
     }
 
@@ -468,12 +466,7 @@ q = DFF(a)
         let mut b = Netlist::builder();
         let _x = b.input("x");
         let c = b
-            .gate(
-                GateKind::Const1,
-                "one",
-                vec![],
-                crate::DelayBounds::ZERO,
-            )
+            .gate(GateKind::Const1, "one", vec![], crate::DelayBounds::ZERO)
             .unwrap();
         b.output("y", c);
         let n = b.finish().unwrap();

@@ -194,16 +194,19 @@ pub fn parse_blif(
     // and keeps cycle detection trivial).
     let mut remaining = order.clone();
     while !remaining.is_empty() {
-        let ready = remaining.iter().position(|name| {
-            covers[name]
-                .inputs
-                .iter()
-                .all(|i| resolved.contains_key(i))
-        });
+        let ready = remaining
+            .iter()
+            .position(|name| covers[name].inputs.iter().all(|i| resolved.contains_key(i)));
         match ready {
             Some(p) => {
                 let name = remaining.remove(p);
-                let id = synth_cover(&mut builder, &name, &covers[&name], &resolved, &mut delay_fn)?;
+                let id = synth_cover(
+                    &mut builder,
+                    &name,
+                    &covers[&name],
+                    &resolved,
+                    &mut delay_fn,
+                )?;
                 resolved.insert(name, id);
             }
             None => {
@@ -267,7 +270,11 @@ fn synth_cover(
     for (r, (lits, _)) in cover.rows.iter().enumerate() {
         let mut terms = Vec::new();
         for (i, lit) in lits.iter().enumerate() {
-            let src = resolved[&cover.inputs[i]];
+            // The resolution loop only schedules fully-resolved covers,
+            // but a typed error beats a panic if that invariant slips.
+            let src = *resolved
+                .get(&cover.inputs[i])
+                .ok_or_else(|| NetlistError::UnknownNode(cover.inputs[i].clone()))?;
             match lit {
                 None => {}
                 Some(true) => terms.push(src),
@@ -365,9 +372,6 @@ pub fn write_blif(netlist: &Netlist, model: &str) -> String {
 
     for (_, node) in netlist.nodes() {
         let kind = node.kind();
-        if kind.is_input() {
-            continue;
-        }
         let fanins: Vec<&str> = node
             .fanins()
             .iter()
@@ -377,7 +381,7 @@ pub fn write_blif(netlist: &Netlist, model: &str) -> String {
         let n = fanins.len();
         let all_ones = "1".repeat(n);
         match kind {
-            GateKind::Input => unreachable!("skipped above"),
+            GateKind::Input => continue,
             GateKind::Const0 => emit_cover(&mut out, &[], name, &[]),
             GateKind::Const1 => emit_cover(&mut out, &[], name, &[("", "1")]),
             GateKind::Buf => emit_cover(&mut out, &fanins, name, &[("1", "1")]),
@@ -393,8 +397,7 @@ pub fn write_blif(netlist: &Netlist, model: &str) -> String {
                         p.into_iter().collect()
                     })
                     .collect();
-                let refs: Vec<(&str, &str)> =
-                    rows.iter().map(|p| (p.as_str(), value)).collect();
+                let refs: Vec<(&str, &str)> = rows.iter().map(|p| (p.as_str(), value)).collect();
                 emit_cover(&mut out, &fanins, name, &refs);
             }
             GateKind::Xor | GateKind::Xnor => {
@@ -408,8 +411,7 @@ pub fn write_blif(netlist: &Netlist, model: &str) -> String {
                             .collect()
                     })
                     .collect();
-                let refs: Vec<(&str, &str)> =
-                    rows.iter().map(|p| (p.as_str(), "1")).collect();
+                let refs: Vec<(&str, &str)> = rows.iter().map(|p| (p.as_str(), "1")).collect();
                 emit_cover(&mut out, &fanins, name, &refs);
             }
             GateKind::Maj => emit_cover(
@@ -418,12 +420,7 @@ pub fn write_blif(netlist: &Netlist, model: &str) -> String {
                 name,
                 &[("11-", "1"), ("1-1", "1"), ("-11", "1")],
             ),
-            GateKind::Mux => emit_cover(
-                &mut out,
-                &fanins,
-                name,
-                &[("01-", "1"), ("1-1", "1")],
-            ),
+            GateKind::Mux => emit_cover(&mut out, &fanins, name, &[("01-", "1"), ("1-1", "1")]),
         }
     }
     // Alias covers for outputs whose name differs from the driver's.
@@ -628,8 +625,12 @@ mod tests {
         for (i, (k, f)) in gates.iter().enumerate() {
             ids.push(b.gate(*k, &format!("k{i}"), f.clone(), d).unwrap());
         }
-        let c0 = b.gate(GateKind::Const0, "c0", vec![], crate::DelayBounds::ZERO).unwrap();
-        let c1 = b.gate(GateKind::Const1, "c1", vec![], crate::DelayBounds::ZERO).unwrap();
+        let c0 = b
+            .gate(GateKind::Const0, "c0", vec![], crate::DelayBounds::ZERO)
+            .unwrap();
+        let c1 = b
+            .gate(GateKind::Const1, "c1", vec![], crate::DelayBounds::ZERO)
+            .unwrap();
         ids.extend([c0, c1]);
         for (i, id) in ids.iter().enumerate() {
             b.output(&format!("o{i}"), *id);

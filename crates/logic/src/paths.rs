@@ -326,10 +326,7 @@ mod tests {
     fn all_paths_limit() {
         let n = diamond();
         let out = n.find("g3").unwrap();
-        assert_eq!(
-            all_paths(&n, out, 1),
-            Err(PathLimitExceeded { limit: 1 })
-        );
+        assert_eq!(all_paths(&n, out, 1), Err(PathLimitExceeded { limit: 1 }));
     }
 
     #[test]
@@ -388,17 +385,11 @@ mod tests {
         // b=6 (t=6⁻): straddles iff kmin<6≤kmax → only the g2 path.
         let ps = straddling_paths(&n, out, t(6), 10).unwrap();
         assert_eq!(ps.len(), 1);
-        assert!(ps[0]
-            .nodes()
-            .iter()
-            .any(|&id| n.node(id).name() == "g2"));
+        assert!(ps[0].nodes().iter().any(|&id| n.node(id).name() == "g2"));
         // b=3: g1 path [2,3] straddles (2<3≤3); g2 path kmin=4 ≥ 3 doesn't.
         let ps = straddling_paths(&n, out, t(3), 10).unwrap();
         assert_eq!(ps.len(), 1);
-        assert!(ps[0]
-            .nodes()
-            .iter()
-            .any(|&id| n.node(id).name() == "g1"));
+        assert!(ps[0].nodes().iter().any(|&id| n.node(id).name() == "g1"));
         // b=10: nothing reaches kmax ≥ 10.
         assert!(straddling_paths(&n, out, t(10), 10).unwrap().is_empty());
     }
@@ -411,11 +402,7 @@ mod tests {
         for b in 1..9 {
             let b = t(b);
             let fast = straddling_paths(&n, out, b, 100).unwrap();
-            let slow: Vec<_> = all
-                .iter()
-                .filter(|p| p.straddles(&n, b))
-                .cloned()
-                .collect();
+            let slow: Vec<_> = all.iter().filter(|p| p.straddles(&n, b)).cloned().collect();
             assert_eq!(fast.len(), slow.len(), "at b={b:?}");
             for p in &slow {
                 assert!(fast.contains(p), "missing {p:?} at b={b:?}");

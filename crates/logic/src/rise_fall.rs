@@ -51,12 +51,7 @@ pub fn rise_fall_buffer(
     prefix: &str,
 ) -> Result<NodeId, NetlistError> {
     if rise == fall {
-        return builder.gate(
-            GateKind::Buf,
-            prefix,
-            vec![from],
-            DelayBounds::fixed(rise),
-        );
+        return builder.gate(GateKind::Buf, prefix, vec![from], DelayBounds::fixed(rise));
     }
     let slow = builder.gate(
         GateKind::Buf,
@@ -115,13 +110,7 @@ pub fn pulse_shrinkage_chain(
 ) -> Result<NodeId, NetlistError> {
     let mut cur = from;
     for s in 0..stages {
-        cur = rise_fall_buffer(
-            builder,
-            cur,
-            base + shrink,
-            base,
-            &format!("{prefix}_s{s}"),
-        )?;
+        cur = rise_fall_buffer(builder, cur, base + shrink, base, &format!("{prefix}_s{s}"))?;
     }
     Ok(cur)
 }

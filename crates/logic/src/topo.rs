@@ -138,9 +138,9 @@ impl Netlist {
 
     /// Total path count over all outputs.
     pub fn total_path_count(&self) -> u128 {
-        self.outputs
-            .iter()
-            .fold(0u128, |acc, (_, id)| acc.saturating_add(self.path_count(*id)))
+        self.outputs.iter().fold(0u128, |acc, (_, id)| {
+            acc.saturating_add(self.path_count(*id))
+        })
     }
 }
 

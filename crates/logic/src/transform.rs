@@ -159,21 +159,26 @@ fn lower_gate(
     };
     // Balanced zero-delay reduction of `fanins` under `base`, leaving the
     // LAST combine for the named, delay-carrying root (possibly inverted).
-    let reduce = |b: &mut NetlistBuilder, base: GateKind, fanins: &[NodeId], fresh_aux: &mut dyn FnMut(&mut NetlistBuilder, GateKind, Vec<NodeId>) -> NodeId| -> Vec<NodeId> {
-        let mut layer: Vec<NodeId> = fanins.to_vec();
-        while layer.len() > 2 {
-            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
-            for pair in layer.chunks(2) {
-                match pair {
-                    [only] => next.push(*only),
-                    [l, r] => next.push(fresh_aux(b, base, vec![*l, *r])),
-                    _ => unreachable!("chunks(2)"),
+    let reduce =
+        |b: &mut NetlistBuilder,
+         base: GateKind,
+         fanins: &[NodeId],
+         fresh_aux: &mut dyn FnMut(&mut NetlistBuilder, GateKind, Vec<NodeId>) -> NodeId|
+         -> Vec<NodeId> {
+            let mut layer: Vec<NodeId> = fanins.to_vec();
+            while layer.len() > 2 {
+                let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+                for pair in layer.chunks(2) {
+                    match pair {
+                        [only] => next.push(*only),
+                        [l, r] => next.push(fresh_aux(b, base, vec![*l, *r])),
+                        _ => unreachable!("chunks(2)"),
+                    }
                 }
+                layer = next;
             }
-            layer = next;
-        }
-        layer
-    };
+            layer
+        };
     match kind {
         GateKind::Input => unreachable!("handled by caller"),
         GateKind::Const0 | GateKind::Const1 | GateKind::Not | GateKind::Buf => b
@@ -181,7 +186,8 @@ fn lower_gate(
             .expect("source names are unique"),
         GateKind::And | GateKind::Or | GateKind::Xor => {
             let layer = reduce(b, kind, fanins, &mut aux);
-            b.gate(kind, name, layer, delay).expect("source names are unique")
+            b.gate(kind, name, layer, delay)
+                .expect("source names are unique")
         }
         GateKind::Nand | GateKind::Nor | GateKind::Xnor => {
             let base = match kind {
@@ -325,7 +331,10 @@ mod tests {
     fn sweep_drops_dangling_logic() {
         let m = array_multiplier(3, DelayBounds::fixed(Time::from_int(1)));
         let swept = sweep(&m);
-        assert!(swept.gate_count() < m.gate_count(), "multiplier has dead carries");
+        assert!(
+            swept.gate_count() < m.gate_count(),
+            "multiplier has dead carries"
+        );
         same_function(&m, &swept, 6);
         assert_eq!(swept.topological_delay(), m.topological_delay());
     }

@@ -1,0 +1,154 @@
+//! Deterministic parser fuzzing: the `.bench`/BLIF parsers must return a
+//! typed `NetlistError` on arbitrary input — never panic — and must
+//! round-trip everything the writers emit.
+//!
+//! Seeded with the in-repo SplitMix64 so failures reproduce bit-for-bit
+//! on every platform (the failing seed is printed on assertion).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use tbf_logic::generators::random::{random_dag, SplitMix64};
+use tbf_logic::parsers::bench::{parse_bench, write_bench};
+use tbf_logic::parsers::blif::{parse_blif, write_blif};
+use tbf_logic::parsers::unit_delays;
+use tbf_logic::Netlist;
+
+/// Runs both parsers on `text`, asserting they produce `Ok`/`Err` rather
+/// than panicking, and that any accepted netlist is internally usable.
+fn parsers_survive(text: &str, seed: u64) {
+    for (label, run) in [
+        (
+            "bench",
+            (|t: &str| parse_bench(t, unit_delays)) as fn(&str) -> _,
+        ),
+        ("blif", |t: &str| parse_blif(t, unit_delays)),
+    ] {
+        let outcome = catch_unwind(AssertUnwindSafe(|| run(text)));
+        match outcome {
+            Err(_) => panic!("{label} parser panicked (seed {seed}):\n{text}"),
+            Ok(Ok(n)) => {
+                // Accepted input must yield a coherent netlist.
+                let inputs = vec![false; n.inputs().len()];
+                let outs = n.evaluate_outputs(&inputs);
+                assert_eq!(outs.len(), n.outputs().len(), "seed {seed}");
+            }
+            Ok(Err(_)) => {} // typed rejection is the expected common case
+        }
+    }
+}
+
+#[test]
+fn byte_soup_never_panics() {
+    // Printable-ish chars skewed toward parser-significant bytes.
+    const PALETTE: &[char] = &[
+        'a', 'b', 'c', 'f', 'g', 'x', 'y', '0', '1', '2', '-', '.', '(', ')', '=', ',', ' ', ' ',
+        '\n', '\n', '\t', '\\', '#', '_', 'I', 'N', 'P', 'U', 'T', 'O', 'A', 'D', 'R', 'X', 'V',
+        'E', 'n', 'm', 'o', 'd', 'e', 'l', 's', 't', 'u', 'p', 'r', 'h',
+    ];
+    for seed in 0..300u64 {
+        let mut rng = SplitMix64::new(seed);
+        let len = rng.below(400);
+        let text: String = (0..len)
+            .map(|_| PALETTE[rng.below(PALETTE.len())])
+            .collect();
+        parsers_survive(&text, seed);
+    }
+}
+
+#[test]
+fn token_soup_never_panics() {
+    // Structured fuzz: shuffle plausible directive fragments so the deep
+    // parser paths (covers, continuations, gate lists) actually run.
+    const FRAGMENTS: &[&str] = &[
+        ".model m",
+        ".inputs a b",
+        ".inputs a",
+        ".outputs f",
+        ".outputs f g",
+        ".names a b f",
+        ".names f",
+        ".names a f",
+        ".end",
+        ".latch a q re clk 0",
+        ".subckt foo a=b",
+        "11 1",
+        "0- 1",
+        "-- 0",
+        "1 1",
+        "0 1",
+        "1",
+        "0",
+        "1x 1",
+        "1 2",
+        "11- 1",
+        "\\",
+        "INPUT(a)",
+        "INPUT(b)",
+        "OUTPUT(f)",
+        "OUTPUT(g)",
+        "f = AND(a, b)",
+        "g = NOT(a)",
+        "f = XOR(a, b)",
+        "f = FROB(a)",
+        "f = AND(a",
+        "g = OR(f, ghost)",
+        "# comment",
+        "f = BUF(f)",
+        "",
+    ];
+    for seed in 0..300u64 {
+        let mut rng = SplitMix64::new(seed);
+        let lines = 1 + rng.below(20);
+        let text: String = (0..lines)
+            .map(|_| FRAGMENTS[rng.below(FRAGMENTS.len())])
+            .collect::<Vec<_>>()
+            .join("\n");
+        parsers_survive(&text, seed);
+    }
+}
+
+/// Samples input vectors and checks `round` computes the same outputs as
+/// `original`.
+fn assert_equivalent(original: &Netlist, round: &Netlist, seed: u64, label: &str) {
+    assert_eq!(
+        original.inputs().len(),
+        round.inputs().len(),
+        "{label} seed {seed}"
+    );
+    let k = original.inputs().len();
+    let mut rng = SplitMix64::new(seed ^ 0xDEAD_BEEF);
+    let vectors: Vec<Vec<bool>> = if k <= 10 {
+        (0..(1usize << k))
+            .map(|m| (0..k).map(|i| (m >> i) & 1 == 1).collect())
+            .collect()
+    } else {
+        (0..64)
+            .map(|_| (0..k).map(|_| rng.coin()).collect())
+            .collect()
+    };
+    for v in vectors {
+        assert_eq!(
+            original.evaluate_outputs(&v),
+            round.evaluate_outputs(&v),
+            "{label} seed {seed} diverges on {v:?}"
+        );
+    }
+}
+
+#[test]
+fn random_dags_round_trip_through_both_formats() {
+    for seed in 0..40u64 {
+        let n = random_dag(4, 12, 3, seed);
+
+        let blif = write_blif(&n, "fuzz");
+        let round = parse_blif(&blif, unit_delays)
+            .unwrap_or_else(|e| panic!("blif round-trip failed (seed {seed}): {e}\n{blif}"));
+        assert_equivalent(&n, &round, seed, "blif");
+
+        let bench =
+            write_bench(&n).unwrap_or_else(|e| panic!("write_bench failed (seed {seed}): {e}"));
+        let round = parse_bench(&bench, unit_delays)
+            .unwrap_or_else(|e| panic!("bench round-trip failed (seed {seed}): {e}\n{bench}"));
+        assert_equivalent(&n, &round, seed, "bench");
+    }
+}

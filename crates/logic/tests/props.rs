@@ -1,9 +1,11 @@
 //! Property tests for the netlist substrate: timing decompositions,
 //! path queries vs brute force, and parser round-trips on random
 //! circuits.
+//!
+//! Cases are generated from the in-repo SplitMix64 stream — hermetic and
+//! bit-stable, no external property-test crates.
 
-use proptest::prelude::*;
-
+use tbf_logic::generators::random::SplitMix64;
 use tbf_logic::parsers::bench::{parse_bench, write_bench};
 use tbf_logic::parsers::unit_delays;
 use tbf_logic::paths::{all_paths, next_breakpoint, straddling_paths};
@@ -16,22 +18,20 @@ struct Recipe {
     gates: Vec<(u8, Vec<usize>, i64, i64)>,
 }
 
-fn arb_recipe() -> impl Strategy<Value = Recipe> {
-    (2usize..5).prop_flat_map(|n_inputs| {
-        let gate = (
-            0u8..8,
-            proptest::collection::vec(0usize..64, 1..4),
-            1i64..6,
-            0i64..4,
-        );
-        proptest::collection::vec(gate, 1..12).prop_map(move |raw| Recipe {
-            n_inputs,
-            gates: raw
-                .into_iter()
-                .map(|(k, f, lo, spread)| (k, f, lo, lo + spread))
-                .collect(),
+fn gen_recipe(rng: &mut SplitMix64) -> Recipe {
+    let n_inputs = 2 + rng.below(3);
+    let n_gates = 1 + rng.below(11);
+    let gates = (0..n_gates)
+        .map(|_| {
+            let kind = rng.below(8) as u8;
+            let n_fanins = 1 + rng.below(3);
+            let fanins = (0..n_fanins).map(|_| rng.below(64)).collect();
+            let lo = 1 + rng.below(5) as i64;
+            let spread = rng.below(4) as i64;
+            (kind, fanins, lo, lo + spread)
         })
-    })
+        .collect();
+    Recipe { n_inputs, gates }
 }
 
 fn build(recipe: &Recipe) -> Netlist {
@@ -64,13 +64,18 @@ fn build(recipe: &Recipe) -> Netlist {
     b.finish().expect("one output")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+fn cases(salt: u64) -> impl Iterator<Item = Recipe> {
+    (0..96u64).map(move |i| {
+        let mut rng = SplitMix64::new(i.wrapping_mul(0x2545F491).wrapping_add(salt));
+        gen_recipe(&mut rng)
+    })
+}
 
-    /// The topological delay equals the maximum explicit path length, and
-    /// arrivals decompose as prefix + suffix along every path.
-    #[test]
-    fn topological_delay_is_max_path_length(recipe in arb_recipe()) {
+/// The topological delay equals the maximum explicit path length, and
+/// arrivals decompose as prefix + suffix along every path.
+#[test]
+fn topological_delay_is_max_path_length() {
+    for recipe in cases(0x70B0) {
         let n = build(&recipe);
         let out = n.outputs()[0].1;
         let paths = all_paths(&n, out, 100_000).expect("small circuits");
@@ -79,7 +84,7 @@ proptest! {
             .map(|p| p.length_max(&n))
             .max()
             .unwrap_or(Time::ZERO);
-        prop_assert_eq!(n.topological_delay_of(out), by_paths);
+        assert_eq!(n.topological_delay_of(out), by_paths, "{recipe:?}");
         // Suffix/arrival decomposition at every node of every path.
         let arr = n.arrivals(false, true);
         let suf = n.suffixes(out, false, true);
@@ -87,15 +92,17 @@ proptest! {
             for &node in p.gates() {
                 let a = arr[node.index()];
                 let s = suf[node.index()].expect("on a path to out");
-                prop_assert!(a + s <= by_paths);
+                assert!(a + s <= by_paths, "{recipe:?}");
             }
         }
     }
+}
 
-    /// The breakpoint chain enumerates exactly the distinct kmax values,
-    /// descending.
-    #[test]
-    fn breakpoints_match_brute_force(recipe in arb_recipe()) {
+/// The breakpoint chain enumerates exactly the distinct kmax values,
+/// descending.
+#[test]
+fn breakpoints_match_brute_force() {
+    for recipe in cases(0xB4EA) {
         let n = build(&recipe);
         let out = n.outputs()[0].1;
         let mut lens: Vec<Time> = all_paths(&n, out, 100_000)
@@ -109,16 +116,18 @@ proptest! {
         let mut cur = Time::MAX;
         for &expect in &lens {
             let got = next_breakpoint(&n, out, cur);
-            prop_assert_eq!(got, Some(expect));
+            assert_eq!(got, Some(expect), "{recipe:?}");
             cur = expect;
         }
-        prop_assert_eq!(next_breakpoint(&n, out, cur), None);
+        assert_eq!(next_breakpoint(&n, out, cur), None, "{recipe:?}");
     }
+}
 
-    /// Straddling-path enumeration agrees with filtering all paths, at
-    /// every breakpoint.
-    #[test]
-    fn straddling_agrees_with_filter(recipe in arb_recipe()) {
+/// Straddling-path enumeration agrees with filtering all paths, at
+/// every breakpoint.
+#[test]
+fn straddling_agrees_with_filter() {
+    for recipe in cases(0x57AD) {
         let n = build(&recipe);
         let out = n.outputs()[0].1;
         let all = all_paths(&n, out, 100_000).expect("small circuits");
@@ -126,29 +135,37 @@ proptest! {
         while let Some(bp) = b {
             let fast = straddling_paths(&n, out, bp, 100_000).expect("small");
             let slow: Vec<_> = all.iter().filter(|p| p.straddles(&n, bp)).collect();
-            prop_assert_eq!(fast.len(), slow.len(), "at {}", bp);
+            assert_eq!(fast.len(), slow.len(), "at {bp}: {recipe:?}");
             b = next_breakpoint(&n, out, bp);
         }
     }
+}
 
-    /// write_bench ∘ parse_bench is the identity on functions.
-    #[test]
-    fn bench_round_trip(recipe in arb_recipe()) {
+/// write_bench ∘ parse_bench is the identity on functions.
+#[test]
+fn bench_round_trip() {
+    for recipe in cases(0x2000) {
         let n = build(&recipe);
         let text = write_bench(&n).expect("no constants generated");
         let round = parse_bench(&text, unit_delays).expect("own output parses");
-        prop_assert_eq!(round.inputs().len(), n.inputs().len());
+        assert_eq!(round.inputs().len(), n.inputs().len(), "{recipe:?}");
         let k = n.inputs().len();
         for bits in 0..(1u32 << k) {
             let v: Vec<bool> = (0..k).map(|i| (bits >> i) & 1 == 1).collect();
-            prop_assert_eq!(round.evaluate_outputs(&v), n.evaluate_outputs(&v));
+            assert_eq!(
+                round.evaluate_outputs(&v),
+                n.evaluate_outputs(&v),
+                "{recipe:?}"
+            );
         }
     }
+}
 
-    /// The structural transforms preserve functions and topological
-    /// delay (decompose/strash/sweep).
-    #[test]
-    fn transforms_preserve_function(recipe in arb_recipe()) {
+/// The structural transforms preserve functions and topological
+/// delay (decompose/strash/sweep).
+#[test]
+fn transforms_preserve_function() {
+    for recipe in cases(0x7F02) {
         let n = build(&recipe);
         let k = n.inputs().len();
         for (label, m) in [
@@ -158,19 +175,16 @@ proptest! {
         ] {
             for bits in 0..(1u32 << k) {
                 let v: Vec<bool> = (0..k).map(|i| (bits >> i) & 1 == 1).collect();
-                prop_assert_eq!(
+                assert_eq!(
                     m.evaluate_outputs(&v),
                     n.evaluate_outputs(&v),
-                    "{} at {:#b}",
-                    label,
-                    bits
+                    "{label} at {bits:#b}: {recipe:?}"
                 );
             }
-            prop_assert_eq!(
+            assert_eq!(
                 m.topological_delay(),
                 n.topological_delay(),
-                "{} changed the topological delay",
-                label
+                "{label} changed the topological delay: {recipe:?}"
             );
         }
     }

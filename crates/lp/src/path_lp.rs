@@ -136,7 +136,11 @@ impl PathLp {
             .map(|(a, b)| (Some(Rat::from(a)), Some(Rat::from(b))))
             .unwrap_or((Some(Rat::ZERO), None));
         let tlo = match (tlo, t_floor) {
-            (Some(lo), Some(fl)) => Some(if Rat::from(fl) > lo { Rat::from(fl) } else { lo }),
+            (Some(lo), Some(fl)) => Some(if Rat::from(fl) > lo {
+                Rat::from(fl)
+            } else {
+                lo
+            }),
             (None, Some(fl)) => Some(Rat::from(fl)),
             (lo, None) => lo,
         };

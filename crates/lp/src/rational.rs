@@ -129,7 +129,11 @@ impl Rat {
         -(-self.num).div_euclid(self.den)
     }
 
-    fn checked_bin(a: Rat, b: Rat, f: impl Fn(i128, i128, i128, i128) -> Option<(i128, i128)>) -> Rat {
+    fn checked_bin(
+        a: Rat,
+        b: Rat,
+        f: impl Fn(i128, i128, i128, i128) -> Option<(i128, i128)>,
+    ) -> Rat {
         let (num, den) =
             f(a.num, a.den, b.num, b.den).expect("rational arithmetic overflow (i128)");
         Rat::new(num, den)

@@ -238,10 +238,7 @@ pub fn solve<F: LpField>(problem: &LpProblem<F>) -> LpOutcome<F> {
             Relation::Eq => aux.push(Aux::ArtificialOnly),
         }
     }
-    let n_artificial = aux
-        .iter()
-        .filter(|a| !matches!(a, Aux::Slack(_)))
-        .count();
+    let n_artificial = aux.iter().filter(|a| !matches!(a, Aux::Slack(_))).count();
     let n = n_struct + n_slack + n_artificial;
 
     let mut tab = Tableau {
@@ -304,9 +301,7 @@ pub fn solve<F: LpField>(problem: &LpProblem<F>) -> LpOutcome<F> {
         // Pivot any artificial still in the basis (at zero level) out.
         for i in 0..m {
             if artificial_cols.contains(&tab.basis[i]) {
-                if let Some(c) =
-                    (0..n_struct + n_slack).find(|&j| !tab.rows[i][j].is_zero())
-                {
+                if let Some(c) = (0..n_struct + n_slack).find(|&j| !tab.rows[i][j].is_zero()) {
                     tab.pivot(i, c);
                 }
                 // Otherwise the row is all-zero: redundant, harmless.

@@ -1,11 +1,34 @@
 //! Property tests: the exact simplex against random sampling oracles and
 //! the `f64` instantiation.
+//!
+//! Cases come from a deterministic in-repo SplitMix64 stream (hermetic —
+//! no external PRNG/property-test crates; inlined because `tbf-lp` sits
+//! below `tbf-logic`).
 
-use proptest::prelude::*;
 use tbf_lp::{solve, LpOutcome, LpProblem, PathLp, PathLpOutcome, Rat, Relation};
 
-/// Strategy: a random path LP over `n` gates with integer bounds and a few
-/// random path constraints.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+
+    fn in_range(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + self.below((hi - lo) as u64) as i64
+    }
+}
+
+/// A random path LP over `n` gates with integer bounds and a few random
+/// path constraints.
 #[derive(Clone, Debug)]
 struct RandomPathLp {
     bounds: Vec<(i64, i64)>,
@@ -14,26 +37,30 @@ struct RandomPathLp {
     window_hi: i64,
 }
 
-fn arb_path_lp() -> impl Strategy<Value = RandomPathLp> {
-    (2usize..6).prop_flat_map(|n| {
-        let bounds = proptest::collection::vec((1i64..10).prop_map(|lo| (lo, lo + 5)), n);
-        let subset = proptest::collection::vec(0..n, 1..=n)
-            .prop_map(|mut v| {
-                v.sort_unstable();
-                v.dedup();
-                v
-            });
-        let less = proptest::collection::vec(subset.clone(), 0..3);
-        let greater = proptest::collection::vec(subset, 0..3);
-        (bounds, less, greater, 20i64..200).prop_map(|(bounds, less, greater, window_hi)| {
-            RandomPathLp {
-                bounds,
-                less,
-                greater,
-                window_hi,
-            }
+fn gen_path_lp(rng: &mut Rng) -> RandomPathLp {
+    let n = 2 + rng.below(4) as usize;
+    let bounds = (0..n)
+        .map(|_| {
+            let lo = rng.in_range(1, 10);
+            (lo, lo + 5)
         })
-    })
+        .collect();
+    let subset = |rng: &mut Rng| -> Vec<usize> {
+        let len = 1 + rng.below(n as u64) as usize;
+        let mut v: Vec<usize> = (0..len).map(|_| rng.below(n as u64) as usize).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let less = (0..rng.below(3)).map(|_| subset(rng)).collect();
+    let greater = (0..rng.below(3)).map(|_| subset(rng)).collect();
+    let window_hi = rng.in_range(20, 200);
+    RandomPathLp {
+        bounds,
+        less,
+        greater,
+        window_hi,
+    }
 }
 
 /// Best feasible `t` for a *fixed* delay assignment, or `None`.
@@ -56,9 +83,11 @@ fn best_t_for(d: &[i64], lp: &RandomPathLp) -> Option<i64> {
     }
 }
 
-proptest! {
-    #[test]
-    fn path_lp_upper_bounds_every_sampled_point(spec in arb_path_lp(), seed in 0u64..1000) {
+#[test]
+fn path_lp_upper_bounds_every_sampled_point() {
+    for case in 0..256u64 {
+        let mut rng = Rng(case.wrapping_mul(0xA5A5A5A5).wrapping_add(0x11));
+        let spec = gen_path_lp(&mut rng);
         let mut lp = PathLp::new(&spec.bounds);
         for s in &spec.less {
             lp.t_less_than(s);
@@ -70,7 +99,7 @@ proptest! {
         let outcome = lp.solve();
 
         // Pseudo-random corner/interior samples of the delay box.
-        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut state = case.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
         let mut next = || {
             state ^= state << 13;
             state ^= state >> 7;
@@ -91,23 +120,30 @@ proptest! {
         match (outcome, best_seen) {
             (PathLpOutcome::Feasible { t_sup, .. }, Some(best)) => {
                 // The exact supremum dominates every sampled feasible t.
-                prop_assert!(t_sup >= best, "t_sup {t_sup} < sampled {best}");
+                assert!(t_sup >= best, "t_sup {t_sup} < sampled {best}: {spec:?}");
             }
             (PathLpOutcome::Infeasible, Some(best)) => {
-                prop_assert!(false, "LP infeasible but sample found t = {best}");
+                panic!("LP infeasible but sample found t = {best}: {spec:?}");
             }
             _ => {} // feasible-but-unsampled or both infeasible: fine
         }
     }
+}
 
-    #[test]
-    fn f64_and_rational_simplex_agree(
-        c in proptest::collection::vec(-5i64..=5, 3),
-        rows in proptest::collection::vec(
-            (proptest::collection::vec(-4i64..=4, 3), 0i64..20),
-            1..4
-        ),
-    ) {
+#[test]
+fn f64_and_rational_simplex_agree() {
+    for case in 0..256u64 {
+        let mut rng = Rng(case.wrapping_mul(0xC3C3C3C3).wrapping_add(0x22));
+        let c: Vec<i64> = (0..3).map(|_| rng.in_range(-5, 6)).collect();
+        let n_rows = 1 + rng.below(3);
+        let rows: Vec<(Vec<i64>, i64)> = (0..n_rows)
+            .map(|_| {
+                (
+                    (0..3).map(|_| rng.in_range(-4, 5)).collect(),
+                    rng.in_range(0, 20),
+                )
+            })
+            .collect();
         // maximize c·x over x ∈ [0,10]³ with rows a·x ≤ b.
         let mut pf: LpProblem<f64> = LpProblem::new();
         let mut pr: LpProblem<Rat> = LpProblem::new();
@@ -121,7 +157,10 @@ proptest! {
         }
         for (a, b) in &rows {
             pf.add_constraint(
-                a.iter().enumerate().map(|(i, &ai)| (xf[i], ai as f64)).collect(),
+                a.iter()
+                    .enumerate()
+                    .map(|(i, &ai)| (xf[i], ai as f64))
+                    .collect(),
                 Relation::Le,
                 *b as f64,
             );
@@ -136,22 +175,30 @@ proptest! {
         }
         match (solve(&pf), solve(&pr)) {
             (LpOutcome::Optimal { value: vf, .. }, LpOutcome::Optimal { value: vr, x }) => {
-                prop_assert!((vf - vr.to_f64()).abs() < 1e-6);
-                prop_assert!(pr.is_feasible(&x));
+                assert!((vf - vr.to_f64()).abs() < 1e-6);
+                assert!(pr.is_feasible(&x));
             }
             (LpOutcome::Infeasible, LpOutcome::Infeasible) => {}
             (LpOutcome::Unbounded, LpOutcome::Unbounded) => {}
-            (a, b) => prop_assert!(false, "disagreement: f64 {a:?} vs rational {b:?}"),
+            (a, b) => panic!("disagreement: f64 {a:?} vs rational {b:?}"),
         }
     }
+}
 
-    #[test]
-    fn optimal_solutions_are_feasible(
-        rows in proptest::collection::vec(
-            (proptest::collection::vec(-4i64..=4, 4), -10i64..20, 0usize..3),
-            1..5
-        ),
-    ) {
+#[test]
+fn optimal_solutions_are_feasible() {
+    for case in 0..256u64 {
+        let mut rng = Rng(case.wrapping_mul(0x3C3C3C3C).wrapping_add(0x33));
+        let n_rows = 1 + rng.below(4);
+        let rows: Vec<(Vec<i64>, i64, usize)> = (0..n_rows)
+            .map(|_| {
+                (
+                    (0..4).map(|_| rng.in_range(-4, 5)).collect(),
+                    rng.in_range(-10, 20),
+                    rng.below(3) as usize,
+                )
+            })
+            .collect();
         // Mixed relations over x ∈ [0, 8]⁴, maximize Σx.
         let mut p: LpProblem<Rat> = LpProblem::new();
         let xs: Vec<_> = (0..4)
@@ -176,8 +223,8 @@ proptest! {
             );
         }
         if let LpOutcome::Optimal { x, value } = solve(&p) {
-            prop_assert!(p.is_feasible(&x));
-            prop_assert_eq!(p.objective_value(&x), value);
+            assert!(p.is_feasible(&x));
+            assert_eq!(p.objective_value(&x), value);
         }
     }
 }

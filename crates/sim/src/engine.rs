@@ -255,12 +255,7 @@ mod tests {
         let mut b = Netlist::builder();
         let a = b.input("a");
         let g = b
-            .gate(
-                GateKind::Buf,
-                "g",
-                vec![a],
-                DelayBounds::new(t(2), t(5)),
-            )
+            .gate(GateKind::Buf, "g", vec![a], DelayBounds::new(t(2), t(5)))
             .unwrap();
         b.output("f", g);
         let n = b.finish().unwrap();

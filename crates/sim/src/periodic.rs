@@ -22,16 +22,9 @@ use crate::waveform::Waveform;
 ///
 /// Panics if a vector's arity differs from `initial.len()` or
 /// `period ≤ 0`.
-pub fn periodic_waveforms(
-    initial: &[bool],
-    vectors: &[Vec<bool>],
-    period: Time,
-) -> Vec<Waveform> {
+pub fn periodic_waveforms(initial: &[bool], vectors: &[Vec<bool>], period: Time) -> Vec<Waveform> {
     assert!(period > Time::ZERO, "period must be positive");
-    let mut waveforms: Vec<Waveform> = initial
-        .iter()
-        .map(|&v| Waveform::constant(v))
-        .collect();
+    let mut waveforms: Vec<Waveform> = initial.iter().map(|&v| Waveform::constant(v)).collect();
     for (k, vector) in vectors.iter().enumerate() {
         assert_eq!(vector.len(), initial.len(), "vector arity mismatch");
         let at = period * k as i64;
@@ -111,9 +104,7 @@ pub fn min_settling_period(
     let passes = |period: Time| {
         scenarios
             .iter()
-            .all(|(initial, train, delays)| {
-                settles_within(netlist, delays, initial, train, period)
-            })
+            .all(|(initial, train, delays)| settles_within(netlist, delays, initial, train, period))
     };
     let (mut lo_s, mut hi_s) = (lo.scaled(), hi.scaled());
     if passes(Time::from_scaled(lo_s)) {
@@ -149,12 +140,7 @@ mod tests {
         let mut b = Netlist::builder();
         let x = b.input("x");
         let g = b
-            .gate(
-                GateKind::Not,
-                "g",
-                vec![x],
-                DelayBounds::fixed(t(total)),
-            )
+            .gate(GateKind::Not, "g", vec![x], DelayBounds::fixed(t(total)))
             .unwrap();
         b.output("f", g);
         b.finish().unwrap()
@@ -162,11 +148,7 @@ mod tests {
 
     #[test]
     fn periodic_waveforms_switch_on_schedule() {
-        let ws = periodic_waveforms(
-            &[false],
-            &[vec![true], vec![false], vec![true]],
-            t(5),
-        );
+        let ws = periodic_waveforms(&[false], &[vec![true], vec![false], vec![true]], t(5));
         assert!(ws[0].value_at(t(1)));
         assert!(!ws[0].value_at(t(6)));
         assert!(ws[0].value_at(t(11)));
@@ -222,13 +204,7 @@ mod tests {
         // x·x̄ = 0: glitches exist but the sampled value just before each
         // edge is the settled 0 whenever period > 2.
         let train = vec![vec![true], vec![false], vec![true]];
-        assert!(settles_within(
-            &n,
-            &max_delays(&n),
-            &[false],
-            &train,
-            t(3)
-        ));
+        assert!(settles_within(&n, &max_delays(&n), &[false], &train, t(3)));
     }
 
     #[test]

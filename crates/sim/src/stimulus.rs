@@ -53,10 +53,7 @@ impl Stimulus {
     ///
     /// Panics if arities mismatch, times descend, or a time is positive.
     pub fn vector_sequence(initial: &[bool], sequence: Vec<(Time, Vec<bool>)>) -> Stimulus {
-        let mut waveforms: Vec<Waveform> = initial
-            .iter()
-            .map(|&v| Waveform::constant(v))
-            .collect();
+        let mut waveforms: Vec<Waveform> = initial.iter().map(|&v| Waveform::constant(v)).collect();
         let mut prev = Time::MIN;
         for (t, vec) in sequence {
             assert!(t >= prev, "sequence times must ascend");
@@ -136,10 +133,7 @@ mod tests {
     fn descending_times_panic() {
         let _ = Stimulus::vector_sequence(
             &[false],
-            vec![
-                (Time::ZERO, vec![true]),
-                (Time::from_int(-1), vec![false]),
-            ],
+            vec![(Time::ZERO, vec![true]), (Time::from_int(-1), vec![false])],
         );
     }
 

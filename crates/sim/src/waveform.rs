@@ -227,10 +227,7 @@ mod tests {
 
     #[test]
     fn from_transitions_sorts_and_normalizes() {
-        let w = Waveform::from_transitions(
-            false,
-            vec![(t(5), false), (t(1), true), (t(3), true)],
-        );
+        let w = Waveform::from_transitions(false, vec![(t(5), false), (t(1), true), (t(3), true)]);
         // (3, true) is a no-op after (1, true).
         assert_eq!(w.transitions(), &[(t(1), true), (t(5), false)]);
     }

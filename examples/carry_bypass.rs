@@ -21,7 +21,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 1. Topology: the ripple-through path dominates statically.
     let out = adder.outputs()[0].1;
-    println!("gates: {}  paths to carry-out: {}", adder.gate_count(), adder.path_count(out));
+    println!(
+        "gates: {}  paths to carry-out: {}",
+        adder.gate_count(),
+        adder.path_count(out)
+    );
     let mut paths = all_paths(&adder, out, 1000)?;
     paths.sort_by_key(|p| std::cmp::Reverse(p.length_max(&adder)));
     println!("longest paths by kmax:");
@@ -39,7 +43,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = two_vector_delay(&adder, &DelayOptions::default())?;
     println!("\ntopological delay : {}", report.topological);
     println!("exact 2-vector    : {}", report.delay);
-    println!("false-path slack  : {} ({}% STA overestimate)",
+    println!(
+        "false-path slack  : {} ({}% STA overestimate)",
         report.false_path_slack(),
         (report.false_path_slack().to_units() / report.delay.to_units() * 100.0).round()
     );
@@ -68,7 +73,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Scaling: the same effect on larger bypass adders.
     println!("\n=== scaling: uniform-delay carry-bypass adders ===");
-    println!("{:<12} {:>6} {:>12} {:>10} {:>8}", "adder", "gates", "topological", "exact", "slack");
+    println!(
+        "{:<12} {:>6} {:>12} {:>10} {:>8}",
+        "adder", "gates", "topological", "exact", "slack"
+    );
     for (bits, blocks) in [(2usize, 2usize), (4, 2), (4, 4), (4, 6)] {
         let n = carry_bypass(bits, blocks, unit_ninety_percent());
         let r = two_vector_delay(&n, &DelayOptions::default())?;

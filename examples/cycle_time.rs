@@ -47,9 +47,7 @@ fn bracket(name: &str, n: &Netlist) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!(
-        "minimum-cycle-time bracket: dynamic lower bound ≤ T* ≤ D(ω⁻) upper bound\n"
-    );
+    println!("minimum-cycle-time bracket: dynamic lower bound ≤ T* ≤ D(ω⁻) upper bound\n");
     bracket("paper §11 adder", &paper_bypass_adder())?;
     bracket("bypass 2x2", &carry_bypass(2, 2, unit_ninety_percent()))?;
     bracket("bypass 4x2", &carry_bypass(4, 2, unit_ninety_percent()))?;

@@ -32,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("mean last transition  : {:.2}", dist.mean());
     println!("median                : {}", dist.quantile(0.5));
     println!("95th percentile       : {}", dist.quantile(0.95));
-    println!("sampled worst case    : {}", dist.max().expect("transitions observed"));
+    println!(
+        "sampled worst case    : {}",
+        dist.max().expect("transitions observed")
+    );
     println!("exact worst case D(2) : {exact}   <- never exceeded\n");
 
     let hist = dist.histogram(12);

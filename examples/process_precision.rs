@@ -15,7 +15,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let opts = DelayOptions::default();
 
     let f_star = precision_threshold(&adder, &opts)?;
-    println!("circuit: paper §11 bypass adder (L = {})", adder.topological_delay());
+    println!(
+        "circuit: paper §11 bypass adder (L = {})",
+        adder.topological_delay()
+    );
     println!("Theorem 5 threshold f* = D(C,[0,dmax],2)/L = {f_star:.3}\n");
 
     println!("{:>6}  {:>8}   note", "f", "D(2)");

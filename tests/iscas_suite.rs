@@ -138,7 +138,10 @@ fn per_output_reports_are_complete() {
             "{name}: one entry per output"
         );
         let max = r.outputs.iter().map(|o| o.delay).max().unwrap();
-        assert_eq!(r.delay, max, "{name}: circuit delay is the max over outputs");
+        assert_eq!(
+            r.delay, max,
+            "{name}: circuit delay is the max over outputs"
+        );
         for o in &r.outputs {
             assert!(o.delay <= o.topological, "{name}/{}", o.name);
         }

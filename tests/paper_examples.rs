@@ -87,10 +87,7 @@ fn example4_tbf_network_partition() {
     let out = n.find("g5").unwrap();
     let t28 = Time::from_units(2.8);
     let paths = all_paths(&n, out, 100).unwrap();
-    let negative: Vec<_> = paths
-        .iter()
-        .filter(|p| p.length_min(&n) >= t28)
-        .collect();
+    let negative: Vec<_> = paths.iter().filter(|p| p.length_min(&n) >= t28).collect();
     let straddling: Vec<_> = paths.iter().filter(|p| p.straddles(&n, t28)).collect();
     assert_eq!(paths.len(), 5);
     assert_eq!(negative.len(), 1);
@@ -149,7 +146,10 @@ fn theorem3_lower_bound_invariance() {
 fn theorem5_precision_threshold() {
     let n = paper_bypass_adder();
     let f_star = lower_bounds::precision_threshold(&n, &opts()).unwrap();
-    assert!((f_star - 0.6).abs() < 1e-9, "f* = 24/40 = 0.6, got {f_star}");
+    assert!(
+        (f_star - 0.6).abs() < 1e-9,
+        "f* = 24/40 = 0.6, got {f_star}"
+    );
     let sweep = lower_bounds::precision_sweep(&n, 11, &opts()).unwrap();
     let base = sweep[0].delay;
     for p in &sweep {

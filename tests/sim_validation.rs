@@ -2,14 +2,11 @@
 //! observe a later last-output-transition than the exact delays computed
 //! symbolically, and on small circuits the bound must be attained.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use tbf_suite::core::{sequences_delay, two_vector_delay, DelayOptions};
 use tbf_suite::logic::generators::adders::paper_bypass_adder;
 use tbf_suite::logic::generators::figures::{figure4_example3, figure6_glitch};
+use tbf_suite::logic::generators::random::{random_dag, SplitMix64};
 use tbf_suite::logic::generators::trees::parity_tree;
-use tbf_suite::logic::generators::random::random_dag;
 use tbf_suite::logic::{DelayBounds, Netlist, Time};
 use tbf_suite::sim::{sample_delays, simulate, Stimulus, Waveform};
 
@@ -20,13 +17,13 @@ fn opts() -> DelayOptions {
 /// Monte-Carlo 2-vector check: random vector pairs × random delay
 /// assignments never beat the exact bound; report the best observed.
 fn mc_two_vector(netlist: &Netlist, trials: usize, seed: u64) -> Option<Time> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let n_in = netlist.inputs().len();
     let mut best: Option<Time> = None;
     for _ in 0..trials {
-        let before: Vec<bool> = (0..n_in).map(|_| rng.gen()).collect();
-        let after: Vec<bool> = (0..n_in).map(|_| rng.gen()).collect();
-        let delays = sample_delays(netlist, || rng.gen());
+        let before: Vec<bool> = (0..n_in).map(|_| rng.coin()).collect();
+        let after: Vec<bool> = (0..n_in).map(|_| rng.coin()).collect();
+        let delays = sample_delays(netlist, || rng.next_u64());
         let stim = Stimulus::vector_pair(&before, &after);
         let r = simulate(netlist, &delays, &stim.waveforms(netlist));
         if let Some(t) = r.last_output_transition(netlist) {
@@ -38,27 +35,25 @@ fn mc_two_vector(netlist: &Netlist, trials: usize, seed: u64) -> Option<Time> {
 
 /// Monte-Carlo ω⁻ check with random pulse trains ending at t = 0.
 fn mc_sequences(netlist: &Netlist, trials: usize, seed: u64) -> Option<Time> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let n_in = netlist.inputs().len();
     let mut best: Option<Time> = None;
     for _ in 0..trials {
         let mut waveforms = Vec::with_capacity(n_in);
         for _ in 0..n_in {
-            let mut w = Waveform::constant(rng.gen());
+            let mut w = Waveform::constant(rng.coin());
             // A few random transitions at t ≤ 0.
-            let k = rng.gen_range(0..5);
-            let mut times: Vec<i64> = (0..k)
-                .map(|_| -rng.gen_range(0..200_000i64))
-                .collect();
+            let k = rng.below(5);
+            let mut times: Vec<i64> = (0..k).map(|_| -(rng.below(200_000) as i64)).collect();
             times.sort_unstable();
             times.dedup();
             for tt in times {
-                let v: bool = rng.gen();
+                let v: bool = rng.coin();
                 w.record(Time::from_scaled(tt), v);
             }
             waveforms.push(w);
         }
-        let delays = sample_delays(netlist, || rng.gen());
+        let delays = sample_delays(netlist, || rng.next_u64());
         let r = simulate(netlist, &delays, &waveforms);
         if let Some(t) = r.last_output_transition(netlist) {
             best = Some(best.map_or(t, |b: Time| b.max(t)));
@@ -75,7 +70,10 @@ fn simulation_never_exceeds_two_vector_bound() {
         ("bypass", paper_bypass_adder()),
         (
             "parity",
-            parity_tree(6, DelayBounds::new(Time::from_units(0.9), Time::from_int(1))),
+            parity_tree(
+                6,
+                DelayBounds::new(Time::from_units(0.9), Time::from_int(1)),
+            ),
         ),
         ("rand", random_dag(6, 30, 3, 0x5EED)),
     ] {

@@ -2,11 +2,8 @@
 //! fixed-delay circuits, the symbolic TBF, the waveform algebra, and the
 //! event-driven simulator must produce identical signals.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use tbf_suite::core::TbfExpr;
-use tbf_suite::logic::generators::random::random_dag;
+use tbf_suite::logic::generators::random::{random_dag, SplitMix64};
 use tbf_suite::logic::{GateKind, Netlist, NodeId, Time};
 use tbf_suite::sim::{max_delays, simulate, Waveform};
 
@@ -81,22 +78,22 @@ fn algebra_waveforms(netlist: &Netlist, inputs: &[Waveform]) -> Vec<Waveform> {
     out
 }
 
-fn random_train(rng: &mut StdRng) -> Waveform {
-    let mut w = Waveform::constant(rng.gen());
-    let mut times: Vec<i64> = (0..rng.gen_range(0..6))
-        .map(|_| rng.gen_range(-40_000i64..200_000))
+fn random_train(rng: &mut SplitMix64) -> Waveform {
+    let mut w = Waveform::constant(rng.coin());
+    let mut times: Vec<i64> = (0..rng.below(6))
+        .map(|_| rng.below(240_000) as i64 - 40_000)
         .collect();
     times.sort_unstable();
     times.dedup();
     for t in times {
-        let v: bool = rng.gen();
+        let v: bool = rng.coin();
         w.record(Time::from_scaled(t), v);
     }
     w
 }
 
 fn check_circuit(netlist: &Netlist, output: NodeId, seed: u64) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let fixed = netlist.map_delays(|d| tbf_suite::logic::DelayBounds::fixed(d.max));
     let inputs: Vec<Waveform> = (0..fixed.inputs().len())
         .map(|_| random_train(&mut rng))

@@ -48,7 +48,10 @@ fn cone_extraction_matches_per_output_delay() {
 fn sweep_preserves_exact_delays() {
     use tbf_suite::logic::generators::datapath::array_multiplier;
     use tbf_suite::logic::DelayBounds;
-    let m = array_multiplier(2, DelayBounds::new(Time::from_units(0.9), Time::from_int(1)));
+    let m = array_multiplier(
+        2,
+        DelayBounds::new(Time::from_units(0.9), Time::from_int(1)),
+    );
     let base = two_vector_delay(&m, &opts()).unwrap().delay;
     let swept = sweep(&m);
     let after = two_vector_delay(&swept, &opts()).unwrap().delay;
