@@ -1,0 +1,78 @@
+//! Sequential-vs-parallel wall-clock scaling of the anytime driver.
+//!
+//! Runs `analyze` over multi-output circuits (≥ 8 independent cones) at
+//! 1, 2 and 4 worker threads and prints the per-setting latency plus the
+//! speedup over the sequential baseline. On a single-core host the
+//! speedup column stays ~1.0× (there is nothing to run the extra workers
+//! on); the table is meant to be read from a multi-core runner.
+
+use std::time::Instant;
+use tbf_bench::harness::{bench, section};
+use tbf_core::{analyze, AnalysisPolicy};
+use tbf_logic::generators::adders::carry_bypass;
+use tbf_logic::generators::random::random_dag;
+use tbf_logic::generators::unit_ninety_percent;
+use tbf_logic::{Netlist, Time};
+
+/// Median-of-5 wall-clock for one `analyze` call at the given thread
+/// count (single iterations: the driver is the unit of work here).
+fn measure(netlist: &Netlist, threads: usize) -> f64 {
+    let policy = AnalysisPolicy::default().with_threads(threads);
+    let mut samples: Vec<f64> = (0..5)
+        .map(|_| {
+            let start = Instant::now();
+            let r = analyze(netlist, &policy);
+            assert!(r.upper >= r.lower);
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+fn scaling_table(label: &str, netlist: &Netlist) {
+    section(label);
+    println!(
+        "  {} outputs, {} gates, topological delay {}",
+        netlist.outputs().len(),
+        netlist.gate_count(),
+        netlist.topological_delay()
+    );
+    let base = measure(netlist, 1);
+    println!("  threads=1  {:>10.3} ms   1.00x (baseline)", base * 1e3);
+    for threads in [2usize, 4] {
+        let t = measure(netlist, threads);
+        println!(
+            "  threads={threads}  {:>10.3} ms   {:.2}x",
+            t * 1e3,
+            base / t
+        );
+    }
+}
+
+fn main() {
+    // 18 sink outputs on a wide random DAG: plenty of independent cones.
+    let wide = random_dag(10, 80, 3, 5);
+    scaling_table("parallel/random_dag_10x80", &wide);
+
+    // The bypass-adder scaling series carries one heavy cone per block
+    // output, so largest-first scheduling matters.
+    let adder = carry_bypass(4, 4, unit_ninety_percent());
+    scaling_table("parallel/carry_bypass_4x4", &adder);
+
+    section("parallel/report_invariance");
+    let sequential = analyze(&wide, &AnalysisPolicy::default());
+    let parallel = analyze(&wide, &AnalysisPolicy::default().with_threads(4));
+    assert_eq!(sequential, parallel, "threads must not change the report");
+    println!("  threads=1 and threads=4 reports byte-identical: ok");
+
+    // Keep the harness's per-call overhead visible alongside the tables.
+    let tiny = carry_bypass(2, 2, unit_ninety_percent());
+    bench("parallel/analyze_tiny_seq", || {
+        analyze(&tiny, &AnalysisPolicy::default()).upper
+    });
+    bench("parallel/analyze_tiny_4t", || {
+        analyze(&tiny, &AnalysisPolicy::default().with_threads(4)).upper
+    });
+    let _ = Time::ZERO;
+}

@@ -15,6 +15,8 @@
 //!   --max-bdd <N>          BDD node cap
 //!   --time-budget <MS>     wall-clock budget in milliseconds; exceeding it
 //!                          degrades results to sound bounds (anytime mode)
+//!   --threads <N>          worker threads for anytime cone analysis;
+//!                          0 = one per core                         [default: 1]
 //!   --replay               simulate the 2-vector witness and report the
 //!                          observed last transition
 //!   --per-output           print the per-output breakdown
@@ -45,6 +47,7 @@ struct Args {
     max_paths: Option<usize>,
     max_bdd: Option<usize>,
     time_budget_ms: Option<u64>,
+    threads: usize,
     replay: bool,
     per_output: bool,
 }
@@ -58,6 +61,7 @@ fn parse_args() -> Result<Args, String> {
         max_paths: None,
         max_bdd: None,
         time_budget_ms: None,
+        threads: 1,
         replay: false,
         per_output: false,
     };
@@ -97,6 +101,11 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--time-budget: {e}"))?,
                 )
             }
+            "--threads" => {
+                args.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
             "--replay" => args.replay = true,
             "--per-output" => args.per_output = true,
             "--help" | "-h" => return Err("help".into()),
@@ -120,7 +129,7 @@ fn usage() {
     eprintln!(
         "usage: tbf [--model two-vector|sequences|floating|anytime|all] \
          [--delays unit|mcnc] [--dmin-ratio F] [--max-paths N] [--max-bdd N] \
-         [--time-budget MS] [--replay] [--per-output] \
+         [--time-budget MS] [--threads N] [--replay] [--per-output] \
          <netlist.bench|netlist.blif>"
     );
 }
@@ -279,7 +288,7 @@ fn main() -> ExitCode {
         }
     }
     if args.model == "anytime" {
-        let policy = AnalysisPolicy::with_options(options.clone());
+        let policy = AnalysisPolicy::with_options(options.clone()).with_threads(args.threads);
         let r = analyze(&netlist, &policy);
         match r.exact {
             Some(d) => println!("{:<12} {:>10}   (exact)", "anytime", d.to_string()),

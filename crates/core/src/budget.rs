@@ -4,15 +4,21 @@
 //!
 //! One [`AnalysisBudget`] is threaded through a whole analysis — the
 //! engine, the breakpoint loops, the cube/LP loops and (via a cancel
-//! probe) every budgeted BDD operation. The caps are interior-mutable so
-//! the degradation ladder can [`escalate`](AnalysisBudget::escalate)
-//! them between retry rungs without rebuilding the budget, and the
-//! deadline/token state is *sticky*: once an interrupt fires, every
-//! subsequent poll reports it until the analysis unwinds.
+//! probe) every budgeted BDD operation. The caps are interior-mutable
+//! (atomics, so budgets are `Send + Sync` and per-cone workers can carry
+//! them across threads) so the degradation ladder can
+//! [`escalate`](AnalysisBudget::escalate) them between retry rungs
+//! without rebuilding the budget, and the deadline/token state is
+//! *sticky*: once an interrupt fires, every subsequent poll reports it
+//! until the analysis unwinds.
+//!
+//! The parallel driver gives every cone its own budget via
+//! [`fork`](AnalysisBudget::fork): caps start fresh from the options (so
+//! one cone's retry escalation can never leak into a sibling's caps),
+//! while the epoch, deadline and token are shared so wall-clock budgets
+//! and Ctrl-C cut across all workers at once.
 
-use std::cell::Cell;
-use std::rc::Rc;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -66,23 +72,38 @@ pub(crate) enum Interrupt {
     Cancelled,
 }
 
+/// Sticky interrupt state, packed into an `AtomicU8` so budgets stay
+/// `Sync` without locks.
+const TRIP_NONE: u8 = 0;
+const TRIP_DEADLINE: u8 = 1;
+const TRIP_CANCELLED: u8 = 2;
+
+fn decode_trip(raw: u8) -> Option<Interrupt> {
+    match raw {
+        TRIP_DEADLINE => Some(Interrupt::Deadline),
+        TRIP_CANCELLED => Some(Interrupt::Cancelled),
+        _ => None,
+    }
+}
+
 /// The shared per-analysis budget.
 ///
 /// Created from [`DelayOptions`] (whose caps become live views onto this
 /// budget for the duration of the analysis); consumed by the engines and
-/// the [`analyze`](crate::analyze) driver.
+/// the [`analyze`](crate::analyze) driver. `Send + Sync`: the parallel
+/// driver forks one per cone and moves them into scoped worker threads.
 #[derive(Debug)]
 pub struct AnalysisBudget {
-    max_paths: Cell<usize>,
-    max_bdd_nodes: Cell<usize>,
-    max_cubes: Cell<usize>,
-    max_breakpoints: Cell<usize>,
+    max_paths: AtomicUsize,
+    max_bdd_nodes: AtomicUsize,
+    max_cubes: AtomicUsize,
+    max_breakpoints: AtomicUsize,
     started: Instant,
     time_budget: Option<Duration>,
     deadline: Option<Instant>,
     token: Option<CancelToken>,
-    polls: Cell<u64>,
-    tripped: Cell<Option<Interrupt>>,
+    polls: AtomicU64,
+    tripped: AtomicU8,
 }
 
 impl AnalysisBudget {
@@ -92,16 +113,16 @@ impl AnalysisBudget {
     pub fn from_options(options: &DelayOptions) -> Self {
         let started = Instant::now();
         AnalysisBudget {
-            max_paths: Cell::new(options.max_straddling_paths),
-            max_bdd_nodes: Cell::new(options.max_bdd_nodes),
-            max_cubes: Cell::new(options.max_cubes),
-            max_breakpoints: Cell::new(options.max_breakpoints),
+            max_paths: AtomicUsize::new(options.max_straddling_paths),
+            max_bdd_nodes: AtomicUsize::new(options.max_bdd_nodes),
+            max_cubes: AtomicUsize::new(options.max_cubes),
+            max_breakpoints: AtomicUsize::new(options.max_breakpoints),
             started,
             time_budget: options.time_budget,
             deadline: options.time_budget.map(|b| started + b),
             token: None,
-            polls: Cell::new(0),
-            tripped: Cell::new(None),
+            polls: AtomicU64::new(0),
+            tripped: AtomicU8::new(TRIP_NONE),
         }
     }
 
@@ -115,51 +136,81 @@ impl AnalysisBudget {
     /// Wraps the budget for shared ownership between a driver and the
     /// engines it builds.
     #[must_use]
-    pub fn shared(self) -> Rc<Self> {
-        Rc::new(self)
+    pub fn shared(self) -> Arc<Self> {
+        Arc::new(self)
+    }
+
+    /// An independent per-cone budget: caps reset to `options` (so a
+    /// sibling cone's escalation never inflates this cone's limits, and
+    /// vice versa), while the epoch, wall-clock deadline and cancel
+    /// token are *shared* with `self` — time is a whole-analysis
+    /// resource, space is per-cone.
+    ///
+    /// The sticky interrupt state starts clear: an already-cancelled
+    /// token re-trips on the fork's first poll, and an already-expired
+    /// deadline re-trips on its first clock poll, so no interrupt is
+    /// lost.
+    #[must_use]
+    pub fn fork(&self, options: &DelayOptions) -> Self {
+        AnalysisBudget {
+            max_paths: AtomicUsize::new(options.max_straddling_paths),
+            max_bdd_nodes: AtomicUsize::new(options.max_bdd_nodes),
+            max_cubes: AtomicUsize::new(options.max_cubes),
+            max_breakpoints: AtomicUsize::new(options.max_breakpoints),
+            started: self.started,
+            time_budget: self.time_budget,
+            deadline: self.deadline,
+            token: self.token.clone(),
+            polls: AtomicU64::new(0),
+            tripped: AtomicU8::new(TRIP_NONE),
+        }
     }
 
     /// Current straddling-path cap.
     pub fn max_paths(&self) -> usize {
-        self.max_paths.get()
+        self.max_paths.load(Ordering::Relaxed)
     }
 
     /// Current BDD node cap.
     pub fn max_bdd_nodes(&self) -> usize {
-        self.max_bdd_nodes.get()
+        self.max_bdd_nodes.load(Ordering::Relaxed)
     }
 
     /// Current difference-cube cap.
     pub fn max_cubes(&self) -> usize {
-        self.max_cubes.get()
+        self.max_cubes.load(Ordering::Relaxed)
     }
 
     /// Current breakpoint cap.
     pub fn max_breakpoints(&self) -> usize {
-        self.max_breakpoints.get()
+        self.max_breakpoints.load(Ordering::Relaxed)
     }
 
     /// Multiplies every resource cap by `factor` (saturating). The
     /// deadline and token are untouched: escalation buys space, not
     /// time.
     pub fn escalate(&self, factor: usize) {
-        self.max_paths
-            .set(self.max_paths.get().saturating_mul(factor));
-        self.max_bdd_nodes
-            .set(self.max_bdd_nodes.get().saturating_mul(factor));
-        self.max_cubes
-            .set(self.max_cubes.get().saturating_mul(factor));
-        self.max_breakpoints
-            .set(self.max_breakpoints.get().saturating_mul(factor));
+        for cap in [
+            &self.max_paths,
+            &self.max_bdd_nodes,
+            &self.max_cubes,
+            &self.max_breakpoints,
+        ] {
+            let cur = cap.load(Ordering::Relaxed);
+            cap.store(cur.saturating_mul(factor), Ordering::Relaxed);
+        }
     }
 
     /// Restores the caps to the given options' values (undoing
     /// escalation before the next cone).
     pub fn restore_caps(&self, options: &DelayOptions) {
-        self.max_paths.set(options.max_straddling_paths);
-        self.max_bdd_nodes.set(options.max_bdd_nodes);
-        self.max_cubes.set(options.max_cubes);
-        self.max_breakpoints.set(options.max_breakpoints);
+        self.max_paths
+            .store(options.max_straddling_paths, Ordering::Relaxed);
+        self.max_bdd_nodes
+            .store(options.max_bdd_nodes, Ordering::Relaxed);
+        self.max_cubes.store(options.max_cubes, Ordering::Relaxed);
+        self.max_breakpoints
+            .store(options.max_breakpoints, Ordering::Relaxed);
     }
 
     /// Milliseconds since the budget was created.
@@ -172,50 +223,61 @@ impl AnalysisBudget {
         self.time_budget
     }
 
+    fn trip(&self, cause: Interrupt) {
+        let raw = match cause {
+            Interrupt::Deadline => TRIP_DEADLINE,
+            Interrupt::Cancelled => TRIP_CANCELLED,
+        };
+        // First writer wins; a lost race means another thread already
+        // recorded an interrupt, which is just as sticky.
+        let _ = self
+            .tripped
+            .compare_exchange(TRIP_NONE, raw, Ordering::Relaxed, Ordering::Relaxed);
+    }
+
     /// Rate-limited interrupt poll: the token is checked every call, the
     /// clock every [`CLOCK_STRIDE`]-th call (and on the very first).
     /// Sticky — once tripped, always tripped.
     pub(crate) fn poll(&self) -> Option<Interrupt> {
-        if let Some(t) = self.tripped.get() {
+        if let Some(t) = decode_trip(self.tripped.load(Ordering::Relaxed)) {
             return Some(t);
         }
         if let Some(token) = &self.token {
             if token.is_cancelled() {
-                self.tripped.set(Some(Interrupt::Cancelled));
-                return self.tripped.get();
+                self.trip(Interrupt::Cancelled);
+                return self.cause();
             }
         }
-        let n = self.polls.get();
-        self.polls.set(n.wrapping_add(1));
+        let n = self.polls.fetch_add(1, Ordering::Relaxed);
         if n.is_multiple_of(CLOCK_STRIDE) {
             if let Some(d) = self.deadline {
                 if Instant::now() > d {
-                    self.tripped.set(Some(Interrupt::Deadline));
+                    self.trip(Interrupt::Deadline);
                 }
             }
         }
-        self.tripped.get()
+        self.cause()
     }
 
     /// Non-rate-limited check (used at rung boundaries, where a stale
     /// answer would waste a whole ladder step).
     pub(crate) fn check_now(&self) -> Option<Interrupt> {
-        if let Some(t) = self.tripped.get() {
+        if let Some(t) = self.cause() {
             return Some(t);
         }
         if let Some(token) = &self.token {
             if token.is_cancelled() {
-                self.tripped.set(Some(Interrupt::Cancelled));
+                self.trip(Interrupt::Cancelled);
             }
         }
-        if self.tripped.get().is_none() {
+        if self.cause().is_none() {
             if let Some(d) = self.deadline {
                 if Instant::now() > d {
-                    self.tripped.set(Some(Interrupt::Deadline));
+                    self.trip(Interrupt::Deadline);
                 }
             }
         }
-        self.tripped.get()
+        self.cause()
     }
 
     /// `true` when the analysis should stop — the shape the BDD layer's
@@ -226,7 +288,7 @@ impl AnalysisBudget {
 
     /// The interrupt recorded so far, without probing clock or token.
     pub(crate) fn cause(&self) -> Option<Interrupt> {
-        self.tripped.get()
+        decode_trip(self.tripped.load(Ordering::Relaxed))
     }
 
     /// The typed error for the recorded interrupt — `Cancelled` when the
@@ -272,9 +334,63 @@ mod tests {
         assert_eq!(b.max_paths(), 10);
         // Escalation saturates instead of overflowing.
         let huge = AnalysisBudget::from_options(&DelayOptions::default());
-        huge.max_breakpoints.set(usize::MAX);
+        huge.max_breakpoints.store(usize::MAX, Ordering::Relaxed);
         huge.escalate(1000);
         assert_eq!(huge.max_breakpoints(), usize::MAX);
+    }
+
+    #[test]
+    fn forked_budgets_have_independent_caps() {
+        let opts = DelayOptions {
+            max_straddling_paths: 10,
+            max_bdd_nodes: 100,
+            max_cubes: 7,
+            max_breakpoints: 3,
+            ..DelayOptions::default()
+        };
+        let base = AnalysisBudget::from_options(&opts);
+        let cone_a = base.fork(&opts);
+        let cone_b = base.fork(&opts);
+        // One cone's rung-2 escalation must not inflate its siblings.
+        cone_a.escalate(4);
+        assert_eq!(cone_a.max_paths(), 40);
+        assert_eq!(cone_b.max_paths(), 10);
+        assert_eq!(base.max_paths(), 10);
+        // And a fork made *after* an escalation still starts from the
+        // configured options, not the escalated parent.
+        base.escalate(8);
+        let cone_c = base.fork(&opts);
+        assert_eq!(cone_c.max_paths(), 10);
+        assert_eq!(cone_c.max_cubes(), 7);
+    }
+
+    #[test]
+    fn forks_share_deadline_and_token() {
+        let token = CancelToken::new();
+        let base = AnalysisBudget::from_options(&DelayOptions::default()).with_token(token.clone());
+        let fork = base.fork(&DelayOptions::default());
+        assert_eq!(fork.poll(), None);
+        token.cancel();
+        assert_eq!(fork.poll(), Some(Interrupt::Cancelled));
+        // A fork taken after cancellation re-trips immediately.
+        let late = base.fork(&DelayOptions::default());
+        assert_eq!(late.poll(), Some(Interrupt::Cancelled));
+
+        let timed = AnalysisBudget::from_options(&DelayOptions {
+            time_budget: Some(Duration::ZERO),
+            ..DelayOptions::default()
+        });
+        let timed_fork = timed.fork(&DelayOptions::default());
+        // First poll consults the clock and finds the shared epoch's
+        // deadline already expired.
+        assert_eq!(timed_fork.poll(), Some(Interrupt::Deadline));
+    }
+
+    #[test]
+    fn budgets_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AnalysisBudget>();
+        assert_send_sync::<CancelToken>();
     }
 
     #[test]

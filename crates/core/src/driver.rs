@@ -14,16 +14,39 @@
 //!    exact search blew.
 //! 4. **Topological bound**: always available, maximally pessimistic.
 //!
+//! # Parallel cone analysis
+//!
+//! Output cones are independent (§7 of the paper analyzes one output at a
+//! time), so the driver extracts each output's fanin cone into a
+//! self-contained [`ConeJob`] — a cone-restricted netlist slice plus a
+//! [forked](AnalysisBudget::fork) per-cone budget — and runs the jobs on
+//! a [`std::thread::scope`] worker pool sized by
+//! [`AnalysisPolicy::threads`]. Each worker owns its own BDD manager
+//! (built per cone, so no symbolic state crosses threads); the shared
+//! wall-clock deadline and [`CancelToken`] still fire mid-BDD-op on every
+//! worker through the forked budgets. Jobs are scheduled largest
+//! estimated cone first so a big cone cannot strand the pool at the end
+//! of the queue.
+//!
+//! The result is **deterministic**: `threads: 1` and `threads: N` return
+//! byte-identical [`CircuitReport`]s. Both paths run the identical
+//! per-cone pipeline (fresh engine on the cone slice, fresh budget fork,
+//! per-cone fault-plan re-arm) and results are merged back in netlist
+//! output order — worker count and scheduling order only change
+//! wall-clock time, never a single reported value.
+//!
 //! Each cone runs under `catch_unwind`: an engine panic is counted,
 //! isolated to its cone (which degrades to rung 4 with cause
-//! [`DegradeCause::EnginePanic`]), and the shared manager is rebuilt so
-//! later cones see consistent state. The circuit-level result is never an
-//! error: well-formed netlists always get a [`CircuitReport`] whose
-//! `[lower, upper]` interval soundly contains the exact delay.
+//! [`DegradeCause::EnginePanic`]), and later cones run on their own
+//! managers so they never see torn state. The circuit-level result is
+//! never an error: well-formed netlists always get a [`CircuitReport`]
+//! whose `[lower, upper]` interval soundly contains the exact delay.
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::rc::Rc;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
+use tbf_logic::transform::extract_cone_slice;
 use tbf_logic::{Netlist, NodeId, Time};
 
 use crate::budget::{AnalysisBudget, CancelToken};
@@ -50,6 +73,11 @@ pub struct AnalysisPolicy {
     /// Whether to isolate engine panics per cone. Disable to let panics
     /// propagate (useful when debugging the engines themselves).
     pub catch_panics: bool,
+    /// Worker threads for cone analysis: `1` (the default) runs on the
+    /// calling thread, `0` means one worker per available core, any
+    /// other value is used as given (clamped to the number of cones).
+    /// The report is byte-identical for every setting.
+    pub threads: usize,
 }
 
 impl Default for AnalysisPolicy {
@@ -60,6 +88,7 @@ impl Default for AnalysisPolicy {
             escalation_factor: 4,
             sequences_fallback: true,
             catch_panics: true,
+            threads: 1,
         }
     }
 }
@@ -73,6 +102,13 @@ impl AnalysisPolicy {
             options,
             ..AnalysisPolicy::default()
         }
+    }
+
+    /// Builder-style worker count (see [`threads`](Self::threads)).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 }
 
@@ -160,8 +196,9 @@ impl std::fmt::Display for CircuitReport {
 /// Analyzes the circuit with graceful degradation: never fails, always
 /// returns sound `[lower, upper]` bounds on the exact 2-vector delay.
 ///
-/// See the [module docs](self) for the ladder. Per-output statuses
-/// report exactly where each cone landed.
+/// The module-level docs in `driver.rs` describe the ladder and the
+/// threading model; per-output statuses report exactly where each cone
+/// landed.
 ///
 /// # Example
 ///
@@ -238,7 +275,7 @@ fn run_rung<'a, T>(
 /// Returns the build error when construction itself exceeds the budget.
 fn ensure_engine<'a>(
     netlist: &'a Netlist,
-    budget: &Rc<AnalysisBudget>,
+    budget: &Arc<AnalysisBudget>,
     engine: &mut Option<Engine<'a>>,
 ) -> Result<(), DelayError> {
     if engine.is_none() {
@@ -250,31 +287,157 @@ fn ensure_engine<'a>(
     Ok(())
 }
 
+/// One output's self-contained unit of work: the cone-restricted netlist
+/// slice plus the map back into the full netlist's coordinates.
+struct ConeJob {
+    /// Output name (owned: jobs cross thread boundaries).
+    name: String,
+    /// The single-output cone netlist.
+    cone: Netlist,
+    /// `node_map[i]` = full-netlist id of cone node `i`.
+    node_map: Vec<NodeId>,
+    /// The output's driver node *within the cone*.
+    out_id: NodeId,
+}
+
+impl ConeJob {
+    fn new(netlist: &Netlist, output_index: usize) -> ConeJob {
+        let slice = extract_cone_slice(netlist, output_index);
+        let (name, out_id) = slice.netlist.outputs()[0].clone();
+        ConeJob {
+            name,
+            cone: slice.netlist,
+            node_map: slice.node_map,
+            out_id,
+        }
+    }
+
+    /// Scheduling cost estimate: cone node count (a proxy for the BDD
+    /// and path work ahead; exact cost is unknowable up front).
+    fn cost(&self) -> usize {
+        self.cone.len()
+    }
+}
+
+/// What one cone job produces; merged in output order by the driver.
+struct ConeOutcome {
+    entry: OutputDelay,
+    stats: SearchStats,
+    /// Witness already remapped to full-netlist coordinates, with the
+    /// exact delay it realizes (for the cross-cone "largest wins" fold).
+    witness: Option<(Time, DelayWitness)>,
+}
+
+/// Translates cone-local witness parts into full-netlist coordinates:
+/// inputs outside the cone default to `false`, nodes outside the cone to
+/// their max delay — exactly the defaults the single-engine extraction
+/// used for variables absent from the satisfying cube.
+fn remap_witness(full: &Netlist, job: &ConeJob, parts: WitnessParts) -> DelayWitness {
+    let (cone_before, cone_after, cone_delays) = parts;
+    let n_in = full.inputs().len();
+    let mut before = vec![false; n_in];
+    let mut after = vec![false; n_in];
+    for (ci, &cid) in job.cone.inputs().iter().enumerate() {
+        let src = job.node_map[cid.index()];
+        if let Some(pos) = full.input_position(src) {
+            before[pos] = cone_before[ci];
+            after[pos] = cone_after[ci];
+        }
+    }
+    let mut delays: Vec<Time> = full.nodes().map(|(_, node)| node.delay().max).collect();
+    for (ci, &src) in job.node_map.iter().enumerate() {
+        delays[src.index()] = cone_delays[ci];
+    }
+    DelayWitness {
+        output: job.name.clone(),
+        before,
+        after,
+        delays,
+    }
+}
+
+/// Resolves the policy's thread knob against the job count.
+fn resolve_threads(requested: usize, jobs: usize) -> usize {
+    let workers = if requested == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        requested
+    };
+    workers.clamp(1, jobs.max(1))
+}
+
 fn analyze_budgeted(
     netlist: &Netlist,
     policy: &AnalysisPolicy,
-    budget: Rc<AnalysisBudget>,
+    budget: Arc<AnalysisBudget>,
 ) -> CircuitReport {
+    // Snapshot the calling thread's fault plan once; every cone job
+    // re-arms a fresh copy so the fault schedule is per-cone
+    // deterministic whatever the worker count.
+    let plan = fault::snapshot();
+    let jobs: Vec<ConeJob> = (0..netlist.outputs().len())
+        .map(|i| ConeJob::new(netlist, i))
+        .collect();
+
+    // Largest estimated cone first, original order as the tie-break, so
+    // the most expensive cone starts immediately instead of serializing
+    // the tail of the schedule.
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(jobs[i].cost()), i));
+
+    let threads = resolve_threads(policy.threads, jobs.len());
+    let mut outcomes: Vec<Option<ConeOutcome>> = jobs.iter().map(|_| None).collect();
+    if threads <= 1 {
+        for &i in &order {
+            outcomes[i] = Some(run_cone_job(netlist, &jobs[i], policy, &budget, &plan));
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let finished = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut mine: Vec<(usize, ConeOutcome)> = Vec::new();
+                        loop {
+                            let k = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(&i) = order.get(k) else { break };
+                            let outcome = run_cone_job(netlist, &jobs[i], policy, &budget, &plan);
+                            mine.push((i, outcome));
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| {
+                    // Workers only panic when `catch_panics` is off;
+                    // propagate exactly like the sequential path would.
+                    h.join().unwrap_or_else(|payload| resume_unwind(payload))
+                })
+                .collect::<Vec<_>>()
+        });
+        for (i, outcome) in finished {
+            outcomes[i] = Some(outcome);
+        }
+    }
+
+    // Deterministic merge in netlist output order.
     let mut stats = SearchStats::default();
-    let mut outputs: Vec<OutputDelay> = Vec::new();
+    let mut outputs: Vec<OutputDelay> = Vec::with_capacity(jobs.len());
     let mut witness: Option<DelayWitness> = None;
     let mut witness_delay = Time::MIN;
-    let mut engine: Option<Engine<'_>> = None;
-
-    for (name, out_id) in netlist.outputs() {
-        budget.restore_caps(&policy.options);
-        let entry = analyze_cone(
-            netlist,
-            policy,
-            &budget,
-            &mut engine,
-            name,
-            *out_id,
-            &mut stats,
-            &mut witness,
-            &mut witness_delay,
-        );
-        outputs.push(entry);
+    for outcome in outcomes.into_iter().flatten() {
+        stats.merge(&outcome.stats);
+        if let Some((delay, w)) = outcome.witness {
+            if delay > witness_delay {
+                witness = Some(w);
+                witness_delay = delay;
+            }
+        }
+        outputs.push(outcome.entry);
     }
 
     let lower = outputs
@@ -298,20 +461,43 @@ fn analyze_budgeted(
     }
 }
 
-/// Runs one output cone down the full ladder; always returns an entry.
-#[allow(clippy::too_many_arguments)]
-fn analyze_cone<'a>(
-    netlist: &'a Netlist,
+/// Runs one cone job end to end on the current thread: re-arm the fault
+/// plan, fork an independent budget, build a fresh engine on the cone
+/// slice, walk the ladder, and remap the witness back to full-netlist
+/// coordinates.
+fn run_cone_job(
+    full: &Netlist,
+    job: &ConeJob,
     policy: &AnalysisPolicy,
-    budget: &Rc<AnalysisBudget>,
-    engine: &mut Option<Engine<'a>>,
-    name: &str,
-    out_id: NodeId,
+    base: &Arc<AnalysisBudget>,
+    plan: &fault::ConePlan,
+) -> ConeOutcome {
+    fault::with_cone_plan(plan, || {
+        let budget = Arc::new(base.fork(&policy.options));
+        let mut stats = SearchStats::default();
+        let (entry, raw_witness) = cone_ladder(job, policy, &budget, &mut stats);
+        let witness = raw_witness.map(|(delay, parts)| (delay, remap_witness(full, job, parts)));
+        ConeOutcome {
+            entry,
+            stats,
+            witness,
+        }
+    })
+}
+
+/// Runs one cone down the full ladder; always returns an entry, plus the
+/// witness parts when the cone resolved exactly with a transition.
+fn cone_ladder(
+    job: &ConeJob,
+    policy: &AnalysisPolicy,
+    budget: &Arc<AnalysisBudget>,
     stats: &mut SearchStats,
-    witness: &mut Option<DelayWitness>,
-    witness_delay: &mut Time,
-) -> OutputDelay {
-    let topological = netlist.topological_delay_of(out_id);
+) -> (OutputDelay, Option<(Time, WitnessParts)>) {
+    let cone = &job.cone;
+    let out_id = job.out_id;
+    let name = job.name.as_str();
+    let topological = cone.topological_delay_of(out_id);
+    let mut engine: Option<Engine<'_>> = None;
     let mut lower = Time::ZERO;
     let mut upper = topological;
     let mut cause;
@@ -321,7 +507,7 @@ fn analyze_cone<'a>(
     // Rungs 1–2: exact search, retried with escalated caps.
     let mut attempts = 0usize;
     loop {
-        if let Err(e) = ensure_engine(netlist, budget, engine) {
+        if let Err(e) = ensure_engine(cone, budget, &mut engine) {
             cause = DegradeCause::from_error(&e).unwrap_or(DegradeCause::InternalInvariant);
             if let Some((lo, hi)) = e.bounds() {
                 lower = lower.max(lo);
@@ -331,31 +517,21 @@ fn analyze_cone<'a>(
             break;
         }
         let attempt: Attempt<(Time, Option<WitnessParts>)> =
-            run_rung(engine, policy.catch_panics, |eng| {
+            run_rung(&mut engine, policy.catch_panics, |eng| {
                 if fault::trip(Site::ConeStart) {
                     panic!("injected engine panic (fault site ConeStart)");
                 }
-                crate::two_vector::cone_delay(netlist, eng, out_id, stats)
+                crate::two_vector::cone_delay(cone, eng, out_id, stats)
             });
         match attempt {
             Attempt::Done((delay, w)) => {
-                if delay > *witness_delay {
-                    if let Some((before, after, delays)) = w {
-                        *witness = Some(DelayWitness {
-                            output: name.to_owned(),
-                            before,
-                            after,
-                            delays,
-                        });
-                        *witness_delay = delay;
-                    }
-                }
-                return OutputDelay {
+                let entry = OutputDelay {
                     name: name.to_owned(),
                     delay,
                     topological,
                     status: OutputStatus::Exact,
                 };
+                return (entry, w.map(|parts| (delay, parts)));
             }
             Attempt::Panicked => {
                 stats.panics_caught += 1;
@@ -384,7 +560,7 @@ fn analyze_cone<'a>(
                     // the new caps; a failed reset forces a fresh engine.
                     if let Some(eng) = engine.as_mut() {
                         if eng.reset().is_err() {
-                            *engine = None;
+                            engine = None;
                         }
                     }
                     continue;
@@ -401,16 +577,16 @@ fn analyze_cone<'a>(
     if policy.sequences_fallback
         && !panicked
         && budget.cause().is_none()
-        && ensure_engine(netlist, budget, engine).is_ok()
+        && ensure_engine(cone, budget, &mut engine).is_ok()
     {
-        let attempt: Attempt<Time> = run_rung(engine, policy.catch_panics, |eng| {
-            crate::sequences::cone_delay(netlist, eng, out_id, stats)
+        let attempt: Attempt<Time> = run_rung(&mut engine, policy.catch_panics, |eng| {
+            crate::sequences::cone_delay(cone, eng, out_id, stats)
         });
         match attempt {
             Attempt::Done(seq) => {
                 stats.sequences_fallbacks += 1;
                 let seq_upper = upper.min(seq);
-                return OutputDelay {
+                let entry = OutputDelay {
                     name: name.to_owned(),
                     delay: seq_upper,
                     topological,
@@ -420,6 +596,7 @@ fn analyze_cone<'a>(
                         cause,
                     },
                 };
+                return (entry, None);
             }
             Attempt::Panicked => {
                 stats.panics_caught += 1;
@@ -430,7 +607,7 @@ fn analyze_cone<'a>(
 
     // Rung 4: bounds from the failed search if it established any, else
     // the bare topological fallback.
-    if have_error_bound && (upper < topological || lower > Time::ZERO) {
+    let entry = if have_error_bound && (upper < topological || lower > Time::ZERO) {
         OutputDelay {
             name: name.to_owned(),
             delay: upper,
@@ -449,7 +626,8 @@ fn analyze_cone<'a>(
             topological,
             status: OutputStatus::Fallback { cause },
         }
-    }
+    };
+    (entry, None)
 }
 
 #[cfg(test)]
@@ -475,6 +653,17 @@ mod tests {
         assert!(r.all_exact());
         assert_eq!(r.stats.retries, 0);
         assert_eq!(r.stats.panics_caught, 0);
+    }
+
+    #[test]
+    fn parallel_report_is_byte_identical_to_sequential() {
+        for n in [paper_bypass_adder(), figure1_three_paths()] {
+            let sequential = analyze(&n, &AnalysisPolicy::default());
+            for threads in [2, 4, 0] {
+                let parallel = analyze(&n, &AnalysisPolicy::default().with_threads(threads));
+                assert_eq!(sequential, parallel, "threads={threads}");
+            }
+        }
     }
 
     #[test]
@@ -508,6 +697,50 @@ mod tests {
         assert!(r.stats.retries >= 1, "escalation should have happened");
         assert!(r.all_exact(), "escalated caps fit: {r}");
         assert_eq!(r.exact, Some(t(4)));
+    }
+
+    #[test]
+    fn escalation_does_not_leak_into_sibling_cones() {
+        // Output "hard" needs escalation (10 straddling paths under a cap
+        // of 3); output "easy" does not. The easy cone's budget fork must
+        // still see the configured cap, whatever order the cones ran in —
+        // checked indirectly: the report is identical across thread
+        // counts and the easy cone stays exact.
+        let mut b = Netlist::builder();
+        let x = b.input("x");
+        let y = b.input("y");
+        let mut bufs = Vec::new();
+        for i in 0..10 {
+            bufs.push(
+                b.gate(
+                    GateKind::Buf,
+                    &format!("b{i}"),
+                    vec![x],
+                    DelayBounds::new(t(1), t(3)),
+                )
+                .unwrap(),
+            );
+        }
+        let hard = b
+            .gate(GateKind::Xor, "hard", bufs, DelayBounds::fixed(t(1)))
+            .unwrap();
+        let easy = b
+            .gate(GateKind::Not, "easy", vec![y], DelayBounds::new(t(1), t(2)))
+            .unwrap();
+        b.output("hard", hard);
+        b.output("easy", easy);
+        let n = b.finish().unwrap();
+        let policy = AnalysisPolicy::with_options(DelayOptions {
+            max_straddling_paths: 3,
+            ..DelayOptions::default()
+        });
+        let sequential = analyze(&n, &policy);
+        assert!(sequential.all_exact(), "{sequential}");
+        assert!(sequential.stats.retries >= 1);
+        for threads in [2, 4] {
+            let parallel = analyze(&n, &policy.clone().with_threads(threads));
+            assert_eq!(sequential, parallel, "threads={threads}");
+        }
     }
 
     #[test]
@@ -584,6 +817,29 @@ mod tests {
                 OutputStatus::Exact => panic!("cancelled analysis cannot be exact"),
             }
         }
+    }
+
+    #[test]
+    fn pre_cancelled_token_degrades_identically_across_threads() {
+        let cancelled = || {
+            let token = CancelToken::new();
+            token.cancel();
+            token
+        };
+        let n = paper_bypass_adder();
+        let sequential = analyze_with_token(&n, &AnalysisPolicy::default(), cancelled());
+        let parallel =
+            analyze_with_token(&n, &AnalysisPolicy::default().with_threads(4), cancelled());
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn thread_resolution_clamps_sanely() {
+        assert_eq!(resolve_threads(1, 5), 1);
+        assert_eq!(resolve_threads(8, 5), 5);
+        assert_eq!(resolve_threads(3, 5), 3);
+        assert!(resolve_threads(0, 100) >= 1);
+        assert_eq!(resolve_threads(4, 0), 1);
     }
 
     #[test]

@@ -80,6 +80,11 @@ mod imp {
         pub fn once(self, site: Site) -> Self {
             self.once_at(site, 0)
         }
+
+        #[cfg(test)]
+        pub(crate) fn is_empty_for_test(&self) -> bool {
+            self.armed.is_empty()
+        }
     }
 
     /// RAII guard restoring the previous plan when a scope ends.
@@ -114,6 +119,26 @@ mod imp {
         r
     }
 
+    /// Captures the calling thread's plan as a re-armable template: the
+    /// `(site, after)` pairs of every fault that has not yet fired.
+    ///
+    /// The parallel driver snapshots once at `analyze()` entry and
+    /// re-arms a fresh copy per cone job (via
+    /// [`with_cone_plan`](super::with_cone_plan)), so each cone sees the
+    /// same deterministic fault schedule regardless of worker count or
+    /// scheduling order.
+    pub(crate) fn snapshot() -> FaultPlan {
+        FaultPlan {
+            armed: PLAN.with(|p| {
+                p.borrow()
+                    .iter()
+                    .filter(|a| !a.fired)
+                    .map(|a| (a.site, a.after))
+                    .collect()
+            }),
+        }
+    }
+
     /// Records a hit at `site`; returns `true` exactly when an armed
     /// fault fires here.
     pub(crate) fn trip(site: Site) -> bool {
@@ -140,6 +165,45 @@ pub use imp::{with_plan, FaultPlan};
 
 #[cfg(feature = "fault-injection")]
 pub(crate) use imp::trip;
+
+/// The per-cone fault schedule handed to each analysis worker: a full
+/// [`FaultPlan`] template with the feature on, a zero-sized stand-in
+/// otherwise (so the driver's plumbing compiles identically either way).
+#[cfg(feature = "fault-injection")]
+pub(crate) type ConePlan = FaultPlan;
+
+/// See the `fault-injection` variant.
+#[cfg(not(feature = "fault-injection"))]
+#[derive(Clone, Debug, Default)]
+pub(crate) struct ConePlan;
+
+/// Snapshots the calling thread's not-yet-fired faults as a per-cone
+/// template (empty/zero-sized when the feature is off).
+#[cfg(feature = "fault-injection")]
+pub(crate) fn snapshot() -> ConePlan {
+    imp::snapshot()
+}
+
+/// See the `fault-injection` variant.
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub(crate) fn snapshot() -> ConePlan {
+    ConePlan
+}
+
+/// Runs `f` with a fresh re-arm of the snapshot `plan` on the current
+/// thread — the unit of fault determinism for one cone job.
+#[cfg(feature = "fault-injection")]
+pub(crate) fn with_cone_plan<R>(plan: &ConePlan, f: impl FnOnce() -> R) -> R {
+    with_plan(plan.clone(), f)
+}
+
+/// See the `fault-injection` variant.
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub(crate) fn with_cone_plan<R>(_plan: &ConePlan, f: impl FnOnce() -> R) -> R {
+    f()
+}
 
 /// No-op [`trip`] when fault injection is compiled out: always `false`,
 /// trivially inlined — zero cost at every call site.
@@ -174,6 +238,25 @@ mod tests {
         assert!(result.is_err());
         // The plan armed inside the scope must be gone.
         assert!(!trip(Site::ConeStart));
+    }
+
+    #[test]
+    fn snapshot_rearms_per_cone() {
+        with_plan(FaultPlan::new().once(Site::BddOp), || {
+            let template = snapshot();
+            // Two "cones" each see the one-shot fault fresh.
+            for _ in 0..2 {
+                with_cone_plan(&template, || {
+                    assert!(trip(Site::BddOp));
+                    assert!(!trip(Site::BddOp));
+                });
+            }
+            // The outer plan was shelved during the cone scopes, so its
+            // own one-shot is still live.
+            assert!(trip(Site::BddOp));
+            // A fired fault drops out of later snapshots.
+            assert!(snapshot().is_empty_for_test());
+        });
     }
 
     #[test]

@@ -50,7 +50,7 @@
 //! allocations.
 
 use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use tbf_bdd::{Bdd, BddManager, OpAbort, OpBudget, Var};
 use tbf_logic::{Netlist, NodeId, Time};
@@ -220,7 +220,7 @@ pub(crate) struct Engine<'a> {
     netlist: &'a Netlist,
     pub timing: Timing,
     /// The analysis-wide budget: live caps + deadline/cancel state.
-    pub budget: Rc<AnalysisBudget>,
+    pub budget: Arc<AnalysisBudget>,
     /// Reserved auxiliary (resolvent / fresh) variables per input.
     slots: usize,
     pub manager: BddManager,
@@ -240,7 +240,10 @@ pub(crate) struct Engine<'a> {
 }
 
 impl<'a> Engine<'a> {
-    pub fn new(netlist: &'a Netlist, budget: Rc<AnalysisBudget>) -> Result<Engine<'a>, BuildAbort> {
+    pub fn new(
+        netlist: &'a Netlist,
+        budget: Arc<AnalysisBudget>,
+    ) -> Result<Engine<'a>, BuildAbort> {
         let mut engine = Engine {
             netlist,
             timing: Timing::new(netlist),
@@ -532,7 +535,7 @@ impl<'a> Engine<'a> {
             mode: Mode,
             max_paths: usize,
             max_bdd: usize,
-            budget: Rc<AnalysisBudget>,
+            budget: Arc<AnalysisBudget>,
             memo_useful: bool,
             static_after: &'n [Bdd],
             static_before: &'n [Bdd],

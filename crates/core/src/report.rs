@@ -160,6 +160,22 @@ pub struct SearchStats {
     pub panics_caught: usize,
 }
 
+impl SearchStats {
+    /// Folds another cone's counters into this one: effort counters add,
+    /// `peak_bdd_nodes` takes the max (each parallel worker owns its own
+    /// BDD manager, so peaks are concurrent, not cumulative).
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.breakpoints_visited += other.breakpoints_visited;
+        self.resolvents += other.resolvents;
+        self.lps_solved += other.lps_solved;
+        self.peak_bdd_nodes = self.peak_bdd_nodes.max(other.peak_bdd_nodes);
+        self.retries += other.retries;
+        self.sequences_fallbacks += other.sequences_fallbacks;
+        self.topological_fallbacks += other.topological_fallbacks;
+        self.panics_caught += other.panics_caught;
+    }
+}
+
 /// The result of an exact delay computation.
 ///
 /// The circuit delay of Definition 1 is the maximum over outputs of the

@@ -1,6 +1,6 @@
 //! The exact delay-by-sequences-of-vectors engine (paper §8–§9).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use tbf_logic::paths::next_breakpoint;
 use tbf_logic::{Netlist, NodeId, Time};
@@ -66,7 +66,7 @@ pub fn sequences_delay(
 /// [`sequences_delay`] against a caller-supplied budget.
 pub(crate) fn sequences_delay_budgeted(
     netlist: &Netlist,
-    budget: Rc<AnalysisBudget>,
+    budget: Arc<AnalysisBudget>,
 ) -> Result<DelayReport, DelayError> {
     let mut engine = Engine::new(netlist, budget.clone())
         .map_err(|e| e.into_error(netlist.topological_delay(), &budget))?;

@@ -1,7 +1,7 @@
 //! The exact 2-vector (transition) delay engine (paper §6–§7.3).
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use tbf_bdd::{OpAbort, OpBudget};
 use tbf_logic::paths::next_breakpoint;
@@ -58,7 +58,7 @@ pub fn two_vector_delay(
 /// possibly cancellable) budget.
 pub(crate) fn two_vector_delay_budgeted(
     netlist: &Netlist,
-    budget: Rc<AnalysisBudget>,
+    budget: Arc<AnalysisBudget>,
 ) -> Result<DelayReport, DelayError> {
     let mut engine = Engine::new(netlist, budget.clone())
         .map_err(|e| e.into_error(netlist.topological_delay(), &budget))?;

@@ -1,12 +1,16 @@
 //! Cooperative cancellation at allocation granularity.
 //!
 //! These tests build a circuit whose *static* BDD is exponential under
-//! the engine's fanin-DFS variable layout (a decoy first output pins the
-//! interleaved order `x0,y0,x1,y1,…`; the hard output is the crossing
-//! function `⊕ᵢ xᵢ·y_{n−1−i}`, whose pairs sit maximally far apart in
-//! that order). A single `try_xor`/`try_and` chain inside `Engine::new`
-//! would run for a very long time — so the deadline/token must fire
-//! *inside* the operation, not between ladder rungs.
+//! the engine's fanin-DFS variable layout (a decoy AND gate, wired as the
+//! hard output's *first* fanin, pins the interleaved order
+//! `x0,y0,x1,y1,…`; the rest of the output is the crossing function
+//! `⊕ᵢ xᵢ·y_{n−1−i}`, whose pairs sit maximally far apart in that
+//! order). The decoy sits inside the hard cone on purpose: the driver
+//! analyzes each output on its own cone-restricted engine, so an
+//! order-pinning gate in a *sibling* cone would no longer poison this
+//! one. A single `try_xor`/`try_and` chain inside `Engine::new` would
+//! run for a very long time — so the deadline/token must fire *inside*
+//! the operation, not between ladder rungs.
 
 use std::time::{Duration, Instant};
 
@@ -20,9 +24,10 @@ fn t(x: i64) -> Time {
     Time::from_int(x)
 }
 
-/// 2n inputs; first output an AND over `x0,y0,x1,y1,…` (cheap, pins the
-/// variable order), second output `⊕ᵢ xᵢ·y_{n−1−i}` (exponential BDD in
-/// that order).
+/// 2n inputs; the hard output XORs a decoy AND over `x0,y0,x1,y1,…`
+/// (cheap, but first in DFS so it pins the variable order) with
+/// `⊕ᵢ xᵢ·y_{n−1−i}` (exponential BDD in that order). A separate cheap
+/// output keeps the driver's multi-cone path honest.
 fn crossing_circuit(n: usize) -> Netlist {
     let mut b = Netlist::builder();
     let xs: Vec<_> = (0..n).map(|i| b.input(&format!("x{i}"))).collect();
@@ -40,19 +45,18 @@ fn crossing_circuit(n: usize) -> Netlist {
             DelayBounds::fixed(t(1)),
         )
         .unwrap();
-    let ands: Vec<_> = (0..n)
-        .map(|i| {
-            b.gate(
-                GateKind::And,
-                &format!("a{i}"),
-                vec![xs[i], ys[n - 1 - i]],
-                DelayBounds::new(t(1), t(2)),
-            )
-            .unwrap()
-        })
-        .collect();
+    let mut fanins = vec![decoy];
+    fanins.extend((0..n).map(|i| {
+        b.gate(
+            GateKind::And,
+            &format!("a{i}"),
+            vec![xs[i], ys[n - 1 - i]],
+            DelayBounds::new(t(1), t(2)),
+        )
+        .unwrap()
+    }));
     let hard = b
-        .gate(GateKind::Xor, "hard", ands, DelayBounds::new(t(1), t(2)))
+        .gate(GateKind::Xor, "hard", fanins, DelayBounds::new(t(1), t(2)))
         .unwrap();
     b.output("decoy_out", decoy);
     b.output("hard_out", hard);

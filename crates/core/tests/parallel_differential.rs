@@ -1,0 +1,120 @@
+//! Differential determinism: the parallel driver must return a
+//! byte-identical [`CircuitReport`] — delays, bounds, statuses, output
+//! order, witness and stats — for every worker count. Worker scheduling
+//! may reorder the *work*, never the *result*.
+
+use tbf_core::{analyze, AnalysisPolicy, DelayOptions};
+use tbf_logic::generators::adders::{carry_bypass, paper_bypass_adder, ripple_carry};
+use tbf_logic::generators::figures::{figure1_three_paths, figure4_example3};
+use tbf_logic::generators::random::random_dag;
+use tbf_logic::{DelayBounds, Netlist, Time};
+
+const THREAD_COUNTS: [usize; 3] = [2, 4, 0];
+
+/// Asserts `analyze` under `policy` is invariant across worker counts,
+/// returning the sequential report for further checks.
+fn assert_thread_invariant(netlist: &Netlist, policy: &AnalysisPolicy, label: &str) {
+    let sequential = analyze(netlist, policy);
+    for threads in THREAD_COUNTS {
+        let parallel = analyze(netlist, &policy.clone().with_threads(threads));
+        assert_eq!(
+            sequential, parallel,
+            "{label}: threads={threads} diverged from sequential"
+        );
+    }
+}
+
+#[test]
+fn paper_figures_are_thread_invariant() {
+    let policy = AnalysisPolicy::default();
+    assert_thread_invariant(&figure4_example3(), &policy, "figure4");
+    assert_thread_invariant(&figure1_three_paths(), &policy, "figure1");
+}
+
+#[test]
+fn bypass_adders_are_thread_invariant() {
+    let policy = AnalysisPolicy::default();
+    assert_thread_invariant(&paper_bypass_adder(), &policy, "paper bypass adder");
+    let unit = DelayBounds::fixed(Time::from_int(1));
+    assert_thread_invariant(&carry_bypass(2, 3, unit), &policy, "bypass 2x3");
+    assert_thread_invariant(&ripple_carry(6, unit), &policy, "ripple 6");
+}
+
+#[test]
+fn random_dag_sweep_is_thread_invariant() {
+    let policy = AnalysisPolicy::default();
+    for seed in [1, 7, 23, 40, 91] {
+        let n = random_dag(6, 24, 3, seed);
+        assert_thread_invariant(&n, &policy, &format!("random_dag seed {seed}"));
+    }
+}
+
+#[test]
+fn degraded_cones_are_thread_invariant() {
+    // Tight caps force the ladder through retries, sequences fallbacks
+    // and bounded statuses — the degradation pattern itself must be
+    // deterministic across worker counts.
+    let policy = AnalysisPolicy::with_options(DelayOptions {
+        max_straddling_paths: 4,
+        max_cubes: 8,
+        ..DelayOptions::default()
+    });
+    for seed in [3, 17] {
+        let n = random_dag(6, 30, 3, seed);
+        assert_thread_invariant(&n, &policy, &format!("capped random_dag seed {seed}"));
+    }
+    assert_thread_invariant(&paper_bypass_adder(), &policy, "capped bypass adder");
+}
+
+#[cfg(feature = "fault-injection")]
+mod under_faults {
+    use super::*;
+    use tbf_core::fault::{with_plan, FaultPlan, Site};
+
+    /// Injected faults are snapshotted at `analyze()` entry and re-armed
+    /// per cone, so a fault schedule produces the same report whatever
+    /// the worker count.
+    #[test]
+    fn fault_schedules_are_thread_invariant() {
+        let sites = [
+            Site::BddOp,
+            Site::PathCollect,
+            Site::CubeEnum,
+            Site::Breakpoint,
+            Site::ConeStart,
+        ];
+        let n = paper_bypass_adder();
+        for site in sites {
+            for after in [0, 2] {
+                let plan = || FaultPlan::new().once_at(site, after);
+                let sequential = with_plan(plan(), || analyze(&n, &AnalysisPolicy::default()));
+                for threads in THREAD_COUNTS {
+                    let parallel = with_plan(plan(), || {
+                        analyze(&n, &AnalysisPolicy::default().with_threads(threads))
+                    });
+                    assert_eq!(
+                        sequential, parallel,
+                        "site {site:?} after {after}: threads={threads} diverged"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fault_schedules_stay_sound_in_parallel() {
+        let n = paper_bypass_adder();
+        let exact = Time::from_int(24);
+        for after in 0..8 {
+            let r = with_plan(FaultPlan::new().once_at(Site::Breakpoint, after), || {
+                analyze(&n, &AnalysisPolicy::default().with_threads(4))
+            });
+            assert!(
+                r.lower <= exact && exact <= r.upper,
+                "after={after}: bounds [{}, {}] exclude the exact delay",
+                r.lower,
+                r.upper
+            );
+        }
+    }
+}

@@ -97,15 +97,21 @@ impl Time {
 
 impl Add for Time {
     type Output = Time;
+    /// Saturating: sums that leave the representable range clamp to the
+    /// [`Time::MAX`]/[`Time::MIN`] sentinels instead of panicking, so
+    /// deep topological-bound accumulations over generated circuits stay
+    /// on the sound side ("at least this late") rather than aborting an
+    /// analysis.
     fn add(self, rhs: Time) -> Time {
-        Time(self.0.checked_add(rhs.0).expect("time overflow"))
+        Time(self.0.saturating_add(rhs.0))
     }
 }
 
 impl Sub for Time {
     type Output = Time;
+    /// Saturating, mirroring [`Add`]: differences clamp to the sentinels.
     fn sub(self, rhs: Time) -> Time {
-        Time(self.0.checked_sub(rhs.0).expect("time underflow"))
+        Time(self.0.saturating_sub(rhs.0))
     }
 }
 
@@ -130,8 +136,9 @@ impl SubAssign for Time {
 
 impl Mul<i64> for Time {
     type Output = Time;
+    /// Saturating, mirroring [`Add`].
     fn mul(self, rhs: i64) -> Time {
-        Time(self.0.checked_mul(rhs).expect("time overflow"))
+        Time(self.0.saturating_mul(rhs))
     }
 }
 
@@ -307,8 +314,23 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "time overflow")]
-    fn overflow_panics() {
-        let _ = Time::MAX + Time::EPSILON;
+    fn overflow_saturates_at_the_sentinels() {
+        assert_eq!(Time::MAX + Time::EPSILON, Time::MAX);
+        assert_eq!(Time::MIN - Time::EPSILON, Time::MIN);
+        assert_eq!(Time::MAX * 2, Time::MAX);
+        assert_eq!(Time::MIN * 2, Time::MIN);
+        let mut acc = Time::MAX;
+        acc += Time::from_int(1);
+        assert_eq!(acc, Time::MAX);
+    }
+
+    #[test]
+    fn pathological_deep_chain_sum_saturates() {
+        // A chain deep enough that the topological sum would overflow
+        // i64 many times over must land exactly on the MAX sentinel.
+        let total: Time = (0..1_000).map(|_| Time::from_scaled(i64::MAX / 4)).sum();
+        assert_eq!(total, Time::MAX);
+        // And stays there under further arithmetic.
+        assert_eq!(total + Time::from_int(1), Time::MAX);
     }
 }

@@ -293,8 +293,27 @@ impl NetlistBuilder {
     }
 
     /// Marks `node` as the primary output `name`.
+    ///
+    /// Does not check for duplicate output names — generator code owns
+    /// its naming. Parsers consuming untrusted text should use
+    /// [`try_output`](Self::try_output) instead: two outputs sharing a
+    /// name would make per-output reports ambiguous.
     pub fn output(&mut self, name: &str, node: NodeId) {
         self.outputs.push((name.to_owned(), node));
+    }
+
+    /// Fallible [`output`](Self::output) for parser use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateName`] if an output of this name
+    /// was already declared.
+    pub fn try_output(&mut self, name: &str, node: NodeId) -> Result<(), NetlistError> {
+        if self.outputs.iter().any(|(n, _)| n == name) {
+            return Err(NetlistError::DuplicateName(name.to_owned()));
+        }
+        self.outputs.push((name.to_owned(), node));
+        Ok(())
     }
 
     /// Looks up a previously added node by name.
@@ -438,6 +457,20 @@ mod tests {
         let a = b.input("a");
         let err = b.gate(GateKind::Buf, "a", vec![a], d(1, 1)).unwrap_err();
         assert_eq!(err, NetlistError::DuplicateName("a".into()));
+    }
+
+    #[test]
+    fn duplicate_output_names_rejected_by_try_output() {
+        let mut b = Netlist::builder();
+        let a = b.input("a");
+        let g = b.gate(GateKind::Not, "g", vec![a], d(1, 1)).unwrap();
+        b.try_output("y", a).unwrap();
+        let err = b.try_output("y", g).unwrap_err();
+        assert_eq!(err, NetlistError::DuplicateName("y".into()));
+        // The failed declaration must not have been recorded.
+        b.try_output("z", g).unwrap();
+        let n = b.finish().unwrap();
+        assert_eq!(n.outputs().len(), 2);
     }
 
     #[test]

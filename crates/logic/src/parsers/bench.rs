@@ -71,9 +71,13 @@ pub fn parse_bench(
             message,
         };
         if let Some(rest) = strip_directive(line, "INPUT") {
-            inputs.push((rest?, lineno));
+            inputs.push((rest.map_err(&err)?, lineno));
         } else if let Some(rest) = strip_directive(line, "OUTPUT") {
-            outputs.push((rest?, lineno));
+            let name = rest.map_err(&err)?;
+            if outputs.iter().any(|(n, _)| *n == name) {
+                return Err(err(format!("duplicate OUTPUT `{name}`")));
+            }
+            outputs.push((name, lineno));
         } else if let Some((lhs, rhs)) = line.split_once('=') {
             let name = lhs.trim().to_owned();
             let rhs = rhs.trim();
@@ -119,6 +123,17 @@ pub fn parse_bench(
             order.push(name);
         } else {
             return Err(err(format!("unrecognized line `{line}`")));
+        }
+    }
+
+    // A name declared INPUT and also defined as a gate would silently
+    // shadow the definition during resolution; reject it up front.
+    for (name, line) in &inputs {
+        if let Some(def) = defs.get(name) {
+            return Err(NetlistError::Parse {
+                line: def.line.max(*line),
+                message: format!("`{name}` is declared INPUT and defined as a gate"),
+            });
         }
     }
 
@@ -198,29 +213,44 @@ pub fn parse_bench(
         }
     }
 
-    for (name, _line) in &outputs {
+    for (name, line) in &outputs {
         let id = resolved
             .get(name)
             .copied()
             .ok_or_else(|| NetlistError::UnknownNode(name.clone()))?;
-        builder.output(name, id);
+        builder.try_output(name, id).map_err(|e| match e {
+            NetlistError::DuplicateName(n) => NetlistError::Parse {
+                line: *line,
+                message: format!("duplicate OUTPUT `{n}`"),
+            },
+            other => other,
+        })?;
     }
     builder.finish()
 }
 
-fn strip_directive(line: &str, keyword: &str) -> Option<Result<String, NetlistError>> {
+/// Recognizes `KEYWORD(name)` directives. A line merely *starting* with
+/// the keyword is not a directive — `output22 = AND(a, b)` is a gate
+/// named `output22`, so anything without a `(` right after the keyword
+/// (or containing an `=`) falls through to the definition branch.
+fn strip_directive(line: &str, keyword: &str) -> Option<Result<String, String>> {
     let upper = line.to_ascii_uppercase();
     if !upper.starts_with(keyword) {
         return None;
     }
     let rest = line[keyword.len()..].trim();
+    if !rest.starts_with('(') || line.contains('=') {
+        return None;
+    }
     if let Some(inner) = rest.strip_prefix('(').and_then(|r| r.strip_suffix(')')) {
-        Some(Ok(inner.trim().to_owned()))
+        let name = inner.trim();
+        if name.is_empty() {
+            Some(Err(format!("empty {keyword} directive: `{line}`")))
+        } else {
+            Some(Ok(name.to_owned()))
+        }
     } else {
-        Some(Err(NetlistError::Parse {
-            line: 0,
-            message: format!("malformed {keyword} directive: `{line}`"),
-        }))
+        Some(Err(format!("malformed {keyword} directive: `{line}`")))
     }
 }
 
@@ -432,6 +462,76 @@ q = DFF(a)
         assert!(matches!(err, NetlistError::Parse { line: 2, .. }), "{err}");
         let err2 = parse_bench("INPUT(a)\nOUTPUT(y)\ny = AND(a\n", unit_delays).unwrap_err();
         assert!(err2.to_string().contains("missing"), "{err2}");
+    }
+
+    #[test]
+    fn hostile_inputs_yield_typed_errors() {
+        // (source, substring the error must mention) — every case must
+        // fail with a typed `NetlistError`, never a panic or a silently
+        // wrong netlist.
+        let cases: &[(&str, &str)] = &[
+            (
+                "INPUT(a)\nOUTPUT(y)\nOUTPUT(y)\ny = NOT(a)\n",
+                "duplicate OUTPUT",
+            ),
+            (
+                "INPUT(a)\nINPUT(a)\nOUTPUT(y)\ny = NOT(a)\n",
+                "duplicate INPUT",
+            ),
+            ("INPUT(a)\na = NOT(a)\nOUTPUT(a)\n", "declared INPUT"),
+            ("OUTPUT(y)\ny = NOT(b)\nINPUT(y)\n", "declared INPUT"),
+            ("INPUT()\nOUTPUT(y)\ny = NOT(a)\n", "empty INPUT"),
+            ("INPUT(a)\nOUTPUT()\n", "empty OUTPUT"),
+            ("INPUT(a)\nINPUT\nOUTPUT(y)\ny = NOT(a)\n", "unrecognized"),
+            ("INPUT(a)\nOUTPUT(y)\ny = AND a, b)\n", "expected GATE"),
+        ];
+        for (src, needle) in cases {
+            let err = parse_bench(src, unit_delays).expect_err(src);
+            assert!(
+                err.to_string().contains(needle),
+                "source {src:?}: expected error mentioning {needle:?}, got `{err}`"
+            );
+        }
+    }
+
+    #[test]
+    fn directive_errors_carry_line_numbers() {
+        let err = parse_bench("INPUT(a)\nINPUT(\nOUTPUT(y)\n", unit_delays).unwrap_err();
+        assert!(
+            matches!(err, NetlistError::Parse { line: 2, .. }),
+            "{err:?}"
+        );
+        let err =
+            parse_bench("INPUT(a)\nOUTPUT(y)\nOUTPUT(y)\ny = NOT(a)\n", unit_delays).unwrap_err();
+        assert!(
+            matches!(err, NetlistError::Parse { line: 3, .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn gate_names_starting_with_directive_keywords_parse() {
+        // `output22` is a gate name, not a malformed OUTPUT directive.
+        let src = "INPUT(a)\nOUTPUT(output22)\noutput22 = NOT(a)\ninput9 = BUFF(a)\n";
+        let n = parse_bench(src, unit_delays).unwrap();
+        assert_eq!(n.evaluate_outputs(&[true]), vec![false]);
+    }
+
+    #[test]
+    fn output_may_alias_an_input() {
+        let src = "INPUT(a)\nOUTPUT(a)\nOUTPUT(y)\ny = NOT(a)\n";
+        let n = parse_bench(src, unit_delays).unwrap();
+        assert_eq!(n.outputs().len(), 2);
+        assert_eq!(n.evaluate_outputs(&[true]), vec![true, false]);
+        assert_eq!(n.evaluate_outputs(&[false]), vec![false, true]);
+    }
+
+    #[test]
+    fn crlf_and_trailing_whitespace_accepted() {
+        let src = "INPUT(a)\r\nINPUT(b)  \r\nOUTPUT(y)\t\r\ny = NAND(a, b)   \r\n";
+        let n = parse_bench(src, unit_delays).unwrap();
+        assert_eq!(n.inputs().len(), 2);
+        assert_eq!(n.evaluate_outputs(&[true, true]), vec![false]);
     }
 
     #[test]

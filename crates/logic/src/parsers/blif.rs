@@ -104,7 +104,14 @@ pub fn parse_blif(
         match head {
             ".model" => {}
             ".inputs" => inputs.extend(tokens.map(str::to_owned)),
-            ".outputs" => outputs.extend(tokens.map(str::to_owned)),
+            ".outputs" => {
+                for name in tokens {
+                    if outputs.iter().any(|o| o == name) {
+                        return Err(err(format!("duplicate output `{name}`")));
+                    }
+                    outputs.push(name.to_owned());
+                }
+            }
             ".names" => {
                 let mut signals: Vec<String> = tokens.map(str::to_owned).collect();
                 let target = signals
@@ -165,6 +172,11 @@ pub fn parse_blif(
                 if covers.contains_key(&target) {
                     return Err(NetlistError::DuplicateName(target));
                 }
+                if inputs.contains(&target) {
+                    return Err(err(format!(
+                        "`{target}` is declared in .inputs and defined by .names"
+                    )));
+                }
                 covers.insert(
                     target.clone(),
                     Cover {
@@ -180,6 +192,17 @@ pub fn parse_blif(
                 return Err(err(format!("unsupported BLIF construct `{head}`")));
             }
             other => return Err(err(format!("unrecognized directive `{other}`"))),
+        }
+    }
+
+    // Catch the reverse declaration order too (`.names` before a late
+    // `.inputs` naming the same signal).
+    for name in &inputs {
+        if let Some(cover) = covers.get(name) {
+            return Err(NetlistError::Parse {
+                line: cover.line,
+                message: format!("`{name}` is declared in .inputs and defined by .names"),
+            });
         }
     }
 
@@ -233,7 +256,7 @@ pub fn parse_blif(
             .get(name)
             .copied()
             .ok_or_else(|| NetlistError::UnknownNode(name.clone()))?;
-        builder.output(name, id);
+        builder.try_output(name, id)?;
     }
     builder.finish()
 }
@@ -584,6 +607,62 @@ mod tests {
 ";
         let err = parse_blif(src, unit_delays).unwrap_err();
         assert!(matches!(err, NetlistError::UnknownNode(n) if n == "ghost"));
+    }
+
+    #[test]
+    fn hostile_inputs_yield_typed_errors() {
+        // (source, substring the error must mention) — every case must
+        // fail with a typed `NetlistError`, never a panic or a silently
+        // wrong netlist.
+        let cases: &[(&str, &str)] = &[
+            (
+                ".model m\n.inputs a\n.outputs f f\n.names a f\n1 1\n.end\n",
+                "duplicate output",
+            ),
+            (
+                ".model m\n.inputs a\n.outputs f\n.outputs f\n.names a f\n1 1\n.end\n",
+                "duplicate output",
+            ),
+            (
+                ".model m\n.inputs a\n.outputs a\n.names a\n1\n.end\n",
+                ".inputs and defined",
+            ),
+            (
+                ".model m\n.outputs a\n.names a\n1\n.inputs a\n.end\n",
+                ".inputs and defined",
+            ),
+            (
+                ".model m\n.inputs a\n.outputs f\n.names f\n1\n.names f\n0\n.end\n",
+                "duplicate node name",
+            ),
+            (
+                ".model m\n.inputs a\n.outputs f\n.names\n.end\n",
+                "no signals",
+            ),
+        ];
+        for (src, needle) in cases {
+            let err = parse_blif(src, unit_delays).expect_err(src);
+            assert!(
+                err.to_string().contains(needle),
+                "source {src:?}: expected error mentioning {needle:?}, got `{err}`"
+            );
+        }
+    }
+
+    #[test]
+    fn output_may_alias_an_input() {
+        let src = ".model m\n.inputs a\n.outputs a f\n.names a f\n0 1\n.end\n";
+        let n = parse_blif(src, unit_delays).unwrap();
+        assert_eq!(n.evaluate_outputs(&[true]), vec![true, false]);
+        assert_eq!(n.evaluate_outputs(&[false]), vec![false, true]);
+    }
+
+    #[test]
+    fn crlf_and_trailing_whitespace_accepted() {
+        let src = ".model m\r\n.inputs a b  \r\n.outputs f\t\r\n.names a b f\r\n11 1  \r\n.end\r\n";
+        let n = parse_blif(src, unit_delays).unwrap();
+        assert_eq!(n.inputs().len(), 2);
+        assert_eq!(n.evaluate_outputs(&[true, true]), vec![true]);
     }
 
     #[test]

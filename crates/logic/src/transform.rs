@@ -91,6 +91,65 @@ pub fn extract_cone(netlist: &Netlist, output: &str) -> Netlist {
     b.finish().expect("one output was declared")
 }
 
+/// A single-output cone extracted by [`extract_cone_slice`], with the
+/// index map needed to translate cone-local results (witness vectors,
+/// per-node delay assignments) back into the source netlist's
+/// coordinates.
+#[derive(Clone, Debug)]
+pub struct ConeSlice {
+    /// The standalone cone netlist (one output; unused inputs dropped).
+    pub netlist: Netlist,
+    /// `node_map[i]` is the source-netlist [`NodeId`] of cone node `i`.
+    /// Nodes are emitted in ascending source order, so the map is
+    /// strictly increasing and the cone stays topological.
+    pub node_map: Vec<NodeId>,
+}
+
+/// Extracts the fanin cone of the `output_index`-th primary output as a
+/// standalone netlist plus the node map back to `netlist` — the per-cone
+/// work unit of the parallel analysis driver. Unlike [`extract_cone`]
+/// this addresses outputs by position, so duplicate output names and
+/// several outputs sharing one driver node stay unambiguous.
+///
+/// # Panics
+///
+/// Panics if `output_index` is out of range.
+pub fn extract_cone_slice(netlist: &Netlist, output_index: usize) -> ConeSlice {
+    let (name, root) = &netlist.outputs()[output_index];
+    let mut keep = vec![false; netlist.len()];
+    let mut stack = vec![*root];
+    while let Some(n) = stack.pop() {
+        if keep[n.index()] {
+            continue;
+        }
+        keep[n.index()] = true;
+        stack.extend(netlist.node(n).fanins().iter().copied());
+    }
+    let mut b = Netlist::builder();
+    let mut node_map = Vec::new();
+    let mut map: HashMap<NodeId, NodeId> = HashMap::new();
+    for (id, node) in netlist.nodes() {
+        if !keep[id.index()] {
+            continue;
+        }
+        let new_id = if node.kind().is_input() {
+            b.input(node.name())
+        } else {
+            let fanins = node.fanins().iter().map(|f| map[f]).collect();
+            b.gate(node.kind(), node.name(), fanins, node.delay())
+                .expect("names unique in the source netlist")
+        };
+        debug_assert_eq!(new_id.index(), node_map.len());
+        node_map.push(id);
+        map.insert(id, new_id);
+    }
+    b.output(name, map[root]);
+    ConeSlice {
+        netlist: b.finish().expect("one output was declared"),
+        node_map,
+    }
+}
+
 /// Rebuilds keeping only flagged nodes.
 fn rebuild(netlist: &Netlist, keep: &[bool]) -> Result<Netlist, NetlistError> {
     let mut b = Netlist::builder();
@@ -356,6 +415,50 @@ mod tests {
     #[should_panic(expected = "no output named")]
     fn extract_cone_unknown_output_panics() {
         let _ = extract_cone(&paper_bypass_adder(), "nope");
+    }
+
+    #[test]
+    fn extract_cone_slice_maps_back_to_the_source() {
+        let n = paper_bypass_adder();
+        for (idx, (name, root)) in n.outputs().iter().enumerate() {
+            let slice = extract_cone_slice(&n, idx);
+            assert_eq!(slice.netlist.outputs().len(), 1);
+            assert_eq!(&slice.netlist.outputs()[0].0, name);
+            assert_eq!(slice.node_map.len(), slice.netlist.len());
+            // The map is strictly increasing (cone order = source order)
+            // and every cone node mirrors its source node.
+            for (cone_id, node) in slice.netlist.nodes() {
+                let src = slice.node_map[cone_id.index()];
+                assert_eq!(n.node(src).name(), node.name());
+                assert_eq!(n.node(src).kind(), node.kind());
+                assert_eq!(n.node(src).delay(), node.delay());
+            }
+            assert!(slice.node_map.windows(2).all(|w| w[0] < w[1]));
+            // The cone's output node maps to the source output driver.
+            assert_eq!(slice.node_map[slice.netlist.outputs()[0].1.index()], *root);
+            // Per-output topological delay is preserved.
+            assert_eq!(
+                slice.netlist.topological_delay(),
+                n.topological_delay_of(*root)
+            );
+        }
+    }
+
+    #[test]
+    fn extract_cone_slice_disambiguates_shared_drivers() {
+        // Two outputs on the SAME driver node: by-index extraction must
+        // keep them distinct even though the cones are identical.
+        let mut b = Netlist::builder();
+        let x = b.input("x");
+        let g = b.gate(GateKind::Not, "g", vec![x], d(1, 2)).unwrap();
+        b.output("o1", g);
+        b.output("o2", g);
+        let n = b.finish().unwrap();
+        let s0 = extract_cone_slice(&n, 0);
+        let s1 = extract_cone_slice(&n, 1);
+        assert_eq!(s0.netlist.outputs()[0].0, "o1");
+        assert_eq!(s1.netlist.outputs()[0].0, "o2");
+        assert_eq!(s0.node_map, s1.node_map);
     }
 
     #[test]
