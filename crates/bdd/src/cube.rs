@@ -75,8 +75,38 @@ impl BddManager {
     /// Returns one satisfying cube of `f`, or `None` if `f` is false.
     ///
     /// Prefers short paths greedily but makes no minimality guarantee.
+    /// The result depends on the current variable order; use
+    /// [`min_sat_cube`](Self::min_sat_cube) when an order-independent
+    /// answer is required.
     pub fn any_sat_cube(&self, f: Bdd) -> Option<Cube> {
         self.cubes(f).next()
+    }
+
+    /// The canonical satisfying cube of `f`: constrains every support
+    /// variable, choosing `false` wherever a satisfying completion
+    /// exists. Extended with `false` defaults
+    /// ([`cube_to_assignment`](Self::cube_to_assignment)) it is the
+    /// lexicographically smallest satisfying assignment in variable
+    /// *identity* order — the same whatever the current variable order.
+    pub fn min_sat_cube(&mut self, f: Bdd) -> Option<Cube> {
+        if f.is_false() {
+            return None;
+        }
+        let support = self.support(f); // ascending Var::index
+        let mut literals = Vec::with_capacity(support.len());
+        let mut cur = f;
+        for v in support {
+            let lo = self.restrict(cur, v, false);
+            if lo.is_false() {
+                literals.push((v, true));
+                cur = self.restrict(cur, v, true);
+            } else {
+                literals.push((v, false));
+                cur = lo;
+            }
+        }
+        debug_assert!(cur.is_true());
+        Some(Cube { literals })
     }
 
     /// Extends a cube to a full assignment over `n_vars` variables, filling
@@ -107,13 +137,18 @@ impl Iterator for Cubes<'_> {
     fn next(&mut self) -> Option<Cube> {
         while let Some((b, path)) = self.stack.pop() {
             if b.is_true() {
-                return Some(Cube { literals: path });
+                // Paths descend in order-position sequence; sort by
+                // variable identity so callers always see ascending
+                // `Var::index` regardless of the current order.
+                let mut literals = path;
+                literals.sort_unstable_by_key(|&(v, _)| v);
+                return Some(Cube { literals });
             }
             if b.is_false() {
                 continue;
             }
             let n = self.manager.node(b);
-            let v = Var(n.level);
+            let v = Var(n.var);
             if !n.hi.is_false() {
                 let mut p = path.clone();
                 p.push((v, true));

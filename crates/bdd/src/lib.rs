@@ -15,7 +15,11 @@
 //! * cofactor/restriction, functional [composition](BddManager::compose),
 //!   and existential/universal quantification,
 //! * model counting, [cube enumeration](BddManager::cubes) and
-//!   [support](BddManager::support) extraction.
+//!   [support](BddManager::support) extraction,
+//! * dynamic variable reordering: in-place adjacent
+//!   [swaps](BddManager::swap_levels), Rudell [sifting](BddManager::sift),
+//!   and an automatic [`ReorderPolicy`] — all without ever invalidating a
+//!   [`Bdd`] handle.
 //!
 //! # Example
 //!
@@ -43,10 +47,12 @@ mod limit;
 mod manager;
 mod node;
 mod ops;
+mod reorder;
 mod transfer;
 
 pub use cube::{Cube, Cubes};
 pub use limit::{NodeLimitExceeded, OpAbort, OpBudget};
 pub use manager::BddManager;
 pub use node::{Bdd, Var};
+pub use reorder::{ReorderPolicy, ReorderStats};
 pub use transfer::{best_order, transfer};

@@ -20,7 +20,7 @@
 use std::fmt;
 
 use crate::manager::BddManager;
-use crate::node::{Bdd, Var, TERMINAL_LEVEL};
+use crate::node::{Bdd, Var};
 
 /// The manager grew past the cap passed to a `try_*` operation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -137,13 +137,13 @@ fn abort_to_limit(a: OpAbort, limit: usize) -> NodeLimitExceeded {
 impl BddManager {
     fn mk_budgeted(
         &mut self,
-        level: u32,
+        var: u32,
         lo: Bdd,
         hi: Bdd,
         budget: &OpBudget<'_>,
     ) -> Result<Bdd, OpAbort> {
         budget.check(self.node_count())?;
-        Ok(self.mk(level, lo, hi))
+        Ok(self.mk(var, lo, hi))
     }
 
     /// Negation that aborts once the manager exceeds `limit` nodes.
@@ -176,7 +176,7 @@ impl BddManager {
         let n = self.node(f);
         let lo = self.try_not_b(n.lo, budget)?;
         let hi = self.try_not_b(n.hi, budget)?;
-        let r = self.mk_budgeted(n.level, lo, hi, budget)?;
+        let r = self.mk_budgeted(n.var, lo, hi, budget)?;
         self.not_cache.insert(f, r);
         Ok(r)
     }
@@ -228,16 +228,12 @@ impl BddManager {
         if let Some(&r) = self.ite_cache.get(&key) {
             return Ok(r);
         }
-        let level = |m: &BddManager, b: Bdd| -> u32 {
-            if b.is_const() {
-                TERMINAL_LEVEL
-            } else {
-                m.node(b).level
-            }
-        };
-        let top = level(self, f).min(level(self, g)).min(level(self, h));
+        // Mirrors `ite`: split on the variable at the topmost order
+        // position among the three roots.
+        let top = self.blevel(f).min(self.blevel(g)).min(self.blevel(h));
+        let top_var = self.level2var[top as usize];
         let cof = |m: &BddManager, b: Bdd, phase: bool| -> Bdd {
-            if b.is_const() || m.node(b).level != top {
+            if m.blevel(b) != top {
                 b
             } else {
                 let n = m.node(b);
@@ -253,7 +249,7 @@ impl BddManager {
         let (h0, h1) = (cof(self, h, false), cof(self, h, true));
         let lo = self.try_ite_b(f0, g0, h0, budget)?;
         let hi = self.try_ite_b(f1, g1, h1, budget)?;
-        let r = self.mk_budgeted(top, lo, hi, budget)?;
+        let r = self.mk_budgeted(top_var, lo, hi, budget)?;
         self.ite_cache.insert(key, r);
         Ok(r)
     }
@@ -337,19 +333,19 @@ impl BddManager {
             return Ok(f);
         }
         let n = self.node(f);
-        if n.level > v.0 {
+        if self.lvl(n.var) > self.lvl(v.0) {
             return Ok(f);
         }
         let key = (f, v.0, true);
         if let Some(&r) = self.quant_cache.get(&key) {
             return Ok(r);
         }
-        let r = if n.level == v.0 {
+        let r = if n.var == v.0 {
             self.try_or_b(n.lo, n.hi, budget)?
         } else {
             let lo = self.try_exists_b(n.lo, v, budget)?;
             let hi = self.try_exists_b(n.hi, v, budget)?;
-            self.mk_budgeted(n.level, lo, hi, budget)?
+            self.mk_budgeted(n.var, lo, hi, budget)?
         };
         self.quant_cache.insert(key, r);
         Ok(r)

@@ -15,6 +15,11 @@ use crate::node::{Bdd, Node, Var, TERMINAL_LEVEL};
 /// lifetime. The exact-delay search in `tbf-core` polls
 /// [`node_count`](Self::node_count) between operations to bound growth.
 ///
+/// Variables are *identities*, decoupled from their order position via the
+/// `var2level`/`level2var` tables; dynamic reordering (see
+/// [`swap_levels`](Self::swap_levels) and [`sift`](Self::sift)) permutes
+/// levels without invalidating any [`Bdd`] handle or [`Var`].
+///
 /// # Example
 ///
 /// ```
@@ -32,19 +37,34 @@ use crate::node::{Bdd, Node, Var, TERMINAL_LEVEL};
 /// ```
 pub struct BddManager {
     pub(crate) nodes: Vec<Node>,
-    unique: HashMap<Node, Bdd>,
+    pub(crate) unique: HashMap<Node, Bdd>,
     pub(crate) ite_cache: HashMap<(Bdd, Bdd, Bdd), Bdd>,
     pub(crate) not_cache: HashMap<Bdd, Bdd>,
     pub(crate) quant_cache: HashMap<(Bdd, u32, bool), Bdd>,
     pub(crate) compose_cache: HashMap<(Bdd, u32, Bdd), Bdd>,
     var_names: Vec<String>,
+    /// `var2level[v]` = current order position of variable `v`.
+    pub(crate) var2level: Vec<u32>,
+    /// `level2var[l]` = variable currently at order position `l`.
+    pub(crate) level2var: Vec<u32>,
+    pub(crate) reorder_policy: crate::reorder::ReorderPolicy,
+    /// Next arena size at which [`check_pressure`](Self::check_pressure)
+    /// fires; doubled after each automatic sift to avoid thrashing.
+    pub(crate) pressure_trigger: usize,
+    /// Per-variable arena index: `var_nodes[v]` holds every arena slot
+    /// whose root variable is (or once was) `v`. Entries go stale when a
+    /// [`swap_levels`](Self::swap_levels) rewrite changes a slot's root;
+    /// swaps compact their own variable's list lazily. This turns the
+    /// per-swap candidate scan from O(arena) into O(nodes of one var).
+    pub(crate) var_nodes: Vec<Vec<u32>>,
+    pub(crate) reorder_stats: crate::reorder::ReorderStats,
 }
 
 impl BddManager {
     /// Creates an empty manager with no variables.
     pub fn new() -> Self {
         let terminal = |_: u32| Node {
-            level: TERMINAL_LEVEL,
+            var: TERMINAL_LEVEL,
             lo: Bdd::FALSE,
             hi: Bdd::TRUE,
         };
@@ -58,6 +78,12 @@ impl BddManager {
             quant_cache: HashMap::new(),
             compose_cache: HashMap::new(),
             var_names: Vec::new(),
+            var2level: Vec::new(),
+            level2var: Vec::new(),
+            reorder_policy: crate::reorder::ReorderPolicy::None,
+            pressure_trigger: 0,
+            var_nodes: Vec::new(),
+            reorder_stats: crate::reorder::ReorderStats::default(),
         }
     }
 
@@ -65,6 +91,9 @@ impl BddManager {
     pub fn new_var(&mut self) -> Var {
         let idx = self.var_names.len() as u32;
         self.var_names.push(format!("v{idx}"));
+        self.var2level.push(idx);
+        self.level2var.push(idx);
+        self.var_nodes.push(Vec::new());
         Var(idx)
     }
 
@@ -123,17 +152,18 @@ impl BddManager {
     }
 
     /// Interns a node, enforcing the no-redundant-test and sharing rules.
-    pub(crate) fn mk(&mut self, level: u32, lo: Bdd, hi: Bdd) -> Bdd {
+    pub(crate) fn mk(&mut self, var: u32, lo: Bdd, hi: Bdd) -> Bdd {
         if lo == hi {
             return lo;
         }
-        let node = Node { level, lo, hi };
+        let node = Node { var, lo, hi };
         if let Some(&b) = self.unique.get(&node) {
             return b;
         }
         let id = Bdd(u32::try_from(self.nodes.len()).expect("BDD node index overflow"));
         self.nodes.push(node);
         self.unique.insert(node, id);
+        self.var_nodes[var as usize].push(id.0);
         id
     }
 
@@ -142,13 +172,90 @@ impl BddManager {
         self.nodes[b.index()]
     }
 
-    /// The level (variable order position) of the root of `b`, or `None`
-    /// for constants.
+    /// Current order position of variable index `var` (internal shorthand).
+    #[inline]
+    pub(crate) fn lvl(&self, var: u32) -> u32 {
+        self.var2level[var as usize]
+    }
+
+    /// Order position of the root of `b`: the root variable's level, or
+    /// [`TERMINAL_LEVEL`] for constants (below every variable).
+    #[inline]
+    pub(crate) fn blevel(&self, b: Bdd) -> u32 {
+        if b.is_const() {
+            TERMINAL_LEVEL
+        } else {
+            self.lvl(self.node(b).var)
+        }
+    }
+
+    /// Current order position of `v` (0 = tested first / closest to root).
+    pub fn level_of(&self, v: Var) -> usize {
+        self.var2level[v.index()] as usize
+    }
+
+    /// The variable currently at order position `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= var_count()`.
+    pub fn var_at_level(&self, level: usize) -> Var {
+        Var(self.level2var[level])
+    }
+
+    /// The current variable order, root-first.
+    pub fn current_order(&self) -> Vec<Var> {
+        self.level2var.iter().map(|&v| Var(v)).collect()
+    }
+
+    /// `true` when every variable sits at its creation position (the order
+    /// a fresh manager starts with).
+    pub fn is_identity_order(&self) -> bool {
+        self.var2level
+            .iter()
+            .enumerate()
+            .all(|(i, &l)| l as usize == i)
+    }
+
+    /// Installs a variable order on a *fresh* manager (no nodes built yet).
+    /// `order[l]` is the variable to place at level `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any node has been interned already, or if `order` is not a
+    /// permutation of all declared variables. Use
+    /// [`reorder_to`](Self::reorder_to) on a populated manager instead.
+    pub fn set_order(&mut self, order: &[Var]) {
+        assert_eq!(
+            self.nodes.len(),
+            2,
+            "set_order requires a fresh manager; use reorder_to instead"
+        );
+        assert_eq!(
+            order.len(),
+            self.var_count(),
+            "order must list every variable"
+        );
+        let mut seen = vec![false; order.len()];
+        for v in order {
+            assert!(
+                v.index() < seen.len() && !seen[v.index()],
+                "order must be a permutation of the declared variables"
+            );
+            seen[v.index()] = true;
+        }
+        for (l, v) in order.iter().enumerate() {
+            self.level2var[l] = v.0;
+            self.var2level[v.index()] = l as u32;
+        }
+    }
+
+    /// The variable tested at the root of `b`, or `None` for constants.
     pub fn root_var(&self, b: Bdd) -> Option<Var> {
         if b.is_const() {
             None
         } else {
-            Some(Var(self.node(b).level))
+            Some(Var(self.node(b).var))
         }
     }
 
@@ -164,7 +271,8 @@ impl BddManager {
         (n.lo, n.hi)
     }
 
-    /// Evaluates `b` under a full assignment indexed by variable position.
+    /// Evaluates `b` under a full assignment indexed by variable *identity*
+    /// ([`Var::index`]), so the result does not depend on the current order.
     ///
     /// # Panics
     ///
@@ -173,7 +281,7 @@ impl BddManager {
         let mut cur = b;
         while !cur.is_const() {
             let n = self.node(cur);
-            cur = if assignment[n.level as usize] {
+            cur = if assignment[n.var as usize] {
                 n.hi
             } else {
                 n.lo
@@ -199,7 +307,7 @@ impl BddManager {
         }
         assert!(
             self.max_tested_level(b) < n_vars,
-            "sat_count: BDD tests a variable outside 0..n_vars"
+            "sat_count: BDD tests a variable outside the first n_vars levels"
         );
         // Level-aware recursion: `go(b, level)` counts assignments of the
         // variables at positions `level..n_vars` that satisfy `b`.
@@ -220,9 +328,10 @@ impl BddManager {
                 return c;
             }
             let n = m.node(b);
-            let skipped = n.level as usize - level;
-            let lo = go(m, n.lo, n.level as usize + 1, n_vars, memo);
-            let hi = go(m, n.hi, n.level as usize + 1, n_vars, memo);
+            let node_level = m.lvl(n.var) as usize;
+            let skipped = node_level - level;
+            let lo = go(m, n.lo, node_level + 1, n_vars, memo);
+            let hi = go(m, n.hi, node_level + 1, n_vars, memo);
             let c = 2f64.powi(skipped as i32) * (lo + hi);
             memo.insert((b, level), c);
             c
@@ -231,7 +340,7 @@ impl BddManager {
         go(self, b, 0, n_vars, &mut memo)
     }
 
-    /// Largest variable level tested anywhere in `b`, or 0 for constants.
+    /// Largest order position tested anywhere in `b`, or 0 for constants.
     fn max_tested_level(&self, b: Bdd) -> usize {
         let mut stack = vec![b];
         let mut seen = std::collections::HashSet::new();
@@ -241,14 +350,15 @@ impl BddManager {
                 continue;
             }
             let n = self.node(x);
-            max = max.max(n.level as usize);
+            max = max.max(self.lvl(n.var) as usize);
             stack.push(n.lo);
             stack.push(n.hi);
         }
         max
     }
 
-    /// The set of variables tested in `b`, in ascending order.
+    /// The set of variables tested in `b`, in ascending [`Var::index`]
+    /// order (independent of the current variable order).
     pub fn support(&self, b: Bdd) -> Vec<Var> {
         let mut stack = vec![b];
         let mut seen = std::collections::HashSet::new();
@@ -258,11 +368,32 @@ impl BddManager {
                 continue;
             }
             let n = self.node(x);
-            vars.insert(n.level);
+            vars.insert(n.var);
             stack.push(n.lo);
             stack.push(n.hi);
         }
         vars.into_iter().map(Var).collect()
+    }
+
+    /// Number of internal nodes reachable from `roots` (the *live* size,
+    /// as opposed to [`node_count`](Self::node_count), which includes dead
+    /// arena entries — the arena is append-only).
+    pub fn live_size(&self, roots: &[Bdd]) -> usize {
+        // Sifting calls this after every adjacent swap, so the visited
+        // set is a plain arena-indexed bitmap rather than a hash set.
+        let mut stack: Vec<Bdd> = roots.to_vec();
+        let mut seen = vec![false; self.nodes.len()];
+        let mut count = 0usize;
+        while let Some(x) = stack.pop() {
+            if x.is_const() || std::mem::replace(&mut seen[x.index()], true) {
+                continue;
+            }
+            count += 1;
+            let n = self.node(x);
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        count
     }
 
     /// Number of (shared) nodes reachable from `b`, terminals excluded.

@@ -65,14 +65,20 @@ impl fmt::Debug for Bdd {
 
 /// A BDD variable.
 ///
-/// Variables are ordered by creation: the first
-/// [`new_var`](crate::BddManager::new_var) is tested closest to the root.
-/// The ordering is fixed for the lifetime of the manager.
+/// A `Var` is a *stable identity*: it names the variable for the lifetime
+/// of the manager, whatever its current position (level) in the order.
+/// Freshly created managers use the identity order (the first
+/// [`new_var`](crate::BddManager::new_var) is tested closest to the
+/// root); dynamic reordering ([`swap_levels`](crate::BddManager::swap_levels),
+/// [`sift`](crate::BddManager::sift)) moves levels around without ever
+/// invalidating a `Var` or a [`Bdd`] handle. Query the current position
+/// with [`level_of`](crate::BddManager::level_of).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Var(pub(crate) u32);
 
 impl Var {
-    /// Zero-based position of this variable in the manager's order.
+    /// Zero-based creation index of this variable (its stable identity,
+    /// *not* its current order position).
     #[inline]
     pub fn index(self) -> usize {
         self.0 as usize
@@ -85,17 +91,20 @@ impl fmt::Debug for Var {
     }
 }
 
-/// Internal node representation: `(level, lo, hi)` with `lo` taken when the
-/// level's variable is 0. Terminals live at indices 0/1 with a sentinel
-/// level so that every internal node sorts strictly above them.
+/// Internal node representation: `(var, lo, hi)` with `lo` taken when the
+/// tested variable is 0. The field stores the variable's stable *identity*;
+/// its current order position comes from the manager's `var2level` table.
+/// Terminals live at indices 0/1 with a sentinel so that every internal
+/// node sorts strictly above them.
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) struct Node {
-    pub level: u32,
+    pub var: u32,
     pub lo: Bdd,
     pub hi: Bdd,
 }
 
-/// Sentinel level for the two terminal nodes (larger than any variable).
+/// Sentinel marking the two terminal nodes; also used as the "below every
+/// variable" level (larger than any variable index or order position).
 pub(crate) const TERMINAL_LEVEL: u32 = u32::MAX;
 
 #[cfg(test)]

@@ -2,7 +2,7 @@
 //! restriction and quantification.
 
 use crate::manager::BddManager;
-use crate::node::{Bdd, Var, TERMINAL_LEVEL};
+use crate::node::{Bdd, Var};
 
 impl BddManager {
     /// Logical negation.
@@ -19,7 +19,7 @@ impl BddManager {
         let n = self.node(f);
         let lo = self.not(n.lo);
         let hi = self.not(n.hi);
-        let r = self.mk(n.level, lo, hi);
+        let r = self.mk(n.var, lo, hi);
         self.not_cache.insert(f, r);
         r
     }
@@ -47,16 +47,12 @@ impl BddManager {
         if let Some(&r) = self.ite_cache.get(&key) {
             return r;
         }
-        let level = |m: &BddManager, b: Bdd| -> u32 {
-            if b.is_const() {
-                TERMINAL_LEVEL
-            } else {
-                m.node(b).level
-            }
-        };
-        let top = level(self, f).min(level(self, g)).min(level(self, h));
+        // `top` is an order *position*; recursion splits on the variable
+        // currently at that position.
+        let top = self.blevel(f).min(self.blevel(g)).min(self.blevel(h));
+        let top_var = self.level2var[top as usize];
         let cof = |m: &BddManager, b: Bdd, phase: bool| -> Bdd {
-            if b.is_const() || m.node(b).level != top {
+            if m.blevel(b) != top {
                 b
             } else {
                 let n = m.node(b);
@@ -72,7 +68,7 @@ impl BddManager {
         let (h0, h1) = (cof(self, h, false), cof(self, h, true));
         let lo = self.ite(f0, g0, h0);
         let hi = self.ite(f1, g1, h1);
-        let r = self.mk(top, lo, hi);
+        let r = self.mk(top_var, lo, hi);
         self.ite_cache.insert(key, r);
         r
     }
@@ -152,7 +148,7 @@ impl BddManager {
             return f;
         }
         let n = self.node(f);
-        if n.level > v.0 {
+        if self.lvl(n.var) > self.lvl(v.0) {
             // v does not occur in f (order property).
             return f;
         }
@@ -160,7 +156,7 @@ impl BddManager {
         if let Some(&r) = self.quant_cache.get(&key) {
             return r;
         }
-        let r = if n.level == v.0 {
+        let r = if n.var == v.0 {
             if existential {
                 self.or(n.lo, n.hi)
             } else {
@@ -169,7 +165,7 @@ impl BddManager {
         } else {
             let lo = self.quantify(n.lo, v, existential);
             let hi = self.quantify(n.hi, v, existential);
-            self.mk(n.level, lo, hi)
+            self.mk(n.var, lo, hi)
         };
         self.quant_cache.insert(key, r);
         r
@@ -186,21 +182,21 @@ impl BddManager {
             return f;
         }
         let n = self.node(f);
-        if n.level > v.0 {
+        if self.lvl(n.var) > self.lvl(v.0) {
             return f;
         }
         let key = (f, v.0, g);
         if let Some(&r) = self.compose_cache.get(&key) {
             return r;
         }
-        let r = if n.level == v.0 {
+        let r = if n.var == v.0 {
             self.ite(g, n.hi, n.lo)
         } else {
             let lo = self.compose(n.lo, v, g);
             let hi = self.compose(n.hi, v, g);
             // Levels may collide with g's support, so rebuild through ite
             // on the root variable to preserve ordering.
-            let root = self.var(Var(n.level));
+            let root = self.var(Var(n.var));
             self.ite(root, hi, lo)
         };
         self.compose_cache.insert(key, r);

@@ -1,0 +1,567 @@
+//! Dynamic variable reordering: adjacent-level swaps and Rudell sifting.
+//!
+//! Reordering changes only the *representation* of the functions held by
+//! the manager — never their meaning. Every [`Bdd`] handle remains valid
+//! across a reorder and keeps denoting the same Boolean function, because
+//! [`swap_levels`](BddManager::swap_levels) rewrites affected nodes *in
+//! place* (same arena index, new `(var, lo, hi)` payload) instead of
+//! allocating replacements. Operation caches are keyed on handles, i.e.
+//! on functions, so they stay semantically valid too and are never
+//! cleared by a reorder.
+//!
+//! Reordering must only run at *safe points*: no BDD operation may be
+//! mid-recursion on this manager when a swap happens, since operations
+//! capture order positions on their way down. The `tbf-core` engine calls
+//! [`check_pressure`](BddManager::check_pressure) strictly between gate
+//! constructions.
+
+use std::collections::HashSet;
+
+use crate::manager::BddManager;
+use crate::node::{Bdd, Node, Var};
+
+/// When the manager reorders its variables on its own.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ReorderPolicy {
+    /// Never reorder automatically (explicit [`BddManager::sift`] calls
+    /// still work).
+    #[default]
+    None,
+    /// Sift automatically from [`BddManager::check_pressure`] once the
+    /// arena reaches `trigger_nodes`; each per-variable pass aborts when
+    /// the live size exceeds `max_growth` percent of its starting value.
+    OnPressure {
+        /// Arena size (total allocated nodes) at which the first
+        /// automatic sift fires.
+        trigger_nodes: usize,
+        /// Per-variable growth abort, in percent (e.g. `120` allows 20%
+        /// transient growth while exploring positions).
+        max_growth: usize,
+    },
+    /// Reorder only when the owning engine decides to (e.g. one sift of
+    /// the static functions after layout); never from `check_pressure`.
+    Manual,
+}
+
+/// Cumulative effort counters for reordering on one manager.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReorderStats {
+    /// Completed [`sift`](BddManager::sift) passes.
+    pub reorders: usize,
+    /// Sum of live sizes measured just before each sift.
+    pub nodes_before: usize,
+    /// Sum of live sizes measured just after each sift.
+    pub nodes_after: usize,
+    /// Wall-clock milliseconds spent sifting.
+    pub time_ms: u64,
+}
+
+impl ReorderStats {
+    /// Folds another manager's counters into this one (all fields add).
+    pub fn merge(&mut self, other: &ReorderStats) {
+        self.reorders += other.reorders;
+        self.nodes_before += other.nodes_before;
+        self.nodes_after += other.nodes_after;
+        self.time_ms += other.time_ms;
+    }
+}
+
+impl BddManager {
+    /// The automatic-reordering policy currently installed.
+    pub fn reorder_policy(&self) -> ReorderPolicy {
+        self.reorder_policy
+    }
+
+    /// Installs an automatic-reordering policy (see
+    /// [`check_pressure`](Self::check_pressure)).
+    pub fn set_reorder_policy(&mut self, policy: ReorderPolicy) {
+        self.reorder_policy = policy;
+        self.pressure_trigger = match policy {
+            ReorderPolicy::OnPressure { trigger_nodes, .. } => trigger_nodes,
+            _ => 0,
+        };
+    }
+
+    /// Cumulative reordering effort on this manager.
+    pub fn reorder_stats(&self) -> ReorderStats {
+        self.reorder_stats
+    }
+
+    /// `true` when the policy is `OnPressure` and the arena has reached
+    /// the trigger, i.e. the next [`check_pressure`](Self::check_pressure)
+    /// call will sift. Lets callers avoid collecting roots when nothing
+    /// would happen.
+    pub fn pressure_pending(&self) -> bool {
+        matches!(self.reorder_policy, ReorderPolicy::OnPressure { .. })
+            && self.node_count() >= self.pressure_trigger
+    }
+
+    /// Under [`ReorderPolicy::OnPressure`], sifts `roots` once the arena
+    /// has reached the trigger and returns `true` if a sift ran. Must be
+    /// called at a safe point (no BDD operation in flight); handles held
+    /// by the caller stay valid whether or not they are listed in `roots`
+    /// — `roots` only steers the size metric.
+    pub fn check_pressure(&mut self, roots: &[Bdd]) -> bool {
+        let ReorderPolicy::OnPressure { max_growth, .. } = self.reorder_policy else {
+            return false;
+        };
+        if !self.pressure_pending() {
+            return false;
+        }
+        let abort = self.sift_abort_bound(roots);
+        self.sift(roots, max_growth, abort);
+        // Re-arm well above the new arena size to avoid thrashing.
+        self.pressure_trigger = self.node_count().saturating_mul(2);
+        true
+    }
+
+    /// Arena-size abort threshold for a bounded sift of `roots`.
+    ///
+    /// Swaps only append to the arena (dead entries are never freed), so
+    /// an unbounded sift can inflate the arena past any caller's node
+    /// budget all by itself — and every later swap pays for the garbage
+    /// via the reachability traversal. The bound grants exploration
+    /// headroom proportional to the *live* size being optimised (what
+    /// matters), not to the dead arena: since variables are sifted
+    /// biggest-layer-first, the budget is spent on the most promising
+    /// variables before the pass stops.
+    pub fn sift_abort_bound(&self, roots: &[Bdd]) -> usize {
+        let headroom = self.live_size(roots).saturating_mul(8).max(1024);
+        self.node_count().saturating_add(headroom)
+    }
+
+    /// Swaps the variables at order positions `l` and `l + 1` in place.
+    ///
+    /// This is the classic unique-table local rewrite: only nodes of the
+    /// upper variable `x = level2var[l]` that test `y = level2var[l + 1]`
+    /// in a child are rewritten (same arena slot, root variable becomes
+    /// `y`); every other node — including every handle held by callers —
+    /// is untouched and keeps its meaning. All arena entries at the
+    /// affected level are processed, dead or live, so the global order
+    /// invariant holds for *any* reachable handle.
+    ///
+    /// Returns the number of nodes rewritten; `0` means the node DAG is
+    /// unchanged (only the order tables moved), so any size measured
+    /// before the swap is still current.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l + 1 >= var_count()`.
+    pub fn swap_levels(&mut self, l: usize) -> usize {
+        assert!(
+            l + 1 < self.var_count(),
+            "swap_levels: position {l} is not above another level"
+        );
+        let x = self.level2var[l];
+        let y = self.level2var[l + 1];
+        // Only nodes rooted at `x` can change, so scan the per-variable
+        // index instead of the whole arena. The list may hold stale slots
+        // (rewritten away by earlier swaps) and, because a slot can cycle
+        // back to `x` while its original entry is still listed, duplicates
+        // — compact both here. Sorting also restores ascending arena
+        // order, keeping the rewrite sequence identical to a full scan.
+        let mut slots = std::mem::take(&mut self.var_nodes[x as usize]);
+        slots.sort_unstable();
+        slots.dedup();
+        slots.retain(|&i| self.nodes[i as usize].var == x);
+        // Collect first, rewrite after: `mk` during the rewrite loop must
+        // only ever see post-collection state.
+        let rewrites: Vec<u32> = slots
+            .iter()
+            .copied()
+            .filter(|&i| {
+                let n = self.nodes[i as usize];
+                self.child_tests(n.lo, y) || self.child_tests(n.hi, y)
+            })
+            .collect();
+        self.var_nodes[x as usize] = slots;
+        let rewritten = rewrites.len();
+        for i in rewrites {
+            let old = self.nodes[i as usize];
+            let (f00, f01) = self.split_on(old.lo, y);
+            let (f10, f11) = self.split_on(old.hi, y);
+            self.unique.remove(&old);
+            // The new x-children sit below both x and y: their own
+            // children are grandchildren of `old`, all at positions
+            // strictly below l + 1.
+            let h0 = self.mk(x, f00, f10);
+            let h1 = self.mk(x, f01, f11);
+            debug_assert_ne!(h0, h1, "a node testing y cannot lose y by the swap");
+            let new = Node {
+                var: y,
+                lo: h0,
+                hi: h1,
+            };
+            self.nodes[i as usize] = new;
+            self.var_nodes[y as usize].push(i);
+            let prev = self.unique.insert(new, Bdd(i));
+            debug_assert!(prev.is_none(), "swap produced a duplicate unique-table key");
+        }
+        self.var2level[x as usize] = (l + 1) as u32;
+        self.var2level[y as usize] = l as u32;
+        self.level2var[l] = y;
+        self.level2var[l + 1] = x;
+        rewritten
+    }
+
+    #[inline]
+    fn child_tests(&self, b: Bdd, var: u32) -> bool {
+        !b.is_const() && self.nodes[b.index()].var == var
+    }
+
+    /// Cofactors of `b` on `var` assuming `var` can only appear at the
+    /// root of `b`.
+    #[inline]
+    fn split_on(&self, b: Bdd, var: u32) -> (Bdd, Bdd) {
+        if self.child_tests(b, var) {
+            let n = self.nodes[b.index()];
+            (n.lo, n.hi)
+        } else {
+            (b, b)
+        }
+    }
+
+    /// Moves the variables into `order` (root-first) by adjacent swaps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of all declared variables.
+    pub fn reorder_to(&mut self, order: &[Var]) {
+        assert_eq!(
+            order.len(),
+            self.var_count(),
+            "order must list every variable"
+        );
+        let mut seen = vec![false; order.len()];
+        for v in order {
+            assert!(
+                v.index() < seen.len() && !seen[v.index()],
+                "order must be a permutation of the declared variables"
+            );
+            seen[v.index()] = true;
+        }
+        for (target, v) in order.iter().enumerate() {
+            let mut cur = self.var2level[v.index()] as usize;
+            debug_assert!(cur >= target, "positions above target are already fixed");
+            while cur > target {
+                self.swap_levels(cur - 1);
+                cur -= 1;
+            }
+        }
+    }
+
+    /// Rudell-style sifting: each variable in turn is moved through every
+    /// order position by adjacent swaps and parked where the live size
+    /// (reachable from `roots`) is smallest.
+    ///
+    /// Deterministic: variables are processed in descending live-node
+    /// count at their starting level (ties by ascending index), and among
+    /// equally small positions the one closest to the root wins. A
+    /// variable's exploration stops early once the live size exceeds
+    /// `max_growth_percent`/100 of its starting value, and the whole pass
+    /// stops once the arena (which swaps only ever grow) exceeds
+    /// `abort_nodes`. Returns the live size before and after.
+    pub fn sift(
+        &mut self,
+        roots: &[Bdd],
+        max_growth_percent: usize,
+        abort_nodes: usize,
+    ) -> (usize, usize) {
+        let started = std::time::Instant::now();
+        let n = self.var_count();
+        let before = self.live_size(roots);
+        if n >= 2 && before > 0 {
+            for v in self.vars_by_live_count(roots) {
+                self.sift_one(v, roots, max_growth_percent, abort_nodes);
+                if self.node_count() > abort_nodes {
+                    break;
+                }
+            }
+        }
+        let after = self.live_size(roots);
+        self.reorder_stats.reorders += 1;
+        self.reorder_stats.nodes_before += before;
+        self.reorder_stats.nodes_after += after;
+        self.reorder_stats.time_ms += u64::try_from(started.elapsed().as_millis()).unwrap_or(0);
+        (before, after)
+    }
+
+    /// Variables with at least one live node, sorted by descending
+    /// live-node count (ties by ascending variable index): the classic
+    /// biggest-layer-first sweep. Variables no live node tests are
+    /// skipped — moving them cannot change the live size, so sifting
+    /// them is pure swap cost.
+    fn vars_by_live_count(&self, roots: &[Bdd]) -> Vec<u32> {
+        let mut per_var = vec![0usize; self.var_count()];
+        let mut stack: Vec<Bdd> = roots.to_vec();
+        let mut seen = HashSet::new();
+        while let Some(b) = stack.pop() {
+            if b.is_const() || !seen.insert(b) {
+                continue;
+            }
+            let node = self.node(b);
+            per_var[node.var as usize] += 1;
+            stack.push(node.lo);
+            stack.push(node.hi);
+        }
+        let mut vars: Vec<u32> = (0..self.var_count() as u32)
+            .filter(|&v| per_var[v as usize] > 0)
+            .collect();
+        vars.sort_by_key(|&v| (std::cmp::Reverse(per_var[v as usize]), v));
+        vars
+    }
+
+    /// Moves one variable down to the bottom, then up to the top, then to
+    /// the best position seen.
+    fn sift_one(&mut self, v: u32, roots: &[Bdd], max_growth_percent: usize, abort_nodes: usize) {
+        let n = self.var_count();
+        let start_size = self.live_size(roots);
+        let limit = start_size.saturating_mul(max_growth_percent.max(100)) / 100;
+        let l0 = self.var2level[v as usize] as usize;
+        let mut cur = l0;
+        let mut best = (start_size, l0);
+        let track = |size: usize, pos: usize, best: &mut (usize, usize)| {
+            if size < best.0 || (size == best.0 && pos < best.1) {
+                *best = (size, pos);
+            }
+        };
+        // A swap that rewrites nothing leaves the node DAG untouched, so
+        // the last measured size is still exact — only re-traverse after
+        // a swap that actually changed nodes.
+        let mut s = start_size;
+        // Downward phase (toward the leaves).
+        while cur + 1 < n {
+            if self.swap_levels(cur) > 0 {
+                s = self.live_size(roots);
+            }
+            cur += 1;
+            track(s, cur, &mut best);
+            if s > limit || self.node_count() > abort_nodes {
+                break;
+            }
+        }
+        // Upward phase; growth aborts only apply in unexplored territory
+        // (above the starting level) — below it we are retracing swaps
+        // whose sizes were already accepted on the way down.
+        while cur > 0 {
+            if self.swap_levels(cur - 1) > 0 {
+                s = self.live_size(roots);
+            }
+            cur -= 1;
+            track(s, cur, &mut best);
+            if cur < l0 && (s > limit || self.node_count() > abort_nodes) {
+                break;
+            }
+        }
+        // Park at the best position seen.
+        while cur < best.1 {
+            self.swap_levels(cur);
+            cur += 1;
+        }
+        while cur > best.1 {
+            self.swap_levels(cur - 1);
+            cur -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// All 2^n evaluations of `f`, with assignment bit `i` = variable `i`.
+    fn truth_table(m: &BddManager, f: Bdd, n: usize) -> Vec<bool> {
+        (0..1usize << n)
+            .map(|bits| {
+                let a: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+                m.eval(f, &a)
+            })
+            .collect()
+    }
+
+    fn build_majority() -> (BddManager, Bdd) {
+        let mut m = BddManager::new();
+        let vars: Vec<Var> = (0..3).map(|_| m.new_var()).collect();
+        let lits: Vec<Bdd> = vars.iter().map(|&v| m.var(v)).collect();
+        let ab = m.and(lits[0], lits[1]);
+        let bc = m.and(lits[1], lits[2]);
+        let ac = m.and(lits[0], lits[2]);
+        let t = m.or(ab, bc);
+        let f = m.or(t, ac);
+        (m, f)
+    }
+
+    #[test]
+    fn swap_preserves_semantics_and_handles() {
+        let (mut m, f) = build_majority();
+        let tt = truth_table(&m, f, 3);
+        for l in [0, 1, 0, 1, 1, 0] {
+            m.swap_levels(l);
+            assert_eq!(truth_table(&m, f, 3), tt);
+        }
+    }
+
+    #[test]
+    fn swap_is_involutive_on_the_order() {
+        let (mut m, _f) = build_majority();
+        let before = m.current_order();
+        m.swap_levels(1);
+        assert_ne!(m.current_order(), before);
+        m.swap_levels(1);
+        assert_eq!(m.current_order(), before);
+    }
+
+    #[test]
+    fn swap_keeps_ops_working_afterwards() {
+        let (mut m, f) = build_majority();
+        m.swap_levels(0);
+        // New operations on the reordered manager must still be correct
+        // and canonical.
+        let g = m.not(f);
+        let h = m.not(g);
+        assert_eq!(h, f);
+        let x0 = Var(0);
+        let ex = m.exists(f, x0);
+        let tt = truth_table(&m, ex, 3);
+        // ∃a. maj(a,b,c) = b + c
+        for (bits, &val) in tt.iter().enumerate() {
+            let (b, c) = (bits >> 1 & 1 == 1, bits >> 2 & 1 == 1);
+            assert_eq!(val, b || c);
+        }
+    }
+
+    #[test]
+    fn reorder_to_reaches_any_permutation() {
+        let (mut m, f) = build_majority();
+        let tt = truth_table(&m, f, 3);
+        m.reorder_to(&[Var(2), Var(0), Var(1)]);
+        assert_eq!(m.current_order(), vec![Var(2), Var(0), Var(1)]);
+        assert_eq!(m.level_of(Var(2)), 0);
+        assert!(!m.is_identity_order());
+        assert_eq!(truth_table(&m, f, 3), tt);
+        m.reorder_to(&[Var(0), Var(1), Var(2)]);
+        assert!(m.is_identity_order());
+        assert_eq!(truth_table(&m, f, 3), tt);
+    }
+
+    /// Σ xᵢ·yᵢ with all the x's declared before all the y's: exponential
+    /// in the declaration order, linear once interleaved.
+    fn separated_inner_product(m: &mut BddManager, n: usize) -> Bdd {
+        let xs: Vec<Var> = (0..n).map(|_| m.new_var()).collect();
+        let ys: Vec<Var> = (0..n).map(|_| m.new_var()).collect();
+        let mut acc = Bdd::FALSE;
+        for i in 0..n {
+            let (vx, vy) = (m.var(xs[i]), m.var(ys[i]));
+            let t = m.and(vx, vy);
+            acc = m.or(acc, t);
+        }
+        acc
+    }
+
+    #[test]
+    fn sifting_shrinks_a_separated_inner_product() {
+        let mut m = BddManager::new();
+        let f = separated_inner_product(&mut m, 6);
+        let tt = truth_table(&m, f, 12);
+        let (before, after) = m.sift(&[f], 150, usize::MAX);
+        assert!(
+            after * 2 <= before,
+            "sifting should at least halve {before} live nodes, got {after}"
+        );
+        assert_eq!(truth_table(&m, f, 12), tt);
+        assert_eq!(m.reorder_stats().reorders, 1);
+        assert_eq!(m.reorder_stats().nodes_before, before);
+        assert_eq!(m.reorder_stats().nodes_after, after);
+    }
+
+    #[test]
+    fn sift_is_deterministic() {
+        let run = || {
+            let mut m = BddManager::new();
+            let f = separated_inner_product(&mut m, 5);
+            m.sift(&[f], 150, usize::MAX);
+            (m.current_order(), m.live_size(&[f]))
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn sift_respects_the_arena_abort() {
+        let mut m = BddManager::new();
+        let f = separated_inner_product(&mut m, 6);
+        let cap = m.node_count() + 8;
+        let tt = truth_table(&m, f, 12);
+        m.sift(&[f], 150, cap);
+        // Aborted or not, semantics and manager consistency must hold.
+        assert_eq!(truth_table(&m, f, 12), tt);
+        let g = m.not(f);
+        let h = m.not(g);
+        assert_eq!(h, f);
+    }
+
+    #[test]
+    fn set_order_on_fresh_manager_matches_reorder_to() {
+        let mut a = BddManager::new();
+        let mut b = BddManager::new();
+        for _ in 0..4 {
+            a.new_var();
+            b.new_var();
+        }
+        let order = [Var(3), Var(1), Var(0), Var(2)];
+        a.set_order(&order);
+        b.reorder_to(&order);
+        assert_eq!(a.current_order(), b.current_order());
+        assert_eq!(a.level_of(Var(3)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fresh manager")]
+    fn set_order_rejects_populated_managers() {
+        let mut m = BddManager::new();
+        let x = m.new_var();
+        let _ = m.var(x);
+        m.set_order(&[x]);
+    }
+
+    #[test]
+    fn check_pressure_fires_once_and_rearms() {
+        let mut m = BddManager::new();
+        m.set_reorder_policy(ReorderPolicy::OnPressure {
+            trigger_nodes: 8,
+            max_growth: 150,
+        });
+        let f = separated_inner_product(&mut m, 4);
+        assert!(m.pressure_pending());
+        assert!(m.check_pressure(&[f]));
+        assert_eq!(m.reorder_stats().reorders, 1);
+        // Re-armed above the post-sift arena: an immediate second call
+        // must not thrash.
+        assert!(!m.check_pressure(&[f]));
+        assert_eq!(m.reorder_stats().reorders, 1);
+    }
+
+    #[test]
+    fn check_pressure_is_inert_for_other_policies() {
+        let mut m = BddManager::new();
+        let f = separated_inner_product(&mut m, 4);
+        assert!(!m.check_pressure(&[f]));
+        m.set_reorder_policy(ReorderPolicy::Manual);
+        assert!(!m.check_pressure(&[f]));
+        assert_eq!(m.reorder_stats().reorders, 0);
+    }
+
+    #[test]
+    fn new_vars_may_follow_a_reorder() {
+        let (mut m, f) = build_majority();
+        m.reorder_to(&[Var(1), Var(2), Var(0)]);
+        let w = m.new_var();
+        assert_eq!(m.level_of(w), 3);
+        let vw = m.var(w);
+        let g = m.and(f, vw);
+        let tt = truth_table(&m, g, 4);
+        let tf = truth_table(&m, f, 3);
+        for bits in 0..16usize {
+            assert_eq!(tt[bits], tf[bits & 7] && bits >> 3 & 1 == 1);
+        }
+    }
+}

@@ -67,7 +67,7 @@ pub fn transfer(
     for (src_idx, &dv) in var_map.iter().enumerate() {
         dst_levels.push((dv, Var(src_idx as u32)));
     }
-    dst_levels.sort_by_key(|&(dv, _)| dv);
+    dst_levels.sort_by_key(|&(dv, _)| dst.level_of(dv));
 
     let support = src.support(f);
     for v in &support {

@@ -17,6 +17,10 @@
 //!                          degrades results to sound bounds (anytime mode)
 //!   --threads <N>          worker threads for anytime cone analysis;
 //!                          0 = one per core                         [default: 1]
+//!   --reorder <R>          off | manual | pressure: dynamic BDD variable
+//!                          reordering (sifting). Representation-only —
+//!                          reported delays and witnesses are identical for
+//!                          every setting                       [default: off]
 //!   --replay               simulate the 2-vector witness and report the
 //!                          observed last transition
 //!   --per-output           print the per-output breakdown
@@ -31,7 +35,7 @@ use std::process::ExitCode;
 
 use tbf_core::{
     analyze, floating_delay, sequences_delay, topological_delay, two_vector_delay, AnalysisPolicy,
-    DelayOptions, DelayReport, OutputStatus,
+    DelayOptions, DelayReport, OutputStatus, ReorderPolicy,
 };
 use tbf_logic::parsers::bench::parse_bench;
 use tbf_logic::parsers::blif::parse_blif;
@@ -48,9 +52,18 @@ struct Args {
     max_bdd: Option<usize>,
     time_budget_ms: Option<u64>,
     threads: usize,
+    reorder: ReorderPolicy,
     replay: bool,
     per_output: bool,
 }
+
+/// The `--reorder pressure` trigger: sift once the manager holds this
+/// many nodes, then re-arm at twice the post-sift count.
+const PRESSURE_TRIGGER_NODES: usize = 50_000;
+
+/// The `--reorder pressure` growth tolerance (percent of the starting
+/// live size a sift may transiently cost while exploring).
+const PRESSURE_MAX_GROWTH: usize = 120;
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -62,6 +75,7 @@ fn parse_args() -> Result<Args, String> {
         max_bdd: None,
         time_budget_ms: None,
         threads: 1,
+        reorder: ReorderPolicy::None,
         replay: false,
         per_output: false,
     };
@@ -106,6 +120,21 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--threads: {e}"))?
             }
+            "--reorder" => {
+                args.reorder = match value("--reorder")?.as_str() {
+                    "off" => ReorderPolicy::None,
+                    "manual" => ReorderPolicy::Manual,
+                    "pressure" => ReorderPolicy::OnPressure {
+                        trigger_nodes: PRESSURE_TRIGGER_NODES,
+                        max_growth: PRESSURE_MAX_GROWTH,
+                    },
+                    other => {
+                        return Err(format!(
+                            "--reorder must be off, manual or pressure, got `{other}`"
+                        ))
+                    }
+                }
+            }
             "--replay" => args.replay = true,
             "--per-output" => args.per_output = true,
             "--help" | "-h" => return Err("help".into()),
@@ -129,8 +158,8 @@ fn usage() {
     eprintln!(
         "usage: tbf [--model two-vector|sequences|floating|anytime|all] \
          [--delays unit|mcnc] [--dmin-ratio F] [--max-paths N] [--max-bdd N] \
-         [--time-budget MS] [--threads N] [--replay] [--per-output] \
-         <netlist.bench|netlist.blif>"
+         [--time-budget MS] [--threads N] [--reorder off|manual|pressure] \
+         [--replay] [--per-output] <netlist.bench|netlist.blif>"
     );
 }
 
@@ -219,6 +248,7 @@ fn main() -> ExitCode {
     if let Some(ms) = args.time_budget_ms {
         options.time_budget = Some(std::time::Duration::from_millis(ms));
     }
+    options.reorder = args.reorder;
 
     println!(
         "{}: {} gates, {} inputs, {} outputs",

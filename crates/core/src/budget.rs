@@ -104,6 +104,7 @@ pub struct AnalysisBudget {
     token: Option<CancelToken>,
     polls: AtomicU64,
     tripped: AtomicU8,
+    reorder: tbf_bdd::ReorderPolicy,
 }
 
 impl AnalysisBudget {
@@ -123,6 +124,7 @@ impl AnalysisBudget {
             token: None,
             polls: AtomicU64::new(0),
             tripped: AtomicU8::new(TRIP_NONE),
+            reorder: options.reorder,
         }
     }
 
@@ -163,6 +165,7 @@ impl AnalysisBudget {
             token: self.token.clone(),
             polls: AtomicU64::new(0),
             tripped: AtomicU8::new(TRIP_NONE),
+            reorder: options.reorder,
         }
     }
 
@@ -221,6 +224,11 @@ impl AnalysisBudget {
     /// The configured time budget, if any.
     pub fn time_budget(&self) -> Option<Duration> {
         self.time_budget
+    }
+
+    /// The configured variable-reordering policy.
+    pub fn reorder(&self) -> tbf_bdd::ReorderPolicy {
+        self.reorder
     }
 
     fn trip(&self, cause: Interrupt) {

@@ -5,14 +5,20 @@
 //! [`analyze`] runs every output cone down a ladder of rungs:
 //!
 //! 1. **Exact** 2-vector analysis under the configured caps.
-//! 2. **Retry** with escalated caps after a manager reset, up to
+//! 2. **Reorder and retry** (only when [`DelayOptions::reorder`] is not
+//!    [`ReorderPolicy::None`], and only for a blown node cap): rebuild the
+//!    engine, sift the static functions to a better variable order, and
+//!    rerun the exact search once under the *same* caps — a bad order is
+//!    often the whole reason the cap blew, and sifting is far cheaper than
+//!    a cap escalation.
+//! 3. **Retry** with escalated caps after a manager reset, up to
 //!    [`AnalysisPolicy::max_retries`] times (resource caps only — a spent
 //!    deadline cannot be escalated away).
-//! 3. **Sequences upper bound**: the ω⁻ delay dominates the 2-vector
+//! 4. **Sequences upper bound**: the ω⁻ delay dominates the 2-vector
 //!    delay (more switching freedom can only delay the last transition)
 //!    and needs no cube enumeration or LP, so it often fits in caps the
 //!    exact search blew.
-//! 4. **Topological bound**: always available, maximally pessimistic.
+//! 5. **Topological bound**: always available, maximally pessimistic.
 //!
 //! # Parallel cone analysis
 //!
@@ -46,6 +52,7 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use tbf_bdd::ReorderPolicy;
 use tbf_logic::transform::extract_cone_slice;
 use tbf_logic::{Netlist, NodeId, Time};
 
@@ -493,21 +500,42 @@ fn cone_ladder(
     budget: &Arc<AnalysisBudget>,
     stats: &mut SearchStats,
 ) -> (OutputDelay, Option<(Time, WitnessParts)>) {
+    let mut engine: Option<Engine<'_>> = None;
+    let result = cone_rungs(job, policy, budget, stats, &mut engine);
+    // Teardown: reorder effort lives in the engine (it survives manager
+    // rebuilds); fold it into the cone's stats. Lost when the final rung
+    // panicked and dropped the engine — telemetry only, never a result.
+    if let Some(eng) = engine.as_ref() {
+        stats.absorb_reorder(eng.total_reorder_stats());
+    }
+    result
+}
+
+/// The ladder proper; `engine` is owned by [`cone_ladder`] so telemetry
+/// can be folded out of it after the final rung.
+fn cone_rungs<'a>(
+    job: &'a ConeJob,
+    policy: &AnalysisPolicy,
+    budget: &Arc<AnalysisBudget>,
+    stats: &mut SearchStats,
+    engine: &mut Option<Engine<'a>>,
+) -> (OutputDelay, Option<(Time, WitnessParts)>) {
     let cone = &job.cone;
     let out_id = job.out_id;
     let name = job.name.as_str();
     let topological = cone.topological_delay_of(out_id);
-    let mut engine: Option<Engine<'_>> = None;
     let mut lower = Time::ZERO;
     let mut upper = topological;
     let mut cause;
     let mut panicked = false;
     let mut have_error_bound = false;
 
-    // Rungs 1–2: exact search, retried with escalated caps.
+    // Rungs 1–3: exact search, retried after a reorder and then with
+    // escalated caps.
     let mut attempts = 0usize;
+    let mut reordered = false;
     loop {
-        if let Err(e) = ensure_engine(cone, budget, &mut engine) {
+        if let Err(e) = ensure_engine(cone, budget, engine) {
             cause = DegradeCause::from_error(&e).unwrap_or(DegradeCause::InternalInvariant);
             if let Some((lo, hi)) = e.bounds() {
                 lower = lower.max(lo);
@@ -517,7 +545,7 @@ fn cone_ladder(
             break;
         }
         let attempt: Attempt<(Time, Option<WitnessParts>)> =
-            run_rung(&mut engine, policy.catch_panics, |eng| {
+            run_rung(engine, policy.catch_panics, |eng| {
                 if fault::trip(Site::ConeStart) {
                     panic!("injected engine panic (fault site ConeStart)");
                 }
@@ -546,6 +574,23 @@ fn cone_ladder(
                     upper = upper.min(hi);
                     have_error_bound = true;
                 }
+                // Rung 2: a blown node cap is often an ordering problem,
+                // not a size problem — sift the statics into a better
+                // order and rerun once under the *same* caps before
+                // spending an escalation. Does not consume an attempt.
+                if cause == DegradeCause::BddTooLarge
+                    && policy.options.reorder != ReorderPolicy::None
+                    && !reordered
+                {
+                    reordered = true;
+                    stats.retries += 1;
+                    if let Some(eng) = engine.as_mut() {
+                        if eng.reorder_and_reset().is_err() {
+                            *engine = None;
+                        }
+                    }
+                    continue;
+                }
                 let retryable = matches!(
                     cause,
                     DegradeCause::TooManyPaths
@@ -560,7 +605,7 @@ fn cone_ladder(
                     // the new caps; a failed reset forces a fresh engine.
                     if let Some(eng) = engine.as_mut() {
                         if eng.reset().is_err() {
-                            engine = None;
+                            *engine = None;
                         }
                     }
                     continue;
@@ -570,16 +615,16 @@ fn cone_ladder(
         }
     }
 
-    // Rung 3: sequences upper bound. Skipped after a panic (a panicking
+    // Rung 4: sequences upper bound. Skipped after a panic (a panicking
     // engine degrades straight to the topological bound), when disabled,
     // and once the budget is interrupted (it would fail identically at
     // its first poll).
     if policy.sequences_fallback
         && !panicked
         && budget.cause().is_none()
-        && ensure_engine(cone, budget, &mut engine).is_ok()
+        && ensure_engine(cone, budget, engine).is_ok()
     {
-        let attempt: Attempt<Time> = run_rung(&mut engine, policy.catch_panics, |eng| {
+        let attempt: Attempt<Time> = run_rung(engine, policy.catch_panics, |eng| {
             crate::sequences::cone_delay(cone, eng, out_id, stats)
         });
         match attempt {
@@ -605,7 +650,7 @@ fn cone_ladder(
         }
     }
 
-    // Rung 4: bounds from the failed search if it established any, else
+    // Rung 5: bounds from the failed search if it established any, else
     // the bare topological fallback.
     let entry = if have_error_bound && (upper < topological || lower > Time::ZERO) {
         OutputDelay {

@@ -52,7 +52,7 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-use tbf_bdd::{Bdd, BddManager, OpAbort, OpBudget, Var};
+use tbf_bdd::{Bdd, BddManager, OpAbort, OpBudget, ReorderPolicy, ReorderStats, Var};
 use tbf_logic::{Netlist, NodeId, Time};
 
 use crate::budget::AnalysisBudget;
@@ -180,6 +180,11 @@ fn dfs_input_order(netlist: &Netlist) -> Vec<usize> {
 /// memoization.
 const MAX_BUILD_CALLS: usize = 5_000_000;
 
+/// Growth tolerance (percent of the starting live size) for the sifting
+/// passes the engine runs itself — one-shot sifts at safe points, where a
+/// moderately adventurous search pays off.
+const MANUAL_SIFT_GROWTH: usize = 120;
+
 /// Classification rule: which leaf references need their own variable.
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Mode {
@@ -232,6 +237,9 @@ pub(crate) struct Engine<'a> {
     /// All `x⁺`/`x⁻` variables (for the ∃-projection onto resolvents).
     pub input_vars: Vec<Var>,
     statics_baseline: usize,
+    /// Reorder effort folded in from managers this engine has already
+    /// replaced (layout rebuilds drop the manager but not its telemetry).
+    carried_reorder: ReorderStats,
     /// Whether any gate has fixed delay. When every gate delay is
     /// variable, two distinct suffixes can never share a k-function
     /// (equal variable-gate multisets in a DAG force equal paths), so
@@ -257,6 +265,7 @@ impl<'a> Engine<'a> {
             static_before: Vec::new(),
             input_vars: Vec::new(),
             statics_baseline: 0,
+            carried_reorder: ReorderStats::default(),
             memo_useful: netlist.nodes().any(|(_, n)| {
                 !n.kind().is_input() && !n.kind().is_constant() && !n.delay().is_variable()
             }),
@@ -267,10 +276,24 @@ impl<'a> Engine<'a> {
 
     /// (Re)creates the manager: interleaved variables, then both statics.
     fn layout(&mut self) -> Result<(), BuildAbort> {
+        self.layout_with_order(None)
+    }
+
+    /// [`layout`](Self::layout), optionally installing a variable order on
+    /// the fresh manager before any node is built. All variables are
+    /// declared first (the DFS-interleaved creation order is the stable
+    /// identity), then the order is applied, then the leaf literals and
+    /// statics are constructed under it.
+    ///
+    /// Reorder telemetry of the manager being replaced is folded into
+    /// [`carried_reorder`](Self::total_reorder_stats) so rebuilds never
+    /// lose effort accounting.
+    fn layout_with_order(&mut self, order: Option<&[Var]>) -> Result<(), BuildAbort> {
+        self.carried_reorder.merge(&self.manager.reorder_stats());
         let n_inputs = self.netlist.inputs().len();
         let mut manager = BddManager::new();
-        let mut after_leaf = vec![Bdd::FALSE; n_inputs];
-        let mut before_leaf = vec![Bdd::FALSE; n_inputs];
+        let mut after_var: Vec<Option<Var>> = vec![None; n_inputs];
+        let mut before_var: Vec<Option<Var>> = vec![None; n_inputs];
         let mut slot_vars = vec![Vec::new(); n_inputs];
         let mut input_vars = Vec::with_capacity(2 * n_inputs);
         for &pos in &self.timing.input_order {
@@ -283,12 +306,28 @@ impl<'a> Engine<'a> {
             let vb = manager.new_named_var(&format!("{name}-"));
             input_vars.push(va);
             input_vars.push(vb);
-            after_leaf[pos] = manager.var(va);
-            before_leaf[pos] = manager.var(vb);
+            after_var[pos] = Some(va);
+            before_var[pos] = Some(vb);
             slot_vars[pos] = (0..self.slots)
                 .map(|j| manager.new_named_var(&format!("s_{name}_{j}")))
                 .collect();
         }
+        // The manager still holds only the two terminals here, so a
+        // remembered order can be installed without any node rewriting.
+        if let Some(ord) = order {
+            manager.set_order(ord);
+        }
+        let policy = self.budget.reorder();
+        manager.set_reorder_policy(policy);
+        let unwrap_var = |v: &Option<Var>| v.expect("input_order is a permutation of inputs");
+        let after_leaf: Vec<Bdd> = after_var
+            .iter()
+            .map(|v| manager.var(unwrap_var(v)))
+            .collect();
+        let before_leaf: Vec<Bdd> = before_var
+            .iter()
+            .map(|v| manager.var(unwrap_var(v)))
+            .collect();
         let bud = self.budget.clone();
         let probe = move || bud.interrupted();
         let op_budget = OpBudget::with_cancel(self.budget.max_bdd_nodes(), &probe);
@@ -296,6 +335,13 @@ impl<'a> Engine<'a> {
             .map_err(BuildAbort::from_op)?;
         let static_before = build_statics(&mut manager, self.netlist, &before_leaf, &op_budget)
             .map_err(BuildAbort::from_op)?;
+        if order.is_none() && policy == ReorderPolicy::Manual {
+            // One sift of the statics right after layout: the cheapest
+            // point to pick an order, before queries multiply the nodes.
+            let roots = Self::static_roots(&static_after, &static_before);
+            let abort = manager.sift_abort_bound(&roots);
+            manager.sift(&roots, MANUAL_SIFT_GROWTH, abort);
+        }
         self.statics_baseline = manager.node_count();
         self.manager = manager;
         self.after_leaf = after_leaf;
@@ -305,6 +351,35 @@ impl<'a> Engine<'a> {
         self.static_before = static_before;
         self.input_vars = input_vars;
         Ok(())
+    }
+
+    fn static_roots(static_after: &[Bdd], static_before: &[Bdd]) -> Vec<Bdd> {
+        let mut roots = Vec::with_capacity(static_after.len() + static_before.len());
+        roots.extend_from_slice(static_after);
+        roots.extend_from_slice(static_before);
+        roots
+    }
+
+    /// The reorder-and-retry rung of the degradation ladder: rebuild a
+    /// compact manager, sift the statics to find a better order, then
+    /// rebuild once more under that order so the retry starts from a
+    /// dense arena. Handles from before the call are invalid (as after
+    /// [`reset`](Self::reset)).
+    pub fn reorder_and_reset(&mut self) -> Result<(), BuildAbort> {
+        self.layout_with_order(None)?;
+        let roots = Self::static_roots(&self.static_after, &self.static_before);
+        let abort = self.manager.sift_abort_bound(&roots);
+        self.manager.sift(&roots, MANUAL_SIFT_GROWTH, abort);
+        let order = self.manager.current_order();
+        self.layout_with_order(Some(&order))
+    }
+
+    /// Reorder effort across the engine's whole life, including managers
+    /// already replaced by layout rebuilds.
+    pub fn total_reorder_stats(&self) -> ReorderStats {
+        let mut rs = self.carried_reorder;
+        rs.merge(&self.manager.reorder_stats());
+        rs
     }
 
     /// Drops dead nodes accumulated by past queries once they pile up
@@ -631,6 +706,25 @@ impl<'a> Engine<'a> {
                     .map_err(BuildAbort::from_op)?;
                 if let Some(k) = memo_key {
                     self.memo.insert(k, result);
+                }
+                // Safe point: the gate's BDD call is complete, so an
+                // on-pressure sift may rewrite the arena here. Handles
+                // held by parent frames survive any reorder; the roots
+                // only steer the live-size metric.
+                if manager.pressure_pending() {
+                    let mut roots: Vec<Bdd> = Vec::with_capacity(
+                        self.static_after.len()
+                            + self.static_before.len()
+                            + self.leaf_of_key.len()
+                            + self.memo.len()
+                            + 1,
+                    );
+                    roots.extend_from_slice(self.static_after);
+                    roots.extend_from_slice(self.static_before);
+                    roots.extend(self.leaf_of_key.values().copied());
+                    roots.extend(self.memo.values().copied());
+                    roots.push(result);
+                    manager.check_pressure(&roots);
                 }
                 Ok(result)
             }

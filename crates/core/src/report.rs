@@ -140,7 +140,12 @@ impl OutputDelay {
 
 /// Search-effort counters, reported for the paper's CPU-time-style table
 /// columns and for regression tracking.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+///
+/// Equality is *semantic*: representation-dependent telemetry —
+/// `peak_bdd_nodes` and the `reorder_*` fields — is excluded, so two
+/// reports compare equal whenever the search did the same logical work,
+/// whatever the variable order or thread count happened to be.
+#[derive(Clone, Debug, Default)]
 pub struct SearchStats {
     /// Breakpoints (`Kᵢᵐᵃˣ` values) examined across all outputs.
     pub breakpoints_visited: usize,
@@ -150,7 +155,8 @@ pub struct SearchStats {
     pub lps_solved: usize,
     /// Peak BDD node count.
     pub peak_bdd_nodes: usize,
-    /// Ladder retries (cap escalation + engine reset) attempted.
+    /// Ladder retries (reorder-and-retry or cap escalation + engine
+    /// reset) attempted.
     pub retries: usize,
     /// Cones that fell back to the sequences-delay upper bound.
     pub sequences_fallbacks: usize,
@@ -158,7 +164,32 @@ pub struct SearchStats {
     pub topological_fallbacks: usize,
     /// Engine panics caught and isolated by the driver.
     pub panics_caught: usize,
+    /// Variable-reordering (sifting) passes run.
+    pub reorders: usize,
+    /// Sum of live BDD node counts just before each sift.
+    pub reorder_nodes_before: usize,
+    /// Sum of live BDD node counts just after each sift.
+    pub reorder_nodes_after: usize,
+    /// Wall-clock milliseconds spent sifting.
+    pub reorder_time_ms: u64,
 }
+
+impl PartialEq for SearchStats {
+    fn eq(&self, other: &Self) -> bool {
+        // Deliberately skips peak_bdd_nodes, reorders,
+        // reorder_nodes_before/after and reorder_time_ms: those describe
+        // the representation and the wall clock, not the search.
+        self.breakpoints_visited == other.breakpoints_visited
+            && self.resolvents == other.resolvents
+            && self.lps_solved == other.lps_solved
+            && self.retries == other.retries
+            && self.sequences_fallbacks == other.sequences_fallbacks
+            && self.topological_fallbacks == other.topological_fallbacks
+            && self.panics_caught == other.panics_caught
+    }
+}
+
+impl Eq for SearchStats {}
 
 impl SearchStats {
     /// Folds another cone's counters into this one: effort counters add,
@@ -173,6 +204,18 @@ impl SearchStats {
         self.sequences_fallbacks += other.sequences_fallbacks;
         self.topological_fallbacks += other.topological_fallbacks;
         self.panics_caught += other.panics_caught;
+        self.reorders += other.reorders;
+        self.reorder_nodes_before += other.reorder_nodes_before;
+        self.reorder_nodes_after += other.reorder_nodes_after;
+        self.reorder_time_ms += other.reorder_time_ms;
+    }
+
+    /// Folds a BDD manager's reordering counters into this record.
+    pub(crate) fn absorb_reorder(&mut self, rs: tbf_bdd::ReorderStats) {
+        self.reorders += rs.reorders;
+        self.reorder_nodes_before += rs.nodes_before;
+        self.reorder_nodes_after += rs.nodes_after;
+        self.reorder_time_ms += rs.time_ms;
     }
 }
 
@@ -323,6 +366,44 @@ mod tests {
         };
         assert!(!fallback.is_exact());
         assert_eq!(fallback.bounds(), (Time::ZERO, t(8)));
+    }
+
+    #[test]
+    fn stats_equality_ignores_representation_telemetry() {
+        let a = SearchStats {
+            peak_bdd_nodes: 10,
+            reorders: 2,
+            reorder_nodes_before: 500,
+            reorder_nodes_after: 100,
+            reorder_time_ms: 3,
+            ..SearchStats::default()
+        };
+        let b = SearchStats {
+            peak_bdd_nodes: 99,
+            ..SearchStats::default()
+        };
+        assert_eq!(a, b, "representation telemetry must not affect equality");
+        let c = SearchStats {
+            lps_solved: 1,
+            ..SearchStats::default()
+        };
+        assert_ne!(a, c, "search-effort counters still distinguish");
+    }
+
+    #[test]
+    fn merge_adds_reorder_counters() {
+        let mut a = SearchStats {
+            reorders: 1,
+            reorder_nodes_before: 10,
+            reorder_nodes_after: 4,
+            reorder_time_ms: 2,
+            ..SearchStats::default()
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.reorders, 2);
+        assert_eq!(a.reorder_nodes_before, 20);
+        assert_eq!(a.reorder_nodes_after, 8);
+        assert_eq!(a.reorder_time_ms, 4);
     }
 
     #[test]

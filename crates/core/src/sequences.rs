@@ -93,6 +93,7 @@ pub(crate) fn sequences_delay_budgeted(
             }
         }
     }
+    stats.absorb_reorder(engine.total_reorder_stats());
     finish_report(netlist, outputs, None, stats, first_error)
 }
 

@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use tbf_bdd::{OpAbort, OpBudget};
+use tbf_bdd::{transfer, Bdd, BddManager, Cube, OpAbort, OpBudget, Var};
 use tbf_logic::paths::next_breakpoint;
 use tbf_logic::{Netlist, NodeId, Time};
 use tbf_lp::{PathLp, PathLpOutcome};
@@ -100,6 +100,7 @@ pub(crate) fn two_vector_delay_budgeted(
             }
         }
     }
+    stats.absorb_reorder(engine.total_reorder_stats());
     finish_report(netlist, outputs, witness, stats, first_error)
 }
 
@@ -274,17 +275,7 @@ fn check_interval(
 
     // Materialize the cubes first: witness extraction below needs the
     // manager mutably. The cap bounds the allocation.
-    let mut cubes = Vec::new();
-    for cube in engine.manager.cubes(projected) {
-        if cubes.len() >= engine.budget.max_cubes() || fault::trip(Site::CubeEnum) {
-            return Err(DelayError::TooManyCubes {
-                limit: engine.budget.max_cubes(),
-                at_breakpoint: b,
-                bounds: (Time::ZERO, b),
-            });
-        }
-        cubes.push(cube);
-    }
+    let cubes = canonical_cubes(engine, projected, b)?;
     let mut best: Option<(Time, WitnessParts)> = None;
     for (cube_idx, cube) in cubes.iter().enumerate() {
         // LP chains can dominate a breakpoint; honor the budget here too.
@@ -330,6 +321,65 @@ fn check_interval(
         }
     }
     Ok(best)
+}
+
+/// Enumerates the difference cubes of `projected` in the canonical
+/// (variable-identity) order, regardless of how the manager is currently
+/// ordered.
+///
+/// Cube enumeration walks the ROBDD top-down, so the cube *sequence*
+/// follows the current variable order — and the sequence decides LP
+/// tie-breaks, the early exit at `t = b`, and which cubes a `max_cubes`
+/// overflow truncates. To keep reports byte-identical under every
+/// [`ReorderPolicy`](tbf_bdd::ReorderPolicy), a reordered manager's
+/// function is first rebuilt in an identity-ordered scratch manager
+/// (canonicity makes the rebuilt ROBDD — hence the cube sequence —
+/// exactly the one an unreordered run enumerates).
+pub(crate) fn canonical_cubes(
+    engine: &mut Engine<'_>,
+    projected: Bdd,
+    b: Time,
+) -> Result<Vec<Cube>, DelayError> {
+    let too_many = |limit: usize| DelayError::TooManyCubes {
+        limit,
+        at_breakpoint: b,
+        bounds: (Time::ZERO, b),
+    };
+    let max_cubes = engine.budget.max_cubes();
+    let mut cubes = Vec::new();
+    let push = |cubes: &mut Vec<Cube>, cube: Cube| -> Result<(), DelayError> {
+        if cubes.len() >= max_cubes || fault::trip(Site::CubeEnum) {
+            return Err(too_many(max_cubes));
+        }
+        cubes.push(cube);
+        Ok(())
+    };
+    if engine.manager.is_identity_order() {
+        for cube in engine.manager.cubes(projected) {
+            push(&mut cubes, cube)?;
+        }
+    } else {
+        let mut scratch = BddManager::new();
+        let var_map: Vec<Var> = (0..engine.manager.var_count())
+            .map(|_| scratch.new_var())
+            .collect();
+        let moved = transfer(
+            &mut engine.manager,
+            projected,
+            &mut scratch,
+            &var_map,
+            engine.budget.max_bdd_nodes(),
+        )
+        .map_err(|e| DelayError::BddTooLarge {
+            limit: e.limit,
+            at_breakpoint: b,
+            bounds: (Time::ZERO, b),
+        })?;
+        for cube in scratch.cubes(moved) {
+            push(&mut cubes, cube)?;
+        }
+    }
+    Ok(cubes)
 }
 
 /// Derives a concrete sensitizing scenario for a winning cube.
@@ -379,7 +429,10 @@ fn extract_witness(
     if fault::trip(Site::XorSat) {
         g = tbf_bdd::Bdd::FALSE;
     }
-    let sat = engine.manager.any_sat_cube(g).ok_or(DelayError::Internal {
+    // The lexicographically minimal satisfying cube (in variable-identity
+    // order) is order-independent, so the witness stays byte-identical
+    // under any reorder policy.
+    let sat = engine.manager.min_sat_cube(g).ok_or(DelayError::Internal {
         detail: "witness extraction: xor BDD unsatisfiable in a feasible interval",
         at_breakpoint: b,
         bounds: (Time::ZERO, b),
