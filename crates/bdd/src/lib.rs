@@ -40,12 +40,13 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod cube;
 mod limit;
 mod manager;
 mod node;
+mod obs;
 mod ops;
 mod reorder;
 mod transfer;

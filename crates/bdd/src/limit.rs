@@ -171,8 +171,10 @@ impl BddManager {
             return Ok(Bdd::FALSE);
         }
         if let Some(&r) = self.not_cache.get(&f) {
+            self.obs_cache_hit();
             return Ok(r);
         }
+        self.obs_cache_miss();
         let n = self.node(f);
         let lo = self.try_not_b(n.lo, budget)?;
         let hi = self.try_not_b(n.hi, budget)?;
@@ -209,6 +211,7 @@ impl BddManager {
         h: Bdd,
         budget: &OpBudget<'_>,
     ) -> Result<Bdd, OpAbort> {
+        self.obs_ite_call();
         if f.is_true() {
             return Ok(g);
         }
@@ -226,8 +229,10 @@ impl BddManager {
         }
         let key = (f, g, h);
         if let Some(&r) = self.ite_cache.get(&key) {
+            self.obs_cache_hit();
             return Ok(r);
         }
+        self.obs_cache_miss();
         // Mirrors `ite`: split on the variable at the topmost order
         // position among the three roots.
         let top = self.blevel(f).min(self.blevel(g)).min(self.blevel(h));
@@ -338,8 +343,10 @@ impl BddManager {
         }
         let key = (f, v.0, true);
         if let Some(&r) = self.quant_cache.get(&key) {
+            self.obs_cache_hit();
             return Ok(r);
         }
+        self.obs_cache_miss();
         let r = if n.var == v.0 {
             self.try_or_b(n.lo, n.hi, budget)?
         } else {

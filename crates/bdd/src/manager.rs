@@ -58,6 +58,10 @@ pub struct BddManager {
     /// per-swap candidate scan from O(arena) into O(nodes of one var).
     pub(crate) var_nodes: Vec<Vec<u32>>,
     pub(crate) reorder_stats: crate::reorder::ReorderStats,
+    /// Shared effort-counter registry (see [`crate::obs`]); `None` until
+    /// [`set_counters`](Self::set_counters) installs one.
+    #[cfg(feature = "obs")]
+    pub(crate) counters: Option<std::sync::Arc<tbf_obs::Counters>>,
 }
 
 impl BddManager {
@@ -84,6 +88,8 @@ impl BddManager {
             pressure_trigger: 0,
             var_nodes: Vec::new(),
             reorder_stats: crate::reorder::ReorderStats::default(),
+            #[cfg(feature = "obs")]
+            counters: None,
         }
     }
 
@@ -157,9 +163,11 @@ impl BddManager {
             return lo;
         }
         let node = Node { var, lo, hi };
+        self.obs_unique_probe();
         if let Some(&b) = self.unique.get(&node) {
             return b;
         }
+        self.obs_node_alloc();
         let id = Bdd(u32::try_from(self.nodes.len()).expect("BDD node index overflow"));
         self.nodes.push(node);
         self.unique.insert(node, id);
@@ -424,6 +432,7 @@ impl BddManager {
     /// Clears all operation caches (unique table is kept, canonicity is
     /// unaffected). Useful to bound memory between delay-search intervals.
     pub fn clear_op_caches(&mut self) {
+        self.obs_gc_run();
         self.ite_cache.clear();
         self.not_cache.clear();
         self.quant_cache.clear();

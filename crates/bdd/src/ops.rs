@@ -14,8 +14,10 @@ impl BddManager {
             return Bdd::FALSE;
         }
         if let Some(&r) = self.not_cache.get(&f) {
+            self.obs_cache_hit();
             return r;
         }
+        self.obs_cache_miss();
         let n = self.node(f);
         let lo = self.not(n.lo);
         let hi = self.not(n.hi);
@@ -27,6 +29,7 @@ impl BddManager {
     /// If-then-else: `f·g + f̄·h`. The primitive from which the binary
     /// connectives are derived.
     pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Bdd {
+        self.obs_ite_call();
         // Terminal cases.
         if f.is_true() {
             return g;
@@ -45,8 +48,10 @@ impl BddManager {
         }
         let key = (f, g, h);
         if let Some(&r) = self.ite_cache.get(&key) {
+            self.obs_cache_hit();
             return r;
         }
+        self.obs_cache_miss();
         // `top` is an order *position*; recursion splits on the variable
         // currently at that position.
         let top = self.blevel(f).min(self.blevel(g)).min(self.blevel(h));
@@ -154,8 +159,10 @@ impl BddManager {
         }
         let key = (f, v.0, existential);
         if let Some(&r) = self.quant_cache.get(&key) {
+            self.obs_cache_hit();
             return r;
         }
+        self.obs_cache_miss();
         let r = if n.var == v.0 {
             if existential {
                 self.or(n.lo, n.hi)
@@ -187,8 +194,10 @@ impl BddManager {
         }
         let key = (f, v.0, g);
         if let Some(&r) = self.compose_cache.get(&key) {
+            self.obs_cache_hit();
             return r;
         }
+        self.obs_cache_miss();
         let r = if n.var == v.0 {
             self.ite(g, n.hi, n.lo)
         } else {

@@ -152,6 +152,7 @@ impl BddManager {
             l + 1 < self.var_count(),
             "swap_levels: position {l} is not above another level"
         );
+        self.obs_sift_swap();
         let x = self.level2var[l];
         let y = self.level2var[l + 1];
         // Only nodes rooted at `x` can change, so scan the per-variable
@@ -270,6 +271,7 @@ impl BddManager {
         let started = std::time::Instant::now();
         let n = self.var_count();
         let before = self.live_size(roots);
+        self.obs_sift_live(before);
         if n >= 2 && before > 0 {
             for v in self.vars_by_live_count(roots) {
                 self.sift_one(v, roots, max_growth_percent, abort_nodes);

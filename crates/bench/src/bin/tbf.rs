@@ -24,24 +24,50 @@
 //!   --replay               simulate the 2-vector witness and report the
 //!                          observed last transition
 //!   --per-output           print the per-output breakdown
+//!   --emit-metrics <PATH>  write the machine-readable run artifact (JSON)
+//!                          to PATH; `-` streams it to stdout and implies
+//!                          --quiet plus suppression of the human report
+//!   --quiet                suppress stderr diagnostics
 //! ```
 //!
 //! The `anytime` model runs the graceful-degradation driver
 //! ([`tbf_core::analyze`]): it never fails — outputs that blow a cap,
 //! the deadline, or even panic the engine are reported with sound
 //! `[lower, upper]` bounds and the cause of the degradation.
+//!
+//! The run artifact is a [`tbf_obs::RunArtifact`]: a schema-versioned
+//! JSON document whose every section except the trailing `timing` one is
+//! byte-identical across `--threads` and `--reorder off|pressure`
+//! settings (see `DESIGN.md` §13).
 
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use tbf_core::{
     analyze, floating_delay, sequences_delay, topological_delay, two_vector_delay, AnalysisPolicy,
-    DelayOptions, DelayReport, OutputStatus, ReorderPolicy,
+    CircuitReport, DelayOptions, DelayReport, OutputStatus, ReorderPolicy,
 };
 use tbf_logic::parsers::bench::parse_bench;
 use tbf_logic::parsers::blif::parse_blif;
 use tbf_logic::parsers::{mcnc_like_delays, unit_delays};
 use tbf_logic::{DelayBounds, Netlist};
+use tbf_obs::json::Value;
+use tbf_obs::{diag, Phase, RunArtifact};
 use tbf_sim::{simulate, Stimulus};
+
+/// Whether the human-readable report goes to stdout. Cleared when
+/// `--emit-metrics -` claims stdout for the JSON artifact.
+static HUMAN: AtomicBool = AtomicBool::new(true);
+
+/// `println!` for the human report, suppressed when stdout carries the
+/// machine-readable artifact (`--emit-metrics -`).
+macro_rules! say {
+    ($($t:tt)*) => {
+        if HUMAN.load(Ordering::Relaxed) {
+            println!($($t)*);
+        }
+    };
+}
 
 struct Args {
     netlist: String,
@@ -55,6 +81,8 @@ struct Args {
     reorder: ReorderPolicy,
     replay: bool,
     per_output: bool,
+    emit_metrics: Option<String>,
+    quiet: bool,
 }
 
 /// The `--reorder pressure` trigger: sift once the manager holds this
@@ -78,6 +106,8 @@ fn parse_args() -> Result<Args, String> {
         reorder: ReorderPolicy::None,
         replay: false,
         per_output: false,
+        emit_metrics: None,
+        quiet: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -137,8 +167,12 @@ fn parse_args() -> Result<Args, String> {
             }
             "--replay" => args.replay = true,
             "--per-output" => args.per_output = true,
+            "--emit-metrics" => args.emit_metrics = Some(value("--emit-metrics")?),
+            "--quiet" => args.quiet = true,
             "--help" | "-h" => return Err("help".into()),
-            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            other if other.starts_with('-') && other != "-" => {
+                return Err(format!("unknown flag {other}"))
+            }
             other => {
                 if args.netlist.is_empty() {
                     args.netlist = other.to_owned();
@@ -159,7 +193,8 @@ fn usage() {
         "usage: tbf [--model two-vector|sequences|floating|anytime|all] \
          [--delays unit|mcnc] [--dmin-ratio F] [--max-paths N] [--max-bdd N] \
          [--time-budget MS] [--threads N] [--reorder off|manual|pressure] \
-         [--replay] [--per-output] <netlist.bench|netlist.blif>"
+         [--replay] [--per-output] [--emit-metrics PATH|-] [--quiet] \
+         <netlist.bench|netlist.blif>"
     );
 }
 
@@ -184,7 +219,7 @@ fn load(args: &Args) -> Result<Netlist, String> {
 }
 
 fn print_report(label: &str, report: &DelayReport, per_output: bool) {
-    println!(
+    say!(
         "{label:<12} {:>10}   ({} breakpoints, {} resolvents, {} LPs, peak {} BDD nodes)",
         report.delay.to_string(),
         report.stats.breakpoints_visited,
@@ -211,13 +246,265 @@ fn print_output_line(o: &tbf_core::OutputDelay) {
         }
         OutputStatus::Fallback { cause } => format!(" (topological bound: {cause})"),
     };
-    println!(
+    say!(
         "    {:<24} {:>10}{}  (topological {})",
         o.name,
         o.delay.to_string(),
         note,
         o.topological
     );
+}
+
+/// The deterministic `results` entry of one per-output line.
+fn output_value(o: &tbf_core::OutputDelay) -> Value {
+    let status = match o.status {
+        OutputStatus::Exact => Value::str("exact"),
+        OutputStatus::Bounded {
+            lower,
+            upper,
+            cause,
+        } => Value::Obj(vec![
+            ("kind".to_owned(), Value::str("bounded")),
+            ("lower".to_owned(), Value::str(lower.to_string())),
+            ("upper".to_owned(), Value::str(upper.to_string())),
+            ("cause".to_owned(), Value::str(cause.to_string())),
+        ]),
+        OutputStatus::Fallback { cause } => Value::Obj(vec![
+            ("kind".to_owned(), Value::str("fallback")),
+            ("cause".to_owned(), Value::str(cause.to_string())),
+        ]),
+    };
+    Value::Obj(vec![
+        ("name".to_owned(), Value::str(&o.name)),
+        ("delay".to_owned(), Value::str(o.delay.to_string())),
+        (
+            "topological".to_owned(),
+            Value::str(o.topological.to_string()),
+        ),
+        ("status".to_owned(), status),
+    ])
+}
+
+/// The deterministic `results` entry of one engine report.
+fn report_value(r: &DelayReport) -> Value {
+    Value::Obj(vec![
+        ("delay".to_owned(), Value::str(r.delay.to_string())),
+        (
+            "topological".to_owned(),
+            Value::str(r.topological.to_string()),
+        ),
+        (
+            "breakpoints_visited".to_owned(),
+            Value::u64(r.stats.breakpoints_visited as u64),
+        ),
+        (
+            "resolvents".to_owned(),
+            Value::u64(r.stats.resolvents as u64),
+        ),
+        (
+            "lps_solved".to_owned(),
+            Value::u64(r.stats.lps_solved as u64),
+        ),
+        (
+            "peak_bdd_nodes".to_owned(),
+            Value::u64(r.stats.peak_bdd_nodes as u64),
+        ),
+        (
+            "outputs".to_owned(),
+            Value::Arr(r.outputs.iter().map(output_value).collect()),
+        ),
+    ])
+}
+
+/// The deterministic `results` entry of an anytime [`CircuitReport`].
+fn circuit_report_value(r: &CircuitReport) -> Value {
+    Value::Obj(vec![
+        ("lower".to_owned(), Value::str(r.lower.to_string())),
+        ("upper".to_owned(), Value::str(r.upper.to_string())),
+        (
+            "exact".to_owned(),
+            match r.exact {
+                Some(d) => Value::str(d.to_string()),
+                None => Value::Null,
+            },
+        ),
+        (
+            "topological".to_owned(),
+            Value::str(r.topological.to_string()),
+        ),
+        ("retries".to_owned(), Value::u64(r.stats.retries as u64)),
+        (
+            "sequences_fallbacks".to_owned(),
+            Value::u64(r.stats.sequences_fallbacks as u64),
+        ),
+        (
+            "topological_fallbacks".to_owned(),
+            Value::u64(r.stats.topological_fallbacks as u64),
+        ),
+        (
+            "panics_caught".to_owned(),
+            Value::u64(r.stats.panics_caught as u64),
+        ),
+        (
+            "outputs".to_owned(),
+            Value::Arr(r.outputs.iter().map(output_value).collect()),
+        ),
+    ])
+}
+
+/// The artifact's `circuit` section.
+fn circuit_value(path: &str, netlist: &Netlist) -> Value {
+    Value::Obj(vec![
+        ("path".to_owned(), Value::str(path)),
+        ("gates".to_owned(), Value::u64(netlist.gate_count() as u64)),
+        (
+            "inputs".to_owned(),
+            Value::u64(netlist.inputs().len() as u64),
+        ),
+        (
+            "outputs".to_owned(),
+            Value::u64(netlist.outputs().len() as u64),
+        ),
+    ])
+}
+
+/// The artifact's `policy` section (the resolved invocation knobs).
+fn policy_value(args: &Args, options: &DelayOptions) -> Value {
+    let reorder = match args.reorder {
+        ReorderPolicy::None => "off",
+        ReorderPolicy::Manual => "manual",
+        ReorderPolicy::OnPressure { .. } => "pressure",
+    };
+    Value::Obj(vec![
+        ("model".to_owned(), Value::str(&args.model)),
+        ("delays".to_owned(), Value::str(&args.delays)),
+        ("threads".to_owned(), Value::u64(args.threads as u64)),
+        ("reorder".to_owned(), Value::str(reorder)),
+        (
+            "max_straddling_paths".to_owned(),
+            Value::u64(options.max_straddling_paths as u64),
+        ),
+        (
+            "max_bdd_nodes".to_owned(),
+            Value::u64(options.max_bdd_nodes as u64),
+        ),
+        (
+            "time_budget_ms".to_owned(),
+            match args.time_budget_ms {
+                Some(ms) => Value::u64(ms),
+                None => Value::Null,
+            },
+        ),
+    ])
+}
+
+/// Runs the requested delay models, printing the human report (unless
+/// stdout carries the artifact) and collecting the deterministic
+/// `results` section. Returns the failure count alongside it.
+fn run_models(args: &Args, netlist: &Netlist, options: &DelayOptions) -> (u32, Value) {
+    let mut results: Vec<(String, Value)> = vec![(
+        "topological".to_owned(),
+        Value::str(topological_delay(netlist).to_string()),
+    )];
+    let want = |m: &str| args.model == m || args.model == "all";
+    let mut failures = 0;
+    if want("two-vector") {
+        let _phase = Phase::enter("two_vector");
+        match two_vector_delay(netlist, options) {
+            Ok(r) => {
+                print_report("two-vector", &r, args.per_output);
+                if args.replay {
+                    match &r.witness {
+                        Some(w) => {
+                            let stim = Stimulus::vector_pair(&w.before, &w.after);
+                            let sim = simulate(netlist, &w.delays, &stim.waveforms(netlist));
+                            let out = netlist
+                                .outputs()
+                                .iter()
+                                .find(|(name, _)| *name == w.output)
+                                .expect("witness names an output")
+                                .1;
+                            say!(
+                                "    witness replay on `{}`: last transition at {}",
+                                w.output,
+                                sim.waveform(out)
+                                    .last_transition()
+                                    .map(|t| t.to_string())
+                                    .unwrap_or_else(|| "never".into())
+                            );
+                        }
+                        None => say!("    no witness (delay 0)"),
+                    }
+                }
+                results.push(("two_vector".to_owned(), report_value(&r)));
+            }
+            Err(e) => {
+                diag!("two-vector: {e}");
+                results.push((
+                    "two_vector".to_owned(),
+                    Value::Obj(vec![("error".to_owned(), Value::str(e.to_string()))]),
+                ));
+                failures += 1;
+            }
+        }
+    }
+    if want("sequences") {
+        let _phase = Phase::enter("sequences");
+        match sequences_delay(netlist, options) {
+            Ok(r) => {
+                print_report("sequences", &r, args.per_output);
+                results.push(("sequences".to_owned(), report_value(&r)));
+            }
+            Err(e) => {
+                diag!("sequences: {e}");
+                results.push((
+                    "sequences".to_owned(),
+                    Value::Obj(vec![("error".to_owned(), Value::str(e.to_string()))]),
+                ));
+                failures += 1;
+            }
+        }
+    }
+    if want("floating") {
+        let _phase = Phase::enter("floating");
+        match floating_delay(netlist, options) {
+            Ok(r) => {
+                print_report("floating", &r, args.per_output);
+                results.push(("floating".to_owned(), report_value(&r)));
+            }
+            Err(e) => {
+                diag!("floating: {e}");
+                results.push((
+                    "floating".to_owned(),
+                    Value::Obj(vec![("error".to_owned(), Value::str(e.to_string()))]),
+                ));
+                failures += 1;
+            }
+        }
+    }
+    if args.model == "anytime" {
+        let _phase = Phase::enter("anytime");
+        let policy = AnalysisPolicy::with_options(options.clone()).with_threads(args.threads);
+        let r = analyze(netlist, &policy);
+        match r.exact {
+            Some(d) => say!("{:<12} {:>10}   (exact)", "anytime", d.to_string()),
+            None => say!(
+                "{:<12} [{}, {}]   (bounds; {} retries, {} fallbacks)",
+                "anytime",
+                r.lower,
+                r.upper,
+                r.stats.retries,
+                r.stats.sequences_fallbacks + r.stats.topological_fallbacks
+            ),
+        }
+        if args.per_output {
+            for o in &r.outputs {
+                print_output_line(o);
+            }
+        }
+        results.push(("anytime".to_owned(), circuit_report_value(&r)));
+    }
+    (failures, Value::Obj(results))
 }
 
 fn main() -> ExitCode {
@@ -231,6 +518,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let streaming = args.emit_metrics.as_deref() == Some("-");
+    tbf_obs::diag::set_quiet(args.quiet || streaming);
+    HUMAN.store(!streaming, Ordering::Relaxed);
     let netlist = match load(&args) {
         Ok(n) => n,
         Err(e) => {
@@ -250,91 +540,64 @@ fn main() -> ExitCode {
     }
     options.reorder = args.reorder;
 
-    println!(
+    say!(
         "{}: {} gates, {} inputs, {} outputs",
         args.netlist,
         netlist.gate_count(),
         netlist.inputs().len(),
         netlist.outputs().len()
     );
-    println!(
+    say!(
         "{:<12} {:>10}",
         "topological",
         topological_delay(&netlist).to_string()
     );
 
-    let want = |m: &str| args.model == m || args.model == "all";
-    let mut failures = 0;
-    if want("two-vector") {
-        match two_vector_delay(&netlist, &options) {
-            Ok(r) => {
-                print_report("two-vector", &r, args.per_output);
-                if args.replay {
-                    match &r.witness {
-                        Some(w) => {
-                            let stim = Stimulus::vector_pair(&w.before, &w.after);
-                            let sim = simulate(&netlist, &w.delays, &stim.waveforms(&netlist));
-                            let out = netlist
-                                .outputs()
-                                .iter()
-                                .find(|(name, _)| *name == w.output)
-                                .expect("witness names an output")
-                                .1;
-                            println!(
-                                "    witness replay on `{}`: last transition at {}",
-                                w.output,
-                                sim.waveform(out)
-                                    .last_transition()
-                                    .map(|t| t.to_string())
-                                    .unwrap_or_else(|| "never".into())
-                            );
-                        }
-                        None => println!("    no witness (delay 0)"),
-                    }
-                }
-            }
-            Err(e) => {
-                eprintln!("two-vector: {e}");
-                failures += 1;
-            }
+    // With the `obs` feature the whole analysis runs inside `observe`,
+    // so BDD counters and the phase tree land in the artifact; without
+    // it the artifact still carries the deterministic result sections.
+    #[cfg(feature = "obs")]
+    let started = std::time::Instant::now();
+    #[cfg(feature = "obs")]
+    let ((failures, results), observation) = if args.emit_metrics.is_some() {
+        let (out, o) = tbf_core::obs::observe(|| run_models(&args, &netlist, &options));
+        (out, Some(o))
+    } else {
+        (run_models(&args, &netlist, &options), None)
+    };
+    #[cfg(not(feature = "obs"))]
+    let (failures, results) = run_models(&args, &netlist, &options);
+
+    if let Some(target) = &args.emit_metrics {
+        let mut artifact = RunArtifact::new();
+        artifact.section("circuit", circuit_value(&args.netlist, &netlist));
+        artifact.section("policy", policy_value(&args, &options));
+        artifact.section("results", results);
+        #[cfg(feature = "obs")]
+        if let Some(o) = &observation {
+            artifact.section("counters", tbf_obs::artifact::counters_section(&o.counters));
+            artifact.section(
+                "histograms",
+                tbf_obs::artifact::histograms_section(&o.counters),
+            );
+            artifact.section("phases", tbf_obs::phase::to_value(&o.phases));
+            artifact.section(
+                "timing",
+                Value::Obj(vec![
+                    (
+                        "total_us".to_owned(),
+                        Value::u64(started.elapsed().as_micros() as u64),
+                    ),
+                    ("phases".to_owned(), tbf_obs::phase::timing_rows(&o.phases)),
+                ]),
+            );
         }
-    }
-    if want("sequences") {
-        match sequences_delay(&netlist, &options) {
-            Ok(r) => print_report("sequences", &r, args.per_output),
-            Err(e) => {
-                eprintln!("sequences: {e}");
-                failures += 1;
-            }
-        }
-    }
-    if want("floating") {
-        match floating_delay(&netlist, &options) {
-            Ok(r) => print_report("floating", &r, args.per_output),
-            Err(e) => {
-                eprintln!("floating: {e}");
-                failures += 1;
-            }
-        }
-    }
-    if args.model == "anytime" {
-        let policy = AnalysisPolicy::with_options(options.clone()).with_threads(args.threads);
-        let r = analyze(&netlist, &policy);
-        match r.exact {
-            Some(d) => println!("{:<12} {:>10}   (exact)", "anytime", d.to_string()),
-            None => println!(
-                "{:<12} [{}, {}]   (bounds; {} retries, {} fallbacks)",
-                "anytime",
-                r.lower,
-                r.upper,
-                r.stats.retries,
-                r.stats.sequences_fallbacks + r.stats.topological_fallbacks
-            ),
-        }
-        if args.per_output {
-            for o in &r.outputs {
-                print_output_line(o);
-            }
+        let text = artifact.render();
+        if target == "-" {
+            println!("{text}");
+        } else if let Err(e) = std::fs::write(target, text + "\n") {
+            eprintln!("error: {target}: {e}");
+            return ExitCode::FAILURE;
         }
     }
     if failures > 0 {

@@ -105,6 +105,12 @@ pub struct AnalysisBudget {
     polls: AtomicU64,
     tripped: AtomicU8,
     reorder: tbf_bdd::ReorderPolicy,
+    /// The observed run's shared counter registry. Forks clone the
+    /// `Arc`, so every cone on every worker reports into one registry;
+    /// u64 sums are commutative and the per-cone work is deterministic,
+    /// so totals are identical at every thread count.
+    #[cfg(feature = "obs")]
+    counters: Arc<tbf_obs::Counters>,
 }
 
 impl AnalysisBudget {
@@ -125,6 +131,8 @@ impl AnalysisBudget {
             polls: AtomicU64::new(0),
             tripped: AtomicU8::new(TRIP_NONE),
             reorder: options.reorder,
+            #[cfg(feature = "obs")]
+            counters: crate::obs::session_counters().unwrap_or_else(tbf_obs::Counters::shared),
         }
     }
 
@@ -166,7 +174,22 @@ impl AnalysisBudget {
             polls: AtomicU64::new(0),
             tripped: AtomicU8::new(TRIP_NONE),
             reorder: options.reorder,
+            #[cfg(feature = "obs")]
+            counters: Arc::clone(&self.counters),
         }
+    }
+
+    /// The counter registry this budget (and its forks) report into.
+    #[cfg(feature = "obs")]
+    pub(crate) fn counters(&self) -> &Arc<tbf_obs::Counters> {
+        &self.counters
+    }
+
+    /// Cancellation probes consumed so far. Forks start from zero, so on
+    /// a per-cone budget this is the cone's own consumption.
+    #[cfg(feature = "obs")]
+    pub(crate) fn poll_count(&self) -> u64 {
+        self.polls.load(Ordering::Relaxed)
     }
 
     /// Current straddling-path cap.
@@ -257,6 +280,8 @@ impl AnalysisBudget {
             }
         }
         let n = self.polls.fetch_add(1, Ordering::Relaxed);
+        #[cfg(feature = "obs")]
+        self.counters.bump(tbf_obs::Metric::BudgetPolls);
         if n.is_multiple_of(CLOCK_STRIDE) {
             if let Some(d) = self.deadline {
                 if Instant::now() > d {

@@ -333,6 +333,11 @@ struct ConeOutcome {
     /// Witness already remapped to full-netlist coordinates, with the
     /// exact delay it realizes (for the cross-cone "largest wins" fold).
     witness: Option<(Time, DelayWitness)>,
+    /// The cone's phase subtree, captured on whichever worker ran the
+    /// job and attached by the coordinator in netlist output order, so
+    /// the merged tree never depends on scheduling (merge-on-join).
+    #[cfg(feature = "obs")]
+    phases: Vec<tbf_obs::PhaseNode>,
 }
 
 /// Translates cone-local witness parts into full-netlist coordinates:
@@ -438,6 +443,8 @@ fn analyze_budgeted(
     let mut witness_delay = Time::MIN;
     for outcome in outcomes.into_iter().flatten() {
         stats.merge(&outcome.stats);
+        #[cfg(feature = "obs")]
+        tbf_obs::phase::attach(outcome.phases);
         if let Some((delay, w)) = outcome.witness {
             if delay > witness_delay {
                 witness = Some(w);
@@ -481,14 +488,32 @@ fn run_cone_job(
 ) -> ConeOutcome {
     fault::with_cone_plan(plan, || {
         let budget = Arc::new(base.fork(&policy.options));
-        let mut stats = SearchStats::default();
-        let (entry, raw_witness) = cone_ladder(job, policy, &budget, &mut stats);
-        let witness = raw_witness.map(|(delay, parts)| (delay, remap_witness(full, job, parts)));
-        ConeOutcome {
-            entry,
-            stats,
-            witness,
+        let run = || {
+            let mut stats = SearchStats::default();
+            let (entry, raw_witness) = cone_ladder(job, policy, &budget, &mut stats);
+            let witness =
+                raw_witness.map(|(delay, parts)| (delay, remap_witness(full, job, parts)));
+            ConeOutcome {
+                entry,
+                stats,
+                witness,
+                #[cfg(feature = "obs")]
+                phases: Vec::new(),
+            }
+        };
+        // Capture the cone's phase subtree on this worker; the driver
+        // attaches it in output order so the tree is schedule-independent.
+        #[cfg(feature = "obs")]
+        {
+            let (mut outcome, phases) = tbf_obs::phase::capture(|| {
+                let _cone = crate::obs::RungSpan::open(&format!("cone:{}", job.name), &budget);
+                run()
+            });
+            outcome.phases = phases;
+            outcome
         }
+        #[cfg(not(feature = "obs"))]
+        run()
     })
 }
 
@@ -534,7 +559,11 @@ fn cone_rungs<'a>(
     // escalated caps.
     let mut attempts = 0usize;
     let mut reordered = false;
+    #[cfg(feature = "obs")]
+    let mut rung_name = "two_vector_exact";
     loop {
+        #[cfg(feature = "obs")]
+        let _rung = crate::obs::RungSpan::open(rung_name, budget);
         if let Err(e) = ensure_engine(cone, budget, engine) {
             cause = DegradeCause::from_error(&e).unwrap_or(DegradeCause::InternalInvariant);
             if let Some((lo, hi)) = e.bounds() {
@@ -584,6 +613,10 @@ fn cone_rungs<'a>(
                 {
                     reordered = true;
                     stats.retries += 1;
+                    #[cfg(feature = "obs")]
+                    {
+                        rung_name = "reorder_retry";
+                    }
                     if let Some(eng) = engine.as_mut() {
                         if eng.reorder_and_reset().is_err() {
                             *engine = None;
@@ -600,6 +633,10 @@ fn cone_rungs<'a>(
                 if retryable && attempts < policy.max_retries {
                     attempts += 1;
                     stats.retries += 1;
+                    #[cfg(feature = "obs")]
+                    {
+                        rung_name = "escalated_retry";
+                    }
                     budget.escalate(policy.escalation_factor);
                     // Reset drops dead nodes and rebuilds statics under
                     // the new caps; a failed reset forces a fresh engine.
@@ -624,6 +661,8 @@ fn cone_rungs<'a>(
         && budget.cause().is_none()
         && ensure_engine(cone, budget, engine).is_ok()
     {
+        #[cfg(feature = "obs")]
+        let _rung = crate::obs::RungSpan::open("sequences_bound", budget);
         let attempt: Attempt<Time> = run_rung(engine, policy.catch_panics, |eng| {
             crate::sequences::cone_delay(cone, eng, out_id, stats)
         });
@@ -664,6 +703,8 @@ fn cone_rungs<'a>(
             },
         }
     } else {
+        #[cfg(feature = "obs")]
+        let _rung = crate::obs::RungSpan::open("topological_bound", budget);
         stats.topological_fallbacks += 1;
         OutputDelay {
             name: name.to_owned(),

@@ -2,13 +2,13 @@
 //!
 //! Compiled to no-ops unless the `fault-injection` cargo feature is on:
 //! the release engines pay nothing for the harness. With the feature
-//! enabled, tests arm a thread-local [`FaultPlan`] naming *injection
+//! enabled, tests arm a thread-local `FaultPlan` naming *injection
 //! sites* ([`Site`]) and hit counts; the engines consult
-//! [`trip`] at those sites and fail exactly where the plan says, letting
+//! `trip` at those sites and fail exactly where the plan says, letting
 //! tests walk every error variant and every ladder rung without
 //! constructing pathological circuits.
 //!
-//! Plans are per-thread and scoped: [`with_plan`] arms the plan, runs
+//! Plans are per-thread and scoped: `with_plan` arms the plan, runs
 //! the closure, and disarms on exit (including on panic), so one test
 //! cannot leak faults into another.
 

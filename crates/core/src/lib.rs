@@ -52,7 +52,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 // Library code must degrade through typed `DelayError`s, never panic:
 // `.unwrap()` is banned outside tests (`.expect()` remains for documented
 // invariants, each carrying its justification string).
@@ -69,6 +69,8 @@ mod tbf;
 
 pub mod fault;
 pub mod lower_bounds;
+#[cfg(feature = "obs")]
+pub mod obs;
 pub mod oracle;
 mod sequences;
 mod two_vector;

@@ -292,6 +292,11 @@ impl<'a> Engine<'a> {
         self.carried_reorder.merge(&self.manager.reorder_stats());
         let n_inputs = self.netlist.inputs().len();
         let mut manager = BddManager::new();
+        // Route the manager's hot-path counters into the analysis-wide
+        // registry carried by the budget, so BDD effort shows up in the
+        // same place whatever thread builds this engine.
+        #[cfg(feature = "obs")]
+        manager.set_counters(Arc::clone(self.budget.counters()));
         let mut after_var: Vec<Option<Var>> = vec![None; n_inputs];
         let mut before_var: Vec<Option<Var>> = vec![None; n_inputs];
         let mut slot_vars = vec![Vec::new(); n_inputs];

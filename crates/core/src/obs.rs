@@ -1,0 +1,167 @@
+//! Run-scoped observability: the [`observe`] entry point that collects
+//! effort counters and the phase tree for everything executed inside it.
+//!
+//! Only compiled with the `obs` feature. The instrumentation changes
+//! *nothing* about the analysis — counters record deterministic logical
+//! work, phase spans record structure plus volatile wall time — so every
+//! report produced under [`observe`] is byte-identical to the same run
+//! outside it.
+//!
+//! # How the pieces connect
+//!
+//! * [`observe`] installs a thread-local *session* counter registry and
+//!   a phase capture root, then runs the closure.
+//! * Every [`AnalysisBudget`](crate::AnalysisBudget) built inside (all
+//!   engine entry points build one) picks the session registry up and
+//!   carries it — through [`fork`](crate::AnalysisBudget::fork) — to
+//!   every cone on every worker thread.
+//! * The engines install the registry on each `BddManager` they create,
+//!   so the BDD hot-path counters land in the same place.
+//! * The anytime driver captures a phase subtree per cone job on the
+//!   worker that runs it and attaches the subtrees on the coordinating
+//!   thread in netlist output order (merge-on-join), so the tree is
+//!   independent of scheduling.
+//!
+//! # Example
+//!
+//! ```
+//! use tbf_core::{analyze, AnalysisPolicy};
+//! use tbf_logic::generators::adders::paper_bypass_adder;
+//!
+//! let adder = paper_bypass_adder();
+//! let (report, obs) = tbf_core::obs::observe(|| {
+//!     analyze(&adder, &AnalysisPolicy::default())
+//! });
+//! assert!(report.exact.is_some());
+//! assert!(obs.counters.get(tbf_obs::Metric::IteCalls) > 0);
+//! assert!(!obs.phases.is_empty());
+//! ```
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use tbf_obs::{phase, Counters, PhaseNode};
+
+thread_local! {
+    static SESSION: RefCell<Option<Arc<Counters>>> = const { RefCell::new(None) };
+}
+
+/// The session registry installed by an enclosing [`observe`], if any.
+/// [`AnalysisBudget::from_options`](crate::AnalysisBudget::from_options)
+/// calls this so every budget created inside an observed run reports
+/// into the run's registry.
+pub(crate) fn session_counters() -> Option<Arc<Counters>> {
+    SESSION.with(|s| s.borrow().clone())
+}
+
+/// Everything recorded by one [`observe`] call.
+#[derive(Clone, Debug)]
+pub struct RunObservation {
+    /// The run's effort-counter registry (deterministic totals).
+    pub counters: Arc<Counters>,
+    /// The run's phase tree, merged on join in deterministic order.
+    pub phases: Vec<PhaseNode>,
+}
+
+/// Restores the previous session registry even if the closure unwinds.
+struct SessionGuard {
+    previous: Option<Arc<Counters>>,
+}
+
+impl Drop for SessionGuard {
+    fn drop(&mut self) {
+        let previous = self.previous.take();
+        SESSION.with(|s| *s.borrow_mut() = previous);
+    }
+}
+
+/// Runs `f` with observability collection enabled and returns its result
+/// together with the recorded [`RunObservation`].
+///
+/// Nesting replaces the outer session for the inner closure's duration;
+/// the outer session resumes afterwards (inner work is counted only in
+/// the inner registry).
+pub fn observe<R>(f: impl FnOnce() -> R) -> (R, RunObservation) {
+    let counters = Counters::shared();
+    let guard = SessionGuard {
+        previous: SESSION.with(|s| s.borrow_mut().replace(Arc::clone(&counters))),
+    };
+    let (r, phases) = phase::capture(f);
+    drop(guard);
+    (r, RunObservation { counters, phases })
+}
+
+/// A phase span that also books the budget polls consumed while it was
+/// open (the delta of the cone-fork's poll counter) into its phase node.
+/// Used for ladder rungs and per-output cone spans; inert (like
+/// [`Phase`](tbf_obs::Phase)) when the run is not being observed.
+pub(crate) struct RungSpan<'b> {
+    _phase: tbf_obs::Phase,
+    budget: &'b crate::AnalysisBudget,
+    polls_at_entry: u64,
+}
+
+impl<'b> RungSpan<'b> {
+    /// Opens the span; the name should be a stable rung or cone label.
+    pub fn open(name: &str, budget: &'b crate::AnalysisBudget) -> RungSpan<'b> {
+        RungSpan {
+            _phase: tbf_obs::Phase::enter(name),
+            budget,
+            polls_at_entry: budget.poll_count(),
+        }
+    }
+}
+
+impl Drop for RungSpan<'_> {
+    fn drop(&mut self) {
+        // Runs before `_phase` drops, so the span's frame is still the
+        // innermost open one and receives the delta.
+        phase::record_budget_polls(self.budget.poll_count().saturating_sub(self.polls_at_entry));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbf_obs::Metric;
+
+    #[test]
+    fn observe_installs_and_restores_the_session() {
+        assert!(session_counters().is_none());
+        let ((), obs) = observe(|| {
+            assert!(session_counters().is_some());
+        });
+        assert!(session_counters().is_none());
+        assert_eq!(obs.counters.get(Metric::IteCalls), 0);
+    }
+
+    #[test]
+    fn nested_observe_shadows_the_outer_session() {
+        let ((), outer) = observe(|| {
+            let outer_session = session_counters().expect("outer installed");
+            let ((), inner) = observe(|| {
+                session_counters()
+                    .expect("inner installed")
+                    .bump(Metric::GcRuns);
+            });
+            assert_eq!(inner.counters.get(Metric::GcRuns), 1);
+            assert!(Arc::ptr_eq(
+                &outer_session,
+                &session_counters().expect("outer restored")
+            ));
+        });
+        assert_eq!(outer.counters.get(Metric::GcRuns), 0);
+    }
+
+    #[test]
+    fn budgets_inside_observe_share_the_registry() {
+        let opts = crate::DelayOptions::default();
+        let ((), obs) = observe(|| {
+            let budget = crate::AnalysisBudget::from_options(&opts);
+            let fork = budget.fork(&opts);
+            assert!(Arc::ptr_eq(budget.counters(), fork.counters()));
+            let _ = fork.poll();
+        });
+        assert_eq!(obs.counters.get(Metric::BudgetPolls), 1);
+    }
+}

@@ -74,6 +74,8 @@ pub(crate) fn sequences_delay_budgeted(
     let mut outputs = Vec::new();
     let mut first_error: Option<DelayError> = None;
     for (name, out_id) in netlist.outputs() {
+        #[cfg(feature = "obs")]
+        let _cone = crate::obs::RungSpan::open(&format!("cone:{name}"), &budget);
         match cone_delay(netlist, &mut engine, *out_id, &mut stats) {
             Ok(delay) => outputs.push(OutputDelay {
                 name: name.clone(),
@@ -146,6 +148,8 @@ pub(crate) fn cone_delay(
             .sequences_query(output, b)
             .map_err(|e| e.into_error(b, &engine.budget))?;
         stats.peak_bdd_nodes = stats.peak_bdd_nodes.max(engine.manager.node_count());
+        #[cfg(feature = "obs")]
+        tbf_obs::phase::record_peak_nodes(engine.manager.node_count() as u64);
         let differs = f != engine.static_out(output);
         engine
             .maybe_compact()

@@ -68,6 +68,8 @@ pub(crate) fn two_vector_delay_budgeted(
     let mut witness_delay = Time::MIN;
     let mut first_error: Option<DelayError> = None;
     for (name, out_id) in netlist.outputs() {
+        #[cfg(feature = "obs")]
+        let _cone = crate::obs::RungSpan::open(&format!("cone:{name}"), &budget);
         match cone_delay(netlist, &mut engine, *out_id, &mut stats) {
             Ok((delay, w)) => {
                 if delay > witness_delay {
@@ -199,6 +201,8 @@ pub(crate) fn cone_delay(
             .map_err(|e| e.into_error(b, &engine.budget))?;
         stats.resolvents += query.resolvents.len();
         stats.peak_bdd_nodes = stats.peak_bdd_nodes.max(engine.manager.node_count());
+        #[cfg(feature = "obs")]
+        tbf_obs::phase::record_peak_nodes(engine.manager.node_count() as u64);
 
         let found = check_interval(netlist, engine, output, &query, window_lo, b, stats)?;
         if let Some((t, w)) = found {
@@ -254,6 +258,8 @@ fn check_interval(
         .map_err(abort)?;
     debug_assert!(!projected.is_false(), "∃ of a non-false BDD");
     stats.peak_bdd_nodes = stats.peak_bdd_nodes.max(engine.manager.node_count());
+    #[cfg(feature = "obs")]
+    tbf_obs::phase::record_peak_nodes(engine.manager.node_count() as u64);
 
     // Dense LP variable space: every gate on any resolvent path.
     let mut gate_index: HashMap<NodeId, usize> = HashMap::new();
@@ -360,6 +366,9 @@ pub(crate) fn canonical_cubes(
         }
     } else {
         let mut scratch = BddManager::new();
+        // The scratch rebuild is real BDD work; count it with the rest.
+        #[cfg(feature = "obs")]
+        scratch.set_counters(Arc::clone(engine.budget.counters()));
         let var_map: Vec<Var> = (0..engine.manager.var_count())
             .map(|_| scratch.new_var())
             .collect();

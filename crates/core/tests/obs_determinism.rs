@@ -1,0 +1,139 @@
+//! Observability determinism suite (`obs` feature).
+//!
+//! The contract under test: instrumentation observes the analysis
+//! without perturbing it, and everything it records — counter totals,
+//! histograms, and the phase tree — is **byte-identical** across worker
+//! thread counts and across reorder policies that never fire, because
+//! every cone does identical logical work on a fresh engine and the
+//! phase subtrees are merged on join in netlist output order.
+
+use tbf_core::obs::{observe, RunObservation};
+use tbf_core::{analyze, AnalysisPolicy, DelayOptions, ReorderPolicy};
+use tbf_logic::generators::adders::paper_bypass_adder;
+use tbf_logic::generators::figures::figure1_three_paths;
+use tbf_logic::generators::trees::parity_tree;
+use tbf_logic::{DelayBounds, Netlist, Time};
+use tbf_obs::{phase, Metric};
+
+/// A `--reorder pressure`-like policy whose trigger is far above what
+/// the test circuits allocate, mirroring the CLI's fixed trigger: the
+/// policy is installed but never fires, so counters must not move.
+fn pressure() -> ReorderPolicy {
+    ReorderPolicy::OnPressure {
+        trigger_nodes: 50_000,
+        max_growth: 120,
+    }
+}
+
+fn policy(threads: usize, reorder: ReorderPolicy) -> AnalysisPolicy {
+    AnalysisPolicy::with_options(DelayOptions {
+        reorder,
+        ..DelayOptions::default()
+    })
+    .with_threads(threads)
+}
+
+/// The deterministic fingerprint of one observed run: counter snapshot
+/// plus the phase tree's deterministic serialization (no wall times).
+fn fingerprint(obs: &RunObservation) -> (Vec<(&'static str, u64)>, String) {
+    (
+        obs.counters.snapshot(),
+        phase::to_value(&obs.phases).to_string(),
+    )
+}
+
+fn circuits() -> Vec<Netlist> {
+    vec![
+        paper_bypass_adder(),
+        figure1_three_paths(),
+        parity_tree(
+            6,
+            DelayBounds::new(Time::from_units(0.9), Time::from_int(1)),
+        ),
+    ]
+}
+
+#[test]
+fn counters_and_phases_identical_across_threads_and_reorder() {
+    for netlist in circuits() {
+        let (baseline_report, baseline_obs) =
+            observe(|| analyze(&netlist, &policy(1, ReorderPolicy::None)));
+        let baseline = fingerprint(&baseline_obs);
+        assert!(
+            baseline_obs.counters.get(Metric::IteCalls) > 0,
+            "instrumentation must observe BDD work"
+        );
+        assert!(
+            !baseline_obs.phases.is_empty(),
+            "phase tree must be captured"
+        );
+        for threads in [1, 2, 8] {
+            for reorder in [ReorderPolicy::None, pressure()] {
+                let (report, obs) = observe(|| analyze(&netlist, &policy(threads, reorder)));
+                assert_eq!(
+                    report, baseline_report,
+                    "report must not depend on threads={threads} reorder={reorder:?}"
+                );
+                assert_eq!(
+                    fingerprint(&obs),
+                    baseline,
+                    "counters/phases must not depend on threads={threads} reorder={reorder:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn observation_does_not_perturb_the_report() {
+    for netlist in circuits() {
+        let plain = analyze(&netlist, &policy(2, ReorderPolicy::None));
+        let (observed, _) = observe(|| analyze(&netlist, &policy(2, ReorderPolicy::None)));
+        assert_eq!(plain, observed, "observe() must be a pure wrapper");
+    }
+}
+
+#[test]
+fn cone_subtrees_attach_in_netlist_output_order() {
+    let netlist = paper_bypass_adder();
+    let outputs: Vec<String> = netlist
+        .outputs()
+        .iter()
+        .map(|(name, _)| format!("cone:{name}"))
+        .collect();
+    for threads in [1, 4] {
+        // The cone subtrees attach directly under the observe root (the
+        // CLI nests them under a model phase instead).
+        let (_, obs) = observe(|| analyze(&netlist, &policy(threads, ReorderPolicy::None)));
+        let cones: Vec<&str> = obs.phases.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(cones, outputs, "threads={threads}");
+    }
+}
+
+#[test]
+fn per_cone_budget_polls_land_in_their_cone_span() {
+    let (_, obs) = observe(|| analyze(&paper_bypass_adder(), &policy(1, ReorderPolicy::None)));
+    let total: u64 = obs.phases.iter().map(|c| c.budget_polls).sum();
+    assert!(total > 0, "cones must record their budget polls");
+    assert!(
+        total <= obs.counters.get(Metric::BudgetPolls),
+        "per-cone polls cannot exceed the registry total"
+    );
+}
+
+#[test]
+fn direct_engines_record_per_output_spans() {
+    let netlist = paper_bypass_adder();
+    let (result, obs) = observe(|| {
+        tbf_core::two_vector_delay(&netlist, &DelayOptions::default()).expect("small circuit")
+    });
+    assert_eq!(result.delay, Time::from_int(24));
+    let names: Vec<&str> = obs.phases.iter().map(|p| p.name.as_str()).collect();
+    let expected: Vec<String> = netlist
+        .outputs()
+        .iter()
+        .map(|(name, _)| format!("cone:{name}"))
+        .collect();
+    assert_eq!(names, expected);
+    assert!(obs.phases.iter().any(|p| p.peak_nodes > 0));
+}

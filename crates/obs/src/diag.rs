@@ -1,0 +1,45 @@
+//! Diagnostic stderr channel with a process-wide quiet switch.
+//!
+//! All human-facing diagnostics in the suite's binaries route through
+//! [`diag!`](crate::diag!) instead of raw `eprintln!`, so `--quiet` (and
+//! `--emit-metrics -`, which streams the artifact to stdout) can silence
+//! them without touching machine-readable output.
+//!
+//! # Example
+//!
+//! ```
+//! tbf_obs::diag::set_quiet(true);
+//! tbf_obs::diag!("this line is suppressed {}", 42);
+//! assert!(tbf_obs::diag::is_quiet());
+//! tbf_obs::diag::set_quiet(false);
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static QUIET: AtomicBool = AtomicBool::new(false);
+
+/// Turns diagnostic output off (`true`) or back on (`false`).
+pub fn set_quiet(quiet: bool) {
+    QUIET.store(quiet, Ordering::Relaxed);
+}
+
+/// Whether diagnostics are currently suppressed.
+pub fn is_quiet() -> bool {
+    QUIET.load(Ordering::Relaxed)
+}
+
+/// Writes one diagnostic line to stderr unless quieted. Prefer the
+/// [`diag!`](crate::diag!) macro over calling this directly.
+pub fn emit(args: std::fmt::Arguments<'_>) {
+    if !is_quiet() {
+        eprintln!("{args}");
+    }
+}
+
+/// `eprintln!`-alike honoring [`diag::set_quiet`](set_quiet).
+#[macro_export]
+macro_rules! diag {
+    ($($t:tt)*) => {
+        $crate::diag::emit(::core::format_args!($($t)*))
+    };
+}

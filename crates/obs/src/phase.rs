@@ -1,0 +1,358 @@
+//! RAII phase spans building a deterministic per-run phase tree.
+//!
+//! A *phase* is a named region of work (`"two_vector_exact"`,
+//! `"cone:G17"`, …). Phases nest: entering a phase while another is open
+//! makes it a child. Each thread keeps its own span stack in TLS;
+//! nothing is recorded until a root is installed — either by
+//! [`capture`] (worker threads, one capture per cone job) or by the
+//! driver's top-level `observe` wrapper.
+//!
+//! **Merge-on-join determinism.** Worker threads never write to a shared
+//! tree. Each cone job runs under its own [`capture`]; the resulting
+//! subtree travels back to the coordinating thread inside the job's
+//! outcome, and the coordinator [`attach`]es the subtrees **in netlist
+//! output order** after all workers join. Same-named siblings are folded
+//! together (counts and effort counters add, peaks take the max), so the
+//! final tree depends only on *what work ran*, never on which worker ran
+//! it or when — the tree is byte-identical at every thread count.
+//!
+//! Wall-clock time is recorded per node but serialized into a separate
+//! volatile artifact section (see [`timing_rows`]); the deterministic
+//! view ([`to_value`]) omits it.
+//!
+//! # Example
+//!
+//! ```
+//! use tbf_obs::phase;
+//! let ((), tree) = phase::capture(|| {
+//!     let _outer = phase::Phase::enter("ladder");
+//!     {
+//!         let _rung = phase::Phase::enter("two_vector_exact");
+//!         phase::record_peak_nodes(42);
+//!     }
+//!     let _rung = phase::Phase::enter("two_vector_exact"); // folded in
+//! });
+//! assert_eq!(tree.len(), 1);
+//! assert_eq!(tree[0].name, "ladder");
+//! assert_eq!(tree[0].children[0].count, 2);
+//! assert_eq!(tree[0].children[0].peak_nodes, 42);
+//! ```
+
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::time::Instant;
+
+use crate::json::Value;
+
+/// One aggregated node of the phase tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhaseNode {
+    /// The phase's name (stable across runs).
+    pub name: String,
+    /// How many spans were folded into this node.
+    pub count: u64,
+    /// Total wall time across the folded spans, nanoseconds.
+    /// **Volatile** — excluded from the deterministic serialization.
+    pub wall_ns: u64,
+    /// Maximum live-BDD-node figure recorded inside any folded span.
+    pub peak_nodes: u64,
+    /// Budget cancellation probes consumed inside the folded spans.
+    pub budget_polls: u64,
+    /// Child phases, in first-entered order.
+    pub children: Vec<PhaseNode>,
+}
+
+struct Frame {
+    name: String,
+    started: Instant,
+    peak_nodes: u64,
+    budget_polls: u64,
+    children: Vec<PhaseNode>,
+}
+
+impl Frame {
+    fn new(name: &str) -> Frame {
+        Frame {
+            name: name.to_owned(),
+            started: Instant::now(),
+            peak_nodes: 0,
+            budget_polls: 0,
+            children: Vec::new(),
+        }
+    }
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Folds `node` into `siblings`: an existing same-named sibling absorbs
+/// it (recursively), otherwise it is appended.
+fn fold(siblings: &mut Vec<PhaseNode>, node: PhaseNode) {
+    if let Some(existing) = siblings.iter_mut().find(|s| s.name == node.name) {
+        existing.count += node.count;
+        existing.wall_ns += node.wall_ns;
+        existing.peak_nodes = existing.peak_nodes.max(node.peak_nodes);
+        existing.budget_polls += node.budget_polls;
+        for child in node.children {
+            fold(&mut existing.children, child);
+        }
+    } else {
+        siblings.push(node);
+    }
+}
+
+/// An RAII phase span. Created by [`Phase::enter`]; closing (dropping)
+/// the guard folds the span into its parent.
+#[must_use = "a phase span records nothing unless held for the region's duration"]
+pub struct Phase {
+    active: bool,
+    // Spans must close on the thread that opened them (TLS stack).
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Phase {
+    /// Opens a span named `name` under the innermost open span.
+    ///
+    /// When no root is installed on this thread (the run is not being
+    /// observed), this is a no-op returning an inert guard — the only
+    /// cost is one TLS read.
+    pub fn enter(name: &str) -> Phase {
+        let active = STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            if s.is_empty() {
+                false
+            } else {
+                s.push(Frame::new(name));
+                true
+            }
+        });
+        Phase {
+            active,
+            _not_send: PhantomData,
+        }
+    }
+}
+
+impl Drop for Phase {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            // The root frame below us is popped only by its capture
+            // guard, so an active span always finds its own frame.
+            if s.len() < 2 {
+                return;
+            }
+            let frame = s.pop().expect("active span has a frame");
+            let node = PhaseNode {
+                name: frame.name,
+                count: 1,
+                wall_ns: frame.started.elapsed().as_nanos() as u64,
+                peak_nodes: frame.peak_nodes,
+                budget_polls: frame.budget_polls,
+                children: frame.children,
+            };
+            let parent = s.last_mut().expect("root frame remains");
+            fold(&mut parent.children, node);
+        });
+    }
+}
+
+/// Raises the innermost open span's `peak_nodes` to at least `nodes`.
+/// No-op when no span is open.
+pub fn record_peak_nodes(nodes: u64) {
+    STACK.with(|s| {
+        if let Some(f) = s.borrow_mut().last_mut() {
+            f.peak_nodes = f.peak_nodes.max(nodes);
+        }
+    });
+}
+
+/// Adds `polls` budget probes to the innermost open span. No-op when no
+/// span is open.
+pub fn record_budget_polls(polls: u64) {
+    STACK.with(|s| {
+        if let Some(f) = s.borrow_mut().last_mut() {
+            f.budget_polls += polls;
+        }
+    });
+}
+
+/// Removes the capture root (and any frames orphaned above it) when `f`
+/// unwinds, so a caught panic inside a captured region cannot corrupt
+/// enclosing spans. Disarmed (`mem::forget`) on the normal path.
+struct UnwindGuard {
+    depth: usize,
+}
+
+impl Drop for UnwindGuard {
+    fn drop(&mut self) {
+        let depth = self.depth;
+        STACK.with(|s| s.borrow_mut().truncate(depth));
+    }
+}
+
+/// Runs `f` under a fresh capture root and returns its result together
+/// with the phase subtree recorded on **this thread** during `f`.
+///
+/// Captures nest: inside an enclosing capture (or observe root) the
+/// inner capture temporarily shadows it, and the caller is expected to
+/// [`attach`] the returned subtree wherever determinism demands — for
+/// cone jobs, on the coordinating thread in output order.
+pub fn capture<R>(f: impl FnOnce() -> R) -> (R, Vec<PhaseNode>) {
+    let depth = STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        s.push(Frame::new("<capture>"));
+        s.len() - 1
+    });
+    let guard = UnwindGuard { depth };
+    let r = f();
+    std::mem::forget(guard);
+    let children = STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        // Keep exactly our root on top, then harvest its children.
+        s.truncate(depth + 1);
+        match s.pop() {
+            Some(root) => root.children,
+            None => Vec::new(),
+        }
+    });
+    (r, children)
+}
+
+/// Folds a previously captured subtree into the innermost open span on
+/// this thread. No-op when no span is open (the run is not observed).
+pub fn attach(nodes: Vec<PhaseNode>) {
+    STACK.with(|s| {
+        if let Some(f) = s.borrow_mut().last_mut() {
+            for node in nodes {
+                fold(&mut f.children, node);
+            }
+        }
+    });
+}
+
+fn node_value(node: &PhaseNode) -> Value {
+    let mut obj = vec![
+        ("name".to_owned(), Value::str(&node.name)),
+        ("count".to_owned(), Value::u64(node.count)),
+        ("peak_nodes".to_owned(), Value::u64(node.peak_nodes)),
+        ("budget_polls".to_owned(), Value::u64(node.budget_polls)),
+    ];
+    if !node.children.is_empty() {
+        obj.push(("children".to_owned(), to_value(&node.children)));
+    }
+    Value::Obj(obj)
+}
+
+/// The deterministic JSON view of a phase tree: names, counts, peaks,
+/// and budget polls — **no wall times**.
+pub fn to_value(nodes: &[PhaseNode]) -> Value {
+    Value::Arr(nodes.iter().map(node_value).collect())
+}
+
+fn push_timing(rows: &mut Vec<Value>, prefix: &str, node: &PhaseNode) {
+    let path = if prefix.is_empty() {
+        node.name.clone()
+    } else {
+        format!("{prefix}/{}", node.name)
+    };
+    rows.push(Value::Obj(vec![
+        ("path".to_owned(), Value::str(&path)),
+        ("us".to_owned(), Value::u64(node.wall_ns / 1_000)),
+    ]));
+    for child in &node.children {
+        push_timing(rows, &path, child);
+    }
+}
+
+/// The volatile wall-clock view: flat `{path, us}` rows in tree
+/// (pre-)order, microsecond resolution. Serialized as the artifact's
+/// trailing `timing` section, never compared across runs.
+pub fn timing_rows(nodes: &[PhaseNode]) -> Value {
+    let mut rows = Vec::new();
+    for node in nodes {
+        push_timing(&mut rows, "", node);
+    }
+    Value::Arr(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_outside_a_root_are_inert() {
+        let g = Phase::enter("orphan");
+        drop(g);
+        let ((), tree) = capture(|| {});
+        assert!(tree.is_empty());
+    }
+
+    #[test]
+    fn nesting_and_folding() {
+        let ((), tree) = capture(|| {
+            for _ in 0..3 {
+                let _cone = Phase::enter("cone");
+                let _rung = Phase::enter("exact");
+                record_budget_polls(7);
+            }
+        });
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree[0].count, 3);
+        assert_eq!(tree[0].children.len(), 1);
+        assert_eq!(tree[0].children[0].count, 3);
+        assert_eq!(tree[0].children[0].budget_polls, 21);
+    }
+
+    #[test]
+    fn attach_merges_in_call_order() {
+        let ((), sub_a) = capture(|| {
+            let _p = Phase::enter("a");
+        });
+        let ((), sub_b) = capture(|| {
+            let _p = Phase::enter("b");
+        });
+        let ((), tree) = capture(|| {
+            let _root = Phase::enter("run");
+            attach(sub_b.clone());
+            attach(sub_a.clone());
+        });
+        let names: Vec<_> = tree[0].children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["b", "a"], "attach order decides sibling order");
+    }
+
+    #[test]
+    fn capture_survives_unwinding() {
+        let ((), tree) = capture(|| {
+            let _outer = Phase::enter("outer");
+            let caught = std::panic::catch_unwind(|| {
+                let (_, _) = capture(|| {
+                    let _inner = Phase::enter("inner");
+                    panic!("boom");
+                });
+            });
+            assert!(caught.is_err());
+            let _after = Phase::enter("after");
+        });
+        assert_eq!(tree.len(), 1);
+        let names: Vec<_> = tree[0].children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["after"], "unwound capture leaves no debris");
+    }
+
+    #[test]
+    fn deterministic_view_has_no_wall_times() {
+        let ((), tree) = capture(|| {
+            let _p = Phase::enter("p");
+        });
+        let v = to_value(&tree).to_string();
+        assert!(v.contains("\"name\":\"p\""));
+        assert!(!v.contains("wall"), "deterministic view must omit timing");
+        let t = timing_rows(&tree).to_string();
+        assert!(t.contains("\"path\":\"p\""));
+        assert!(t.contains("\"us\":"));
+    }
+}
