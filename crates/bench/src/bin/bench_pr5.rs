@@ -1,0 +1,119 @@
+//! `bench_pr5` — the perf-trajectory baseline recorder for the unified
+//! delay-model engine (PR 5).
+//!
+//! Runs the exact 2-vector engine over the golden circuit suite twice —
+//! cross-breakpoint timed-node cache on and off — and writes a
+//! schema-versioned JSON artifact with per-circuit wall time and the
+//! engine's instantiation counters, so later PRs can diff perf against
+//! a committed baseline instead of folklore.
+//!
+//! ```text
+//! usage: bench_pr5 [OUT.json]        (default: BENCH_pr5.json)
+//! ```
+//!
+//! The artifact is deterministic except for the `wall_ms` fields; the
+//! counter columns are byte-stable across runs, threads, and reorder
+//! policies (see `crates/core/tests/obs_determinism.rs`).
+
+use std::process::ExitCode;
+
+/// Artifact schema name; bump `SCHEMA_VERSION` on shape changes.
+#[cfg(feature = "obs")]
+const SCHEMA: &str = "tbf-bench-pr5";
+/// Current artifact schema version.
+#[cfg(feature = "obs")]
+const SCHEMA_VERSION: u64 = 1;
+
+#[cfg(feature = "obs")]
+fn main() -> ExitCode {
+    use std::time::Instant;
+
+    use tbf_core::obs::observe;
+    use tbf_core::{two_vector_delay, DelayOptions};
+    use tbf_logic::generators::adders::{carry_bypass, paper_bypass_adder, ripple_carry};
+    use tbf_logic::generators::figures::{figure1_three_paths, figure4_example3, figure6_glitch};
+    use tbf_logic::generators::random::random_dag;
+    use tbf_logic::generators::trees::parity_tree;
+    use tbf_logic::generators::unit_ninety_percent;
+    use tbf_logic::parsers::bench::c17;
+    use tbf_logic::parsers::mcnc_like_delays;
+    use tbf_logic::Netlist;
+    use tbf_obs::json::Value;
+    use tbf_obs::Metric;
+
+    // The engine-equivalence golden suite, so perf rows and correctness
+    // goldens cover the same circuits.
+    let d = unit_ninety_percent();
+    let suite: Vec<(&str, Netlist)> = vec![
+        ("c17", c17(mcnc_like_delays)),
+        ("paper_bypass_adder", paper_bypass_adder()),
+        ("ripple_carry_4", ripple_carry(4, d)),
+        ("carry_bypass_2x2", carry_bypass(2, 2, d)),
+        ("parity_tree_6", parity_tree(6, d)),
+        ("figure1_three_paths", figure1_three_paths()),
+        ("figure4_example3", figure4_example3()),
+        ("figure6_glitch", figure6_glitch()),
+        ("random_dag_6x30", random_dag(6, 30, 3, 0x5EED)),
+    ];
+
+    /// One measured engine run: report plus the counters the PR tracks.
+    fn measure(netlist: &Netlist, cache: bool) -> Value {
+        let options = DelayOptions {
+            tbf_cache: cache,
+            ..DelayOptions::default()
+        };
+        let start = Instant::now();
+        let (report, obs) = observe(|| two_vector_delay(netlist, &options));
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let report = report.expect("golden-suite circuits analyze exactly");
+        Value::Obj(vec![
+            ("tbf_cache".to_owned(), Value::Bool(cache)),
+            ("delay".to_owned(), Value::str(report.delay.to_string())),
+            ("wall_ms".to_owned(), Value::str(format!("{wall_ms:.3}"))),
+            (
+                "breakpoints_visited".to_owned(),
+                Value::u64(report.stats.breakpoints_visited as u64),
+            ),
+            (
+                "tbf_instantiations".to_owned(),
+                Value::u64(obs.counters.get(Metric::TbfInstantiations)),
+            ),
+            (
+                "tbf_cache_hits".to_owned(),
+                Value::u64(obs.counters.get(Metric::TbfCacheHits)),
+            ),
+        ])
+    }
+
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pr5.json".to_owned());
+    let mut rows = Vec::new();
+    for (name, netlist) in &suite {
+        eprintln!("bench_pr5: {name}");
+        rows.push(Value::Obj(vec![
+            ("circuit".to_owned(), Value::str(*name)),
+            ("gates".to_owned(), Value::u64(netlist.gate_count() as u64)),
+            ("cache_on".to_owned(), measure(netlist, true)),
+            ("cache_off".to_owned(), measure(netlist, false)),
+        ]));
+    }
+    let artifact = Value::Obj(vec![
+        ("schema".to_owned(), Value::str(SCHEMA)),
+        ("schema_version".to_owned(), Value::u64(SCHEMA_VERSION)),
+        ("model".to_owned(), Value::str("two-vector")),
+        ("rows".to_owned(), Value::Arr(rows)),
+    ]);
+    if let Err(e) = std::fs::write(&out, artifact.to_pretty() + "\n") {
+        eprintln!("bench_pr5: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("bench_pr5: wrote {out}");
+    ExitCode::SUCCESS
+}
+
+#[cfg(not(feature = "obs"))]
+fn main() -> ExitCode {
+    eprintln!("bench_pr5 needs the `obs` feature (enabled by default): the artifact records engine counters");
+    ExitCode::FAILURE
+}

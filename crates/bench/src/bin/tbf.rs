@@ -24,6 +24,8 @@
 //!   --replay               simulate the 2-vector witness and report the
 //!                          observed last transition
 //!   --per-output           print the per-output breakdown
+//!   --no-tbf-cache         disable the cross-breakpoint timed-node cache
+//!                          (ablation; results are identical either way)
 //!   --emit-metrics <PATH>  write the machine-readable run artifact (JSON)
 //!                          to PATH; `-` streams it to stdout and implies
 //!                          --quiet plus suppression of the human report
@@ -81,6 +83,7 @@ struct Args {
     reorder: ReorderPolicy,
     replay: bool,
     per_output: bool,
+    no_tbf_cache: bool,
     emit_metrics: Option<String>,
     quiet: bool,
 }
@@ -106,6 +109,7 @@ fn parse_args() -> Result<Args, String> {
         reorder: ReorderPolicy::None,
         replay: false,
         per_output: false,
+        no_tbf_cache: false,
         emit_metrics: None,
         quiet: false,
     };
@@ -166,6 +170,7 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--replay" => args.replay = true,
+            "--no-tbf-cache" => args.no_tbf_cache = true,
             "--per-output" => args.per_output = true,
             "--emit-metrics" => args.emit_metrics = Some(value("--emit-metrics")?),
             "--quiet" => args.quiet = true,
@@ -193,7 +198,8 @@ fn usage() {
         "usage: tbf [--model two-vector|sequences|floating|anytime|all] \
          [--delays unit|mcnc] [--dmin-ratio F] [--max-paths N] [--max-bdd N] \
          [--time-budget MS] [--threads N] [--reorder off|manual|pressure] \
-         [--replay] [--per-output] [--emit-metrics PATH|-] [--quiet] \
+         [--replay] [--per-output] [--no-tbf-cache] \
+         [--emit-metrics PATH|-] [--quiet] \
          <netlist.bench|netlist.blif>"
     );
 }
@@ -380,6 +386,7 @@ fn policy_value(args: &Args, options: &DelayOptions) -> Value {
         ("delays".to_owned(), Value::str(&args.delays)),
         ("threads".to_owned(), Value::u64(args.threads as u64)),
         ("reorder".to_owned(), Value::str(reorder)),
+        ("tbf_cache".to_owned(), Value::Bool(options.tbf_cache)),
         (
             "max_straddling_paths".to_owned(),
             Value::u64(options.max_straddling_paths as u64),
@@ -539,6 +546,7 @@ fn main() -> ExitCode {
         options.time_budget = Some(std::time::Duration::from_millis(ms));
     }
     options.reorder = args.reorder;
+    options.tbf_cache = !args.no_tbf_cache;
 
     say!(
         "{}: {} gates, {} inputs, {} outputs",

@@ -105,6 +105,7 @@ pub struct AnalysisBudget {
     polls: AtomicU64,
     tripped: AtomicU8,
     reorder: tbf_bdd::ReorderPolicy,
+    tbf_cache: bool,
     /// The observed run's shared counter registry. Forks clone the
     /// `Arc`, so every cone on every worker reports into one registry;
     /// u64 sums are commutative and the per-cone work is deterministic,
@@ -131,6 +132,7 @@ impl AnalysisBudget {
             polls: AtomicU64::new(0),
             tripped: AtomicU8::new(TRIP_NONE),
             reorder: options.reorder,
+            tbf_cache: options.tbf_cache,
             #[cfg(feature = "obs")]
             counters: crate::obs::session_counters().unwrap_or_else(tbf_obs::Counters::shared),
         }
@@ -174,6 +176,7 @@ impl AnalysisBudget {
             polls: AtomicU64::new(0),
             tripped: AtomicU8::new(TRIP_NONE),
             reorder: options.reorder,
+            tbf_cache: options.tbf_cache,
             #[cfg(feature = "obs")]
             counters: Arc::clone(&self.counters),
         }
@@ -252,6 +255,11 @@ impl AnalysisBudget {
     /// The configured variable-reordering policy.
     pub fn reorder(&self) -> tbf_bdd::ReorderPolicy {
         self.reorder
+    }
+
+    /// Whether the engine's cross-breakpoint timed-node cache is on.
+    pub fn tbf_cache(&self) -> bool {
+        self.tbf_cache
     }
 
     fn trip(&self, cause: Interrupt) {

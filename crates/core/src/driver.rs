@@ -59,7 +59,7 @@ use tbf_logic::{Netlist, NodeId, Time};
 use crate::budget::{AnalysisBudget, CancelToken};
 use crate::error::DelayError;
 use crate::fault::{self, Site};
-use crate::network::Engine;
+use crate::network::ConeContext;
 use crate::options::DelayOptions;
 use crate::report::{DegradeCause, DelayWitness, OutputDelay, OutputStatus, SearchStats};
 use crate::two_vector::WitnessParts;
@@ -255,9 +255,9 @@ enum Attempt<T> {
 /// Runs `f` (a rung of one cone), isolating panics when asked. A panic
 /// invalidates the engine — it is dropped for rebuild by the next rung.
 fn run_rung<'a, T>(
-    engine: &mut Option<Engine<'a>>,
+    engine: &mut Option<ConeContext<'a>>,
     catch_panics: bool,
-    f: impl FnOnce(&mut Engine<'a>) -> Result<T, DelayError>,
+    f: impl FnOnce(&mut ConeContext<'a>) -> Result<T, DelayError>,
 ) -> Attempt<T> {
     let Some(eng) = engine.as_mut() else {
         return Attempt::Panicked; // caller ensures presence; treat as dead engine
@@ -283,10 +283,10 @@ fn run_rung<'a, T>(
 fn ensure_engine<'a>(
     netlist: &'a Netlist,
     budget: &Arc<AnalysisBudget>,
-    engine: &mut Option<Engine<'a>>,
+    engine: &mut Option<ConeContext<'a>>,
 ) -> Result<(), DelayError> {
     if engine.is_none() {
-        match Engine::new(netlist, budget.clone()) {
+        match ConeContext::new(netlist, budget.clone()) {
             Ok(e) => *engine = Some(e),
             Err(a) => return Err(a.into_error(netlist.topological_delay(), budget)),
         }
@@ -525,7 +525,7 @@ fn cone_ladder(
     budget: &Arc<AnalysisBudget>,
     stats: &mut SearchStats,
 ) -> (OutputDelay, Option<(Time, WitnessParts)>) {
-    let mut engine: Option<Engine<'_>> = None;
+    let mut engine: Option<ConeContext<'_>> = None;
     let result = cone_rungs(job, policy, budget, stats, &mut engine);
     // Teardown: reorder effort lives in the engine (it survives manager
     // rebuilds); fold it into the cone's stats. Lost when the final rung
@@ -543,7 +543,7 @@ fn cone_rungs<'a>(
     policy: &AnalysisPolicy,
     budget: &Arc<AnalysisBudget>,
     stats: &mut SearchStats,
-    engine: &mut Option<Engine<'a>>,
+    engine: &mut Option<ConeContext<'a>>,
 ) -> (OutputDelay, Option<(Time, WitnessParts)>) {
     let cone = &job.cone;
     let out_id = job.out_id;
@@ -578,7 +578,7 @@ fn cone_rungs<'a>(
                 if fault::trip(Site::ConeStart) {
                     panic!("injected engine panic (fault site ConeStart)");
                 }
-                crate::two_vector::cone_delay(cone, eng, out_id, stats)
+                crate::model::cone_delay(&mut crate::two_vector::TwoVector, eng, out_id, stats)
             });
         match attempt {
             Attempt::Done((delay, w)) => {
@@ -664,7 +664,8 @@ fn cone_rungs<'a>(
         #[cfg(feature = "obs")]
         let _rung = crate::obs::RungSpan::open("sequences_bound", budget);
         let attempt: Attempt<Time> = run_rung(engine, policy.catch_panics, |eng| {
-            crate::sequences::cone_delay(cone, eng, out_id, stats)
+            crate::model::cone_delay(&mut crate::sequences::Sequences, eng, out_id, stats)
+                .map(|(t, _)| t)
         });
         match attempt {
             Attempt::Done(seq) => {

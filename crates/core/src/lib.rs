@@ -57,10 +57,15 @@
 // `.unwrap()` is banned outside tests (`.expect()` remains for documented
 // invariants, each carrying its justification string).
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
+// The engine's core types flow through every hot call chain; keep enums
+// and error payloads small enough to pass in registers.
+#![deny(clippy::large_enum_variant)]
+#![deny(clippy::result_large_err)]
 
 mod budget;
 mod driver;
 mod error;
+mod model;
 mod network;
 mod options;
 mod report;

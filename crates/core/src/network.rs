@@ -33,7 +33,7 @@
 //! contiguous-support blocks instead of remembering one bit per input
 //! across the whole order.
 //!
-//! One [`Engine`] per netlist holds the manager and the two static
+//! One [`ConeContext`] per netlist holds the manager and the two static
 //! evaluations; queries at successive breakpoints reuse them. The manager
 //! is compacted (rebuilt, statics re-derived) when dead nodes from past
 //! queries accumulate, and the slot blocks grow geometrically if a
@@ -53,12 +53,14 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use tbf_bdd::{Bdd, BddManager, OpAbort, OpBudget, ReorderPolicy, ReorderStats, Var};
+use tbf_logic::paths::Breakpoints;
 use tbf_logic::{Netlist, NodeId, Time};
 
 use crate::budget::AnalysisBudget;
 use crate::error::DelayError;
 use crate::fault::{self, Site};
 use crate::static_fn::{build_statics, gate_bdd};
+use crate::tbf::{TbfCache, TimedTable, TimedVarId, TimedVarKey, SUPPORT_CAP};
 
 /// Abort reasons local to the network build; the engines attach bounds
 /// and convert to [`DelayError`](crate::DelayError).
@@ -113,36 +115,6 @@ pub(crate) struct Resolvent {
     pub gates: Vec<NodeId>,
 }
 
-/// Identity of a TBF variable `x(t−k)`: the input plus the delay sum `k`
-/// *as a function* (variable-gate multiset + fixed contribution).
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
-struct TbfVarKey {
-    input_pos: usize,
-    variable_gates: Vec<NodeId>,
-    fixed_sum: Time,
-}
-
-/// Splits a suffix path into its TBF-variable key parts. `input_pos` is
-/// `usize::MAX` for interior memo keys.
-fn var_key(netlist: &Netlist, input_pos: usize, suffix: &[NodeId]) -> TbfVarKey {
-    let mut variable_gates: Vec<NodeId> = Vec::new();
-    let mut fixed_sum = Time::ZERO;
-    for &g in suffix {
-        let d = netlist.node(g).delay();
-        if d.is_variable() {
-            variable_gates.push(g);
-        } else {
-            fixed_sum += d.max;
-        }
-    }
-    variable_gates.sort_unstable();
-    TbfVarKey {
-        input_pos,
-        variable_gates,
-        fixed_sum,
-    }
-}
-
 /// Primary-input positions in depth-first fanin order from the outputs —
 /// the standard static variable-ordering heuristic for netlist BDDs.
 fn dfs_input_order(netlist: &Netlist) -> Vec<usize> {
@@ -194,6 +166,18 @@ enum Mode {
     Sequences,
 }
 
+impl Mode {
+    /// Stable index used to scope the timed-node cache per mode (the
+    /// same k-function binds a resolvent in one mode and a fresh
+    /// variable in the other).
+    fn idx(self) -> u8 {
+        match self {
+            Mode::TwoVector => 0,
+            Mode::Sequences => 1,
+        }
+    }
+}
+
 /// Per-netlist arrival data shared by all queries.
 pub(crate) struct Timing {
     pub pmax: Vec<Time>,
@@ -219,9 +203,12 @@ pub(crate) struct QueryOut {
     pub resolvents: Vec<Resolvent>,
 }
 
-/// Persistent symbolic engine: manager, statics and variable slots,
-/// reused across breakpoints and outputs of one netlist.
-pub(crate) struct Engine<'a> {
+/// Per-cone compilation context: one netlist compiled **once** into a
+/// manager with statics, variable slots, the interned timed-variable
+/// table and the cross-breakpoint instantiation cache — everything the
+/// pluggable [`DelayModel`](crate::model::DelayModel) strategies share
+/// while sweeping breakpoints.
+pub(crate) struct ConeContext<'a> {
     netlist: &'a Netlist,
     pub timing: Timing,
     /// The analysis-wide budget: live caps + deadline/cancel state.
@@ -243,16 +230,22 @@ pub(crate) struct Engine<'a> {
     /// Whether any gate has fixed delay. When every gate delay is
     /// variable, two distinct suffixes can never share a k-function
     /// (equal variable-gate multisets in a DAG force equal paths), so
-    /// interior memoization can never hit and is skipped.
+    /// pass 1's within-pass dedup can never hit and is skipped.
     memo_useful: bool,
+    /// Interner for k-functions: leaf and interior suffix identities.
+    table: TimedTable,
+    /// Cross-breakpoint timed-node cache over the interned identities.
+    tbf_cache: TbfCache,
+    /// Memoized descending breakpoint sweeps, one per queried output.
+    sweeps: HashMap<NodeId, Breakpoints<'a>>,
 }
 
-impl<'a> Engine<'a> {
+impl<'a> ConeContext<'a> {
     pub fn new(
         netlist: &'a Netlist,
         budget: Arc<AnalysisBudget>,
-    ) -> Result<Engine<'a>, BuildAbort> {
-        let mut engine = Engine {
+    ) -> Result<ConeContext<'a>, BuildAbort> {
+        let mut engine = ConeContext {
             netlist,
             timing: Timing::new(netlist),
             budget,
@@ -269,9 +262,29 @@ impl<'a> Engine<'a> {
             memo_useful: netlist.nodes().any(|(_, n)| {
                 !n.kind().is_input() && !n.kind().is_constant() && !n.delay().is_variable()
             }),
+            table: TimedTable::default(),
+            tbf_cache: TbfCache::default(),
+            sweeps: HashMap::new(),
         };
         engine.layout()?;
         Ok(engine)
+    }
+
+    /// The netlist this context compiles (the cone slice, under the
+    /// driver).
+    pub fn netlist(&self) -> &'a Netlist {
+        self.netlist
+    }
+
+    /// The next breakpoint of `output`'s descending `{Kᵢᵐᵃˣ}` sweep
+    /// strictly below `below`, via the per-output memoized
+    /// [`Breakpoints`] enumerator.
+    pub fn next_breakpoint(&mut self, output: NodeId, below: Time) -> Option<Time> {
+        let netlist = self.netlist;
+        self.sweeps
+            .entry(output)
+            .or_insert_with(|| Breakpoints::from_output(netlist, output))
+            .next_below(below)
     }
 
     /// (Re)creates the manager: interleaved variables, then both statics.
@@ -355,6 +368,10 @@ impl<'a> Engine<'a> {
         self.static_after = static_after;
         self.static_before = static_before;
         self.input_vars = input_vars;
+        // The old manager's handles just died with it; cached
+        // instantiations and leaf bindings die too (the interner's ids
+        // stay valid — they name k-functions, not nodes).
+        self.tbf_cache.clear();
         Ok(())
     }
 
@@ -439,7 +456,7 @@ impl<'a> Engine<'a> {
         output: NodeId,
         b: Time,
         mode: Mode,
-    ) -> Result<Vec<(TbfVarKey, Vec<NodeId>)>, BuildAbort> {
+    ) -> Result<Vec<(TimedVarKey, Vec<NodeId>)>, BuildAbort> {
         struct KeyCollect<'n> {
             netlist: &'n Netlist,
             pmax: &'n [Time],
@@ -450,8 +467,8 @@ impl<'a> Engine<'a> {
             budget: &'n AnalysisBudget,
             memo_useful: bool,
             suffix: Vec<NodeId>,
-            seen: HashSet<(NodeId, TbfVarKey)>,
-            keys: HashMap<TbfVarKey, Vec<NodeId>>,
+            seen: HashSet<(NodeId, TimedVarKey)>,
+            keys: HashMap<TimedVarKey, Vec<NodeId>>,
             calls: usize,
         }
         impl KeyCollect<'_> {
@@ -482,7 +499,7 @@ impl<'a> Engine<'a> {
                     return Ok(());
                 }
                 if let Some(pos) = self.netlist.input_position(n) {
-                    let key = var_key(self.netlist, pos, &self.suffix);
+                    let key = TimedVarKey::of_suffix(self.netlist, pos, &self.suffix);
                     if !self.keys.contains_key(&key) {
                         if self.keys.len() >= self.max_paths {
                             return Err(BuildAbort::TooManyPaths {
@@ -494,7 +511,10 @@ impl<'a> Engine<'a> {
                     return Ok(());
                 }
                 if self.memo_useful {
-                    let memo_key = (n, var_key(self.netlist, usize::MAX, &self.suffix));
+                    let memo_key = (
+                        n,
+                        TimedVarKey::of_suffix(self.netlist, usize::MAX, &self.suffix),
+                    );
                     if !self.seen.insert(memo_key) {
                         return Ok(());
                     }
@@ -524,7 +544,7 @@ impl<'a> Engine<'a> {
             calls: 0,
         };
         kc.run(output, Time::ZERO, Time::ZERO)?;
-        let mut entries: Vec<(TbfVarKey, Vec<NodeId>)> = kc.keys.into_iter().collect();
+        let mut entries: Vec<(TimedVarKey, Vec<NodeId>)> = kc.keys.into_iter().collect();
         // Deterministic slot assignment.
         entries.sort_by(|a, b| {
             (a.0.input_pos, a.0.fixed_sum, &a.0.variable_gates).cmp(&(
@@ -540,8 +560,8 @@ impl<'a> Engine<'a> {
     /// breakpoint needs more than reserved.
     fn assign_slots(
         &mut self,
-        entries: &[(TbfVarKey, Vec<NodeId>)],
-    ) -> Result<HashMap<TbfVarKey, Var>, BuildAbort> {
+        entries: &[(TimedVarKey, Vec<NodeId>)],
+    ) -> Result<HashMap<TimedVarKey, Var>, BuildAbort> {
         let mut per_input_count: HashMap<usize, usize> = HashMap::new();
         for (key, _) in entries {
             *per_input_count.entry(key.input_pos).or_insert(0) += 1;
@@ -572,15 +592,17 @@ impl<'a> Engine<'a> {
                 gates: gates.clone(),
             })
             .collect();
-        let leaf_of_key: HashMap<TbfVarKey, Bdd> = entries
-            .iter()
-            .map(|(key, _)| {
-                let s = self.manager.var(vars[key]);
-                let after = self.after_leaf[key.input_pos];
-                let before = self.before_leaf[key.input_pos];
-                (key.clone(), self.manager.ite(s, after, before))
-            })
-            .collect();
+        self.tbf_cache.begin_query();
+        let mut leaf_of_key: HashMap<TimedVarId, Bdd> = HashMap::with_capacity(entries.len());
+        for (key, _) in &entries {
+            let id = self.table.intern(key);
+            let s = self.manager.var(vars[key]);
+            let after = self.after_leaf[key.input_pos];
+            let before = self.before_leaf[key.input_pos];
+            let leaf = self.manager.ite(s, after, before);
+            self.tbf_cache.bind(Mode::TwoVector.idx(), id, leaf);
+            leaf_of_key.insert(id, leaf);
+        }
         let f = self.build(output, b, Mode::TwoVector, leaf_of_key)?;
         Ok(QueryOut { f, resolvents })
     }
@@ -592,21 +614,48 @@ impl<'a> Engine<'a> {
     pub fn sequences_query(&mut self, output: NodeId, b: Time) -> Result<Bdd, BuildAbort> {
         let entries = self.collect_keys(output, b, Mode::Sequences)?;
         let vars = self.assign_slots(&entries)?;
-        let leaf_of_key: HashMap<TbfVarKey, Bdd> = entries
-            .iter()
-            .map(|(key, _)| (key.clone(), self.manager.var(vars[key])))
-            .collect();
+        self.tbf_cache.begin_query();
+        let mut leaf_of_key: HashMap<TimedVarId, Bdd> = HashMap::with_capacity(entries.len());
+        for (key, _) in &entries {
+            let id = self.table.intern(key);
+            let leaf = self.manager.var(vars[key]);
+            self.tbf_cache.bind(Mode::Sequences.idx(), id, leaf);
+            leaf_of_key.insert(id, leaf);
+        }
         self.build(output, b, Mode::Sequences, leaf_of_key)
     }
 
     /// Pass 2: the BDD-building recursion, shared between the two modes.
+    ///
+    /// Each recursion step returns its BDD *plus* the validity window
+    /// `(lo, hi]` of breakpoints over which every collapse decision in
+    /// the subtree is unchanged, and the set of leaf timed variables the
+    /// result reads. Interior results are stored in the cross-breakpoint
+    /// [`TbfCache`] under their interned k-function, so the next
+    /// breakpoint's build can splice them back in instead of re-running
+    /// the BDD operations (canonicity makes the spliced handle exactly
+    /// the node a rebuild would return, so reports cannot move).
     fn build(
         &mut self,
         output: NodeId,
         b: Time,
         mode: Mode,
-        leaf_of_key: HashMap<TbfVarKey, Bdd>,
+        leaf_of_key: HashMap<TimedVarId, Bdd>,
     ) -> Result<Bdd, BuildAbort> {
+        if !self.budget.tbf_cache() {
+            // Ablation knob: drop cross-breakpoint entries up front; the
+            // cache then degenerates to a within-build memo table.
+            self.tbf_cache.clear_entries();
+        }
+        /// A sub-BDD with its breakpoint validity window and leaf
+        /// support (`None` once the support outgrew [`SUPPORT_CAP`] and
+        /// the result became uncacheable).
+        struct Built {
+            f: Bdd,
+            lo: Time,
+            hi: Time,
+            support: Option<Vec<TimedVarId>>,
+        }
         struct TbfBuild<'n> {
             netlist: &'n Netlist,
             pmax: &'n [Time],
@@ -616,12 +665,12 @@ impl<'a> Engine<'a> {
             max_paths: usize,
             max_bdd: usize,
             budget: Arc<AnalysisBudget>,
-            memo_useful: bool,
             static_after: &'n [Bdd],
             static_before: &'n [Bdd],
-            leaf_of_key: HashMap<TbfVarKey, Bdd>,
+            leaf_of_key: HashMap<TimedVarId, Bdd>,
+            table: &'n mut TimedTable,
+            cache: &'n mut TbfCache,
             suffix: Vec<NodeId>,
-            memo: HashMap<(NodeId, TbfVarKey), Bdd>,
             calls: usize,
         }
         impl TbfBuild<'_> {
@@ -631,15 +680,28 @@ impl<'a> Engine<'a> {
                 n: NodeId,
                 smin: Time,
                 smax: Time,
-            ) -> Result<Bdd, BuildAbort> {
+            ) -> Result<Built, BuildAbort> {
                 let i = n.index();
                 // Collapse rules: compare the extremal total path lengths
                 // of every completion through `n` against the query point.
+                // A positive collapse stays valid for every larger query
+                // point, a negative one for every smaller — the windows
+                // encode exactly that.
                 if smax + self.pmax[i] < self.b {
-                    return Ok(self.static_after[i]);
+                    return Ok(Built {
+                        f: self.static_after[i],
+                        lo: smax + self.pmax[i],
+                        hi: Time::MAX,
+                        support: Some(Vec::new()),
+                    });
                 }
                 if self.mode == Mode::TwoVector && smin + self.pminmin[i] >= self.b {
-                    return Ok(self.static_before[i]);
+                    return Ok(Built {
+                        f: self.static_before[i],
+                        lo: Time::MIN,
+                        hi: smin + self.pminmin[i],
+                        support: Some(Vec::new()),
+                    });
                 }
                 if manager.node_count() > self.max_bdd {
                     return Err(BuildAbort::BddTooLarge {
@@ -662,43 +724,87 @@ impl<'a> Engine<'a> {
                 }
                 let node = self.netlist.node(n);
                 if node.kind().is_constant() {
-                    // Constants never transition; both statics coincide.
-                    return Ok(self.static_after[i]);
+                    // Constants never transition; both statics coincide
+                    // and the result is valid at every query point.
+                    return Ok(Built {
+                        f: self.static_after[i],
+                        lo: Time::MIN,
+                        hi: Time::MAX,
+                        support: Some(Vec::new()),
+                    });
                 }
                 if let Some(pos) = self.netlist.input_position(n) {
                     // Neither collapse fired: this path needs its variable
                     // (straddling resolvent or unsettled fresh variable),
-                    // discovered by pass 1.
-                    let key = var_key(self.netlist, pos, &self.suffix);
-                    return Ok(*self
+                    // discovered by pass 1. Its window is the straddling
+                    // interval itself; outside it a collapse takes over.
+                    let key = TimedVarKey::of_suffix(self.netlist, pos, &self.suffix);
+                    let id = self.table.intern(&key);
+                    let f = *self
                         .leaf_of_key
-                        .get(&key)
-                        .expect("pass 1 discovered every leaf key"));
+                        .get(&id)
+                        .expect("pass 1 discovered every leaf key");
+                    let lo = if self.mode == Mode::TwoVector {
+                        smin + self.pminmin[i]
+                    } else {
+                        Time::MIN
+                    };
+                    return Ok(Built {
+                        f,
+                        lo,
+                        hi: smax + self.pmax[i],
+                        support: Some(vec![id]),
+                    });
                 }
-                // Interior gate: recurse into fanins with the gate's delay
-                // added to the suffix interval. Memoize on the suffix's
-                // k-function — suffixes with equal variable-gate multisets
-                // and fixed sums induce identical sub-TBFs (and share
-                // resolvents consistently).
-                let memo_key = if self.memo_useful {
-                    let k = (n, var_key(self.netlist, usize::MAX, &self.suffix));
-                    if let Some(&cached) = self.memo.get(&k) {
-                        return Ok(cached);
-                    }
-                    Some(k)
-                } else {
-                    None
-                };
+                // Interior gate: suffixes with equal variable-gate
+                // multisets and fixed sums induce identical sub-TBFs (and
+                // share resolvents consistently), so the sub-BDD is keyed
+                // by the interned k-function — both for reuse within this
+                // build and across breakpoints while the window holds.
+                let kfn = TimedVarKey::of_suffix(self.netlist, usize::MAX, &self.suffix);
+                let id = self.table.intern(&kfn);
+                if let Some(e) = self.cache.lookup(n, id, self.mode.idx(), self.b) {
+                    #[cfg(feature = "obs")]
+                    self.budget.counters().bump(tbf_obs::Metric::TbfCacheHits);
+                    return Ok(Built {
+                        f: e.bdd,
+                        lo: e.lo,
+                        hi: e.hi,
+                        support: Some(e.support.clone()),
+                    });
+                }
                 let d = node.delay();
                 let fanins: Vec<NodeId> = node.fanins().to_vec();
                 let kind = node.kind();
+                // The gate's own window: the interval over which it keeps
+                // straddling, narrowed below by every fanin's window.
+                let mut lo = if self.mode == Mode::TwoVector {
+                    smin + self.pminmin[i]
+                } else {
+                    Time::MIN
+                };
+                let mut hi = smax + self.pmax[i];
+                let mut support: Option<Vec<TimedVarId>> = Some(Vec::new());
                 self.suffix.push(n);
                 let mut fanin_bdds = Vec::with_capacity(fanins.len());
                 for f in fanins {
-                    let b = self.go(manager, f, smin + d.min, smax + d.max)?;
-                    fanin_bdds.push(b);
+                    let built = self.go(manager, f, smin + d.min, smax + d.max)?;
+                    fanin_bdds.push(built.f);
+                    lo = lo.max(built.lo);
+                    hi = hi.min(built.hi);
+                    support = match (support, built.support) {
+                        (Some(mut acc), Some(sub)) if acc.len() + sub.len() <= SUPPORT_CAP => {
+                            acc.extend(sub);
+                            Some(acc)
+                        }
+                        _ => None,
+                    };
                 }
                 self.suffix.pop();
+                if let Some(acc) = &mut support {
+                    acc.sort_unstable();
+                    acc.dedup();
+                }
                 if fault::trip(Site::BddOp) {
                     return Err(BuildAbort::BddTooLarge {
                         limit: self.max_bdd,
@@ -709,8 +815,13 @@ impl<'a> Engine<'a> {
                 let op_budget = OpBudget::with_cancel(self.max_bdd, &probe);
                 let result = gate_bdd(manager, kind, &fanin_bdds, &op_budget)
                     .map_err(BuildAbort::from_op)?;
-                if let Some(k) = memo_key {
-                    self.memo.insert(k, result);
+                #[cfg(feature = "obs")]
+                self.budget
+                    .counters()
+                    .bump(tbf_obs::Metric::TbfInstantiations);
+                if let Some(sup) = support.clone() {
+                    self.cache
+                        .insert((n, id, self.mode.idx()), lo, hi, result, sup);
                 }
                 // Safe point: the gate's BDD call is complete, so an
                 // on-pressure sift may rewrite the arena here. Handles
@@ -721,17 +832,20 @@ impl<'a> Engine<'a> {
                         self.static_after.len()
                             + self.static_before.len()
                             + self.leaf_of_key.len()
-                            + self.memo.len()
                             + 1,
                     );
                     roots.extend_from_slice(self.static_after);
                     roots.extend_from_slice(self.static_before);
                     roots.extend(self.leaf_of_key.values().copied());
-                    roots.extend(self.memo.values().copied());
                     roots.push(result);
                     manager.check_pressure(&roots);
                 }
-                Ok(result)
+                Ok(Built {
+                    f: result,
+                    lo,
+                    hi,
+                    support,
+                })
             }
         }
         let mut builder = TbfBuild {
@@ -743,15 +857,17 @@ impl<'a> Engine<'a> {
             max_paths: self.budget.max_paths(),
             max_bdd: self.budget.max_bdd_nodes(),
             budget: self.budget.clone(),
-            memo_useful: self.memo_useful,
             static_after: &self.static_after,
             static_before: &self.static_before,
             leaf_of_key,
+            table: &mut self.table,
+            cache: &mut self.tbf_cache,
             suffix: Vec::new(),
-            memo: HashMap::new(),
             calls: 0,
         };
-        builder.go(&mut self.manager, output, Time::ZERO, Time::ZERO)
+        builder
+            .go(&mut self.manager, output, Time::ZERO, Time::ZERO)
+            .map(|built| built.f)
     }
 }
 
@@ -766,8 +882,8 @@ mod tests {
         Time::from_int(x)
     }
 
-    fn engine(n: &Netlist) -> Engine<'_> {
-        Engine::new(
+    fn engine(n: &Netlist) -> ConeContext<'_> {
+        ConeContext::new(
             n,
             AnalysisBudget::from_options(&DelayOptions::default()).shared(),
         )
@@ -893,8 +1009,8 @@ mod tests {
             max_straddling_paths: 4,
             ..DelayOptions::default()
         };
-        let mut e =
-            Engine::new(&n, AnalysisBudget::from_options(&opts).shared()).expect("small circuit");
+        let mut e = ConeContext::new(&n, AnalysisBudget::from_options(&opts).shared())
+            .expect("small circuit");
         let err = e.two_vector_query(out, t(3)).unwrap_err();
         assert_eq!(err, BuildAbort::TooManyPaths { limit: 4 });
     }
@@ -928,7 +1044,7 @@ mod tests {
             ..DelayOptions::default()
         };
         let budget = AnalysisBudget::from_options(&opts).shared();
-        let mut e = Engine::new(&n, budget.clone()).expect("small circuit");
+        let mut e = ConeContext::new(&n, budget.clone()).expect("small circuit");
         assert!(e.two_vector_query(out, t(3)).is_err());
         budget.escalate(4);
         assert!(e.two_vector_query(out, t(3)).is_ok());
@@ -943,7 +1059,7 @@ mod tests {
         let budget = AnalysisBudget::from_options(&DelayOptions::default())
             .with_token(token.clone())
             .shared();
-        let mut e = Engine::new(&n, budget).expect("small circuit");
+        let mut e = ConeContext::new(&n, budget).expect("small circuit");
         token.cancel();
         let err = e.two_vector_query(out, t(4)).unwrap_err();
         assert_eq!(err, BuildAbort::Interrupted);

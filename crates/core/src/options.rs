@@ -46,6 +46,14 @@ pub struct DelayOptions {
     /// the trigger, and the anytime ladder gains a reorder-and-retry
     /// rung before giving up exactness on a blown node cap.
     pub reorder: ReorderPolicy,
+    /// Cross-breakpoint timed-node caching in the delay-model engine:
+    /// sub-BDDs built at one breakpoint are reused at adjacent
+    /// breakpoints while their validity window holds. Purely an effort
+    /// knob — results and reports are byte-identical either way (the
+    /// unique table is canonical, so a rebuild allocates exactly the
+    /// nodes a cache hit returns). `false` restricts memoization to
+    /// within a single breakpoint build, for A/B measurement.
+    pub tbf_cache: bool,
 }
 
 impl Default for DelayOptions {
@@ -57,6 +65,7 @@ impl Default for DelayOptions {
             max_breakpoints: usize::MAX,
             time_budget: None,
             reorder: ReorderPolicy::None,
+            tbf_cache: true,
         }
     }
 }

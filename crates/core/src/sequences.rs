@@ -2,16 +2,14 @@
 
 use std::sync::Arc;
 
-use tbf_logic::paths::next_breakpoint;
 use tbf_logic::{Netlist, NodeId, Time};
 
 use crate::budget::AnalysisBudget;
 use crate::error::DelayError;
-use crate::fault::{self, Site};
-use crate::network::Engine;
+use crate::model::{delay_with_model, DelayModel, Hit};
+use crate::network::ConeContext;
 use crate::options::DelayOptions;
-use crate::report::{DelayReport, OutputDelay, OutputStatus, SearchStats};
-use crate::two_vector::{degraded_output, finish_report};
+use crate::report::{DelayReport, SearchStats};
 
 /// Computes the exact delay by sequences of vectors
 /// `D(C, [dᵐⁱⁿ,dᵐᵃˣ], ω⁻)`: the latest possible arrival time of the last
@@ -68,35 +66,7 @@ pub(crate) fn sequences_delay_budgeted(
     netlist: &Netlist,
     budget: Arc<AnalysisBudget>,
 ) -> Result<DelayReport, DelayError> {
-    let mut engine = Engine::new(netlist, budget.clone())
-        .map_err(|e| e.into_error(netlist.topological_delay(), &budget))?;
-    let mut stats = SearchStats::default();
-    let mut outputs = Vec::new();
-    let mut first_error: Option<DelayError> = None;
-    for (name, out_id) in netlist.outputs() {
-        #[cfg(feature = "obs")]
-        let _cone = crate::obs::RungSpan::open(&format!("cone:{name}"), &budget);
-        match cone_delay(netlist, &mut engine, *out_id, &mut stats) {
-            Ok(delay) => outputs.push(OutputDelay {
-                name: name.clone(),
-                delay,
-                topological: netlist.topological_delay_of(*out_id),
-                status: OutputStatus::Exact,
-            }),
-            Err(e) => {
-                // Keep the capped cone's sound upper bound and continue —
-                // a dominating exact output keeps the circuit-level
-                // result exact.
-                let Some(entry) = degraded_output(netlist, name, *out_id, &e) else {
-                    return Err(e);
-                };
-                first_error.get_or_insert(e);
-                outputs.push(entry);
-            }
-        }
-    }
-    stats.absorb_reorder(engine.total_reorder_stats());
-    finish_report(netlist, outputs, None, stats, first_error)
+    delay_with_model(netlist, budget, &mut Sequences)
 }
 
 /// The floating delay of the circuit under the unbounded gate delay model
@@ -115,53 +85,69 @@ pub fn floating_delay(
     netlist: &Netlist,
     options: &DelayOptions,
 ) -> Result<DelayReport, DelayError> {
-    let relaxed = netlist.map_delays(|d| tbf_logic::DelayBounds::unbounded(d.max));
-    sequences_delay(&relaxed, options)
+    delay_with_model(
+        netlist,
+        AnalysisBudget::from_options(options).shared(),
+        &mut Floating,
+    )
 }
 
-/// The sequences delay of a single output cone, under the engine's
-/// budget. The [`analyze`](crate::analyze) driver uses it as the sound
-/// upper-bound rung of the degradation ladder (ω⁻ dominates the 2-vector
-/// delay).
-pub(crate) fn cone_delay(
-    netlist: &Netlist,
-    engine: &mut Engine<'_>,
-    output: NodeId,
-    stats: &mut SearchStats,
-) -> Result<Time, DelayError> {
-    let mut b_opt = next_breakpoint(netlist, output, Time::MAX);
-    let mut visited = 0usize;
-    while let Some(b) = b_opt {
-        visited += 1;
-        stats.breakpoints_visited += 1;
-        if engine.budget.check_now().is_some() || fault::trip(Site::Breakpoint) {
-            return Err(engine.budget.interrupt_error(b, (Time::ZERO, b)));
-        }
-        if visited > engine.budget.max_breakpoints() {
-            return Err(DelayError::TooManyCubes {
-                limit: engine.budget.max_breakpoints(),
-                at_breakpoint: b,
-                bounds: (Time::ZERO, b),
-            });
-        }
-        let f = engine
+/// The ω⁻ model as a [`DelayModel`] strategy (§9.4): test a breakpoint
+/// by building the sequences TBF (fresh free variables for unsettled
+/// timed variables) and comparing it against the settled function — no
+/// cube enumeration or linear programming. The
+/// [`analyze`](crate::analyze) driver uses it as the sound upper-bound
+/// rung of the degradation ladder (ω⁻ dominates the 2-vector delay).
+pub(crate) struct Sequences;
+
+impl DelayModel for Sequences {
+    fn test_at(
+        &mut self,
+        cx: &mut ConeContext<'_>,
+        output: NodeId,
+        _window_lo: Time,
+        b: Time,
+        stats: &mut SearchStats,
+    ) -> Result<Option<Hit>, DelayError> {
+        let f = cx
             .sequences_query(output, b)
-            .map_err(|e| e.into_error(b, &engine.budget))?;
-        stats.peak_bdd_nodes = stats.peak_bdd_nodes.max(engine.manager.node_count());
+            .map_err(|e| e.into_error(b, &cx.budget))?;
+        stats.peak_bdd_nodes = stats.peak_bdd_nodes.max(cx.manager.node_count());
         #[cfg(feature = "obs")]
-        tbf_obs::phase::record_peak_nodes(engine.manager.node_count() as u64);
-        let differs = f != engine.static_out(output);
-        engine
-            .maybe_compact()
-            .map_err(|e| e.into_error(b, &engine.budget))?;
-        if differs {
-            // A transition exists arbitrarily close below b (§9.3): the
-            // exact delay (supremum) is b.
-            return Ok(b);
-        }
-        b_opt = next_breakpoint(netlist, output, b);
+        tbf_obs::phase::record_peak_nodes(cx.manager.node_count() as u64);
+        // When the TBF still differs from the settled function, a
+        // transition exists arbitrarily close below b (§9.3): the exact
+        // delay (supremum) is b itself.
+        let differs = f != cx.static_out(output);
+        Ok(differs.then_some(Hit {
+            t: b,
+            witness: None,
+        }))
     }
-    Ok(Time::ZERO)
+}
+
+/// The floating-mode model: ω⁻ on the netlist with every gate relaxed
+/// to `[0, dᵐᵃˣ]` (Theorems 1–4). Purely a [`prepare`] step — the sweep
+/// and tests are exactly [`Sequences`] on the relaxed netlist.
+///
+/// [`prepare`]: DelayModel::prepare
+pub(crate) struct Floating;
+
+impl DelayModel for Floating {
+    fn prepare(&self, netlist: &Netlist) -> Option<Netlist> {
+        Some(netlist.map_delays(|d| tbf_logic::DelayBounds::unbounded(d.max)))
+    }
+
+    fn test_at(
+        &mut self,
+        cx: &mut ConeContext<'_>,
+        output: NodeId,
+        window_lo: Time,
+        b: Time,
+        stats: &mut SearchStats,
+    ) -> Result<Option<Hit>, DelayError> {
+        Sequences.test_at(cx, output, window_lo, b, stats)
+    }
 }
 
 #[cfg(test)]

@@ -7,7 +7,10 @@
 //! waveforms reproduces the circuit-behaviour calculations of Example 2
 //! and the gate models of §4.1.
 
-use tbf_logic::{Netlist, Time};
+use std::collections::HashMap;
+
+use tbf_bdd::Bdd;
+use tbf_logic::{Netlist, NodeId, Time};
 
 /// A Timed Boolean Function over `n` inputs.
 ///
@@ -175,6 +178,200 @@ impl TbfExpr {
         go(self, &mut out);
         out.sort_unstable();
         out
+    }
+}
+
+// ---------------------------------------------------------------------
+// The symbolic side of the shared delay-model engine: interned timed
+// variables (k-functions) and the cross-breakpoint instantiation cache.
+// `ConeContext` (network.rs) compiles a cone once into these tables;
+// the per-breakpoint BDD builds then reuse any sub-function whose
+// validity window still contains the query point.
+
+/// Identity of a timed variable / k-function `x(t−k)` reached through a
+/// suffix path: the endpoint plus the delay sum `k` *as a function* of
+/// the gate delay variables (variable-gate multiset + fixed part).
+/// `input_pos` is `usize::MAX` for interior (gate) suffix keys.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub(crate) struct TimedVarKey {
+    pub input_pos: usize,
+    pub variable_gates: Vec<NodeId>,
+    pub fixed_sum: Time,
+}
+
+impl TimedVarKey {
+    /// Splits a suffix path into its k-function parts.
+    pub fn of_suffix(netlist: &Netlist, input_pos: usize, suffix: &[NodeId]) -> TimedVarKey {
+        let mut variable_gates: Vec<NodeId> = Vec::new();
+        let mut fixed_sum = Time::ZERO;
+        for &g in suffix {
+            let d = netlist.node(g).delay();
+            if d.is_variable() {
+                variable_gates.push(g);
+            } else {
+                fixed_sum += d.max;
+            }
+        }
+        variable_gates.sort_unstable();
+        TimedVarKey {
+            input_pos,
+            variable_gates,
+            fixed_sum,
+        }
+    }
+}
+
+/// Index of an interned [`TimedVarKey`] in a cone's [`TimedTable`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub(crate) struct TimedVarId(u32);
+
+impl TimedVarId {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The cone's interner: every distinct k-function (leaf or interior
+/// suffix) gets one stable [`TimedVarId`] for the context's lifetime.
+/// Append-only, so ids survive manager rebuilds.
+#[derive(Default)]
+pub(crate) struct TimedTable {
+    ids: HashMap<TimedVarKey, TimedVarId>,
+}
+
+impl TimedTable {
+    /// The id of `key`, interning it on first sight.
+    pub fn intern(&mut self, key: &TimedVarKey) -> TimedVarId {
+        if let Some(&id) = self.ids.get(key) {
+            return id;
+        }
+        let id = TimedVarId(u32::try_from(self.ids.len()).unwrap_or(u32::MAX));
+        self.ids.insert(key.clone(), id);
+        id
+    }
+}
+
+/// Entries whose support exceeds this are not cached: the per-entry
+/// support list is what makes invalidation exact, and unbounded lists
+/// would make the cache quadratic in cone width.
+pub(crate) const SUPPORT_CAP: usize = 128;
+
+/// One cached instantiation of a timed sub-function: the BDD built for
+/// `(gate, suffix k-function)` at some query point, valid for every
+/// breakpoint `b` in `(lo, hi]` — the window over which every collapse
+/// decision in the subtree is unchanged — as long as none of the leaf
+/// variables in `support` has been re-bound since `built_epoch`.
+pub(crate) struct Instantiation {
+    pub lo: Time,
+    pub hi: Time,
+    pub bdd: Bdd,
+    built_epoch: u64,
+    pub support: Vec<TimedVarId>,
+}
+
+/// The cross-breakpoint timed-node cache (the "symbolic TBF DAG"): maps
+/// `(gate, interned k-function, mode)` to a still-valid BDD so adjacent
+/// breakpoints reuse sub-BDDs instead of rebuilding them.
+///
+/// Invalidation is epoch-based: every query bumps the epoch and re-binds
+/// its leaf variables; a binding that actually changed (a leaf key got a
+/// different slot variable, or a different resolvent) stamps its
+/// `changed_at`, and an entry is served only if `built_epoch` is at
+/// least as new as every support leaf's `changed_at`.
+///
+/// The cache holds plain `Bdd` handles: the arena is append-only and
+/// handles survive sifting reorders, so entries stay correct until the
+/// manager itself is rebuilt — [`clear`](TbfCache::clear) is called on
+/// every layout rebuild.
+#[derive(Default)]
+pub(crate) struct TbfCache {
+    entries: HashMap<(NodeId, TimedVarId, u8), Instantiation>,
+    /// Per-mode leaf bindings, indexed by `TimedVarId`.
+    bindings: [Vec<Option<Bdd>>; 2],
+    /// Epoch at which each binding last changed.
+    changed_at: [Vec<u64>; 2],
+    epoch: u64,
+}
+
+impl TbfCache {
+    /// Starts a new query: later [`bind`](TbfCache::bind) calls stamp
+    /// changed leaves with this epoch.
+    pub fn begin_query(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Registers the query's BDD for leaf `id` (mode-scoped). Re-binding
+    /// a leaf to the BDD it already had leaves validity untouched.
+    pub fn bind(&mut self, mode: u8, id: TimedVarId, leaf: Bdd) {
+        let m = mode as usize;
+        let i = id.index();
+        if self.bindings[m].len() <= i {
+            self.bindings[m].resize(i + 1, None);
+            self.changed_at[m].resize(i + 1, 0);
+        }
+        if self.bindings[m][i] != Some(leaf) {
+            self.bindings[m][i] = Some(leaf);
+            self.changed_at[m][i] = self.epoch;
+        }
+    }
+
+    /// The still-valid instantiation of `(n, id, mode)` at breakpoint
+    /// `b`, if any: the window must contain `b` and every support leaf's
+    /// binding must predate the entry.
+    pub fn lookup(&self, n: NodeId, id: TimedVarId, mode: u8, b: Time) -> Option<&Instantiation> {
+        let e = self.entries.get(&(n, id, mode))?;
+        if !(e.lo < b && b <= e.hi) {
+            return None;
+        }
+        let changed = &self.changed_at[mode as usize];
+        let fresh = e
+            .support
+            .iter()
+            .all(|s| changed.get(s.index()).is_some_and(|&c| c <= e.built_epoch));
+        fresh.then_some(e)
+    }
+
+    /// Caches a freshly built instantiation. Entries with oversized
+    /// support are dropped: exact invalidation would cost more than the
+    /// rebuild they might save.
+    pub fn insert(
+        &mut self,
+        key: (NodeId, TimedVarId, u8),
+        lo: Time,
+        hi: Time,
+        bdd: Bdd,
+        support: Vec<TimedVarId>,
+    ) {
+        if support.len() > SUPPORT_CAP {
+            return;
+        }
+        self.entries.insert(
+            key,
+            Instantiation {
+                lo,
+                hi,
+                bdd,
+                built_epoch: self.epoch,
+                support,
+            },
+        );
+    }
+
+    /// Drops every entry (not the interner): called whenever the BDD
+    /// manager is rebuilt, which invalidates all handles at once.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        for m in 0..2 {
+            self.bindings[m].clear();
+            self.changed_at[m].clear();
+        }
+    }
+
+    /// Drops the cached instantiations but keeps the leaf bindings —
+    /// used when cross-breakpoint reuse is disabled, reducing the cache
+    /// to a within-build memo table.
+    pub fn clear_entries(&mut self) {
+        self.entries.clear();
     }
 }
 

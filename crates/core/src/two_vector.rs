@@ -4,14 +4,14 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use tbf_bdd::{transfer, Bdd, BddManager, Cube, OpAbort, OpBudget, Var};
-use tbf_logic::paths::next_breakpoint;
 use tbf_logic::{Netlist, NodeId, Time};
 use tbf_lp::{PathLp, PathLpOutcome};
 
 use crate::budget::AnalysisBudget;
 use crate::error::DelayError;
 use crate::fault::{self, Site};
-use crate::network::{Engine, QueryOut};
+use crate::model::{delay_with_model, DelayModel, Hit};
+use crate::network::{ConeContext, QueryOut};
 use crate::options::DelayOptions;
 use crate::report::{DelayReport, DelayWitness, OutputDelay, OutputStatus, SearchStats};
 
@@ -60,50 +60,7 @@ pub(crate) fn two_vector_delay_budgeted(
     netlist: &Netlist,
     budget: Arc<AnalysisBudget>,
 ) -> Result<DelayReport, DelayError> {
-    let mut engine = Engine::new(netlist, budget.clone())
-        .map_err(|e| e.into_error(netlist.topological_delay(), &budget))?;
-    let mut stats = SearchStats::default();
-    let mut outputs = Vec::new();
-    let mut witness: Option<DelayWitness> = None;
-    let mut witness_delay = Time::MIN;
-    let mut first_error: Option<DelayError> = None;
-    for (name, out_id) in netlist.outputs() {
-        #[cfg(feature = "obs")]
-        let _cone = crate::obs::RungSpan::open(&format!("cone:{name}"), &budget);
-        match cone_delay(netlist, &mut engine, *out_id, &mut stats) {
-            Ok((delay, w)) => {
-                if delay > witness_delay {
-                    if let Some((before, after, delays)) = w {
-                        witness = Some(DelayWitness {
-                            output: name.clone(),
-                            before,
-                            after,
-                            delays,
-                        });
-                        witness_delay = delay;
-                    }
-                }
-                outputs.push(OutputDelay {
-                    name: name.clone(),
-                    delay,
-                    topological: netlist.topological_delay_of(*out_id),
-                    status: OutputStatus::Exact,
-                });
-            }
-            Err(e) => {
-                // This cone hit a cap: keep its sound upper bound and move
-                // on — if another output dominates it, the circuit-level
-                // delay is still exact.
-                let Some(entry) = degraded_output(netlist, name, *out_id, &e) else {
-                    return Err(e); // netlist errors are not degradable
-                };
-                first_error.get_or_insert(e);
-                outputs.push(entry);
-            }
-        }
-    }
-    stats.absorb_reorder(engine.total_reorder_stats());
-    finish_report(netlist, outputs, witness, stats, first_error)
+    delay_with_model(netlist, budget, &mut TwoVector)
 }
 
 /// The capped cone's [`OutputDelay`] entry (its delay is the sound upper
@@ -169,67 +126,51 @@ pub(crate) fn finish_report(
 /// Raw witness parts: (before vector, after vector, per-node delays).
 pub(crate) type WitnessParts = (Vec<bool>, Vec<bool>, Vec<Time>);
 
-/// The exact 2-vector delay of a single output cone, under the engine's
-/// budget. Exposed to the [`analyze`](crate::analyze) driver so the
-/// degradation ladder can retry and degrade per cone.
-pub(crate) fn cone_delay(
-    netlist: &Netlist,
-    engine: &mut Engine<'_>,
-    output: NodeId,
-    stats: &mut SearchStats,
-) -> Result<(Time, Option<WitnessParts>), DelayError> {
-    let mut b_opt = next_breakpoint(netlist, output, Time::MAX);
-    let mut visited = 0usize;
-    while let Some(b) = b_opt {
-        visited += 1;
-        stats.breakpoints_visited += 1;
-        if engine.budget.check_now().is_some() || fault::trip(Site::Breakpoint) {
-            return Err(engine.budget.interrupt_error(b, (Time::ZERO, b)));
-        }
-        if visited > engine.budget.max_breakpoints() {
-            return Err(DelayError::TooManyCubes {
-                limit: engine.budget.max_breakpoints(),
-                at_breakpoint: b,
-                bounds: (Time::ZERO, b),
-            });
-        }
-        let lower_bp = next_breakpoint(netlist, output, b);
-        let window_lo = lower_bp.unwrap_or(Time::ZERO);
+/// The 2-vector model as a [`DelayModel`] strategy (§7.3): test a
+/// breakpoint interval by building the resolvent TBF, XOR-ing against
+/// the settled function, and maximizing `t` over each difference cube's
+/// induced linear program.
+pub(crate) struct TwoVector;
 
-        let query = engine
+impl DelayModel for TwoVector {
+    fn test_at(
+        &mut self,
+        cx: &mut ConeContext<'_>,
+        output: NodeId,
+        window_lo: Time,
+        b: Time,
+        stats: &mut SearchStats,
+    ) -> Result<Option<Hit>, DelayError> {
+        let netlist = cx.netlist();
+        let query = cx
             .two_vector_query(output, b)
-            .map_err(|e| e.into_error(b, &engine.budget))?;
+            .map_err(|e| e.into_error(b, &cx.budget))?;
         stats.resolvents += query.resolvents.len();
-        stats.peak_bdd_nodes = stats.peak_bdd_nodes.max(engine.manager.node_count());
+        stats.peak_bdd_nodes = stats.peak_bdd_nodes.max(cx.manager.node_count());
         #[cfg(feature = "obs")]
-        tbf_obs::phase::record_peak_nodes(engine.manager.node_count() as u64);
+        tbf_obs::phase::record_peak_nodes(cx.manager.node_count() as u64);
 
-        let found = check_interval(netlist, engine, output, &query, window_lo, b, stats)?;
-        if let Some((t, w)) = found {
-            return Ok((t, Some(w)));
-        }
-        engine
-            .maybe_compact()
-            .map_err(|e| e.into_error(b, &engine.budget))?;
-        b_opt = lower_bp;
+        let found = check_interval(netlist, cx, output, &query, window_lo, b, stats)?;
+        Ok(found.map(|(t, w)| Hit {
+            t,
+            witness: Some(w),
+        }))
     }
-    // No interval ever differed: the output cannot transition at all.
-    Ok((Time::ZERO, None))
 }
 
 /// Checks one breakpoint interval `(window_lo, b]`; returns the exact
 /// delay if the last output transition can fall inside it.
 fn check_interval(
     netlist: &Netlist,
-    engine: &mut Engine<'_>,
+    cx: &mut ConeContext<'_>,
     output: NodeId,
     query: &QueryOut,
     window_lo: Time,
     b: Time,
     stats: &mut SearchStats,
 ) -> Result<Option<(Time, WitnessParts)>, DelayError> {
-    let static_out = engine.static_out(output);
-    let budget = engine.budget.clone();
+    let static_out = cx.static_out(output);
+    let budget = cx.budget.clone();
     let abort = |a: OpAbort| match a {
         OpAbort::NodeLimit(e) => DelayError::BddTooLarge {
             limit: e.limit,
@@ -238,10 +179,10 @@ fn check_interval(
         },
         OpAbort::Cancelled => budget.interrupt_error(b, (Time::ZERO, b)),
     };
-    let bud = engine.budget.clone();
+    let bud = cx.budget.clone();
     let probe = move || bud.interrupted();
-    let op_budget = OpBudget::with_cancel(engine.budget.max_bdd_nodes(), &probe);
-    let xor = engine
+    let op_budget = OpBudget::with_cancel(cx.budget.max_bdd_nodes(), &probe);
+    let xor = cx
         .manager
         .try_xor_b(query.f, static_out, &op_budget)
         .map_err(abort)?;
@@ -251,15 +192,15 @@ fn check_interval(
     // Project onto the resolvent variables: the input values only need to
     // exist (inputs are arbitrary), so quantify them out and enumerate
     // resolution cubes only (§7.2's implicit enumeration).
-    let input_vars = engine.input_vars.clone();
-    let projected = engine
+    let input_vars = cx.input_vars.clone();
+    let projected = cx
         .manager
         .try_exists_all_b(xor, &input_vars, &op_budget)
         .map_err(abort)?;
     debug_assert!(!projected.is_false(), "∃ of a non-false BDD");
-    stats.peak_bdd_nodes = stats.peak_bdd_nodes.max(engine.manager.node_count());
+    stats.peak_bdd_nodes = stats.peak_bdd_nodes.max(cx.manager.node_count());
     #[cfg(feature = "obs")]
-    tbf_obs::phase::record_peak_nodes(engine.manager.node_count() as u64);
+    tbf_obs::phase::record_peak_nodes(cx.manager.node_count() as u64);
 
     // Dense LP variable space: every gate on any resolvent path.
     let mut gate_index: HashMap<NodeId, usize> = HashMap::new();
@@ -281,13 +222,13 @@ fn check_interval(
 
     // Materialize the cubes first: witness extraction below needs the
     // manager mutably. The cap bounds the allocation.
-    let cubes = canonical_cubes(engine, projected, b)?;
+    let cubes = canonical_cubes(cx, projected, b)?;
     let mut best: Option<(Time, WitnessParts)> = None;
     for (cube_idx, cube) in cubes.iter().enumerate() {
         // LP chains can dominate a breakpoint; honor the budget here too.
-        if cube_idx % 64 == 0 && engine.budget.check_now().is_some() {
+        if cube_idx % 64 == 0 && cx.budget.check_now().is_some() {
             let lo = best.as_ref().map(|(t, _)| *t).unwrap_or(Time::ZERO);
-            return Err(engine.budget.interrupt_error(b, (lo, b)));
+            return Err(cx.budget.interrupt_error(b, (lo, b)));
         }
         let mut lp = PathLp::new(&bounds);
         lp.set_t_window(window_lo.scaled(), b.scaled());
@@ -308,7 +249,7 @@ fn check_interval(
             if t > window_lo && best.as_ref().is_none_or(|(cur, _)| t > *cur) {
                 let parts = extract_witness(
                     netlist,
-                    engine,
+                    cx,
                     query,
                     xor,
                     &lp,
@@ -342,7 +283,7 @@ fn check_interval(
 /// (canonicity makes the rebuilt ROBDD — hence the cube sequence —
 /// exactly the one an unreordered run enumerates).
 pub(crate) fn canonical_cubes(
-    engine: &mut Engine<'_>,
+    cx: &mut ConeContext<'_>,
     projected: Bdd,
     b: Time,
 ) -> Result<Vec<Cube>, DelayError> {
@@ -351,7 +292,7 @@ pub(crate) fn canonical_cubes(
         at_breakpoint: b,
         bounds: (Time::ZERO, b),
     };
-    let max_cubes = engine.budget.max_cubes();
+    let max_cubes = cx.budget.max_cubes();
     let mut cubes = Vec::new();
     let push = |cubes: &mut Vec<Cube>, cube: Cube| -> Result<(), DelayError> {
         if cubes.len() >= max_cubes || fault::trip(Site::CubeEnum) {
@@ -360,24 +301,24 @@ pub(crate) fn canonical_cubes(
         cubes.push(cube);
         Ok(())
     };
-    if engine.manager.is_identity_order() {
-        for cube in engine.manager.cubes(projected) {
+    if cx.manager.is_identity_order() {
+        for cube in cx.manager.cubes(projected) {
             push(&mut cubes, cube)?;
         }
     } else {
         let mut scratch = BddManager::new();
         // The scratch rebuild is real BDD work; count it with the rest.
         #[cfg(feature = "obs")]
-        scratch.set_counters(Arc::clone(engine.budget.counters()));
-        let var_map: Vec<Var> = (0..engine.manager.var_count())
+        scratch.set_counters(Arc::clone(cx.budget.counters()));
+        let var_map: Vec<Var> = (0..cx.manager.var_count())
             .map(|_| scratch.new_var())
             .collect();
         let moved = transfer(
-            &mut engine.manager,
+            &mut cx.manager,
             projected,
             &mut scratch,
             &var_map,
-            engine.budget.max_bdd_nodes(),
+            cx.budget.max_bdd_nodes(),
         )
         .map_err(|e| DelayError::BddTooLarge {
             limit: e.limit,
@@ -402,7 +343,7 @@ pub(crate) fn canonical_cubes(
 #[allow(clippy::too_many_arguments)]
 fn extract_witness(
     netlist: &Netlist,
-    engine: &mut Engine<'_>,
+    cx: &mut ConeContext<'_>,
     query: &QueryOut,
     xor: tbf_bdd::Bdd,
     lp: &PathLp,
@@ -427,7 +368,7 @@ fn extract_witness(
     for (r, gates) in query.resolvents.iter().zip(paths) {
         let sum: i64 = gates.iter().map(|&gi| d_w[gi]).sum();
         let arrived = t_w > sum;
-        g = engine.manager.restrict(g, r.var, arrived);
+        g = cx.manager.restrict(g, r.var, arrived);
     }
     if g.is_false() {
         // Grid rounding pushed the point onto a boundary; retreat to the
@@ -441,7 +382,7 @@ fn extract_witness(
     // The lexicographically minimal satisfying cube (in variable-identity
     // order) is order-independent, so the witness stays byte-identical
     // under any reorder policy.
-    let sat = engine.manager.min_sat_cube(g).ok_or(DelayError::Internal {
+    let sat = cx.manager.min_sat_cube(g).ok_or(DelayError::Internal {
         detail: "witness extraction: xor BDD unsatisfiable in a feasible interval",
         at_breakpoint: b,
         bounds: (Time::ZERO, b),
@@ -450,10 +391,10 @@ fn extract_witness(
     let mut before = vec![false; n_in];
     let mut after = vec![false; n_in];
     for pos in 0..n_in {
-        if let Some(v) = sat.phase(engine.leaf_var(pos, true)) {
+        if let Some(v) = sat.phase(cx.leaf_var(pos, true)) {
             after[pos] = v;
         }
-        if let Some(v) = sat.phase(engine.leaf_var(pos, false)) {
+        if let Some(v) = sat.phase(cx.leaf_var(pos, false)) {
             before[pos] = v;
         }
     }

@@ -1,0 +1,148 @@
+//! Oracle cross-checks for the unified delay-model engine (PR 5).
+//!
+//! The refactor routed `TwoVector` and `Floating` through one shared
+//! compilation pipeline ([`ConeContext`] + the `DelayModel` sweep), so
+//! this suite re-derives their answers from first principles with
+//! `tbf-sim`:
+//!
+//! * **2-vector, fixed delays** — the delay assignment is unique, so
+//!   exhaustively simulating every `(before, after)` input vector pair
+//!   and taking the latest last output transition IS the exact 2-vector
+//!   delay. The engine must match it, not just bound it.
+//! * **floating** — the `tbf_core::oracle::floating_delay_oracle`
+//!   brute-forces the unbounded-delay settle time over all `2ⁿ` input
+//!   vectors; Theorems 1–4 make it the ground truth for
+//!   [`floating_delay`].
+//!
+//! Circuits: generated ripple/bypass adders plus seeded random DAGs.
+//! Seeds come from a fixed table; set `RANDOM_SEED=<u64>` (decimal or
+//! `0x`-hex) to add one more — CI passes its run id, and every failure
+//! message carries the seed needed to replay it.
+
+use tbf_core::oracle::floating_delay_oracle;
+use tbf_core::{floating_delay, two_vector_delay, DelayOptions};
+use tbf_logic::generators::adders::{carry_bypass, ripple_carry};
+use tbf_logic::generators::random::random_dag;
+use tbf_logic::generators::unit_ninety_percent;
+use tbf_logic::{DelayBounds, Netlist, Time};
+use tbf_sim::{max_delays, simulate, Stimulus};
+
+/// Fixed seed table used by default and in CI's deterministic jobs.
+const SEEDS: [u64; 3] = [0x5EED, 0x9e3779b97f4a7c15, 0xdeadbeefcafef00d];
+
+/// The seed table, plus `RANDOM_SEED` from the environment if present.
+fn seeds() -> Vec<u64> {
+    let mut s = SEEDS.to_vec();
+    if let Ok(raw) = std::env::var("RANDOM_SEED") {
+        let parsed = raw
+            .strip_prefix("0x")
+            .map(|h| u64::from_str_radix(h, 16))
+            .unwrap_or_else(|| raw.parse());
+        match parsed {
+            Ok(x) => s.push(x),
+            Err(e) => panic!("RANDOM_SEED={raw:?} is not a u64: {e}"),
+        }
+    }
+    s
+}
+
+/// Pins every gate delay to its maximum, making the assignment unique
+/// (the precondition for the exhaustive 2-vector oracle).
+fn pin_delays(n: &Netlist) -> Netlist {
+    n.map_delays(|d| DelayBounds::new(d.max, d.max))
+}
+
+/// Brute-force 2-vector oracle for fixed delays: the maximum simulated
+/// last output transition over all `2^(2k)` input vector pairs.
+fn oracle_two_vector_fixed(n: &Netlist) -> Time {
+    let k = n.inputs().len();
+    assert!(k <= 9, "exhaustive pair oracle is 4^k; keep circuits small");
+    let delays = max_delays(n); // fixed: min == max
+    let mut best = Time::ZERO;
+    for pair in 0..(1u32 << (2 * k)) {
+        let before: Vec<bool> = (0..k).map(|i| (pair >> i) & 1 == 1).collect();
+        let after: Vec<bool> = (0..k).map(|i| (pair >> (k + i)) & 1 == 1).collect();
+        let stim = Stimulus::vector_pair(&before, &after);
+        let r = simulate(n, &delays, &stim.waveforms(n));
+        if let Some(t) = r.last_output_transition(n) {
+            best = best.max(t);
+        }
+    }
+    best
+}
+
+/// The adder family both oracles can afford: ripple and bypass
+/// structures small enough for exhaustive input enumeration.
+fn adders() -> Vec<(&'static str, Netlist)> {
+    let d = unit_ninety_percent();
+    vec![
+        ("ripple_carry_2", ripple_carry(2, d)),
+        ("carry_bypass_2x2", carry_bypass(2, 2, d)),
+    ]
+}
+
+/// Seeded random DAGs with few enough inputs for both oracles.
+fn random_dags() -> Vec<(String, Netlist)> {
+    seeds()
+        .into_iter()
+        .map(|seed| {
+            (
+                format!("random_dag(4,16,3,{seed:#x})"),
+                random_dag(4, 16, 3, seed),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn two_vector_engine_matches_exhaustive_simulation_on_adders() {
+    for (name, n) in adders() {
+        let n = pin_delays(&n);
+        let engine = two_vector_delay(&n, &DelayOptions::default())
+            .expect("adders fit the default caps")
+            .delay;
+        let oracle = oracle_two_vector_fixed(&n);
+        assert_eq!(engine, oracle, "{name}: engine {engine} vs oracle {oracle}");
+    }
+}
+
+#[test]
+fn two_vector_engine_matches_exhaustive_simulation_on_random_dags() {
+    for (name, n) in random_dags() {
+        let n = pin_delays(&n);
+        let engine = two_vector_delay(&n, &DelayOptions::default())
+            .expect("generated DAGs fit the default caps")
+            .delay;
+        let oracle = oracle_two_vector_fixed(&n);
+        assert_eq!(
+            engine, oracle,
+            "{name}: engine {engine} vs oracle {oracle} (reproduce with RANDOM_SEED=<seed in name>)"
+        );
+    }
+}
+
+#[test]
+fn floating_engine_matches_simulation_oracle_on_adders() {
+    for (name, n) in adders() {
+        let engine = floating_delay(&n, &DelayOptions::default())
+            .expect("adders fit the default caps")
+            .delay;
+        let oracle = floating_delay_oracle(&n).expect("adders stay under the oracle input cap");
+        assert_eq!(engine, oracle, "{name}: engine {engine} vs oracle {oracle}");
+    }
+}
+
+#[test]
+fn floating_engine_matches_simulation_oracle_on_random_dags() {
+    for (name, n) in random_dags() {
+        let engine = floating_delay(&n, &DelayOptions::default())
+            .expect("generated DAGs fit the default caps")
+            .delay;
+        let oracle =
+            floating_delay_oracle(&n).expect("generated DAGs stay under the oracle input cap");
+        assert_eq!(
+            engine, oracle,
+            "{name}: engine {engine} vs oracle {oracle} (reproduce with RANDOM_SEED=<seed in name>)"
+        );
+    }
+}

@@ -137,3 +137,45 @@ fn direct_engines_record_per_output_spans() {
     assert_eq!(names, expected);
     assert!(obs.phases.iter().any(|p| p.peak_nodes > 0));
 }
+
+#[test]
+fn timed_node_cache_reuses_instantiations_across_breakpoints() {
+    // The PR 5 acceptance story: the cross-breakpoint instantiation
+    // cache must actually fire on the §11 bypass adder, and turning it
+    // off (`tbf_cache: false`) must cost strictly more gate-BDD builds
+    // while leaving the report byte-identical.
+    let netlist = paper_bypass_adder();
+    let (on, obs_on) = observe(|| {
+        tbf_core::two_vector_delay(&netlist, &DelayOptions::default()).expect("small circuit")
+    });
+    let (off, obs_off) = observe(|| {
+        tbf_core::two_vector_delay(
+            &netlist,
+            &DelayOptions {
+                tbf_cache: false,
+                ..DelayOptions::default()
+            },
+        )
+        .expect("small circuit")
+    });
+    assert_eq!(on, off, "the cache knob must not change the report");
+    assert_eq!(on.delay, Time::from_int(24));
+
+    let inst_on = obs_on.counters.get(Metric::TbfInstantiations);
+    let hits_on = obs_on.counters.get(Metric::TbfCacheHits);
+    let inst_off = obs_off.counters.get(Metric::TbfInstantiations);
+    let hits_off = obs_off.counters.get(Metric::TbfCacheHits);
+    assert!(inst_on > 0, "the sweep must instantiate gate BDDs");
+    assert!(
+        hits_on > 0,
+        "the bypass-adder sweep must reuse timed nodes across breakpoints"
+    );
+    assert!(
+        inst_on < inst_off,
+        "cache on must build strictly fewer gate BDDs ({inst_on} vs {inst_off})"
+    );
+    assert!(
+        hits_on > hits_off,
+        "cross-breakpoint reuse must add hits over the within-build memo ({hits_on} vs {hits_off})"
+    );
+}

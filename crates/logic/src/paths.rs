@@ -115,40 +115,102 @@ impl std::error::Error for PathLimitExceeded {}
 /// # Ok::<(), tbf_logic::NetlistError>(())
 /// ```
 pub fn next_breakpoint(netlist: &Netlist, output: NodeId, below: Time) -> Option<Time> {
-    let pmax = netlist.arrivals(false, true);
-    let mut memo: HashMap<(NodeId, Time), Option<Time>> = HashMap::new();
-    // Longest arrival (including `n`'s own delay) strictly below `residual`.
-    fn go(
-        netlist: &Netlist,
-        pmax: &[Time],
-        n: NodeId,
-        residual: Time,
-        memo: &mut HashMap<(NodeId, Time), Option<Time>>,
-    ) -> Option<Time> {
-        if pmax[n.index()] < residual {
-            return Some(pmax[n.index()]);
+    Breakpoints::from_output(netlist, output).next_below(below)
+}
+
+/// The descending sweep through a cone's distinct maximum path lengths
+/// `{Kᵢᵐᵃˣ}` — the shared breakpoint enumeration every delay model
+/// walks.
+///
+/// Construct one per analyzed output and reuse it for the whole sweep:
+/// the arrival profile is computed once and the `(node, residual)` memo
+/// persists across queries, so descending through all breakpoints costs
+/// one memoized traversal total instead of one per step.
+///
+/// The iterator protocol yields the breakpoints in strictly descending
+/// order starting from the longest path; [`next_below`] answers the
+/// same question from an arbitrary starting point.
+///
+/// [`next_below`]: Breakpoints::next_below
+///
+/// # Example
+///
+/// ```
+/// use tbf_logic::generators::figures::figure1_three_paths;
+/// use tbf_logic::paths::Breakpoints;
+/// use tbf_logic::Time;
+///
+/// let n = figure1_three_paths();
+/// let out = n.outputs()[0].1;
+/// let ks: Vec<Time> = Breakpoints::from_output(&n, out).collect();
+/// assert!(ks.windows(2).all(|w| w[0] > w[1]), "strictly descending");
+/// assert_eq!(ks[0], n.topological_delay(), "starts at the longest path");
+/// ```
+#[derive(Debug)]
+pub struct Breakpoints<'a> {
+    netlist: &'a Netlist,
+    output: NodeId,
+    pmax: Vec<Time>,
+    memo: HashMap<(NodeId, Time), Option<Time>>,
+    cursor: Time,
+}
+
+impl<'a> Breakpoints<'a> {
+    /// A sweep over the distinct max path lengths of `output`'s cone.
+    pub fn from_output(netlist: &'a Netlist, output: NodeId) -> Breakpoints<'a> {
+        Breakpoints {
+            netlist,
+            output,
+            pmax: netlist.arrivals(false, true),
+            memo: HashMap::new(),
+            cursor: Time::MAX,
         }
-        if let Some(&r) = memo.get(&(n, residual)) {
+    }
+
+    /// Largest maximum path length strictly below `below`, or `None`
+    /// if no path is shorter. Does not move the iterator cursor.
+    pub fn next_below(&mut self, below: Time) -> Option<Time> {
+        self.go(self.output, below)
+    }
+
+    // Longest arrival (including `n`'s own delay) strictly below
+    // `residual`.
+    fn go(&mut self, n: NodeId, residual: Time) -> Option<Time> {
+        if self.pmax[n.index()] < residual {
+            return Some(self.pmax[n.index()]);
+        }
+        if let Some(&r) = self.memo.get(&(n, residual)) {
             return r;
         }
+        let netlist = self.netlist;
         let node = netlist.node(n);
         let d = node.delay().max;
         let mut best: Option<Time> = None;
         if node.fanins().is_empty() {
             // A source with arrival 0 ≥ residual: no path below residual.
-            memo.insert((n, residual), None);
+            self.memo.insert((n, residual), None);
             return None;
         }
         for &f in node.fanins() {
-            if let Some(sub) = go(netlist, pmax, f, residual - d, memo) {
+            if let Some(sub) = self.go(f, residual - d) {
                 let total = sub + d;
                 best = Some(best.map_or(total, |b: Time| b.max(total)));
             }
         }
-        memo.insert((n, residual), best);
+        self.memo.insert((n, residual), best);
         best
     }
-    go(netlist, &pmax, output, below, &mut memo)
+}
+
+impl Iterator for Breakpoints<'_> {
+    type Item = Time;
+
+    fn next(&mut self) -> Option<Time> {
+        let below = self.cursor;
+        let k = self.next_below(below)?;
+        self.cursor = k;
+        Some(k)
+    }
 }
 
 /// Largest maximum path length over **all** outputs strictly below
@@ -337,6 +399,55 @@ mod tests {
         assert_eq!(next_breakpoint(&n, out, t(6)), Some(t(3)));
         assert_eq!(next_breakpoint(&n, out, t(3)), None);
         assert_eq!(next_breakpoint_all(&n, t(6)), Some(t(3)));
+    }
+
+    #[test]
+    fn breakpoint_sweep_matches_one_shot_queries() {
+        let n = diamond();
+        let out = n.find("g3").unwrap();
+        let mut sweep = Breakpoints::from_output(&n, out);
+        assert_eq!(sweep.next_below(Time::MAX), Some(t(6)));
+        assert_eq!(sweep.next_below(t(6)), Some(t(3)));
+        assert_eq!(sweep.next_below(t(3)), None);
+        // `next_below` never moves the iterator cursor.
+        let collected: Vec<Time> = Breakpoints::from_output(&n, out).collect();
+        assert_eq!(collected, vec![t(6), t(3)]);
+    }
+
+    /// The sweep on the paper's figure circuits agrees, breakpoint by
+    /// breakpoint, with the memo-per-call `next_breakpoint`, and
+    /// descends strictly from the cone's longest path.
+    #[test]
+    fn breakpoint_sweep_agrees_on_paper_figures() {
+        use crate::generators::figures::{
+            figure1_three_paths, figure4_example3, figure5_example4, figure6_glitch,
+        };
+        for n in [
+            figure1_three_paths(),
+            figure4_example3(),
+            figure5_example4(),
+            figure6_glitch(),
+        ] {
+            for &(ref name, out) in n.outputs() {
+                let swept: Vec<Time> = Breakpoints::from_output(&n, out).collect();
+                let mut stepped = Vec::new();
+                let mut below = Time::MAX;
+                while let Some(k) = next_breakpoint(&n, out, below) {
+                    stepped.push(k);
+                    below = k;
+                }
+                assert_eq!(swept, stepped, "{name}: sweep disagrees with one-shots");
+                assert!(
+                    swept.windows(2).all(|w| w[0] > w[1]),
+                    "{name}: not strictly descending: {swept:?}"
+                );
+                assert_eq!(
+                    swept.first().copied(),
+                    Some(n.arrivals(false, true)[out.index()]),
+                    "{name}: first breakpoint must be the cone's longest path"
+                );
+            }
+        }
     }
 
     #[test]

@@ -36,11 +36,17 @@ pub enum Metric {
     SiftSwaps,
     /// Budget cancellation probes (`AnalysisBudget::poll`).
     BudgetPolls,
+    /// Timed-function BDD builds actually performed (misses of the
+    /// cross-breakpoint timed-node cache in the delay-model engine).
+    TbfInstantiations,
+    /// Timed-function BDD builds skipped because a previous breakpoint's
+    /// instantiation was still valid (hits of the timed-node cache).
+    TbfCacheHits,
 }
 
 impl Metric {
     /// Every metric, in registry (serialization) order.
-    pub const ALL: [Metric; 8] = [
+    pub const ALL: [Metric; 10] = [
         Metric::IteCalls,
         Metric::CacheHits,
         Metric::CacheMisses,
@@ -49,6 +55,8 @@ impl Metric {
         Metric::GcRuns,
         Metric::SiftSwaps,
         Metric::BudgetPolls,
+        Metric::TbfInstantiations,
+        Metric::TbfCacheHits,
     ];
 
     /// The metric's stable `snake_case` name, as serialized.
@@ -62,6 +70,8 @@ impl Metric {
             Metric::GcRuns => "gc_runs",
             Metric::SiftSwaps => "sift_swaps",
             Metric::BudgetPolls => "budget_polls",
+            Metric::TbfInstantiations => "tbf_instantiations",
+            Metric::TbfCacheHits => "tbf_cache_hits",
         }
     }
 
