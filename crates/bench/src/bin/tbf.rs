@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! Usage: tbf [OPTIONS] <NETLIST>
+//!        tbf serve [SERVE OPTIONS]
 //!
 //!   <NETLIST>              path to an ISCAS-85 .bench or a BLIF file
 //!
@@ -41,6 +42,12 @@
 //! JSON document whose every section except the trailing `timing` one is
 //! byte-identical across `--threads` and `--reorder off|pressure`
 //! settings (see `DESIGN.md` §13).
+//!
+//! `tbf serve` starts the long-running analysis service (`tbf-serve`):
+//! a line-delimited JSON request loop on stdin/stdout (or a `--listen`
+//! unix socket) with warm caches, admission control, per-request fault
+//! isolation, and graceful shutdown. See `DESIGN.md` §15 and the README
+//! quickstart; `tbf serve --help` lists the knobs.
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -514,7 +521,130 @@ fn run_models(args: &Args, netlist: &Netlist, options: &DelayOptions) -> (u32, V
     (failures, Value::Obj(results))
 }
 
+fn serve_usage() {
+    eprintln!(
+        "usage: tbf serve [--threads N] [--listen SOCKET_PATH] [--max-in-flight N] \
+         [--max-gates N] [--max-frame-bytes N] [--session-time-budget MS] \
+         [--max-requests N] [--max-attempts N] [--backoff MS] [--max-backoff MS] \
+         [--cache-capacity N] [--drain MS] [--max-paths N] [--max-bdd N] \
+         [--reorder off|manual|pressure] [--emit-metrics PATH] [--quiet]\n\
+         \n\
+         Reads one JSON request per line on stdin (or SOCKET_PATH) and writes one\n\
+         schema-versioned JSON response per line; EOF or SIGTERM drains and exits 0."
+    );
+}
+
+/// Parses `tbf serve` flags into the session and runner configs.
+fn parse_serve_args(
+    mut it: impl Iterator<Item = String>,
+) -> Result<(tbf_serve::ServeConfig, tbf_serve::RunnerConfig), String> {
+    let mut config = tbf_serve::ServeConfig::default();
+    let mut runner = tbf_serve::RunnerConfig::default();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("missing value for {flag}"));
+        let parsed = |flag: &str, v: String| -> Result<u64, String> {
+            v.parse().map_err(|e| format!("{flag}: {e}"))
+        };
+        match a.as_str() {
+            "--threads" => config.threads = parsed("--threads", value("--threads")?)? as usize,
+            "--listen" => runner.listen = Some(value("--listen")?),
+            "--max-in-flight" => {
+                config.max_in_flight =
+                    parsed("--max-in-flight", value("--max-in-flight")?)? as usize;
+            }
+            "--max-gates" => {
+                config.max_gates = parsed("--max-gates", value("--max-gates")?)? as usize;
+            }
+            "--max-frame-bytes" => {
+                config.max_frame_bytes =
+                    parsed("--max-frame-bytes", value("--max-frame-bytes")?)? as usize;
+            }
+            "--session-time-budget" => {
+                config.session_time_budget = Some(std::time::Duration::from_millis(parsed(
+                    "--session-time-budget",
+                    value("--session-time-budget")?,
+                )?));
+            }
+            "--max-requests" => {
+                config.max_requests = parsed("--max-requests", value("--max-requests")?)?;
+            }
+            "--max-attempts" => {
+                config.max_attempts =
+                    parsed("--max-attempts", value("--max-attempts")?)?.max(1) as u32;
+            }
+            "--backoff" => config.backoff_ms = parsed("--backoff", value("--backoff")?)?,
+            "--max-backoff" => {
+                config.max_backoff_ms = parsed("--max-backoff", value("--max-backoff")?)?;
+            }
+            "--cache-capacity" => {
+                config.cache_capacity =
+                    parsed("--cache-capacity", value("--cache-capacity")?)? as usize;
+            }
+            "--drain" => {
+                config.drain =
+                    std::time::Duration::from_millis(parsed("--drain", value("--drain")?)?);
+            }
+            "--max-paths" => {
+                config.defaults.max_straddling_paths =
+                    parsed("--max-paths", value("--max-paths")?)? as usize;
+            }
+            "--max-bdd" => {
+                config.defaults.max_bdd_nodes = parsed("--max-bdd", value("--max-bdd")?)? as usize;
+            }
+            "--reorder" => {
+                config.defaults.reorder = match value("--reorder")?.as_str() {
+                    "off" => ReorderPolicy::None,
+                    "manual" => ReorderPolicy::Manual,
+                    "pressure" => ReorderPolicy::OnPressure {
+                        trigger_nodes: PRESSURE_TRIGGER_NODES,
+                        max_growth: PRESSURE_MAX_GROWTH,
+                    },
+                    other => {
+                        return Err(format!(
+                            "--reorder must be off, manual or pressure, got `{other}`"
+                        ))
+                    }
+                };
+            }
+            "--emit-metrics" => runner.emit_metrics = Some(value("--emit-metrics")?),
+            "--quiet" => runner.quiet = true,
+            "--help" | "-h" => return Err("help".into()),
+            other => return Err(format!("unknown serve argument {other}")),
+        }
+    }
+    Ok((config, runner))
+}
+
+/// The `tbf serve` subcommand: run the request loop until EOF/SIGTERM.
+fn run_serve() -> ExitCode {
+    let (config, runner) = match parse_serve_args(std::env::args().skip(2)) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            if e != "help" {
+                eprintln!("error: {e}");
+            }
+            serve_usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match runner.listen.clone() {
+        Some(path) => tbf_serve::serve_unix_socket(config, &runner, &path),
+        None => tbf_serve::serve_stdio(config, &runner),
+    };
+    match result {
+        Ok(0) => ExitCode::SUCCESS,
+        Ok(code) => ExitCode::from(code.clamp(0, 255) as u8),
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
+    if std::env::args().nth(1).as_deref() == Some("serve") {
+        return run_serve();
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {

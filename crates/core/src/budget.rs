@@ -182,6 +182,46 @@ impl AnalysisBudget {
         }
     }
 
+    /// A request-scoped budget for a long-running service: caps restart
+    /// from `options`, the clock restarts *now*, and `token` (the
+    /// request's own cancel handle) replaces the parent's. The parent's
+    /// wall-clock deadline still applies — the effective deadline is the
+    /// earlier of `now + options.time_budget` and the parent (session)
+    /// deadline — so a session time budget cuts across every request it
+    /// admits.
+    ///
+    /// Unlike [`fork`](Self::fork), which clones the parent's counter
+    /// registry, a request fork binds to the *currently observed*
+    /// session registry (see [`crate::obs::observe`]) when one is
+    /// installed. A warm process that wraps each request in `observe`
+    /// therefore gets per-request counters instead of accumulating the
+    /// whole session into one misleading artifact.
+    #[must_use]
+    pub fn fork_request(&self, options: &DelayOptions, token: CancelToken) -> Self {
+        let started = Instant::now();
+        let own_deadline = options.time_budget.map(|b| started + b);
+        let deadline = match (own_deadline, self.deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        AnalysisBudget {
+            max_paths: AtomicUsize::new(options.max_straddling_paths),
+            max_bdd_nodes: AtomicUsize::new(options.max_bdd_nodes),
+            max_cubes: AtomicUsize::new(options.max_cubes),
+            max_breakpoints: AtomicUsize::new(options.max_breakpoints),
+            started,
+            time_budget: options.time_budget,
+            deadline,
+            token: Some(token),
+            polls: AtomicU64::new(0),
+            tripped: AtomicU8::new(TRIP_NONE),
+            reorder: options.reorder,
+            tbf_cache: options.tbf_cache,
+            #[cfg(feature = "obs")]
+            counters: crate::obs::session_counters().unwrap_or_else(|| Arc::clone(&self.counters)),
+        }
+    }
+
     /// The counter registry this budget (and its forks) report into.
     #[cfg(feature = "obs")]
     pub(crate) fn counters(&self) -> &Arc<tbf_obs::Counters> {
@@ -425,6 +465,54 @@ mod tests {
         // First poll consults the clock and finds the shared epoch's
         // deadline already expired.
         assert_eq!(timed_fork.poll(), Some(Interrupt::Deadline));
+    }
+
+    #[test]
+    fn request_fork_combines_session_and_request_deadlines() {
+        // Session with a generous deadline; the request's tighter budget
+        // wins.
+        let session = AnalysisBudget::from_options(&DelayOptions {
+            time_budget: Some(Duration::from_secs(3600)),
+            ..DelayOptions::default()
+        });
+        let req = session.fork_request(
+            &DelayOptions {
+                time_budget: Some(Duration::ZERO),
+                ..DelayOptions::default()
+            },
+            CancelToken::new(),
+        );
+        assert_eq!(req.poll(), Some(Interrupt::Deadline));
+
+        // Session deadline already spent: even a deadline-free request
+        // inherits it.
+        let spent = AnalysisBudget::from_options(&DelayOptions {
+            time_budget: Some(Duration::ZERO),
+            ..DelayOptions::default()
+        });
+        let req = spent.fork_request(&DelayOptions::default(), CancelToken::new());
+        assert_eq!(req.poll(), Some(Interrupt::Deadline));
+
+        // Neither side bounded: the request never trips.
+        let free = AnalysisBudget::from_options(&DelayOptions::default());
+        let req = free.fork_request(&DelayOptions::default(), CancelToken::new());
+        assert_eq!(req.poll(), None);
+    }
+
+    #[test]
+    fn request_fork_has_its_own_token() {
+        let session_token = CancelToken::new();
+        let session = AnalysisBudget::from_options(&DelayOptions::default())
+            .with_token(session_token.clone());
+        let request_token = CancelToken::new();
+        let req = session.fork_request(&DelayOptions::default(), request_token.clone());
+        // Cancelling the request does not touch the session…
+        request_token.cancel();
+        assert_eq!(req.poll(), Some(Interrupt::Cancelled));
+        assert_eq!(session.poll(), None);
+        // …and a fresh request starts clean.
+        let next = session.fork_request(&DelayOptions::default(), CancelToken::new());
+        assert_eq!(next.poll(), None);
     }
 
     #[test]

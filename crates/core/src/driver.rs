@@ -245,6 +245,21 @@ pub fn analyze_with_token(
     )
 }
 
+/// [`analyze`] under a caller-supplied [`AnalysisBudget`] — the entry
+/// point for long-running services that fork per-request budgets off a
+/// session budget ([`AnalysisBudget::fork_request`]) instead of letting
+/// the driver build one from the options. The budget's caps, deadline
+/// and token apply exactly as if the analysis had created it; per-cone
+/// forks are still taken off `budget` internally.
+#[must_use]
+pub fn analyze_with_budget(
+    netlist: &Netlist,
+    policy: &AnalysisPolicy,
+    budget: Arc<AnalysisBudget>,
+) -> CircuitReport {
+    analyze_budgeted(netlist, policy, budget)
+}
+
 /// How one ladder rung ended.
 enum Attempt<T> {
     Done(T),

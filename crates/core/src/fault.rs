@@ -33,6 +33,16 @@ pub enum Site {
     /// Before the XOR satisfiability read in witness extraction (forces
     /// the internal-invariant error path).
     XorSat,
+    /// While decoding a service request frame (`tbf serve`): forces the
+    /// malformed-frame error path without needing malformed input.
+    FrameParse,
+    /// Right after a service request is admitted: cancels the request's
+    /// token mid-flight, exercising the cancellation drain path.
+    RequestCancel,
+    /// After a service request completes: poisons the request's
+    /// warm-cache entries so they are evicted and rebuilt rather than
+    /// served stale.
+    CachePoison,
 }
 
 #[cfg(feature = "fault-injection")]
@@ -127,7 +137,7 @@ mod imp {
     /// [`with_cone_plan`](super::with_cone_plan)), so each cone sees the
     /// same deterministic fault schedule regardless of worker count or
     /// scheduling order.
-    pub(crate) fn snapshot() -> FaultPlan {
+    pub fn snapshot() -> FaultPlan {
         FaultPlan {
             armed: PLAN.with(|p| {
                 p.borrow()
@@ -141,7 +151,7 @@ mod imp {
 
     /// Records a hit at `site`; returns `true` exactly when an armed
     /// fault fires here.
-    pub(crate) fn trip(site: Site) -> bool {
+    pub fn trip(site: Site) -> bool {
         PLAN.with(|p| {
             let mut plan = p.borrow_mut();
             for a in plan.iter_mut() {
@@ -161,10 +171,7 @@ mod imp {
 }
 
 #[cfg(feature = "fault-injection")]
-pub use imp::{with_plan, FaultPlan};
-
-#[cfg(feature = "fault-injection")]
-pub(crate) use imp::trip;
+pub use imp::{trip, with_plan, FaultPlan};
 
 /// The per-cone fault schedule handed to each analysis worker: a full
 /// [`FaultPlan`] template with the feature on, a zero-sized stand-in
@@ -177,10 +184,13 @@ pub(crate) type ConePlan = FaultPlan;
 #[derive(Clone, Debug, Default)]
 pub(crate) struct ConePlan;
 
-/// Snapshots the calling thread's not-yet-fired faults as a per-cone
-/// template (empty/zero-sized when the feature is off).
+/// Snapshots the calling thread's not-yet-fired faults as a re-armable
+/// template (empty/zero-sized when the feature is off). The parallel
+/// driver snapshots once per analysis and re-arms per cone; a service
+/// loop snapshots once per retry attempt so one-shot faults stay spent
+/// across retries.
 #[cfg(feature = "fault-injection")]
-pub(crate) fn snapshot() -> ConePlan {
+pub fn snapshot() -> ConePlan {
     imp::snapshot()
 }
 
@@ -209,7 +219,7 @@ pub(crate) fn with_cone_plan<R>(_plan: &ConePlan, f: impl FnOnce() -> R) -> R {
 /// trivially inlined — zero cost at every call site.
 #[cfg(not(feature = "fault-injection"))]
 #[inline(always)]
-pub(crate) fn trip(_site: Site) -> bool {
+pub fn trip(_site: Site) -> bool {
     false
 }
 

@@ -81,7 +81,7 @@ mod sequences;
 mod two_vector;
 
 pub use budget::{AnalysisBudget, CancelToken};
-pub use driver::{analyze, analyze_with_token, AnalysisPolicy, CircuitReport};
+pub use driver::{analyze, analyze_with_budget, analyze_with_token, AnalysisPolicy, CircuitReport};
 pub use error::DelayError;
 pub use options::DelayOptions;
 pub use report::{DegradeCause, DelayReport, DelayWitness, OutputDelay, OutputStatus, SearchStats};

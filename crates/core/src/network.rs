@@ -409,6 +409,19 @@ impl<'a> ConeContext<'a> {
     /// never trigger it.
     pub fn maybe_compact(&mut self) -> Result<(), BuildAbort> {
         const HEADROOM: usize = 2_000_000;
+        // Staleness sweep on the timed-node cache: entries not rebuilt
+        // within this many queries are almost never hit again, and a
+        // long-lived engine (service mode) must not grow its cache
+        // without bound. Epoch-based, so the sweep is identical at every
+        // thread count and reorder policy.
+        const TBF_CACHE_MAX_AGE: u64 = 1024;
+        let evicted = self.tbf_cache.evict_stale(TBF_CACHE_MAX_AGE);
+        #[cfg(feature = "obs")]
+        self.budget
+            .counters()
+            .add(tbf_obs::Metric::TbfCacheEvictions, evicted as u64);
+        #[cfg(not(feature = "obs"))]
+        let _ = evicted;
         if self.manager.node_count() > self.statics_baseline + HEADROOM {
             self.layout()?;
         } else {

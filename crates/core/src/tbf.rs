@@ -373,6 +373,20 @@ impl TbfCache {
     pub fn clear_entries(&mut self) {
         self.entries.clear();
     }
+
+    /// Staleness sweep for long-lived engines: drops every entry whose
+    /// instantiation was built more than `max_age` queries ago, and
+    /// returns how many were evicted. Purely an effort/memory knob —
+    /// an evicted entry is rebuilt on demand to the identical canonical
+    /// BDD, so results never change — and deterministic: epochs count
+    /// queries, not wall time, so the sweep evicts the same entries at
+    /// every thread count and reorder policy.
+    pub fn evict_stale(&mut self, max_age: u64) -> usize {
+        let cutoff = self.epoch.saturating_sub(max_age);
+        let before = self.entries.len();
+        self.entries.retain(|_, e| e.built_epoch >= cutoff);
+        before - self.entries.len()
+    }
 }
 
 #[cfg(test)]
@@ -496,5 +510,40 @@ mod tests {
         let n = b.finish().unwrap();
         let f = TbfExpr::of_netlist_node(&n, g);
         assert!(!f.eval_at(t(99), &|_, _| false));
+    }
+
+    #[test]
+    fn cache_eviction_is_epoch_based() {
+        let mgr = tbf_bdd::BddManager::new();
+        let tru = mgr.constant(true);
+        let mut cache = TbfCache::default();
+        let node = figure4_example3().nodes().next().expect("non-empty").0;
+        let id_a = TimedVarId(0);
+        let id_b = TimedVarId(1);
+
+        cache.begin_query(); // epoch 1
+        cache.insert((node, id_a, 0), t(0), t(10), tru, vec![]);
+        for _ in 0..5 {
+            cache.begin_query(); // epochs 2..=6
+        }
+        cache.insert((node, id_b, 0), t(0), t(10), tru, vec![]);
+        assert_eq!(cache.entries.len(), 2);
+        assert_eq!(cache.epoch, 6);
+
+        // Age 10 keeps everything; age 3 evicts only the epoch-1 entry.
+        assert_eq!(cache.evict_stale(10), 0);
+        assert_eq!(cache.evict_stale(3), 1);
+        assert_eq!(cache.entries.len(), 1);
+        assert!(cache.lookup(node, id_b, 0, t(5)).is_some());
+        assert!(cache.lookup(node, id_a, 0, t(5)).is_none());
+
+        // An evicted entry is simply rebuilt: re-inserting revalidates.
+        cache.insert((node, id_a, 0), t(0), t(10), tru, vec![]);
+        assert!(cache.lookup(node, id_a, 0, t(5)).is_some());
+
+        // Age 0 keeps only entries built in the current epoch.
+        cache.begin_query(); // epoch 7
+        assert_eq!(cache.evict_stale(0), 2);
+        assert!(cache.entries.is_empty());
     }
 }

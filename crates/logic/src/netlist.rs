@@ -221,6 +221,57 @@ impl Netlist {
             .collect()
     }
 
+    /// A canonical byte encoding of everything the delay engines read:
+    /// node kinds, fanin wiring, scaled delay bounds, the primary-input
+    /// list, and output names. Internal gate names are deliberately
+    /// *excluded*, so two netlists that differ only in node naming get
+    /// the same signature.
+    ///
+    /// Two netlists with equal signatures produce byte-identical analysis
+    /// reports under equal options, which makes the signature a sound key
+    /// for result caches (the long-running service keys its warm
+    /// per-cone cache on it). Keying on the full byte string — rather
+    /// than a hash of it — rules out collisions entirely.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use tbf_logic::generators::adders::paper_bypass_adder;
+    /// let a = paper_bypass_adder();
+    /// assert_eq!(a.structural_signature(), paper_bypass_adder().structural_signature());
+    /// ```
+    pub fn structural_signature(&self) -> Vec<u8> {
+        // Version tag: bump if the encoding ever changes, so persisted
+        // keys from older encodings can never alias new ones.
+        let mut sig = vec![b'N', 1u8];
+        let push_usize = |sig: &mut Vec<u8>, v: usize| {
+            sig.extend_from_slice(&(v as u64).to_le_bytes());
+        };
+        push_usize(&mut sig, self.nodes.len());
+        for node in &self.nodes {
+            // GateKind is #[derive(Clone, Copy)] fieldless: its
+            // discriminant is a stable small integer per variant order.
+            sig.push(node.kind as u8);
+            push_usize(&mut sig, node.fanins.len());
+            for f in &node.fanins {
+                sig.extend_from_slice(&f.0.to_le_bytes());
+            }
+            sig.extend_from_slice(&node.delay.min.scaled().to_le_bytes());
+            sig.extend_from_slice(&node.delay.max.scaled().to_le_bytes());
+        }
+        push_usize(&mut sig, self.inputs.len());
+        for i in &self.inputs {
+            sig.extend_from_slice(&i.0.to_le_bytes());
+        }
+        push_usize(&mut sig, self.outputs.len());
+        for (name, id) in &self.outputs {
+            push_usize(&mut sig, name.len());
+            sig.extend_from_slice(name.as_bytes());
+            sig.extend_from_slice(&id.0.to_le_bytes());
+        }
+        sig
+    }
+
     /// Returns a copy with every gate's delay bounds replaced by
     /// `f(current)` — e.g. to impose `dmin = 0.9·dmax` (paper §12) or the
     /// unbounded model. Inputs keep zero delay.
@@ -509,6 +560,85 @@ mod tests {
         let n = b.finish().unwrap();
         assert_eq!(n.outputs().len(), 2);
         assert_eq!(n.evaluate_outputs(&[true]), vec![false, true]);
+    }
+
+    #[test]
+    fn structural_signature_ignores_gate_names() {
+        let build = |gate_name: &str| {
+            let mut b = Netlist::builder();
+            let a = b.input("a");
+            let bb = b.input("b");
+            let g = b
+                .gate(GateKind::And, gate_name, vec![a, bb], d(1, 2))
+                .unwrap();
+            b.output("f", g);
+            b.finish().unwrap()
+        };
+        assert_eq!(
+            build("g1").structural_signature(),
+            build("renamed").structural_signature()
+        );
+    }
+
+    #[test]
+    fn structural_signature_distinguishes_structure() {
+        let base = tiny();
+        // Kind change.
+        let mut b = Netlist::builder();
+        let a = b.input("a");
+        let bb = b.input("b");
+        let c = b.input("c");
+        let g1 = b.gate(GateKind::And, "g1", vec![a, bb], d(1, 2)).unwrap();
+        let g2 = b.gate(GateKind::Or, "g2", vec![g1, c], d(1, 1)).unwrap();
+        b.output("f", g2);
+        let kind_changed = b.finish().unwrap();
+        assert_ne!(
+            base.structural_signature(),
+            kind_changed.structural_signature()
+        );
+        // Delay change.
+        let delay_changed = base.map_delays(|db| DelayBounds::new(db.min, db.max + d(1, 1).max));
+        assert_ne!(
+            base.structural_signature(),
+            delay_changed.structural_signature()
+        );
+        // Output-name change.
+        let mut b = Netlist::builder();
+        let a = b.input("a");
+        let bb = b.input("b");
+        let c = b.input("c");
+        let g1 = b.gate(GateKind::Nand, "g1", vec![a, bb], d(1, 2)).unwrap();
+        let g2 = b.gate(GateKind::Or, "g2", vec![g1, c], d(1, 1)).unwrap();
+        b.output("other", g2);
+        let renamed_output = b.finish().unwrap();
+        assert_ne!(
+            base.structural_signature(),
+            renamed_output.structural_signature()
+        );
+    }
+
+    #[test]
+    fn structural_signature_is_pin_order_sensitive() {
+        // Mux pin order (s, d0, d1) is semantic: swapping d0/d1 is a
+        // different circuit and must not share a signature.
+        let build = |swap: bool| {
+            let mut b = Netlist::builder();
+            let s = b.input("s");
+            let d0 = b.input("d0");
+            let d1 = b.input("d1");
+            let pins = if swap {
+                vec![s, d1, d0]
+            } else {
+                vec![s, d0, d1]
+            };
+            let m = b.gate(GateKind::Mux, "m", pins, d(1, 1)).unwrap();
+            b.output("y", m);
+            b.finish().unwrap()
+        };
+        assert_ne!(
+            build(false).structural_signature(),
+            build(true).structural_signature()
+        );
     }
 
     #[test]

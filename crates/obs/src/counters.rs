@@ -42,11 +42,14 @@ pub enum Metric {
     /// Timed-function BDD builds skipped because a previous breakpoint's
     /// instantiation was still valid (hits of the timed-node cache).
     TbfCacheHits,
+    /// Timed-node cache entries dropped by the epoch-based staleness
+    /// sweep (long-running engines bound their cache memory this way).
+    TbfCacheEvictions,
 }
 
 impl Metric {
     /// Every metric, in registry (serialization) order.
-    pub const ALL: [Metric; 10] = [
+    pub const ALL: [Metric; 11] = [
         Metric::IteCalls,
         Metric::CacheHits,
         Metric::CacheMisses,
@@ -57,6 +60,7 @@ impl Metric {
         Metric::BudgetPolls,
         Metric::TbfInstantiations,
         Metric::TbfCacheHits,
+        Metric::TbfCacheEvictions,
     ];
 
     /// The metric's stable `snake_case` name, as serialized.
@@ -72,6 +76,7 @@ impl Metric {
             Metric::BudgetPolls => "budget_polls",
             Metric::TbfInstantiations => "tbf_instantiations",
             Metric::TbfCacheHits => "tbf_cache_hits",
+            Metric::TbfCacheEvictions => "tbf_cache_evictions",
         }
     }
 

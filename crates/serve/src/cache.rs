@@ -1,0 +1,191 @@
+//! The session's warm result cache, keyed by structural signature.
+//!
+//! A long-running `tbf serve` process amortizes TBF compilation across
+//! requests: the first analysis of a circuit is expensive, re-queries of
+//! the *same structure* (gate names and request ids excluded — see
+//! [`Netlist::structural_signature`](tbf_logic::Netlist::structural_signature))
+//! are answered from here. Only **all-exact** reports are cached: an
+//! exact delay is a property of the structure and delay model alone, so
+//! it stays correct whatever per-request caps or deadlines the next
+//! asker brings. Degraded reports are cap-dependent and are recomputed.
+//!
+//! Eviction is deterministic: every lookup/insert advances a logical
+//! epoch, and when the cache is full the least-recently-touched entry
+//! goes. No wall clock, no hasher-order iteration — replaying the same
+//! request sequence replays the same hit/miss/eviction sequence.
+//!
+//! Quarantine: a request that panics or trips an injected fault calls
+//! [`WarmCache::poison`] with its own key, evicting only that entry.
+//! The rest of the warm state survives; the poisoned circuit is rebuilt
+//! from scratch on its next request instead of served possibly-torn
+//! state.
+
+use std::collections::HashMap;
+
+use tbf_obs::json::Value;
+
+/// Hit/miss/eviction counters for the session artifact.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed (including opt-outs never reach here).
+    pub misses: u64,
+    /// Results stored.
+    pub insertions: u64,
+    /// Entries displaced by capacity pressure.
+    pub evictions: u64,
+    /// Entries quarantined after a panic or injected fault.
+    pub poisons: u64,
+}
+
+struct Entry {
+    result: Value,
+    last_touch: u64,
+}
+
+/// A bounded, deterministically-evicting map from structural cache key
+/// to rendered `result` JSON.
+pub struct WarmCache {
+    capacity: usize,
+    epoch: u64,
+    entries: HashMap<Vec<u8>, Entry>,
+    /// Effort counters (read by the session artifact).
+    pub stats: CacheStats,
+}
+
+impl WarmCache {
+    /// An empty cache holding at most `capacity` results (a capacity of
+    /// zero disables caching entirely).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        WarmCache {
+            capacity,
+            epoch: 0,
+            entries: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Looks up `key`, counting a hit or miss and refreshing the entry's
+    /// recency on a hit.
+    pub fn lookup(&mut self, key: &[u8]) -> Option<Value> {
+        self.epoch += 1;
+        match self.entries.get_mut(key) {
+            Some(e) => {
+                e.last_touch = self.epoch;
+                self.stats.hits += 1;
+                Some(e.result.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores `result` under `key`, evicting the least-recently-touched
+    /// entry if the cache is full. Touch epochs are unique, so the
+    /// eviction victim is deterministic.
+    pub fn insert(&mut self, key: Vec<u8>, result: Value) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.epoch += 1;
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            if let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_touch)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&victim);
+                self.stats.evictions += 1;
+            }
+        }
+        self.stats.insertions += 1;
+        self.entries.insert(
+            key,
+            Entry {
+                result,
+                last_touch: self.epoch,
+            },
+        );
+    }
+
+    /// Quarantines `key`: drops the entry (if present) so the circuit is
+    /// rebuilt rather than served possibly-poisoned state. Returns
+    /// whether an entry was actually evicted.
+    pub fn poison(&mut self, key: &[u8]) -> bool {
+        let hit = self.entries.remove(key).is_some();
+        if hit {
+            self.stats.poisons += 1;
+        }
+        hit
+    }
+
+    /// Live entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u8) -> Vec<u8> {
+        vec![n]
+    }
+
+    #[test]
+    fn hits_after_insert_misses_before() {
+        let mut c = WarmCache::new(4);
+        assert!(c.lookup(&key(1)).is_none());
+        c.insert(key(1), Value::u64(42));
+        assert_eq!(c.lookup(&key(1)), Some(Value::u64(42)));
+        assert_eq!(c.stats.hits, 1);
+        assert_eq!(c.stats.misses, 1);
+    }
+
+    #[test]
+    fn eviction_is_lru_and_deterministic() {
+        let mut c = WarmCache::new(2);
+        c.insert(key(1), Value::u64(1));
+        c.insert(key(2), Value::u64(2));
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(c.lookup(&key(1)).is_some());
+        c.insert(key(3), Value::u64(3));
+        assert_eq!(c.stats.evictions, 1);
+        assert!(c.lookup(&key(2)).is_none(), "the LRU entry was evicted");
+        assert!(c.lookup(&key(1)).is_some());
+        assert!(c.lookup(&key(3)).is_some());
+    }
+
+    #[test]
+    fn poison_evicts_only_its_entry() {
+        let mut c = WarmCache::new(4);
+        c.insert(key(1), Value::u64(1));
+        c.insert(key(2), Value::u64(2));
+        assert!(c.poison(&key(1)));
+        assert!(!c.poison(&key(1)), "already gone");
+        assert_eq!(c.stats.poisons, 1);
+        assert!(c.lookup(&key(1)).is_none());
+        assert!(c.lookup(&key(2)).is_some(), "the neighbor survives");
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = WarmCache::new(0);
+        c.insert(key(1), Value::u64(1));
+        assert!(c.lookup(&key(1)).is_none());
+        assert!(c.is_empty());
+    }
+}

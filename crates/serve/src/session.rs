@@ -1,0 +1,767 @@
+//! A serve session: warm state, admission control, the per-request
+//! retry ladder, and the final session-metrics artifact.
+//!
+//! One [`Session`] owns everything that survives between requests — the
+//! [`WarmCache`], the session-level [`AnalysisBudget`] (whose deadline
+//! cuts across every request it admits), the shutdown [`CancelToken`],
+//! and the metrics the final artifact reports. [`Session::handle_line`]
+//! is the whole request lifecycle: decode → admit → (cache lookup) →
+//! analyze with bounded retry → respond; every failure mode inside it
+//! becomes a typed one-line error response, never a dead session.
+//!
+//! # Panic quarantine
+//!
+//! The analysis runs under `catch_unwind` at two layers: per-cone inside
+//! the anytime driver (a cone panic degrades that cone), and per-request
+//! here (anything escaping the driver is caught, the request's
+//! warm-cache entry is poisoned, and the client gets a typed
+//! `internal_panic` response). A poisoned entry is rebuilt from scratch
+//! on the circuit's next request — the blast radius of one bad request
+//! is exactly its own cache key.
+//!
+//! # Determinism contract
+//!
+//! The `result` member of every response depends only on the request
+//! batch prefix that precedes it (through the warm cache) — not on
+//! worker-thread count, reorder policy pressure, recovered injected
+//! faults, or whether the session restarted mid-batch. Volatile
+//! telemetry lives in the `effort` member, which consumers strip (see
+//! [`crate::protocol::deterministic_view`]).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use tbf_core::{AnalysisBudget, AnalysisPolicy, CancelToken, DelayOptions};
+use tbf_logic::Netlist;
+use tbf_obs::json::Value;
+use tbf_obs::RunArtifact;
+
+use crate::cache::WarmCache;
+use crate::protocol::{
+    effort_value, error_response, ok_response, parse_request, report_value, FrameLimits, Request,
+    ServeError,
+};
+
+/// Session-level knobs, all settable from the `tbf serve` CLI.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads per analysis (the `AnalysisPolicy::threads`
+    /// default; requests may override).
+    pub threads: usize,
+    /// Admission cap on concurrently in-flight requests (meaningful
+    /// under `--listen`, where multiple clients share the session).
+    pub max_in_flight: usize,
+    /// Admission cap on circuit size, in gates (0 = unlimited).
+    pub max_gates: usize,
+    /// Longest accepted request frame, in bytes.
+    pub max_frame_bytes: usize,
+    /// Session wall-clock budget: once spent, every further request is
+    /// rejected `overloaded` (`None` = run forever).
+    pub session_time_budget: Option<Duration>,
+    /// Total request budget (admitted analyses; 0 = unlimited).
+    pub max_requests: u64,
+    /// Attempts per request (1 = no retry) for transient failures.
+    pub max_attempts: u32,
+    /// Base backoff between attempts; attempt `k` waits
+    /// `backoff_ms << (k-1)`, capped by `max_backoff_ms`.
+    pub backoff_ms: u64,
+    /// Backoff ceiling.
+    pub max_backoff_ms: u64,
+    /// Warm-cache capacity in results (0 disables the cache).
+    pub cache_capacity: usize,
+    /// How long shutdown lets in-flight/queued work drain before
+    /// cancelling the rest.
+    pub drain: Duration,
+    /// Engine-cap defaults applied to requests that don't override them.
+    pub defaults: DelayOptions,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            threads: 1,
+            max_in_flight: 4,
+            max_gates: 0,
+            max_frame_bytes: 1 << 20,
+            session_time_budget: None,
+            max_requests: 0,
+            max_attempts: 3,
+            backoff_ms: 0,
+            max_backoff_ms: 100,
+            cache_capacity: 1024,
+            drain: Duration::from_millis(2000),
+            defaults: DelayOptions::default(),
+        }
+    }
+}
+
+/// Whole-session effort totals, reported in the final artifact.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SessionMetrics {
+    /// Frames received (every line, good or bad).
+    pub frames: u64,
+    /// OK responses sent.
+    pub ok: u64,
+    /// Error responses sent (all kinds).
+    pub errors: u64,
+    /// Requests rejected by admission control (`overloaded`).
+    pub rejected_overloaded: u64,
+    /// Requests refused because the session was draining.
+    pub rejected_shutdown: u64,
+    /// Analysis attempts beyond the first (retry ladder re-entries).
+    pub retries: u64,
+    /// Request-level panics caught and quarantined.
+    pub panics_caught: u64,
+    /// Requests cancelled mid-flight (shutdown or injected).
+    pub cancelled: u64,
+}
+
+/// In-flight request slots, shared with listener threads. An RAII guard
+/// ([`SlotGuard`]) releases on drop, so a panicking handler can never
+/// leak a slot.
+#[derive(Clone, Debug, Default)]
+pub struct InFlight(Arc<AtomicU64>);
+
+/// Releases its [`InFlight`] slot on drop.
+pub struct SlotGuard(Arc<AtomicU64>);
+
+impl InFlight {
+    /// Tries to claim one of `cap` slots.
+    pub fn try_admit(&self, cap: usize) -> Option<SlotGuard> {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            if cur >= cap as u64 {
+                return None;
+            }
+            match self
+                .0
+                .compare_exchange_weak(cur, cur + 1, Ordering::AcqRel, Ordering::Relaxed)
+            {
+                Ok(_) => return Some(SlotGuard(Arc::clone(&self.0))),
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+impl Drop for SlotGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// One warm serve session. Not `Sync` — the stdio/socket runners funnel
+/// frames into the single session thread; only admission slots and
+/// cancel tokens cross threads.
+pub struct Session {
+    config: ServeConfig,
+    cache: WarmCache,
+    /// The session budget: its deadline bounds every request's, its
+    /// counters catch unobserved work.
+    budget: AnalysisBudget,
+    /// Cancelling this token starts refusing new work.
+    shutdown: CancelToken,
+    /// The in-flight request's cancel handle, for the drain watchdog.
+    live_token: Arc<Mutex<Option<CancelToken>>>,
+    /// Concurrency slots (shared with the socket listener).
+    in_flight: InFlight,
+    metrics: SessionMetrics,
+    /// Admitted analyses, for the `max_requests` budget.
+    admitted: u64,
+    /// Per-request artifact rows.
+    rows: Vec<Value>,
+}
+
+/// How one analysis attempt ended, before retry classification.
+enum AttemptOutcome {
+    Report(Box<tbf_core::CircuitReport>),
+    Panicked(String),
+}
+
+/// What [`Session::analyze_request`] hands back: the response line plus
+/// the artifact-row facts `(status, attempts, error_kind)`.
+type RequestOutcome = (String, (&'static str, u64, Option<&'static str>));
+
+impl Session {
+    /// A fresh session; the session clock starts now.
+    #[must_use]
+    pub fn new(config: ServeConfig) -> Self {
+        let session_options = DelayOptions {
+            time_budget: config.session_time_budget,
+            ..config.defaults.clone()
+        };
+        Session {
+            cache: WarmCache::new(config.cache_capacity),
+            budget: AnalysisBudget::from_options(&session_options),
+            shutdown: CancelToken::new(),
+            live_token: Arc::new(Mutex::new(None)),
+            in_flight: InFlight::default(),
+            metrics: SessionMetrics::default(),
+            admitted: 0,
+            rows: Vec::new(),
+            config,
+        }
+    }
+
+    /// The shutdown handle: cancel it (from a signal hook or the drain
+    /// watchdog) and the session refuses new requests.
+    #[must_use]
+    pub fn shutdown_token(&self) -> CancelToken {
+        self.shutdown.clone()
+    }
+
+    /// A handle that cancels whatever request is in flight *right now* —
+    /// the drain watchdog fires this when the drain deadline passes.
+    #[must_use]
+    pub fn live_request_handle(&self) -> Arc<Mutex<Option<CancelToken>>> {
+        Arc::clone(&self.live_token)
+    }
+
+    /// The admission slot pool (shared with socket listener threads).
+    #[must_use]
+    pub fn in_flight(&self) -> InFlight {
+        self.in_flight.clone()
+    }
+
+    /// Session totals so far.
+    #[must_use]
+    pub fn metrics(&self) -> SessionMetrics {
+        self.metrics
+    }
+
+    /// Warm-cache counters so far.
+    #[must_use]
+    pub fn cache_stats(&self) -> crate::cache::CacheStats {
+        self.cache.stats
+    }
+
+    /// Handles one request frame end-to-end and returns the one-line
+    /// response. Never panics outward; never leaves the session dead.
+    pub fn handle_line(&mut self, line: &str) -> String {
+        self.metrics.frames += 1;
+        let limits = FrameLimits {
+            max_frame_bytes: self.config.max_frame_bytes,
+        };
+        let request = match parse_request(line, &limits, &self.config.defaults) {
+            Ok(r) => r,
+            Err((id, err)) => return self.refuse(id.as_deref(), err),
+        };
+        if let Err(err) = self.admit(&request) {
+            return self.refuse(Some(&request.id), err);
+        }
+        let _slot = match self.in_flight.try_admit(self.config.max_in_flight) {
+            Some(g) => g,
+            None => {
+                return self.refuse(
+                    Some(&request.id),
+                    ServeError::Overloaded {
+                        detail: format!("all {} request slots are busy", self.config.max_in_flight),
+                    },
+                )
+            }
+        };
+        self.admitted += 1;
+
+        // Warm path: an exact answer for the same structure and delay
+        // model is cap-independent, so any earlier caps the cached
+        // result was computed under still apply to this asker.
+        // Deadline-limited requests skip the read (never the write): a
+        // cold restart could not reproduce a borrowed exact answer
+        // inside the request's own budget, and restart determinism
+        // outranks the shortcut.
+        if request.use_cache && !request.has_deadline {
+            if let Some(result) = self.cache.lookup(&request.cache_key) {
+                self.metrics.ok += 1;
+                let response = ok_response(&request.id, result, effort_value(true, 0, 0, 0));
+                self.push_row(&request.id, "ok", true, 0, None, None);
+                return response;
+            }
+        }
+
+        let ((response, (status, attempts, error_kind)), obs_row) = self.analyze_observed(&request);
+        self.push_row(&request.id, status, false, attempts, error_kind, obs_row);
+        response
+    }
+
+    /// Runs the analysis path under a *per-request* observability
+    /// session (`obs` feature): every counter and phase span recorded
+    /// belongs to this request alone, so a warm process emits honest
+    /// per-request rows instead of one session-cumulative smear.
+    #[cfg(feature = "obs")]
+    fn analyze_observed(&mut self, request: &Request) -> (RequestOutcome, Option<Value>) {
+        let (outcome, obs) = tbf_core::obs::observe(|| self.analyze_request(request));
+        let counters: Vec<(String, Value)> = obs
+            .counters
+            .snapshot()
+            .into_iter()
+            .filter(|(_, v)| *v > 0)
+            .map(|(k, v)| (k.to_owned(), Value::u64(v)))
+            .collect();
+        (outcome, Some(Value::Obj(counters)))
+    }
+
+    /// See the `obs` variant; without the feature there is nothing to
+    /// scope.
+    #[cfg(not(feature = "obs"))]
+    fn analyze_observed(&mut self, request: &Request) -> (RequestOutcome, Option<Value>) {
+        (self.analyze_request(request), None)
+    }
+
+    /// Admission control: reject up front rather than queue unboundedly.
+    fn admit(&self, request: &Request) -> Result<(), ServeError> {
+        if self.shutdown.is_cancelled() {
+            return Err(ServeError::ShuttingDown);
+        }
+        if let Some(budget) = self.budget.time_budget() {
+            if self.budget.elapsed_ms() >= budget.as_millis() as u64 {
+                return Err(ServeError::Overloaded {
+                    detail: format!("session time budget of {} ms is spent", budget.as_millis()),
+                });
+            }
+        }
+        if self.config.max_requests != 0 && self.admitted >= self.config.max_requests {
+            return Err(ServeError::Overloaded {
+                detail: format!(
+                    "session request budget of {} is spent",
+                    self.config.max_requests
+                ),
+            });
+        }
+        if self.config.max_gates != 0 && request.netlist.gate_count() > self.config.max_gates {
+            return Err(ServeError::Overloaded {
+                detail: format!(
+                    "circuit has {} gates, admission cap is {}",
+                    request.netlist.gate_count(),
+                    self.config.max_gates
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// The analysis path: bounded retry around the degradation ladder,
+    /// per-request panic quarantine, warm-cache fill.
+    ///
+    /// Returns the response line plus `(status, attempts, error_kind)`
+    /// for the artifact row.
+    fn analyze_request(&mut self, request: &Request) -> RequestOutcome {
+        let policy = AnalysisPolicy {
+            options: request.options.clone(),
+            threads: request.threads.unwrap_or(self.config.threads),
+            ..AnalysisPolicy::default()
+        };
+        let mut attempts: u64 = 0;
+        let mut panics: u64 = 0;
+        let max_attempts = self.config.max_attempts.max(1) as u64;
+        loop {
+            attempts += 1;
+            let token = CancelToken::new();
+            if let Ok(mut live) = self.live_token.lock() {
+                *live = Some(token.clone());
+            }
+            // An injected mid-request cancel: fires the request token
+            // before the analysis starts, exercising the same drain path
+            // a shutdown watchdog uses.
+            if tbf_core::fault::trip(tbf_core::fault::Site::RequestCancel) {
+                token.cancel();
+            }
+            let outcome = run_attempt(
+                &request.netlist,
+                &policy,
+                self.budget.fork_request(&request.options, token).shared(),
+                attempts == 1,
+            );
+            if let Ok(mut live) = self.live_token.lock() {
+                *live = None;
+            }
+            match outcome {
+                AttemptOutcome::Report(report) => {
+                    if report_is_transient(&report) && attempts < max_attempts {
+                        self.metrics.retries += 1;
+                        self.backoff(attempts);
+                        continue;
+                    }
+                    if report
+                        .outputs
+                        .iter()
+                        .any(|o| cause_of(o) == Some(tbf_core::DegradeCause::Cancelled))
+                    {
+                        self.metrics.cancelled += 1;
+                    }
+                    let result = report_value(&report);
+                    let poisoned = tbf_core::fault::trip(tbf_core::fault::Site::CachePoison);
+                    if poisoned {
+                        // The injected fault says this request's warm
+                        // state is suspect: quarantine its key only.
+                        self.cache.poison(&request.cache_key);
+                    } else if request.use_cache && report.all_exact() {
+                        self.cache.insert(request.cache_key.clone(), result.clone());
+                    }
+                    self.metrics.ok += 1;
+                    let ladder_retries = report.stats.retries as u64;
+                    let response = ok_response(
+                        &request.id,
+                        result,
+                        effort_value(false, attempts, ladder_retries, panics),
+                    );
+                    return (response, ("ok", attempts, None));
+                }
+                AttemptOutcome::Panicked(detail) => {
+                    self.metrics.panics_caught += 1;
+                    panics += 1;
+                    // Whatever warm state this request touched is
+                    // suspect; evict its own entry, leave the rest.
+                    self.cache.poison(&request.cache_key);
+                    if attempts < max_attempts {
+                        self.metrics.retries += 1;
+                        self.backoff(attempts);
+                        continue;
+                    }
+                    let err = ServeError::InternalPanic { detail };
+                    return (
+                        self.refuse(Some(&request.id), err),
+                        ("error", attempts, Some("internal_panic")),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Bounded exponential backoff before attempt `next` (1-based count
+    /// of attempts already made).
+    fn backoff(&self, attempts_made: u64) {
+        if self.config.backoff_ms == 0 {
+            return;
+        }
+        let shift = (attempts_made - 1).min(16) as u32;
+        let wait = self
+            .config
+            .backoff_ms
+            .saturating_mul(1u64 << shift)
+            .min(self.config.max_backoff_ms);
+        std::thread::sleep(Duration::from_millis(wait));
+    }
+
+    fn refuse(&mut self, id: Option<&str>, err: ServeError) -> String {
+        self.metrics.errors += 1;
+        match err {
+            ServeError::Overloaded { .. } => self.metrics.rejected_overloaded += 1,
+            ServeError::ShuttingDown => self.metrics.rejected_shutdown += 1,
+            _ => {}
+        }
+        if !matches!(err, ServeError::InternalPanic { .. }) {
+            self.push_row(id.unwrap_or("-"), "error", false, 0, Some(err.kind()), None);
+        }
+        error_response(id, &err)
+    }
+
+    /// Records one per-request artifact row.
+    fn push_row(
+        &mut self,
+        id: &str,
+        status: &str,
+        cached: bool,
+        attempts: u64,
+        error_kind: Option<&str>,
+        counters: Option<Value>,
+    ) {
+        let mut row = vec![
+            ("id".to_owned(), Value::str(id)),
+            ("status".to_owned(), Value::str(status)),
+            ("cached".to_owned(), Value::Bool(cached)),
+            ("attempts".to_owned(), Value::u64(attempts)),
+        ];
+        if let Some(kind) = error_kind {
+            row.push(("error_kind".to_owned(), Value::str(kind)));
+        }
+        if let Some(c) = counters {
+            row.push(("counters".to_owned(), c));
+        }
+        self.rows.push(Value::Obj(row));
+    }
+
+    /// Renders the final session-metrics artifact (emitted on shutdown).
+    #[must_use]
+    pub fn final_artifact(&self) -> RunArtifact {
+        let m = self.metrics;
+        let c = self.cache.stats;
+        let mut artifact = RunArtifact::new();
+        artifact.section("kind", Value::str("tbf-serve-session"));
+        artifact.section(
+            "session",
+            Value::Obj(vec![
+                ("frames".to_owned(), Value::u64(m.frames)),
+                ("ok".to_owned(), Value::u64(m.ok)),
+                ("errors".to_owned(), Value::u64(m.errors)),
+                (
+                    "rejected_overloaded".to_owned(),
+                    Value::u64(m.rejected_overloaded),
+                ),
+                (
+                    "rejected_shutdown".to_owned(),
+                    Value::u64(m.rejected_shutdown),
+                ),
+                ("retries".to_owned(), Value::u64(m.retries)),
+                ("panics_caught".to_owned(), Value::u64(m.panics_caught)),
+                ("cancelled".to_owned(), Value::u64(m.cancelled)),
+            ]),
+        );
+        artifact.section(
+            "warm_cache",
+            Value::Obj(vec![
+                ("hits".to_owned(), Value::u64(c.hits)),
+                ("misses".to_owned(), Value::u64(c.misses)),
+                ("insertions".to_owned(), Value::u64(c.insertions)),
+                ("evictions".to_owned(), Value::u64(c.evictions)),
+                ("poisons".to_owned(), Value::u64(c.poisons)),
+                ("entries".to_owned(), Value::u64(self.cache.len() as u64)),
+            ]),
+        );
+        artifact.section(
+            "config",
+            Value::Obj(vec![
+                ("threads".to_owned(), Value::u64(self.config.threads as u64)),
+                (
+                    "max_in_flight".to_owned(),
+                    Value::u64(self.config.max_in_flight as u64),
+                ),
+                (
+                    "max_frame_bytes".to_owned(),
+                    Value::u64(self.config.max_frame_bytes as u64),
+                ),
+                (
+                    "cache_capacity".to_owned(),
+                    Value::u64(self.config.cache_capacity as u64),
+                ),
+                (
+                    "max_attempts".to_owned(),
+                    Value::u64(u64::from(self.config.max_attempts)),
+                ),
+                (
+                    "drain_ms".to_owned(),
+                    Value::u64(self.config.drain.as_millis() as u64),
+                ),
+            ]),
+        );
+        artifact.section("requests", Value::Arr(self.rows.clone()));
+        artifact
+    }
+}
+
+/// The degrade cause of one output, if it degraded.
+fn cause_of(o: &tbf_core::OutputDelay) -> Option<tbf_core::DegradeCause> {
+    match o.status {
+        tbf_core::OutputStatus::Exact => None,
+        tbf_core::OutputStatus::Bounded { cause, .. }
+        | tbf_core::OutputStatus::Fallback { cause } => Some(cause),
+    }
+}
+
+/// Whether a degraded report is worth retrying: engine panics and typed
+/// internal-invariant failures are transient (a rebuilt engine may
+/// succeed — and under fault injection the retry runs fault-free);
+/// deadline/cancel/cap degradations are not (the same caps produce the
+/// same rung).
+fn report_is_transient(report: &tbf_core::CircuitReport) -> bool {
+    use tbf_core::DegradeCause::{EnginePanic, InternalInvariant};
+    report
+        .outputs
+        .iter()
+        .any(|o| matches!(cause_of(o), Some(EnginePanic | InternalInvariant)))
+}
+
+/// One analysis attempt under per-request panic quarantine.
+///
+/// Fault-plan scoping: the first attempt re-arms a snapshot of the
+/// session's armed (not-yet-fired) engine faults, so a seeded plan hits
+/// the request deterministically; retries run under an empty plan, so a
+/// fault injected into attempt 1 cannot re-fire forever and the retry
+/// actually recovers. Serve-level sites (`FrameParse`, `RequestCancel`,
+/// `CachePoison`) trip on the session thread's own plan instead and are
+/// one-shot per session.
+fn run_attempt(
+    netlist: &Netlist,
+    policy: &AnalysisPolicy,
+    budget: Arc<AnalysisBudget>,
+    first_attempt: bool,
+) -> AttemptOutcome {
+    let run = || {
+        with_attempt_plan(first_attempt, || {
+            tbf_core::analyze_with_budget(netlist, policy, budget)
+        })
+    };
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(run)) {
+        Ok(report) => AttemptOutcome::Report(Box::new(report)),
+        Err(payload) => {
+            let detail = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_owned());
+            AttemptOutcome::Panicked(detail)
+        }
+    }
+}
+
+#[cfg(feature = "fault-injection")]
+fn with_attempt_plan<R>(first_attempt: bool, f: impl FnOnce() -> R) -> R {
+    let plan = if first_attempt {
+        tbf_core::fault::snapshot()
+    } else {
+        tbf_core::fault::FaultPlan::new()
+    };
+    tbf_core::fault::with_plan(plan, f)
+}
+
+#[cfg(not(feature = "fault-injection"))]
+fn with_attempt_plan<R>(_first_attempt: bool, f: impl FnOnce() -> R) -> R {
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::validate_response;
+
+    fn req(id: &str) -> String {
+        format!(r#"{{"id":"{id}","circuit":"INPUT(a)\nINPUT(b)\nOUTPUT(f)\nf = AND(a, b)\n"}}"#)
+    }
+
+    #[test]
+    fn repeated_circuit_hits_the_warm_cache() {
+        let mut s = Session::new(ServeConfig::default());
+        let first = s.handle_line(&req("r1"));
+        let second = s.handle_line(&req("r2"));
+        assert_eq!(s.cache_stats().hits, 1, "second request is a warm hit");
+        let a = validate_response(&first).expect("valid");
+        let b = validate_response(&second).expect("valid");
+        assert_eq!(
+            a.get("result"),
+            b.get("result"),
+            "cached result is byte-identical"
+        );
+        assert_eq!(
+            b.get("effort").and_then(|e| e.get("cached")),
+            Some(&Value::Bool(true))
+        );
+    }
+
+    #[test]
+    fn cache_opt_out_recomputes() {
+        let mut s = Session::new(ServeConfig::default());
+        let line =
+            r#"{"id":"r","circuit":"INPUT(a)\nOUTPUT(f)\nf = NOT(a)\n","options":{"cache":false}}"#;
+        let _ = s.handle_line(line);
+        let _ = s.handle_line(line);
+        assert_eq!(s.cache_stats().hits, 0);
+        assert_eq!(s.cache_stats().insertions, 0);
+    }
+
+    #[test]
+    fn admission_rejects_when_draining() {
+        let mut s = Session::new(ServeConfig::default());
+        s.shutdown_token().cancel();
+        let resp = s.handle_line(&req("r1"));
+        let doc = validate_response(&resp).expect("valid");
+        assert_eq!(
+            doc.get("error").and_then(|e| e.get("kind")),
+            Some(&Value::str("shutting_down"))
+        );
+        assert_eq!(s.metrics().rejected_shutdown, 1);
+    }
+
+    #[test]
+    fn admission_rejects_oversized_circuits_and_spent_budgets() {
+        let mut s = Session::new(ServeConfig {
+            max_gates: 0,
+            max_requests: 1,
+            ..ServeConfig::default()
+        });
+        let ok = s.handle_line(&req("r1"));
+        assert!(validate_response(&ok)
+            .expect("valid")
+            .get("result")
+            .is_some());
+        let rejected = s.handle_line(&req("r2"));
+        let doc = validate_response(&rejected).expect("valid");
+        assert_eq!(
+            doc.get("error").and_then(|e| e.get("kind")),
+            Some(&Value::str("overloaded"))
+        );
+
+        let mut tiny = Session::new(ServeConfig {
+            max_gates: 1,
+            ..ServeConfig::default()
+        });
+        let line = r#"{"id":"big","circuit":"INPUT(a)\nINPUT(b)\nOUTPUT(f)\nx = AND(a, b)\nf = OR(x, a)\n"}"#;
+        let doc = validate_response(&tiny.handle_line(line)).expect("valid");
+        assert_eq!(
+            doc.get("error").and_then(|e| e.get("kind")),
+            Some(&Value::str("overloaded"))
+        );
+    }
+
+    #[test]
+    fn malformed_frames_leave_the_session_alive() {
+        let mut s = Session::new(ServeConfig::default());
+        let bad = s.handle_line("}{ not json");
+        let doc = validate_response(&bad).expect("valid error line");
+        assert_eq!(doc.get("id"), Some(&Value::Null));
+        let good = s.handle_line(&req("after"));
+        assert!(validate_response(&good)
+            .expect("valid")
+            .get("result")
+            .is_some());
+        assert_eq!(s.metrics().frames, 2);
+        assert_eq!(s.metrics().errors, 1);
+        assert_eq!(s.metrics().ok, 1);
+    }
+
+    #[test]
+    fn per_request_deadline_degrades_instead_of_erroring() {
+        let mut s = Session::new(ServeConfig::default());
+        let line = r#"{"id":"d","circuit":"INPUT(a)\nINPUT(b)\nOUTPUT(f)\nf = AND(a, b)\n","deadline_ms":0}"#;
+        let doc = validate_response(&s.handle_line(line)).expect("valid");
+        assert_eq!(doc.get("status"), Some(&Value::str("ok")));
+        let rung = doc
+            .get("result")
+            .and_then(|r| r.get("rung"))
+            .and_then(Value::as_str)
+            .expect("rung");
+        assert_ne!(rung, "exact", "a zero deadline cannot reach exactness");
+        // Degraded results must not poison the warm cache.
+        assert_eq!(s.cache_stats().insertions, 0);
+    }
+
+    #[test]
+    fn final_artifact_validates() {
+        let mut s = Session::new(ServeConfig::default());
+        let _ = s.handle_line(&req("r1"));
+        let _ = s.handle_line("garbage");
+        let artifact = s.final_artifact();
+        let rendered = artifact.render();
+        tbf_obs::RunArtifact::validate(&rendered).expect("artifact schema-valid");
+        let doc = Value::parse(&rendered).expect("parses");
+        assert_eq!(
+            doc.get("session").and_then(|v| v.get("frames")),
+            Some(&Value::u64(2))
+        );
+        assert_eq!(
+            doc.get("requests")
+                .and_then(Value::as_array)
+                .map(<[Value]>::len),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn in_flight_slots_are_bounded_and_released() {
+        let pool = InFlight::default();
+        let a = pool.try_admit(2).expect("slot 1");
+        let _b = pool.try_admit(2).expect("slot 2");
+        assert!(pool.try_admit(2).is_none(), "cap enforced");
+        drop(a);
+        assert!(pool.try_admit(2).is_some(), "slot released on drop");
+    }
+}
