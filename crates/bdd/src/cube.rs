@@ -147,17 +147,20 @@ impl Iterator for Cubes<'_> {
             if b.is_false() {
                 continue;
             }
-            let n = self.manager.node(b);
-            let v = Var(n.var);
-            if !n.hi.is_false() {
+            // `cofactors` pushes the complement tag of `b` down onto the
+            // children, so the paths enumerated are those of the denoted
+            // function, not of the regular representative.
+            let (lo, hi) = self.manager.cofactors(b);
+            let v = Var(self.manager.node(b).var);
+            if !hi.is_false() {
                 let mut p = path.clone();
                 p.push((v, true));
-                self.stack.push((n.hi, p));
+                self.stack.push((hi, p));
             }
-            if !n.lo.is_false() {
+            if !lo.is_false() {
                 let mut p = path;
                 p.push((v, false));
-                self.stack.push((n.lo, p));
+                self.stack.push((lo, p));
             }
         }
         None

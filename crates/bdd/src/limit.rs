@@ -164,6 +164,10 @@ impl BddManager {
     /// Returns [`OpAbort`] when the cap is hit or cancellation fires;
     /// the manager is left consistent and usable.
     pub fn try_not_b(&mut self, f: Bdd, budget: &OpBudget<'_>) -> Result<Bdd, OpAbort> {
+        if self.ce {
+            // A tag flip allocates nothing, so it cannot exceed a budget.
+            return Ok(f.negate());
+        }
         if f.is_false() {
             return Ok(Bdd::TRUE);
         }
@@ -211,6 +215,9 @@ impl BddManager {
         h: Bdd,
         budget: &OpBudget<'_>,
     ) -> Result<Bdd, OpAbort> {
+        if self.ce {
+            return self.try_ite_ce_b(f, g, h, budget);
+        }
         self.obs_ite_call();
         if f.is_true() {
             return Ok(g);
@@ -257,6 +264,83 @@ impl BddManager {
         let r = self.mk_budgeted(top_var, lo, hi, budget)?;
         self.ite_cache.insert(key, r);
         Ok(r)
+    }
+
+    /// [`try_ite_b`](Self::try_ite_b) under complement edges: the exact
+    /// budget discipline of the plain mirror with the canonical argument
+    /// rewriting of [`ite`](Self::ite)'s complement-edge path.
+    fn try_ite_ce_b(
+        &mut self,
+        f: Bdd,
+        g: Bdd,
+        h: Bdd,
+        budget: &OpBudget<'_>,
+    ) -> Result<Bdd, OpAbort> {
+        self.obs_ite_call();
+        let (mut g, mut h) = (g, h);
+        if g == f {
+            g = Bdd::TRUE;
+        } else if g == f.negate() {
+            g = Bdd::FALSE;
+        }
+        if h == f {
+            h = Bdd::FALSE;
+        } else if h == f.negate() {
+            h = Bdd::TRUE;
+        }
+        if f.is_true() {
+            return Ok(g);
+        }
+        if f.is_false() {
+            return Ok(h);
+        }
+        if g == h {
+            return Ok(g);
+        }
+        if g.is_true() && h.is_false() {
+            return Ok(f);
+        }
+        if g.is_false() && h.is_true() {
+            return Ok(f.negate());
+        }
+        let mut f = f;
+        if f.is_complemented() {
+            f = f.negate();
+            std::mem::swap(&mut g, &mut h);
+        }
+        let neg_result = g.is_complemented();
+        if neg_result {
+            g = g.negate();
+            h = h.negate();
+        }
+        let key = (f, g, h);
+        if let Some(&r) = self.ite_cache.get(&key) {
+            self.obs_cache_hit();
+            return Ok(if neg_result { r.negate() } else { r });
+        }
+        self.obs_cache_miss();
+        let top = self.blevel(f).min(self.blevel(g)).min(self.blevel(h));
+        let top_var = self.level2var[top as usize];
+        let cof = |m: &BddManager, b: Bdd, phase: bool| -> Bdd {
+            if m.blevel(b) != top {
+                b
+            } else {
+                let (lo, hi) = m.cofactors(b);
+                if phase {
+                    hi
+                } else {
+                    lo
+                }
+            }
+        };
+        let (f0, f1) = (cof(self, f, false), cof(self, f, true));
+        let (g0, g1) = (cof(self, g, false), cof(self, g, true));
+        let (h0, h1) = (cof(self, h, false), cof(self, h, true));
+        let lo = self.try_ite_ce_b(f0, g0, h0, budget)?;
+        let hi = self.try_ite_ce_b(f1, g1, h1, budget)?;
+        let r = self.mk_budgeted(top_var, lo, hi, budget)?;
+        self.ite_cache.insert(key, r);
+        Ok(if neg_result { r.negate() } else { r })
     }
 
     /// XOR that aborts once the manager exceeds `limit` nodes.
@@ -334,24 +418,45 @@ impl BddManager {
     ///
     /// Returns [`OpAbort`] when the cap is hit or cancellation fires.
     pub fn try_exists_b(&mut self, f: Bdd, v: Var, budget: &OpBudget<'_>) -> Result<Bdd, OpAbort> {
+        self.try_quantify_b(f, v, true, budget)
+    }
+
+    /// Budgeted quantification of either polarity. Complemented handles
+    /// recurse through `Qv.¬f = ¬Q̄v.f` so the cache only holds regular
+    /// keys (plain mode never reaches that branch).
+    fn try_quantify_b(
+        &mut self,
+        f: Bdd,
+        v: Var,
+        existential: bool,
+        budget: &OpBudget<'_>,
+    ) -> Result<Bdd, OpAbort> {
         if f.is_const() {
             return Ok(f);
+        }
+        if f.is_complemented() {
+            let r = self.try_quantify_b(f.negate(), v, !existential, budget)?;
+            return Ok(r.negate());
         }
         let n = self.node(f);
         if self.lvl(n.var) > self.lvl(v.0) {
             return Ok(f);
         }
-        let key = (f, v.0, true);
+        let key = (f, v.0, existential);
         if let Some(&r) = self.quant_cache.get(&key) {
             self.obs_cache_hit();
             return Ok(r);
         }
         self.obs_cache_miss();
         let r = if n.var == v.0 {
-            self.try_or_b(n.lo, n.hi, budget)?
+            if existential {
+                self.try_or_b(n.lo, n.hi, budget)?
+            } else {
+                self.try_and_b(n.lo, n.hi, budget)?
+            }
         } else {
-            let lo = self.try_exists_b(n.lo, v, budget)?;
-            let hi = self.try_exists_b(n.hi, v, budget)?;
+            let lo = self.try_quantify_b(n.lo, v, existential, budget)?;
+            let hi = self.try_quantify_b(n.hi, v, existential, budget)?;
             self.mk_budgeted(n.var, lo, hi, budget)?
         };
         self.quant_cache.insert(key, r);

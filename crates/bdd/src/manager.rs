@@ -11,6 +11,21 @@ use crate::node::{Bdd, Node, Var, TERMINAL_LEVEL};
 /// Boolean operations. All operations that combine BDDs are methods on the
 /// manager and take handles by value.
 ///
+/// A manager runs in one of two modes, fixed at construction:
+///
+/// * **Plain mode** ([`new`](Self::new)): edges are untagged except for
+///   the [`Bdd::FALSE`] constant, negation is a recursive (memoized)
+///   operation, and a function and its complement occupy separate nodes.
+/// * **Complement-edge mode** ([`new_ce`](Self::new_ce)): any edge may
+///   carry a complement tag, negation is a constant-time tag flip, and a
+///   function shares every node with its complement — roughly halving
+///   unique-table and arena sizes. Canonicity is kept by the *canonical
+///   then-edge rule*: a stored node's `hi` edge is never complemented
+///   (`mk` renormalizes and returns a tagged handle instead).
+///
+/// Both modes expose the same API and compute the same functions; only
+/// representation size and negation cost differ.
+///
 /// Memory is append-only: nodes are never freed during the manager's
 /// lifetime. The exact-delay search in `tbf-core` polls
 /// [`node_count`](Self::node_count) between operations to bound growth.
@@ -42,6 +57,8 @@ pub struct BddManager {
     pub(crate) not_cache: HashMap<Bdd, Bdd>,
     pub(crate) quant_cache: HashMap<(Bdd, u32, bool), Bdd>,
     pub(crate) compose_cache: HashMap<(Bdd, u32, Bdd), Bdd>,
+    /// Complement-edge mode flag (fixed at construction).
+    pub(crate) ce: bool,
     var_names: Vec<String>,
     /// `var2level[v]` = current order position of variable `v`.
     pub(crate) var2level: Vec<u32>,
@@ -65,22 +82,34 @@ pub struct BddManager {
 }
 
 impl BddManager {
-    /// Creates an empty manager with no variables.
+    /// Creates an empty plain-mode manager with no variables.
     pub fn new() -> Self {
-        let terminal = |_: u32| Node {
-            var: TERMINAL_LEVEL,
-            lo: Bdd::FALSE,
-            hi: Bdd::TRUE,
-        };
+        Self::with_complement_edges(false)
+    }
+
+    /// Creates an empty complement-edge manager with no variables.
+    pub fn new_ce() -> Self {
+        Self::with_complement_edges(true)
+    }
+
+    /// Creates an empty manager in the requested mode (`true` enables
+    /// complement edges).
+    pub fn with_complement_edges(ce: bool) -> Self {
         BddManager {
-            // Index 0 = FALSE, index 1 = TRUE. Their payloads are sentinels
-            // and never interned in the unique table.
-            nodes: vec![terminal(0), terminal(1)],
+            // One terminal at arena index 0: TRUE is the plain handle,
+            // FALSE its complement. The payload is a sentinel and never
+            // interned in the unique table.
+            nodes: vec![Node {
+                var: TERMINAL_LEVEL,
+                lo: Bdd::TRUE,
+                hi: Bdd::TRUE,
+            }],
             unique: HashMap::new(),
             ite_cache: HashMap::new(),
             not_cache: HashMap::new(),
             quant_cache: HashMap::new(),
             compose_cache: HashMap::new(),
+            ce,
             var_names: Vec::new(),
             var2level: Vec::new(),
             level2var: Vec::new(),
@@ -91,6 +120,11 @@ impl BddManager {
             #[cfg(feature = "obs")]
             counters: None,
         }
+    }
+
+    /// Whether this manager runs in complement-edge mode.
+    pub fn complement_edges(&self) -> bool {
+        self.ce
     }
 
     /// Declares a fresh variable at the end of the current order.
@@ -124,7 +158,7 @@ impl BddManager {
         self.var_names.len()
     }
 
-    /// Total number of nodes allocated so far (including both terminals).
+    /// Total number of nodes allocated so far (including the terminal).
     pub fn node_count(&self) -> usize {
         self.nodes.len()
     }
@@ -158,26 +192,53 @@ impl BddManager {
     }
 
     /// Interns a node, enforcing the no-redundant-test and sharing rules.
+    /// In complement-edge mode a complemented `hi` edge is renormalized
+    /// (both children negated, result handle tagged) so that stored nodes
+    /// always satisfy the canonical then-edge rule.
     pub(crate) fn mk(&mut self, var: u32, lo: Bdd, hi: Bdd) -> Bdd {
         if lo == hi {
             return lo;
         }
+        if self.ce && hi.is_complemented() {
+            return self.mk_regular(var, lo.negate(), hi.negate()).negate();
+        }
+        self.mk_regular(var, lo, hi)
+    }
+
+    /// [`mk`](Self::mk) after then-edge normalization: interns `(var, lo,
+    /// hi)` as stored and returns the plain (untagged) handle.
+    fn mk_regular(&mut self, var: u32, lo: Bdd, hi: Bdd) -> Bdd {
+        debug_assert!(!self.ce || !hi.is_complemented(), "hi edge must be regular");
         let node = Node { var, lo, hi };
         self.obs_unique_probe();
         if let Some(&b) = self.unique.get(&node) {
             return b;
         }
         self.obs_node_alloc();
-        let id = Bdd(u32::try_from(self.nodes.len()).expect("BDD node index overflow"));
+        let slot = self.nodes.len();
+        let id = Bdd::from_index(slot);
         self.nodes.push(node);
         self.unique.insert(node, id);
-        self.var_nodes[var as usize].push(id.0);
+        self.var_nodes[var as usize].push(slot as u32);
         id
     }
 
     #[inline]
     pub(crate) fn node(&self, b: Bdd) -> Node {
         self.nodes[b.index()]
+    }
+
+    /// The cofactors of `b` at its root node, with the complement tag of
+    /// `b` propagated onto the children (so they denote the cofactors of
+    /// the *function*, not of the stored node).
+    #[inline]
+    pub(crate) fn cofactors(&self, b: Bdd) -> (Bdd, Bdd) {
+        let n = self.node(b);
+        if b.is_complemented() {
+            (n.lo.negate(), n.hi.negate())
+        } else {
+            (n.lo, n.hi)
+        }
     }
 
     /// Current order position of variable index `var` (internal shorthand).
@@ -236,7 +297,7 @@ impl BddManager {
     pub fn set_order(&mut self, order: &[Var]) {
         assert_eq!(
             self.nodes.len(),
-            2,
+            1,
             "set_order requires a fresh manager; use reorder_to instead"
         );
         assert_eq!(
@@ -275,8 +336,7 @@ impl BddManager {
     /// Panics if `b` is a constant.
     pub fn root_cofactors(&self, b: Bdd) -> (Bdd, Bdd) {
         assert!(!b.is_const(), "constants have no cofactors");
-        let n = self.node(b);
-        (n.lo, n.hi)
+        self.cofactors(b)
     }
 
     /// Evaluates `b` under a full assignment indexed by variable *identity*
@@ -286,8 +346,19 @@ impl BddManager {
     ///
     /// Panics if the assignment is shorter than some variable tested in `b`.
     pub fn eval(&self, b: Bdd, assignment: &[bool]) -> bool {
+        // One walk serves both modes: accumulate complement-tag parity on
+        // the way down; the terminal is reached as TRUE once the tag is
+        // stripped, so the answer is the parity itself.
         let mut cur = b;
-        while !cur.is_const() {
+        let mut neg = false;
+        loop {
+            if cur.is_complemented() {
+                neg = !neg;
+                cur = cur.negate();
+            }
+            if cur.is_const() {
+                return !neg;
+            }
             let n = self.node(cur);
             cur = if assignment[n.var as usize] {
                 n.hi
@@ -295,7 +366,6 @@ impl BddManager {
                 n.lo
             };
         }
-        cur.is_true()
     }
 
     /// Number of satisfying assignments over `n_vars` variables.
@@ -318,7 +388,9 @@ impl BddManager {
             "sat_count: BDD tests a variable outside the first n_vars levels"
         );
         // Level-aware recursion: `go(b, level)` counts assignments of the
-        // variables at positions `level..n_vars` that satisfy `b`.
+        // variables at positions `level..n_vars` that satisfy `b`. A
+        // complemented handle counts via |¬f| = 2^k − |f|, so the memo
+        // only ever holds regular handles.
         fn go(
             m: &BddManager,
             b: Bdd,
@@ -326,10 +398,10 @@ impl BddManager {
             n_vars: usize,
             memo: &mut HashMap<(Bdd, usize), f64>,
         ) -> f64 {
-            if b.is_false() {
-                return 0.0;
+            if b.is_complemented() {
+                return 2f64.powi((n_vars - level) as i32) - go(m, b.negate(), level, n_vars, memo);
             }
-            if b.is_true() {
+            if b.is_const() {
                 return 2f64.powi((n_vars - level) as i32);
             }
             if let Some(&c) = memo.get(&(b, level)) {
@@ -350,7 +422,9 @@ impl BddManager {
 
     /// Largest order position tested anywhere in `b`, or 0 for constants.
     fn max_tested_level(&self, b: Bdd) -> usize {
-        let mut stack = vec![b];
+        // Track regular handles so a node reached both plain and
+        // complemented is visited once.
+        let mut stack = vec![b.regular()];
         let mut seen = std::collections::HashSet::new();
         let mut max = 0usize;
         while let Some(x) = stack.pop() {
@@ -359,8 +433,8 @@ impl BddManager {
             }
             let n = self.node(x);
             max = max.max(self.lvl(n.var) as usize);
-            stack.push(n.lo);
-            stack.push(n.hi);
+            stack.push(n.lo.regular());
+            stack.push(n.hi.regular());
         }
         max
     }
@@ -368,7 +442,7 @@ impl BddManager {
     /// The set of variables tested in `b`, in ascending [`Var::index`]
     /// order (independent of the current variable order).
     pub fn support(&self, b: Bdd) -> Vec<Var> {
-        let mut stack = vec![b];
+        let mut stack = vec![b.regular()];
         let mut seen = std::collections::HashSet::new();
         let mut vars = std::collections::BTreeSet::new();
         while let Some(x) = stack.pop() {
@@ -377,8 +451,8 @@ impl BddManager {
             }
             let n = self.node(x);
             vars.insert(n.var);
-            stack.push(n.lo);
-            stack.push(n.hi);
+            stack.push(n.lo.regular());
+            stack.push(n.hi.regular());
         }
         vars.into_iter().map(Var).collect()
     }
@@ -389,6 +463,9 @@ impl BddManager {
     pub fn live_size(&self, roots: &[Bdd]) -> usize {
         // Sifting calls this after every adjacent swap, so the visited
         // set is a plain arena-indexed bitmap rather than a hash set.
+        // `index()` strips the complement tag, so a node referenced both
+        // plain and complemented is counted once — the {f, ¬f} pair *is*
+        // one node under complement edges.
         let mut stack: Vec<Bdd> = roots.to_vec();
         let mut seen = vec![false; self.nodes.len()];
         let mut count = 0usize;
@@ -406,7 +483,7 @@ impl BddManager {
 
     /// Number of (shared) nodes reachable from `b`, terminals excluded.
     pub fn size(&self, b: Bdd) -> usize {
-        let mut stack = vec![b];
+        let mut stack = vec![b.regular()];
         let mut seen = std::collections::HashSet::new();
         let mut count = 0usize;
         while let Some(x) = stack.pop() {
@@ -415,8 +492,8 @@ impl BddManager {
             }
             count += 1;
             let n = self.node(x);
-            stack.push(n.lo);
-            stack.push(n.hi);
+            stack.push(n.lo.regular());
+            stack.push(n.hi.regular());
         }
         count
     }
@@ -451,6 +528,7 @@ impl std::fmt::Debug for BddManager {
         f.debug_struct("BddManager")
             .field("vars", &self.var_names.len())
             .field("nodes", &self.nodes.len())
+            .field("ce", &self.ce)
             .finish()
     }
 }
@@ -460,10 +538,14 @@ mod tests {
     use super::*;
 
     #[test]
-    fn fresh_manager_has_two_terminal_nodes() {
+    fn fresh_manager_has_one_terminal_node() {
         let m = BddManager::new();
-        assert_eq!(m.node_count(), 2);
+        assert_eq!(m.node_count(), 1);
         assert_eq!(m.var_count(), 0);
+        let c = BddManager::new_ce();
+        assert_eq!(c.node_count(), 1);
+        assert!(c.complement_edges());
+        assert!(!m.complement_edges());
     }
 
     #[test]
@@ -473,7 +555,20 @@ mod tests {
         let a = m.var(x);
         let b = m.var(x);
         assert_eq!(a, b);
-        assert_eq!(m.node_count(), 3);
+        assert_eq!(m.node_count(), 2);
+    }
+
+    #[test]
+    fn ce_literals_share_one_node() {
+        let mut m = BddManager::new_ce();
+        let x = m.new_var();
+        let pos = m.var(x);
+        let neg = m.nvar(x);
+        assert_eq!(m.node_count(), 2, "x and ¬x share one node");
+        assert_eq!(neg, m.not(pos));
+        assert_ne!(pos, neg);
+        assert!(m.eval(pos, &[true]));
+        assert!(!m.eval(neg, &[true]));
     }
 
     #[test]
@@ -487,28 +582,34 @@ mod tests {
 
     #[test]
     fn eval_follows_assignment() {
-        let mut m = BddManager::new();
-        let x = m.new_var();
-        let y = m.new_var();
-        let (vx, vy) = (m.var(x), m.var(y));
-        let f = m.and(vx, vy);
-        assert!(m.eval(f, &[true, true]));
-        assert!(!m.eval(f, &[true, false]));
-        assert!(!m.eval(f, &[false, true]));
+        for ce in [false, true] {
+            let mut m = BddManager::with_complement_edges(ce);
+            let x = m.new_var();
+            let y = m.new_var();
+            let (vx, vy) = (m.var(x), m.var(y));
+            let f = m.and(vx, vy);
+            assert!(m.eval(f, &[true, true]));
+            assert!(!m.eval(f, &[true, false]));
+            assert!(!m.eval(f, &[false, true]));
+        }
     }
 
     #[test]
     fn sat_count_matches_truth_table() {
-        let mut m = BddManager::new();
-        let x = m.new_var();
-        let y = m.new_var();
-        let z = m.new_var();
-        let (vx, vy, vz) = (m.var(x), m.var(y), m.var(z));
-        let xy = m.and(vx, vy);
-        let f = m.or(xy, vz); // 5 of 8 assignments
-        assert_eq!(m.sat_count(f, 3), 5.0);
-        assert_eq!(m.sat_count(Bdd::TRUE, 3), 8.0);
-        assert_eq!(m.sat_count(Bdd::FALSE, 3), 0.0);
+        for ce in [false, true] {
+            let mut m = BddManager::with_complement_edges(ce);
+            let x = m.new_var();
+            let y = m.new_var();
+            let z = m.new_var();
+            let (vx, vy, vz) = (m.var(x), m.var(y), m.var(z));
+            let xy = m.and(vx, vy);
+            let f = m.or(xy, vz); // 5 of 8 assignments
+            assert_eq!(m.sat_count(f, 3), 5.0);
+            let nf = m.not(f);
+            assert_eq!(m.sat_count(nf, 3), 3.0);
+            assert_eq!(m.sat_count(Bdd::TRUE, 3), 8.0);
+            assert_eq!(m.sat_count(Bdd::FALSE, 3), 0.0);
+        }
     }
 
     #[test]
@@ -523,16 +624,20 @@ mod tests {
 
     #[test]
     fn support_and_size() {
-        let mut m = BddManager::new();
-        let x = m.new_var();
-        let y = m.new_var();
-        let z = m.new_var();
-        let (vx, vz) = (m.var(x), m.var(z));
-        let f = m.or(vx, vz);
-        assert_eq!(m.support(f), vec![x, z]);
-        assert!(!m.support(f).contains(&y));
-        assert_eq!(m.size(f), 2);
-        assert_eq!(m.size(Bdd::TRUE), 0);
+        for ce in [false, true] {
+            let mut m = BddManager::with_complement_edges(ce);
+            let x = m.new_var();
+            let y = m.new_var();
+            let z = m.new_var();
+            let (vx, vz) = (m.var(x), m.var(z));
+            let f = m.or(vx, vz);
+            assert_eq!(m.support(f), vec![x, z]);
+            assert!(!m.support(f).contains(&y));
+            assert_eq!(m.size(f), 2);
+            assert_eq!(m.size(Bdd::TRUE), 0);
+            let nf = m.not(f);
+            assert_eq!(m.size(nf), 2, "complement shares the same nodes");
+        }
     }
 
     #[test]
@@ -545,6 +650,18 @@ mod tests {
         let (lo, hi) = m.root_cofactors(f);
         assert_eq!(lo, Bdd::FALSE);
         assert_eq!(hi, Bdd::TRUE);
+    }
+
+    #[test]
+    fn ce_root_cofactors_propagate_the_tag() {
+        let mut m = BddManager::new_ce();
+        let x = m.new_var();
+        let f = m.var(x);
+        let nf = m.not(f);
+        assert_eq!(m.root_var(nf), Some(x));
+        let (lo, hi) = m.root_cofactors(nf);
+        assert_eq!(lo, Bdd::TRUE);
+        assert_eq!(hi, Bdd::FALSE);
     }
 
     #[test]
@@ -564,5 +681,35 @@ mod tests {
         m.clear_op_caches();
         let f2 = m.xor(vx, vy);
         assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn ce_live_size_counts_complement_pairs_once() {
+        // A {f, ¬f} pair is one physical node under complement edges. A
+        // handle-keyed visited set would count the pair twice (and with it
+        // every node reached both plain and complemented); the arena-index
+        // bitmap must not.
+        let mut m = BddManager::new_ce();
+        let x = m.new_var();
+        let y = m.new_var();
+        let (vx, vy) = (m.var(x), m.var(y));
+        let f = m.xor(vx, vy);
+        let nf = m.not(f);
+        assert_eq!(f.regular(), nf.regular(), "pair must share one node");
+        assert_ne!(f, nf);
+        let plain = m.live_size(&[f]);
+        assert_eq!(m.live_size(&[f, nf]), plain);
+        assert_eq!(m.live_size(&[nf]), plain);
+        // xor reaches the y-literal both plain (x̄-branch) and complemented
+        // (x-branch): 2 physical nodes, not 3 as a handle-keyed count (or
+        // the legacy no-sharing representation) would report.
+        assert_eq!(plain, 2);
+        assert_eq!(m.size(f), plain);
+        let mut legacy = BddManager::new();
+        let x = legacy.new_var();
+        let y = legacy.new_var();
+        let (vx, vy) = (legacy.var(x), legacy.var(y));
+        let g = legacy.xor(vx, vy);
+        assert_eq!(legacy.live_size(&[g]), 3);
     }
 }

@@ -4,10 +4,16 @@ use std::fmt;
 
 /// A handle to a BDD node owned by a [`BddManager`](crate::BddManager).
 ///
-/// Handles are plain indices: cheap to copy, hash and compare. Two handles
-/// from the *same* manager are equal if and only if they denote the same
-/// Boolean function (ROBDDs are canonical). Mixing handles across managers
-/// is a logic error; the manager panics on out-of-range indices.
+/// Handles are *tagged* indices: the low bit is a complement tag and the
+/// remaining bits index the manager's node arena, so handles stay cheap
+/// to copy, hash and compare while negation can be a constant-time tag
+/// flip. Two handles from the *same* manager are equal if and only if
+/// they denote the same Boolean function (ROBDDs with a canonical
+/// then-edge rule are canonical). Mixing handles across managers is a
+/// logic error; the manager panics on out-of-range indices.
+///
+/// Both constants share one terminal node at arena index 0:
+/// [`Bdd::TRUE`] is the plain handle, [`Bdd::FALSE`] its complement.
 ///
 /// # Example
 ///
@@ -23,10 +29,10 @@ use std::fmt;
 pub struct Bdd(pub(crate) u32);
 
 impl Bdd {
-    /// The constant-false function.
-    pub const FALSE: Bdd = Bdd(0);
-    /// The constant-true function.
-    pub const TRUE: Bdd = Bdd(1);
+    /// The constant-true function: the terminal node, untagged.
+    pub const TRUE: Bdd = Bdd(0);
+    /// The constant-false function: the complement of the terminal.
+    pub const FALSE: Bdd = Bdd(1);
 
     /// Returns `true` if this handle is the constant-false function.
     #[inline]
@@ -46,10 +52,36 @@ impl Bdd {
         self.0 < 2
     }
 
-    /// The raw index of this node inside its manager.
+    /// The arena index of the node this handle references (complement
+    /// tag stripped).
     #[inline]
     pub fn index(self) -> usize {
-        self.0 as usize
+        (self.0 >> 1) as usize
+    }
+
+    /// Whether the complement tag is set on this handle.
+    #[inline]
+    pub(crate) fn is_complemented(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The same node with the complement tag flipped (¬f, in O(1)).
+    #[inline]
+    pub(crate) fn negate(self) -> Bdd {
+        Bdd(self.0 ^ 1)
+    }
+
+    /// The same node with the complement tag cleared (the "regular"
+    /// representative of the {f, ¬f} pair).
+    #[inline]
+    pub(crate) fn regular(self) -> Bdd {
+        Bdd(self.0 & !1)
+    }
+
+    /// The tagged handle for arena index `i` with no complement bit.
+    #[inline]
+    pub(crate) fn from_index(i: usize) -> Bdd {
+        Bdd(u32::try_from(i << 1).expect("BDD node index overflow"))
     }
 }
 
@@ -58,7 +90,14 @@ impl fmt::Debug for Bdd {
         match *self {
             Bdd::FALSE => write!(f, "Bdd(FALSE)"),
             Bdd::TRUE => write!(f, "Bdd(TRUE)"),
-            Bdd(i) => write!(f, "Bdd({i})"),
+            Bdd(raw) => {
+                let i = raw >> 1;
+                if raw & 1 == 1 {
+                    write!(f, "Bdd(!{i})")
+                } else {
+                    write!(f, "Bdd({i})")
+                }
+            }
         }
     }
 }
@@ -94,8 +133,9 @@ impl fmt::Debug for Var {
 /// Internal node representation: `(var, lo, hi)` with `lo` taken when the
 /// tested variable is 0. The field stores the variable's stable *identity*;
 /// its current order position comes from the manager's `var2level` table.
-/// Terminals live at indices 0/1 with a sentinel so that every internal
-/// node sorts strictly above them.
+/// The single terminal lives at arena index 0 with a sentinel variable so
+/// that every internal node sorts strictly above it. In complement-edge
+/// mode the stored `hi` edge is always regular (canonical then-edge rule).
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) struct Node {
     pub var: u32,
@@ -103,7 +143,7 @@ pub(crate) struct Node {
     pub hi: Bdd,
 }
 
-/// Sentinel marking the two terminal nodes; also used as the "below every
+/// Sentinel marking the terminal node; also used as the "below every
 /// variable" level (larger than any variable index or order position).
 pub(crate) const TERMINAL_LEVEL: u32 = u32::MAX;
 
@@ -123,16 +163,27 @@ mod tests {
     }
 
     #[test]
+    fn constants_are_one_complement_pair() {
+        assert_eq!(Bdd::TRUE.negate(), Bdd::FALSE);
+        assert_eq!(Bdd::FALSE.negate(), Bdd::TRUE);
+        assert_eq!(Bdd::FALSE.regular(), Bdd::TRUE);
+        assert_eq!(Bdd::TRUE.index(), Bdd::FALSE.index());
+    }
+
+    #[test]
     fn debug_formats() {
         assert_eq!(format!("{:?}", Bdd::FALSE), "Bdd(FALSE)");
         assert_eq!(format!("{:?}", Bdd::TRUE), "Bdd(TRUE)");
-        assert_eq!(format!("{:?}", Bdd(7)), "Bdd(7)");
+        assert_eq!(format!("{:?}", Bdd(14)), "Bdd(7)");
+        assert_eq!(format!("{:?}", Bdd(15)), "Bdd(!7)");
         assert_eq!(format!("{:?}", Var(3)), "Var(3)");
     }
 
     #[test]
-    fn var_index_roundtrip() {
+    fn index_strips_the_tag() {
         assert_eq!(Var(11).index(), 11);
-        assert_eq!(Bdd(11).index(), 11);
+        assert_eq!(Bdd(22).index(), 11);
+        assert_eq!(Bdd(23).index(), 11);
+        assert_eq!(Bdd::from_index(11), Bdd(22));
     }
 }

@@ -5,8 +5,12 @@ use crate::manager::BddManager;
 use crate::node::{Bdd, Var};
 
 impl BddManager {
-    /// Logical negation.
+    /// Logical negation. A constant-time tag flip under complement
+    /// edges; a memoized recursive rebuild in plain mode.
     pub fn not(&mut self, f: Bdd) -> Bdd {
+        if self.ce {
+            return f.negate();
+        }
         if f.is_false() {
             return Bdd::TRUE;
         }
@@ -29,6 +33,9 @@ impl BddManager {
     /// If-then-else: `f·g + f̄·h`. The primitive from which the binary
     /// connectives are derived.
     pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Bdd {
+        if self.ce {
+            return self.ite_ce(f, g, h);
+        }
         self.obs_ite_call();
         // Terminal cases.
         if f.is_true() {
@@ -76,6 +83,89 @@ impl BddManager {
         let r = self.mk(top_var, lo, hi);
         self.ite_cache.insert(key, r);
         r
+    }
+
+    /// [`ite`](Self::ite) under complement edges: the same recursion, but
+    /// with O(1) negation the arguments are first rewritten into a
+    /// canonical form — `f` regular and `g` regular — so a cache entry
+    /// serves the whole 4-element orbit `{ite(f,g,h), ite(¬f,h,g),
+    /// ¬ite(f,¬g,¬h), ¬ite(¬f,¬h,¬g)}`.
+    fn ite_ce(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Bdd {
+        self.obs_ite_call();
+        let (mut g, mut h) = (g, h);
+        // Arguments equal (or complementary) to the selector collapse.
+        if g == f {
+            g = Bdd::TRUE;
+        } else if g == f.negate() {
+            g = Bdd::FALSE;
+        }
+        if h == f {
+            h = Bdd::FALSE;
+        } else if h == f.negate() {
+            h = Bdd::TRUE;
+        }
+        // Terminal cases.
+        if f.is_true() {
+            return g;
+        }
+        if f.is_false() {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g.is_true() && h.is_false() {
+            return f;
+        }
+        if g.is_false() && h.is_true() {
+            return f.negate();
+        }
+        // Canonicalize: a complemented selector swaps branches; a
+        // complemented then-branch factors the negation out of the result.
+        let mut f = f;
+        if f.is_complemented() {
+            f = f.negate();
+            std::mem::swap(&mut g, &mut h);
+        }
+        let neg_result = g.is_complemented();
+        if neg_result {
+            g = g.negate();
+            h = h.negate();
+        }
+        let key = (f, g, h);
+        if let Some(&r) = self.ite_cache.get(&key) {
+            self.obs_cache_hit();
+            return if neg_result { r.negate() } else { r };
+        }
+        self.obs_cache_miss();
+        let top = self.blevel(f).min(self.blevel(g)).min(self.blevel(h));
+        let top_var = self.level2var[top as usize];
+        // Cofactors of the *function*: the complement tag on an argument
+        // propagates to its children.
+        let cof = |m: &BddManager, b: Bdd, phase: bool| -> Bdd {
+            if m.blevel(b) != top {
+                b
+            } else {
+                let (lo, hi) = m.cofactors(b);
+                if phase {
+                    hi
+                } else {
+                    lo
+                }
+            }
+        };
+        let (f0, f1) = (cof(self, f, false), cof(self, f, true));
+        let (g0, g1) = (cof(self, g, false), cof(self, g, true));
+        let (h0, h1) = (cof(self, h, false), cof(self, h, true));
+        let lo = self.ite_ce(f0, g0, h0);
+        let hi = self.ite_ce(f1, g1, h1);
+        let r = self.mk(top_var, lo, hi);
+        self.ite_cache.insert(key, r);
+        if neg_result {
+            r.negate()
+        } else {
+            r
+        }
     }
 
     /// Conjunction.
@@ -152,6 +242,12 @@ impl BddManager {
         if f.is_const() {
             return f;
         }
+        if f.is_complemented() {
+            // ∃v.¬f = ¬∀v.f (and dually): recurse on the regular handle
+            // so the cache never stores a complemented key.
+            let r = self.quantify(f.negate(), v, !existential);
+            return r.negate();
+        }
         let n = self.node(f);
         if self.lvl(n.var) > self.lvl(v.0) {
             // v does not occur in f (order property).
@@ -187,6 +283,11 @@ impl BddManager {
     pub fn compose(&mut self, f: Bdd, v: Var, g: Bdd) -> Bdd {
         if f.is_const() {
             return f;
+        }
+        if f.is_complemented() {
+            // ¬f[v := g] = ¬(f[v := g]): keep cache keys regular.
+            let r = self.compose(f.negate(), v, g);
+            return r.negate();
         }
         let n = self.node(f);
         if self.lvl(n.var) > self.lvl(v.0) {
@@ -357,6 +458,50 @@ mod tests {
         let ny = m.not(vy);
         let rhs = m.or(nx, ny);
         assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn ce_not_is_pointer_involutive_and_free() {
+        let mut m = BddManager::new_ce();
+        let x = m.new_var();
+        let y = m.new_var();
+        let (vx, vy) = (m.var(x), m.var(y));
+        let f = m.xor(vx, vy);
+        let nodes_before = m.node_count();
+        let nf = m.not(f);
+        assert_eq!(m.node_count(), nodes_before, "negation allocates nothing");
+        assert_eq!(m.not(nf), f, "¬¬f is the same handle");
+        assert_ne!(f, nf);
+    }
+
+    #[test]
+    fn ce_connectives_match_truth_tables() {
+        let mut m = BddManager::new_ce();
+        let x = m.new_var();
+        let y = m.new_var();
+        let z = m.new_var();
+        let (vx, vy, vz) = (m.var(x), m.var(y), m.var(z));
+        let t1 = m.nand(vx, vy);
+        let f = m.xor(t1, vz);
+        for i in 0..8u8 {
+            let a = [(i & 1) != 0, (i & 2) != 0, (i & 4) != 0];
+            assert_eq!(m.eval(f, &a), !(a[0] && a[1]) ^ a[2], "assignment {a:?}");
+        }
+        // De Morgan canonically, through tagged handles.
+        let lhs = m.nand(vx, vy);
+        let nx = m.not(vx);
+        let ny = m.not(vy);
+        let rhs = m.or(nx, ny);
+        assert_eq!(lhs, rhs);
+        // Quantification and composition through complemented roots.
+        let nf = m.not(f);
+        let e1 = m.exists(nf, z);
+        let a1 = m.forall(f, z);
+        let na1 = m.not(a1);
+        assert_eq!(e1, na1, "∃z.¬f = ¬∀z.f");
+        let sub = m.compose(nf, x, vz);
+        let sub2 = m.compose(f, x, vz);
+        assert_eq!(sub, m.not(sub2));
     }
 
     #[test]

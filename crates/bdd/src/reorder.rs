@@ -188,6 +188,13 @@ impl BddManager {
             let h0 = self.mk(x, f00, f10);
             let h1 = self.mk(x, f01, f11);
             debug_assert_ne!(h0, h1, "a node testing y cannot lose y by the swap");
+            // Complement-edge canonicity survives the in-place rewrite for
+            // free: `old.hi` is regular (canonical then-edge rule), so its
+            // split keeps `f11` regular, so `mk` never renormalizes `h1`.
+            debug_assert!(
+                !self.ce || !h1.is_complemented(),
+                "swap must keep the rewritten node's hi edge regular"
+            );
             let new = Node {
                 var: y,
                 lo: h0,
@@ -195,7 +202,7 @@ impl BddManager {
             };
             self.nodes[i as usize] = new;
             self.var_nodes[y as usize].push(i);
-            let prev = self.unique.insert(new, Bdd(i));
+            let prev = self.unique.insert(new, Bdd::from_index(i as usize));
             debug_assert!(prev.is_none(), "swap produced a duplicate unique-table key");
         }
         self.var2level[x as usize] = (l + 1) as u32;
@@ -216,7 +223,11 @@ impl BddManager {
     fn split_on(&self, b: Bdd, var: u32) -> (Bdd, Bdd) {
         if self.child_tests(b, var) {
             let n = self.nodes[b.index()];
-            (n.lo, n.hi)
+            if b.is_complemented() {
+                (n.lo.negate(), n.hi.negate())
+            } else {
+                (n.lo, n.hi)
+            }
         } else {
             (b, b)
         }
@@ -295,7 +306,7 @@ impl BddManager {
     /// them is pure swap cost.
     fn vars_by_live_count(&self, roots: &[Bdd]) -> Vec<u32> {
         let mut per_var = vec![0usize; self.var_count()];
-        let mut stack: Vec<Bdd> = roots.to_vec();
+        let mut stack: Vec<Bdd> = roots.iter().map(|b| b.regular()).collect();
         let mut seen = HashSet::new();
         while let Some(b) = stack.pop() {
             if b.is_const() || !seen.insert(b) {
@@ -303,8 +314,8 @@ impl BddManager {
             }
             let node = self.node(b);
             per_var[node.var as usize] += 1;
-            stack.push(node.lo);
-            stack.push(node.hi);
+            stack.push(node.lo.regular());
+            stack.push(node.hi.regular());
         }
         let mut vars: Vec<u32> = (0..self.var_count() as u32)
             .filter(|&v| per_var[v as usize] > 0)
@@ -550,6 +561,53 @@ mod tests {
         m.set_reorder_policy(ReorderPolicy::Manual);
         assert!(!m.check_pressure(&[f]));
         assert_eq!(m.reorder_stats().reorders, 0);
+    }
+
+    /// Every stored node in a CE manager must keep its then-edge regular
+    /// (the canonical-edge rule); a violation would make {f, ¬f} intern as
+    /// two distinct nodes and silently break handle equality.
+    fn assert_hi_edges_regular(m: &BddManager) {
+        for (i, n) in m.nodes.iter().enumerate().skip(1) {
+            assert!(
+                !n.hi.is_complemented(),
+                "node {i} stores a complemented hi edge after reordering"
+            );
+        }
+    }
+
+    #[test]
+    fn ce_swap_and_sift_preserve_semantics_and_canonicity() {
+        let mut m = BddManager::new_ce();
+        let f = separated_inner_product(&mut m, 4);
+        let nf = m.not(f);
+        assert_eq!(f.regular(), nf.regular(), "pair must share one node");
+        let tt = truth_table(&m, f, 8);
+        for l in [0, 3, 1, 6, 2, 0] {
+            m.swap_levels(l);
+            assert_hi_edges_regular(&m);
+            assert_eq!(truth_table(&m, f, 8), tt);
+            assert_eq!(m.not(nf), f, "complement pair must survive the swap");
+        }
+        let (before, after) = m.sift(&[f, nf], 150, usize::MAX);
+        assert!(after <= before);
+        assert_hi_edges_regular(&m);
+        assert_eq!(truth_table(&m, f, 8), tt);
+        let tn: Vec<bool> = tt.iter().map(|&b| !b).collect();
+        assert_eq!(truth_table(&m, nf, 8), tn);
+    }
+
+    #[test]
+    fn ce_sift_matches_legacy_order_choice() {
+        // Sifting ranks variables by live node count; the complement-pair
+        // sharing must not change which order wins on this symmetric
+        // benchmark, and both modes must land on an interleaved order.
+        let run = |ce: bool| {
+            let mut m = BddManager::with_complement_edges(ce);
+            let f = separated_inner_product(&mut m, 5);
+            m.sift(&[f], 150, usize::MAX);
+            m.current_order()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

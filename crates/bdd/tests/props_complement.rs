@@ -1,0 +1,252 @@
+//! Seeded property tests: complement edges never change semantics.
+//!
+//! Random expression DAGs (xorshift-seeded, no external deps) are built
+//! twice from the same seed — once in a complement-edged manager, once
+//! in a legacy one — and compared by exhaustive 2^n evaluation,
+//! `sat_count` and `support`. On the complement-edged side the handle
+//! algebra itself is checked: negation is a constant-time tag flip that
+//! allocates nothing, double negation is pointer-identical, and
+//! De Morgan-equivalent constructions meet at the same handle (the
+//! canonical then-edge rule at work). Reordering is exercised on the
+//! complement-edged manager to confirm the two features compose.
+//!
+//! Seeds come from the same fixed table as `props_reorder`; set
+//! `RANDOM_SEED=<u64>` (decimal or `0x`-hex) to add one more. Failures
+//! report the seed and parameters needed to reproduce.
+
+use tbf_bdd::{Bdd, BddManager, Var};
+
+/// Fixed seed table used by default and in CI's deterministic jobs.
+const SEEDS: [u64; 3] = [0x9e3779b97f4a7c15, 0xdeadbeefcafef00d, 0x0123456789abcdef];
+
+/// xorshift64* — tiny, deterministic, dependency-free.
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        XorShift(seed.max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545f4914f6cdd1d)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// One random connective applied to pool members, deterministically
+/// driven by `rng` — callable against any manager so the same seed
+/// replays the same construction in both modes.
+fn random_step(m: &mut BddManager, rng: &mut XorShift, pool: &mut Vec<Bdd>) {
+    let a = pool[rng.below(pool.len())];
+    let b = pool[rng.below(pool.len())];
+    let g = match rng.below(6) {
+        0 => m.and(a, b),
+        1 => m.or(a, b),
+        2 => m.xor(a, b),
+        3 => m.nand(a, b),
+        4 => m.not(a),
+        _ => {
+            let c = pool[rng.below(pool.len())];
+            m.ite(a, b, c)
+        }
+    };
+    pool.push(g);
+}
+
+/// Builds the same random DAG in `m`, returning every subfunction.
+fn random_dag(
+    m: &mut BddManager,
+    seed: u64,
+    n_vars: usize,
+    n_gates: usize,
+) -> (Vec<Bdd>, Vec<Var>) {
+    let mut rng = XorShift::new(seed);
+    let vars: Vec<Var> = (0..n_vars).map(|_| m.new_var()).collect();
+    let mut pool: Vec<Bdd> = vars.iter().map(|&v| m.var(v)).collect();
+    for _ in 0..n_gates {
+        random_step(m, &mut rng, &mut pool);
+    }
+    (pool, vars)
+}
+
+/// All 2^n evaluations, assignment bit `i` = variable identity `i`.
+fn truth_table(m: &BddManager, f: Bdd, n_vars: usize) -> Vec<bool> {
+    (0..1usize << n_vars)
+        .map(|bits| {
+            let a: Vec<bool> = (0..n_vars).map(|i| bits >> i & 1 == 1).collect();
+            m.eval(f, &a)
+        })
+        .collect()
+}
+
+/// One full property case. Returns a failure description on mismatch.
+fn run_case(seed: u64, n_vars: usize, n_gates: usize) -> Result<(), String> {
+    let mut ce = BddManager::new_ce();
+    let mut legacy = BddManager::with_complement_edges(false);
+    let (ce_pool, _) = random_dag(&mut ce, seed, n_vars, n_gates);
+    let (legacy_pool, _) = random_dag(&mut legacy, seed, n_vars, n_gates);
+
+    for (i, (&f, &g)) in ce_pool.iter().zip(&legacy_pool).enumerate() {
+        let tt_ce = truth_table(&ce, f, n_vars);
+        if tt_ce != truth_table(&legacy, g, n_vars) {
+            return Err(format!(
+                "subfunction #{i}: CE and legacy truth tables differ"
+            ));
+        }
+        let (sc, sl) = (ce.sat_count(f, n_vars), legacy.sat_count(g, n_vars));
+        if sc != sl {
+            return Err(format!("subfunction #{i}: sat_count {sc} vs legacy {sl}"));
+        }
+        if ce.support(f) != legacy.support(g) {
+            return Err(format!("subfunction #{i}: support differs"));
+        }
+
+        // Handle algebra on the complement-edged side: ¬ is a tag flip
+        // on the same arena node, so it allocates nothing and ¬¬f is
+        // pointer-identical to f.
+        let before = ce.node_count();
+        let nf = ce.not(f);
+        if ce.node_count() != before {
+            return Err(format!("subfunction #{i}: negation allocated nodes"));
+        }
+        if nf == f || nf.index() != f.index() {
+            return Err(format!(
+                "subfunction #{i}: ¬f must be the complement tag on f's node ({nf:?} vs {f:?})"
+            ));
+        }
+        if ce.not(nf) != f {
+            return Err(format!("subfunction #{i}: ¬¬f is not pointer-equal to f"));
+        }
+        // Negation must also be semantically the complement.
+        if truth_table(&ce, nf, n_vars)
+            .iter()
+            .zip(&tt_ce)
+            .any(|(a, b)| a == b)
+        {
+            return Err(format!("subfunction #{i}: ¬f agrees with f somewhere"));
+        }
+    }
+
+    // Canonicity across construction routes: De Morgan pairs meet at
+    // the same handle (this is what the canonical then-edge rule buys).
+    let mut rng = XorShift::new(seed ^ 0x5ca1ab1e);
+    for round in 0..8 {
+        let a = ce_pool[rng.below(ce_pool.len())];
+        let b = ce_pool[rng.below(ce_pool.len())];
+        let via_nand = ce.nand(a, b);
+        let (na, nb) = (ce.not(a), ce.not(b));
+        let via_or = ce.or(na, nb);
+        if via_nand != via_or {
+            return Err(format!(
+                "round {round}: ¬(a∧b) and ¬a∨¬b built distinct handles"
+            ));
+        }
+        let and_back = ce.and(a, b);
+        if ce.not(via_nand) != and_back {
+            return Err(format!("round {round}: ¬¬(a∧b) differs from a∧b"));
+        }
+    }
+
+    // Complement edges must never be the larger representation.
+    let (ce_live, legacy_live) = (ce.live_size(&ce_pool), legacy.live_size(&legacy_pool));
+    if ce_live > legacy_live {
+        return Err(format!(
+            "CE live size {ce_live} exceeds legacy {legacy_live}"
+        ));
+    }
+
+    // Reordering composes with complement edges: a sift preserves every
+    // subfunction's semantics.
+    let last = *ce_pool.last().expect("pool is non-empty");
+    let tt = truth_table(&ce, last, n_vars);
+    ce.sift(&ce_pool, 150, usize::MAX);
+    if truth_table(&ce, last, n_vars) != tt {
+        return Err("sift changed a CE-managed function".into());
+    }
+    Ok(())
+}
+
+/// Shrinks a failing case: halve the gate count while it still fails,
+/// then halve the variable count, and report the smallest failure.
+fn shrink_and_report(seed: u64, n_vars: usize, n_gates: usize, first_error: String) -> String {
+    let (mut best_vars, mut best_gates, mut best_err) = (n_vars, n_gates, first_error);
+    let mut gates = n_gates / 2;
+    while gates >= 1 {
+        match run_case(seed, best_vars, gates) {
+            Err(e) => {
+                best_gates = gates;
+                best_err = e;
+                gates /= 2;
+            }
+            Ok(()) => break,
+        }
+    }
+    let mut vars = best_vars / 2;
+    while vars >= 2 {
+        match run_case(seed, vars, best_gates) {
+            Err(e) => {
+                best_vars = vars;
+                best_err = e;
+                vars /= 2;
+            }
+            Ok(()) => break,
+        }
+    }
+    format!(
+        "complement-edge property failed: seed={seed:#x} n_vars={best_vars} \
+         n_gates={best_gates}: {best_err} (reproduce with RANDOM_SEED={seed})"
+    )
+}
+
+/// The seed table, plus `RANDOM_SEED` from the environment if present.
+fn seeds() -> Vec<u64> {
+    let mut s = SEEDS.to_vec();
+    if let Ok(raw) = std::env::var("RANDOM_SEED") {
+        let parsed = raw
+            .strip_prefix("0x")
+            .map(|h| u64::from_str_radix(h, 16))
+            .unwrap_or_else(|| raw.parse());
+        match parsed {
+            Ok(x) => s.push(x),
+            Err(e) => panic!("RANDOM_SEED={raw:?} is not a u64: {e}"),
+        }
+    }
+    s
+}
+
+#[test]
+fn complement_edges_preserve_semantics_on_random_dags() {
+    for seed in seeds() {
+        let mut rng = XorShift::new(seed ^ 0xa5a5a5a5a5a5a5a5);
+        for case in 0..6u64 {
+            // 3..=12 variables (exhaustive evaluation stays ≤ 4096 rows).
+            let n_vars = 3 + rng.below(10);
+            let n_gates = 4 + rng.below(28);
+            let case_seed = seed.wrapping_add(case.wrapping_mul(0x9e3779b97f4a7c15));
+            if let Err(e) = run_case(case_seed, n_vars, n_gates) {
+                panic!("{}", shrink_and_report(case_seed, n_vars, n_gates, e));
+            }
+        }
+    }
+}
+
+#[test]
+fn constants_are_a_tagged_pair_in_both_modes() {
+    for ce in [true, false] {
+        let mut m = BddManager::with_complement_edges(ce);
+        let t = m.constant(true);
+        let f = m.constant(false);
+        assert_eq!(t, Bdd::TRUE);
+        assert_eq!(f, Bdd::FALSE);
+        assert_eq!(m.not(t), f, "ce={ce}");
+        assert_eq!(m.not(f), t, "ce={ce}");
+    }
+}

@@ -1,0 +1,192 @@
+//! `bench_pr7` — the perf-trajectory recorder for the complement-edged
+//! BDD substrate and the size-gated `TbfCache` (PR 7).
+//!
+//! Runs the exact 2-vector engine over the golden circuit suite in
+//! three configurations — cross-breakpoint timed-node cache in its
+//! `auto` default and forced `off`, plus an `auto` run with complement
+//! edges disabled — and writes a schema-versioned JSON artifact with
+//! per-circuit wall time, the engine's instantiation counters, and BDD
+//! allocation totals, so CI can diff perf against a committed baseline
+//! instead of folklore.
+//!
+//! ```text
+//! usage: bench_pr7 [OUT.json] [REPS]   (default: BENCH_pr7.json, 5)
+//! ```
+//!
+//! Unlike the retired `bench_pr5` (schema v1), every measured field is
+//! a real JSON number: `wall_ms` is a decimal token (minimum over
+//! `REPS` repetitions) and `delay` is the exact rational
+//! `{num, den}` with `den` = `TIME_SCALE`, so artifact rows can be
+//! compared numerically. The counter columns are byte-stable across
+//! runs, threads, and reorder policies (see
+//! `crates/core/tests/obs_determinism.rs`); only `wall_ms` varies.
+
+use std::process::ExitCode;
+
+/// Artifact schema name; bump `SCHEMA_VERSION` on shape changes.
+#[cfg(feature = "obs")]
+const SCHEMA: &str = "tbf-bench-pr7";
+/// Current artifact schema version (2 = numeric fields, CE columns).
+#[cfg(feature = "obs")]
+const SCHEMA_VERSION: u64 = 2;
+
+#[cfg(feature = "obs")]
+fn main() -> ExitCode {
+    use std::time::Instant;
+
+    use tbf_core::obs::observe;
+    use tbf_core::{two_vector_delay, DelayOptions, TbfCacheMode};
+    use tbf_logic::generators::adders::{carry_bypass, paper_bypass_adder, ripple_carry};
+    use tbf_logic::generators::figures::{figure1_three_paths, figure4_example3, figure6_glitch};
+    use tbf_logic::generators::random::random_dag;
+    use tbf_logic::generators::trees::parity_tree;
+    use tbf_logic::generators::unit_ninety_percent;
+    use tbf_logic::parsers::bench::c17;
+    use tbf_logic::parsers::mcnc_like_delays;
+    use tbf_logic::{Netlist, TIME_SCALE};
+    use tbf_obs::json::Value;
+    use tbf_obs::Metric;
+
+    // The engine-equivalence golden suite, so perf rows and correctness
+    // goldens cover the same circuits.
+    let d = unit_ninety_percent();
+    let suite: Vec<(&str, Netlist)> = vec![
+        ("c17", c17(mcnc_like_delays)),
+        ("paper_bypass_adder", paper_bypass_adder()),
+        ("ripple_carry_4", ripple_carry(4, d)),
+        ("ripple_carry_8", ripple_carry(8, d)),
+        ("carry_bypass_2x2", carry_bypass(2, 2, d)),
+        ("carry_bypass_4x4", carry_bypass(4, 4, d)),
+        ("parity_tree_6", parity_tree(6, d)),
+        ("figure1_three_paths", figure1_three_paths()),
+        ("figure4_example3", figure4_example3()),
+        ("figure6_glitch", figure6_glitch()),
+        ("random_dag_6x30", random_dag(6, 30, 3, 0x5EED)),
+    ];
+
+    /// The deepest `peak_nodes` recorded anywhere in the phase tree:
+    /// the peak live BDD node count of the worst cone in the run.
+    fn peak_nodes(tree: &[tbf_obs::PhaseNode]) -> u64 {
+        tree.iter()
+            .map(|p| p.peak_nodes.max(peak_nodes(&p.children)))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The measured configurations, in artifact column order. Reps are
+    /// interleaved across all three so no column systematically enjoys
+    /// a warmer allocator than another.
+    const CONFIGS: [(&str, TbfCacheMode, bool); 3] = [
+        ("cache_on", TbfCacheMode::Auto, true),
+        ("cache_off", TbfCacheMode::Off, true),
+        ("ce_off", TbfCacheMode::Auto, false),
+    ];
+
+    /// All measured configurations of one circuit: per config, the
+    /// minimum wall time over `reps` interleaved repetitions plus the
+    /// (repetition-invariant) counters the PR tracks.
+    fn measure_row(netlist: &Netlist, reps: u32) -> Vec<(String, Value)> {
+        let mut best_ms = [f64::INFINITY; CONFIGS.len()];
+        let mut last = Vec::new();
+        for rep in 0..reps.max(1) {
+            last.clear();
+            for (i, (_, cache, complement_edges)) in CONFIGS.iter().enumerate() {
+                let options = DelayOptions {
+                    tbf_cache: *cache,
+                    complement_edges: *complement_edges,
+                    ..DelayOptions::default()
+                };
+                let start = Instant::now();
+                let (report, obs) = observe(|| two_vector_delay(netlist, &options));
+                // Skip the cold first repetition entirely: it measures
+                // page faults and lazy init, not the engine.
+                if rep > 0 || reps == 1 {
+                    best_ms[i] = best_ms[i].min(start.elapsed().as_secs_f64() * 1e3);
+                }
+                last.push((report.expect("golden-suite circuits analyze exactly"), obs));
+            }
+        }
+        CONFIGS
+            .iter()
+            .enumerate()
+            .map(|(i, (name, cache, complement_edges))| {
+                let (report, obs) = &last[i];
+                let col = Value::Obj(vec![
+                    ("tbf_cache".to_owned(), Value::str(cache.name())),
+                    (
+                        "complement_edges".to_owned(),
+                        Value::Bool(*complement_edges),
+                    ),
+                    (
+                        "delay".to_owned(),
+                        Value::Obj(vec![
+                            ("num".to_owned(), Value::i64(report.delay.scaled())),
+                            ("den".to_owned(), Value::i64(TIME_SCALE)),
+                        ]),
+                    ),
+                    (
+                        "wall_ms".to_owned(),
+                        Value::Num(format!("{:.3}", best_ms[i])),
+                    ),
+                    (
+                        "breakpoints_visited".to_owned(),
+                        Value::u64(report.stats.breakpoints_visited as u64),
+                    ),
+                    (
+                        "tbf_instantiations".to_owned(),
+                        Value::u64(obs.counters.get(Metric::TbfInstantiations)),
+                    ),
+                    (
+                        "tbf_cache_hits".to_owned(),
+                        Value::u64(obs.counters.get(Metric::TbfCacheHits)),
+                    ),
+                    (
+                        "nodes_allocated".to_owned(),
+                        Value::u64(obs.counters.get(Metric::NodesAllocated)),
+                    ),
+                    ("peak_nodes".to_owned(), Value::u64(peak_nodes(&obs.phases))),
+                ]);
+                ((*name).to_owned(), col)
+            })
+            .collect()
+    }
+
+    let mut args = std::env::args().skip(1);
+    let out = args.next().unwrap_or_else(|| "BENCH_pr7.json".to_owned());
+    let reps: u32 = match args.next().map(|r| r.parse()).transpose() {
+        Ok(r) => r.unwrap_or(5),
+        Err(e) => {
+            eprintln!("bench_pr7: REPS must be a number: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut rows = Vec::new();
+    for (name, netlist) in &suite {
+        eprintln!("bench_pr7: {name}");
+        let mut row = vec![
+            ("circuit".to_owned(), Value::str(*name)),
+            ("gates".to_owned(), Value::u64(netlist.gate_count() as u64)),
+        ];
+        row.extend(measure_row(netlist, reps));
+        rows.push(Value::Obj(row));
+    }
+    let artifact = Value::Obj(vec![
+        ("schema".to_owned(), Value::str(SCHEMA)),
+        ("schema_version".to_owned(), Value::u64(SCHEMA_VERSION)),
+        ("model".to_owned(), Value::str("two-vector")),
+        ("reps".to_owned(), Value::u64(u64::from(reps))),
+        ("rows".to_owned(), Value::Arr(rows)),
+    ]);
+    if let Err(e) = std::fs::write(&out, artifact.to_pretty() + "\n") {
+        eprintln!("bench_pr7: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("bench_pr7: wrote {out}");
+    ExitCode::SUCCESS
+}
+
+#[cfg(not(feature = "obs"))]
+fn main() -> ExitCode {
+    eprintln!("bench_pr7 needs the `obs` feature (enabled by default): the artifact records engine counters");
+    ExitCode::FAILURE
+}

@@ -25,8 +25,13 @@
 //!   --replay               simulate the 2-vector witness and report the
 //!                          observed last transition
 //!   --per-output           print the per-output breakdown
-//!   --no-tbf-cache         disable the cross-breakpoint timed-node cache
-//!                          (ablation; results are identical either way)
+//!   --tbf-cache <C>        auto | on | off: cross-breakpoint timed-node
+//!                          caching. `auto` bypasses the cache for tiny
+//!                          cones; results are identical in every mode
+//!                                                             [default: auto]
+//!   --no-complement-edges  build plain-node BDDs instead of the default
+//!                          complement-edged managers (differential
+//!                          testing; results are identical either way)
 //!   --emit-metrics <PATH>  write the machine-readable run artifact (JSON)
 //!                          to PATH; `-` streams it to stdout and implies
 //!                          --quiet plus suppression of the human report
@@ -54,7 +59,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 
 use tbf_core::{
     analyze, floating_delay, sequences_delay, topological_delay, two_vector_delay, AnalysisPolicy,
-    CircuitReport, DelayOptions, DelayReport, OutputStatus, ReorderPolicy,
+    CircuitReport, DelayOptions, DelayReport, OutputStatus, ReorderPolicy, TbfCacheMode,
 };
 use tbf_logic::parsers::bench::parse_bench;
 use tbf_logic::parsers::blif::parse_blif;
@@ -90,7 +95,8 @@ struct Args {
     reorder: ReorderPolicy,
     replay: bool,
     per_output: bool,
-    no_tbf_cache: bool,
+    tbf_cache: TbfCacheMode,
+    complement_edges: bool,
     emit_metrics: Option<String>,
     quiet: bool,
 }
@@ -116,7 +122,8 @@ fn parse_args() -> Result<Args, String> {
         reorder: ReorderPolicy::None,
         replay: false,
         per_output: false,
-        no_tbf_cache: false,
+        tbf_cache: TbfCacheMode::Auto,
+        complement_edges: true,
         emit_metrics: None,
         quiet: false,
     };
@@ -177,7 +184,12 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--replay" => args.replay = true,
-            "--no-tbf-cache" => args.no_tbf_cache = true,
+            "--tbf-cache" => {
+                let v = value("--tbf-cache")?;
+                args.tbf_cache = TbfCacheMode::parse(&v)
+                    .ok_or_else(|| format!("--tbf-cache must be auto, on or off, got `{v}`"))?;
+            }
+            "--no-complement-edges" => args.complement_edges = false,
             "--per-output" => args.per_output = true,
             "--emit-metrics" => args.emit_metrics = Some(value("--emit-metrics")?),
             "--quiet" => args.quiet = true,
@@ -205,7 +217,8 @@ fn usage() {
         "usage: tbf [--model two-vector|sequences|floating|anytime|all] \
          [--delays unit|mcnc] [--dmin-ratio F] [--max-paths N] [--max-bdd N] \
          [--time-budget MS] [--threads N] [--reorder off|manual|pressure] \
-         [--replay] [--per-output] [--no-tbf-cache] \
+         [--replay] [--per-output] [--tbf-cache auto|on|off] \
+         [--no-complement-edges] \
          [--emit-metrics PATH|-] [--quiet] \
          <netlist.bench|netlist.blif>"
     );
@@ -393,7 +406,11 @@ fn policy_value(args: &Args, options: &DelayOptions) -> Value {
         ("delays".to_owned(), Value::str(&args.delays)),
         ("threads".to_owned(), Value::u64(args.threads as u64)),
         ("reorder".to_owned(), Value::str(reorder)),
-        ("tbf_cache".to_owned(), Value::Bool(options.tbf_cache)),
+        ("tbf_cache".to_owned(), Value::str(options.tbf_cache.name())),
+        (
+            "complement_edges".to_owned(),
+            Value::Bool(options.complement_edges),
+        ),
         (
             "max_straddling_paths".to_owned(),
             Value::u64(options.max_straddling_paths as u64),
@@ -676,7 +693,8 @@ fn main() -> ExitCode {
         options.time_budget = Some(std::time::Duration::from_millis(ms));
     }
     options.reorder = args.reorder;
-    options.tbf_cache = !args.no_tbf_cache;
+    options.tbf_cache = args.tbf_cache;
+    options.complement_edges = args.complement_edges;
 
     say!(
         "{}: {} gates, {} inputs, {} outputs",

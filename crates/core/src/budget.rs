@@ -105,7 +105,8 @@ pub struct AnalysisBudget {
     polls: AtomicU64,
     tripped: AtomicU8,
     reorder: tbf_bdd::ReorderPolicy,
-    tbf_cache: bool,
+    tbf_cache: crate::options::TbfCacheMode,
+    complement_edges: bool,
     /// The observed run's shared counter registry. Forks clone the
     /// `Arc`, so every cone on every worker reports into one registry;
     /// u64 sums are commutative and the per-cone work is deterministic,
@@ -133,6 +134,7 @@ impl AnalysisBudget {
             tripped: AtomicU8::new(TRIP_NONE),
             reorder: options.reorder,
             tbf_cache: options.tbf_cache,
+            complement_edges: options.complement_edges,
             #[cfg(feature = "obs")]
             counters: crate::obs::session_counters().unwrap_or_else(tbf_obs::Counters::shared),
         }
@@ -177,6 +179,7 @@ impl AnalysisBudget {
             tripped: AtomicU8::new(TRIP_NONE),
             reorder: options.reorder,
             tbf_cache: options.tbf_cache,
+            complement_edges: options.complement_edges,
             #[cfg(feature = "obs")]
             counters: Arc::clone(&self.counters),
         }
@@ -217,6 +220,7 @@ impl AnalysisBudget {
             tripped: AtomicU8::new(TRIP_NONE),
             reorder: options.reorder,
             tbf_cache: options.tbf_cache,
+            complement_edges: options.complement_edges,
             #[cfg(feature = "obs")]
             counters: crate::obs::session_counters().unwrap_or_else(|| Arc::clone(&self.counters)),
         }
@@ -297,9 +301,15 @@ impl AnalysisBudget {
         self.reorder
     }
 
-    /// Whether the engine's cross-breakpoint timed-node cache is on.
-    pub fn tbf_cache(&self) -> bool {
+    /// The engine's cross-breakpoint timed-node caching policy.
+    pub fn tbf_cache_mode(&self) -> crate::options::TbfCacheMode {
         self.tbf_cache
+    }
+
+    /// Whether BDD managers built under this budget use complement
+    /// edges.
+    pub fn complement_edges(&self) -> bool {
+        self.complement_edges
     }
 
     fn trip(&self, cause: Interrupt) {

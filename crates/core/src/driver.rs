@@ -383,16 +383,20 @@ fn remap_witness(full: &Netlist, job: &ConeJob, parts: WitnessParts) -> DelayWit
     }
 }
 
-/// Resolves the policy's thread knob against the job count.
-fn resolve_threads(requested: usize, jobs: usize) -> usize {
-    let workers = if requested == 0 {
+/// The policy's thread knob with `0` resolved to the core count.
+fn raw_workers(requested: usize) -> usize {
+    if requested == 0 {
         std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1)
     } else {
         requested
-    };
-    workers.clamp(1, jobs.max(1))
+    }
+}
+
+/// Resolves the policy's thread knob against the job count.
+fn resolve_threads(requested: usize, jobs: usize) -> usize {
+    raw_workers(requested).clamp(1, jobs.max(1))
 }
 
 fn analyze_budgeted(
@@ -415,10 +419,22 @@ fn analyze_budgeted(
     order.sort_by_key(|&i| (std::cmp::Reverse(jobs[i].cost()), i));
 
     let threads = resolve_threads(policy.threads, jobs.len());
+    // Workers left over once every cone has one are lent to the striped
+    // within-cone sweep of giant cones (`speculate`). Scheduling only:
+    // the striped decomposition is fixed, so this never changes a
+    // reported value.
+    let spec_workers = (raw_workers(policy.threads) / jobs.len().max(1)).max(1);
     let mut outcomes: Vec<Option<ConeOutcome>> = jobs.iter().map(|_| None).collect();
     if threads <= 1 {
         for &i in &order {
-            outcomes[i] = Some(run_cone_job(netlist, &jobs[i], policy, &budget, &plan));
+            outcomes[i] = Some(run_cone_job(
+                netlist,
+                &jobs[i],
+                policy,
+                &budget,
+                &plan,
+                spec_workers,
+            ));
         }
     } else {
         let next = AtomicUsize::new(0);
@@ -430,7 +446,14 @@ fn analyze_budgeted(
                         loop {
                             let k = next.fetch_add(1, Ordering::Relaxed);
                             let Some(&i) = order.get(k) else { break };
-                            let outcome = run_cone_job(netlist, &jobs[i], policy, &budget, &plan);
+                            let outcome = run_cone_job(
+                                netlist,
+                                &jobs[i],
+                                policy,
+                                &budget,
+                                &plan,
+                                spec_workers,
+                            );
                             mine.push((i, outcome));
                         }
                         mine
@@ -500,12 +523,13 @@ fn run_cone_job(
     policy: &AnalysisPolicy,
     base: &Arc<AnalysisBudget>,
     plan: &fault::ConePlan,
+    spec_workers: usize,
 ) -> ConeOutcome {
     fault::with_cone_plan(plan, || {
         let budget = Arc::new(base.fork(&policy.options));
         let run = || {
             let mut stats = SearchStats::default();
-            let (entry, raw_witness) = cone_ladder(job, policy, &budget, &mut stats);
+            let (entry, raw_witness) = cone_ladder(job, policy, &budget, &mut stats, spec_workers);
             let witness =
                 raw_witness.map(|(delay, parts)| (delay, remap_witness(full, job, parts)));
             ConeOutcome {
@@ -539,9 +563,10 @@ fn cone_ladder(
     policy: &AnalysisPolicy,
     budget: &Arc<AnalysisBudget>,
     stats: &mut SearchStats,
+    spec_workers: usize,
 ) -> (OutputDelay, Option<(Time, WitnessParts)>) {
     let mut engine: Option<ConeContext<'_>> = None;
-    let result = cone_rungs(job, policy, budget, stats, &mut engine);
+    let result = cone_rungs(job, policy, budget, stats, &mut engine, spec_workers);
     // Teardown: reorder effort lives in the engine (it survives manager
     // rebuilds); fold it into the cone's stats. Lost when the final rung
     // panicked and dropped the engine — telemetry only, never a result.
@@ -559,9 +584,16 @@ fn cone_rungs<'a>(
     budget: &Arc<AnalysisBudget>,
     stats: &mut SearchStats,
     engine: &mut Option<ConeContext<'a>>,
+    spec_workers: usize,
 ) -> (OutputDelay, Option<(Time, WitnessParts)>) {
     let cone = &job.cone;
     let out_id = job.out_id;
+    // Giant cones sweep their breakpoints striped (see `speculate`):
+    // the fixed decomposition keeps the report byte-identical at every
+    // thread count, so the gate depends only on the cone itself — plus
+    // the live fault plan, whose trip sites are counted in sweep order
+    // and therefore pin the classic sweep.
+    let striped = cone.gate_count() > crate::speculate::GIANT_CONE_GATES && !fault::any_armed();
     let name = job.name.as_str();
     let topological = cone.topological_delay_of(out_id);
     let mut lower = Time::ZERO;
@@ -593,7 +625,17 @@ fn cone_rungs<'a>(
                 if fault::trip(Site::ConeStart) {
                     panic!("injected engine panic (fault site ConeStart)");
                 }
-                crate::model::cone_delay(&mut crate::two_vector::TwoVector, eng, out_id, stats)
+                if striped {
+                    crate::speculate::cone_delay_striped(
+                        &|| crate::two_vector::TwoVector,
+                        eng,
+                        out_id,
+                        stats,
+                        spec_workers,
+                    )
+                } else {
+                    crate::model::cone_delay(&mut crate::two_vector::TwoVector, eng, out_id, stats)
+                }
             });
         match attempt {
             Attempt::Done((delay, w)) => {

@@ -78,12 +78,13 @@ pub mod lower_bounds;
 pub mod obs;
 pub mod oracle;
 mod sequences;
+mod speculate;
 mod two_vector;
 
 pub use budget::{AnalysisBudget, CancelToken};
 pub use driver::{analyze, analyze_with_budget, analyze_with_token, AnalysisPolicy, CircuitReport};
 pub use error::DelayError;
-pub use options::DelayOptions;
+pub use options::{DelayOptions, TbfCacheMode};
 pub use report::{DegradeCause, DelayReport, DelayWitness, OutputDelay, OutputStatus, SearchStats};
 pub use sequences::{floating_delay, sequences_delay};
 pub use tbf::TbfExpr;

@@ -60,7 +60,7 @@ use crate::budget::AnalysisBudget;
 use crate::error::DelayError;
 use crate::fault::{self, Site};
 use crate::static_fn::{build_statics, gate_bdd};
-use crate::tbf::{TbfCache, TimedTable, TimedVarId, TimedVarKey, SUPPORT_CAP};
+use crate::tbf::{SuffixTracker, TbfCache, TimedTable, TimedVarId, TimedVarKey, SUPPORT_CAP};
 
 /// Abort reasons local to the network build; the engines attach bounds
 /// and convert to [`DelayError`](crate::DelayError).
@@ -236,6 +236,10 @@ pub(crate) struct ConeContext<'a> {
     table: TimedTable,
     /// Cross-breakpoint timed-node cache over the interned identities.
     tbf_cache: TbfCache,
+    /// Whether this cone keeps cross-breakpoint entries, resolved once
+    /// from the budget's [`TbfCacheMode`](crate::TbfCacheMode) and the
+    /// cone's gate count (`Auto` bypasses tiny cones).
+    use_tbf_cache: bool,
     /// Memoized descending breakpoint sweeps, one per queried output.
     sweeps: HashMap<NodeId, Breakpoints<'a>>,
 }
@@ -245,6 +249,11 @@ impl<'a> ConeContext<'a> {
         netlist: &'a Netlist,
         budget: Arc<AnalysisBudget>,
     ) -> Result<ConeContext<'a>, BuildAbort> {
+        let gate_count = netlist
+            .nodes()
+            .filter(|(_, n)| !n.kind().is_input() && !n.kind().is_constant())
+            .count();
+        let use_tbf_cache = budget.tbf_cache_mode().enabled_for(gate_count);
         let mut engine = ConeContext {
             netlist,
             timing: Timing::new(netlist),
@@ -264,6 +273,7 @@ impl<'a> ConeContext<'a> {
             }),
             table: TimedTable::default(),
             tbf_cache: TbfCache::default(),
+            use_tbf_cache,
             sweeps: HashMap::new(),
         };
         engine.layout()?;
@@ -304,7 +314,7 @@ impl<'a> ConeContext<'a> {
     fn layout_with_order(&mut self, order: Option<&[Var]>) -> Result<(), BuildAbort> {
         self.carried_reorder.merge(&self.manager.reorder_stats());
         let n_inputs = self.netlist.inputs().len();
-        let mut manager = BddManager::new();
+        let mut manager = BddManager::with_complement_edges(self.budget.complement_edges());
         // Route the manager's hot-path counters into the analysis-wide
         // registry carried by the budget, so BDD effort shows up in the
         // same place whatever thread builds this engine.
@@ -479,7 +489,7 @@ impl<'a> ConeContext<'a> {
             max_paths: usize,
             budget: &'n AnalysisBudget,
             memo_useful: bool,
-            suffix: Vec<NodeId>,
+            suffix: SuffixTracker,
             seen: HashSet<(NodeId, TimedVarKey)>,
             keys: HashMap<TimedVarKey, Vec<NodeId>>,
             calls: usize,
@@ -512,29 +522,26 @@ impl<'a> ConeContext<'a> {
                     return Ok(());
                 }
                 if let Some(pos) = self.netlist.input_position(n) {
-                    let key = TimedVarKey::of_suffix(self.netlist, pos, &self.suffix);
+                    let key = self.suffix.key(pos);
                     if !self.keys.contains_key(&key) {
                         if self.keys.len() >= self.max_paths {
                             return Err(BuildAbort::TooManyPaths {
                                 limit: self.max_paths,
                             });
                         }
-                        self.keys.insert(key, self.suffix.clone());
+                        self.keys.insert(key, self.suffix.gates().to_vec());
                     }
                     return Ok(());
                 }
                 if self.memo_useful {
-                    let memo_key = (
-                        n,
-                        TimedVarKey::of_suffix(self.netlist, usize::MAX, &self.suffix),
-                    );
+                    let memo_key = (n, self.suffix.key(usize::MAX));
                     if !self.seen.insert(memo_key) {
                         return Ok(());
                     }
                 }
                 let d = node.delay();
                 let fanins: Vec<NodeId> = node.fanins().to_vec();
-                self.suffix.push(n);
+                self.suffix.push(self.netlist, n);
                 for f in fanins {
                     self.run(f, smin + d.min, smax + d.max)?;
                 }
@@ -551,7 +558,7 @@ impl<'a> ConeContext<'a> {
             max_paths: self.budget.max_paths(),
             budget: &self.budget,
             memo_useful: self.memo_useful,
-            suffix: Vec::new(),
+            suffix: SuffixTracker::default(),
             seen: HashSet::new(),
             keys: HashMap::new(),
             calls: 0,
@@ -655,9 +662,10 @@ impl<'a> ConeContext<'a> {
         mode: Mode,
         leaf_of_key: HashMap<TimedVarId, Bdd>,
     ) -> Result<Bdd, BuildAbort> {
-        if !self.budget.tbf_cache() {
-            // Ablation knob: drop cross-breakpoint entries up front; the
-            // cache then degenerates to a within-build memo table.
+        if !self.use_tbf_cache {
+            // Bypassed (mode `Off`, or `Auto` on a tiny cone): drop
+            // cross-breakpoint entries up front; the cache then
+            // degenerates to a within-build memo table.
             self.tbf_cache.clear_entries();
         }
         /// A sub-BDD with its breakpoint validity window and leaf
@@ -683,7 +691,7 @@ impl<'a> ConeContext<'a> {
             leaf_of_key: HashMap<TimedVarId, Bdd>,
             table: &'n mut TimedTable,
             cache: &'n mut TbfCache,
-            suffix: Vec<NodeId>,
+            suffix: SuffixTracker,
             calls: usize,
         }
         impl TbfBuild<'_> {
@@ -751,7 +759,7 @@ impl<'a> ConeContext<'a> {
                     // (straddling resolvent or unsettled fresh variable),
                     // discovered by pass 1. Its window is the straddling
                     // interval itself; outside it a collapse takes over.
-                    let key = TimedVarKey::of_suffix(self.netlist, pos, &self.suffix);
+                    let key = self.suffix.key(pos);
                     let id = self.table.intern(&key);
                     let f = *self
                         .leaf_of_key
@@ -774,7 +782,7 @@ impl<'a> ConeContext<'a> {
                 // share resolvents consistently), so the sub-BDD is keyed
                 // by the interned k-function — both for reuse within this
                 // build and across breakpoints while the window holds.
-                let kfn = TimedVarKey::of_suffix(self.netlist, usize::MAX, &self.suffix);
+                let kfn = self.suffix.key(usize::MAX);
                 let id = self.table.intern(&kfn);
                 if let Some(e) = self.cache.lookup(n, id, self.mode.idx(), self.b) {
                     #[cfg(feature = "obs")]
@@ -798,7 +806,7 @@ impl<'a> ConeContext<'a> {
                 };
                 let mut hi = smax + self.pmax[i];
                 let mut support: Option<Vec<TimedVarId>> = Some(Vec::new());
-                self.suffix.push(n);
+                self.suffix.push(self.netlist, n);
                 let mut fanin_bdds = Vec::with_capacity(fanins.len());
                 for f in fanins {
                     let built = self.go(manager, f, smin + d.min, smax + d.max)?;
@@ -875,7 +883,7 @@ impl<'a> ConeContext<'a> {
             leaf_of_key,
             table: &mut self.table,
             cache: &mut self.tbf_cache,
-            suffix: Vec::new(),
+            suffix: SuffixTracker::default(),
             calls: 0,
         };
         builder

@@ -2,6 +2,61 @@
 
 use tbf_bdd::ReorderPolicy;
 
+/// Cross-breakpoint timed-node caching policy (see
+/// [`DelayOptions::tbf_cache`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum TbfCacheMode {
+    /// Size-gated: cross-breakpoint reuse is enabled only for cones with
+    /// more than [`TbfCacheMode::TINY_CONE_GATES`] gates. Tiny cones
+    /// rebuild faster than the cache bookkeeping they would pay for.
+    #[default]
+    Auto,
+    /// Always on, whatever the cone size.
+    On,
+    /// Always off: memoization is restricted to a single breakpoint
+    /// build (the A/B ablation baseline).
+    Off,
+}
+
+impl TbfCacheMode {
+    /// Cones at or below this many gates bypass the cross-breakpoint
+    /// cache under [`TbfCacheMode::Auto`].
+    pub const TINY_CONE_GATES: usize = 32;
+
+    /// Whether a cone with `gates` gates uses cross-breakpoint caching
+    /// under this mode.
+    #[must_use]
+    pub fn enabled_for(self, gates: usize) -> bool {
+        match self {
+            TbfCacheMode::Auto => gates > Self::TINY_CONE_GATES,
+            TbfCacheMode::On => true,
+            TbfCacheMode::Off => false,
+        }
+    }
+
+    /// Canonical lowercase name (`auto` / `on` / `off`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TbfCacheMode::Auto => "auto",
+            TbfCacheMode::On => "on",
+            TbfCacheMode::Off => "off",
+        }
+    }
+
+    /// Parses a canonical name; accepts the boolean spellings
+    /// `true`/`false` as `on`/`off` for wire compatibility.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<TbfCacheMode> {
+        match s {
+            "auto" => Some(TbfCacheMode::Auto),
+            "on" | "true" => Some(TbfCacheMode::On),
+            "off" | "false" => Some(TbfCacheMode::Off),
+            _ => None,
+        }
+    }
+}
+
 /// Configuration for [`two_vector_delay`](crate::two_vector_delay) and
 /// [`sequences_delay`](crate::sequences_delay).
 ///
@@ -49,11 +104,21 @@ pub struct DelayOptions {
     /// Cross-breakpoint timed-node caching in the delay-model engine:
     /// sub-BDDs built at one breakpoint are reused at adjacent
     /// breakpoints while their validity window holds. Purely an effort
-    /// knob — results and reports are byte-identical either way (the
+    /// knob — results and reports are byte-identical in every mode (the
     /// unique table is canonical, so a rebuild allocates exactly the
-    /// nodes a cache hit returns). `false` restricts memoization to
-    /// within a single breakpoint build, for A/B measurement.
-    pub tbf_cache: bool,
+    /// nodes a cache hit returns). [`TbfCacheMode::Auto`] (the default)
+    /// bypasses the cache for tiny cones, where its bookkeeping costs
+    /// more wall time than the rebuilds it saves;
+    /// [`TbfCacheMode::Off`] restricts memoization to within a single
+    /// breakpoint build, for A/B measurement.
+    pub tbf_cache: TbfCacheMode,
+    /// Complement edges in the BDD substrate: negation becomes an O(1)
+    /// tag flip and a function shares one physical node with its
+    /// complement, roughly halving unique-table traffic on
+    /// negation-rich circuits. Purely representational — reports are
+    /// byte-identical either way — and on by default; `false` keeps the
+    /// legacy plain-node managers for differential testing.
+    pub complement_edges: bool,
 }
 
 impl Default for DelayOptions {
@@ -65,7 +130,8 @@ impl Default for DelayOptions {
             max_breakpoints: usize::MAX,
             time_budget: None,
             reorder: ReorderPolicy::None,
-            tbf_cache: true,
+            tbf_cache: TbfCacheMode::Auto,
+            complement_edges: true,
         }
     }
 }
@@ -92,5 +158,21 @@ mod tests {
         };
         assert_eq!(o.max_cubes, 7);
         assert_eq!(o.max_bdd_nodes, DelayOptions::default().max_bdd_nodes);
+    }
+
+    #[test]
+    fn cache_mode_gates_tiny_cones() {
+        assert_eq!(DelayOptions::default().tbf_cache, TbfCacheMode::Auto);
+        assert!(DelayOptions::default().complement_edges);
+        assert!(!TbfCacheMode::Auto.enabled_for(TbfCacheMode::TINY_CONE_GATES));
+        assert!(TbfCacheMode::Auto.enabled_for(TbfCacheMode::TINY_CONE_GATES + 1));
+        assert!(TbfCacheMode::On.enabled_for(0));
+        assert!(!TbfCacheMode::Off.enabled_for(usize::MAX));
+        for m in [TbfCacheMode::Auto, TbfCacheMode::On, TbfCacheMode::Off] {
+            assert_eq!(TbfCacheMode::parse(m.name()), Some(m));
+        }
+        assert_eq!(TbfCacheMode::parse("true"), Some(TbfCacheMode::On));
+        assert_eq!(TbfCacheMode::parse("false"), Some(TbfCacheMode::Off));
+        assert_eq!(TbfCacheMode::parse("sometimes"), None);
     }
 }

@@ -1,0 +1,232 @@
+//! Within-cone breakpoint speculation: the striped parallel sweep.
+//!
+//! Under largest-cone-first scheduling one giant cone bounds the tail
+//! latency of a whole run — every other worker drains the queue and
+//! then idles while a single thread walks that cone's breakpoints. The
+//! striped sweep fixes this by fanning *independent breakpoints* of one
+//! cone across workers, without giving up the driver's byte-identical
+//! reports.
+//!
+//! # Determinism by fixed decomposition
+//!
+//! Thread counts must never change a [`CircuitReport`], including its
+//! effort statistics (`peak_bdd_nodes` depends on which context tested
+//! which breakpoint). So the unit of decomposition is **not** the
+//! worker: the descending breakpoint sequence is dealt round-robin into
+//! a fixed number of [`STRIPES`], each stripe owns a private
+//! [`ConeContext`] and tests its indices in ascending order, and the
+//! available workers merely *schedule* stripes. Every per-test result —
+//! hit, miss, error, statistics — is a pure function of
+//! `(cone, stripe, index)`, so the merged outcome is the same whether
+//! the stripes ran on one thread or eight.
+//!
+//! # Prefix-exact merge
+//!
+//! The classic sweep stops at the first decisive breakpoint (hit or
+//! error), having visited exactly the indices before it. The merge
+//! replays that contract: walk indices ascending, count each as
+//! visited, fold in its recorded statistics, and return at the first
+//! non-miss. Tests a stripe ran *below* the decisive index are
+//! speculative waste — their statistics are discarded, so the report
+//! says exactly what a breakpoint-serial sweep over the same stripes
+//! would have said. A stripe stops early once some other stripe has
+//! found a decisive index above its next one (shared high-water mark),
+//! which only ever skips work the merge would discard anyway.
+//!
+//! The sweep is engaged by the anytime driver for cones above
+//! [`GIANT_CONE_GATES`] gates when no fault plan is armed (fault
+//! schedules count trip sites in sweep order, which striping does not
+//! preserve); everything else keeps the classic sequential sweep in
+//! [`cone_delay`].
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use tbf_logic::{NodeId, Time};
+
+use crate::error::DelayError;
+use crate::model::{cone_delay, DelayModel, Hit};
+use crate::network::ConeContext;
+use crate::report::SearchStats;
+use crate::two_vector::WitnessParts;
+
+/// Cones with more gates than this take the striped sweep under the
+/// anytime driver. Sized well above every golden/differential suite
+/// circuit so the committed baselines keep pinning the classic sweep.
+pub(crate) const GIANT_CONE_GATES: usize = 64;
+
+/// The fixed stripe count. Fixing it (instead of using the worker
+/// count) is what makes the merged report independent of `threads`;
+/// it also caps the per-cone speedup, so it is sized at the sweet spot
+/// where stripe-context construction stays amortized.
+pub(crate) const STRIPES: usize = 4;
+
+/// Sweeps shorter than this stay on the classic path: striping would
+/// spend more on extra contexts than the fan-out could return.
+const MIN_BREAKPOINTS: usize = 2 * STRIPES;
+
+/// One breakpoint test as recorded by a stripe.
+enum Outcome {
+    /// The interval cannot hold the last transition; statistics of the
+    /// test.
+    Miss(SearchStats),
+    /// The last transition falls in this interval.
+    Hit(SearchStats, Hit),
+    /// The test failed (cap, interrupt, netlist error).
+    Fail(SearchStats, Box<DelayError>),
+    /// The test panicked; the payload is re-thrown by the merge if the
+    /// index turns out to be decisive.
+    Panicked(Box<dyn std::any::Any + Send>),
+}
+
+impl Outcome {
+    fn is_miss(&self) -> bool {
+        matches!(self, Outcome::Miss(_))
+    }
+}
+
+/// The striped within-cone sweep. Equivalent to
+/// [`cone_delay`] over the same stripe decomposition at every worker
+/// count; falls back to the classic sweep outright when the cone's
+/// breakpoint sequence is too short to stripe.
+///
+/// `make_model` builds one model instance per stripe (models are
+/// stateless strategy values); `workers` only schedules — it is clamped
+/// to [`STRIPES`] and never changes the result.
+pub(crate) fn cone_delay_striped<M: DelayModel>(
+    make_model: &(dyn Fn() -> M + Sync),
+    cx: &mut ConeContext<'_>,
+    output: NodeId,
+    stats: &mut SearchStats,
+    workers: usize,
+) -> Result<(Time, Option<WitnessParts>), DelayError> {
+    let mut model = make_model();
+    // Materialize the descending breakpoint sequence once, on the
+    // primary context's memoized enumerator.
+    let mut bps = Vec::new();
+    let mut below = Time::MAX;
+    while let Some(b) = model.breakpoints(cx, output, below) {
+        bps.push(b);
+        below = b;
+    }
+    if bps.len() < MIN_BREAKPOINTS {
+        return cone_delay(&mut model, cx, output, stats);
+    }
+
+    let cone = cx.netlist();
+    let budget = Arc::clone(&cx.budget);
+    let n = bps.len();
+    // Indices at or above the budget's breakpoint cap are never tested:
+    // the merge synthesizes the classic sweep's cap error there.
+    let tested = n.min(budget.max_breakpoints());
+    // Lowest decisive (non-miss) index found so far, shared so stripes
+    // stop speculating past it. Only ever skips discarded work: an
+    // index is skipped only while some recorded decisive index is
+    // strictly below it.
+    let stop_hint = AtomicUsize::new(tested);
+    let results: Vec<Mutex<Vec<(usize, Outcome)>>> =
+        (0..STRIPES).map(|_| Mutex::new(Vec::new())).collect();
+
+    let run_stripe = |s: usize| {
+        let mut sink: Vec<(usize, Outcome)> = Vec::new();
+        let mut wcx = match ConeContext::new(cone, Arc::clone(&budget)) {
+            Ok(c) => c,
+            Err(e) => {
+                let err = e.into_error(bps[s], &budget);
+                sink.push((s, Outcome::Fail(SearchStats::default(), Box::new(err))));
+                *results[s].lock().expect("stripe sink poisoned") = sink;
+                return;
+            }
+        };
+        let mut model = make_model();
+        let mut i = s;
+        while i < tested && i <= stop_hint.load(Ordering::Acquire) {
+            let b = bps[i];
+            let mut ts = SearchStats::default();
+            let outcome = if budget.check_now().is_some() {
+                Outcome::Fail(ts, Box::new(budget.interrupt_error(b, (Time::ZERO, b))))
+            } else {
+                let window_lo = bps.get(i + 1).copied().unwrap_or(Time::ZERO);
+                let attempt = catch_unwind(AssertUnwindSafe(|| {
+                    match model.test_at(&mut wcx, output, window_lo, b, &mut ts) {
+                        Ok(None) => wcx
+                            .maybe_compact()
+                            .map(|()| None)
+                            .map_err(|e| e.into_error(b, &budget)),
+                        other => other,
+                    }
+                }));
+                match attempt {
+                    Err(payload) => Outcome::Panicked(payload),
+                    Ok(Ok(Some(hit))) => Outcome::Hit(ts, hit),
+                    Ok(Ok(None)) => Outcome::Miss(ts),
+                    Ok(Err(e)) => Outcome::Fail(ts, Box::new(e)),
+                }
+            };
+            let decisive = !outcome.is_miss();
+            sink.push((i, outcome));
+            if decisive {
+                stop_hint.fetch_min(i, Ordering::AcqRel);
+                break;
+            }
+            i += STRIPES;
+        }
+        *results[s].lock().expect("stripe sink poisoned") = sink;
+    };
+
+    let workers = workers.clamp(1, STRIPES);
+    if workers <= 1 {
+        for s in 0..STRIPES {
+            run_stripe(s);
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let s = next.fetch_add(1, Ordering::Relaxed);
+                    if s >= STRIPES {
+                        break;
+                    }
+                    run_stripe(s);
+                });
+            }
+        });
+    }
+
+    // Prefix-exact merge: ascending indices, classic-sweep accounting.
+    let mut per_index: Vec<Option<Outcome>> = (0..tested).map(|_| None).collect();
+    for cell in results {
+        for (i, o) in cell.into_inner().expect("stripe sink poisoned") {
+            per_index[i] = Some(o);
+        }
+    }
+    for (i, &b) in bps.iter().enumerate() {
+        stats.breakpoints_visited += 1;
+        if i >= tested {
+            return Err(DelayError::TooManyCubes {
+                limit: budget.max_breakpoints(),
+                at_breakpoint: b,
+                bounds: (Time::ZERO, b),
+            });
+        }
+        match per_index[i]
+            .take()
+            .expect("every index below the decisive one was tested")
+        {
+            Outcome::Miss(ts) => stats.merge(&ts),
+            Outcome::Hit(ts, hit) => {
+                stats.merge(&ts);
+                return Ok(model.certificate(hit));
+            }
+            Outcome::Fail(ts, e) => {
+                stats.merge(&ts);
+                return Err(*e);
+            }
+            Outcome::Panicked(payload) => resume_unwind(payload),
+        }
+    }
+    // Every interval missed: the output cannot transition at all.
+    Ok((Time::ZERO, None))
+}

@@ -200,24 +200,74 @@ pub(crate) struct TimedVarKey {
 }
 
 impl TimedVarKey {
-    /// Splits a suffix path into its k-function parts.
+    /// Splits a suffix path into its k-function parts. The engines use
+    /// the incremental [`SuffixTracker`] instead; this reference
+    /// implementation remains as the test oracle.
+    #[cfg(test)]
     pub fn of_suffix(netlist: &Netlist, input_pos: usize, suffix: &[NodeId]) -> TimedVarKey {
-        let mut variable_gates: Vec<NodeId> = Vec::new();
-        let mut fixed_sum = Time::ZERO;
+        let mut tracker = SuffixTracker::default();
         for &g in suffix {
-            let d = netlist.node(g).delay();
-            if d.is_variable() {
-                variable_gates.push(g);
-            } else {
-                fixed_sum += d.max;
+            tracker.push(netlist, g);
+        }
+        tracker.key(input_pos)
+    }
+}
+
+/// The current suffix path of a reverse cone walk, with its k-function
+/// parts maintained *incrementally*: [`key`](SuffixTracker::key) costs
+/// O(variable gates on the path) instead of re-walking (and re-reading
+/// delays for) the whole suffix at every leaf and interior gate — the
+/// dominant per-visit cost of the old interned keys on deep cones.
+#[derive(Default)]
+pub(crate) struct SuffixTracker {
+    gates: Vec<NodeId>,
+    /// Variable-delay gates of `gates`, in push order.
+    variable_gates: Vec<NodeId>,
+    /// Per-pushed-gate fixed contribution (`None` for variable-delay).
+    contributions: Vec<Option<Time>>,
+    fixed_sum: Time,
+}
+
+impl SuffixTracker {
+    /// Appends gate `g` to the suffix.
+    pub fn push(&mut self, netlist: &Netlist, g: NodeId) {
+        self.gates.push(g);
+        let d = netlist.node(g).delay();
+        if d.is_variable() {
+            self.variable_gates.push(g);
+            self.contributions.push(None);
+        } else {
+            self.fixed_sum += d.max;
+            self.contributions.push(Some(d.max));
+        }
+    }
+
+    /// Removes the most recently pushed gate.
+    pub fn pop(&mut self) {
+        self.gates.pop();
+        match self.contributions.pop().expect("pop must match a push") {
+            Some(t) => self.fixed_sum -= t,
+            None => {
+                self.variable_gates.pop();
             }
         }
+    }
+
+    /// The k-function key of the current suffix (variable gates in
+    /// sorted order, as [`TimedVarKey`] demands).
+    pub fn key(&self, input_pos: usize) -> TimedVarKey {
+        let mut variable_gates = self.variable_gates.clone();
         variable_gates.sort_unstable();
         TimedVarKey {
             input_pos,
             variable_gates,
-            fixed_sum,
+            fixed_sum: self.fixed_sum,
         }
+    }
+
+    /// The raw suffix gates, outermost first.
+    pub fn gates(&self) -> &[NodeId] {
+        &self.gates
     }
 }
 
@@ -266,6 +316,12 @@ pub(crate) struct Instantiation {
     pub hi: Time,
     pub bdd: Bdd,
     built_epoch: u64,
+    /// The mode's global bindings generation when this entry was built.
+    /// While the generation is unchanged, *no* leaf binding has changed,
+    /// so freshness holds without scanning `support` — the common case
+    /// on adjacent breakpoints, and the fix for the per-hit O(support)
+    /// epoch scan that made cache hits slower than small rebuilds.
+    built_generation: u64,
     pub support: Vec<TimedVarId>,
 }
 
@@ -290,6 +346,10 @@ pub(crate) struct TbfCache {
     bindings: [Vec<Option<Bdd>>; 2],
     /// Epoch at which each binding last changed.
     changed_at: [Vec<u64>; 2],
+    /// Per-mode count of *actual* binding changes, ever. An entry built
+    /// at the current generation is trivially fresh (O(1) hit check);
+    /// the per-support scan only runs when some binding changed since.
+    generation: [u64; 2],
     epoch: u64,
 }
 
@@ -312,6 +372,7 @@ impl TbfCache {
         if self.bindings[m][i] != Some(leaf) {
             self.bindings[m][i] = Some(leaf);
             self.changed_at[m][i] = self.epoch;
+            self.generation[m] += 1;
         }
     }
 
@@ -322,6 +383,11 @@ impl TbfCache {
         let e = self.entries.get(&(n, id, mode))?;
         if !(e.lo < b && b <= e.hi) {
             return None;
+        }
+        // Fast path: no binding in this mode has changed since the entry
+        // was built, so every support leaf is necessarily fresh.
+        if e.built_generation == self.generation[mode as usize] {
+            return Some(e);
         }
         let changed = &self.changed_at[mode as usize];
         let fresh = e
@@ -352,6 +418,7 @@ impl TbfCache {
                 hi,
                 bdd,
                 built_epoch: self.epoch,
+                built_generation: self.generation[key.2 as usize],
                 support,
             },
         );
@@ -510,6 +577,66 @@ mod tests {
         let n = b.finish().unwrap();
         let f = TbfExpr::of_netlist_node(&n, g);
         assert!(!f.eval_at(t(99), &|_, _| false));
+    }
+
+    #[test]
+    fn lookup_freshness_tracks_the_binding_generation() {
+        let mut mgr = tbf_bdd::BddManager::new();
+        let v = mgr.new_var();
+        let tru = mgr.constant(true);
+        let leaf = mgr.var(v);
+        let mut cache = TbfCache::default();
+        let node = figure4_example3().nodes().next().expect("non-empty").0;
+        let id = TimedVarId(0);
+
+        cache.begin_query();
+        cache.bind(0, id, leaf);
+        cache.insert((node, id, 0), t(0), t(10), tru, vec![id]);
+        assert!(cache.lookup(node, id, 0, t(5)).is_some());
+
+        // Re-binding the same leaf is not a change: the O(1) fast path
+        // still serves the entry.
+        cache.begin_query();
+        cache.bind(0, id, leaf);
+        assert_eq!(cache.generation[0], 1);
+        assert!(cache.lookup(node, id, 0, t(5)).is_some());
+
+        // A real re-bind bumps the generation and invalidates the entry.
+        cache.begin_query();
+        cache.bind(0, id, tru);
+        assert_eq!(cache.generation[0], 2);
+        assert!(cache.lookup(node, id, 0, t(5)).is_none());
+
+        // A change to an *unrelated* leaf defeats the fast path but the
+        // support scan still proves the entry fresh.
+        cache.begin_query();
+        cache.insert((node, id, 0), t(0), t(10), tru, vec![id]);
+        cache.begin_query();
+        cache.bind(0, TimedVarId(9), leaf);
+        assert!(cache.lookup(node, id, 0, t(5)).is_some());
+    }
+
+    #[test]
+    fn suffix_tracker_matches_of_suffix() {
+        let n = figure4_example3();
+        let gates: Vec<_> = n
+            .nodes()
+            .filter(|(_, node)| !node.kind().is_input() && !node.kind().is_constant())
+            .map(|(id, _)| id)
+            .collect();
+        let mut tracker = SuffixTracker::default();
+        let mut suffix = Vec::new();
+        for &g in &gates {
+            tracker.push(&n, g);
+            suffix.push(g);
+            assert_eq!(tracker.gates(), &suffix[..]);
+            assert_eq!(tracker.key(1), TimedVarKey::of_suffix(&n, 1, &suffix));
+        }
+        for _ in 0..gates.len() {
+            tracker.pop();
+            suffix.pop();
+            assert_eq!(tracker.key(0), TimedVarKey::of_suffix(&n, 0, &suffix));
+        }
     }
 
     #[test]

@@ -25,8 +25,10 @@
 //! * `deadline_ms` — per-request wall-clock budget; the effective
 //!   deadline is the earlier of this and the session deadline.
 //! * `options` — engine caps: `max_paths`, `max_bdd`, `max_cubes`,
-//!   `reorder` (`off`/`manual`/`pressure`), `tbf_cache` (bool), and
-//!   `cache` (bool: per-request opt-out of the session's warm cache).
+//!   `reorder` (`off`/`manual`/`pressure`), `tbf_cache`
+//!   (`auto`/`on`/`off`, or a legacy bool: `true` = `on`),
+//!   `complement_edges` (bool), and `cache` (bool: per-request opt-out
+//!   of the session's warm cache).
 //! * `schema` — optional; either the integer `1` or the artifact-style
 //!   object `{"name":"tbf-serve-request","version":1}`. Unknown versions
 //!   are rejected with a typed error.
@@ -47,7 +49,7 @@
 
 use std::fmt;
 
-use tbf_core::{CircuitReport, DelayOptions, OutputStatus, ReorderPolicy};
+use tbf_core::{CircuitReport, DelayOptions, OutputStatus, ReorderPolicy, TbfCacheMode};
 use tbf_logic::parsers::bench::parse_bench;
 use tbf_logic::parsers::blif::parse_blif;
 use tbf_logic::parsers::{mcnc_like_delays, unit_delays};
@@ -407,11 +409,26 @@ pub fn parse_request(
             threads = Some(n);
         }
         if let Some(v) = opts.get("tbf_cache") {
+            // Booleans are the legacy wire spelling (`true` = always on,
+            // `false` = off); strings name the tri-state mode.
+            let mode = match v {
+                Value::Bool(true) => Some(TbfCacheMode::On),
+                Value::Bool(false) => Some(TbfCacheMode::Off),
+                Value::Str(s) => TbfCacheMode::parse(s),
+                _ => None,
+            };
+            options.tbf_cache = mode.ok_or_else(|| {
+                fail(ServeError::BadRequest {
+                    detail: "`options.tbf_cache` must be auto|on|off or a boolean".to_owned(),
+                })
+            })?;
+        }
+        if let Some(v) = opts.get("complement_edges") {
             match v {
-                Value::Bool(b) => options.tbf_cache = *b,
+                Value::Bool(b) => options.complement_edges = *b,
                 _ => {
                     return Err(fail(ServeError::BadRequest {
-                        detail: "`options.tbf_cache` must be a boolean".to_owned(),
+                        detail: "`options.complement_edges` must be a boolean".to_owned(),
                     }))
                 }
             }
@@ -445,10 +462,26 @@ pub fn parse_request(
 
     // Exact results are delay-model- and structure-determined; the caps
     // only decide whether exactness is *reached*, so they stay out of
-    // the key (only all-exact reports are ever cached).
+    // the key (only all-exact reports are ever cached). The ablation
+    // modes (timed-node cache, complement edges, reorder policy) ARE
+    // keyed: a warm hit must only ever be served to a request that would
+    // have recomputed it under the same engine configuration, so an A/B
+    // ablation run through a warm server measures what it claims to.
     let mut cache_key = netlist.structural_signature();
     cache_key.push(0xFE);
     cache_key.extend_from_slice(delays.as_bytes());
+    cache_key.push(0xFD);
+    cache_key.push(match options.tbf_cache {
+        TbfCacheMode::Auto => 0,
+        TbfCacheMode::On => 1,
+        TbfCacheMode::Off => 2,
+    });
+    cache_key.push(u8::from(options.complement_edges));
+    cache_key.push(match options.reorder {
+        ReorderPolicy::None => 0,
+        ReorderPolicy::Manual => 1,
+        ReorderPolicy::OnPressure { .. } => 2,
+    });
     Ok(Request {
         id,
         netlist,

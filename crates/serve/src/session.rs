@@ -648,6 +648,47 @@ mod tests {
     }
 
     #[test]
+    fn ablation_options_partition_the_warm_cache() {
+        // Every result-affecting engine option is part of the warm-cache
+        // key: an A/B ablation served by one warm process must never be
+        // answered from the other arm's entry. Each configuration below
+        // is a cold miss even though the circuit never changes; its
+        // exact repeat is a hit.
+        let mut s = Session::new(ServeConfig::default());
+        let variants = [
+            r#"{}"#,
+            r#"{"tbf_cache":"on"}"#,
+            r#"{"tbf_cache":"off"}"#,
+            r#"{"complement_edges":false}"#,
+            r#"{"reorder":"pressure"}"#,
+            r#"{"reorder":"manual"}"#,
+        ];
+        for (i, opts) in variants.iter().enumerate() {
+            let line = |id: &str| {
+                format!(
+                    r#"{{"id":"{id}","circuit":"INPUT(a)\nINPUT(b)\nOUTPUT(f)\nf = AND(a, b)\n","options":{opts}}}"#
+                )
+            };
+            let cold = s.handle_line(&line(&format!("c{i}")));
+            assert_eq!(
+                s.cache_stats().hits,
+                i as u64,
+                "variant {opts} read another configuration's warm entry"
+            );
+            let warm = s.handle_line(&line(&format!("w{i}")));
+            assert_eq!(
+                s.cache_stats().hits,
+                i as u64 + 1,
+                "exact repeat of {opts} missed the warm cache"
+            );
+            let a = validate_response(&cold).expect("valid");
+            let b = validate_response(&warm).expect("valid");
+            assert_eq!(a.get("result"), b.get("result"), "{opts}");
+        }
+        assert_eq!(s.cache_stats().insertions, variants.len() as u64);
+    }
+
+    #[test]
     fn cache_opt_out_recomputes() {
         let mut s = Session::new(ServeConfig::default());
         let line =
