@@ -1,0 +1,169 @@
+//! `bench_eco` — the perf recorder for the incremental ECO engine
+//! (PR 8).
+//!
+//! For each suite circuit it times a **cold** analysis of a 1-gate
+//! edit (fresh `ConeStore`, every cone recomputed) against the
+//! **incremental** path (store primed by analyzing the base first, so
+//! only the cones reaching the edited gate recompute), and writes a
+//! schema-versioned JSON artifact with both wall times and the reuse
+//! split, so CI can diff the reuse counters against a committed
+//! baseline and EXPERIMENTS.md can quote real numbers.
+//!
+//! ```text
+//! usage: bench_eco [OUT.json] [REPS]   (default: BENCH_eco.json, 5)
+//! ```
+//!
+//! The edit is deterministic — the middle gate's max delay is widened
+//! by one time unit — so `reused`/`recomputed`/`outputs` are
+//! byte-stable across runs and machines; only the `*_wall_ms` columns
+//! vary. Both paths analyze the *edited* netlist and their reports are
+//! asserted identical before a row is recorded.
+
+use std::process::ExitCode;
+
+/// Artifact schema name; bump `SCHEMA_VERSION` on shape changes.
+const SCHEMA: &str = "tbf-bench-eco";
+/// Current artifact schema version.
+const SCHEMA_VERSION: u64 = 1;
+
+fn main() -> ExitCode {
+    use std::time::Instant;
+
+    use tbf_core::{analyze_eco, AnalysisBudget, AnalysisPolicy, ConeStore};
+    use tbf_logic::generators::adders::{carry_bypass, ripple_carry};
+    use tbf_logic::generators::random::random_dag;
+    use tbf_logic::generators::unit_ninety_percent;
+    use tbf_logic::parsers::bench::c17;
+    use tbf_logic::parsers::mcnc_like_delays;
+    use tbf_logic::{DelayBounds, GateKind, Netlist, Time};
+    use tbf_obs::json::Value;
+
+    /// Rebuild `netlist` with the `ordinal`-th gate's max delay widened
+    /// by one unit — the canonical 1-gate ECO edit: it flips exactly
+    /// the slice signatures of the cones whose fanin set reaches the
+    /// gate.
+    fn bump_gate_delay(netlist: &Netlist, ordinal: usize) -> Netlist {
+        let target = netlist
+            .nodes()
+            .filter(|(_, n)| n.kind() != GateKind::Input)
+            .nth(ordinal)
+            .map(|(id, _)| id)
+            .expect("gate ordinal in range");
+        let mut b = Netlist::builder();
+        let mut map = Vec::with_capacity(netlist.len());
+        for (id, node) in netlist.nodes() {
+            let new_id = if node.kind() == GateKind::Input {
+                b.input(node.name())
+            } else {
+                let fanins: Vec<_> = node.fanins().iter().map(|f| map[f.index()]).collect();
+                let mut delay = node.delay();
+                if id == target {
+                    delay = DelayBounds::new(delay.min, delay.max + Time::from_int(1));
+                }
+                b.gate(node.kind(), node.name(), fanins, delay)
+                    .expect("rebuild preserves unique names")
+            };
+            map.push(new_id);
+        }
+        for (name, id) in netlist.outputs() {
+            b.output(name, map[id.index()]);
+        }
+        b.finish().expect("rebuild preserves outputs")
+    }
+
+    let d = unit_ninety_percent();
+    let suite: Vec<(&str, Netlist)> = vec![
+        ("c17", c17(mcnc_like_delays)),
+        ("ripple_carry_8", ripple_carry(8, d)),
+        ("ripple_carry_16", ripple_carry(16, d)),
+        ("carry_bypass_4x4", carry_bypass(4, 4, d)),
+        ("random_dag_6x30", random_dag(6, 30, 3, 0x5EED)),
+    ];
+
+    let mut args = std::env::args().skip(1);
+    let out = args.next().unwrap_or_else(|| "BENCH_eco.json".to_owned());
+    let reps: u32 = match args.next().map(|r| r.parse()).transpose() {
+        Ok(r) => r.unwrap_or(5),
+        Err(e) => {
+            eprintln!("bench_eco: REPS must be a number: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let policy = AnalysisPolicy::default();
+    let mut rows = Vec::new();
+    for (name, base) in &suite {
+        eprintln!("bench_eco: {name}");
+        let edited = bump_gate_delay(base, base.gate_count() / 2);
+        let mut cold_ms = f64::INFINITY;
+        let mut incr_ms = f64::INFINITY;
+        let mut split = tbf_core::EcoStats::default();
+        for rep in 0..reps.max(1) {
+            // Cold: a fresh store sees every cone signature miss.
+            let mut cold_store = ConeStore::new(256);
+            let budget = AnalysisBudget::from_options(&policy.options).shared();
+            let start = Instant::now();
+            let (cold_report, cold_eco) =
+                analyze_eco(&edited, &policy, budget, &mut cold_store, true);
+            let cold_elapsed = start.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(cold_eco.reused, 0, "{name}: cold run reused a cone");
+
+            // Incremental: prime the store on the base (untimed), then
+            // time the edited run that reuses the unaffected cones.
+            let mut store = ConeStore::new(256);
+            let budget = AnalysisBudget::from_options(&policy.options).shared();
+            let _ = analyze_eco(base, &policy, budget, &mut store, true);
+            let budget = AnalysisBudget::from_options(&policy.options).shared();
+            let start = Instant::now();
+            let (incr_report, incr_eco) = analyze_eco(&edited, &policy, budget, &mut store, true);
+            let incr_elapsed = start.elapsed().as_secs_f64() * 1e3;
+
+            assert_eq!(
+                format!("{cold_report:?}"),
+                format!("{incr_report:?}"),
+                "{name}: incremental report diverged from cold"
+            );
+            split = incr_eco;
+            // Skip the cold first repetition: it measures page faults
+            // and lazy init, not the engine.
+            if rep > 0 || reps == 1 {
+                cold_ms = cold_ms.min(cold_elapsed);
+                incr_ms = incr_ms.min(incr_elapsed);
+            }
+        }
+        rows.push(Value::Obj(vec![
+            ("circuit".to_owned(), Value::str(*name)),
+            ("gates".to_owned(), Value::u64(base.gate_count() as u64)),
+            (
+                "outputs".to_owned(),
+                Value::u64(base.outputs().len() as u64),
+            ),
+            ("reused".to_owned(), Value::u64(split.reused as u64)),
+            ("recomputed".to_owned(), Value::u64(split.recomputed as u64)),
+            (
+                "cold_wall_ms".to_owned(),
+                Value::Num(format!("{cold_ms:.3}")),
+            ),
+            (
+                "incr_wall_ms".to_owned(),
+                Value::Num(format!("{incr_ms:.3}")),
+            ),
+        ]));
+    }
+    let artifact = Value::Obj(vec![
+        ("schema".to_owned(), Value::str(SCHEMA)),
+        ("schema_version".to_owned(), Value::u64(SCHEMA_VERSION)),
+        (
+            "edit".to_owned(),
+            Value::str("middle gate max delay +1 unit"),
+        ),
+        ("reps".to_owned(), Value::u64(u64::from(reps))),
+        ("rows".to_owned(), Value::Arr(rows)),
+    ]);
+    if let Err(e) = std::fs::write(&out, artifact.to_pretty() + "\n") {
+        eprintln!("bench_eco: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("bench_eco: wrote {out}");
+    ExitCode::SUCCESS
+}

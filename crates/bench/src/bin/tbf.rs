@@ -543,7 +543,7 @@ fn serve_usage() {
         "usage: tbf serve [--threads N] [--listen SOCKET_PATH] [--max-in-flight N] \
          [--max-gates N] [--max-frame-bytes N] [--session-time-budget MS] \
          [--max-requests N] [--max-attempts N] [--backoff MS] [--max-backoff MS] \
-         [--cache-capacity N] [--drain MS] [--max-paths N] [--max-bdd N] \
+         [--cache-capacity N] [--max-sessions N] [--drain MS] [--max-paths N] [--max-bdd N] \
          [--reorder off|manual|pressure] [--emit-metrics PATH] [--quiet]\n\
          \n\
          Reads one JSON request per line on stdin (or SOCKET_PATH) and writes one\n\
@@ -596,6 +596,9 @@ fn parse_serve_args(
             "--cache-capacity" => {
                 config.cache_capacity =
                     parsed("--cache-capacity", value("--cache-capacity")?)? as usize;
+            }
+            "--max-sessions" => {
+                config.max_sessions = parsed("--max-sessions", value("--max-sessions")?)? as usize;
             }
             "--drain" => {
                 config.drain =

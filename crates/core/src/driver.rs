@@ -48,9 +48,10 @@
 //! never an error: well-formed netlists always get a [`CircuitReport`]
 //! whose `[lower, upper]` interval soundly contains the exact delay.
 
+use std::collections::HashMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use tbf_bdd::ReorderPolicy;
 use tbf_logic::transform::extract_cone_slice;
@@ -269,10 +270,10 @@ enum Attempt<T> {
 
 /// Runs `f` (a rung of one cone), isolating panics when asked. A panic
 /// invalidates the engine — it is dropped for rebuild by the next rung.
-fn run_rung<'a, T>(
-    engine: &mut Option<ConeContext<'a>>,
+fn run_rung<T>(
+    engine: &mut Option<ConeContext>,
     catch_panics: bool,
-    f: impl FnOnce(&mut ConeContext<'a>) -> Result<T, DelayError>,
+    f: impl FnOnce(&mut ConeContext) -> Result<T, DelayError>,
 ) -> Attempt<T> {
     let Some(eng) = engine.as_mut() else {
         return Attempt::Panicked; // caller ensures presence; treat as dead engine
@@ -295,13 +296,13 @@ fn run_rung<'a, T>(
 
 /// Ensures the engine exists, rebuilding it after a panic or reset.
 /// Returns the build error when construction itself exceeds the budget.
-fn ensure_engine<'a>(
-    netlist: &'a Netlist,
+fn ensure_engine(
+    netlist: &Arc<Netlist>,
     budget: &Arc<AnalysisBudget>,
-    engine: &mut Option<ConeContext<'a>>,
+    engine: &mut Option<ConeContext>,
 ) -> Result<(), DelayError> {
     if engine.is_none() {
-        match ConeContext::new(netlist, budget.clone()) {
+        match ConeContext::new(Arc::clone(netlist), budget.clone()) {
             Ok(e) => *engine = Some(e),
             Err(a) => return Err(a.into_error(netlist.topological_delay(), budget)),
         }
@@ -314,23 +315,32 @@ fn ensure_engine<'a>(
 struct ConeJob {
     /// Output name (owned: jobs cross thread boundaries).
     name: String,
-    /// The single-output cone netlist.
-    cone: Netlist,
+    /// The single-output cone netlist (shared with any engine built on
+    /// it, which may outlive the job inside a [`ConeStore`]).
+    cone: Arc<Netlist>,
     /// `node_map[i]` = full-netlist id of cone node `i`.
     node_map: Vec<NodeId>,
     /// The output's driver node *within the cone*.
     out_id: NodeId,
+    /// The cone's retention key: byte-for-byte
+    /// [`Netlist::cone_signature`] of this output, so equal keys mean
+    /// structurally identical slices (kinds, fanins, delays, names).
+    key: Vec<u8>,
 }
 
 impl ConeJob {
     fn new(netlist: &Netlist, output_index: usize) -> ConeJob {
         let slice = extract_cone_slice(netlist, output_index);
         let (name, out_id) = slice.netlist.outputs()[0].clone();
+        let mut key = vec![b'C', 1u8];
+        key.extend_from_slice(&slice.netlist.structural_signature());
+        debug_assert_eq!(key, netlist.cone_signature(output_index));
         ConeJob {
             name,
-            cone: slice.netlist,
+            cone: Arc::new(slice.netlist),
             node_map: slice.node_map,
             out_id,
+            key,
         }
     }
 
@@ -345,9 +355,15 @@ impl ConeJob {
 struct ConeOutcome {
     entry: OutputDelay,
     stats: SearchStats,
-    /// Witness already remapped to full-netlist coordinates, with the
-    /// exact delay it realizes (for the cross-cone "largest wins" fold).
-    witness: Option<(Time, DelayWitness)>,
+    /// Witness parts in *cone-local* coordinates, with the exact delay
+    /// they realize (for the cross-cone "largest wins" fold). Remapped
+    /// to full-netlist coordinates only at merge time, against whatever
+    /// full netlist the merging request carries — a retained witness
+    /// must not bake in a previous request's netlist.
+    witness: Option<(Time, WitnessParts)>,
+    /// The engine that ran the job, handed back for retention in a
+    /// [`ConeStore`] (`None` when the final rung panicked).
+    engine: Option<ConeContext>,
     /// The cone's phase subtree, captured on whichever worker ran the
     /// job and attached by the coordinator in netlist output order, so
     /// the merged tree never depends on scheduling (merge-on-join).
@@ -399,11 +415,197 @@ fn resolve_threads(requested: usize, jobs: usize) -> usize {
     raw_workers(requested).clamp(1, jobs.max(1))
 }
 
+/// What one incremental analysis did with the retained state: how many
+/// cones were answered from the store and how many actually ran.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EcoStats {
+    /// Cones whose slice signature was unchanged and whose retained
+    /// result was merged back without any recomputation.
+    pub reused: usize,
+    /// Cones that ran the ladder (changed slices, never-seen slices, or
+    /// all cones when result reuse was off for the request).
+    pub recomputed: usize,
+}
+
+/// One retained cone result, stored in *cone-local* coordinates so it
+/// can be merged into any later request whose slice is structurally
+/// identical — whatever the rest of that request's netlist looks like.
+struct StoredResult {
+    entry: OutputDelay,
+    stats: SearchStats,
+    witness: Option<(Time, WitnessParts)>,
+    #[cfg(feature = "obs")]
+    phases: Vec<tbf_obs::PhaseNode>,
+}
+
+/// Everything retained for one cone slice signature.
+struct StoredCone {
+    /// The exact outcome, when the cone resolved exactly. Degraded
+    /// outcomes are never retained: they depend on caps and deadlines,
+    /// not just the slice.
+    result: Option<StoredResult>,
+    /// The compiled engine (manager, statics, interner, [`TbfCache`](crate::tbf::TbfCache)),
+    /// handed to a later *volatile* recompute of the same slice so it
+    /// starts from a warm cache instead of an empty manager.
+    engine: Option<ConeContext>,
+    /// LRU stamp ([`ConeStore::epoch`] at last use).
+    touched: u64,
+}
+
+/// The incremental engine's retention store: per-cone results and
+/// compiled engines keyed by the cone slice's structural signature
+/// ([`Netlist::cone_signature`]). The key covers gate kinds, fanins,
+/// delay annotations and input/output names, so a hit is only possible
+/// for a structurally identical slice — which is exactly the
+/// invalidation rule: any edit inside a cone changes its signature and
+/// the stale entry simply stops being found.
+///
+/// Reuse policy, mirroring the serve warm cache:
+/// * **Results** are retained only when exact, and merged back only for
+///   requests without a deadline — a deadline run must behave like a
+///   cold start so results never depend on what happened to be retained.
+/// * **Engines** are retained for every cone that survived its ladder,
+///   but handed out only to volatile (deadline) recomputes, whose
+///   reports are wall-clock-dependent anyway; deterministic requests
+///   always compile fresh engines.
+///
+/// Capacity is bounded: least-recently-used entries are evicted once the
+/// store exceeds its capacity, oldest first with the key as tie-break,
+/// so eviction is deterministic given the request sequence.
+pub struct ConeStore {
+    entries: HashMap<Vec<u8>, StoredCone>,
+    epoch: u64,
+    capacity: usize,
+}
+
+impl ConeStore {
+    /// An empty store retaining at most `capacity` cones (min 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> ConeStore {
+        ConeStore {
+            entries: HashMap::new(),
+            epoch: 0,
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Number of retained cones.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops everything (post-panic hygiene for long-lived sessions).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// The retained exact outcome for `key`, reconstructed for merging,
+    /// if one exists.
+    fn reused_outcome(&mut self, key: &[u8]) -> Option<ConeOutcome> {
+        let e = self.entries.get_mut(key)?;
+        let r = e.result.as_ref()?;
+        e.touched = self.epoch;
+        Some(ConeOutcome {
+            entry: r.entry.clone(),
+            stats: r.stats.clone(),
+            witness: r.witness.clone(),
+            engine: None,
+            #[cfg(feature = "obs")]
+            phases: r.phases.clone(),
+        })
+    }
+
+    /// Takes the retained engine for `key` out of the store, if any.
+    fn take_engine(&mut self, key: &[u8]) -> Option<ConeContext> {
+        let e = self.entries.get_mut(key)?;
+        e.touched = self.epoch;
+        e.engine.take()
+    }
+
+    /// Retains what a freshly run cone produced, then enforces capacity.
+    fn retain(&mut self, key: &[u8], result: Option<StoredResult>, engine: Option<ConeContext>) {
+        let entry = self
+            .entries
+            .entry(key.to_vec())
+            .or_insert_with(|| StoredCone {
+                result: None,
+                engine: None,
+                touched: self.epoch,
+            });
+        entry.touched = self.epoch;
+        if result.is_some() {
+            entry.result = result;
+        }
+        if engine.is_some() {
+            entry.engine = engine;
+        }
+        while self.entries.len() > self.capacity {
+            let victim = self
+                .entries
+                .iter()
+                .min_by(|a, b| (a.1.touched, a.0).cmp(&(b.1.touched, b.0)))
+                .map(|(k, _)| k.clone())
+                .expect("non-empty above capacity");
+            self.entries.remove(&victim);
+        }
+    }
+}
+
+/// Incremental (ECO) whole-circuit analysis against a retention `store`.
+///
+/// Behaves exactly like [`analyze_with_budget`] — the returned
+/// [`CircuitReport`] is byte-identical to a cold run on the same netlist
+/// and policy — but cones whose slice signature is already retained with
+/// an exact result are merged back without recomputation, and every cone
+/// that does run deposits its result and engine for the next request.
+///
+/// `reuse_results` gates the read side: pass `false` for volatile
+/// (deadline-bearing) requests, which must recompute every cone like a
+/// cold start; exact results from such runs are still written back.
+///
+/// The second return value reports the reuse split; under the `obs`
+/// feature the same numbers are folded into the budget's counter
+/// registry as `eco_cones_reused` / `eco_cones_recomputed`.
+#[must_use]
+pub fn analyze_eco(
+    netlist: &Netlist,
+    policy: &AnalysisPolicy,
+    budget: Arc<AnalysisBudget>,
+    store: &mut ConeStore,
+    reuse_results: bool,
+) -> (CircuitReport, EcoStats) {
+    #[cfg(feature = "obs")]
+    let counters = Arc::clone(budget.counters());
+    let (report, eco) = analyze_impl(netlist, policy, budget, Some((store, reuse_results)));
+    #[cfg(feature = "obs")]
+    {
+        counters.add(tbf_obs::Metric::EcoConesReused, eco.reused as u64);
+        counters.add(tbf_obs::Metric::EcoConesRecomputed, eco.recomputed as u64);
+    }
+    (report, eco)
+}
+
 fn analyze_budgeted(
     netlist: &Netlist,
     policy: &AnalysisPolicy,
     budget: Arc<AnalysisBudget>,
 ) -> CircuitReport {
+    analyze_impl(netlist, policy, budget, None).0
+}
+
+fn analyze_impl(
+    netlist: &Netlist,
+    policy: &AnalysisPolicy,
+    budget: Arc<AnalysisBudget>,
+    mut eco: Option<(&mut ConeStore, bool)>,
+) -> (CircuitReport, EcoStats) {
     // Snapshot the calling thread's fault plan once; every cone job
     // re-arms a fresh copy so the fault schedule is per-cone
     // deterministic whatever the worker count.
@@ -412,28 +614,56 @@ fn analyze_budgeted(
         .map(|i| ConeJob::new(netlist, i))
         .collect();
 
+    if let Some((store, _)) = eco.as_mut() {
+        store.epoch += 1;
+    }
+
+    // Partition against the store: cones whose slice signature is
+    // retained with an exact result are merged back verbatim (the reuse
+    // set); everything else runs the ladder. Warm engines are handed
+    // out only when result reuse is off — a reusing request must be
+    // bit-for-bit a cold run, so its recomputes compile fresh engines.
+    let mut outcomes: Vec<Option<ConeOutcome>> = jobs.iter().map(|_| None).collect();
+    let mut warm: Vec<Mutex<Option<ConeContext>>> = Vec::new();
+    let mut reused = 0usize;
+    for (i, job) in jobs.iter().enumerate() {
+        let mut warm_engine = None;
+        if let Some((store, reuse_results)) = eco.as_mut() {
+            if *reuse_results {
+                if let Some(out) = store.reused_outcome(&job.key) {
+                    outcomes[i] = Some(out);
+                    reused += 1;
+                }
+            } else {
+                warm_engine = store.take_engine(&job.key);
+            }
+        }
+        warm.push(Mutex::new(warm_engine));
+    }
+    let ran: Vec<bool> = outcomes.iter().map(Option::is_none).collect();
+
     // Largest estimated cone first, original order as the tie-break, so
     // the most expensive cone starts immediately instead of serializing
     // the tail of the schedule.
-    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    let mut order: Vec<usize> = (0..jobs.len()).filter(|&i| ran[i]).collect();
     order.sort_by_key(|&i| (std::cmp::Reverse(jobs[i].cost()), i));
 
-    let threads = resolve_threads(policy.threads, jobs.len());
+    let threads = resolve_threads(policy.threads, order.len());
     // Workers left over once every cone has one are lent to the striped
     // within-cone sweep of giant cones (`speculate`). Scheduling only:
     // the striped decomposition is fixed, so this never changes a
     // reported value.
-    let spec_workers = (raw_workers(policy.threads) / jobs.len().max(1)).max(1);
-    let mut outcomes: Vec<Option<ConeOutcome>> = jobs.iter().map(|_| None).collect();
+    let spec_workers = (raw_workers(policy.threads) / order.len().max(1)).max(1);
     if threads <= 1 {
         for &i in &order {
+            let warm_engine = warm[i].lock().map(|mut w| w.take()).unwrap_or(None);
             outcomes[i] = Some(run_cone_job(
-                netlist,
                 &jobs[i],
                 policy,
                 &budget,
                 &plan,
                 spec_workers,
+                warm_engine,
             ));
         }
     } else {
@@ -446,13 +676,14 @@ fn analyze_budgeted(
                         loop {
                             let k = next.fetch_add(1, Ordering::Relaxed);
                             let Some(&i) = order.get(k) else { break };
+                            let warm_engine = warm[i].lock().map(|mut w| w.take()).unwrap_or(None);
                             let outcome = run_cone_job(
-                                netlist,
                                 &jobs[i],
                                 policy,
                                 &budget,
                                 &plan,
                                 spec_workers,
+                                warm_engine,
                             );
                             mine.push((i, outcome));
                         }
@@ -474,18 +705,33 @@ fn analyze_budgeted(
         }
     }
 
-    // Deterministic merge in netlist output order.
+    // Deterministic merge in netlist output order. Witnesses are
+    // remapped to full-netlist coordinates here, against *this*
+    // request's netlist — retained parts carry only cone coordinates.
     let mut stats = SearchStats::default();
     let mut outputs: Vec<OutputDelay> = Vec::with_capacity(jobs.len());
     let mut witness: Option<DelayWitness> = None;
     let mut witness_delay = Time::MIN;
-    for outcome in outcomes.into_iter().flatten() {
+    for (i, outcome) in outcomes.into_iter().enumerate() {
+        let Some(mut outcome) = outcome else { continue };
         stats.merge(&outcome.stats);
+        if let Some((store, _)) = eco.as_mut() {
+            if ran[i] {
+                let result = (outcome.entry.status == OutputStatus::Exact).then(|| StoredResult {
+                    entry: outcome.entry.clone(),
+                    stats: outcome.stats.clone(),
+                    witness: outcome.witness.clone(),
+                    #[cfg(feature = "obs")]
+                    phases: outcome.phases.clone(),
+                });
+                store.retain(&jobs[i].key, result, outcome.engine.take());
+            }
+        }
         #[cfg(feature = "obs")]
-        tbf_obs::phase::attach(outcome.phases);
-        if let Some((delay, w)) = outcome.witness {
+        tbf_obs::phase::attach(std::mem::take(&mut outcome.phases));
+        if let Some((delay, parts)) = outcome.witness.take() {
             if delay > witness_delay {
-                witness = Some(w);
+                witness = Some(remap_witness(netlist, &jobs[i], parts));
                 witness_delay = delay;
             }
         }
@@ -502,7 +748,7 @@ fn analyze_budgeted(
         .map(|o| o.bounds().1)
         .max()
         .unwrap_or(Time::ZERO);
-    CircuitReport {
+    let report = CircuitReport {
         lower,
         upper,
         exact: (lower == upper).then_some(upper),
@@ -510,32 +756,44 @@ fn analyze_budgeted(
         outputs,
         witness,
         stats,
-    }
+    };
+    let eco_stats = EcoStats {
+        reused,
+        recomputed: ran.iter().filter(|&&r| r).count(),
+    };
+    (report, eco_stats)
 }
 
 /// Runs one cone job end to end on the current thread: re-arm the fault
-/// plan, fork an independent budget, build a fresh engine on the cone
-/// slice, walk the ladder, and remap the witness back to full-netlist
-/// coordinates.
+/// plan, fork an independent budget, build an engine on the cone slice
+/// (warm, when the store handed one back; fresh otherwise) and walk the
+/// ladder. The witness stays in cone coordinates for the merge.
 fn run_cone_job(
-    full: &Netlist,
     job: &ConeJob,
     policy: &AnalysisPolicy,
     base: &Arc<AnalysisBudget>,
     plan: &fault::ConePlan,
     spec_workers: usize,
+    warm: Option<ConeContext>,
 ) -> ConeOutcome {
     fault::with_cone_plan(plan, || {
         let budget = Arc::new(base.fork(&policy.options));
-        let run = || {
+        let mut warm = warm;
+        if let Some(eng) = warm.as_mut() {
+            // A retained engine still carries the budget of the request
+            // that built it; point it at this request's fork before any
+            // query polls a stale deadline or cancel token.
+            eng.rebind_budget(budget.clone());
+        }
+        let run = |warm: Option<ConeContext>| {
             let mut stats = SearchStats::default();
-            let (entry, raw_witness) = cone_ladder(job, policy, &budget, &mut stats, spec_workers);
-            let witness =
-                raw_witness.map(|(delay, parts)| (delay, remap_witness(full, job, parts)));
+            let ((entry, witness), engine) =
+                cone_ladder(job, policy, &budget, &mut stats, spec_workers, warm);
             ConeOutcome {
                 entry,
                 stats,
                 witness,
+                engine,
                 #[cfg(feature = "obs")]
                 phases: Vec::new(),
             }
@@ -546,26 +804,36 @@ fn run_cone_job(
         {
             let (mut outcome, phases) = tbf_obs::phase::capture(|| {
                 let _cone = crate::obs::RungSpan::open(&format!("cone:{}", job.name), &budget);
-                run()
+                run(warm)
             });
             outcome.phases = phases;
             outcome
         }
         #[cfg(not(feature = "obs"))]
-        run()
+        run(warm)
     })
 }
 
+/// What [`cone_ladder`] hands back: the cone's entry (plus the witness
+/// parts when it resolved exactly with a transition), and the engine
+/// for retention (gone when the final rung panicked).
+type LadderOutcome = (
+    (OutputDelay, Option<(Time, WitnessParts)>),
+    Option<ConeContext>,
+);
+
 /// Runs one cone down the full ladder; always returns an entry, plus the
-/// witness parts when the cone resolved exactly with a transition.
+/// witness parts when the cone resolved exactly with a transition, plus
+/// the engine for retention (gone when the final rung panicked).
 fn cone_ladder(
     job: &ConeJob,
     policy: &AnalysisPolicy,
     budget: &Arc<AnalysisBudget>,
     stats: &mut SearchStats,
     spec_workers: usize,
-) -> (OutputDelay, Option<(Time, WitnessParts)>) {
-    let mut engine: Option<ConeContext<'_>> = None;
+    warm: Option<ConeContext>,
+) -> LadderOutcome {
+    let mut engine: Option<ConeContext> = warm;
     let result = cone_rungs(job, policy, budget, stats, &mut engine, spec_workers);
     // Teardown: reorder effort lives in the engine (it survives manager
     // rebuilds); fold it into the cone's stats. Lost when the final rung
@@ -573,17 +841,17 @@ fn cone_ladder(
     if let Some(eng) = engine.as_ref() {
         stats.absorb_reorder(eng.total_reorder_stats());
     }
-    result
+    (result, engine)
 }
 
 /// The ladder proper; `engine` is owned by [`cone_ladder`] so telemetry
 /// can be folded out of it after the final rung.
-fn cone_rungs<'a>(
-    job: &'a ConeJob,
+fn cone_rungs(
+    job: &ConeJob,
     policy: &AnalysisPolicy,
     budget: &Arc<AnalysisBudget>,
     stats: &mut SearchStats,
-    engine: &mut Option<ConeContext<'a>>,
+    engine: &mut Option<ConeContext>,
     spec_workers: usize,
 ) -> (OutputDelay, Option<(Time, WitnessParts)>) {
     let cone = &job.cone;
@@ -975,6 +1243,124 @@ mod tests {
         let parallel =
             analyze_with_token(&n, &AnalysisPolicy::default().with_threads(4), cancelled());
         assert_eq!(sequential, parallel);
+    }
+
+    /// `a,b,c` feeding two independent cones: `f1 = AND(a,b)` and
+    /// `f2 = <kind>(b,c)` — editing `f2`'s gate must never touch `f1`.
+    fn two_cone_circuit(second: GateKind) -> Netlist {
+        let mut b = Netlist::builder();
+        let a = b.input("a");
+        let x = b.input("b");
+        let c = b.input("c");
+        let g1 = b
+            .gate(
+                GateKind::And,
+                "g1",
+                vec![a, x],
+                DelayBounds::new(t(1), t(2)),
+            )
+            .unwrap();
+        let g2 = b
+            .gate(second, "g2", vec![x, c], DelayBounds::new(t(1), t(3)))
+            .unwrap();
+        b.output("f1", g1);
+        b.output("f2", g2);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn eco_reuses_unchanged_cones_and_matches_cold_runs() {
+        let policy = AnalysisPolicy::default();
+        let budget = || AnalysisBudget::from_options(&policy.options).shared();
+        let base = two_cone_circuit(GateKind::Or);
+        let edited = two_cone_circuit(GateKind::Xor);
+        let mut store = ConeStore::new(64);
+
+        // Cold start: nothing retained, everything runs.
+        let (r1, e1) = analyze_eco(&base, &policy, budget(), &mut store, true);
+        assert_eq!(r1, analyze(&base, &policy));
+        assert_eq!(
+            e1,
+            EcoStats {
+                reused: 0,
+                recomputed: 2
+            }
+        );
+
+        // One-gate edit: only the edited cone recomputes, and the report
+        // is byte-identical to a cold run on the edited netlist.
+        let (r2, e2) = analyze_eco(&edited, &policy, budget(), &mut store, true);
+        assert_eq!(r2, analyze(&edited, &policy));
+        assert_eq!(
+            e2,
+            EcoStats {
+                reused: 1,
+                recomputed: 1
+            }
+        );
+
+        // Undo: both slices are retained now, so nothing runs at all.
+        let (r3, e3) = analyze_eco(&base, &policy, budget(), &mut store, true);
+        assert_eq!(r3, analyze(&base, &policy));
+        assert_eq!(
+            e3,
+            EcoStats {
+                reused: 2,
+                recomputed: 0
+            }
+        );
+    }
+
+    #[test]
+    fn eco_identity_request_reuses_every_cone_with_witness_intact() {
+        let policy = AnalysisPolicy::default();
+        let budget = || AnalysisBudget::from_options(&policy.options).shared();
+        let n = paper_bypass_adder();
+        let cold = analyze(&n, &policy);
+        assert!(cold.witness.is_some(), "adder should produce a witness");
+        let mut store = ConeStore::new(64);
+        let (first, _) = analyze_eco(&n, &policy, budget(), &mut store, true);
+        let (second, eco) = analyze_eco(&n, &policy, budget(), &mut store, true);
+        assert_eq!(first, cold);
+        assert_eq!(second, cold);
+        assert_eq!(eco.reused, n.outputs().len());
+        assert_eq!(eco.recomputed, 0);
+    }
+
+    #[test]
+    fn eco_volatile_requests_recompute_everything_but_still_retain() {
+        let policy = AnalysisPolicy::default();
+        let budget = || AnalysisBudget::from_options(&policy.options).shared();
+        let n = two_cone_circuit(GateKind::Or);
+        let mut store = ConeStore::new(64);
+        // A volatile request never reads retained results...
+        let (r1, e1) = analyze_eco(&n, &policy, budget(), &mut store, false);
+        let (r2, e2) = analyze_eco(&n, &policy, budget(), &mut store, false);
+        assert_eq!(r1, analyze(&n, &policy));
+        assert_eq!(r2, r1);
+        assert_eq!(e1.reused + e2.reused, 0);
+        assert_eq!(e2.recomputed, 2);
+        // ...but its exact results are written back for later reuse.
+        let (r3, e3) = analyze_eco(&n, &policy, budget(), &mut store, true);
+        assert_eq!(r3, r1);
+        assert_eq!(e3.reused, 2);
+    }
+
+    #[test]
+    fn eco_store_capacity_evicts_least_recently_used() {
+        let policy = AnalysisPolicy::default();
+        let budget = || AnalysisBudget::from_options(&policy.options).shared();
+        let or_variant = two_cone_circuit(GateKind::Or);
+        let xor_variant = two_cone_circuit(GateKind::Xor);
+        // Capacity 1: each two-cone request evicts down to one entry, so
+        // at most one cone can ever be answered from the store.
+        let mut store = ConeStore::new(1);
+        let (_, _) = analyze_eco(&or_variant, &policy, budget(), &mut store, true);
+        assert_eq!(store.len(), 1);
+        let (r, eco) = analyze_eco(&xor_variant, &policy, budget(), &mut store, true);
+        assert_eq!(r, analyze(&xor_variant, &policy));
+        assert!(eco.reused <= 1, "{eco:?}");
+        assert_eq!(store.len(), 1);
     }
 
     #[test]

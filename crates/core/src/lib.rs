@@ -82,7 +82,10 @@ mod speculate;
 mod two_vector;
 
 pub use budget::{AnalysisBudget, CancelToken};
-pub use driver::{analyze, analyze_with_budget, analyze_with_token, AnalysisPolicy, CircuitReport};
+pub use driver::{
+    analyze, analyze_eco, analyze_with_budget, analyze_with_token, AnalysisPolicy, CircuitReport,
+    ConeStore, EcoStats,
+};
 pub use error::DelayError;
 pub use options::{DelayOptions, TbfCacheMode};
 pub use report::{DegradeCause, DelayReport, DelayWitness, OutputDelay, OutputStatus, SearchStats};

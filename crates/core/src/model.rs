@@ -57,12 +57,7 @@ pub(crate) trait DelayModel {
     /// The next query point strictly below `below`, or `None` when the
     /// sweep is exhausted. The default descends the cone's memoized
     /// `{Kᵢᵐᵃˣ}` enumeration; models with coarser sound grids may skip.
-    fn breakpoints(
-        &mut self,
-        cx: &mut ConeContext<'_>,
-        output: NodeId,
-        below: Time,
-    ) -> Option<Time> {
+    fn breakpoints(&mut self, cx: &mut ConeContext, output: NodeId, below: Time) -> Option<Time> {
         cx.next_breakpoint(output, below)
     }
 
@@ -72,7 +67,7 @@ pub(crate) trait DelayModel {
     /// transition can fall inside the interval.
     fn test_at(
         &mut self,
-        cx: &mut ConeContext<'_>,
+        cx: &mut ConeContext,
         output: NodeId,
         window_lo: Time,
         b: Time,
@@ -93,7 +88,7 @@ pub(crate) trait DelayModel {
 /// retry and degrade per cone with any model on any rung.
 pub(crate) fn cone_delay(
     model: &mut dyn DelayModel,
-    cx: &mut ConeContext<'_>,
+    cx: &mut ConeContext,
     output: NodeId,
     stats: &mut SearchStats,
 ) -> Result<(Time, Option<WitnessParts>), DelayError> {
@@ -139,7 +134,7 @@ pub(crate) fn delay_with_model(
 ) -> Result<DelayReport, DelayError> {
     let prepared = model.prepare(netlist);
     let netlist = prepared.as_ref().unwrap_or(netlist);
-    let mut cx = ConeContext::new(netlist, budget.clone())
+    let mut cx = ConeContext::new(Arc::new(netlist.clone()), budget.clone())
         .map_err(|e| e.into_error(netlist.topological_delay(), &budget))?;
     let mut stats = SearchStats::default();
     let mut outputs = Vec::new();

@@ -53,14 +53,16 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use tbf_bdd::{Bdd, BddManager, OpAbort, OpBudget, ReorderPolicy, ReorderStats, Var};
-use tbf_logic::paths::Breakpoints;
+use tbf_logic::paths::BreakpointSweep;
 use tbf_logic::{Netlist, NodeId, Time};
 
 use crate::budget::AnalysisBudget;
 use crate::error::DelayError;
 use crate::fault::{self, Site};
 use crate::static_fn::{build_statics, gate_bdd};
-use crate::tbf::{SuffixTracker, TbfCache, TimedTable, TimedVarId, TimedVarKey, SUPPORT_CAP};
+use crate::tbf::{
+    cone_scope_tag, SuffixTracker, TbfCache, TimedTable, TimedVarId, TimedVarKey, SUPPORT_CAP,
+};
 
 /// Abort reasons local to the network build; the engines attach bounds
 /// and convert to [`DelayError`](crate::DelayError).
@@ -208,8 +210,11 @@ pub(crate) struct QueryOut {
 /// table and the cross-breakpoint instantiation cache — everything the
 /// pluggable [`DelayModel`](crate::model::DelayModel) strategies share
 /// while sweeping breakpoints.
-pub(crate) struct ConeContext<'a> {
-    netlist: &'a Netlist,
+pub(crate) struct ConeContext {
+    /// Shared ownership of the cone netlist: an engine retained across
+    /// requests (the serve workspace) must not borrow from a request
+    /// that has already been answered.
+    netlist: Arc<Netlist>,
     pub timing: Timing,
     /// The analysis-wide budget: live caps + deadline/cancel state.
     pub budget: Arc<AnalysisBudget>,
@@ -241,22 +246,31 @@ pub(crate) struct ConeContext<'a> {
     /// cone's gate count (`Auto` bypasses tiny cones).
     use_tbf_cache: bool,
     /// Memoized descending breakpoint sweeps, one per queried output.
-    sweeps: HashMap<NodeId, Breakpoints<'a>>,
+    sweeps: HashMap<NodeId, BreakpointSweep>,
 }
 
-impl<'a> ConeContext<'a> {
+impl ConeContext {
     pub fn new(
-        netlist: &'a Netlist,
+        netlist: Arc<Netlist>,
         budget: Arc<AnalysisBudget>,
-    ) -> Result<ConeContext<'a>, BuildAbort> {
+    ) -> Result<ConeContext, BuildAbort> {
         let gate_count = netlist
             .nodes()
             .filter(|(_, n)| !n.kind().is_input() && !n.kind().is_constant())
             .count();
         let use_tbf_cache = budget.tbf_cache_mode().enabled_for(gate_count);
+        // The cache's cone scope: entries are served only to the cone
+        // (structural signature) that built them, so an engine-cache
+        // pair that outlives one netlist can never leak a stale BDD
+        // handle into the next (see `stale_binding_cannot_survive_a_
+        // cone_switch` in `tbf.rs`).
+        let scope = cone_scope_tag(&netlist.structural_signature());
+        let memo_useful = netlist.nodes().any(|(_, n)| {
+            !n.kind().is_input() && !n.kind().is_constant() && !n.delay().is_variable()
+        });
         let mut engine = ConeContext {
+            timing: Timing::new(&netlist),
             netlist,
-            timing: Timing::new(netlist),
             budget,
             slots: 4,
             manager: BddManager::new(),
@@ -268,33 +282,45 @@ impl<'a> ConeContext<'a> {
             input_vars: Vec::new(),
             statics_baseline: 0,
             carried_reorder: ReorderStats::default(),
-            memo_useful: netlist.nodes().any(|(_, n)| {
-                !n.kind().is_input() && !n.kind().is_constant() && !n.delay().is_variable()
-            }),
+            memo_useful,
             table: TimedTable::default(),
             tbf_cache: TbfCache::default(),
             use_tbf_cache,
             sweeps: HashMap::new(),
         };
+        engine.tbf_cache.set_cone(scope);
         engine.layout()?;
         Ok(engine)
     }
 
-    /// The netlist this context compiles (the cone slice, under the
-    /// driver).
-    pub fn netlist(&self) -> &'a Netlist {
-        self.netlist
+    /// Shared ownership of the cone netlist — for spawning sibling
+    /// engines (stripe speculation) without borrowing this one.
+    pub fn netlist_arc(&self) -> Arc<Netlist> {
+        Arc::clone(&self.netlist)
+    }
+
+    /// Points a retained engine at a new request's budget. Caps,
+    /// deadline and cancel token are read live through this handle on
+    /// every poll, and per-op cancel probes are constructed per BDD
+    /// call, so swapping the `Arc` is all a service needs to reuse the
+    /// engine across requests. Under `obs`, the manager's hot-path
+    /// counters are re-routed to the new budget's registry too.
+    pub fn rebind_budget(&mut self, budget: Arc<AnalysisBudget>) {
+        self.budget = budget;
+        #[cfg(feature = "obs")]
+        self.manager
+            .set_counters(Arc::clone(self.budget.counters()));
     }
 
     /// The next breakpoint of `output`'s descending `{Kᵢᵐᵃˣ}` sweep
     /// strictly below `below`, via the per-output memoized
-    /// [`Breakpoints`] enumerator.
+    /// [`BreakpointSweep`] enumerator.
     pub fn next_breakpoint(&mut self, output: NodeId, below: Time) -> Option<Time> {
-        let netlist = self.netlist;
+        let netlist = Arc::clone(&self.netlist);
         self.sweeps
             .entry(output)
-            .or_insert_with(|| Breakpoints::from_output(netlist, output))
-            .next_below(below)
+            .or_insert_with(|| BreakpointSweep::new(&netlist, output))
+            .next_below(&netlist, below)
     }
 
     /// (Re)creates the manager: interleaved variables, then both statics.
@@ -359,9 +385,9 @@ impl<'a> ConeContext<'a> {
         let bud = self.budget.clone();
         let probe = move || bud.interrupted();
         let op_budget = OpBudget::with_cancel(self.budget.max_bdd_nodes(), &probe);
-        let static_after = build_statics(&mut manager, self.netlist, &after_leaf, &op_budget)
+        let static_after = build_statics(&mut manager, &self.netlist, &after_leaf, &op_budget)
             .map_err(BuildAbort::from_op)?;
-        let static_before = build_statics(&mut manager, self.netlist, &before_leaf, &op_budget)
+        let static_before = build_statics(&mut manager, &self.netlist, &before_leaf, &op_budget)
             .map_err(BuildAbort::from_op)?;
         if order.is_none() && policy == ReorderPolicy::Manual {
             // One sift of the statics right after layout: the cheapest
@@ -550,7 +576,7 @@ impl<'a> ConeContext<'a> {
             }
         }
         let mut kc = KeyCollect {
-            netlist: self.netlist,
+            netlist: &self.netlist,
             pmax: &self.timing.pmax,
             pminmin: &self.timing.pminmin,
             b,
@@ -870,7 +896,7 @@ impl<'a> ConeContext<'a> {
             }
         }
         let mut builder = TbfBuild {
-            netlist: self.netlist,
+            netlist: &self.netlist,
             pmax: &self.timing.pmax,
             pminmin: &self.timing.pminmin,
             b,
@@ -903,9 +929,9 @@ mod tests {
         Time::from_int(x)
     }
 
-    fn engine(n: &Netlist) -> ConeContext<'_> {
+    fn engine(n: &Netlist) -> ConeContext {
         ConeContext::new(
-            n,
+            Arc::new(n.clone()),
             AnalysisBudget::from_options(&DelayOptions::default()).shared(),
         )
         .expect("small circuit")
@@ -1030,8 +1056,11 @@ mod tests {
             max_straddling_paths: 4,
             ..DelayOptions::default()
         };
-        let mut e = ConeContext::new(&n, AnalysisBudget::from_options(&opts).shared())
-            .expect("small circuit");
+        let mut e = ConeContext::new(
+            Arc::new(n.clone()),
+            AnalysisBudget::from_options(&opts).shared(),
+        )
+        .expect("small circuit");
         let err = e.two_vector_query(out, t(3)).unwrap_err();
         assert_eq!(err, BuildAbort::TooManyPaths { limit: 4 });
     }
@@ -1065,7 +1094,7 @@ mod tests {
             ..DelayOptions::default()
         };
         let budget = AnalysisBudget::from_options(&opts).shared();
-        let mut e = ConeContext::new(&n, budget.clone()).expect("small circuit");
+        let mut e = ConeContext::new(Arc::new(n.clone()), budget.clone()).expect("small circuit");
         assert!(e.two_vector_query(out, t(3)).is_err());
         budget.escalate(4);
         assert!(e.two_vector_query(out, t(3)).is_ok());
@@ -1080,7 +1109,7 @@ mod tests {
         let budget = AnalysisBudget::from_options(&DelayOptions::default())
             .with_token(token.clone())
             .shared();
-        let mut e = ConeContext::new(&n, budget).expect("small circuit");
+        let mut e = ConeContext::new(Arc::new(n.clone()), budget).expect("small circuit");
         token.cancel();
         let err = e.two_vector_query(out, t(4)).unwrap_err();
         assert_eq!(err, BuildAbort::Interrupted);

@@ -103,7 +103,7 @@ pub(crate) struct Sequences;
 impl DelayModel for Sequences {
     fn test_at(
         &mut self,
-        cx: &mut ConeContext<'_>,
+        cx: &mut ConeContext,
         output: NodeId,
         _window_lo: Time,
         b: Time,
@@ -140,7 +140,7 @@ impl DelayModel for Floating {
 
     fn test_at(
         &mut self,
-        cx: &mut ConeContext<'_>,
+        cx: &mut ConeContext,
         output: NodeId,
         window_lo: Time,
         b: Time,

@@ -96,7 +96,7 @@ impl Outcome {
 /// to [`STRIPES`] and never changes the result.
 pub(crate) fn cone_delay_striped<M: DelayModel>(
     make_model: &(dyn Fn() -> M + Sync),
-    cx: &mut ConeContext<'_>,
+    cx: &mut ConeContext,
     output: NodeId,
     stats: &mut SearchStats,
     workers: usize,
@@ -114,7 +114,7 @@ pub(crate) fn cone_delay_striped<M: DelayModel>(
         return cone_delay(&mut model, cx, output, stats);
     }
 
-    let cone = cx.netlist();
+    let cone = cx.netlist_arc();
     let budget = Arc::clone(&cx.budget);
     let n = bps.len();
     // Indices at or above the budget's breakpoint cap are never tested:
@@ -130,7 +130,7 @@ pub(crate) fn cone_delay_striped<M: DelayModel>(
 
     let run_stripe = |s: usize| {
         let mut sink: Vec<(usize, Outcome)> = Vec::new();
-        let mut wcx = match ConeContext::new(cone, Arc::clone(&budget)) {
+        let mut wcx = match ConeContext::new(Arc::clone(&cone), Arc::clone(&budget)) {
             Ok(c) => c,
             Err(e) => {
                 let err = e.into_error(bps[s], &budget);

@@ -306,6 +306,21 @@ impl TimedTable {
 /// would make the cache quadratic in cone width.
 pub(crate) const SUPPORT_CAP: usize = 128;
 
+/// FNV-1a over a cone's structural-signature bytes: the cone scope tag
+/// for [`TbfCache::set_cone`]. Collisions are astronomically unlikely
+/// and at worst cost a wrong *hit window* — never a wrong result,
+/// because entries are additionally epoch-checked, and a colliding cone
+/// necessarily owns a different manager whose rebuild `clear()`s the
+/// cache anyway; the tag is a guard, not the sole line of defense.
+pub(crate) fn cone_scope_tag(signature: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in signature {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// One cached instantiation of a timed sub-function: the BDD built for
 /// `(gate, suffix k-function)` at some query point, valid for every
 /// breakpoint `b` in `(lo, hi]` — the window over which every collapse
@@ -322,6 +337,12 @@ pub(crate) struct Instantiation {
     /// on adjacent breakpoints, and the fix for the per-hit O(support)
     /// epoch scan that made cache hits slower than small rebuilds.
     built_generation: u64,
+    /// The cache's cone scope when this entry was built. Served only
+    /// while the cache is in the same scope: `Bdd` handles and
+    /// `TimedVarId`s are meaningful only against the manager and
+    /// interner of the cone that built them, so an entry must never
+    /// cross a cone boundary however fresh its epoch looks.
+    built_cone: u64,
     pub support: Vec<TimedVarId>,
 }
 
@@ -351,6 +372,17 @@ pub(crate) struct TbfCache {
     /// the per-support scan only runs when some binding changed since.
     generation: [u64; 2],
     epoch: u64,
+    /// The active cone scope. Epochs and generations are monotonic for
+    /// the cache's whole life, so in a cache that outlives one cone
+    /// (the service workspace keeps them across requests) an old cone's
+    /// entry can look perfectly fresh to the epoch machinery while its
+    /// BDD handle points into a dead manager. Scoping entries by cone
+    /// makes that stale read structurally impossible: [`lookup`] serves
+    /// an entry only when its `built_cone` matches, whatever the epochs
+    /// say.
+    ///
+    /// [`lookup`]: TbfCache::lookup
+    cone: u64,
 }
 
 impl TbfCache {
@@ -358,6 +390,29 @@ impl TbfCache {
     /// changed leaves with this epoch.
     pub fn begin_query(&mut self) {
         self.epoch += 1;
+    }
+
+    /// Enters the scope of the cone tagged `tag` (derived from the cone
+    /// netlist's structural signature). Entries built under any other
+    /// scope stop being served immediately — per-cone invalidation, not
+    /// the per-session `clear()` a rebuild does.
+    pub fn set_cone(&mut self, tag: u64) {
+        self.cone = tag;
+    }
+
+    /// Drops every entry built under the scope `tag` (an edited cone's
+    /// entries, under the incremental engine), returning how many were
+    /// removed. Other cones' entries are untouched.
+    ///
+    /// The hot path invalidates lazily — [`lookup`](TbfCache::lookup)
+    /// refuses entries whose `built_cone` differs from the active scope
+    /// — so this eager sweep is for memory reclamation in caches shared
+    /// across cones; today only the regression suite drives it.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn invalidate_cone(&mut self, tag: u64) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|_, e| e.built_cone != tag);
+        before - self.entries.len()
     }
 
     /// Registers the query's BDD for leaf `id` (mode-scoped). Re-binding
@@ -381,6 +436,12 @@ impl TbfCache {
     /// binding must predate the entry.
     pub fn lookup(&self, n: NodeId, id: TimedVarId, mode: u8, b: Time) -> Option<&Instantiation> {
         let e = self.entries.get(&(n, id, mode))?;
+        // Cone scope first: epochs are monotonic across the cache's
+        // whole life, so only the scope tag can tell a fresh entry from
+        // a stale survivor of a previous cone.
+        if e.built_cone != self.cone {
+            return None;
+        }
         if !(e.lo < b && b <= e.hi) {
             return None;
         }
@@ -419,6 +480,7 @@ impl TbfCache {
                 bdd,
                 built_epoch: self.epoch,
                 built_generation: self.generation[key.2 as usize],
+                built_cone: self.cone,
                 support,
             },
         );
@@ -614,6 +676,60 @@ mod tests {
         cache.begin_query();
         cache.bind(0, TimedVarId(9), leaf);
         assert!(cache.lookup(node, id, 0, t(5)).is_some());
+    }
+
+    /// Regression test for the latent lifetime bug the persistent
+    /// service workspace exposes: epochs and generations are monotonic
+    /// for a cache's whole life, so when one `TbfCache` outlives the
+    /// cone it was built against (it used to die with the request), an
+    /// entry from the *previous* cone passes every epoch freshness
+    /// check — `built_generation` still equals the mode's generation if
+    /// the new cone happens not to have re-bound the colliding
+    /// `TimedVarId` — and `lookup` hands the new cone a BDD handle into
+    /// a dead manager. Invalidation must therefore be per-cone (the
+    /// scope tag), not per-session (`clear`).
+    #[test]
+    fn stale_binding_cannot_survive_a_cone_switch() {
+        let mut mgr = tbf_bdd::BddManager::new();
+        let v = mgr.new_var();
+        let leaf = mgr.var(v);
+        let stale_bdd = mgr.constant(true);
+        let mut cache = TbfCache::default();
+        let node = figure4_example3().nodes().next().expect("non-empty").0;
+        let id = TimedVarId(0);
+        let cone_a = cone_scope_tag(b"cone-a");
+        let cone_b = cone_scope_tag(b"cone-b");
+
+        // Cone A builds and caches an instantiation.
+        cache.set_cone(cone_a);
+        cache.begin_query();
+        cache.bind(0, id, leaf);
+        cache.insert((node, id, 0), t(0), t(10), stale_bdd, vec![id]);
+        assert!(cache.lookup(node, id, 0, t(5)).is_some());
+
+        // The cache survives into cone B (same NodeId/TimedVarId values
+        // by construction — slices renumber from 0). Without the scope
+        // tag this lookup returned cone A's entry: `built_generation`
+        // still matches (no re-bind happened), so the epoch machinery
+        // calls it fresh even though its BDD lives in A's manager.
+        cache.set_cone(cone_b);
+        assert!(
+            cache.lookup(node, id, 0, t(5)).is_none(),
+            "cone A's instantiation must not be served to cone B"
+        );
+
+        // Returning to cone A's scope serves it again — per-cone
+        // scoping, not a blanket clear.
+        cache.set_cone(cone_a);
+        assert!(cache.lookup(node, id, 0, t(5)).is_some());
+
+        // Invalidating cone A drops exactly its entries.
+        cache.begin_query();
+        cache.set_cone(cone_b);
+        cache.insert((node, TimedVarId(1), 0), t(0), t(10), stale_bdd, vec![]);
+        assert_eq!(cache.invalidate_cone(cone_a), 1);
+        assert_eq!(cache.entries.len(), 1);
+        assert!(cache.lookup(node, TimedVarId(1), 0, t(5)).is_some());
     }
 
     #[test]

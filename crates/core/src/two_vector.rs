@@ -135,13 +135,13 @@ pub(crate) struct TwoVector;
 impl DelayModel for TwoVector {
     fn test_at(
         &mut self,
-        cx: &mut ConeContext<'_>,
+        cx: &mut ConeContext,
         output: NodeId,
         window_lo: Time,
         b: Time,
         stats: &mut SearchStats,
     ) -> Result<Option<Hit>, DelayError> {
-        let netlist = cx.netlist();
+        let netlist = cx.netlist_arc();
         let query = cx
             .two_vector_query(output, b)
             .map_err(|e| e.into_error(b, &cx.budget))?;
@@ -150,7 +150,7 @@ impl DelayModel for TwoVector {
         #[cfg(feature = "obs")]
         tbf_obs::phase::record_peak_nodes(cx.manager.node_count() as u64);
 
-        let found = check_interval(netlist, cx, output, &query, window_lo, b, stats)?;
+        let found = check_interval(&netlist, cx, output, &query, window_lo, b, stats)?;
         Ok(found.map(|(t, w)| Hit {
             t,
             witness: Some(w),
@@ -162,7 +162,7 @@ impl DelayModel for TwoVector {
 /// delay if the last output transition can fall inside it.
 fn check_interval(
     netlist: &Netlist,
-    cx: &mut ConeContext<'_>,
+    cx: &mut ConeContext,
     output: NodeId,
     query: &QueryOut,
     window_lo: Time,
@@ -283,7 +283,7 @@ fn check_interval(
 /// (canonicity makes the rebuilt ROBDD — hence the cube sequence —
 /// exactly the one an unreordered run enumerates).
 pub(crate) fn canonical_cubes(
-    cx: &mut ConeContext<'_>,
+    cx: &mut ConeContext,
     projected: Bdd,
     b: Time,
 ) -> Result<Vec<Cube>, DelayError> {
@@ -343,7 +343,7 @@ pub(crate) fn canonical_cubes(
 #[allow(clippy::too_many_arguments)]
 fn extract_witness(
     netlist: &Netlist,
-    cx: &mut ConeContext<'_>,
+    cx: &mut ConeContext,
     query: &QueryOut,
     xor: tbf_bdd::Bdd,
     lp: &PathLp,

@@ -272,6 +272,46 @@ impl Netlist {
         sig
     }
 
+    /// The structural signature of one output's fanin cone: the
+    /// [`structural_signature`](Self::structural_signature) of the
+    /// [`extract_cone_slice`](crate::transform::extract_cone_slice)
+    /// netlist for `output_index`, under a distinct version tag so cone
+    /// keys can never alias whole-netlist keys.
+    ///
+    /// Everything the per-cone delay engines read is inside the slice —
+    /// gate kinds, fanin wiring, scaled delay annotations, the output
+    /// name — and nothing outside it is, so the key has exactly the
+    /// invalidation granularity an incremental (ECO) engine needs: an
+    /// edit inside the cone always changes the signature, an edit
+    /// outside it never does, and node renames or id shifts from
+    /// unrelated edits are invisible (the slice renumbers its nodes in
+    /// canonical ascending source order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output_index` is out of range, like
+    /// [`extract_cone_slice`](crate::transform::extract_cone_slice).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use tbf_logic::generators::adders::paper_bypass_adder;
+    /// let a = paper_bypass_adder();
+    /// let b = paper_bypass_adder();
+    /// for i in 0..a.outputs().len() {
+    ///     assert_eq!(a.cone_signature(i), b.cone_signature(i));
+    /// }
+    /// ```
+    pub fn cone_signature(&self, output_index: usize) -> Vec<u8> {
+        let slice = crate::transform::extract_cone_slice(self, output_index);
+        // Distinct version tag (vs `[b'N', 1]`): a cone key and a
+        // whole-netlist key must never collide even for a single-output
+        // netlist that is its own cone.
+        let mut sig = vec![b'C', 1u8];
+        sig.extend_from_slice(&slice.netlist.structural_signature());
+        sig
+    }
+
     /// Returns a copy with every gate's delay bounds replaced by
     /// `f(current)` — e.g. to impose `dmin = 0.9·dmax` (paper §12) or the
     /// unbounded model. Inputs keep zero delay.

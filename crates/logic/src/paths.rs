@@ -149,9 +149,7 @@ pub fn next_breakpoint(netlist: &Netlist, output: NodeId, below: Time) -> Option
 #[derive(Debug)]
 pub struct Breakpoints<'a> {
     netlist: &'a Netlist,
-    output: NodeId,
-    pmax: Vec<Time>,
-    memo: HashMap<(NodeId, Time), Option<Time>>,
+    sweep: BreakpointSweep,
     cursor: Time,
 }
 
@@ -160,9 +158,7 @@ impl<'a> Breakpoints<'a> {
     pub fn from_output(netlist: &'a Netlist, output: NodeId) -> Breakpoints<'a> {
         Breakpoints {
             netlist,
-            output,
-            pmax: netlist.arrivals(false, true),
-            memo: HashMap::new(),
+            sweep: BreakpointSweep::new(netlist, output),
             cursor: Time::MAX,
         }
     }
@@ -170,19 +166,50 @@ impl<'a> Breakpoints<'a> {
     /// Largest maximum path length strictly below `below`, or `None`
     /// if no path is shorter. Does not move the iterator cursor.
     pub fn next_below(&mut self, below: Time) -> Option<Time> {
-        self.go(self.output, below)
+        self.sweep.next_below(self.netlist, below)
+    }
+}
+
+/// The borrow-free state of a [`Breakpoints`] sweep: the arrival
+/// profile and the `(node, residual)` memo, without the netlist
+/// reference. Callers that own the netlist behind an `Arc` (the
+/// per-cone engine contexts, which must outlive any one request in
+/// service mode) hold this and pass the netlist back in per query.
+///
+/// Every call must pass the netlist the sweep was built from; the memo
+/// is meaningless against any other netlist.
+#[derive(Debug)]
+pub struct BreakpointSweep {
+    output: NodeId,
+    pmax: Vec<Time>,
+    memo: HashMap<(NodeId, Time), Option<Time>>,
+}
+
+impl BreakpointSweep {
+    /// The sweep state for `output`'s cone in `netlist`.
+    pub fn new(netlist: &Netlist, output: NodeId) -> BreakpointSweep {
+        BreakpointSweep {
+            output,
+            pmax: netlist.arrivals(false, true),
+            memo: HashMap::new(),
+        }
+    }
+
+    /// Largest maximum path length strictly below `below`, or `None`
+    /// if no path is shorter.
+    pub fn next_below(&mut self, netlist: &Netlist, below: Time) -> Option<Time> {
+        self.go(netlist, self.output, below)
     }
 
     // Longest arrival (including `n`'s own delay) strictly below
     // `residual`.
-    fn go(&mut self, n: NodeId, residual: Time) -> Option<Time> {
+    fn go(&mut self, netlist: &Netlist, n: NodeId, residual: Time) -> Option<Time> {
         if self.pmax[n.index()] < residual {
             return Some(self.pmax[n.index()]);
         }
         if let Some(&r) = self.memo.get(&(n, residual)) {
             return r;
         }
-        let netlist = self.netlist;
         let node = netlist.node(n);
         let d = node.delay().max;
         let mut best: Option<Time> = None;
@@ -192,7 +219,7 @@ impl<'a> Breakpoints<'a> {
             return None;
         }
         for &f in node.fanins() {
-            if let Some(sub) = self.go(f, residual - d) {
+            if let Some(sub) = self.go(netlist, f, residual - d) {
                 let total = sub + d;
                 best = Some(best.map_or(total, |b: Time| b.max(total)));
             }

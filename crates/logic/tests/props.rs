@@ -161,6 +161,212 @@ fn bench_round_trip() {
     }
 }
 
+/// Multi-output variant of [`build`]: exposes every third gate plus the
+/// last as outputs, returning the netlist and each output's pool index
+/// (inputs first, then gates — the indexing [`cone_set`] uses).
+fn build_multi(recipe: &Recipe) -> (Netlist, Vec<usize>) {
+    build_multi_impl(recipe, None)
+}
+
+/// [`build_multi`] plus one extra output on gate `extra` (appended last,
+/// so existing output indices are stable).
+fn build_multi_with_extra(recipe: &Recipe, extra: usize) -> (Netlist, Vec<usize>) {
+    build_multi_impl(recipe, Some(extra))
+}
+
+fn build_multi_impl(recipe: &Recipe, extra: Option<usize>) -> (Netlist, Vec<usize>) {
+    let mut b = Netlist::builder();
+    let mut pool: Vec<_> = (0..recipe.n_inputs)
+        .map(|i| b.input(&format!("x{i}")))
+        .collect();
+    for (g, (kind_raw, fanin_refs, lo, hi)) in recipe.gates.iter().enumerate() {
+        let kind = match kind_raw % 8 {
+            0 => GateKind::And,
+            1 => GateKind::Or,
+            2 => GateKind::Nand,
+            3 => GateKind::Nor,
+            4 => GateKind::Xor,
+            5 => GateKind::Xnor,
+            6 => GateKind::Buf,
+            _ => GateKind::Not,
+        };
+        let mut fanins: Vec<_> = fanin_refs.iter().map(|&r| pool[r % pool.len()]).collect();
+        if matches!(kind, GateKind::Not | GateKind::Buf) {
+            fanins.truncate(1);
+        }
+        let delay = DelayBounds::new(Time::from_int(*lo), Time::from_int(*hi));
+        pool.push(
+            b.gate(kind, &format!("g{g}"), fanins, delay)
+                .expect("unique names"),
+        );
+    }
+    let n_gates = recipe.gates.len();
+    let mut exposed: Vec<usize> = (0..n_gates).filter(|g| g % 3 == 0).collect();
+    if exposed.last() != Some(&(n_gates - 1)) {
+        exposed.push(n_gates - 1);
+    }
+    let out_pools: Vec<usize> = exposed.iter().map(|&g| recipe.n_inputs + g).collect();
+    for &g in &exposed {
+        b.output(&format!("o{g}"), pool[recipe.n_inputs + g]);
+    }
+    if let Some(extra) = extra {
+        b.output("oextra", pool[recipe.n_inputs + extra]);
+    }
+    (b.finish().expect("outputs declared"), out_pools)
+}
+
+/// A gate's fanins resolved to pool indices, mirroring [`build_multi`]'s
+/// resolution (including the unary truncation for NOT/BUF).
+fn resolved_fanins(recipe: &Recipe, g: usize) -> Vec<usize> {
+    let pool_len = recipe.n_inputs + g;
+    let (kind_raw, refs, _, _) = &recipe.gates[g];
+    let mut fanins: Vec<usize> = refs.iter().map(|&r| r % pool_len).collect();
+    if kind_raw % 8 >= 6 {
+        fanins.truncate(1);
+    }
+    fanins
+}
+
+/// The pool indices inside `out_pool`'s fanin cone (the slice's node
+/// set), computed independently of `extract_cone_slice`.
+fn cone_set(recipe: &Recipe, out_pool: usize) -> Vec<usize> {
+    let mut seen = vec![false; recipe.n_inputs + recipe.gates.len()];
+    let mut stack = vec![out_pool];
+    while let Some(p) = stack.pop() {
+        if seen[p] {
+            continue;
+        }
+        seen[p] = true;
+        if p >= recipe.n_inputs {
+            stack.extend(resolved_fanins(recipe, p - recipe.n_inputs));
+        }
+    }
+    (0..seen.len()).filter(|&i| seen[i]).collect()
+}
+
+/// Equal slices hash equally: rebuilding the same recipe reproduces
+/// every cone signature bit-for-bit, and declaring an extra unrelated
+/// output leaves every existing cone's signature untouched (so ECO
+/// add-output edits never invalidate retained cones).
+#[test]
+fn cone_signatures_are_slice_determined() {
+    for recipe in cases(0xC04E) {
+        let (a, out_pools) = build_multi(&recipe);
+        let (b, _) = build_multi(&recipe);
+        for j in 0..out_pools.len() {
+            assert_eq!(
+                a.cone_signature(j),
+                b.cone_signature(j),
+                "output {j}: {recipe:?}"
+            );
+            assert_ne!(
+                a.cone_signature(j),
+                a.structural_signature(),
+                "cone keys must never alias whole-netlist keys: {recipe:?}"
+            );
+        }
+        // Expose one more (previously hidden) gate as an output; the
+        // original outputs keep their indices and their signatures.
+        if let Some(hidden) =
+            (0..recipe.gates.len()).find(|g| !out_pools.contains(&(recipe.n_inputs + g)))
+        {
+            let (c, _) = build_multi_with_extra(&recipe, hidden);
+            for j in 0..out_pools.len() {
+                assert_eq!(
+                    a.cone_signature(j),
+                    c.cone_signature(j),
+                    "adding output o{hidden} flipped cone {j}: {recipe:?}"
+                );
+            }
+        }
+    }
+}
+
+/// The invalidation dichotomy ECO correctness rests on: a gate-kind or
+/// delay edit flips the signature of exactly the cones containing the
+/// gate; a fanin rewire flips every containing cone whose slice node
+/// set stays comparable (identical set, or different size — the only
+/// escape is a slice isomorphism, which is delay-invisible by design);
+/// and no edit of any kind ever flips a cone the gate is outside of.
+#[test]
+fn in_cone_edits_flip_signatures_and_outside_edits_never_do() {
+    let mut fanin_flips = 0usize;
+    for recipe in cases(0x51C3) {
+        let (base, out_pools) = build_multi(&recipe);
+        let base_sigs: Vec<Vec<u8>> = (0..out_pools.len())
+            .map(|j| base.cone_signature(j))
+            .collect();
+        let base_cones: Vec<Vec<usize>> = out_pools.iter().map(|&p| cone_set(&recipe, p)).collect();
+        for g in 0..recipe.gates.len() {
+            let gp = recipe.n_inputs + g;
+
+            let mut edits: Vec<(&str, Recipe)> = Vec::new();
+            // Gate-function swap, binary kinds only (arity preserved).
+            if recipe.gates[g].0 % 8 <= 5 {
+                let mut m = recipe.clone();
+                m.gates[g].0 = ((m.gates[g].0 % 8) + 1) % 6;
+                edits.push(("kind", m));
+            }
+            // Delay re-annotation: widen the upper bound by one unit.
+            let mut m = recipe.clone();
+            m.gates[g].3 += 1;
+            edits.push(("delay", m));
+
+            for (label, edited) in &edits {
+                let (mutated, _) = build_multi(edited);
+                for j in 0..out_pools.len() {
+                    let inside = base_cones[j].contains(&gp);
+                    let sig = mutated.cone_signature(j);
+                    if inside {
+                        assert_ne!(
+                            sig, base_sigs[j],
+                            "{label} edit at g{g} inside cone {j} kept the hash: {recipe:?}"
+                        );
+                    } else {
+                        assert_eq!(
+                            sig, base_sigs[j],
+                            "{label} edit at g{g} outside cone {j} flipped the hash: {recipe:?}"
+                        );
+                    }
+                }
+            }
+
+            // Fanin rewire: first slot to the next pool signal.
+            let pool_len = recipe.n_inputs + g;
+            if pool_len < 2 || recipe.gates[g].1.is_empty() {
+                continue;
+            }
+            let mut m = recipe.clone();
+            let old = m.gates[g].1[0] % pool_len;
+            m.gates[g].1[0] = (old + 1) % pool_len;
+            let (mutated, _) = build_multi(&m);
+            for j in 0..out_pools.len() {
+                let inside = base_cones[j].contains(&gp);
+                let sig = mutated.cone_signature(j);
+                if !inside {
+                    assert_eq!(
+                        sig, base_sigs[j],
+                        "rewire at g{g} outside cone {j} flipped the hash: {recipe:?}"
+                    );
+                    continue;
+                }
+                let after = cone_set(&m, out_pools[j]);
+                if after == base_cones[j] || after.len() != base_cones[j].len() {
+                    assert_ne!(
+                        sig, base_sigs[j],
+                        "rewire at g{g} inside cone {j} kept the hash: {recipe:?}"
+                    );
+                    fanin_flips += 1;
+                }
+            }
+        }
+    }
+    assert!(
+        fanin_flips > 100,
+        "the suite must exercise many guaranteed-flip rewires, saw {fanin_flips}"
+    );
+}
+
 /// The structural transforms preserve functions and topological
 /// delay (decompose/strash/sweep).
 #[test]

@@ -45,11 +45,17 @@ pub enum Metric {
     /// Timed-node cache entries dropped by the epoch-based staleness
     /// sweep (long-running engines bound their cache memory this way).
     TbfCacheEvictions,
+    /// Cones answered from the incremental (ECO) retention store
+    /// without recomputation — their slice signature was unchanged.
+    EcoConesReused,
+    /// Cones the incremental engine actually ran: changed slices,
+    /// never-seen slices, or every cone on a volatile request.
+    EcoConesRecomputed,
 }
 
 impl Metric {
     /// Every metric, in registry (serialization) order.
-    pub const ALL: [Metric; 11] = [
+    pub const ALL: [Metric; 13] = [
         Metric::IteCalls,
         Metric::CacheHits,
         Metric::CacheMisses,
@@ -61,6 +67,8 @@ impl Metric {
         Metric::TbfInstantiations,
         Metric::TbfCacheHits,
         Metric::TbfCacheEvictions,
+        Metric::EcoConesReused,
+        Metric::EcoConesRecomputed,
     ];
 
     /// The metric's stable `snake_case` name, as serialized.
@@ -77,6 +85,8 @@ impl Metric {
             Metric::TbfInstantiations => "tbf_instantiations",
             Metric::TbfCacheHits => "tbf_cache_hits",
             Metric::TbfCacheEvictions => "tbf_cache_evictions",
+            Metric::EcoConesReused => "eco_cones_reused",
+            Metric::EcoConesRecomputed => "eco_cones_recomputed",
         }
     }
 

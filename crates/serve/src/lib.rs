@@ -15,6 +15,7 @@
 //! | [`protocol`] | frame decoding with typed errors, schema-versioned response rendering |
 //! | [`cache`] | the warm result cache: structural-signature keys, deterministic LRU, poison quarantine |
 //! | [`session`] | admission control, the per-request retry ladder, panic quarantine, session metrics |
+//! | [`workspace`] | the persistent ECO workspace: named incremental sessions, cone-slice keyed retention |
 //! | [`runner`] | stdio/socket loops, SIGTERM/EOF drain, the final session artifact |
 //!
 //! # Robustness pillars
@@ -76,10 +77,12 @@ pub mod cache;
 pub mod protocol;
 pub mod runner;
 pub mod session;
+pub mod workspace;
 
 pub use protocol::{Request, ServeError};
 pub use runner::{run_lines, serve_stdio, serve_unix_socket, RunnerConfig};
 pub use session::{ServeConfig, Session, SessionMetrics};
+pub use workspace::{SessionWorkspace, WorkspaceStats};
 // Re-exported so servers can build `ServeConfig::defaults` without
 // depending on tbf-core directly.
 pub use tbf_core::{DelayOptions, ReorderPolicy};

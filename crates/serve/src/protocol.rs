@@ -29,6 +29,12 @@
 //!   (`auto`/`on`/`off`, or a legacy bool: `true` = `on`),
 //!   `complement_edges` (bool), and `cache` (bool: per-request opt-out
 //!   of the session's warm cache).
+//! * `session` — optional ECO session name. On an analyze request it
+//!   establishes (or re-bases) the named incremental session; see
+//!   [`crate::workspace`].
+//! * `kind` — `analyze` (default) or `eco`. An `eco` request must name
+//!   a `session` established earlier; it is answered incrementally by
+//!   diffing its netlist against the session base at cone granularity.
 //! * `schema` — optional; either the integer `1` or the artifact-style
 //!   object `{"name":"tbf-serve-request","version":1}`. Unknown versions
 //!   are rejected with a typed error.
@@ -179,6 +185,17 @@ pub struct Request {
     /// restart-determinism contract. They still *write* the cache when
     /// they finish exact — exactness, once reached, is cap-independent.
     pub has_deadline: bool,
+    /// The named ECO session this request establishes (`kind` absent or
+    /// `analyze`) or queries incrementally (`kind":"eco"`). Session
+    /// requests bypass the warm result cache: their reuse happens at
+    /// cone granularity in the workspace instead.
+    pub session: Option<String>,
+    /// Whether this is a `"kind":"eco"` request (requires `session`).
+    pub eco: bool,
+    /// The engine-option fingerprint (delay-model tag, timed-node cache
+    /// mode, complement edges, reorder policy) — the non-structural
+    /// suffix of `cache_key`. Sessions pin this at establishment.
+    pub options_key: Vec<u8>,
 }
 
 /// Frame-level limits consulted before a byte of JSON is parsed.
@@ -307,6 +324,35 @@ pub fn parse_request(
                 detail: format!("unsupported model `{other}` (schema v1 serves `anytime`)"),
             }))
         }
+    }
+
+    let eco = match doc.get("kind") {
+        None => false,
+        Some(v) => match v.as_str() {
+            Some("analyze") => false,
+            Some("eco") => true,
+            _ => {
+                return Err(fail(ServeError::BadRequest {
+                    detail: "`kind` must be analyze|eco".to_owned(),
+                }))
+            }
+        },
+    };
+    let session = match doc.get("session") {
+        None => None,
+        Some(v) => match v.as_str() {
+            Some(s) if !s.is_empty() => Some(s.to_owned()),
+            _ => {
+                return Err(fail(ServeError::BadRequest {
+                    detail: "`session` must be a non-empty string".to_owned(),
+                }))
+            }
+        },
+    };
+    if eco && session.is_none() {
+        return Err(fail(ServeError::BadRequest {
+            detail: "an eco request must name the `session` whose base it edits".to_owned(),
+        }));
     }
 
     let inline = doc.get("circuit").and_then(Value::as_str);
@@ -467,21 +513,25 @@ pub fn parse_request(
     // keyed: a warm hit must only ever be served to a request that would
     // have recomputed it under the same engine configuration, so an A/B
     // ablation run through a warm server measures what it claims to.
-    let mut cache_key = netlist.structural_signature();
-    cache_key.push(0xFE);
-    cache_key.extend_from_slice(delays.as_bytes());
-    cache_key.push(0xFD);
-    cache_key.push(match options.tbf_cache {
+    // The same fingerprint pins an ECO session's engine configuration:
+    // retained per-cone results are exactly as configuration-dependent
+    // as warm whole-circuit results, so the session key must agree.
+    let mut options_key = vec![0xFE];
+    options_key.extend_from_slice(delays.as_bytes());
+    options_key.push(0xFD);
+    options_key.push(match options.tbf_cache {
         TbfCacheMode::Auto => 0,
         TbfCacheMode::On => 1,
         TbfCacheMode::Off => 2,
     });
-    cache_key.push(u8::from(options.complement_edges));
-    cache_key.push(match options.reorder {
+    options_key.push(u8::from(options.complement_edges));
+    options_key.push(match options.reorder {
         ReorderPolicy::None => 0,
         ReorderPolicy::Manual => 1,
         ReorderPolicy::OnPressure { .. } => 2,
     });
+    let mut cache_key = netlist.structural_signature();
+    cache_key.extend_from_slice(&options_key);
     Ok(Request {
         id,
         netlist,
@@ -490,6 +540,9 @@ pub fn parse_request(
         threads,
         use_cache,
         has_deadline,
+        session,
+        eco,
+        options_key,
     })
 }
 
@@ -557,15 +610,46 @@ pub fn report_value(r: &CircuitReport) -> Value {
     ])
 }
 
+/// The incremental-effort member of a session-bound response: how much
+/// of the answer was merged from retained cones vs recomputed, and (for
+/// `eco` requests) how many cones the base diff flagged as edited.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EcoEffort {
+    /// Cones answered from the session's retained results.
+    pub reused: u64,
+    /// Cones that ran the ladder this request.
+    pub recomputed: u64,
+    /// Cones the explicit base diff flagged as edited (`eco` only).
+    pub changed: Option<u64>,
+}
+
 /// Effort telemetry attached to an OK response (excluded from
-/// determinism comparisons — see [`deterministic_view`]).
-pub fn effort_value(cached: bool, attempts: u64, ladder_retries: u64, panics_caught: u64) -> Value {
-    Value::Obj(vec![
+/// determinism comparisons — see [`deterministic_view`]). `eco` is
+/// present exactly on session-bound responses.
+pub fn effort_value(
+    cached: bool,
+    attempts: u64,
+    ladder_retries: u64,
+    panics_caught: u64,
+    eco: Option<EcoEffort>,
+) -> Value {
+    let mut pairs = vec![
         ("cached".to_owned(), Value::Bool(cached)),
         ("attempts".to_owned(), Value::u64(attempts)),
         ("ladder_retries".to_owned(), Value::u64(ladder_retries)),
         ("panics_caught".to_owned(), Value::u64(panics_caught)),
-    ])
+    ];
+    if let Some(e) = eco {
+        let mut obj = vec![
+            ("reused".to_owned(), Value::u64(e.reused)),
+            ("recomputed".to_owned(), Value::u64(e.recomputed)),
+        ];
+        if let Some(c) = e.changed {
+            obj.push(("changed".to_owned(), Value::u64(c)));
+        }
+        pairs.push(("eco".to_owned(), Value::Obj(obj)));
+    }
+    Value::Obj(pairs)
 }
 
 fn schema_header() -> (String, Value) {
@@ -746,8 +830,70 @@ mod tests {
     }
 
     #[test]
+    fn session_and_kind_members_parse() {
+        let plain = parse(&req_line("p")).expect("parses");
+        assert!(plain.session.is_none());
+        assert!(!plain.eco);
+        let establish =
+            parse(r#"{"id":"e","session":"s1","circuit":"INPUT(a)\nOUTPUT(f)\nf = NOT(a)\n"}"#)
+                .expect("parses");
+        assert_eq!(establish.session.as_deref(), Some("s1"));
+        assert!(!establish.eco);
+        let eco = parse(
+            r#"{"id":"q","kind":"eco","session":"s1","circuit":"INPUT(a)\nOUTPUT(f)\nf = NOT(a)\n"}"#,
+        )
+        .expect("parses");
+        assert!(eco.eco);
+        assert_eq!(
+            establish.options_key, eco.options_key,
+            "same options, same fingerprint"
+        );
+        assert!(
+            establish.cache_key.ends_with(&establish.options_key),
+            "the fingerprint is the cache key's non-structural suffix"
+        );
+        for (line, kind) in [
+            (
+                r#"{"id":"r","kind":"eco","circuit":"INPUT(a)\nOUTPUT(f)\nf = NOT(a)\n"}"#,
+                "bad_request",
+            ),
+            (
+                r#"{"id":"r","kind":"mystery","circuit":"INPUT(a)\nOUTPUT(f)\nf = NOT(a)\n"}"#,
+                "bad_request",
+            ),
+            (
+                r#"{"id":"r","session":"","circuit":"INPUT(a)\nOUTPUT(f)\nf = NOT(a)\n"}"#,
+                "bad_request",
+            ),
+        ] {
+            let (_, err) = parse(line).expect_err(line);
+            assert_eq!(err.kind(), kind, "{line}");
+        }
+    }
+
+    #[test]
+    fn eco_effort_renders_only_on_session_responses() {
+        let eco = EcoEffort {
+            reused: 3,
+            recomputed: 1,
+            changed: Some(1),
+        };
+        let with = effort_value(false, 1, 0, 0, Some(eco));
+        assert_eq!(
+            with.get("eco").and_then(|e| e.get("reused")),
+            Some(&Value::u64(3))
+        );
+        assert_eq!(
+            with.get("eco").and_then(|e| e.get("changed")),
+            Some(&Value::u64(1))
+        );
+        let without = effort_value(false, 1, 0, 0, None);
+        assert!(without.get("eco").is_none());
+    }
+
+    #[test]
     fn responses_validate_and_strip_effort() {
-        let ok = ok_response("r1", Value::Obj(vec![]), effort_value(true, 1, 0, 0));
+        let ok = ok_response("r1", Value::Obj(vec![]), effort_value(true, 1, 0, 0, None));
         let doc = validate_response(&ok).expect("valid");
         assert!(doc.get("effort").is_some());
         assert!(deterministic_view(&doc).get("effort").is_none());

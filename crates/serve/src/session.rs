@@ -32,16 +32,17 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use tbf_core::{AnalysisBudget, AnalysisPolicy, CancelToken, DelayOptions};
+use tbf_core::{AnalysisBudget, AnalysisPolicy, CancelToken, ConeStore, DelayOptions, EcoStats};
 use tbf_logic::Netlist;
 use tbf_obs::json::Value;
 use tbf_obs::RunArtifact;
 
 use crate::cache::WarmCache;
 use crate::protocol::{
-    effort_value, error_response, ok_response, parse_request, report_value, FrameLimits, Request,
-    ServeError,
+    effort_value, error_response, ok_response, parse_request, report_value, EcoEffort, FrameLimits,
+    Request, ServeError,
 };
+use crate::workspace::{SessionWorkspace, WorkspaceStats};
 
 /// Session-level knobs, all settable from the `tbf serve` CLI.
 #[derive(Clone, Debug)]
@@ -70,6 +71,8 @@ pub struct ServeConfig {
     pub max_backoff_ms: u64,
     /// Warm-cache capacity in results (0 disables the cache).
     pub cache_capacity: usize,
+    /// Live ECO sessions the workspace retains (LRU beyond it).
+    pub max_sessions: usize,
     /// How long shutdown lets in-flight/queued work drain before
     /// cancelling the rest.
     pub drain: Duration,
@@ -90,6 +93,7 @@ impl Default for ServeConfig {
             backoff_ms: 0,
             max_backoff_ms: 100,
             cache_capacity: 1024,
+            max_sessions: 8,
             drain: Duration::from_millis(2000),
             defaults: DelayOptions::default(),
         }
@@ -157,6 +161,9 @@ impl Drop for SlotGuard {
 pub struct Session {
     config: ServeConfig,
     cache: WarmCache,
+    /// The persistent ECO workspace: named incremental sessions whose
+    /// per-cone engines and retained results survive across requests.
+    workspace: SessionWorkspace,
     /// The session budget: its deadline bounds every request's, its
     /// counters catch unobserved work.
     budget: AnalysisBudget,
@@ -175,7 +182,7 @@ pub struct Session {
 
 /// How one analysis attempt ended, before retry classification.
 enum AttemptOutcome {
-    Report(Box<tbf_core::CircuitReport>),
+    Report(Box<tbf_core::CircuitReport>, EcoStats),
     Panicked(String),
 }
 
@@ -193,6 +200,7 @@ impl Session {
         };
         Session {
             cache: WarmCache::new(config.cache_capacity),
+            workspace: SessionWorkspace::new(config.max_sessions),
             budget: AnalysisBudget::from_options(&session_options),
             shutdown: CancelToken::new(),
             live_token: Arc::new(Mutex::new(None)),
@@ -236,6 +244,18 @@ impl Session {
         self.cache.stats
     }
 
+    /// ECO workspace totals so far.
+    #[must_use]
+    pub fn workspace_stats(&self) -> WorkspaceStats {
+        self.workspace.stats
+    }
+
+    /// Live ECO sessions right now.
+    #[must_use]
+    pub fn workspace_len(&self) -> usize {
+        self.workspace.len()
+    }
+
     /// Handles one request frame end-to-end and returns the one-line
     /// response. Never panics outward; never leaves the session dead.
     pub fn handle_line(&mut self, line: &str) -> String {
@@ -263,6 +283,24 @@ impl Session {
         };
         self.admitted += 1;
 
+        // Session routing: an analyze request carrying `session`
+        // establishes (or re-bases) the named ECO session; an `eco`
+        // request must hit an existing one under matching options.
+        // Either way the warm result cache is bypassed below — session
+        // reuse happens at cone granularity in the workspace.
+        if let Some(name) = request.session.clone() {
+            let routed = if request.eco {
+                self.workspace.route_eco(&name, &request.options_key)
+            } else {
+                self.workspace
+                    .establish(&name, &request.netlist, &request.options_key);
+                Ok(())
+            };
+            if let Err(detail) = routed {
+                return self.refuse(Some(&request.id), ServeError::BadRequest { detail });
+            }
+        }
+
         // Warm path: an exact answer for the same structure and delay
         // model is cap-independent, so any earlier caps the cached
         // result was computed under still apply to this asker.
@@ -270,10 +308,10 @@ impl Session {
         // cold restart could not reproduce a borrowed exact answer
         // inside the request's own budget, and restart determinism
         // outranks the shortcut.
-        if request.use_cache && !request.has_deadline {
+        if request.use_cache && !request.has_deadline && request.session.is_none() {
             if let Some(result) = self.cache.lookup(&request.cache_key) {
                 self.metrics.ok += 1;
-                let response = ok_response(&request.id, result, effort_value(true, 0, 0, 0));
+                let response = ok_response(&request.id, result, effort_value(true, 0, 0, 0, None));
                 self.push_row(&request.id, "ok", true, 0, None, None);
                 return response;
             }
@@ -351,6 +389,13 @@ impl Session {
             threads: request.threads.unwrap_or(self.config.threads),
             ..AnalysisPolicy::default()
         };
+        // The explicit cone-granular diff against the session base, for
+        // the effort telemetry. Computed before the base is
+        // re-committed, so it describes what this edit changed.
+        let eco_changed = match (&request.session, request.eco) {
+            (Some(name), true) => self.workspace.changed_cones(name, &request.netlist),
+            _ => None,
+        };
         let mut attempts: u64 = 0;
         let mut panics: u64 = 0;
         let max_attempts = self.config.max_attempts.max(1) as u64;
@@ -366,17 +411,33 @@ impl Session {
             if tbf_core::fault::trip(tbf_core::fault::Site::RequestCancel) {
                 token.cancel();
             }
-            let outcome = run_attempt(
-                &request.netlist,
-                &policy,
-                self.budget.fork_request(&request.options, token).shared(),
-                attempts == 1,
-            );
+            let budget = self.budget.fork_request(&request.options, token).shared();
+            let outcome = match request.session.as_deref() {
+                None => run_attempt(&request.netlist, &policy, budget, attempts == 1, None),
+                Some(name) => {
+                    // Deadline-limited session requests recompute every
+                    // cone — merging a retained result a cold restart
+                    // could not have afforded inside the same budget
+                    // would break restart determinism — but they still
+                    // *retain* what they solve exactly.
+                    let reuse = !request.has_deadline;
+                    match self.workspace.session_mut(name) {
+                        Some(sess) => run_attempt(
+                            &request.netlist,
+                            &policy,
+                            budget,
+                            attempts == 1,
+                            Some((sess.store_mut(), reuse)),
+                        ),
+                        None => run_attempt(&request.netlist, &policy, budget, attempts == 1, None),
+                    }
+                }
+            };
             if let Ok(mut live) = self.live_token.lock() {
                 *live = None;
             }
             match outcome {
-                AttemptOutcome::Report(report) => {
+                AttemptOutcome::Report(report, eco) => {
                     if report_is_transient(&report) && attempts < max_attempts {
                         self.metrics.retries += 1;
                         self.backoff(attempts);
@@ -395,15 +456,26 @@ impl Session {
                         // The injected fault says this request's warm
                         // state is suspect: quarantine its key only.
                         self.cache.poison(&request.cache_key);
-                    } else if request.use_cache && report.all_exact() {
+                    } else if request.use_cache && report.all_exact() && request.session.is_none() {
                         self.cache.insert(request.cache_key.clone(), result.clone());
                     }
+                    let eco_effort = request.session.as_deref().map(|name| {
+                        // The answered netlist becomes the base the next
+                        // eco request diffs against.
+                        self.workspace.commit(name, &request.netlist);
+                        self.workspace.record(eco);
+                        EcoEffort {
+                            reused: eco.reused as u64,
+                            recomputed: eco.recomputed as u64,
+                            changed: eco_changed,
+                        }
+                    });
                     self.metrics.ok += 1;
                     let ladder_retries = report.stats.retries as u64;
                     let response = ok_response(
                         &request.id,
                         result,
-                        effort_value(false, attempts, ladder_retries, panics),
+                        effort_value(false, attempts, ladder_retries, panics, eco_effort),
                     );
                     return (response, ("ok", attempts, None));
                 }
@@ -411,8 +483,14 @@ impl Session {
                     self.metrics.panics_caught += 1;
                     panics += 1;
                     // Whatever warm state this request touched is
-                    // suspect; evict its own entry, leave the rest.
+                    // suspect; evict its own entry, leave the rest. A
+                    // session request additionally drops its session's
+                    // retained cones — the workspace stays unpoisoned
+                    // and the next request rebuilds from cold.
                     self.cache.poison(&request.cache_key);
+                    if let Some(name) = request.session.as_deref() {
+                        self.workspace.clear_session(name);
+                    }
                     if attempts < max_attempts {
                         self.metrics.retries += 1;
                         self.backoff(attempts);
@@ -518,6 +596,30 @@ impl Session {
                 ("entries".to_owned(), Value::u64(self.cache.len() as u64)),
             ]),
         );
+        let w = self.workspace.stats;
+        artifact.section(
+            "workspace",
+            Value::Obj(vec![
+                (
+                    "sessions".to_owned(),
+                    Value::u64(self.workspace.len() as u64),
+                ),
+                (
+                    "sessions_created".to_owned(),
+                    Value::u64(w.sessions_created),
+                ),
+                (
+                    "sessions_evicted".to_owned(),
+                    Value::u64(w.sessions_evicted),
+                ),
+                ("resets".to_owned(), Value::u64(w.resets)),
+                ("eco_cones_reused".to_owned(), Value::u64(w.cones_reused)),
+                (
+                    "eco_cones_recomputed".to_owned(),
+                    Value::u64(w.cones_recomputed),
+                ),
+            ]),
+        );
         artifact.section(
             "config",
             Value::Obj(vec![
@@ -533,6 +635,10 @@ impl Session {
                 (
                     "cache_capacity".to_owned(),
                     Value::u64(self.config.cache_capacity as u64),
+                ),
+                (
+                    "max_sessions".to_owned(),
+                    Value::u64(self.config.max_sessions as u64),
                 ),
                 (
                     "max_attempts".to_owned(),
@@ -585,14 +691,21 @@ fn run_attempt(
     policy: &AnalysisPolicy,
     budget: Arc<AnalysisBudget>,
     first_attempt: bool,
+    eco: Option<(&mut ConeStore, bool)>,
 ) -> AttemptOutcome {
-    let run = || {
-        with_attempt_plan(first_attempt, || {
-            tbf_core::analyze_with_budget(netlist, policy, budget)
+    let run = move || {
+        with_attempt_plan(first_attempt, move || match eco {
+            None => (
+                tbf_core::analyze_with_budget(netlist, policy, budget),
+                EcoStats::default(),
+            ),
+            Some((store, reuse_results)) => {
+                tbf_core::analyze_eco(netlist, policy, budget, store, reuse_results)
+            }
         })
     };
     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(run)) {
-        Ok(report) => AttemptOutcome::Report(Box::new(report)),
+        Ok((report, eco)) => AttemptOutcome::Report(Box::new(report), eco),
         Err(payload) => {
             let detail = payload
                 .downcast_ref::<&str>()
@@ -794,6 +907,88 @@ mod tests {
                 .map(<[Value]>::len),
             Some(2)
         );
+    }
+
+    const BASE2: &str = "INPUT(a)\\nINPUT(b)\\nINPUT(c)\\nOUTPUT(f1)\\nOUTPUT(f2)\\n\
+                         g1 = AND(a, b)\\ng2 = OR(b, c)\\nf1 = NOT(g1)\\nf2 = NOT(g2)\\n";
+    const EDIT2: &str = "INPUT(a)\\nINPUT(b)\\nINPUT(c)\\nOUTPUT(f1)\\nOUTPUT(f2)\\n\
+                         g1 = AND(a, b)\\ng2 = XOR(b, c)\\nf1 = NOT(g1)\\nf2 = NOT(g2)\\n";
+
+    fn eco_counter(doc: &Value, key: &str) -> Option<u64> {
+        doc.get("effort")
+            .and_then(|e| e.get("eco"))
+            .and_then(|e| e.get(key))
+            .and_then(Value::as_u64)
+    }
+
+    #[test]
+    fn eco_requests_reuse_unchanged_cones_and_match_cold_results() {
+        let mut warm = Session::new(ServeConfig::default());
+        let establish = format!(r#"{{"id":"e","session":"s","circuit":"{BASE2}"}}"#);
+        let doc = validate_response(&warm.handle_line(&establish)).expect("valid");
+        assert_eq!(doc.get("status"), Some(&Value::str("ok")));
+        assert_eq!(eco_counter(&doc, "reused"), Some(0));
+        assert_eq!(eco_counter(&doc, "recomputed"), Some(2));
+
+        // One-gate edit: only f2's cone changed, so only it recomputes.
+        let eco = format!(r#"{{"id":"q","kind":"eco","session":"s","circuit":"{EDIT2}"}}"#);
+        let incremental = validate_response(&warm.handle_line(&eco)).expect("valid");
+        assert_eq!(incremental.get("status"), Some(&Value::str("ok")));
+        assert_eq!(eco_counter(&incremental, "reused"), Some(1));
+        assert_eq!(eco_counter(&incremental, "recomputed"), Some(1));
+        assert_eq!(eco_counter(&incremental, "changed"), Some(1));
+
+        // Byte-identical to a cold session analyzing the edited netlist.
+        let mut cold = Session::new(ServeConfig::default());
+        let plain = format!(r#"{{"id":"q","circuit":"{EDIT2}"}}"#);
+        let fresh = validate_response(&cold.handle_line(&plain)).expect("valid");
+        assert_eq!(
+            crate::protocol::deterministic_view(&incremental),
+            crate::protocol::deterministic_view(&fresh),
+            "incremental result must be byte-identical to a cold run"
+        );
+
+        // Session requests bypass the warm result cache entirely.
+        assert_eq!(warm.cache_stats().hits + warm.cache_stats().insertions, 0);
+        assert_eq!(warm.workspace_stats().cones_reused, 1);
+        assert_eq!(warm.workspace_stats().cones_recomputed, 3);
+    }
+
+    #[test]
+    fn eco_against_an_unknown_session_is_a_bad_request() {
+        let mut s = Session::new(ServeConfig::default());
+        let eco = format!(r#"{{"id":"q","kind":"eco","session":"nope","circuit":"{BASE2}"}}"#);
+        let doc = validate_response(&s.handle_line(&eco)).expect("valid");
+        assert_eq!(
+            doc.get("error").and_then(|e| e.get("kind")),
+            Some(&Value::str("bad_request"))
+        );
+        let after = s.handle_line(&req("after"));
+        assert!(validate_response(&after)
+            .expect("valid")
+            .get("result")
+            .is_some());
+    }
+
+    #[test]
+    fn deadline_session_requests_recompute_everything_but_still_retain() {
+        let mut s = Session::new(ServeConfig::default());
+        let establish = format!(r#"{{"id":"e","session":"s","circuit":"{BASE2}"}}"#);
+        let _ = s.handle_line(&establish);
+        // A deadline request never merges retained results (restart
+        // determinism) — everything recomputes...
+        let eco = format!(
+            r#"{{"id":"d","kind":"eco","session":"s","deadline_ms":60000,"circuit":"{BASE2}"}}"#
+        );
+        let doc = validate_response(&s.handle_line(&eco)).expect("valid");
+        assert_eq!(eco_counter(&doc, "reused"), Some(0));
+        assert_eq!(eco_counter(&doc, "recomputed"), Some(2));
+        // ...but what it solved exactly stays retained for the next
+        // deadline-free request.
+        let eco2 = format!(r#"{{"id":"q","kind":"eco","session":"s","circuit":"{BASE2}"}}"#);
+        let doc2 = validate_response(&s.handle_line(&eco2)).expect("valid");
+        assert_eq!(eco_counter(&doc2, "reused"), Some(2));
+        assert_eq!(eco_counter(&doc2, "recomputed"), Some(0));
     }
 
     #[test]
