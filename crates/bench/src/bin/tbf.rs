@@ -1,15 +1,19 @@
-//! `tbf` — command-line exact delay analysis for `.bench` / `.blif`
-//! netlists.
+//! `tbf` — command-line exact delay analysis for `.bench` / BLIF /
+//! AIGER / structural-Verilog netlists.
 //!
 //! ```text
 //! Usage: tbf [OPTIONS] <NETLIST>
 //!        tbf serve [SERVE OPTIONS]
 //!
-//!   <NETLIST>              path to an ISCAS-85 .bench or a BLIF file
+//!   <NETLIST>              path to an ISCAS-85 .bench, BLIF, AIGER
+//!                          (ASCII or binary) or structural-Verilog file
 //!
 //! Options:
 //!   --model <M>            two-vector | sequences | floating | anytime | all
 //!                                                                   [default: all]
+//!   --format <F>           bench | blif | aiger | verilog: input format.
+//!                          Defaults to the file extension, falling back to
+//!                          content sniffing (see FORMATS.md)
 //!   --delays <D>           unit | mcnc                              [default: mcnc]
 //!   --dmin-ratio <F>       overwrite every dmin with F·dmax (0 ≤ F ≤ 1)
 //!   --max-paths <N>        delay-dependent path cap
@@ -61,10 +65,8 @@ use tbf_core::{
     analyze, floating_delay, sequences_delay, topological_delay, two_vector_delay, AnalysisPolicy,
     CircuitReport, DelayOptions, DelayReport, OutputStatus, ReorderPolicy, TbfCacheMode,
 };
-use tbf_logic::parsers::bench::parse_bench;
-use tbf_logic::parsers::blif::parse_blif;
 use tbf_logic::parsers::{mcnc_like_delays, unit_delays};
-use tbf_logic::{DelayBounds, Netlist};
+use tbf_logic::{DelayBounds, Format, Netlist};
 use tbf_obs::json::Value;
 use tbf_obs::{diag, Phase, RunArtifact};
 use tbf_sim::{simulate, Stimulus};
@@ -85,6 +87,7 @@ macro_rules! say {
 
 struct Args {
     netlist: String,
+    format: Option<Format>,
     model: String,
     delays: String,
     dmin_ratio: Option<f64>,
@@ -112,6 +115,7 @@ const PRESSURE_MAX_GROWTH: usize = 120;
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         netlist: String::new(),
+        format: None,
         model: "all".into(),
         delays: "mcnc".into(),
         dmin_ratio: None,
@@ -132,6 +136,12 @@ fn parse_args() -> Result<Args, String> {
         let mut value = |flag: &str| it.next().ok_or_else(|| format!("missing value for {flag}"));
         match a.as_str() {
             "--model" => args.model = value("--model")?,
+            "--format" => {
+                let v = value("--format")?;
+                args.format = Some(Format::from_name(&v).ok_or_else(|| {
+                    format!("--format must be bench, blif, aiger or verilog, got `{v}`")
+                })?);
+            }
             "--delays" => args.delays = value("--delays")?,
             "--dmin-ratio" => {
                 let f: f64 = value("--dmin-ratio")?
@@ -214,30 +224,36 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() {
     eprintln!(
-        "usage: tbf [--model two-vector|sequences|floating|anytime|all] \
+        "usage: tbf [--format bench|blif|aiger|verilog] \
+         [--model two-vector|sequences|floating|anytime|all] \
          [--delays unit|mcnc] [--dmin-ratio F] [--max-paths N] [--max-bdd N] \
          [--time-budget MS] [--threads N] [--reorder off|manual|pressure] \
          [--replay] [--per-output] [--tbf-cache auto|on|off] \
          [--no-complement-edges] \
          [--emit-metrics PATH|-] [--quiet] \
-         <netlist.bench|netlist.blif>"
+         <netlist.bench|.blif|.aag|.aig|.v>"
     );
 }
 
 fn load(args: &Args) -> Result<Netlist, String> {
-    let text =
-        std::fs::read_to_string(&args.netlist).map_err(|e| format!("{}: {e}", args.netlist))?;
     let delay_fn = match args.delays.as_str() {
         "unit" => unit_delays as fn(_, _) -> _,
         "mcnc" => mcnc_like_delays as fn(_, _) -> _,
         other => return Err(format!("unknown delay model `{other}`")),
     };
-    let netlist = if args.netlist.ends_with(".blif") {
-        parse_blif(&text, delay_fn)
-    } else {
-        parse_bench(&text, delay_fn)
-    }
-    .map_err(|e| format!("{}: {e}", args.netlist))?;
+    let netlist = match args.format {
+        Some(format) => {
+            let bytes =
+                std::fs::read(&args.netlist).map_err(|e| format!("{}: {e}", args.netlist))?;
+            tbf_logic::parse_netlist(format, &bytes, delay_fn)
+                .map_err(|e| format!("{}: {e}", args.netlist))?
+        }
+        None => tbf_logic::load_netlist(&args.netlist, delay_fn).map_err(|e| match &e {
+            // `Io` already carries the offending path in its message.
+            tbf_logic::NetlistError::Io { .. } => e.to_string(),
+            _ => format!("{}: {e}", args.netlist),
+        })?,
+    };
     Ok(match args.dmin_ratio {
         Some(f) => netlist.map_delays(|d| DelayBounds::scaled_min(d.max, f)),
         None => netlist,

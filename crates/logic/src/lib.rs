@@ -10,8 +10,11 @@
 //!   fixed-point [`Time`] delay bounds,
 //! * topology queries ([`Netlist::arrivals`], [`Netlist::suffixes`],
 //!   [`Netlist::topological_delay`], path counting),
-//! * an ISCAS-85 [`.bench` parser](parsers::bench) and a
-//!   [BLIF subset parser](parsers::blif),
+//! * a multi-format front end ([`load_netlist`]/[`parse_netlist`] over
+//!   [`Format`]): ISCAS-85 [`.bench`](parsers::bench) and a
+//!   [BLIF subset](parsers::blif) — both with round-trip writers — plus
+//!   [AIGER](parsers::aiger) and a
+//!   [structural-Verilog subset](parsers::verilog),
 //! * deterministic [generators] for the paper's figure circuits, ripple /
 //!   carry-bypass / carry-skip adders, tree circuits and random DAGs,
 //! * the rise/fall [expansion](rise_fall) of paper §4.1 (Figure 3).
@@ -35,7 +38,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod delay;
 mod gate;
@@ -51,3 +54,4 @@ pub mod transform;
 pub use delay::{DelayBounds, Time, TIME_SCALE};
 pub use gate::GateKind;
 pub use netlist::{Netlist, NetlistBuilder, NetlistError, Node, NodeId};
+pub use parsers::{load_netlist, parse_netlist, Format};

@@ -73,6 +73,20 @@ pub enum NetlistError {
         /// Human-readable description.
         message: String,
     },
+    /// A netlist cannot be expressed by the requested writer.
+    Unwritable {
+        /// The node or output name that blocked serialization.
+        name: String,
+        /// Why it cannot be written.
+        detail: String,
+    },
+    /// A netlist file could not be read.
+    Io {
+        /// The path that failed.
+        path: String,
+        /// The underlying I/O error, stringified.
+        detail: String,
+    },
 }
 
 impl fmt::Display for NetlistError {
@@ -86,6 +100,12 @@ impl fmt::Display for NetlistError {
             NetlistError::NoOutputs => write!(f, "netlist has no primary outputs"),
             NetlistError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
+            }
+            NetlistError::Unwritable { name, detail } => {
+                write!(f, "cannot serialize `{name}`: {detail}")
+            }
+            NetlistError::Io { path, detail } => {
+                write!(f, "cannot read `{path}`: {detail}")
             }
         }
     }

@@ -13,9 +13,20 @@
 //! Definitions may appear in any order; the parser resolves forward
 //! references and rejects combinational cycles. Sequential elements
 //! (`DFF`) are rejected — the paper treats purely combinational logic.
+//!
+//! Two `@tbf` comment pragmas (see `FORMATS.md`) make the format
+//! self-contained for round-tripping: `# @tbf delay <min> <max>` on a
+//! gate line pins that gate's delay bounds (scaled fixed-point
+//! integers, overriding the delay callback), and a standalone
+//! `# @tbf output <name> <driver>` line re-binds a declared output to a
+//! differently-named driver node. Plain comments are ignored as always.
 
 use std::collections::HashMap;
 
+use super::{
+    check_inputs_first, check_writable_name, delay_pragma, parse_delay_pragma, parse_output_pragma,
+    split_pragma,
+};
 use crate::delay::DelayBounds;
 use crate::gate::GateKind;
 use crate::netlist::{Netlist, NetlistError, NodeId};
@@ -53,23 +64,50 @@ pub fn parse_bench(
     struct Def {
         kind: GateKind,
         fanins: Vec<String>,
+        delay: Option<DelayBounds>,
         line: usize,
     }
     let mut inputs: Vec<(String, usize)> = Vec::new();
     let mut outputs: Vec<(String, usize)> = Vec::new();
     let mut defs: HashMap<String, Def> = HashMap::new();
     let mut order: Vec<String> = Vec::new();
+    // `@tbf output` pragma re-bindings: output name → (driver, line).
+    let mut aliases: HashMap<String, (String, usize)> = HashMap::new();
+    let mut alias_order: Vec<(String, usize)> = Vec::new();
 
     for (lineno, raw) in text.lines().enumerate() {
         let lineno = lineno + 1;
-        let line = raw.split('#').next().unwrap_or("").trim();
-        if line.is_empty() {
-            continue;
-        }
+        let (code, pragma) = split_pragma(raw);
+        let line = code.trim();
         let err = |message: String| NetlistError::Parse {
             line: lineno,
             message,
         };
+        if line.is_empty() {
+            if let Some(body) = pragma {
+                let (name, driver) = parse_output_pragma(body, lineno)?
+                    .ok_or_else(|| err(format!("pragma `{body}` must annotate a gate line")))?;
+                if aliases.insert(name.clone(), (driver, lineno)).is_some() {
+                    return Err(err(format!("duplicate output pragma for `{name}`")));
+                }
+                alias_order.push((name, lineno));
+            }
+            continue;
+        }
+        // A pragma attached to a non-empty line must be a delay pragma on
+        // a gate definition; stash it for the definition branch below.
+        let mut pragma_delay = None;
+        if let Some(body) = pragma {
+            pragma_delay = parse_delay_pragma(body, lineno)?;
+            if pragma_delay.is_none() {
+                return Err(err(format!(
+                    "only `@tbf delay` pragmas may annotate a line, got `{body}`"
+                )));
+            }
+            if !line.contains('=') {
+                return Err(err("delay pragma must annotate a gate definition".into()));
+            }
+        }
         if let Some(rest) = strip_directive(line, "INPUT") {
             inputs.push((rest.map_err(&err)?, lineno));
         } else if let Some(rest) = strip_directive(line, "OUTPUT") {
@@ -117,6 +155,7 @@ pub fn parse_bench(
                 Def {
                     kind,
                     fanins,
+                    delay: pragma_delay,
                     line: lineno,
                 },
             );
@@ -205,7 +244,9 @@ pub fn parse_bench(
                             .ok_or_else(|| NetlistError::UnknownNode(f.clone()))
                     })
                     .collect::<Result<_, _>>()?;
-                let delay = delay_fn(def.kind, fanin_ids.len());
+                let delay = def
+                    .delay
+                    .unwrap_or_else(|| delay_fn(def.kind, fanin_ids.len()));
                 let id = builder.gate(def.kind, &name, fanin_ids, delay)?;
                 resolved.insert(name.clone(), id);
                 marks.insert(name, Mark::Done);
@@ -213,11 +254,21 @@ pub fn parse_bench(
         }
     }
 
+    // Every output pragma must re-bind a declared output.
+    for (name, line) in &alias_order {
+        if !outputs.iter().any(|(n, _)| n == name) {
+            return Err(NetlistError::Parse {
+                line: *line,
+                message: format!("output pragma for undeclared OUTPUT `{name}`"),
+            });
+        }
+    }
     for (name, line) in &outputs {
+        let driver = aliases.get(name).map_or(name.as_str(), |(d, _)| d.as_str());
         let id = resolved
-            .get(name)
+            .get(driver)
             .copied()
-            .ok_or_else(|| NetlistError::UnknownNode(name.clone()))?;
+            .ok_or_else(|| NetlistError::UnknownNode(driver.to_owned()))?;
         builder.try_output(name, id).map_err(|e| match e {
             NetlistError::DuplicateName(n) => NetlistError::Parse {
                 line: *line,
@@ -254,51 +305,60 @@ fn strip_directive(line: &str, keyword: &str) -> Option<Result<String, String>> 
     }
 }
 
-/// Serializes a netlist back to `.bench` text.
+/// Serializes a netlist back to self-contained `.bench` text.
 ///
 /// Gate kinds map to the standard `.bench` mnemonics (plus the `MAJ` and
 /// `MUX` extensions this parser reads back); constants are not
 /// representable in `.bench` and are rejected.
 ///
-/// Delay bounds are *not* part of the format — reparse with a delay
-/// assignment callback to restore them.
+/// The output is canonical and round-trips *exactly*: every gate line
+/// carries a `# @tbf delay` pragma pinning its scaled delay bounds, an
+/// output whose name differs from its driver gets a `# @tbf output`
+/// pragma (no alias buffer is inserted), and gates are emitted in node
+/// order with all inputs first — so `parse_bench(&write_bench(n)?, _)`
+/// reproduces `n`'s `structural_signature` and every `cone_signature`
+/// byte for byte, regardless of the delay callback used on reparse.
 ///
 /// # Errors
 ///
 /// Returns [`NetlistError::BadArity`] if the netlist contains a constant
-/// node (no `.bench` encoding exists).
+/// node (no `.bench` encoding exists), and [`NetlistError::Unwritable`]
+/// if a name cannot survive reparse as a `.bench` token or the inputs do
+/// not occupy the first node ids.
 ///
 /// # Example
 ///
 /// ```
 /// use tbf_logic::parsers::bench::{parse_bench, write_bench};
-/// use tbf_logic::parsers::unit_delays;
+/// use tbf_logic::parsers::{mcnc_like_delays, unit_delays};
 ///
 /// let src = "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n";
 /// let n = parse_bench(src, unit_delays)?;
-/// let round = parse_bench(&write_bench(&n)?, unit_delays)?;
+/// // The emitted delay pragmas override the reparse callback, so even a
+/// // different delay assignment reproduces the signature exactly.
+/// let round = parse_bench(&write_bench(&n)?, mcnc_like_delays)?;
+/// assert_eq!(round.structural_signature(), n.structural_signature());
 /// assert_eq!(round.evaluate_outputs(&[true]), vec![false]);
 /// # Ok::<(), tbf_logic::NetlistError>(())
 /// ```
 pub fn write_bench(netlist: &Netlist) -> Result<String, NetlistError> {
     use std::fmt::Write as _;
+    check_inputs_first(netlist)?;
     let mut out = String::new();
     for &id in netlist.inputs() {
-        let _ = writeln!(out, "INPUT({})", netlist.node(id).name());
+        let name = netlist.node(id).name();
+        check_writable_name(name, ".bench")?;
+        let _ = writeln!(out, "INPUT({name})");
     }
-    // An output whose name differs from its driving node's name gets an
-    // alias buffer so the reparse resolves it.
-    let mut aliases = Vec::new();
     for (name, id) in netlist.outputs() {
+        check_writable_name(name, ".bench")?;
         let _ = writeln!(out, "OUTPUT({name})");
-        if netlist.node(*id).name() != name {
-            aliases.push((name.clone(), netlist.node(*id).name().to_owned()));
+        let driver = netlist.node(*id).name();
+        if driver != name {
+            let _ = writeln!(out, "# @tbf output {name} {driver}");
         }
     }
-    for (alias, driver) in &aliases {
-        let _ = writeln!(out, "{alias} = BUFF({driver})");
-    }
-    for (id, node) in netlist.nodes() {
+    for (_, node) in netlist.nodes() {
         let mnemonic = match node.kind() {
             GateKind::Input => continue,
             GateKind::And => "AND",
@@ -319,16 +379,20 @@ pub fn write_bench(netlist: &Netlist) -> Result<String, NetlistError> {
                 })
             }
         };
+        check_writable_name(node.name(), ".bench")?;
         let fanins: Vec<&str> = node
             .fanins()
             .iter()
             .map(|f| netlist.node(*f).name())
             .collect();
-        let _ = writeln!(out, "{} = {mnemonic}({})", node.name(), fanins.join(", "));
-        let _ = id;
+        let _ = writeln!(
+            out,
+            "{} = {mnemonic}({}) {}",
+            node.name(),
+            fanins.join(", "),
+            delay_pragma(node.delay())
+        );
     }
-    // Outputs that alias an input directly are representable (OUTPUT of
-    // an INPUT name), so nothing more to do.
     Ok(out)
 }
 
@@ -541,6 +605,7 @@ q = DFF(a)
         let round = parse_bench(&text, unit_delays).unwrap();
         assert_eq!(round.gate_count(), n.gate_count());
         assert_eq!(round.inputs().len(), n.inputs().len());
+        assert_eq!(round.structural_signature(), n.structural_signature());
         for bits in 0..32u32 {
             let a: Vec<bool> = (0..5).map(|i| (bits >> i) & 1 == 1).collect();
             assert_eq!(round.evaluate_outputs(&a), n.evaluate_outputs(&a));
@@ -552,13 +617,95 @@ q = DFF(a)
         use crate::generators::adders::paper_bypass_adder;
         let n = paper_bypass_adder();
         let text = write_bench(&n).unwrap();
-        let round = parse_bench(&text, unit_delays).unwrap();
-        // One extra buffer aliases the `cout` output to its driver `g5`.
-        assert_eq!(round.gate_count(), n.gate_count() + 1);
+        // The `cout` output aliases driver `g5` via an output pragma, so
+        // no extra buffer appears and the signature is preserved even
+        // under a different reparse delay callback.
+        let round = parse_bench(&text, crate::parsers::mcnc_like_delays).unwrap();
+        assert_eq!(round.gate_count(), n.gate_count());
+        assert_eq!(round.structural_signature(), n.structural_signature());
+        for (i, _) in n.outputs().iter().enumerate() {
+            assert_eq!(round.cone_signature(i), n.cone_signature(i));
+        }
         for bits in 0..512u32 {
             let a: Vec<bool> = (0..9).map(|i| (bits >> i) & 1 == 1).collect();
             assert_eq!(round.evaluate_outputs(&a), n.evaluate_outputs(&a));
         }
+    }
+
+    #[test]
+    fn delay_pragma_overrides_callback() {
+        let src = "INPUT(a)\nOUTPUT(y)\ny = NOT(a) # @tbf delay 9000 12500\n";
+        let n = parse_bench(src, unit_delays).unwrap();
+        let y = n.outputs()[0].1;
+        assert_eq!(n.node(y).delay().min.scaled(), 9000);
+        assert_eq!(n.node(y).delay().max.scaled(), 12500);
+    }
+
+    #[test]
+    fn pragma_errors_are_typed() {
+        let cases: &[(&str, &str)] = &[
+            (
+                "INPUT(a)\nOUTPUT(y)\ny = NOT(a) # @tbf delay 5\n",
+                "delay pragma",
+            ),
+            (
+                "INPUT(a)\nOUTPUT(y)\ny = NOT(a) # @tbf delay 9 5\n",
+                "invalid delay pragma",
+            ),
+            (
+                "INPUT(a)\nOUTPUT(y)\ny = NOT(a) # @tbf delay x y\n",
+                "delay pragma",
+            ),
+            (
+                "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n# @tbf output y\n",
+                "output pragma",
+            ),
+            (
+                "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n# @tbf output z y\n",
+                "undeclared OUTPUT",
+            ),
+            (
+                "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n# @tbf frobnicate\n",
+                "pragma",
+            ),
+            (
+                "INPUT(a) # @tbf delay 1 2\nOUTPUT(y)\ny = NOT(a)\n",
+                "gate definition",
+            ),
+            (
+                "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n# @tbf output y a\n# @tbf output y a\n",
+                "duplicate output pragma",
+            ),
+        ];
+        for (src, needle) in cases {
+            let err = parse_bench(src, unit_delays).expect_err(src);
+            assert!(
+                err.to_string().contains(needle),
+                "source {src:?}: expected error mentioning {needle:?}, got `{err}`"
+            );
+        }
+    }
+
+    #[test]
+    fn plain_comments_with_at_signs_are_not_pragmas() {
+        let src = "INPUT(a) # written by @tbf-tools\nOUTPUT(y)\ny = NOT(a) # @tbfdelay 1 2\n";
+        let n = parse_bench(src, unit_delays).unwrap();
+        assert_eq!(n.gate_count(), 1);
+    }
+
+    #[test]
+    fn write_bench_rejects_unwritable_names() {
+        let mut b = Netlist::builder();
+        let x = b.input("a b");
+        let y = b
+            .gate(GateKind::Not, "y", vec![x], unit_delays(GateKind::Not, 1))
+            .unwrap();
+        b.output("y", y);
+        let n = b.finish().unwrap();
+        assert!(matches!(
+            write_bench(&n).unwrap_err(),
+            NetlistError::Unwritable { .. }
+        ));
     }
 
     #[test]

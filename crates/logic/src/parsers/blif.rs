@@ -1,9 +1,10 @@
 //! A combinational BLIF subset parser.
 //!
 //! Supports the output of a SIS-style mapping flow: `.model`, `.inputs`,
-//! `.outputs`, single-output `.names` cover tables and `.end`. Each cover
-//! is synthesized as a two-level NOT/AND/OR network; latches and
-//! subcircuits are rejected (the paper treats combinational logic).
+//! `.outputs`, single-output `.names` cover tables, a `.gate` cell
+//! subset and `.end`. Each cover is synthesized as a two-level
+//! NOT/AND/OR network; latches and subcircuits are rejected (the paper
+//! treats combinational logic).
 //!
 //! ```text
 //! .model example
@@ -14,9 +15,27 @@
 //! --1 1
 //! .end
 //! ```
+//!
+//! `.gate` lines use the TBF cell library documented in `FORMATS.md`
+//! (`inv`, `buf`, `and{n}`, `or{n}`, `nand{n}`, `nor{n}`, `xor{n}`,
+//! `xnor{n}`, `maj3`, `mux`; formal pins `i0..i{n-1}` and `O`), mapping
+//! one-to-one onto [`GateKind`] so structure survives a round trip:
+//!
+//! ```text
+//! .gate nand2 i0=a i1=b O=f # @tbf delay 10800 12000
+//! ```
+//!
+//! The same `@tbf` pragmas as in `.bench` apply: `# @tbf delay <min>
+//! <max>` on a `.gate` line pins scaled delay bounds, and a standalone
+//! `# @tbf output <name> <driver>` re-binds a declared output to a
+//! differently-named driver.
 
 use std::collections::HashMap;
 
+use super::{
+    check_inputs_first, check_writable_name, delay_pragma, parse_delay_pragma, parse_output_pragma,
+    split_pragma,
+};
 use crate::delay::DelayBounds;
 use crate::gate::GateKind;
 use crate::netlist::{Netlist, NetlistError, NodeId};
@@ -25,6 +44,81 @@ struct Cover {
     inputs: Vec<String>,
     rows: Vec<(Vec<Option<bool>>, bool)>,
     line: usize,
+}
+
+enum Def {
+    /// A `.names` cover table, synthesized as a two-level network.
+    Cover(Cover),
+    /// A `.gate` cell instance, mapping directly onto one gate node.
+    Cell {
+        kind: GateKind,
+        fanins: Vec<String>,
+        delay: Option<DelayBounds>,
+        line: usize,
+    },
+}
+
+impl Def {
+    fn fanin_names(&self) -> &[String] {
+        match self {
+            Def::Cover(c) => &c.inputs,
+            Def::Cell { fanins, .. } => fanins,
+        }
+    }
+
+    fn line(&self) -> usize {
+        match self {
+            Def::Cover(c) => c.line,
+            Def::Cell { line, .. } => *line,
+        }
+    }
+}
+
+/// Maps a TBF cell-library name to its gate kind and expected arity.
+fn cell_kind(cell: &str) -> Result<(GateKind, usize), String> {
+    match cell {
+        "inv" => return Ok((GateKind::Not, 1)),
+        "buf" => return Ok((GateKind::Buf, 1)),
+        "maj3" => return Ok((GateKind::Maj, 3)),
+        "mux" => return Ok((GateKind::Mux, 3)),
+        _ => {}
+    }
+    let split = cell
+        .find(|c: char| c.is_ascii_digit())
+        .unwrap_or(cell.len());
+    let kind = match &cell[..split] {
+        "and" => GateKind::And,
+        "or" => GateKind::Or,
+        "nand" => GateKind::Nand,
+        "nor" => GateKind::Nor,
+        "xor" => GateKind::Xor,
+        "xnor" => GateKind::Xnor,
+        _ => return Err(format!("unknown cell `{cell}`")),
+    };
+    let arity: usize = cell[split..]
+        .parse()
+        .map_err(|_| format!("cell `{cell}` needs a fanin-count suffix"))?;
+    if arity == 0 {
+        return Err(format!("cell `{cell}` has zero fanins"));
+    }
+    Ok((kind, arity))
+}
+
+/// The cell-library name for a gate kind (`None` for inputs/constants).
+fn kind_cell(kind: GateKind, arity: usize) -> Option<String> {
+    Some(match kind {
+        GateKind::Not => "inv".into(),
+        GateKind::Buf => "buf".into(),
+        GateKind::Maj => "maj3".into(),
+        GateKind::Mux => "mux".into(),
+        GateKind::And => format!("and{arity}"),
+        GateKind::Or => format!("or{arity}"),
+        GateKind::Nand => format!("nand{arity}"),
+        GateKind::Nor => format!("nor{arity}"),
+        GateKind::Xor => format!("xor{arity}"),
+        GateKind::Xnor => format!("xnor{arity}"),
+        GateKind::Input | GateKind::Const0 | GateKind::Const1 => return None,
+    })
 }
 
 /// Parses BLIF text into a [`Netlist`], assigning the derived gates delay
@@ -65,40 +159,73 @@ pub fn parse_blif(
 ) -> Result<Netlist, NetlistError> {
     let mut inputs: Vec<String> = Vec::new();
     let mut outputs: Vec<String> = Vec::new();
-    let mut covers: HashMap<String, Cover> = HashMap::new();
+    let mut defs: HashMap<String, Def> = HashMap::new();
     let mut order: Vec<String> = Vec::new();
+    // `@tbf output` pragma re-bindings: output name → (driver, line).
+    let mut aliases: HashMap<String, (String, usize)> = HashMap::new();
+    let mut alias_order: Vec<(String, usize)> = Vec::new();
 
-    // Logical lines (backslash continuation), keeping 1-based numbers.
-    let mut logical: Vec<(usize, String)> = Vec::new();
-    let mut pending: Option<(usize, String)> = None;
+    // Logical lines (backslash continuation), keeping 1-based numbers and
+    // any `@tbf` pragma found on a constituent physical line.
+    let mut logical: Vec<(usize, String, Option<String>)> = Vec::new();
+    let mut pending: Option<(usize, String, Option<String>)> = None;
     for (i, raw) in text.lines().enumerate() {
-        let line = raw.split('#').next().unwrap_or("").trim_end();
-        let (start, mut acc) = pending.take().unwrap_or((i + 1, String::new()));
+        let (code, pragma) = split_pragma(raw);
+        let line = code.trim_end();
+        let (start, mut acc, mut prag) = pending.take().unwrap_or((i + 1, String::new(), None));
+        if prag.is_none() {
+            prag = pragma.map(str::to_owned);
+        }
         if let Some(stripped) = line.strip_suffix('\\') {
             acc.push_str(stripped);
             acc.push(' ');
-            pending = Some((start, acc));
+            pending = Some((start, acc, prag));
         } else {
             acc.push_str(line);
-            logical.push((start, acc));
+            logical.push((start, acc, prag));
         }
     }
-    if let Some((start, acc)) = pending {
-        logical.push((start, acc));
+    if let Some((start, acc, prag)) = pending {
+        logical.push((start, acc, prag));
     }
 
     let mut idx = 0usize;
     while idx < logical.len() {
-        let (lineno, line) = (&logical[idx].0, logical[idx].1.trim().to_owned());
-        let lineno = *lineno;
+        let (lineno, line, pragma) = (
+            logical[idx].0,
+            logical[idx].1.trim().to_owned(),
+            logical[idx].2.clone(),
+        );
         idx += 1;
-        if line.is_empty() {
-            continue;
-        }
         let err = |message: String| NetlistError::Parse {
             line: lineno,
             message,
         };
+        if line.is_empty() {
+            if let Some(body) = pragma {
+                let (name, driver) = parse_output_pragma(&body, lineno)?
+                    .ok_or_else(|| err(format!("pragma `{body}` must annotate a .gate line")))?;
+                if aliases.insert(name.clone(), (driver, lineno)).is_some() {
+                    return Err(err(format!("duplicate output pragma for `{name}`")));
+                }
+                alias_order.push((name, lineno));
+            }
+            continue;
+        }
+        // A pragma attached to a directive must be a delay pragma on a
+        // `.gate` line; stash it for that branch below.
+        let mut pragma_delay = None;
+        if let Some(body) = &pragma {
+            pragma_delay = parse_delay_pragma(body, lineno)?;
+            if pragma_delay.is_none() {
+                return Err(err(format!(
+                    "only `@tbf delay` pragmas may annotate a line, got `{body}`"
+                )));
+            }
+            if !line.starts_with(".gate") {
+                return Err(err("delay pragma must annotate a .gate line".into()));
+            }
+        }
         let mut tokens = line.split_whitespace();
         let head = tokens.next().unwrap_or_default();
         match head {
@@ -169,7 +296,7 @@ pub fn parse_blif(
                     };
                     rows.push((lits, out));
                 }
-                if covers.contains_key(&target) {
+                if defs.contains_key(&target) {
                     return Err(NetlistError::DuplicateName(target));
                 }
                 if inputs.contains(&target) {
@@ -177,18 +304,71 @@ pub fn parse_blif(
                         "`{target}` is declared in .inputs and defined by .names"
                     )));
                 }
-                covers.insert(
+                defs.insert(
                     target.clone(),
-                    Cover {
+                    Def::Cover(Cover {
                         inputs: signals,
                         rows,
+                        line: lineno,
+                    }),
+                );
+                order.push(target);
+            }
+            ".gate" => {
+                let cell = tokens
+                    .next()
+                    .ok_or_else(|| err(".gate with no cell name".into()))?;
+                let (kind, arity) = cell_kind(cell).map_err(&err)?;
+                let mut fanins: Vec<String> = Vec::new();
+                let mut target: Option<String> = None;
+                for tok in tokens {
+                    let (formal, actual) = tok
+                        .split_once('=')
+                        .ok_or_else(|| err(format!("malformed pin binding `{tok}`")))?;
+                    if actual.is_empty() {
+                        return Err(err(format!("empty actual in pin binding `{tok}`")));
+                    }
+                    if formal == "O" {
+                        if target.replace(actual.to_owned()).is_some() {
+                            return Err(err(format!("duplicate output pin on cell `{cell}`")));
+                        }
+                    } else if formal == format!("i{}", fanins.len()) {
+                        fanins.push(actual.to_owned());
+                    } else {
+                        return Err(err(format!(
+                            "unexpected pin `{formal}` (expected i{} or O)",
+                            fanins.len()
+                        )));
+                    }
+                }
+                let target = target.ok_or_else(|| err(format!("cell `{cell}` has no O pin")))?;
+                if fanins.len() != arity {
+                    return Err(err(format!(
+                        "cell `{cell}` expects {arity} fanins, got {}",
+                        fanins.len()
+                    )));
+                }
+                if defs.contains_key(&target) {
+                    return Err(NetlistError::DuplicateName(target));
+                }
+                if inputs.contains(&target) {
+                    return Err(err(format!(
+                        "`{target}` is declared in .inputs and defined by .gate"
+                    )));
+                }
+                defs.insert(
+                    target.clone(),
+                    Def::Cell {
+                        kind,
+                        fanins,
+                        delay: pragma_delay,
                         line: lineno,
                     },
                 );
                 order.push(target);
             }
             ".end" => break,
-            ".latch" | ".subckt" | ".gate" | ".mlatch" => {
+            ".latch" | ".subckt" | ".mlatch" => {
                 return Err(err(format!("unsupported BLIF construct `{head}`")));
             }
             other => return Err(err(format!("unrecognized directive `{other}`"))),
@@ -198,10 +378,10 @@ pub fn parse_blif(
     // Catch the reverse declaration order too (`.names` before a late
     // `.inputs` naming the same signal).
     for name in &inputs {
-        if let Some(cover) = covers.get(name) {
+        if let Some(def) = defs.get(name) {
             return Err(NetlistError::Parse {
-                line: cover.line,
-                message: format!("`{name}` is declared in .inputs and defined by .names"),
+                line: def.line(),
+                message: format!("`{name}` is declared in .inputs and defined as a gate"),
             });
         }
     }
@@ -213,37 +393,56 @@ pub fn parse_blif(
         let id = builder.try_input(name)?;
         resolved.insert(name.clone(), id);
     }
-    // Kahn-style resolution loop (covers are usually few; quadratic is fine
-    // and keeps cycle detection trivial).
+    // Kahn-style resolution loop (definitions are usually few; quadratic
+    // is fine and keeps cycle detection trivial).
     let mut remaining = order.clone();
     while !remaining.is_empty() {
-        let ready = remaining
-            .iter()
-            .position(|name| covers[name].inputs.iter().all(|i| resolved.contains_key(i)));
+        let ready = remaining.iter().position(|name| {
+            defs[name]
+                .fanin_names()
+                .iter()
+                .all(|i| resolved.contains_key(i))
+        });
         match ready {
             Some(p) => {
                 let name = remaining.remove(p);
-                let id = synth_cover(
-                    &mut builder,
-                    &name,
-                    &covers[&name],
-                    &resolved,
-                    &mut delay_fn,
-                )?;
+                let id = match &defs[&name] {
+                    Def::Cover(cover) => {
+                        synth_cover(&mut builder, &name, cover, &resolved, &mut delay_fn)?
+                    }
+                    Def::Cell {
+                        kind,
+                        fanins,
+                        delay,
+                        ..
+                    } => {
+                        let fanin_ids: Vec<NodeId> = fanins
+                            .iter()
+                            .map(|f| {
+                                resolved
+                                    .get(f)
+                                    .copied()
+                                    .ok_or_else(|| NetlistError::UnknownNode(f.clone()))
+                            })
+                            .collect::<Result<_, _>>()?;
+                        let delay = delay.unwrap_or_else(|| delay_fn(*kind, fanin_ids.len()));
+                        builder.gate(*kind, &name, fanin_ids, delay)?
+                    }
+                };
                 resolved.insert(name, id);
             }
             None => {
                 // Nothing progressed: cycle or dangling reference.
                 let name = &remaining[0];
-                let cover = &covers[name];
-                let missing = cover
-                    .inputs
+                let def = &defs[name];
+                let missing = def
+                    .fanin_names()
                     .iter()
-                    .find(|i| !resolved.contains_key(*i) && !covers.contains_key(*i));
+                    .find(|i| !resolved.contains_key(*i) && !defs.contains_key(*i));
                 return Err(match missing {
                     Some(m) => NetlistError::UnknownNode(m.clone()),
                     None => NetlistError::Parse {
-                        line: cover.line,
+                        line: def.line(),
                         message: format!("combinational cycle through `{name}`"),
                     },
                 });
@@ -251,11 +450,21 @@ pub fn parse_blif(
         }
     }
 
+    // Every output pragma must re-bind a declared output.
+    for (name, line) in &alias_order {
+        if !outputs.iter().any(|o| o == name) {
+            return Err(NetlistError::Parse {
+                line: *line,
+                message: format!("output pragma for undeclared output `{name}`"),
+            });
+        }
+    }
     for name in &outputs {
+        let driver = aliases.get(name).map_or(name.as_str(), |(d, _)| d.as_str());
         let id = resolved
-            .get(name)
+            .get(driver)
             .copied()
-            .ok_or_else(|| NetlistError::UnknownNode(name.clone()))?;
+            .ok_or_else(|| NetlistError::UnknownNode(driver.to_owned()))?;
         builder.try_output(name, id)?;
     }
     builder.finish()
@@ -351,110 +560,104 @@ fn synth_cover(
     }
 }
 
-/// Serializes a netlist to combinational BLIF.
+/// Serializes a netlist to self-contained combinational BLIF.
 ///
-/// Every gate becomes a single-output `.names` cover; `MAJ`/`MUX` expand
-/// to their sum-of-products covers; constants become constant covers.
-/// Delay bounds are not part of the format.
+/// Every gate becomes a `.gate` cell-library instance (the subset this
+/// parser reads back) carrying a `# @tbf delay` pragma with its scaled
+/// delay bounds; constants become constant `.names` covers; an output
+/// whose name differs from its driver gets a `# @tbf output` pragma
+/// instead of an alias cover. Gates are emitted in node order with all
+/// inputs first, so `parse_blif(&write_blif(n, m)?, _)` reproduces `n`'s
+/// `structural_signature` and every `cone_signature` byte for byte,
+/// regardless of the delay callback used on reparse.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Unwritable`] if a name cannot survive reparse
+/// as a BLIF token, the inputs do not occupy the first node ids, or a
+/// constant node carries a nonzero delay (constant covers cannot carry a
+/// delay pragma).
 ///
 /// # Example
 ///
 /// ```
 /// use tbf_logic::parsers::blif::{parse_blif, write_blif};
-/// use tbf_logic::parsers::unit_delays;
+/// use tbf_logic::parsers::{mcnc_like_delays, unit_delays};
 ///
 /// let src = ".model m\n.inputs a b\n.outputs f\n.names a b f\n11 1\n.end\n";
 /// let n = parse_blif(src, unit_delays)?;
-/// let round = parse_blif(&write_blif(&n, "m"), unit_delays)?;
+/// let round = parse_blif(&write_blif(&n, "m")?, mcnc_like_delays)?;
+/// assert_eq!(round.structural_signature(), n.structural_signature());
 /// assert_eq!(round.evaluate_outputs(&[true, true]), vec![true]);
 /// # Ok::<(), tbf_logic::NetlistError>(())
 /// ```
-pub fn write_blif(netlist: &Netlist, model: &str) -> String {
+pub fn write_blif(netlist: &Netlist, model: &str) -> Result<String, NetlistError> {
     use std::fmt::Write as _;
+    check_inputs_first(netlist)?;
     let mut out = String::new();
     let _ = writeln!(out, ".model {model}");
-    let input_names: Vec<&str> = netlist
-        .inputs()
-        .iter()
-        .map(|&i| netlist.node(i).name())
-        .collect();
+    let mut input_names: Vec<&str> = Vec::new();
+    for &i in netlist.inputs() {
+        let name = netlist.node(i).name();
+        check_writable_name(name, "BLIF")?;
+        input_names.push(name);
+    }
     let _ = writeln!(out, ".inputs {}", input_names.join(" "));
     let output_names: Vec<&str> = netlist.outputs().iter().map(|(n, _)| n.as_str()).collect();
-    let _ = writeln!(out, ".outputs {}", output_names.join(" "));
-
-    let emit_cover = |out: &mut String, fanins: &[&str], target: &str, rows: &[(&str, &str)]| {
-        let _ = writeln!(out, ".names {} {target}", fanins.join(" "));
-        for (pattern, value) in rows {
-            if pattern.is_empty() {
-                let _ = writeln!(out, "{value}");
-            } else {
-                let _ = writeln!(out, "{pattern} {value}");
-            }
-        }
-    };
-
-    for (_, node) in netlist.nodes() {
-        let kind = node.kind();
-        let fanins: Vec<&str> = node
-            .fanins()
-            .iter()
-            .map(|f| netlist.node(*f).name())
-            .collect();
-        let name = node.name();
-        let n = fanins.len();
-        let all_ones = "1".repeat(n);
-        match kind {
-            GateKind::Input => continue,
-            GateKind::Const0 => emit_cover(&mut out, &[], name, &[]),
-            GateKind::Const1 => emit_cover(&mut out, &[], name, &[("", "1")]),
-            GateKind::Buf => emit_cover(&mut out, &fanins, name, &[("1", "1")]),
-            GateKind::Not => emit_cover(&mut out, &fanins, name, &[("0", "1")]),
-            GateKind::And => emit_cover(&mut out, &fanins, name, &[(&all_ones, "1")]),
-            GateKind::Nand => emit_cover(&mut out, &fanins, name, &[(&all_ones, "0")]),
-            GateKind::Or | GateKind::Nor => {
-                let value = if kind == GateKind::Or { "1" } else { "0" };
-                let rows: Vec<String> = (0..n)
-                    .map(|i| {
-                        let mut p = vec!['-'; n];
-                        p[i] = '1';
-                        p.into_iter().collect()
-                    })
-                    .collect();
-                let refs: Vec<(&str, &str)> = rows.iter().map(|p| (p.as_str(), value)).collect();
-                emit_cover(&mut out, &fanins, name, &refs);
-            }
-            GateKind::Xor | GateKind::Xnor => {
-                // Odd-parity (or even-parity) minterms, explicit.
-                let want_odd = kind == GateKind::Xor;
-                let rows: Vec<String> = (0..(1usize << n))
-                    .filter(|m| (m.count_ones() as usize % 2 == 1) == want_odd)
-                    .map(|m| {
-                        (0..n)
-                            .map(|i| if (m >> i) & 1 == 1 { '1' } else { '0' })
-                            .collect()
-                    })
-                    .collect();
-                let refs: Vec<(&str, &str)> = rows.iter().map(|p| (p.as_str(), "1")).collect();
-                emit_cover(&mut out, &fanins, name, &refs);
-            }
-            GateKind::Maj => emit_cover(
-                &mut out,
-                &fanins,
-                name,
-                &[("11-", "1"), ("1-1", "1"), ("-11", "1")],
-            ),
-            GateKind::Mux => emit_cover(&mut out, &fanins, name, &[("01-", "1"), ("1-1", "1")]),
-        }
+    for name in &output_names {
+        check_writable_name(name, "BLIF")?;
     }
-    // Alias covers for outputs whose name differs from the driver's.
+    let _ = writeln!(out, ".outputs {}", output_names.join(" "));
+    // Output-alias pragmas directly after the declarations they re-bind.
     for (alias, id) in netlist.outputs() {
         let driver = netlist.node(*id).name();
         if driver != alias {
-            let _ = writeln!(out, ".names {driver} {alias}\n1 1");
+            let _ = writeln!(out, "# @tbf output {alias} {driver}");
+        }
+    }
+
+    for (_, node) in netlist.nodes() {
+        let kind = node.kind();
+        let name = node.name();
+        if kind == GateKind::Input {
+            continue;
+        }
+        check_writable_name(name, "BLIF")?;
+        match kind_cell(kind, node.fanins().len()) {
+            Some(cell) => {
+                let pins: Vec<String> = node
+                    .fanins()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, f)| format!("i{i}={}", netlist.node(*f).name()))
+                    .collect();
+                let _ = writeln!(
+                    out,
+                    ".gate {cell} {} O={name} {}",
+                    pins.join(" "),
+                    delay_pragma(node.delay())
+                );
+            }
+            None => {
+                // Constants: trivial covers, which reparse to the same
+                // single node. They cannot carry a delay pragma, so a
+                // nonzero delay would not survive the round trip.
+                if node.delay() != DelayBounds::ZERO {
+                    return Err(NetlistError::Unwritable {
+                        name: name.to_owned(),
+                        detail: "constant node with nonzero delay has no BLIF encoding".into(),
+                    });
+                }
+                if kind == GateKind::Const0 {
+                    let _ = writeln!(out, ".names {name}");
+                } else {
+                    let _ = writeln!(out, ".names {name}\n1");
+                }
+            }
         }
     }
     let _ = writeln!(out, ".end");
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -669,14 +872,109 @@ mod tests {
     fn write_blif_round_trips() {
         use crate::generators::adders::paper_bypass_adder;
         let n = paper_bypass_adder();
-        let text = write_blif(&n, "bypass");
-        let round = parse_blif(&text, unit_delays).unwrap();
+        let text = write_blif(&n, "bypass").unwrap();
+        // Delay pragmas override the reparse callback, so the signature
+        // survives even under a different delay assignment.
+        let round = parse_blif(&text, crate::parsers::mcnc_like_delays).unwrap();
+        assert_eq!(round.structural_signature(), n.structural_signature());
+        for (i, _) in n.outputs().iter().enumerate() {
+            assert_eq!(round.cone_signature(i), n.cone_signature(i));
+        }
         for bits in 0..512u32 {
             let v: Vec<bool> = (0..9).map(|i| (bits >> i) & 1 == 1).collect();
             assert_eq!(
                 round.evaluate_outputs(&v),
                 n.evaluate_outputs(&v),
                 "{bits:#b}"
+            );
+        }
+    }
+
+    #[test]
+    fn gate_cells_parse() {
+        let src = "
+.model m
+.inputs a b c
+.outputs f g
+.gate nand2 i0=a i1=b O=t # @tbf delay 10800 12000
+.gate mux i0=c i1=t i2=a O=f
+.gate inv i0=f O=g
+.end
+";
+        let n = parse_blif(src, unit_delays).unwrap();
+        assert_eq!(n.gate_count(), 3);
+        let t = n.node(n.outputs()[0].1); // f = mux(c, t, a)
+        assert_eq!(t.kind(), GateKind::Mux);
+        // The pragma pinned t's delay; the others got the callback's.
+        let nand = n
+            .nodes()
+            .find(|(_, nd)| nd.kind() == GateKind::Nand)
+            .unwrap()
+            .1;
+        assert_eq!(nand.delay().min.scaled(), 10800);
+        assert_eq!(nand.delay().max.scaled(), 12000);
+        // mux(s=c, d0=t, d1=a): c=0 selects t = !(a·b).
+        assert_eq!(n.evaluate_outputs(&[true, true, false]), vec![false, true]);
+    }
+
+    #[test]
+    fn hostile_gate_lines_yield_typed_errors() {
+        let cases: &[(&str, &str)] = &[
+            (".model m\n.inputs a\n.outputs f\n.gate\n.end\n", "no cell"),
+            (
+                ".model m\n.inputs a\n.outputs f\n.gate frob i0=a O=f\n.end\n",
+                "unknown cell",
+            ),
+            (
+                ".model m\n.inputs a\n.outputs f\n.gate nand i0=a O=f\n.end\n",
+                "fanin-count suffix",
+            ),
+            (
+                ".model m\n.inputs a\n.outputs f\n.gate and0 O=f\n.end\n",
+                "zero fanins",
+            ),
+            (
+                ".model m\n.inputs a\n.outputs f\n.gate inv i0=a\n.end\n",
+                "no O pin",
+            ),
+            (
+                ".model m\n.inputs a\n.outputs f\n.gate inv i1=a O=f\n.end\n",
+                "unexpected pin",
+            ),
+            (
+                ".model m\n.inputs a\n.outputs f\n.gate inv bogus O=f\n.end\n",
+                "malformed pin",
+            ),
+            (
+                ".model m\n.inputs a b\n.outputs f\n.gate inv i0=a i1=b O=f\n.end\n",
+                "expects 1 fanins",
+            ),
+            (
+                ".model m\n.inputs a\n.outputs f\n.gate and2 i0=a O=f\n.end\n",
+                "expects 2 fanins",
+            ),
+            (
+                ".model m\n.inputs a\n.outputs f\n.gate inv i0=a O=f O=f\n.end\n",
+                "duplicate output pin",
+            ),
+            (
+                ".model m\n.inputs a\n.outputs a\n.gate inv i0=a O=a\n.end\n",
+                ".inputs and defined",
+            ),
+            (
+                ".model m\n.inputs a\n.outputs f\n.names a f # @tbf delay 1 2\n1 1\n.end\n",
+                ".gate line",
+            ),
+            (
+                ".model m\n.inputs a\n.outputs f\n.gate inv i0=a O=f\n# @tbf output g f\n.end\n",
+                "undeclared output",
+            ),
+        ];
+        for (src, needle) in cases {
+            let err = parse_blif(src, unit_delays).expect_err(src);
+            assert!(
+                err.to_string().contains(needle),
+                "source {src:?}: expected error mentioning {needle:?}, got `{err}`"
             );
         }
     }
@@ -715,11 +1013,36 @@ mod tests {
             b.output(&format!("o{i}"), *id);
         }
         let n = b.finish().unwrap();
-        let round = parse_blif(&write_blif(&n, "kinds"), unit_delays).unwrap();
+        let round = parse_blif(&write_blif(&n, "kinds").unwrap(), unit_delays).unwrap();
+        assert_eq!(round.structural_signature(), n.structural_signature());
         for bits in 0..8u32 {
             let v: Vec<bool> = (0..3).map(|i| (bits >> i) & 1 == 1).collect();
             assert_eq!(round.evaluate_outputs(&v), n.evaluate_outputs(&v));
         }
+    }
+
+    #[test]
+    fn write_blif_rejects_unwritable() {
+        let d = crate::DelayBounds::fixed(crate::Time::from_int(1));
+        // Format-significant character in a name.
+        let mut b = Netlist::builder();
+        let x = b.input(".x");
+        let y = b.gate(GateKind::Not, "y", vec![x], d).unwrap();
+        b.output("y", y);
+        let n = b.finish().unwrap();
+        assert!(matches!(
+            write_blif(&n, "m").unwrap_err(),
+            NetlistError::Unwritable { .. }
+        ));
+        // Constant with a nonzero delay cannot carry a pragma.
+        let mut b = Netlist::builder();
+        let c = b.gate(GateKind::Const1, "one", vec![], d).unwrap();
+        b.output("f", c);
+        let n = b.finish().unwrap();
+        assert!(matches!(
+            write_blif(&n, "m").unwrap_err(),
+            NetlistError::Unwritable { .. }
+        ));
     }
 
     #[test]

@@ -1,19 +1,311 @@
-//! Netlist file-format parsers.
+//! Netlist file-format front end.
+//!
+//! Four readers behind one [`Format`]-dispatching entry point
+//! ([`load_netlist`] for paths, [`parse_netlist`] for bytes):
 //!
 //! * [`bench`](mod@bench) — the ISCAS-85 `.bench` format the paper's evaluation
 //!   circuits ship in; real benchmark files drop in unchanged.
 //! * [`blif`] — a combinational subset of Berkeley's BLIF (the format SIS
-//!   emitted after the paper's technology mapping step).
+//!   emitted after the paper's technology mapping step), plus a `.gate`
+//!   cell subset for structure-exact round trips.
+//! * [`aiger`] — and-inverter graphs, ASCII `aag` and binary `aig`.
+//! * [`verilog`] — a structural gate-level Verilog subset.
 //!
-//! Neither format carries delay data, so both parsers take a delay
-//! assignment callback (gate kind + fanin count → [`DelayBounds`]), with
-//! [`unit_delays`] and [`mcnc_like_delays`] provided.
+//! `.bench` and BLIF also have writers ([`bench::write_bench`],
+//! [`blif::write_blif`]) whose output reparses to a byte-identical
+//! `structural_signature` — see `FORMATS.md` for the grammar subsets,
+//! the `@tbf` delay/alias pragmas and the round-trip guarantees.
+//!
+//! None of the base formats carry interval delay data, so every parser
+//! takes a delay assignment callback (gate kind + fanin count →
+//! [`DelayBounds`]), with [`unit_delays`] and [`mcnc_like_delays`]
+//! provided; `@tbf delay` pragmas and Verilog `#(…)` annotations
+//! override the callback per gate.
 
+pub mod aiger;
 pub mod bench;
 pub mod blif;
+pub mod verilog;
 
 use crate::delay::{DelayBounds, Time};
 use crate::gate::GateKind;
+use crate::netlist::{Netlist, NetlistError};
+
+/// The netlist file formats the front end reads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Format {
+    /// ISCAS-85 `.bench`.
+    Bench,
+    /// Combinational BLIF subset (covers + `.gate` cells).
+    Blif,
+    /// AIGER and-inverter graphs; ASCII `aag` and binary `aig` are
+    /// distinguished by the file's own magic, not the format tag.
+    Aiger,
+    /// Structural gate-level Verilog subset.
+    Verilog,
+}
+
+impl Format {
+    /// All formats, in canonical order.
+    pub const ALL: [Format; 4] = [Format::Bench, Format::Blif, Format::Aiger, Format::Verilog];
+
+    /// The canonical lowercase name (`bench`, `blif`, `aiger`,
+    /// `verilog`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Format::Bench => "bench",
+            Format::Blif => "blif",
+            Format::Aiger => "aiger",
+            Format::Verilog => "verilog",
+        }
+    }
+
+    /// Resolves a user-supplied format name (CLI flag, protocol field);
+    /// accepts the canonical names plus the extension spellings.
+    pub fn from_name(name: &str) -> Option<Format> {
+        match name.to_ascii_lowercase().as_str() {
+            "bench" => Some(Format::Bench),
+            "blif" => Some(Format::Blif),
+            "aiger" | "aag" | "aig" => Some(Format::Aiger),
+            "verilog" | "v" => Some(Format::Verilog),
+            _ => None,
+        }
+    }
+
+    /// Infers the format from a path's extension (`.bench`, `.blif`,
+    /// `.aag`, `.aig`, `.v`).
+    pub fn from_extension(path: &std::path::Path) -> Option<Format> {
+        let ext = path.extension()?.to_str()?;
+        match ext.to_ascii_lowercase().as_str() {
+            "bench" => Some(Format::Bench),
+            "blif" => Some(Format::Blif),
+            "aag" | "aig" => Some(Format::Aiger),
+            "v" => Some(Format::Verilog),
+            _ => None,
+        }
+    }
+
+    /// Sniffs the format from file content: the AIGER magic, then the
+    /// first substantive line (`.`-directive → BLIF, `module` → Verilog,
+    /// anything `.bench`-shaped → bench).
+    pub fn sniff(bytes: &[u8]) -> Option<Format> {
+        if bytes.starts_with(b"aag ") || bytes.starts_with(b"aig ") {
+            return Some(Format::Aiger);
+        }
+        let text = std::str::from_utf8(bytes).ok()?;
+        for raw in text.lines() {
+            let line = raw.trim_start();
+            if line.is_empty() || line.starts_with('#') || line.starts_with("//") {
+                continue;
+            }
+            if line.starts_with('.') {
+                return Some(Format::Blif);
+            }
+            if line == "module"
+                || line
+                    .strip_prefix("module")
+                    .is_some_and(|r| r.starts_with(char::is_whitespace))
+            {
+                return Some(Format::Verilog);
+            }
+            let upper = line.to_ascii_uppercase();
+            if upper.starts_with("INPUT") || upper.starts_with("OUTPUT") || line.contains('=') {
+                return Some(Format::Bench);
+            }
+            return None;
+        }
+        None
+    }
+}
+
+impl std::fmt::Display for Format {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Parses netlist bytes in the given format, assigning delays via
+/// `delay_fn` wherever the file itself carries none.
+///
+/// Text formats reject invalid UTF-8 with a typed error; AIGER accepts
+/// raw bytes (the binary AND section is not text).
+///
+/// # Errors
+///
+/// Whatever the format's parser returns — see [`bench::parse_bench`],
+/// [`blif::parse_blif`], [`aiger::parse_aiger`],
+/// [`verilog::parse_verilog`].
+///
+/// # Example
+///
+/// ```
+/// use tbf_logic::parsers::{parse_netlist, Format, unit_delays};
+///
+/// let n = parse_netlist(
+///     Format::Bench,
+///     b"INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n",
+///     unit_delays,
+/// )?;
+/// assert_eq!(n.evaluate_outputs(&[false]), vec![true]);
+/// # Ok::<(), tbf_logic::NetlistError>(())
+/// ```
+pub fn parse_netlist(
+    format: Format,
+    bytes: &[u8],
+    delay_fn: impl FnMut(GateKind, usize) -> DelayBounds,
+) -> Result<Netlist, NetlistError> {
+    let text = |bytes: &[u8]| -> Result<String, NetlistError> {
+        String::from_utf8(bytes.to_vec()).map_err(|e| NetlistError::Parse {
+            line: 1,
+            message: format!("{format} input is not UTF-8: {e}"),
+        })
+    };
+    match format {
+        Format::Bench => bench::parse_bench(&text(bytes)?, delay_fn),
+        Format::Blif => blif::parse_blif(&text(bytes)?, delay_fn),
+        Format::Aiger => aiger::parse_aiger(bytes, delay_fn),
+        Format::Verilog => verilog::parse_verilog(&text(bytes)?, delay_fn),
+    }
+}
+
+/// Loads a netlist file, inferring its format from the extension and
+/// falling back to content sniffing, then `.bench` (the historical
+/// default for extension-less benchmark files).
+///
+/// # Errors
+///
+/// [`NetlistError::Io`] if the file cannot be read, otherwise whatever
+/// [`parse_netlist`] returns for the resolved format.
+///
+/// # Example
+///
+/// ```
+/// use tbf_logic::parsers::{load_netlist, unit_delays};
+///
+/// let path = std::env::temp_dir().join("tbf_doc_load.blif");
+/// std::fs::write(&path, ".model m\n.inputs a\n.outputs f\n.gate inv i0=a O=f\n.end\n").unwrap();
+/// let n = load_netlist(&path, unit_delays)?;
+/// assert_eq!(n.evaluate_outputs(&[false]), vec![true]);
+/// # std::fs::remove_file(&path).ok();
+/// # Ok::<(), tbf_logic::NetlistError>(())
+/// ```
+pub fn load_netlist(
+    path: impl AsRef<std::path::Path>,
+    delay_fn: impl FnMut(GateKind, usize) -> DelayBounds,
+) -> Result<Netlist, NetlistError> {
+    let path = path.as_ref();
+    let bytes = std::fs::read(path).map_err(|e| NetlistError::Io {
+        path: path.display().to_string(),
+        detail: e.to_string(),
+    })?;
+    let format = Format::from_extension(path)
+        .or_else(|| Format::sniff(&bytes))
+        .unwrap_or(Format::Bench);
+    parse_netlist(format, &bytes, delay_fn)
+}
+
+/// Splits a raw source line into its code part and an optional `@tbf`
+/// pragma carried by the trailing comment.
+///
+/// Pragmas are the delay/alias annotation convention shared by the
+/// `.bench` and BLIF writers (see `FORMATS.md`): a comment of the form
+/// `# @tbf <body>` is returned as `Some(body)`; every other comment is
+/// discarded exactly as before.
+pub(crate) fn split_pragma(raw: &str) -> (&str, Option<&str>) {
+    match raw.split_once('#') {
+        None => (raw, None),
+        Some((code, comment)) => match comment.trim().strip_prefix("@tbf") {
+            Some(body) if body.starts_with(char::is_whitespace) => (code, Some(body.trim())),
+            _ => (code, None),
+        },
+    }
+}
+
+/// Parses the body of a `@tbf delay <min> <max>` pragma (scaled
+/// fixed-point integers, [`crate::TIME_SCALE`] sub-units per unit) into
+/// delay bounds. Returns `Ok(None)` if `body` is not a delay pragma.
+pub(crate) fn parse_delay_pragma(
+    body: &str,
+    line: usize,
+) -> Result<Option<DelayBounds>, NetlistError> {
+    let Some(rest) = body.strip_prefix("delay") else {
+        return Ok(None);
+    };
+    let err = |message: String| NetlistError::Parse { line, message };
+    let parts: Vec<&str> = rest.split_whitespace().collect();
+    let [min, max] = parts.as_slice() else {
+        return Err(err(format!(
+            "delay pragma needs two scaled integers, got `{rest}`"
+        )));
+    };
+    let min: i64 = min
+        .parse()
+        .map_err(|e| err(format!("delay pragma min: {e}")))?;
+    let max: i64 = max
+        .parse()
+        .map_err(|e| err(format!("delay pragma max: {e}")))?;
+    if min < 0 || min > max {
+        return Err(err(format!("invalid delay pragma bounds [{min}, {max}]")));
+    }
+    Ok(Some(DelayBounds::new(
+        Time::from_scaled(min),
+        Time::from_scaled(max),
+    )))
+}
+
+/// Parses the body of a `@tbf output <name> <driver>` pragma, which
+/// re-binds a declared primary output to a differently-named driver
+/// node. Returns `Ok(None)` if `body` is not an output pragma.
+pub(crate) fn parse_output_pragma(
+    body: &str,
+    line: usize,
+) -> Result<Option<(String, String)>, NetlistError> {
+    let Some(rest) = body.strip_prefix("output") else {
+        return Ok(None);
+    };
+    let parts: Vec<&str> = rest.split_whitespace().collect();
+    let [name, driver] = parts.as_slice() else {
+        return Err(NetlistError::Parse {
+            line,
+            message: format!("output pragma needs `<name> <driver>`, got `{rest}`"),
+        });
+    };
+    Ok(Some(((*name).to_owned(), (*driver).to_owned())))
+}
+
+/// The `@tbf delay` pragma text for one gate's bounds (scaled integers).
+pub(crate) fn delay_pragma(delay: DelayBounds) -> String {
+    format!("# @tbf delay {} {}", delay.min.scaled(), delay.max.scaled())
+}
+
+/// Checks that every name a writer would emit survives a reparse as a
+/// single token: non-empty, no whitespace, none of the characters the
+/// line grammars assign meaning to, and (for BLIF) no leading `.`.
+pub(crate) fn check_writable_name(name: &str, format: &'static str) -> Result<(), NetlistError> {
+    let bad_char = |c: char| c.is_whitespace() || matches!(c, '#' | '(' | ')' | ',' | '=' | '\\');
+    if name.is_empty() || name.contains(bad_char) || name.starts_with('.') {
+        return Err(NetlistError::Unwritable {
+            name: name.to_owned(),
+            detail: format!("name is not representable as a {format} token"),
+        });
+    }
+    Ok(())
+}
+
+/// Checks the writer precondition that primary inputs occupy the first
+/// node ids: both line-oriented parsers resolve all inputs before any
+/// gate, so an interleaved netlist cannot round-trip id-exactly.
+pub(crate) fn check_inputs_first(netlist: &crate::Netlist) -> Result<(), NetlistError> {
+    for (pos, id) in netlist.inputs().iter().enumerate() {
+        if id.index() != pos {
+            return Err(NetlistError::Unwritable {
+                name: netlist.node(*id).name().to_owned(),
+                detail: "inputs must precede all gates to round-trip id-exactly".to_owned(),
+            });
+        }
+    }
+    Ok(())
+}
 
 /// Every gate gets delay `[1, 1]`.
 pub fn unit_delays(_kind: GateKind, _fanins: usize) -> DelayBounds {
@@ -46,6 +338,83 @@ mod tests {
             unit_delays(GateKind::Nand, 4),
             DelayBounds::fixed(Time::from_int(1))
         );
+    }
+
+    #[test]
+    fn format_names_round_trip() {
+        for f in Format::ALL {
+            assert_eq!(Format::from_name(f.name()), Some(f));
+            assert_eq!(f.to_string(), f.name());
+        }
+        assert_eq!(Format::from_name("AAG"), Some(Format::Aiger));
+        assert_eq!(Format::from_name("v"), Some(Format::Verilog));
+        assert_eq!(Format::from_name("vhdl"), None);
+    }
+
+    #[test]
+    fn extension_inference() {
+        use std::path::Path;
+        let cases = [
+            ("c17.bench", Some(Format::Bench)),
+            ("x.BLIF", Some(Format::Blif)),
+            ("x.aag", Some(Format::Aiger)),
+            ("x.aig", Some(Format::Aiger)),
+            ("x.v", Some(Format::Verilog)),
+            ("x.vhd", None),
+            ("noext", None),
+        ];
+        for (path, want) in cases {
+            assert_eq!(Format::from_extension(Path::new(path)), want, "{path}");
+        }
+    }
+
+    #[test]
+    fn content_sniffing() {
+        let cases: &[(&[u8], Option<Format>)] = &[
+            (b"aag 1 1 0 1 0\n", Some(Format::Aiger)),
+            (b"aig 1 1 0 1 0\n", Some(Format::Aiger)),
+            (b"# hdr\n.model m\n", Some(Format::Blif)),
+            (b"// hdr\nmodule m (a);\n", Some(Format::Verilog)),
+            (b"# c17\nINPUT(1)\n", Some(Format::Bench)),
+            (b"g = AND(a, b)\n", Some(Format::Bench)),
+            (b"modulex = AND(a, b)\n", Some(Format::Bench)),
+            (b"\n# only comments\n", None),
+            (b"total gibberish", None),
+            (b"\xff\xfe binary junk", None),
+        ];
+        for (bytes, want) in cases {
+            assert_eq!(Format::sniff(bytes), *want, "{bytes:?}");
+        }
+    }
+
+    #[test]
+    fn parse_netlist_dispatches_all_formats() {
+        let sources: [(&str, &[u8]); 4] = [
+            ("bench", b"INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n"),
+            (
+                "blif",
+                b".model m\n.inputs a\n.outputs y\n.gate inv i0=a O=y\n.end\n",
+            ),
+            ("aiger", b"aag 1 1 0 1 0\n2\n3\ni0 a\no0 y\n"),
+            (
+                "verilog",
+                b"module m (a, y);\ninput a;\noutput y;\nnot g (y, a);\nendmodule\n",
+            ),
+        ];
+        for (name, bytes) in sources {
+            let format = Format::from_name(name).unwrap();
+            let n = parse_netlist(format, bytes, unit_delays).unwrap_or_else(|e| {
+                panic!("{name}: {e}");
+            });
+            assert_eq!(n.evaluate_outputs(&[false]), vec![true], "{name}");
+            assert_eq!(n.evaluate_outputs(&[true]), vec![false], "{name}");
+        }
+    }
+
+    #[test]
+    fn parse_netlist_rejects_non_utf8_text_formats() {
+        let err = parse_netlist(Format::Bench, b"\xff\xfe", unit_delays).unwrap_err();
+        assert!(err.to_string().contains("UTF-8"), "{err}");
     }
 
     #[test]

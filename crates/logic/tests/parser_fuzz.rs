@@ -1,5 +1,6 @@
-//! Deterministic parser fuzzing: the `.bench`/BLIF parsers must return a
-//! typed `NetlistError` on arbitrary input — never panic — and must
+//! Deterministic parser fuzzing: all four front-end parsers
+//! (`.bench`, BLIF, AIGER, structural Verilog) must return a typed
+//! `NetlistError` on arbitrary input — never panic — and must
 //! round-trip everything the writers emit.
 //!
 //! Seeded with the in-repo SplitMix64 so failures reproduce bit-for-bit
@@ -8,13 +9,16 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use tbf_logic::generators::random::{random_dag, SplitMix64};
+use tbf_logic::parsers::aiger::parse_aiger;
 use tbf_logic::parsers::bench::{parse_bench, write_bench};
 use tbf_logic::parsers::blif::{parse_blif, write_blif};
 use tbf_logic::parsers::unit_delays;
+use tbf_logic::parsers::verilog::parse_verilog;
 use tbf_logic::Netlist;
 
-/// Runs both parsers on `text`, asserting they produce `Ok`/`Err` rather
-/// than panicking, and that any accepted netlist is internally usable.
+/// Runs all four parsers on `text`, asserting they produce `Ok`/`Err`
+/// rather than panicking, and that any accepted netlist is internally
+/// usable.
 fn parsers_survive(text: &str, seed: u64) {
     for (label, run) in [
         (
@@ -22,6 +26,8 @@ fn parsers_survive(text: &str, seed: u64) {
             (|t: &str| parse_bench(t, unit_delays)) as fn(&str) -> _,
         ),
         ("blif", |t: &str| parse_blif(t, unit_delays)),
+        ("verilog", |t: &str| parse_verilog(t, unit_delays)),
+        ("aiger", |t: &str| parse_aiger(t.as_bytes(), unit_delays)),
     ] {
         let outcome = catch_unwind(AssertUnwindSafe(|| run(text)));
         match outcome {
@@ -95,6 +101,37 @@ fn token_soup_never_panics() {
         "# comment",
         "f = BUF(f)",
         "",
+        // Pragma and `.gate` fragments so the new front-end paths run.
+        "# @tbf delay 1 2",
+        "# @tbf delay -3 2",
+        "# @tbf output f g",
+        "f = AND(a, b) # @tbf delay 5 7",
+        ".gate and2 i0=a i1=b O=f",
+        ".gate inv i0=a O=f # @tbf delay 1 1",
+        ".gate frob i0=a O=f",
+        // Verilog fragments.
+        "module m (a, f);",
+        "module m;",
+        "input a;",
+        "input a, b;",
+        "output f;",
+        "wire w;",
+        "not (f, a);",
+        "not(f, a);",
+        "and #(1.5) g (f, a, b);",
+        "and #(2, 1) g (f, a, b);",
+        "assign f = a;",
+        "endmodule",
+        // AIGER header/body fragments.
+        "aag 3 1 0 1 2",
+        "aag 0 0 0 0 0",
+        "aig 1 1 0 1 0",
+        "6 2 4",
+        "2",
+        "3",
+        "i0 a",
+        "o0 f",
+        "c",
     ];
     for seed in 0..300u64 {
         let mut rng = SplitMix64::new(seed);
@@ -104,6 +141,35 @@ fn token_soup_never_panics() {
             .collect::<Vec<_>>()
             .join("\n");
         parsers_survive(&text, seed);
+    }
+}
+
+#[test]
+fn aiger_binary_soup_never_panics() {
+    // Raw byte soup behind a plausible binary header: exercises the
+    // LEB128 delta decoder, the symbol table, and the EOF paths with
+    // arbitrary (frequently non-UTF-8) tails.
+    const HEADERS: &[&[u8]] = &[
+        b"aig 3 1 0 1 2\n",
+        b"aig 5 2 0 1 3\n",
+        b"aag 3 1 0 1 2\n",
+        b"aig 16777216 1 0 1 16777215\n",
+        b"",
+    ];
+    for seed in 0..300u64 {
+        let mut rng = SplitMix64::new(seed ^ 0xA16E5);
+        let mut bytes = HEADERS[rng.below(HEADERS.len())].to_vec();
+        let len = rng.below(200);
+        bytes.extend((0..len).map(|_| (rng.next_u64() & 0xFF) as u8));
+        let outcome = catch_unwind(AssertUnwindSafe(|| parse_aiger(&bytes, unit_delays)));
+        match outcome {
+            Err(_) => panic!("aiger parser panicked on binary soup (seed {seed}): {bytes:?}"),
+            Ok(Ok(n)) => {
+                let inputs = vec![false; n.inputs().len()];
+                assert_eq!(n.evaluate_outputs(&inputs).len(), n.outputs().len());
+            }
+            Ok(Err(_)) => {}
+        }
     }
 }
 
@@ -140,7 +206,8 @@ fn random_dags_round_trip_through_both_formats() {
     for seed in 0..40u64 {
         let n = random_dag(4, 12, 3, seed);
 
-        let blif = write_blif(&n, "fuzz");
+        let blif = write_blif(&n, "fuzz")
+            .unwrap_or_else(|e| panic!("write_blif failed (seed {seed}): {e}"));
         let round = parse_blif(&blif, unit_delays)
             .unwrap_or_else(|e| panic!("blif round-trip failed (seed {seed}): {e}\n{blif}"));
         assert_equivalent(&n, &round, seed, "blif");

@@ -1,0 +1,267 @@
+//! Round-trip and robustness properties of the multi-format front end.
+//!
+//! The contract under test (see `FORMATS.md`): for every netlist the
+//! writers can serialize, `parse ∘ write` reproduces the **identical**
+//! circuit — byte-identical `structural_signature` and per-output
+//! `cone_signature`s, for both `.bench` and BLIF, regardless of the
+//! delay callback handed to the re-parse (the emitted `# @tbf delay`
+//! pragmas must dominate it). Plus: malformed AIGER/Verilog input
+//! yields typed errors, never panics, even one bit-flip away from a
+//! valid file.
+//!
+//! Cases come from the in-repo SplitMix64 stream — hermetic and
+//! bit-stable, no external property-test crates.
+
+use tbf_logic::generators::random::{random_dag, SplitMix64};
+use tbf_logic::parsers::aiger::parse_aiger;
+use tbf_logic::parsers::bench::{parse_bench, write_bench};
+use tbf_logic::parsers::blif::{parse_blif, write_blif};
+use tbf_logic::parsers::verilog::parse_verilog;
+use tbf_logic::parsers::{mcnc_like_delays, unit_delays};
+use tbf_logic::{DelayBounds, Netlist, NetlistError};
+
+/// Every signature the round-trip contract covers: the structural one
+/// plus one cone per output.
+fn signatures(n: &Netlist) -> Vec<Vec<u8>> {
+    let mut sigs = vec![n.structural_signature()];
+    sigs.extend((0..n.outputs().len()).map(|i| n.cone_signature(i)));
+    sigs
+}
+
+/// One seeded test netlist. Sizes and delay spreads vary with the
+/// seed; odd seeds stretch every dmin away from dmax so the emitted
+/// pragmas are not uniform.
+fn seeded_netlist(seed: u64) -> Netlist {
+    let inputs = 3 + (seed as usize % 6);
+    let gates = 8 + (seed as usize * 7 % 40);
+    let n = random_dag(inputs, gates, 3, seed);
+    if seed % 2 == 1 {
+        let f = 0.5 + (seed % 5) as f64 / 10.0;
+        n.map_delays(|d| DelayBounds::scaled_min(d.max, f))
+    } else {
+        n
+    }
+}
+
+#[test]
+fn hundred_seeded_netlists_round_trip_with_identical_signatures() {
+    for seed in 0..100u64 {
+        let original = seeded_netlist(seed);
+        let want = signatures(&original);
+
+        // The re-parse deliberately uses a different delay callback
+        // than the original netlist: the pragmas must win.
+        let bench = write_bench(&original)
+            .unwrap_or_else(|e| panic!("write_bench failed (seed {seed}): {e}"));
+        let via_bench = parse_bench(&bench, mcnc_like_delays)
+            .unwrap_or_else(|e| panic!("bench re-parse failed (seed {seed}): {e}\n{bench}"));
+        assert_eq!(
+            signatures(&via_bench),
+            want,
+            "bench round-trip changed a signature (seed {seed})\n{bench}"
+        );
+
+        let blif = write_blif(&original, "prop")
+            .unwrap_or_else(|e| panic!("write_blif failed (seed {seed}): {e}"));
+        let via_blif = parse_blif(&blif, mcnc_like_delays)
+            .unwrap_or_else(|e| panic!("blif re-parse failed (seed {seed}): {e}\n{blif}"));
+        assert_eq!(
+            signatures(&via_blif),
+            want,
+            "blif round-trip changed a signature (seed {seed})\n{blif}"
+        );
+
+        // Cross-format parity follows, but assert it explicitly: the
+        // two serializations describe the identical circuit.
+        assert_eq!(
+            signatures(&via_bench),
+            signatures(&via_blif),
+            "bench and blif round-trips disagree (seed {seed})"
+        );
+    }
+}
+
+#[test]
+fn committed_corpus_round_trips() {
+    // Every committed corpus circuit must satisfy the same contract,
+    // in whichever format it is committed.
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../../benchmarks");
+    let mut checked = 0;
+    for tier in ["iscas85", "generated"] {
+        let dir = format!("{root}/{tier}");
+        let mut paths: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap_or_else(|e| panic!("{dir}: {e} — corpus missing?"))
+            .map(|entry| entry.expect("readable dir entry").path())
+            .collect();
+        paths.sort();
+        for path in paths {
+            let ext = path.extension().and_then(|e| e.to_str()).unwrap_or("");
+            if ext != "bench" && ext != "blif" {
+                continue;
+            }
+            let text = std::fs::read_to_string(&path).expect("corpus files are UTF-8");
+            let label = path.display();
+            let original = match ext {
+                "bench" => parse_bench(&text, mcnc_like_delays),
+                _ => parse_blif(&text, mcnc_like_delays),
+            }
+            .unwrap_or_else(|e| panic!("{label}: {e}"));
+            let want = signatures(&original);
+            for (format, rt) in [
+                ("bench", write_bench(&original)),
+                ("blif", write_blif(&original, "corpus")),
+            ] {
+                let written = match rt {
+                    Ok(w) => w,
+                    // `.bench` cannot express constants; skipping is the
+                    // documented behavior, not a round-trip failure.
+                    Err(NetlistError::BadArity { .. }) if format == "bench" => continue,
+                    Err(e) => panic!("{label}: write_{format} failed: {e}"),
+                };
+                let round = match format {
+                    "bench" => parse_bench(&written, unit_delays),
+                    _ => parse_blif(&written, unit_delays),
+                }
+                .unwrap_or_else(|e| panic!("{label}: {format} re-parse failed: {e}"));
+                assert_eq!(
+                    signatures(&round),
+                    want,
+                    "{label}: {format} round-trip changed a signature"
+                );
+            }
+            checked += 1;
+        }
+    }
+    assert!(checked >= 14, "only {checked} corpus circuits found");
+}
+
+/// A small valid ASCII AIGER file used as the mutation base.
+const AAG_BASE: &[u8] =
+    b"aag 5 2 0 2 3\n2\n4\n6\n11\n6 2 4\n8 6 5\n10 8 2\ni0 a\ni1 b\no0 f\no1 g\n";
+
+#[test]
+fn aiger_mutations_yield_typed_errors_never_panics() {
+    assert!(
+        parse_aiger(AAG_BASE, unit_delays).is_ok(),
+        "mutation base must be valid"
+    );
+    for seed in 0..400u64 {
+        let mut rng = SplitMix64::new(seed ^ 0xB17F);
+        let mut bytes = AAG_BASE.to_vec();
+        for _ in 0..1 + rng.below(3) {
+            let pos = rng.below(bytes.len());
+            match rng.below(3) {
+                0 => bytes[pos] ^= 1 << rng.below(8),
+                1 => {
+                    bytes.remove(pos);
+                }
+                _ => bytes.insert(pos, (rng.next_u64() & 0xFF) as u8),
+            }
+            if bytes.is_empty() {
+                break;
+            }
+        }
+        match parse_aiger(&bytes, unit_delays) {
+            // Some mutations stay valid; accepted netlists must be
+            // coherent.
+            Ok(n) => {
+                let inputs = vec![false; n.inputs().len()];
+                assert_eq!(n.evaluate_outputs(&inputs).len(), n.outputs().len());
+            }
+            Err(e) => {
+                // Typed: rendering the error must work and carry text.
+                assert!(!e.to_string().is_empty(), "seed {seed}");
+            }
+        }
+    }
+}
+
+/// A small valid Verilog module used as the mutation base.
+const VERILOG_BASE: &str = "module m (a, b, f);\n  input a, b;\n  output f;\n  wire w;\n  and #(1.5) g1 (w, a, b);\n  not g2 (f, w);\nendmodule\n";
+
+#[test]
+fn verilog_mutations_yield_typed_errors_never_panics() {
+    assert!(
+        parse_verilog(VERILOG_BASE, unit_delays).is_ok(),
+        "mutation base must be valid"
+    );
+    const NOISE: &[char] = &[
+        '(', ')', ';', ',', '#', '.', '/', '*', '\\', 'x', '0', '9', ' ', '\n', '[', ']', 'ü',
+    ];
+    for seed in 0..400u64 {
+        let mut rng = SplitMix64::new(seed ^ 0x7E21106);
+        let mut chars: Vec<char> = VERILOG_BASE.chars().collect();
+        for _ in 0..1 + rng.below(3) {
+            let pos = rng.below(chars.len());
+            match rng.below(3) {
+                0 => chars[pos] = NOISE[rng.below(NOISE.len())],
+                1 => {
+                    chars.remove(pos);
+                }
+                _ => chars.insert(pos, NOISE[rng.below(NOISE.len())]),
+            }
+            if chars.is_empty() {
+                break;
+            }
+        }
+        let text: String = chars.into_iter().collect();
+        match parse_verilog(&text, unit_delays) {
+            Ok(n) => {
+                let inputs = vec![false; n.inputs().len()];
+                assert_eq!(n.evaluate_outputs(&inputs).len(), n.outputs().len());
+            }
+            Err(e) => {
+                assert!(!e.to_string().is_empty(), "seed {seed}");
+            }
+        }
+    }
+}
+
+#[test]
+fn aiger_malformed_table_is_typed() {
+    // Beyond random mutation: the documented malformed classes, each a
+    // typed `Parse` error naming a line.
+    let cases: [&[u8]; 8] = [
+        b"aag 1 1 0 1 0\n2\n9\n",               // output literal out of range
+        b"aag 1 2 0 0 0\n2\n2\n",               // duplicate input literal
+        b"aag 2 1 0 1 1\n2\n4\n4 2 2\n4 2 2\n", // AND defined twice
+        b"aag 99999999999999999999 0 0 0 0\n",  // header overflow
+        b"aag 2 1 0 1 1\n2\n4\n",               // truncated AND section
+        b"aig 1 2 0 0 0\n",                     // binary I+A > M
+        b"aag 1 1 0 1 0\n3\n3\n",               // odd input literal
+        b"aag 1 1 0 1 0\n2\n2\ni9 z\n",         // symbol position out of range
+    ];
+    for bytes in cases {
+        match parse_aiger(bytes, unit_delays) {
+            Err(NetlistError::Parse { line, message }) => {
+                assert!(line > 0, "{message}");
+                assert!(!message.is_empty());
+            }
+            Err(other) => panic!("expected Parse error, got {other}"),
+            Ok(_) => panic!("accepted malformed AIGER: {bytes:?}"),
+        }
+    }
+}
+
+#[test]
+fn verilog_malformed_table_is_typed() {
+    let cases = [
+        "module m (a, f); input a; output f; not (f, a);", // no endmodule
+        "module m (a, f); input a; output f; assign f = a; endmodule",
+        "module m (a, f); input a; output f; not #(-1) (f, a); endmodule",
+        "module m (a, f); input a; output f; not #(2, 1) (f, a); endmodule",
+        "module m (a, f); input a[3:0]; output f; not (f, a); endmodule",
+        "module m (a, f); input a; output f; frob (f, a); endmodule",
+        "module m (a, f); input a; output f; not (f, a); /* unterminated endmodule",
+    ];
+    for src in cases {
+        match parse_verilog(src, unit_delays) {
+            Err(NetlistError::Parse { line, message }) => {
+                assert!(line > 0, "{message}");
+                assert!(!message.is_empty());
+            }
+            Err(other) => panic!("expected Parse error, got {other}: {src}"),
+            Ok(_) => panic!("accepted malformed Verilog: {src}"),
+        }
+    }
+}

@@ -18,8 +18,11 @@
 //! * `id` — required string, echoed in the response.
 //! * `circuit` (inline netlist text) **or** `path` (file to read) —
 //!   exactly one must be present.
-//! * `format` — `bench` (default) or `blif`; inferred from a `path`
-//!   extension when absent.
+//! * `format` — `bench`, `blif`, `aiger` (aliases `aag`/`aig`) or
+//!   `verilog` (alias `v`); inferred from a `path` extension (then
+//!   content sniffing) when absent, defaulting to `bench`. Inline
+//!   `circuit` text can carry any of the three text formats; binary
+//!   AIGER must come in via `path` (JSON strings cannot carry it).
 //! * `delays` — `mcnc` (default) or `unit`.
 //! * `model` — only `anytime` in schema v1.
 //! * `deadline_ms` — per-request wall-clock budget; the effective
@@ -56,10 +59,8 @@
 use std::fmt;
 
 use tbf_core::{CircuitReport, DelayOptions, OutputStatus, ReorderPolicy, TbfCacheMode};
-use tbf_logic::parsers::bench::parse_bench;
-use tbf_logic::parsers::blif::parse_blif;
 use tbf_logic::parsers::{mcnc_like_delays, unit_delays};
-use tbf_logic::Netlist;
+use tbf_logic::{Format, Netlist};
 use tbf_obs::json::Value;
 
 /// Schema name stamped into every response line.
@@ -357,7 +358,7 @@ pub fn parse_request(
 
     let inline = doc.get("circuit").and_then(Value::as_str);
     let path = doc.get("path").and_then(Value::as_str);
-    let (text, default_format) = match (inline, path) {
+    let (bytes, inferred) = match (inline, path) {
         (Some(_), Some(_)) => {
             return Err(fail(ServeError::BadRequest {
                 detail: "request carries both `circuit` and `path`; send exactly one".to_owned(),
@@ -368,29 +369,34 @@ pub fn parse_request(
                 detail: "request carries neither `circuit` (inline) nor `path`".to_owned(),
             }))
         }
-        (Some(text), None) => (text.to_owned(), "bench"),
+        (Some(text), None) => {
+            let bytes = text.as_bytes().to_vec();
+            let inferred = Format::sniff(&bytes);
+            (bytes, inferred)
+        }
         (None, Some(p)) => {
-            let text = std::fs::read_to_string(p).map_err(|e| {
+            // Binary (`aig`) AIGER is legal here, so the read must not
+            // insist on UTF-8.
+            let bytes = std::fs::read(p).map_err(|e| {
                 fail(ServeError::BadRequest {
                     detail: format!("cannot read `{p}`: {}", e.kind()),
                 })
             })?;
-            let format = if p.ends_with(".blif") {
-                "blif"
-            } else {
-                "bench"
-            };
-            (text, format)
+            let inferred =
+                Format::from_extension(std::path::Path::new(p)).or_else(|| Format::sniff(&bytes));
+            (bytes, inferred)
         }
     };
     let format = match doc.get("format").and_then(Value::as_str) {
-        None => default_format,
-        Some(f @ ("bench" | "blif")) => f,
-        Some(other) => {
-            return Err(fail(ServeError::BadRequest {
-                detail: format!("unknown format `{other}` (bench|blif)"),
-            }))
-        }
+        None => inferred.unwrap_or(Format::Bench),
+        Some(name) => match Format::from_name(name) {
+            Some(f) => f,
+            None => {
+                return Err(fail(ServeError::BadRequest {
+                    detail: format!("unknown format `{name}` (bench|blif|aiger|verilog)"),
+                }))
+            }
+        },
     };
     let delays = match doc.get("delays").and_then(Value::as_str) {
         None => "mcnc",
@@ -405,11 +411,7 @@ pub fn parse_request(
         "unit" => unit_delays as fn(_, _) -> _,
         _ => mcnc_like_delays as fn(_, _) -> _,
     };
-    let netlist = match format {
-        "blif" => parse_blif(&text, delay_fn),
-        _ => parse_bench(&text, delay_fn),
-    }
-    .map_err(|e| {
+    let netlist = tbf_logic::parse_netlist(format, &bytes, delay_fn).map_err(|e| {
         fail(ServeError::BadRequest {
             detail: format!("netlist does not parse: {e}"),
         })
@@ -803,6 +805,80 @@ mod tests {
             parse(r#"{"id":"c","circuit":"INPUT(a)\nOUTPUT(f)\nf = NOT(a)\n","delays":"unit"}"#)
                 .expect("parses");
         assert_ne!(a.cache_key, unit.cache_key, "delay model is");
+    }
+
+    #[test]
+    fn inline_requests_negotiate_text_formats() {
+        // Inline BLIF via the `format` member.
+        let blif = parse(
+            r#"{"id":"b","format":"blif","circuit":".model t\n.inputs a\n.outputs f\n.names a f\n0 1\n.end\n"}"#,
+        )
+        .expect("blif parses");
+        // Inline ASCII AIGER under its `aag` alias.
+        let aag = parse(r#"{"id":"a","format":"aag","circuit":"aag 1 1 0 1 0\n2\n3\n"}"#)
+            .expect("aag parses");
+        assert_eq!(aag.netlist.outputs().len(), 1);
+        // Inline structural Verilog under its `v` alias.
+        let verilog = parse(
+            r#"{"id":"v","format":"v","circuit":"module t(a, f); input a; output f; not(f, a); endmodule\n"}"#,
+        )
+        .expect("verilog parses");
+        assert_eq!(verilog.netlist.gate_count(), 1);
+        // All three encode the same inverter.
+        for input in [false, true] {
+            for r in [&blif, &aag, &verilog] {
+                assert_eq!(r.netlist.evaluate_outputs(&[input]), vec![!input]);
+            }
+        }
+        // Without a `format` member, inline text is content-sniffed —
+        // the `.model` directive and `module` keyword are unambiguous.
+        let sniffed_blif = parse(
+            r#"{"id":"sb","circuit":".model t\n.inputs a\n.outputs f\n.names a f\n0 1\n.end\n"}"#,
+        )
+        .expect("format-less inline BLIF sniffs");
+        let sniffed_verilog = parse(
+            r#"{"id":"sv","circuit":"module t(a, f); input a; output f; not(f, a); endmodule\n"}"#,
+        )
+        .expect("format-less inline Verilog sniffs");
+        for input in [false, true] {
+            for r in [&sniffed_blif, &sniffed_verilog] {
+                assert_eq!(r.netlist.evaluate_outputs(&[input]), vec![!input]);
+            }
+        }
+        // Unknown format names are a typed error, not a panic.
+        let (_, err) = parse(r#"{"id":"x","format":"edif","circuit":"x"}"#).expect_err("rejected");
+        assert_eq!(err.kind(), "bad_request");
+    }
+
+    #[test]
+    fn path_requests_infer_format_and_accept_binary() {
+        // A binary AIGER inverter: one implicit input (variable 1),
+        // output literal 3, no ANDs.
+        let dir = std::env::temp_dir().join(format!("tbf-serve-fmt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("inv.aig");
+        std::fs::write(&path, b"aig 1 1 0 1 0\n3\n").expect("write");
+        let line = format!(r#"{{"id":"p","path":"{}"}}"#, path.display());
+        let r = parse(&line).expect("binary aig parses via path inference");
+        assert_eq!(r.netlist.outputs().len(), 1);
+
+        // Extension-less path falls back to content sniffing.
+        let sniffed = dir.join("inv_no_ext");
+        std::fs::write(&sniffed, b"aag 1 1 0 1 0\n2\n3\n").expect("write");
+        let line = format!(r#"{{"id":"s","path":"{}"}}"#, sniffed.display());
+        let r = parse(&line).expect("sniffed aag parses");
+        assert_eq!(r.netlist.outputs().len(), 1);
+
+        // An explicit `format` member overrides the extension.
+        let mislabeled = dir.join("bench_in_disguise.blif");
+        std::fs::write(&mislabeled, b"INPUT(a)\nOUTPUT(f)\nf = NOT(a)\n").expect("write");
+        let line = format!(
+            r#"{{"id":"o","format":"bench","path":"{}"}}"#,
+            mislabeled.display()
+        );
+        let r = parse(&line).expect("explicit format overrides extension");
+        assert_eq!(r.netlist.gate_count(), 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
