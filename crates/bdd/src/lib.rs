@@ -19,7 +19,13 @@
 //! * dynamic variable reordering: in-place adjacent
 //!   [swaps](BddManager::swap_levels), Rudell [sifting](BddManager::sift),
 //!   and an automatic [`ReorderPolicy`] — all without ever invalidating a
-//!   [`Bdd`] handle.
+//!   [`Bdd`] handle,
+//! * a cache-conscious memory subsystem: per-variable open-addressing
+//!   unique subtables over a flat node arena, and optional mark-and-sweep
+//!   [garbage collection](BddManager::collect_garbage) under a
+//!   [`GcPolicy`] — the one operation that *does* invalidate handles,
+//!   but only those not reachable from its declared roots or the
+//!   [protected stack](BddManager::protect).
 //!
 //! # Example
 //!
@@ -43,6 +49,7 @@
 #![deny(missing_docs)]
 
 mod cube;
+mod gc;
 mod limit;
 mod manager;
 mod node;
@@ -50,8 +57,10 @@ mod obs;
 mod ops;
 mod reorder;
 mod transfer;
+mod unique;
 
 pub use cube::{Cube, Cubes};
+pub use gc::{GcPolicy, GcStats};
 pub use limit::{NodeLimitExceeded, OpAbort, OpBudget};
 pub use manager::BddManager;
 pub use node::{Bdd, Var};

@@ -1,8 +1,10 @@
-//! The BDD manager: node arena, unique table, and variable registry.
+//! The BDD manager: node arena, per-variable unique subtables, free
+//! list, and variable registry.
 
 use std::collections::HashMap;
 
 use crate::node::{Bdd, Node, Var, TERMINAL_LEVEL};
+use crate::unique::UniqueTables;
 
 /// Owner of all BDD nodes.
 ///
@@ -26,8 +28,14 @@ use crate::node::{Bdd, Node, Var, TERMINAL_LEVEL};
 /// Both modes expose the same API and compute the same functions; only
 /// representation size and negation cost differ.
 ///
-/// Memory is append-only: nodes are never freed during the manager's
-/// lifetime. The exact-delay search in `tbf-core` polls
+/// Nodes live in a flat arena; each variable owns an open-addressing
+/// unique subtable over it (see `unique.rs`), so interning probes one
+/// small cache-resident array and an adjacent-level swap touches exactly
+/// two subtables. By default the arena is append-only, but installing a
+/// [`GcPolicy`](crate::GcPolicy) lets
+/// [`maybe_gc`](Self::maybe_gc)/[`collect_garbage`](Self::collect_garbage)
+/// reclaim unreachable nodes in place through a free list (see `gc.rs`).
+/// The exact-delay search in `tbf-core` polls
 /// [`node_count`](Self::node_count) between operations to bound growth.
 ///
 /// Variables are *identities*, decoupled from their order position via the
@@ -52,7 +60,27 @@ use crate::node::{Bdd, Node, Var, TERMINAL_LEVEL};
 /// ```
 pub struct BddManager {
     pub(crate) nodes: Vec<Node>,
-    pub(crate) unique: HashMap<Node, Bdd>,
+    pub(crate) unique: UniqueTables,
+    /// Freed arena slots awaiting reuse (a stack; the GC sweep fills it
+    /// so that `pop` hands out the lowest index first).
+    pub(crate) free: Vec<u32>,
+    /// Handles pinned against garbage collection (frame discipline, see
+    /// [`protect`](Self::protect)).
+    pub(crate) protected: Vec<Bdd>,
+    pub(crate) gc_policy: crate::gc::GcPolicy,
+    /// Arena size at which the next [`maybe_gc`](Self::maybe_gc) sweep
+    /// fires (`usize::MAX` when the policy is `None`).
+    pub(crate) gc_trigger: usize,
+    pub(crate) gc_stats: crate::gc::GcStats,
+    /// High-water mark of the arena length (slots ever resident at
+    /// once). Unlike [`node_count`](Self::node_count) this includes dead
+    /// slots, so it measures what GC saves.
+    pub(crate) peak_arena: usize,
+    /// Monotone count of nodes ever interned (arena growth *and*
+    /// freed-slot reuse). Work budgets measure against this rather than
+    /// [`node_count`](Self::node_count) because a GC sweep cannot roll
+    /// it back.
+    pub(crate) allocated: usize,
     pub(crate) ite_cache: HashMap<(Bdd, Bdd, Bdd), Bdd>,
     pub(crate) not_cache: HashMap<Bdd, Bdd>,
     pub(crate) quant_cache: HashMap<(Bdd, u32, bool), Bdd>,
@@ -104,7 +132,14 @@ impl BddManager {
                 lo: Bdd::TRUE,
                 hi: Bdd::TRUE,
             }],
-            unique: HashMap::new(),
+            unique: UniqueTables::new(),
+            free: Vec::new(),
+            protected: Vec::new(),
+            gc_policy: crate::gc::GcPolicy::None,
+            gc_trigger: usize::MAX,
+            gc_stats: crate::gc::GcStats::default(),
+            peak_arena: 1,
+            allocated: 0,
             ite_cache: HashMap::new(),
             not_cache: HashMap::new(),
             quant_cache: HashMap::new(),
@@ -134,6 +169,7 @@ impl BddManager {
         self.var2level.push(idx);
         self.level2var.push(idx);
         self.var_nodes.push(Vec::new());
+        self.unique.push_var();
         Var(idx)
     }
 
@@ -158,9 +194,46 @@ impl BddManager {
         self.var_names.len()
     }
 
-    /// Total number of nodes allocated so far (including the terminal).
+    /// Number of *occupied* nodes (including the terminal): arena slots
+    /// minus the free list. With garbage collection off this equals the
+    /// total allocated, as before; a sweep shrinks it, so node budgets
+    /// and pressure triggers measure resident nodes, not historic churn.
     pub fn node_count(&self) -> usize {
+        self.nodes.len() - self.free.len()
+    }
+
+    /// Total arena slots (occupied + freed): the footprint actually
+    /// resident in memory.
+    pub fn arena_size(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// High-water mark of [`arena_size`](Self::arena_size) over the
+    /// manager's life — what peak memory looked like, whatever GC
+    /// reclaimed since.
+    pub fn peak_arena(&self) -> usize {
+        self.peak_arena
+    }
+
+    /// Nodes ever interned over the manager's life, counting freed-slot
+    /// reuse. Monotone: a GC sweep shrinks [`node_count`](Self::node_count)
+    /// but never this, which makes it the right base for bounding the
+    /// *work* of a sift pass independently of how much of its churn the
+    /// in-pass sweeps reclaim.
+    pub fn allocated_total(&self) -> usize {
+        self.allocated
+    }
+
+    /// Approximate resident bytes of the node arena plus the unique
+    /// subtables' slot arrays (memory telemetry for benches).
+    pub fn arena_bytes(&self) -> usize {
+        self.nodes.capacity() * std::mem::size_of::<Node>() + self.unique.slot_bytes()
+    }
+
+    /// `(entries, capacity)` of variable `v`'s unique subtable —
+    /// diagnostics for the capacity-stays-bounded regression tests.
+    pub fn unique_subtable_stats(&self, v: Var) -> (usize, usize) {
+        self.unique.stats_of(v.0)
     }
 
     /// The function that is true exactly when `v` is true.
@@ -209,18 +282,32 @@ impl BddManager {
     /// hi)` as stored and returns the plain (untagged) handle.
     fn mk_regular(&mut self, var: u32, lo: Bdd, hi: Bdd) -> Bdd {
         debug_assert!(!self.ce || !hi.is_complemented(), "hi edge must be regular");
-        let node = Node { var, lo, hi };
         self.obs_unique_probe();
-        if let Some(&b) = self.unique.get(&node) {
-            return b;
+        if let Some(slot) = self.unique.get(var, lo, hi, &self.nodes) {
+            self.obs_unique_hit();
+            return Bdd::from_index(slot as usize);
         }
+        self.obs_unique_miss();
         self.obs_node_alloc();
-        let slot = self.nodes.len();
-        let id = Bdd::from_index(slot);
-        self.nodes.push(node);
-        self.unique.insert(node, id);
+        self.allocated += 1;
+        let node = Node { var, lo, hi };
+        // Reuse a GC-freed slot before growing the arena.
+        let slot = match self.free.pop() {
+            Some(s) => {
+                debug_assert_eq!(self.nodes[s as usize].var, crate::node::FREE_LEVEL);
+                self.nodes[s as usize] = node;
+                s as usize
+            }
+            None => {
+                let s = self.nodes.len();
+                self.nodes.push(node);
+                self.peak_arena = self.peak_arena.max(self.nodes.len());
+                s
+            }
+        };
+        self.unique.insert(var, slot as u32, &self.nodes);
         self.var_nodes[var as usize].push(slot as u32);
-        id
+        Bdd::from_index(slot)
     }
 
     #[inline]
@@ -458,8 +545,9 @@ impl BddManager {
     }
 
     /// Number of internal nodes reachable from `roots` (the *live* size,
-    /// as opposed to [`node_count`](Self::node_count), which includes dead
-    /// arena entries — the arena is append-only).
+    /// as opposed to [`node_count`](Self::node_count), which also counts
+    /// occupied-but-unreachable entries — dead until a GC sweep or a
+    /// manager rebuild reclaims them).
     pub fn live_size(&self, roots: &[Bdd]) -> usize {
         // Sifting calls this after every adjacent swap, so the visited
         // set is a plain arena-indexed bitmap rather than a hash set.
@@ -527,7 +615,8 @@ impl std::fmt::Debug for BddManager {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("BddManager")
             .field("vars", &self.var_names.len())
-            .field("nodes", &self.nodes.len())
+            .field("nodes", &self.node_count())
+            .field("free", &self.free.len())
             .field("ce", &self.ce)
             .finish()
     }

@@ -147,6 +147,14 @@ pub(crate) struct Node {
 /// variable" level (larger than any variable index or order position).
 pub(crate) const TERMINAL_LEVEL: u32 = u32::MAX;
 
+/// Sentinel `var` payload of a *freed* arena slot (reclaimed by
+/// mark-and-sweep GC, awaiting reuse through the manager's free list).
+/// Distinct from [`TERMINAL_LEVEL`] so the terminal can never be confused
+/// with garbage, and larger than any real variable index so freed slots
+/// fall out of every `var == v` scan (e.g. the per-variable candidate
+/// retain in `swap_levels`).
+pub(crate) const FREE_LEVEL: u32 = u32::MAX - 1;
+
 #[cfg(test)]
 mod tests {
     use super::*;

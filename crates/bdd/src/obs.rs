@@ -62,6 +62,20 @@ impl BddManager {
         self.obs_bump(tbf_obs::Metric::UniqueTableProbes);
     }
 
+    /// A probe that found an interned node (probes = hits + misses).
+    #[inline(always)]
+    pub(crate) fn obs_unique_hit(&self) {
+        #[cfg(feature = "obs")]
+        self.obs_bump(tbf_obs::Metric::UniqueTableHits);
+    }
+
+    /// A probe that fell through to an allocation.
+    #[inline(always)]
+    pub(crate) fn obs_unique_miss(&self) {
+        #[cfg(feature = "obs")]
+        self.obs_bump(tbf_obs::Metric::UniqueTableMisses);
+    }
+
     /// One freshly allocated arena node.
     #[inline(always)]
     pub(crate) fn obs_node_alloc(&self) {
@@ -74,6 +88,16 @@ impl BddManager {
     pub(crate) fn obs_gc_run(&self) {
         #[cfg(feature = "obs")]
         self.obs_bump(tbf_obs::Metric::GcRuns);
+    }
+
+    /// One mark-and-sweep pass reclaiming `_reclaimed` nodes.
+    #[inline(always)]
+    pub(crate) fn obs_gc_sweep(&self, _reclaimed: u64) {
+        #[cfg(feature = "obs")]
+        if let Some(c) = &self.counters {
+            c.bump(tbf_obs::Metric::GcSweeps);
+            c.add(tbf_obs::Metric::GcNodesReclaimed, _reclaimed);
+        }
     }
 
     /// One adjacent-level swap while sifting.
@@ -113,8 +137,23 @@ mod tests {
             c.get(Metric::UniqueTableProbes) >= c.get(Metric::NodesAllocated),
             "every allocation follows a probe"
         );
+        assert_eq!(
+            c.get(Metric::UniqueTableProbes),
+            c.get(Metric::UniqueTableHits) + c.get(Metric::UniqueTableMisses),
+            "probes split exactly into hits and misses"
+        );
+        assert_eq!(
+            c.get(Metric::UniqueTableMisses),
+            c.get(Metric::NodesAllocated)
+        );
         m.clear_op_caches();
         assert_eq!(c.get(Metric::GcRuns), 1);
+        assert_eq!(c.get(Metric::GcSweeps), 0, "no mark-and-sweep ran");
+        // A forced sweep records its pass and reclaim count.
+        let reclaimed = m.collect_garbage(&[]);
+        assert!(reclaimed > 0);
+        assert_eq!(c.get(Metric::GcSweeps), 1);
+        assert_eq!(c.get(Metric::GcNodesReclaimed), reclaimed as u64);
     }
 
     #[test]

@@ -7,7 +7,20 @@
 //! place* (same arena index, new `(var, lo, hi)` payload) instead of
 //! allocating replacements. Operation caches are keyed on handles, i.e.
 //! on functions, so they stay semantically valid too and are never
-//! cleared by a reorder.
+//! cleared by a swap. A swap touches exactly the two unique subtables of
+//! the swapped variables (backward-shift removal from the upper
+//! variable's table, reinsertion into the lower's), so the cost of a
+//! swap is proportional to the affected layers, never to the whole
+//! unique table.
+//!
+//! Sifting does produce transient garbage — every rewrite orphans the
+//! split children it replaced — which historically could only accumulate.
+//! With a [`GcPolicy`](crate::GcPolicy) installed, the sift loop calls
+//! [`maybe_gc`](BddManager::maybe_gc) between variables (a safe point:
+//! no operation is in flight), reclaiming that churn before it can trip
+//! [`sift_abort_bound`](BddManager::sift_abort_bound) or a caller's node
+//! budget spuriously. A sweep does clear the operation caches; see
+//! [`collect_garbage`](BddManager::collect_garbage).
 //!
 //! Reordering must only run at *safe points*: no BDD operation may be
 //! mid-recursion on this manager when a swap happens, since operations
@@ -98,9 +111,12 @@ impl BddManager {
 
     /// Under [`ReorderPolicy::OnPressure`], sifts `roots` once the arena
     /// has reached the trigger and returns `true` if a sift ran. Must be
-    /// called at a safe point (no BDD operation in flight); handles held
-    /// by the caller stay valid whether or not they are listed in `roots`
-    /// — `roots` only steers the size metric.
+    /// called at a safe point (no BDD operation in flight). With no GC
+    /// policy installed, handles held by the caller stay valid whether or
+    /// not they are listed in `roots` — `roots` only steers the size
+    /// metric. Under [`GcPolicy::OnPressure`](crate::GcPolicy) the sift
+    /// loop may also sweep, and then `roots` ∪ the protected stack is the
+    /// survival set: unlisted, unprotected handles may be reclaimed.
     pub fn check_pressure(&mut self, roots: &[Bdd]) -> bool {
         let ReorderPolicy::OnPressure { max_growth, .. } = self.reorder_policy else {
             return false;
@@ -110,21 +126,34 @@ impl BddManager {
         }
         let abort = self.sift_abort_bound(roots);
         self.sift(roots, max_growth, abort);
-        // Re-arm well above the new arena size to avoid thrashing.
-        self.pressure_trigger = self.node_count().saturating_mul(2);
+        // Re-arm well above the new arena size to avoid thrashing — and
+        // never below double the trigger that just fired. The second
+        // bound matters under GC: the sift loop's sweeps can leave the
+        // occupied count *below* the old trigger, and re-arming from it
+        // alone would let a live population the sift cannot shrink
+        // re-fire a full pass at every safe point. Doubling the trigger
+        // restores the geometric backoff the append-only arena gets for
+        // free (there post-sift occupied ≥ trigger, so the max is a
+        // no-op).
+        self.pressure_trigger = self
+            .node_count()
+            .saturating_mul(2)
+            .max(self.pressure_trigger.saturating_mul(2));
         true
     }
 
     /// Arena-size abort threshold for a bounded sift of `roots`.
     ///
-    /// Swaps only append to the arena (dead entries are never freed), so
-    /// an unbounded sift can inflate the arena past any caller's node
-    /// budget all by itself — and every later swap pays for the garbage
-    /// via the reachability traversal. The bound grants exploration
-    /// headroom proportional to the *live* size being optimised (what
-    /// matters), not to the dead arena: since variables are sifted
-    /// biggest-layer-first, the budget is spent on the most promising
-    /// variables before the pass stops.
+    /// Without garbage collection, swaps only grow the occupied arena
+    /// (dead entries linger until the manager is dropped), so an
+    /// unbounded sift can inflate it past any caller's node budget all by
+    /// itself. Under [`GcPolicy::OnPressure`](crate::GcPolicy) the sift
+    /// loop reclaims that transient churn between variables, so this
+    /// bound trips only on genuine live growth. Either way, the bound
+    /// grants exploration headroom proportional to the *live* size being
+    /// optimised (what matters), not to the dead arena: since variables
+    /// are sifted biggest-layer-first, the budget is spent on the most
+    /// promising variables before the pass stops.
     pub fn sift_abort_bound(&self, roots: &[Bdd]) -> usize {
         let headroom = self.live_size(roots).saturating_mul(8).max(1024);
         self.node_count().saturating_add(headroom)
@@ -181,7 +210,10 @@ impl BddManager {
             let old = self.nodes[i as usize];
             let (f00, f01) = self.split_on(old.lo, y);
             let (f10, f11) = self.split_on(old.hi, y);
-            self.unique.remove(&old);
+            // The payload at slot `i` is still `old`, so the key compare
+            // inside the backward-shift removal sees consistent data.
+            let removed = self.unique.remove(x, old.lo, old.hi, &self.nodes);
+            debug_assert!(removed, "rewritten node was not interned under x");
             // The new x-children sit below both x and y: their own
             // children are grandchildren of `old`, all at positions
             // strictly below l + 1.
@@ -200,11 +232,18 @@ impl BddManager {
                 lo: h0,
                 hi: h1,
             };
+            debug_assert!(
+                self.unique.get(y, h0, h1, &self.nodes).is_none(),
+                "swap produced a duplicate unique-table key"
+            );
             self.nodes[i as usize] = new;
             self.var_nodes[y as usize].push(i);
-            let prev = self.unique.insert(new, Bdd::from_index(i as usize));
-            debug_assert!(prev.is_none(), "swap produced a duplicate unique-table key");
+            self.unique.insert(y, i, &self.nodes);
         }
+        // Give back slack from this swap's churn: only the two affected
+        // subtables can have shrunk, so only they are examined.
+        self.unique.maybe_shrink(x, &self.nodes);
+        self.unique.maybe_shrink(y, &self.nodes);
         self.var2level[x as usize] = (l + 1) as u32;
         self.var2level[y as usize] = l as u32;
         self.level2var[l] = y;
@@ -271,8 +310,14 @@ impl BddManager {
     /// equally small positions the one closest to the root wins. A
     /// variable's exploration stops early once the live size exceeds
     /// `max_growth_percent`/100 of its starting value, and the whole pass
-    /// stops once the arena (which swaps only ever grow) exceeds
-    /// `abort_nodes`. Returns the live size before and after.
+    /// stops once it has interned `abort_nodes − node_count()` fresh
+    /// nodes (with an append-only arena that is the moment the occupied
+    /// arena exceeds `abort_nodes`; under GC the allocation count is
+    /// what bounds the pass's *work*, since in-pass sweeps roll the
+    /// occupancy back). Under an installed [`GcPolicy`](crate::GcPolicy),
+    /// a sweep may run between variables with `roots` ∪ the protected
+    /// stack as the survival set. Returns the live size before and
+    /// after.
     pub fn sift(
         &mut self,
         roots: &[Bdd],
@@ -283,10 +328,25 @@ impl BddManager {
         let n = self.var_count();
         let before = self.live_size(roots);
         self.obs_sift_live(before);
+        // The bound is an arena size, but the pass enforces it against
+        // cumulative *allocations*: with GC off the two are the same
+        // quantity (occupied never shrinks, so occupied > bound ⇔
+        // allocations since entry > bound − entry occupancy), while
+        // under GC the in-pass sweeps roll occupied back and an
+        // occupancy test would never trip — every pass would sift all
+        // n variables through all n positions, orders of magnitude
+        // more swap work than the append-only arena ever spends.
+        let abort_allocs = self
+            .allocated
+            .saturating_add(abort_nodes.saturating_sub(self.node_count()));
         if n >= 2 && before > 0 {
             for v in self.vars_by_live_count(roots) {
-                self.sift_one(v, roots, max_growth_percent, abort_nodes);
-                if self.node_count() > abort_nodes {
+                self.sift_one(v, roots, max_growth_percent, abort_allocs);
+                // Between variables is a safe point: reclaim the swap
+                // churn (policy permitting) before moving on, so it
+                // cannot inflate the arena across the whole pass.
+                self.maybe_gc(roots);
+                if self.allocated > abort_allocs {
                     break;
                 }
             }
@@ -325,8 +385,10 @@ impl BddManager {
     }
 
     /// Moves one variable down to the bottom, then up to the top, then to
-    /// the best position seen.
-    fn sift_one(&mut self, v: u32, roots: &[Bdd], max_growth_percent: usize, abort_nodes: usize) {
+    /// the best position seen. `abort_allocs` is the pass-wide cap on
+    /// [`allocated_total`](BddManager::allocated_total) (see
+    /// [`sift`](BddManager::sift)).
+    fn sift_one(&mut self, v: u32, roots: &[Bdd], max_growth_percent: usize, abort_allocs: usize) {
         let n = self.var_count();
         let start_size = self.live_size(roots);
         let limit = start_size.saturating_mul(max_growth_percent.max(100)) / 100;
@@ -349,7 +411,7 @@ impl BddManager {
             }
             cur += 1;
             track(s, cur, &mut best);
-            if s > limit || self.node_count() > abort_nodes {
+            if s > limit || self.allocated > abort_allocs {
                 break;
             }
         }
@@ -362,7 +424,7 @@ impl BddManager {
             }
             cur -= 1;
             track(s, cur, &mut best);
-            if cur < l0 && (s > limit || self.node_count() > abort_nodes) {
+            if cur < l0 && (s > limit || self.allocated > abort_allocs) {
                 break;
             }
         }
@@ -568,6 +630,9 @@ mod tests {
     /// two distinct nodes and silently break handle equality.
     fn assert_hi_edges_regular(m: &BddManager) {
         for (i, n) in m.nodes.iter().enumerate().skip(1) {
+            if n.var == crate::node::FREE_LEVEL {
+                continue;
+            }
             assert!(
                 !n.hi.is_complemented(),
                 "node {i} stores a complemented hi edge after reordering"
@@ -608,6 +673,45 @@ mod tests {
             m.current_order()
         };
         assert_eq!(run(false), run(true));
+    }
+
+    /// Regression for the global-map era: repeated sift cycles used to
+    /// leave the unique table (and the arena) at the high-water mark of
+    /// the transient churn forever. With per-variable subtables
+    /// (backward-shift deletion + shrink at swap exit) and the sweep in
+    /// the sift loop, every variable's subtable capacity must stay within
+    /// a constant factor of its interned entries.
+    #[test]
+    fn repeated_sift_cycles_keep_subtable_capacity_bounded() {
+        let mut m = BddManager::new_ce();
+        m.set_gc_policy(crate::gc::GcPolicy::OnPressure { trigger_nodes: 64 });
+        let f = separated_inner_product(&mut m, 6);
+        let tt = truth_table(&m, f, 12);
+        let natural: Vec<Var> = (0..12u32).map(Var).collect();
+        for _ in 0..4 {
+            m.sift(&[f], 150, usize::MAX);
+            // Drag the order back to the bad separated layout so the next
+            // cycle has real work — and real churn — to do.
+            m.reorder_to(&natural);
+        }
+        assert_eq!(truth_table(&m, f, 12), tt);
+        for v in 0..12u32 {
+            let (entries, cap) = m.unique_subtable_stats(Var(v));
+            assert!(
+                cap <= (entries * 8).max(8),
+                "var {v}: subtable capacity {cap} for {entries} entries"
+            );
+        }
+        assert!(m.gc_stats().sweeps > 0, "pressure sweeps must have fired");
+        // A final sweep leaves exactly the survivors interned: the
+        // subtables and the occupied arena agree, with no dead residue.
+        m.collect_garbage(&[f]);
+        let interned: usize = (0..12).map(|v| m.unique_subtable_stats(Var(v)).0).sum();
+        assert_eq!(
+            interned + 1,
+            m.node_count(),
+            "interned + terminal = occupied"
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! variables may be laid out in a completely different order, by
 //! recursive cofactoring along the destination order. Combined with a
 //! candidate-order search this provides rebuild-style reordering without
-//! mutating the (append-only) source manager.
+//! mutating the source manager.
 
 use std::collections::HashMap;
 

@@ -1,0 +1,364 @@
+//! Per-variable open-addressing unique subtables.
+//!
+//! The manager's unique table is split into one subtable per variable,
+//! each an open-addressing array of **arena slot indices** over the flat
+//! node arena. Splitting per variable means:
+//!
+//! * `mk` probes one small, cache-resident array instead of a global
+//!   SipHash map: the key is hashed with a single Fibonacci multiply and
+//!   linear probing walks consecutive `u32` slots (one cache line holds
+//!   16 of them);
+//! * `swap_levels(l)` only ever touches the two subtables of the
+//!   swapped variables — the other variables' tables are untouched by
+//!   construction, not by accident;
+//! * capacity tracks the *live* population of each variable: deletions
+//!   use backward-shift compaction (no tombstones), and
+//!   [`SubTable::maybe_shrink`] gives memory back after sift churn, so a
+//!   subtable's capacity stays bounded by a constant factor of its
+//!   entries (`props_reorder`'s repeated-sift regression test pins
+//!   this).
+//!
+//! The subtable stores slot indices only; node payloads `(lo, hi)` live
+//! in the arena and every operation takes `&[Node]` to compare keys.
+//! This keeps the entry size at 4 bytes and lets the manager
+//! borrow-split `self.unique` against `self.nodes`.
+
+use crate::node::{Bdd, Node};
+
+/// Vacant-slot marker. Arena slot 0 is the terminal, which is never
+/// interned, so reserving `u32::MAX` costs nothing real.
+const EMPTY: u32 = u32::MAX;
+
+/// Smallest non-empty capacity (a power of two).
+const MIN_CAP: usize = 8;
+
+/// Fibonacci mix of a node key `(lo, hi)`. The two raw handles are
+/// packed into 64 bits and multiplied by 2⁶⁴/φ; the high bits (taken by
+/// the caller via a shift) are well distributed even for the
+/// consecutive, low-entropy handle values an arena produces.
+#[inline]
+fn mix(lo: Bdd, hi: Bdd) -> u64 {
+    let x = (u64::from(lo.0) << 32) | u64::from(hi.0);
+    x.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// One variable's unique subtable: open addressing, linear probing,
+/// power-of-two capacity, backward-shift deletion.
+pub(crate) struct SubTable {
+    /// `slots[i]` is an arena index or [`EMPTY`]. Length is a power of
+    /// two (or zero before the first insert).
+    slots: Vec<u32>,
+    len: usize,
+}
+
+impl SubTable {
+    pub(crate) const fn new() -> SubTable {
+        SubTable {
+            slots: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of interned nodes.
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Current slot-array capacity (0 before the first insert).
+    #[inline]
+    pub(crate) fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Home bucket of a key for the current capacity.
+    #[inline]
+    fn bucket(&self, lo: Bdd, hi: Bdd) -> usize {
+        // Capacity is a power of two: take the top `log2(cap)` bits of
+        // the mix (Fibonacci hashing), which is where the multiply put
+        // the entropy.
+        debug_assert!(self.slots.len().is_power_of_two());
+        let shift = 64 - self.slots.len().trailing_zeros();
+        (mix(lo, hi) >> shift) as usize
+    }
+
+    /// The arena slot interned for `(lo, hi)`, if any.
+    #[inline]
+    pub(crate) fn get(&self, lo: Bdd, hi: Bdd, nodes: &[Node]) -> Option<u32> {
+        if self.len == 0 {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = self.bucket(lo, hi);
+        loop {
+            let s = self.slots[i];
+            if s == EMPTY {
+                return None;
+            }
+            let n = &nodes[s as usize];
+            if n.lo == lo && n.hi == hi {
+                return Some(s);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Interns arena slot `slot` (whose payload in `nodes` carries the
+    /// key). The caller guarantees the key is absent.
+    pub(crate) fn insert(&mut self, slot: u32, nodes: &[Node]) {
+        // Grow at 7/8 load so probe chains stay short.
+        if self.slots.is_empty() || (self.len + 1) * 8 > self.slots.len() * 7 {
+            self.resize((self.slots.len() * 2).max(MIN_CAP), nodes);
+        }
+        let mask = self.slots.len() - 1;
+        let n = &nodes[slot as usize];
+        let mut i = self.bucket(n.lo, n.hi);
+        while self.slots[i] != EMPTY {
+            debug_assert!(
+                {
+                    let e = &nodes[self.slots[i] as usize];
+                    (e.lo, e.hi) != (n.lo, n.hi)
+                },
+                "unique subtable: duplicate key"
+            );
+            i = (i + 1) & mask;
+        }
+        self.slots[i] = slot;
+        self.len += 1;
+    }
+
+    /// Removes the entry for `(lo, hi)` with backward-shift compaction
+    /// (no tombstones: later entries in the probe chain move back so
+    /// `get` never needs to skip deleted slots). Returns `true` if the
+    /// key was present.
+    pub(crate) fn remove(&mut self, lo: Bdd, hi: Bdd, nodes: &[Node]) -> bool {
+        if self.len == 0 {
+            return false;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = self.bucket(lo, hi);
+        loop {
+            let s = self.slots[i];
+            if s == EMPTY {
+                return false;
+            }
+            let n = &nodes[s as usize];
+            if n.lo == lo && n.hi == hi {
+                break;
+            }
+            i = (i + 1) & mask;
+        }
+        // Backward shift: walk the chain after the hole; an entry may
+        // move into the hole iff the hole lies on its probe path (its
+        // home is at least as far from the current position as the
+        // hole is).
+        let mut hole = i;
+        let mut j = i;
+        loop {
+            j = (j + 1) & mask;
+            let s = self.slots[j];
+            if s == EMPTY {
+                break;
+            }
+            let n = &nodes[s as usize];
+            let home = self.bucket(n.lo, n.hi);
+            if (j.wrapping_sub(home) & mask) >= (j.wrapping_sub(hole) & mask) {
+                self.slots[hole] = s;
+                hole = j;
+            }
+        }
+        self.slots[hole] = EMPTY;
+        self.len -= 1;
+        true
+    }
+
+    /// Shrinks sparse tables so capacity stays Θ(len): called after a
+    /// swap or sweep, never from the hot `insert` path. A table at or
+    /// below 1/8 load drops to the smallest power of two holding its
+    /// entries under 1/2 load.
+    pub(crate) fn maybe_shrink(&mut self, nodes: &[Node]) {
+        if self.slots.len() <= MIN_CAP || self.len * 8 > self.slots.len() {
+            return;
+        }
+        let target = (self.len * 2).next_power_of_two().max(MIN_CAP);
+        if target < self.slots.len() {
+            self.resize(target, nodes);
+        }
+    }
+
+    /// Drops all entries *and* the slot storage (a following rebuild
+    /// right-sizes from scratch).
+    pub(crate) fn clear(&mut self) {
+        self.slots = Vec::new();
+        self.len = 0;
+    }
+
+    fn resize(&mut self, new_cap: usize, nodes: &[Node]) {
+        debug_assert!(new_cap.is_power_of_two() && new_cap >= self.len * 2);
+        let old = std::mem::replace(&mut self.slots, vec![EMPTY; new_cap]);
+        let mask = new_cap - 1;
+        for s in old {
+            if s == EMPTY {
+                continue;
+            }
+            let n = &nodes[s as usize];
+            let mut i = self.bucket(n.lo, n.hi);
+            while self.slots[i] != EMPTY {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = s;
+        }
+    }
+}
+
+/// The manager's unique table: one [`SubTable`] per declared variable.
+pub(crate) struct UniqueTables {
+    tables: Vec<SubTable>,
+}
+
+impl UniqueTables {
+    pub(crate) const fn new() -> UniqueTables {
+        UniqueTables { tables: Vec::new() }
+    }
+
+    /// Registers a freshly declared variable.
+    pub(crate) fn push_var(&mut self) {
+        self.tables.push(SubTable::new());
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, var: u32, lo: Bdd, hi: Bdd, nodes: &[Node]) -> Option<u32> {
+        self.tables[var as usize].get(lo, hi, nodes)
+    }
+
+    #[inline]
+    pub(crate) fn insert(&mut self, var: u32, slot: u32, nodes: &[Node]) {
+        self.tables[var as usize].insert(slot, nodes);
+    }
+
+    #[inline]
+    pub(crate) fn remove(&mut self, var: u32, lo: Bdd, hi: Bdd, nodes: &[Node]) -> bool {
+        self.tables[var as usize].remove(lo, hi, nodes)
+    }
+
+    pub(crate) fn maybe_shrink(&mut self, var: u32, nodes: &[Node]) {
+        self.tables[var as usize].maybe_shrink(nodes);
+    }
+
+    /// Drops every entry and every subtable's storage (GC sweep prelude;
+    /// the sweep reinserts the survivors, right-sizing each table).
+    pub(crate) fn clear_all(&mut self) {
+        for t in &mut self.tables {
+            t.clear();
+        }
+    }
+
+    /// `(entries, capacity)` of one variable's subtable.
+    pub(crate) fn stats_of(&self, var: u32) -> (usize, usize) {
+        let t = &self.tables[var as usize];
+        (t.len(), t.capacity())
+    }
+
+    /// Total slot-array bytes across all subtables (memory telemetry).
+    pub(crate) fn slot_bytes(&self) -> usize {
+        self.tables
+            .iter()
+            .map(|t| t.capacity() * std::mem::size_of::<u32>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a fake arena of single-var chain nodes so subtable ops can
+    /// be exercised without a manager.
+    fn arena(n: usize) -> Vec<Node> {
+        (0..n)
+            .map(|i| Node {
+                var: 0,
+                lo: Bdd(2 * i as u32),
+                hi: Bdd(2 * i as u32 + 2),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let nodes = arena(100);
+        let mut t = SubTable::new();
+        for i in 1..100u32 {
+            t.insert(i, &nodes);
+        }
+        assert_eq!(t.len(), 99);
+        for i in 1..100u32 {
+            let n = &nodes[i as usize];
+            assert_eq!(t.get(n.lo, n.hi, &nodes), Some(i), "slot {i}");
+        }
+        let missing = Bdd(9999);
+        assert_eq!(t.get(missing, missing, &nodes), None);
+        for i in (1..100u32).step_by(2) {
+            let n = nodes[i as usize];
+            assert!(t.remove(n.lo, n.hi, &nodes));
+            assert!(!t.remove(n.lo, n.hi, &nodes), "double remove");
+        }
+        assert_eq!(t.len(), 49);
+        for i in 1..100u32 {
+            let n = &nodes[i as usize];
+            let got = t.get(n.lo, n.hi, &nodes);
+            if i % 2 == 1 {
+                assert_eq!(got, None);
+            } else {
+                assert_eq!(got, Some(i));
+            }
+        }
+    }
+
+    #[test]
+    fn shrink_bounds_capacity() {
+        let nodes = arena(1000);
+        let mut t = SubTable::new();
+        for i in 1..1000u32 {
+            t.insert(i, &nodes);
+        }
+        let grown = t.capacity();
+        for i in 1..990u32 {
+            let n = nodes[i as usize];
+            t.remove(n.lo, n.hi, &nodes);
+        }
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.capacity(), grown, "remove alone never shrinks");
+        t.maybe_shrink(&nodes);
+        assert!(
+            t.capacity() <= 8 * t.len().max(MIN_CAP),
+            "capacity {} for {} entries",
+            t.capacity(),
+            t.len()
+        );
+        for i in 990..1000u32 {
+            let n = &nodes[i as usize];
+            assert_eq!(t.get(n.lo, n.hi, &nodes), Some(i), "survives shrink");
+        }
+    }
+
+    #[test]
+    fn backward_shift_keeps_chains_probeable() {
+        // Dense collisions: force a tiny table and delete from the middle
+        // of chains repeatedly.
+        let nodes = arena(64);
+        let mut t = SubTable::new();
+        for i in 1..32u32 {
+            t.insert(i, &nodes);
+        }
+        for i in (1..32u32).rev() {
+            let n = nodes[i as usize];
+            assert!(t.remove(n.lo, n.hi, &nodes));
+            for j in 1..i {
+                let m = &nodes[j as usize];
+                assert_eq!(t.get(m.lo, m.hi, &nodes), Some(j), "after removing {i}");
+            }
+        }
+        assert_eq!(t.len(), 0);
+    }
+}

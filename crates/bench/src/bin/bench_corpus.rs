@@ -3,12 +3,15 @@
 //!
 //! Sweeps every circuit of the committed corpus under `benchmarks/`
 //! through the exact anytime engine across a threads × reorder ×
-//! complement-edges configuration matrix, asserts that every output
-//! resolves **exactly** and that the per-output delays are identical in
-//! every configuration, and writes the schema-versioned
+//! complement-edges × gc configuration matrix, asserts that every
+//! output resolves **exactly** and that the per-output delays are
+//! identical in every configuration, and writes the schema-versioned
 //! `BENCH_corpus.json` artifact: per-circuit exact delays (machine
 //! independent, diffed against the committed baseline by CI) plus
-//! per-configuration wall times (compared only within one run).
+//! per-configuration wall times and memory telemetry — peak arena
+//! nodes, approximate arena bytes, and GC sweep/reclaim totals
+//! (wall times are compared only within one run; the node counts are
+//! deterministic and CI-diffable).
 //!
 //! ```text
 //! usage: bench_corpus [OUT.json] [REPS] [--corpus DIR] [--regen]
@@ -37,7 +40,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
 
-use tbf_core::{analyze, AnalysisPolicy, CircuitReport, DelayOptions, ReorderPolicy};
+use tbf_core::{analyze, AnalysisPolicy, CircuitReport, DelayOptions, GcMode, ReorderPolicy};
 use tbf_logic::generators::adders::{carry_bypass, carry_select, paper_bypass_adder, ripple_carry};
 use tbf_logic::generators::datapath::{barrel_shifter, decoder};
 use tbf_logic::generators::random::random_dag;
@@ -51,8 +54,10 @@ use tbf_obs::json::Value;
 
 /// Artifact schema name; bump [`SCHEMA_VERSION`] on shape changes.
 const SCHEMA: &str = "tbf-bench-corpus";
-/// Current artifact schema version.
-const SCHEMA_VERSION: u64 = 1;
+/// Current artifact schema version. Version 2 added the gc matrix axis
+/// and the per-configuration memory columns (`peak_arena_nodes`,
+/// `arena_bytes`, `gc_sweeps`, `gc_reclaimed`).
+const SCHEMA_VERSION: u64 = 2;
 
 /// The `--reorder pressure` trigger used by the pressure column
 /// (mirrors the `tbf` CLI constants).
@@ -128,17 +133,23 @@ fn corpus() -> Vec<Entry> {
 }
 
 /// The measured configurations, in artifact column order: one axis at
-/// a time off the `t1/off/ce` baseline, per the determinism contract
-/// (threads, reorder, and complement edges are representation-only).
-const CONFIGS: [(&str, usize, bool, bool); 4] = [
-    // (column, threads, pressure-reorder?, complement edges?)
-    ("t1_off_ce", 1, false, true),
-    ("t4_off_ce", 4, false, true),
-    ("t1_pressure_ce", 1, true, true),
-    ("t1_off_plain", 1, false, false),
+/// a time off the `t1/off/ce/nogc` baseline, per the determinism
+/// contract (threads, reorder, complement edges, and arena GC are
+/// representation-only). The two gc columns are the memory-evidence
+/// pair: against their gc-off twins they show peak arena nodes
+/// strictly lower wherever the build (or transient sift garbage)
+/// crosses the pressure trigger, at byte-identical delays.
+const CONFIGS: [(&str, usize, bool, bool, bool); 6] = [
+    // (column, threads, pressure-reorder?, complement edges?, gc?)
+    ("t1_off_ce", 1, false, true, false),
+    ("t4_off_ce", 4, false, true, false),
+    ("t1_pressure_ce", 1, true, true, false),
+    ("t1_off_plain", 1, false, false, false),
+    ("t1_off_ce_gc", 1, false, true, true),
+    ("t1_pressure_ce_gc", 1, true, true, true),
 ];
 
-fn policy(threads: usize, pressure: bool, complement_edges: bool) -> AnalysisPolicy {
+fn policy(threads: usize, pressure: bool, complement_edges: bool, gc: bool) -> AnalysisPolicy {
     let options = DelayOptions {
         reorder: if pressure {
             ReorderPolicy::OnPressure {
@@ -149,6 +160,7 @@ fn policy(threads: usize, pressure: bool, complement_edges: bool) -> AnalysisPol
             ReorderPolicy::None
         },
         complement_edges,
+        gc: if gc { GcMode::On } else { GcMode::Off },
         ..DelayOptions::default()
     };
     AnalysisPolicy::with_options(options).with_threads(threads)
@@ -184,8 +196,8 @@ fn measure_row(entry: &Entry, reps: u32) -> Result<Value, String> {
     // init, not the engine).
     for rep in 0..reps.max(1) {
         reports.clear();
-        for (i, (_, threads, pressure, ce)) in CONFIGS.iter().enumerate() {
-            let p = policy(*threads, *pressure, *ce);
+        for (i, (_, threads, pressure, ce, gc)) in CONFIGS.iter().enumerate() {
+            let p = policy(*threads, *pressure, *ce, *gc);
             let start = Instant::now();
             let report = analyze(netlist, &p);
             if rep > 0 || reps == 1 {
@@ -234,16 +246,33 @@ fn measure_row(entry: &Entry, reps: u32) -> Result<Value, String> {
             ])
         })
         .collect();
+    // Memory telemetry comes from the last repetition's reports: peak
+    // arena and the gc totals are functions of the logical build, so
+    // every repetition of a configuration reports the same numbers
+    // (arena_bytes includes allocator capacity and is informational).
     let configs = CONFIGS
         .iter()
         .enumerate()
         .map(|(i, (name, ..))| {
+            let stats = &reports[i].stats;
             (
                 (*name).to_owned(),
-                Value::Obj(vec![(
-                    "wall_ms".to_owned(),
-                    Value::Num(format!("{:.3}", best_ms[i])),
-                )]),
+                Value::Obj(vec![
+                    (
+                        "wall_ms".to_owned(),
+                        Value::Num(format!("{:.3}", best_ms[i])),
+                    ),
+                    (
+                        "peak_arena_nodes".to_owned(),
+                        Value::u64(stats.peak_arena_nodes as u64),
+                    ),
+                    (
+                        "arena_bytes".to_owned(),
+                        Value::u64(stats.arena_bytes as u64),
+                    ),
+                    ("gc_sweeps".to_owned(), Value::u64(stats.gc_sweeps)),
+                    ("gc_reclaimed".to_owned(), Value::u64(stats.gc_reclaimed)),
+                ]),
             )
         })
         .collect();
@@ -361,7 +390,7 @@ fn run() -> Result<(), String> {
     }
     let configs = CONFIGS
         .iter()
-        .map(|(name, threads, pressure, ce)| {
+        .map(|(name, threads, pressure, ce, gc)| {
             Value::Obj(vec![
                 ("name".to_owned(), Value::str(*name)),
                 ("threads".to_owned(), Value::u64(*threads as u64)),
@@ -370,6 +399,7 @@ fn run() -> Result<(), String> {
                     Value::str(if *pressure { "pressure" } else { "off" }),
                 ),
                 ("complement_edges".to_owned(), Value::Bool(*ce)),
+                ("gc".to_owned(), Value::Bool(*gc)),
             ])
         })
         .collect();

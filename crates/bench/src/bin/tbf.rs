@@ -36,6 +36,10 @@
 //!   --no-complement-edges  build plain-node BDDs instead of the default
 //!                          complement-edged managers (differential
 //!                          testing; results are identical either way)
+//!   --gc <G>               auto | on | off: mark-and-sweep arena garbage
+//!                          collection under pressure. Memory-only knob —
+//!                          results are identical in every mode
+//!                                                             [default: auto]
 //!   --emit-metrics <PATH>  write the machine-readable run artifact (JSON)
 //!                          to PATH; `-` streams it to stdout and implies
 //!                          --quiet plus suppression of the human report
@@ -63,7 +67,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 
 use tbf_core::{
     analyze, floating_delay, sequences_delay, topological_delay, two_vector_delay, AnalysisPolicy,
-    CircuitReport, DelayOptions, DelayReport, OutputStatus, ReorderPolicy, TbfCacheMode,
+    CircuitReport, DelayOptions, DelayReport, GcMode, OutputStatus, ReorderPolicy, TbfCacheMode,
 };
 use tbf_logic::parsers::{mcnc_like_delays, unit_delays};
 use tbf_logic::{DelayBounds, Format, Netlist};
@@ -100,6 +104,7 @@ struct Args {
     per_output: bool,
     tbf_cache: TbfCacheMode,
     complement_edges: bool,
+    gc: GcMode,
     emit_metrics: Option<String>,
     quiet: bool,
 }
@@ -128,6 +133,7 @@ fn parse_args() -> Result<Args, String> {
         per_output: false,
         tbf_cache: TbfCacheMode::Auto,
         complement_edges: true,
+        gc: GcMode::Auto,
         emit_metrics: None,
         quiet: false,
     };
@@ -200,6 +206,11 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or_else(|| format!("--tbf-cache must be auto, on or off, got `{v}`"))?;
             }
             "--no-complement-edges" => args.complement_edges = false,
+            "--gc" => {
+                let v = value("--gc")?;
+                args.gc = GcMode::parse(&v)
+                    .ok_or_else(|| format!("--gc must be auto, on or off, got `{v}`"))?;
+            }
             "--per-output" => args.per_output = true,
             "--emit-metrics" => args.emit_metrics = Some(value("--emit-metrics")?),
             "--quiet" => args.quiet = true,
@@ -229,7 +240,7 @@ fn usage() {
          [--delays unit|mcnc] [--dmin-ratio F] [--max-paths N] [--max-bdd N] \
          [--time-budget MS] [--threads N] [--reorder off|manual|pressure] \
          [--replay] [--per-output] [--tbf-cache auto|on|off] \
-         [--no-complement-edges] \
+         [--no-complement-edges] [--gc auto|on|off] \
          [--emit-metrics PATH|-] [--quiet] \
          <netlist.bench|.blif|.aag|.aig|.v>"
     );
@@ -427,6 +438,7 @@ fn policy_value(args: &Args, options: &DelayOptions) -> Value {
             "complement_edges".to_owned(),
             Value::Bool(options.complement_edges),
         ),
+        ("gc".to_owned(), Value::str(options.gc.name())),
         (
             "max_straddling_paths".to_owned(),
             Value::u64(options.max_straddling_paths as u64),
@@ -714,6 +726,7 @@ fn main() -> ExitCode {
     options.reorder = args.reorder;
     options.tbf_cache = args.tbf_cache;
     options.complement_edges = args.complement_edges;
+    options.gc = args.gc;
 
     say!(
         "{}: {} gates, {} inputs, {} outputs",

@@ -107,6 +107,7 @@ pub struct AnalysisBudget {
     reorder: tbf_bdd::ReorderPolicy,
     tbf_cache: crate::options::TbfCacheMode,
     complement_edges: bool,
+    gc: crate::options::GcMode,
     /// The observed run's shared counter registry. Forks clone the
     /// `Arc`, so every cone on every worker reports into one registry;
     /// u64 sums are commutative and the per-cone work is deterministic,
@@ -135,6 +136,7 @@ impl AnalysisBudget {
             reorder: options.reorder,
             tbf_cache: options.tbf_cache,
             complement_edges: options.complement_edges,
+            gc: options.gc,
             #[cfg(feature = "obs")]
             counters: crate::obs::session_counters().unwrap_or_else(tbf_obs::Counters::shared),
         }
@@ -180,6 +182,7 @@ impl AnalysisBudget {
             reorder: options.reorder,
             tbf_cache: options.tbf_cache,
             complement_edges: options.complement_edges,
+            gc: options.gc,
             #[cfg(feature = "obs")]
             counters: Arc::clone(&self.counters),
         }
@@ -221,6 +224,7 @@ impl AnalysisBudget {
             reorder: options.reorder,
             tbf_cache: options.tbf_cache,
             complement_edges: options.complement_edges,
+            gc: options.gc,
             #[cfg(feature = "obs")]
             counters: crate::obs::session_counters().unwrap_or_else(|| Arc::clone(&self.counters)),
         }
@@ -310,6 +314,12 @@ impl AnalysisBudget {
     /// edges.
     pub fn complement_edges(&self) -> bool {
         self.complement_edges
+    }
+
+    /// The arena garbage-collection mode for managers built under this
+    /// budget.
+    pub fn gc_mode(&self) -> crate::options::GcMode {
+        self.gc
     }
 
     fn trip(&self, cause: Interrupt) {

@@ -52,7 +52,7 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-use tbf_bdd::{Bdd, BddManager, OpAbort, OpBudget, ReorderPolicy, ReorderStats, Var};
+use tbf_bdd::{Bdd, BddManager, GcStats, OpAbort, OpBudget, ReorderPolicy, ReorderStats, Var};
 use tbf_logic::paths::BreakpointSweep;
 use tbf_logic::{Netlist, NodeId, Time};
 
@@ -232,6 +232,12 @@ pub(crate) struct ConeContext {
     /// Reorder effort folded in from managers this engine has already
     /// replaced (layout rebuilds drop the manager but not its telemetry).
     carried_reorder: ReorderStats,
+    /// GC effort folded in from replaced managers, same as
+    /// `carried_reorder`.
+    carried_gc: GcStats,
+    /// High-water arena slots / bytes across replaced managers.
+    carried_peak_arena: usize,
+    carried_arena_bytes: usize,
     /// Whether any gate has fixed delay. When every gate delay is
     /// variable, two distinct suffixes can never share a k-function
     /// (equal variable-gate multisets in a DAG force equal paths), so
@@ -282,6 +288,9 @@ impl ConeContext {
             input_vars: Vec::new(),
             statics_baseline: 0,
             carried_reorder: ReorderStats::default(),
+            carried_gc: GcStats::default(),
+            carried_peak_arena: 0,
+            carried_arena_bytes: 0,
             memo_useful,
             table: TimedTable::default(),
             tbf_cache: TbfCache::default(),
@@ -307,6 +316,11 @@ impl ConeContext {
     /// counters are re-routed to the new budget's registry too.
     pub fn rebind_budget(&mut self, budget: Arc<AnalysisBudget>) {
         self.budget = budget;
+        // The GC knob rides the budget: a retained engine re-reads it so
+        // a gc-off request on a warm engine really runs without sweeps
+        // (the service also keys engine reuse on the knob, but the
+        // manager must agree with whatever budget it is serving).
+        self.manager.set_gc_policy(self.budget.gc_mode().policy());
         #[cfg(feature = "obs")]
         self.manager
             .set_counters(Arc::clone(self.budget.counters()));
@@ -339,6 +353,11 @@ impl ConeContext {
     /// lose effort accounting.
     fn layout_with_order(&mut self, order: Option<&[Var]>) -> Result<(), BuildAbort> {
         self.carried_reorder.merge(&self.manager.reorder_stats());
+        let gc = self.manager.gc_stats();
+        self.carried_gc.sweeps += gc.sweeps;
+        self.carried_gc.reclaimed += gc.reclaimed;
+        self.carried_peak_arena = self.carried_peak_arena.max(self.manager.peak_arena());
+        self.carried_arena_bytes = self.carried_arena_bytes.max(self.manager.arena_bytes());
         let n_inputs = self.netlist.inputs().len();
         let mut manager = BddManager::with_complement_edges(self.budget.complement_edges());
         // Route the manager's hot-path counters into the analysis-wide
@@ -373,6 +392,7 @@ impl ConeContext {
         }
         let policy = self.budget.reorder();
         manager.set_reorder_policy(policy);
+        manager.set_gc_policy(self.budget.gc_mode().policy());
         let unwrap_var = |v: &Option<Var>| v.expect("input_order is a permutation of inputs");
         let after_leaf: Vec<Bdd> = after_var
             .iter()
@@ -392,7 +412,12 @@ impl ConeContext {
         if order.is_none() && policy == ReorderPolicy::Manual {
             // One sift of the statics right after layout: the cheapest
             // point to pick an order, before queries multiply the nodes.
-            let roots = Self::static_roots(&static_after, &static_before);
+            // The leaf literals join the roots because the sift loop may
+            // sweep (GC): a disconnected input's literal is unreachable
+            // from the statics, and its stored handle must stay valid.
+            let mut roots = Self::static_roots(&static_after, &static_before);
+            roots.extend_from_slice(&after_leaf);
+            roots.extend_from_slice(&before_leaf);
             let abort = manager.sift_abort_bound(&roots);
             manager.sift(&roots, MANUAL_SIFT_GROWTH, abort);
         }
@@ -418,6 +443,20 @@ impl ConeContext {
         roots
     }
 
+    /// Every handle the engine holds: the survival set for an arena
+    /// sweep at an engine-level safe point. Statics, both leaf-literal
+    /// vectors, and everything the cross-breakpoint cache references
+    /// (entries and leaf bindings) — the cache stays coherent across
+    /// sweeps because its whole reachable set is rooted, not because it
+    /// is rebuilt.
+    fn gc_roots(&self) -> Vec<Bdd> {
+        let mut roots = Self::static_roots(&self.static_after, &self.static_before);
+        roots.extend_from_slice(&self.after_leaf);
+        roots.extend_from_slice(&self.before_leaf);
+        self.tbf_cache.roots(&mut roots);
+        roots
+    }
+
     /// The reorder-and-retry rung of the degradation ladder: rebuild a
     /// compact manager, sift the statics to find a better order, then
     /// rebuild once more under that order so the retry starts from a
@@ -425,7 +464,7 @@ impl ConeContext {
     /// [`reset`](Self::reset)).
     pub fn reorder_and_reset(&mut self) -> Result<(), BuildAbort> {
         self.layout_with_order(None)?;
-        let roots = Self::static_roots(&self.static_after, &self.static_before);
+        let roots = self.gc_roots();
         let abort = self.manager.sift_abort_bound(&roots);
         self.manager.sift(&roots, MANUAL_SIFT_GROWTH, abort);
         let order = self.manager.current_order();
@@ -438,6 +477,21 @@ impl ConeContext {
         let mut rs = self.carried_reorder;
         rs.merge(&self.manager.reorder_stats());
         rs
+    }
+
+    /// Folds the engine's memory telemetry — arena high-water mark,
+    /// byte footprint, GC effort, across replaced managers too — into a
+    /// stats record. Called wherever `peak_bdd_nodes` is sampled.
+    pub(crate) fn sample_memory(&self, stats: &mut crate::report::SearchStats) {
+        let gc = self.manager.gc_stats();
+        stats.sample_memory(
+            self.carried_peak_arena.max(self.manager.peak_arena()),
+            self.carried_arena_bytes.max(self.manager.arena_bytes()),
+            GcStats {
+                sweeps: self.carried_gc.sweeps + gc.sweeps,
+                reclaimed: self.carried_gc.reclaimed + gc.reclaimed,
+            },
+        );
     }
 
     /// Drops dead nodes accumulated by past queries once they pile up
@@ -458,6 +512,14 @@ impl ConeContext {
             .add(tbf_obs::Metric::TbfCacheEvictions, evicted as u64);
         #[cfg(not(feature = "obs"))]
         let _ = evicted;
+        // In-place reclamation first (stale cache entries just left the
+        // root set, so their sub-DAGs are collectable): under a GC
+        // policy this usually makes the wholesale layout rebuild below
+        // unnecessary.
+        if self.manager.gc_pending() {
+            let roots = self.gc_roots();
+            self.manager.maybe_gc(&roots);
+        }
         if self.manager.node_count() > self.statics_baseline + HEADROOM {
             self.layout()?;
         } else {
@@ -714,6 +776,8 @@ impl ConeContext {
             budget: Arc<AnalysisBudget>,
             static_after: &'n [Bdd],
             static_before: &'n [Bdd],
+            after_leaf: &'n [Bdd],
+            before_leaf: &'n [Bdd],
             leaf_of_key: HashMap<TimedVarId, Bdd>,
             table: &'n mut TimedTable,
             cache: &'n mut TbfCache,
@@ -833,26 +897,48 @@ impl ConeContext {
                 let mut hi = smax + self.pmax[i];
                 let mut support: Option<Vec<TimedVarId>> = Some(Vec::new());
                 self.suffix.push(self.netlist, n);
+                // Frame discipline for GC: a sibling's recursive build
+                // can sweep the arena (see the safe point below), and the
+                // fanin results already collected here are reachable from
+                // no root list — the protected stack shields them until
+                // this frame's gate BDD consumes them.
+                let protect_base = manager.protected_len();
                 let mut fanin_bdds = Vec::with_capacity(fanins.len());
+                let mut failed = None;
                 for f in fanins {
-                    let built = self.go(manager, f, smin + d.min, smax + d.max)?;
-                    fanin_bdds.push(built.f);
-                    lo = lo.max(built.lo);
-                    hi = hi.min(built.hi);
-                    support = match (support, built.support) {
-                        (Some(mut acc), Some(sub)) if acc.len() + sub.len() <= SUPPORT_CAP => {
-                            acc.extend(sub);
-                            Some(acc)
+                    match self.go(manager, f, smin + d.min, smax + d.max) {
+                        Ok(built) => {
+                            manager.protect(built.f);
+                            fanin_bdds.push(built.f);
+                            lo = lo.max(built.lo);
+                            hi = hi.min(built.hi);
+                            support = match (support, built.support) {
+                                (Some(mut acc), Some(sub))
+                                    if acc.len() + sub.len() <= SUPPORT_CAP =>
+                                {
+                                    acc.extend(sub);
+                                    Some(acc)
+                                }
+                                _ => None,
+                            };
                         }
-                        _ => None,
-                    };
+                        Err(e) => {
+                            failed = Some(e);
+                            break;
+                        }
+                    }
                 }
                 self.suffix.pop();
+                if let Some(e) = failed {
+                    manager.truncate_protected(protect_base);
+                    return Err(e);
+                }
                 if let Some(acc) = &mut support {
                     acc.sort_unstable();
                     acc.dedup();
                 }
                 if fault::trip(Site::BddOp) {
+                    manager.truncate_protected(protect_base);
                     return Err(BuildAbort::BddTooLarge {
                         limit: self.max_bdd,
                     });
@@ -860,8 +946,11 @@ impl ConeContext {
                 let bud = self.budget.clone();
                 let probe = move || bud.interrupted();
                 let op_budget = OpBudget::with_cancel(self.max_bdd, &probe);
-                let result = gate_bdd(manager, kind, &fanin_bdds, &op_budget)
-                    .map_err(BuildAbort::from_op)?;
+                let result = gate_bdd(manager, kind, &fanin_bdds, &op_budget);
+                // The gate BDD (right or wrong) now owns the fanins'
+                // lifetime: pop this frame's shields before propagating.
+                manager.truncate_protected(protect_base);
+                let result = result.map_err(BuildAbort::from_op)?;
                 #[cfg(feature = "obs")]
                 self.budget
                     .counters()
@@ -871,21 +960,41 @@ impl ConeContext {
                         .insert((n, id, self.mode.idx()), lo, hi, result, sup);
                 }
                 // Safe point: the gate's BDD call is complete, so an
-                // on-pressure sift may rewrite the arena here. Handles
-                // held by parent frames survive any reorder; the roots
-                // only steer the live-size metric.
-                if manager.pressure_pending() {
+                // on-pressure sift or arena sweep may rewrite the arena
+                // here. Handles held by parent frames survive any reorder
+                // for free and survive a sweep because each frame
+                // protects its collected fanins; the explicit roots carry
+                // everything else the engine can still reach — statics,
+                // leaf literals, pass-1 leaves, the cross-breakpoint
+                // cache's whole reachable set, and this result.
+                if manager.pressure_pending() || manager.gc_pending() {
                     let mut roots: Vec<Bdd> = Vec::with_capacity(
                         self.static_after.len()
                             + self.static_before.len()
+                            + self.after_leaf.len()
+                            + self.before_leaf.len()
                             + self.leaf_of_key.len()
                             + 1,
                     );
                     roots.extend_from_slice(self.static_after);
                     roots.extend_from_slice(self.static_before);
+                    roots.extend_from_slice(self.after_leaf);
+                    roots.extend_from_slice(self.before_leaf);
                     roots.extend(self.leaf_of_key.values().copied());
+                    self.cache.roots(&mut roots);
                     roots.push(result);
-                    manager.check_pressure(&roots);
+                    // Sweep *before* the pressure check: under GC most of
+                    // the occupied count is transient churn a sweep
+                    // reclaims outright, and a sift pass is only worth its
+                    // cost when the live population itself kept growing
+                    // past the trigger. Checking pressure first would
+                    // re-fire a full sift every ~2×live transient
+                    // allocations — orders of magnitude more passes than
+                    // the append-only arena's geometric backoff.
+                    manager.maybe_gc(&roots);
+                    if manager.pressure_pending() {
+                        manager.check_pressure(&roots);
+                    }
                 }
                 Ok(Built {
                     f: result,
@@ -906,6 +1015,8 @@ impl ConeContext {
             budget: self.budget.clone(),
             static_after: &self.static_after,
             static_before: &self.static_before,
+            after_leaf: &self.after_leaf,
+            before_leaf: &self.before_leaf,
             leaf_of_key,
             table: &mut self.table,
             cache: &mut self.tbf_cache,

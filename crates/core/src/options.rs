@@ -1,6 +1,6 @@
 //! Resource caps and knobs for the exact-delay engines.
 
-use tbf_bdd::ReorderPolicy;
+use tbf_bdd::{GcPolicy, ReorderPolicy};
 
 /// Cross-breakpoint timed-node caching policy (see
 /// [`DelayOptions::tbf_cache`]).
@@ -52,6 +52,68 @@ impl TbfCacheMode {
             "auto" => Some(TbfCacheMode::Auto),
             "on" | "true" => Some(TbfCacheMode::On),
             "off" | "false" => Some(TbfCacheMode::Off),
+            _ => None,
+        }
+    }
+}
+
+/// Arena garbage-collection knob (see [`DelayOptions::gc`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum GcMode {
+    /// Engine-chosen: mark-and-sweep on arena pressure with
+    /// [`GcMode::DEFAULT_TRIGGER_NODES`]. Currently identical to
+    /// [`GcMode::On`]; the variant exists so a future size- or
+    /// workload-gated heuristic can slot in without a wire change.
+    #[default]
+    Auto,
+    /// Mark-and-sweep on arena pressure with
+    /// [`GcMode::DEFAULT_TRIGGER_NODES`].
+    On,
+    /// Never sweep: the legacy append-only arena (the A/B ablation
+    /// baseline — memory is reclaimed only by engine-level compaction).
+    Off,
+}
+
+impl GcMode {
+    /// Arena slots at which the first pressure sweep fires (the manager
+    /// re-arms above the surviving population after each sweep).
+    pub const DEFAULT_TRIGGER_NODES: usize = 16_384;
+
+    /// Whether any sweep can fire under this mode.
+    #[must_use]
+    pub fn enabled(self) -> bool {
+        !matches!(self, GcMode::Off)
+    }
+
+    /// The manager-level policy this mode installs.
+    #[must_use]
+    pub fn policy(self) -> GcPolicy {
+        match self {
+            GcMode::Auto | GcMode::On => GcPolicy::OnPressure {
+                trigger_nodes: Self::DEFAULT_TRIGGER_NODES,
+            },
+            GcMode::Off => GcPolicy::None,
+        }
+    }
+
+    /// Canonical lowercase name (`auto` / `on` / `off`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            GcMode::Auto => "auto",
+            GcMode::On => "on",
+            GcMode::Off => "off",
+        }
+    }
+
+    /// Parses a canonical name; accepts the boolean spellings
+    /// `true`/`false` as `on`/`off` for wire compatibility.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<GcMode> {
+        match s {
+            "auto" => Some(GcMode::Auto),
+            "on" | "true" => Some(GcMode::On),
+            "off" | "false" => Some(GcMode::Off),
             _ => None,
         }
     }
@@ -119,6 +181,17 @@ pub struct DelayOptions {
     /// byte-identical either way — and on by default; `false` keeps the
     /// legacy plain-node managers for differential testing.
     pub complement_edges: bool,
+    /// Mark-and-sweep garbage collection of the BDD arena. Under
+    /// [`GcMode::Auto`] / [`GcMode::On`] the manager sweeps at safe
+    /// points (between gate constructions and between sift variables)
+    /// once the arena passes the pressure trigger, reclaiming transient
+    /// reorder/build garbage in place instead of letting it trip
+    /// `max_bdd_nodes` or the sift abort bound spuriously. Purely a
+    /// memory/effort knob: whether a sweep fires depends only on logical
+    /// quantities, so results and reports are byte-identical with GC on
+    /// or off (only memory telemetry differs). [`GcMode::Off`] keeps the
+    /// legacy append-only arena for A/B measurement.
+    pub gc: GcMode,
 }
 
 impl Default for DelayOptions {
@@ -132,6 +205,7 @@ impl Default for DelayOptions {
             reorder: ReorderPolicy::None,
             tbf_cache: TbfCacheMode::Auto,
             complement_edges: true,
+            gc: GcMode::Auto,
         }
     }
 }
@@ -174,5 +248,27 @@ mod tests {
         assert_eq!(TbfCacheMode::parse("true"), Some(TbfCacheMode::On));
         assert_eq!(TbfCacheMode::parse("false"), Some(TbfCacheMode::Off));
         assert_eq!(TbfCacheMode::parse("sometimes"), None);
+    }
+
+    #[test]
+    fn gc_mode_maps_to_manager_policy() {
+        assert_eq!(DelayOptions::default().gc, GcMode::Auto);
+        assert!(GcMode::Auto.enabled());
+        assert!(GcMode::On.enabled());
+        assert!(!GcMode::Off.enabled());
+        assert_eq!(
+            GcMode::Auto.policy(),
+            GcPolicy::OnPressure {
+                trigger_nodes: GcMode::DEFAULT_TRIGGER_NODES
+            }
+        );
+        assert_eq!(GcMode::On.policy(), GcMode::Auto.policy());
+        assert_eq!(GcMode::Off.policy(), GcPolicy::None);
+        for m in [GcMode::Auto, GcMode::On, GcMode::Off] {
+            assert_eq!(GcMode::parse(m.name()), Some(m));
+        }
+        assert_eq!(GcMode::parse("true"), Some(GcMode::On));
+        assert_eq!(GcMode::parse("false"), Some(GcMode::Off));
+        assert_eq!(GcMode::parse("maybe"), None);
     }
 }

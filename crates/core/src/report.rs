@@ -142,9 +142,11 @@ impl OutputDelay {
 /// columns and for regression tracking.
 ///
 /// Equality is *semantic*: representation-dependent telemetry —
-/// `peak_bdd_nodes` and the `reorder_*` fields — is excluded, so two
-/// reports compare equal whenever the search did the same logical work,
-/// whatever the variable order or thread count happened to be.
+/// `peak_bdd_nodes`, the `reorder_*` fields and the memory fields
+/// (`peak_arena_nodes`, `arena_bytes`, `gc_sweeps`, `gc_reclaimed`) —
+/// is excluded, so two reports compare equal whenever the search did the
+/// same logical work, whatever the variable order, thread count or GC
+/// mode happened to be.
 #[derive(Clone, Debug, Default)]
 pub struct SearchStats {
     /// Breakpoints (`Kᵢᵐᵃˣ` values) examined across all outputs.
@@ -172,13 +174,26 @@ pub struct SearchStats {
     pub reorder_nodes_after: usize,
     /// Wall-clock milliseconds spent sifting.
     pub reorder_time_ms: u64,
+    /// Peak arena *slots* (live + dead) of any one manager — the real
+    /// high-water memory mark, unlike `peak_bdd_nodes` which counts
+    /// occupied slots and therefore shrinks when GC reclaims.
+    pub peak_arena_nodes: usize,
+    /// Largest arena + unique-subtable footprint, in bytes, sampled
+    /// wherever `peak_bdd_nodes` is.
+    pub arena_bytes: usize,
+    /// Mark-and-sweep passes run across all managers.
+    pub gc_sweeps: u64,
+    /// Arena nodes reclaimed by those sweeps.
+    pub gc_reclaimed: u64,
 }
 
 impl PartialEq for SearchStats {
     fn eq(&self, other: &Self) -> bool {
         // Deliberately skips peak_bdd_nodes, reorders,
-        // reorder_nodes_before/after and reorder_time_ms: those describe
-        // the representation and the wall clock, not the search.
+        // reorder_nodes_before/after, reorder_time_ms, peak_arena_nodes,
+        // arena_bytes, gc_sweeps and gc_reclaimed: those describe the
+        // representation, the wall clock and the memory manager — not
+        // the search.
         self.breakpoints_visited == other.breakpoints_visited
             && self.resolvents == other.resolvents
             && self.lps_solved == other.lps_solved
@@ -208,6 +223,10 @@ impl SearchStats {
         self.reorder_nodes_before += other.reorder_nodes_before;
         self.reorder_nodes_after += other.reorder_nodes_after;
         self.reorder_time_ms += other.reorder_time_ms;
+        self.peak_arena_nodes = self.peak_arena_nodes.max(other.peak_arena_nodes);
+        self.arena_bytes = self.arena_bytes.max(other.arena_bytes);
+        self.gc_sweeps += other.gc_sweeps;
+        self.gc_reclaimed += other.gc_reclaimed;
     }
 
     /// Folds a BDD manager's reordering counters into this record.
@@ -216,6 +235,23 @@ impl SearchStats {
         self.reorder_nodes_before += rs.nodes_before;
         self.reorder_nodes_after += rs.nodes_after;
         self.reorder_time_ms += rs.time_ms;
+    }
+
+    /// Samples one engine's memory telemetry into this record: peaks
+    /// take the max (repeated samples of a growing engine), and the GC
+    /// totals too — they are monotone over an engine's life, so the max
+    /// absorbs repeated samples without double counting, while distinct
+    /// engines' totals are summed by [`merge`](Self::merge).
+    pub(crate) fn sample_memory(
+        &mut self,
+        peak_arena: usize,
+        arena_bytes: usize,
+        gc: tbf_bdd::GcStats,
+    ) {
+        self.peak_arena_nodes = self.peak_arena_nodes.max(peak_arena);
+        self.arena_bytes = self.arena_bytes.max(arena_bytes);
+        self.gc_sweeps = self.gc_sweeps.max(gc.sweeps);
+        self.gc_reclaimed = self.gc_reclaimed.max(gc.reclaimed);
     }
 }
 

@@ -113,6 +113,7 @@ impl DelayModel for Sequences {
             .sequences_query(output, b)
             .map_err(|e| e.into_error(b, &cx.budget))?;
         stats.peak_bdd_nodes = stats.peak_bdd_nodes.max(cx.manager.node_count());
+        cx.sample_memory(stats);
         #[cfg(feature = "obs")]
         tbf_obs::phase::record_peak_nodes(cx.manager.node_count() as u64);
         // When the TBF still differs from the settled function, a

@@ -356,10 +356,14 @@ pub(crate) struct Instantiation {
 /// `changed_at`, and an entry is served only if `built_epoch` is at
 /// least as new as every support leaf's `changed_at`.
 ///
-/// The cache holds plain `Bdd` handles: the arena is append-only and
-/// handles survive sifting reorders, so entries stay correct until the
+/// The cache holds plain `Bdd` handles. Handles survive sifting reorders
+/// (swaps rewrite nodes in place), so entries stay correct until the
 /// manager itself is rebuilt — [`clear`](TbfCache::clear) is called on
-/// every layout rebuild.
+/// every layout rebuild. Mark-and-sweep GC is the one operation that
+/// *can* invalidate a handle, so the engine lists every handle the cache
+/// holds — entries and leaf bindings, via [`roots`](TbfCache::roots) —
+/// in the root set of every sweep: the cache stays coherent because
+/// everything it references survives, not because it is rebuilt.
 #[derive(Default)]
 pub(crate) struct TbfCache {
     entries: HashMap<(NodeId, TimedVarId, u8), Instantiation>,
@@ -501,6 +505,19 @@ impl TbfCache {
     /// to a within-build memo table.
     pub fn clear_entries(&mut self) {
         self.entries.clear();
+    }
+
+    /// Every `Bdd` handle the cache holds: each entry's instantiation
+    /// plus every bound leaf in both modes. Listed in the root set of
+    /// each arena sweep so GC never frees a node a cache hit could
+    /// return. Deterministic contents, but unordered — callers must not
+    /// let the iteration order influence results (the GC mark phase is
+    /// order-insensitive).
+    pub fn roots(&self, out: &mut Vec<Bdd>) {
+        out.extend(self.entries.values().map(|e| e.bdd));
+        for m in 0..2 {
+            out.extend(self.bindings[m].iter().flatten().copied());
+        }
     }
 
     /// Staleness sweep for long-lived engines: drops every entry whose

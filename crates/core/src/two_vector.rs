@@ -147,6 +147,7 @@ impl DelayModel for TwoVector {
             .map_err(|e| e.into_error(b, &cx.budget))?;
         stats.resolvents += query.resolvents.len();
         stats.peak_bdd_nodes = stats.peak_bdd_nodes.max(cx.manager.node_count());
+        cx.sample_memory(stats);
         #[cfg(feature = "obs")]
         tbf_obs::phase::record_peak_nodes(cx.manager.node_count() as u64);
 
@@ -199,6 +200,7 @@ fn check_interval(
         .map_err(abort)?;
     debug_assert!(!projected.is_false(), "∃ of a non-false BDD");
     stats.peak_bdd_nodes = stats.peak_bdd_nodes.max(cx.manager.node_count());
+    cx.sample_memory(stats);
     #[cfg(feature = "obs")]
     tbf_obs::phase::record_peak_nodes(cx.manager.node_count() as u64);
 

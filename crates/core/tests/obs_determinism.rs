@@ -8,8 +8,8 @@
 //! phase subtrees are merged on join in netlist output order.
 
 use tbf_core::obs::{observe, RunObservation};
-use tbf_core::{analyze, AnalysisPolicy, DelayOptions, ReorderPolicy, TbfCacheMode};
-use tbf_logic::generators::adders::paper_bypass_adder;
+use tbf_core::{analyze, AnalysisPolicy, DelayOptions, GcMode, ReorderPolicy, TbfCacheMode};
+use tbf_logic::generators::adders::{carry_bypass, paper_bypass_adder};
 use tbf_logic::generators::figures::figure1_three_paths;
 use tbf_logic::generators::trees::parity_tree;
 use tbf_logic::{DelayBounds, Netlist, Time};
@@ -136,6 +136,93 @@ fn direct_engines_record_per_output_spans() {
         .collect();
     assert_eq!(names, expected);
     assert!(obs.phases.iter().any(|p| p.peak_nodes > 0));
+}
+
+#[test]
+fn gc_knob_is_invisible_until_pressure() {
+    // Below the pressure trigger the GC knob must be a pure no-op: not
+    // just the report but the *entire* observation — counters (including
+    // the gc ones, which stay zero) and the phase tree — is byte-
+    // identical across every mode, in every thread count.
+    for netlist in circuits() {
+        let run = |gc: GcMode, threads: usize| {
+            observe(|| {
+                analyze(
+                    &netlist,
+                    &AnalysisPolicy::with_options(DelayOptions {
+                        gc,
+                        ..DelayOptions::default()
+                    })
+                    .with_threads(threads),
+                )
+            })
+        };
+        let (baseline_report, baseline_obs) = run(GcMode::Off, 1);
+        let baseline = fingerprint(&baseline_obs);
+        assert_eq!(baseline_obs.counters.get(Metric::GcSweeps), 0);
+        assert_eq!(baseline_obs.counters.get(Metric::GcNodesReclaimed), 0);
+        for gc in [GcMode::Off, GcMode::On, GcMode::Auto] {
+            for threads in [1, 4] {
+                let (report, obs) = run(gc, threads);
+                assert_eq!(
+                    report, baseline_report,
+                    "report must not depend on gc={gc:?} threads={threads}"
+                );
+                assert_eq!(
+                    fingerprint(&obs),
+                    baseline,
+                    "counters/phases must not depend on gc={gc:?} threads={threads}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn gc_sweeps_leave_the_report_identical() {
+    // A circuit big enough to cross the pressure trigger: sweeps must
+    // actually fire under `On` and reclaim transient garbage, while the
+    // report (delays, witnesses, statuses — everything `PartialEq`
+    // compares) stays identical to the append-only `Off` arena. Effort
+    // telemetry legitimately differs: purged op-cache entries are
+    // recomputed, and that is exactly what the gc counters record.
+    let netlist = carry_bypass(
+        4,
+        4,
+        DelayBounds::new(Time::from_units(0.9), Time::from_int(1)),
+    );
+    let run = |gc: GcMode| {
+        observe(|| {
+            tbf_core::two_vector_delay(
+                &netlist,
+                &DelayOptions {
+                    gc,
+                    ..DelayOptions::default()
+                },
+            )
+            .expect("bypass adder stays within default caps")
+        })
+    };
+    let (on, obs_on) = run(GcMode::On);
+    let (off, obs_off) = run(GcMode::Off);
+    assert_eq!(on, off, "the gc knob must not change the report");
+    assert!(
+        obs_on.counters.get(Metric::GcSweeps) > 0,
+        "the bypass adder must cross the pressure trigger"
+    );
+    assert!(
+        obs_on.counters.get(Metric::GcNodesReclaimed) > 0,
+        "sweeps must reclaim transient build garbage"
+    );
+    assert_eq!(obs_off.counters.get(Metric::GcSweeps), 0);
+    assert_eq!(obs_off.counters.get(Metric::GcNodesReclaimed), 0);
+    assert!(
+        on.stats.peak_arena_nodes < off.stats.peak_arena_nodes,
+        "GC must lower the peak arena ({} vs {})",
+        on.stats.peak_arena_nodes,
+        off.stats.peak_arena_nodes
+    );
+    assert_eq!(on.stats.gc_sweeps, obs_on.counters.get(Metric::GcSweeps));
 }
 
 #[test]

@@ -29,8 +29,8 @@ pub enum Metric {
     UniqueTableProbes,
     /// BDD nodes freshly allocated (unique-table misses).
     NodesAllocated,
-    /// Operation-cache flushes (`clear_op_caches`) — the arena is
-    /// append-only, so this is the package's closest analogue to GC.
+    /// Operation-cache flushes (`clear_op_caches`). Arena-level
+    /// mark-and-sweep passes are counted separately as `GcSweeps`.
     GcRuns,
     /// Adjacent-level swaps performed while sifting.
     SiftSwaps,
@@ -51,11 +51,22 @@ pub enum Metric {
     /// Cones the incremental engine actually ran: changed slices,
     /// never-seen slices, or every cone on a volatile request.
     EcoConesRecomputed,
+    /// Unique-table probes that found an interned node (probes = hits +
+    /// misses; appended after the ECO metrics to keep registry order
+    /// stable).
+    UniqueTableHits,
+    /// Unique-table probes that fell through to an allocation.
+    UniqueTableMisses,
+    /// Mark-and-sweep garbage-collection passes over the node arena
+    /// (distinct from `GcRuns`, the op-cache flushes).
+    GcSweeps,
+    /// Arena nodes reclaimed by mark-and-sweep passes.
+    GcNodesReclaimed,
 }
 
 impl Metric {
     /// Every metric, in registry (serialization) order.
-    pub const ALL: [Metric; 13] = [
+    pub const ALL: [Metric; 17] = [
         Metric::IteCalls,
         Metric::CacheHits,
         Metric::CacheMisses,
@@ -69,6 +80,10 @@ impl Metric {
         Metric::TbfCacheEvictions,
         Metric::EcoConesReused,
         Metric::EcoConesRecomputed,
+        Metric::UniqueTableHits,
+        Metric::UniqueTableMisses,
+        Metric::GcSweeps,
+        Metric::GcNodesReclaimed,
     ];
 
     /// The metric's stable `snake_case` name, as serialized.
@@ -87,6 +102,10 @@ impl Metric {
             Metric::TbfCacheEvictions => "tbf_cache_evictions",
             Metric::EcoConesReused => "eco_cones_reused",
             Metric::EcoConesRecomputed => "eco_cones_recomputed",
+            Metric::UniqueTableHits => "unique_table_hits",
+            Metric::UniqueTableMisses => "unique_table_misses",
+            Metric::GcSweeps => "gc_sweeps",
+            Metric::GcNodesReclaimed => "gc_nodes_reclaimed",
         }
     }
 
@@ -291,6 +310,8 @@ mod tests {
         assert_eq!(snap.len(), Metric::ALL.len());
         assert_eq!(snap[0].0, "ite_calls");
         assert_eq!(snap[5], ("gc_runs", 1));
+        assert_eq!(snap[15].0, "gc_sweeps");
+        assert_eq!(snap[16].0, "gc_nodes_reclaimed");
     }
 
     #[test]

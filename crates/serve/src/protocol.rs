@@ -58,7 +58,7 @@
 
 use std::fmt;
 
-use tbf_core::{CircuitReport, DelayOptions, OutputStatus, ReorderPolicy, TbfCacheMode};
+use tbf_core::{CircuitReport, DelayOptions, GcMode, OutputStatus, ReorderPolicy, TbfCacheMode};
 use tbf_logic::parsers::{mcnc_like_delays, unit_delays};
 use tbf_logic::{Format, Netlist};
 use tbf_obs::json::Value;
@@ -491,6 +491,21 @@ pub fn parse_request(
                 }
             }
         }
+        if let Some(v) = opts.get("gc") {
+            // Booleans are the boolean wire spelling (`true` = on,
+            // `false` = off); strings name the tri-state mode.
+            let mode = match v {
+                Value::Bool(true) => Some(GcMode::On),
+                Value::Bool(false) => Some(GcMode::Off),
+                Value::Str(s) => GcMode::parse(s),
+                _ => None,
+            };
+            options.gc = mode.ok_or_else(|| {
+                fail(ServeError::BadRequest {
+                    detail: "`options.gc` must be auto|on|off or a boolean".to_owned(),
+                })
+            })?;
+        }
         if let Some(r) = opts.get("reorder") {
             options.reorder = match r.as_str() {
                 Some("off") => ReorderPolicy::None,
@@ -511,8 +526,8 @@ pub fn parse_request(
     // Exact results are delay-model- and structure-determined; the caps
     // only decide whether exactness is *reached*, so they stay out of
     // the key (only all-exact reports are ever cached). The ablation
-    // modes (timed-node cache, complement edges, reorder policy) ARE
-    // keyed: a warm hit must only ever be served to a request that would
+    // modes (timed-node cache, complement edges, reorder policy, arena
+    // GC) ARE keyed: a warm hit must only ever be served to a request that would
     // have recomputed it under the same engine configuration, so an A/B
     // ablation run through a warm server measures what it claims to.
     // The same fingerprint pins an ECO session's engine configuration:
@@ -531,6 +546,11 @@ pub fn parse_request(
         ReorderPolicy::None => 0,
         ReorderPolicy::Manual => 1,
         ReorderPolicy::OnPressure { .. } => 2,
+    });
+    options_key.push(match options.gc {
+        GcMode::Auto => 0,
+        GcMode::On => 1,
+        GcMode::Off => 2,
     });
     let mut cache_key = netlist.structural_signature();
     cache_key.extend_from_slice(&options_key);

@@ -775,6 +775,8 @@ mod tests {
             r#"{"complement_edges":false}"#,
             r#"{"reorder":"pressure"}"#,
             r#"{"reorder":"manual"}"#,
+            r#"{"gc":"off"}"#,
+            r#"{"gc":"on"}"#,
         ];
         for (i, opts) in variants.iter().enumerate() {
             let line = |id: &str| {
